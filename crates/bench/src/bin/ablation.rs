@@ -1,0 +1,30 @@
+//! Regenerate the design-choice ablations (DESIGN.md §8): mapper quality,
+//! profile-cache granularity, static vs dynamic scheduling.
+use multicl_bench::experiments::ablation;
+use multicl_bench::{print_table, write_report};
+use npb::Class;
+
+fn main() {
+    let rows = ablation::mapper_quality(
+        &[("BT", Class::A), ("CG", Class::A), ("EP", Class::B), ("MG", Class::A)],
+        4,
+    );
+    let t = ablation::mapper_table(&rows);
+    print_table(&t);
+    write_report("ablation_mapper.txt", &t.render());
+
+    let rows = ablation::caching_behaviour(Class::A);
+    let t = ablation::caching_table(Class::A, &rows);
+    print_table(&t);
+    write_report("ablation_caching.txt", &t.render());
+
+    let rows = ablation::static_vs_dynamic(Class::A);
+    let t = ablation::static_dyn_table(&rows);
+    print_table(&t);
+    write_report("ablation_static_dynamic.txt", &t.render());
+
+    let (epoch, per_kernel) = ablation::trigger_granularity(10);
+    let t = ablation::trigger_table(epoch, per_kernel);
+    print_table(&t);
+    write_report("ablation_trigger.txt", &t.render());
+}

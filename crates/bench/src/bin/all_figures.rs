@@ -1,0 +1,87 @@
+//! Regenerate every table and figure in one pass and print the paper's
+//! headline summary numbers. Writes each artifact under `results/`.
+
+use multicl_bench::experiments::{common::PAPER_SET, fig10, fig3, fig4, fig5, fig6, fig7, fig8, fig9, tables};
+use multicl_bench::harness::Table;
+use multicl_bench::{print_table, write_report};
+use npb::Class;
+use seismo::Layout;
+
+/// Persist a table as both aligned text and CSV under `results/`.
+fn save(stem: &str, t: &Table) {
+    write_report(&format!("{stem}.txt"), &t.render());
+    write_report(&format!("{stem}.csv"), &t.to_csv());
+}
+
+fn main() {
+    let t1 = tables::table1();
+    print_table(&t1);
+    save("table1", &t1);
+    let t2 = tables::table2();
+    print_table(&t2);
+    save("table2", &t2);
+
+    let f3 = fig3::run(&PAPER_SET);
+    let t = fig3::table(&f3);
+    print_table(&t);
+    save("fig3", &t);
+
+    let f4 = fig4::run(&PAPER_SET, 4);
+    let t = fig4::table(&f4);
+    print_table(&t);
+    save("fig4", &t);
+    let geo = fig4::geomean_overhead_pct(&f4);
+
+    let f5 = fig5::run(&PAPER_SET, 4);
+    let t = fig5::table(&f5);
+    print_table(&t);
+    save("fig5", &t);
+
+    let f6 = fig6::run(Class::A, &[1, 2, 4, 8]);
+    let t = fig6::table(Class::A, &f6);
+    print_table(&t);
+    save("fig6", &t);
+
+    let f7 = fig7::run(Class::A, &[1, 2, 4, 8]);
+    let t = fig7::table(Class::A, &f7);
+    print_table(&t);
+    save("fig7", &t);
+
+    let f8 = fig8::run(&Class::ALL, 4);
+    let t = fig8::table(&f8);
+    print_table(&t);
+    save("fig8", &t);
+
+    let f9 = fig9::run(10);
+    let t = fig9::table(&f9);
+    print_table(&t);
+    save("fig9", &t);
+
+    let mut seismo_overheads = Vec::new();
+    for layout in [Layout::ColumnMajor, Layout::RowMajor] {
+        let d = fig10::run(layout, 12);
+        let t = fig10::table(layout, &d);
+        print_table(&t);
+        save(&format!("fig10_{}", layout.label()), &t);
+        // Steady-state overhead vs the best manual mapping of Figure 9.
+        let col = f9.iter().find(|c| c.layout == layout).unwrap();
+        let oh = hwsim::stats::overhead_pct(d.steady_ms(), col.best_manual_ms());
+        seismo_overheads.push((layout, oh));
+    }
+
+    println!("================ SUMMARY ================");
+    println!("NPB geometric-mean AutoFit overhead: {geo:.1}%   (paper: 10.1%)");
+    let ft = f4.iter().find(|r| r.label.starts_with("FT")).unwrap();
+    println!("FT.{} AutoFit overhead: {:.1}%        (paper: ~45%)", Class::A, ft.overhead_pct());
+    for (layout, oh) in seismo_overheads {
+        println!(
+            "FDM-Seismology ({}-major) steady-state overhead vs best mapping: {oh:.2}% (paper: <0.5%)",
+            layout.label()
+        );
+    }
+    println!("AutoFit device choices (4 queues): ");
+    for r in &f4 {
+        let devs: Vec<String> = r.devices.iter().map(|d| d.to_string()).collect();
+        println!("  {:>6} -> [{}]", r.label, devs.join(", "));
+    }
+}

@@ -1,0 +1,18 @@
+//! Regenerate Figure 10: FDM-Seismology per-iteration amortization.
+use multicl_bench::experiments::fig10;
+use multicl_bench::{print_table, write_report};
+use seismo::Layout;
+
+fn main() {
+    for layout in [Layout::ColumnMajor, Layout::RowMajor] {
+        let d = fig10::run(layout, 12);
+        let t = fig10::table(layout, &d);
+        print_table(&t);
+        println!(
+            "first-iteration overhead vs steady state ({}): {:.1}%\n",
+            layout.label(),
+            d.first_iteration_overhead_pct()
+        );
+        write_report(&format!("fig10_{}.txt", layout.label()), &t.render());
+    }
+}

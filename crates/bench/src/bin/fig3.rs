@@ -1,0 +1,10 @@
+//! Regenerate Figure 3: CPU-vs-GPU relative execution time per benchmark.
+use multicl_bench::experiments::{common::PAPER_SET, fig3};
+use multicl_bench::{print_table, write_report};
+
+fn main() {
+    let rows = fig3::run(&PAPER_SET);
+    let t = fig3::table(&rows);
+    print_table(&t);
+    write_report("fig3.txt", &t.render());
+}

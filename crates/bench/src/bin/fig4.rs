@@ -1,0 +1,14 @@
+//! Regenerate Figure 4: manual schedules vs automatic scheduling (4 queues).
+use multicl_bench::experiments::{common::PAPER_SET, fig4};
+use multicl_bench::{print_table, write_report};
+
+fn main() {
+    let rows = fig4::run(&PAPER_SET, 4);
+    let t = fig4::table(&rows);
+    print_table(&t);
+    println!(
+        "geometric-mean AutoFit overhead: {:.1}% (paper: 10.1%)",
+        fig4::geomean_overhead_pct(&rows)
+    );
+    write_report("fig4.txt", &t.render());
+}

@@ -1,0 +1,10 @@
+//! Regenerate Figure 5: kernel→device distribution under AutoFit.
+use multicl_bench::experiments::{common::PAPER_SET, fig5};
+use multicl_bench::{print_table, write_report};
+
+fn main() {
+    let rows = fig5::run(&PAPER_SET, 4);
+    let t = fig5::table(&rows);
+    print_table(&t);
+    write_report("fig5.txt", &t.render());
+}

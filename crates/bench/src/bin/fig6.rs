@@ -1,0 +1,11 @@
+//! Regenerate Figure 6: FT profiling overhead vs command-queue count.
+use multicl_bench::experiments::fig6;
+use multicl_bench::{print_table, write_report};
+use npb::Class;
+
+fn main() {
+    let rows = fig6::run(Class::A, &[1, 2, 4, 8]);
+    let t = fig6::table(Class::A, &rows);
+    print_table(&t);
+    write_report("fig6.txt", &t.render());
+}

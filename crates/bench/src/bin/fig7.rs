@@ -1,0 +1,11 @@
+//! Regenerate Figure 7: data-caching effect on FT profiling overhead.
+use multicl_bench::experiments::fig7;
+use multicl_bench::{print_table, write_report};
+use npb::Class;
+
+fn main() {
+    let rows = fig7::run(Class::A, &[1, 2, 4, 8]);
+    let t = fig7::table(Class::A, &rows);
+    print_table(&t);
+    write_report("fig7.txt", &t.render());
+}

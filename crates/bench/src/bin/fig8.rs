@@ -1,0 +1,11 @@
+//! Regenerate Figure 8: minikernel vs full-kernel profiling for EP.
+use multicl_bench::experiments::fig8;
+use multicl_bench::{print_table, write_report};
+use npb::Class;
+
+fn main() {
+    let rows = fig8::run(&Class::ALL, 4);
+    let t = fig8::table(&rows);
+    print_table(&t);
+    write_report("fig8.txt", &t.render());
+}

@@ -1,0 +1,10 @@
+//! Regenerate Figure 9: FDM-Seismology mapping sweep + RR + AutoFit.
+use multicl_bench::experiments::fig9;
+use multicl_bench::{print_table, write_report};
+
+fn main() {
+    let cols = fig9::run(10);
+    let t = fig9::table(&cols);
+    print_table(&t);
+    write_report("fig9.txt", &t.render());
+}

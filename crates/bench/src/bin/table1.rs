@@ -1,0 +1,9 @@
+//! Regenerate Table I (the proposed OpenCL extensions).
+use multicl_bench::experiments::tables;
+use multicl_bench::{print_table, write_report};
+
+fn main() {
+    let t = tables::table1();
+    print_table(&t);
+    write_report("table1.txt", &t.render());
+}

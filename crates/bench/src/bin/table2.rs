@@ -1,0 +1,9 @@
+//! Regenerate Table II (SNU-NPB-MD requirements and scheduler options).
+use multicl_bench::experiments::tables;
+use multicl_bench::{print_table, write_report};
+
+fn main() {
+    let t = tables::table2();
+    print_table(&t);
+    write_report("table2.txt", &t.render());
+}

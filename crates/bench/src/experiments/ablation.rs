@@ -1,0 +1,400 @@
+//! Ablations of the design choices DESIGN.md calls out — not figures from
+//! the paper, but the evidence behind its design discussion:
+//!
+//! * **Mapper quality** (§V-A): exact DP mapper vs greedy LPT vs round
+//!   robin, on the Figure 4 cost structure.
+//! * **Epoch-granularity caching** (§III, vs SOCL): how many profiling
+//!   passes and cache hits each granularity produces on an iterative
+//!   workload.
+//! * **Static vs dynamic scheduling** (§V-B): what the cheap static mode
+//!   gives up in mapping quality.
+
+use super::common::{bench_options, run_on_fresh};
+use crate::harness::{fresh_platform, Table};
+use multicl::{ContextSchedPolicy, MapperKind, QueueSchedFlags, SchedOptions};
+use npb::{run_benchmark, Class, QueuePlan};
+
+/// One benchmark's outcome under the three mapping strategies. Times are
+/// the strategy's final mapping *replayed manually* — pure mapping quality,
+/// with the (strategy-dependent) profiling cost factored out.
+#[derive(Debug, Clone)]
+pub struct MapperRow {
+    /// "CG.S"-style label.
+    pub label: String,
+    /// Replayed time of the exact mapper's mapping (s).
+    pub optimal_secs: f64,
+    /// Replayed time of the greedy mapper's mapping (s).
+    pub greedy_secs: f64,
+    /// Replayed time of the ROUND_ROBIN mapping (s).
+    pub round_robin_secs: f64,
+}
+
+fn with_mapper(mapper: MapperKind) -> SchedOptions {
+    SchedOptions { mapper, ..bench_options(true) }
+}
+
+/// Run a strategy, then replay its chosen mapping as a manual schedule.
+fn replayed_time(
+    policy: ContextSchedPolicy,
+    options: SchedOptions,
+    name: &str,
+    class: Class,
+    queues: usize,
+) -> f64 {
+    let platform = fresh_platform();
+    let first = run_benchmark(&platform, policy, options, name, class, queues, &QueuePlan::Auto)
+        .unwrap();
+    assert!(first.verified);
+    let (replayed, _) = run_on_fresh(
+        ContextSchedPolicy::AutoFit,
+        true,
+        name,
+        class,
+        queues,
+        &QueuePlan::Manual(first.final_devices),
+    );
+    assert!(replayed.verified);
+    replayed.time.as_secs_f64()
+}
+
+/// Compare mapping strategies on the given benchmarks.
+pub fn mapper_quality(set: &[(&str, Class)], queues: usize) -> Vec<MapperRow> {
+    set.iter()
+        .map(|&(name, class)| MapperRow {
+            label: format!("{name}.{class}"),
+            optimal_secs: replayed_time(
+                ContextSchedPolicy::AutoFit,
+                with_mapper(MapperKind::Optimal),
+                name,
+                class,
+                queues,
+            ),
+            greedy_secs: replayed_time(
+                ContextSchedPolicy::AutoFit,
+                with_mapper(MapperKind::Greedy),
+                name,
+                class,
+                queues,
+            ),
+            round_robin_secs: replayed_time(
+                ContextSchedPolicy::RoundRobin,
+                bench_options(true),
+                name,
+                class,
+                queues,
+            ),
+        })
+        .collect()
+}
+
+/// Render the mapper-quality table.
+pub fn mapper_table(rows: &[MapperRow]) -> Table {
+    let mut t = Table::new(
+        "Ablation: mapping strategy quality (time in s; lower is better)",
+        &["Benchmark", "Optimal (DP)", "Greedy (LPT)", "Round Robin", "greedy/opt", "rr/opt"],
+    );
+    for r in rows {
+        t.row(vec![
+            r.label.clone(),
+            format!("{:.4}", r.optimal_secs),
+            format!("{:.4}", r.greedy_secs),
+            format!("{:.4}", r.round_robin_secs),
+            format!("{:.2}", r.greedy_secs / r.optimal_secs),
+            format!("{:.2}", r.round_robin_secs / r.optimal_secs),
+        ]);
+    }
+    t
+}
+
+/// Cache-granularity outcome for an iterative workload.
+#[derive(Debug, Clone)]
+pub struct CachingRow {
+    /// Scenario label.
+    pub label: String,
+    /// Epochs that required a profiling pass.
+    pub profiled_epochs: u64,
+    /// Epochs served from the caches.
+    pub cache_hits: u64,
+    /// Total run time (s).
+    pub secs: f64,
+}
+
+/// Profile-cache behaviour across an iterative run (MG: many epochs of the
+/// same five kernels) vs a forced-reprofiling run (`iterative_frequency=1`,
+/// re-measuring every epoch — the SOCL-style no-reuse extreme).
+pub fn caching_behaviour(class: Class) -> Vec<CachingRow> {
+    let mut rows = Vec::new();
+    for (label, freq, flags) in [
+        ("cached (paper)", None, QueueSchedFlags::SCHED_AUTO_DYNAMIC),
+        (
+            "reprofile every epoch",
+            Some(1),
+            QueueSchedFlags::SCHED_AUTO_DYNAMIC | QueueSchedFlags::SCHED_ITERATIVE,
+        ),
+    ] {
+        let platform = fresh_platform();
+        let options = SchedOptions { iterative_frequency: freq, ..bench_options(true) };
+        let r = run_benchmark(
+            &platform,
+            ContextSchedPolicy::AutoFit,
+            options,
+            "MG",
+            class,
+            2,
+            &QueuePlan::AutoWith(flags),
+        )
+        .unwrap();
+        assert!(r.verified);
+        rows.push(CachingRow {
+            label: label.into(),
+            profiled_epochs: r.stats.profiled_epochs,
+            cache_hits: r.stats.cache_hits,
+            secs: r.time.as_secs_f64(),
+        });
+    }
+    rows
+}
+
+/// Render the caching table.
+pub fn caching_table(class: Class, rows: &[CachingRow]) -> Table {
+    let mut t = Table::new(
+        format!("Ablation: kernel/epoch profile caching, MG.{class} (2 queues)"),
+        &["Scenario", "Profiled epochs", "Cache hits", "Time (s)"],
+    );
+    for r in rows {
+        t.row(vec![
+            r.label.clone(),
+            r.profiled_epochs.to_string(),
+            r.cache_hits.to_string(),
+            format!("{:.4}", r.secs),
+        ]);
+    }
+    t
+}
+
+/// Static vs dynamic scheduling (paper §V-B: static "can reduce scheduling
+/// overhead, but the optimal device may not be selected certain times").
+#[derive(Debug, Clone)]
+pub struct StaticDynRow {
+    /// Benchmark label.
+    pub label: String,
+    /// Dynamic (kernel-profiled) time (s).
+    pub dynamic_secs: f64,
+    /// Static (hint-ranked) time (s).
+    pub static_secs: f64,
+    /// Profiling passes under dynamic scheduling.
+    pub dynamic_profiled: u64,
+}
+
+/// Compare `SCHED_AUTO_DYNAMIC` against `SCHED_AUTO_STATIC` + a *wrong*
+/// hint — BT is memory/line-solve bound, so a compute-bound hint sends it
+/// to a GPU, demonstrating the tradeoff.
+pub fn static_vs_dynamic(class: Class) -> Vec<StaticDynRow> {
+    let mut rows = Vec::new();
+    for (name, static_hint) in [
+        ("BT", QueueSchedFlags::SCHED_COMPUTE_BOUND), // misleading hint
+        ("EP", QueueSchedFlags::SCHED_COMPUTE_BOUND), // correct hint
+    ] {
+        let (dynamic, _) = run_on_fresh(
+            ContextSchedPolicy::AutoFit,
+            true,
+            name,
+            class,
+            1,
+            &QueuePlan::AutoWith(QueueSchedFlags::SCHED_AUTO_DYNAMIC),
+        );
+        let (stat, _) = run_on_fresh(
+            ContextSchedPolicy::AutoFit,
+            true,
+            name,
+            class,
+            1,
+            &QueuePlan::AutoWith(QueueSchedFlags::SCHED_AUTO_STATIC | static_hint),
+        );
+        assert!(dynamic.verified && stat.verified);
+        rows.push(StaticDynRow {
+            label: format!("{name}.{class}"),
+            dynamic_secs: dynamic.time.as_secs_f64(),
+            static_secs: stat.time.as_secs_f64(),
+            dynamic_profiled: dynamic.stats.profiled_epochs,
+        });
+    }
+    rows
+}
+
+/// Render the static-vs-dynamic table.
+pub fn static_dyn_table(rows: &[StaticDynRow]) -> Table {
+    let mut t = Table::new(
+        "Ablation: static (hint-only) vs dynamic (profiled) scheduling, 1 queue",
+        &["Benchmark", "Dynamic (s)", "Static (s)", "static/dynamic", "dyn. profiling passes"],
+    );
+    for r in rows {
+        t.row(vec![
+            r.label.clone(),
+            format!("{:.4}", r.dynamic_secs),
+            format!("{:.4}", r.static_secs),
+            format!("{:.2}", r.static_secs / r.dynamic_secs),
+            r.dynamic_profiled.to_string(),
+        ]);
+    }
+    t
+}
+
+/// §V-A trigger-granularity ablation: one queue alternates a CPU-friendly
+/// and a GPU-friendly kernel over one shared buffer. Epoch-granularity
+/// scheduling maps the whole group to one device; per-kernel scheduling
+/// chases each kernel's best device and pays a PCIe migration on every
+/// launch — the paper's "significant runtime overhead due to potential
+/// cross-device data migration".
+pub fn trigger_granularity(launch_pairs: usize) -> (f64, f64) {
+    use clrt::{ArgValue, KernelBody, KernelCtx, NdRange};
+    use hwsim::{KernelCostSpec, KernelTraits};
+    use std::sync::Arc;
+
+    struct Affine {
+        name: &'static str,
+        gpu: bool,
+    }
+    impl KernelBody for Affine {
+        fn name(&self) -> &str {
+            self.name
+        }
+        fn arity(&self) -> usize {
+            1
+        }
+        fn cost(&self) -> KernelCostSpec {
+            if self.gpu {
+                KernelCostSpec {
+                    flops_per_item: 8_000.0,
+                    bytes_per_item: 8.0,
+                    traits: KernelTraits { double_precision: true, ..KernelTraits::IDEAL },
+                }
+            } else {
+                KernelCostSpec::memory_bound(96.0).with_traits(KernelTraits {
+                    coalescing: 0.1,
+                    branch_divergence: 0.5,
+                    vector_friendliness: 0.3,
+                    double_precision: true,
+                })
+            }
+        }
+        fn execute(&self, ctx: &mut KernelCtx<'_>) {
+            for v in ctx.slice_mut::<f64>(0).iter_mut() {
+                *v += 1.0;
+            }
+        }
+    }
+
+    let run = |per_kernel: bool| -> f64 {
+        let platform = fresh_platform();
+        let options = SchedOptions { per_kernel_trigger: per_kernel, ..bench_options(true) };
+        let ctx = multicl::MulticlContext::with_options(
+            &platform,
+            ContextSchedPolicy::AutoFit,
+            options,
+        )
+        .unwrap();
+        let program = ctx
+            .create_program(vec![
+                Arc::new(Affine { name: "cpu_phase", gpu: false }) as Arc<dyn KernelBody>,
+                Arc::new(Affine { name: "gpu_phase", gpu: true }),
+            ])
+            .unwrap();
+        // Large resident state (32 MB) worked on by modest kernels: exactly
+        // the regime where chasing each kernel's best device costs more in
+        // PCIe round-trips than it gains in kernel time.
+        let state_elems = 1 << 22;
+        let items = 1u64 << 14;
+        let buf = ctx.create_buffer_of::<f64>(state_elems).unwrap();
+        let q = ctx.create_queue(multicl::QueueSchedFlags::SCHED_AUTO_DYNAMIC).unwrap();
+        q.enqueue_write(&buf, &vec![0.0; state_elems]).unwrap();
+        let ka = program.create_kernel("cpu_phase").unwrap();
+        ka.set_arg(0, ArgValue::BufferMut(buf.clone())).unwrap();
+        let kb = program.create_kernel("gpu_phase").unwrap();
+        kb.set_arg(0, ArgValue::BufferMut(buf.clone())).unwrap();
+        let start = platform.now();
+        for _ in 0..launch_pairs {
+            q.enqueue_ndrange(&ka, NdRange::d1(items, 64)).unwrap();
+            q.enqueue_ndrange(&kb, NdRange::d1(items, 128)).unwrap();
+        }
+        q.finish();
+        (platform.now() - start).as_secs_f64()
+    };
+    (run(false), run(true))
+}
+
+/// Render the trigger-granularity table.
+pub fn trigger_table(epoch_secs: f64, per_kernel_secs: f64) -> Table {
+    let mut t = Table::new(
+        "Ablation: scheduling trigger granularity (alternating-affinity kernels, shared buffer)",
+        &["Trigger", "Time (s)", "vs epoch"],
+    );
+    t.row(vec!["kernel epoch (paper)".into(), format!("{epoch_secs:.4}"), "1.00".into()]);
+    t.row(vec![
+        "every kernel".into(),
+        format!("{per_kernel_secs:.4}"),
+        format!("{:.2}", per_kernel_secs / epoch_secs),
+    ]);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn optimal_mapper_is_never_worse_than_greedy_or_rr() {
+        // Class B for EP: at degenerate sizes (W and below) the minikernel
+        // probe's occupancy extrapolation can mis-rank near-tied devices —
+        // the accuracy/overhead tradeoff the paper concedes for
+        // SCHED_COMPUTE_BOUND. At realistic sizes the ranking is robust.
+        let rows = mapper_quality(&[("EP", Class::B), ("CG", Class::S)], 4);
+        for r in &rows {
+            assert!(
+                r.optimal_secs <= r.greedy_secs * 1.01,
+                "{}: optimal {} vs greedy {}",
+                r.label,
+                r.optimal_secs,
+                r.greedy_secs
+            );
+            assert!(r.optimal_secs <= r.round_robin_secs * 1.01);
+        }
+    }
+
+    #[test]
+    fn per_kernel_trigger_causes_migration_thrash() {
+        let (epoch, per_kernel) = trigger_granularity(6);
+        assert!(
+            per_kernel > 1.5 * epoch,
+            "per-kernel scheduling should thrash: {per_kernel} vs epoch {epoch}"
+        );
+    }
+
+    #[test]
+    fn caching_eliminates_reprofiling() {
+        let rows = caching_behaviour(Class::S);
+        let cached = &rows[0];
+        let reprofile = &rows[1];
+        assert_eq!(cached.profiled_epochs, 1);
+        assert!(reprofile.profiled_epochs > cached.profiled_epochs);
+        assert!(
+            reprofile.secs > cached.secs,
+            "reprofiling every epoch must cost time: {} vs {}",
+            reprofile.secs,
+            cached.secs
+        );
+    }
+
+    #[test]
+    fn misleading_static_hint_hurts_bt_but_not_ep() {
+        let rows = static_vs_dynamic(Class::S);
+        let bt = rows.iter().find(|r| r.label.starts_with("BT")).unwrap();
+        let ep = rows.iter().find(|r| r.label.starts_with("EP")).unwrap();
+        // BT with a compute-bound hint lands on a GPU: much slower than the
+        // dynamically profiled CPU mapping.
+        assert!(bt.static_secs > 1.5 * bt.dynamic_secs, "BT static {} vs dyn {}", bt.static_secs, bt.dynamic_secs);
+        // EP's hint is correct: static mode matches dynamic without any
+        // profiling cost.
+        assert!(ep.static_secs <= ep.dynamic_secs * 1.05);
+    }
+}

@@ -1,0 +1,90 @@
+//! Figure 10: FDM-Seismology per-iteration breakdown — the first iteration
+//! bears the dynamic-profiling overhead, which is amortized over the rest.
+
+use crate::harness::{fresh_context, fresh_platform, Table};
+use multicl::ContextSchedPolicy;
+use seismo::{FdmApp, FdmConfig, FdmPlan, IterTime, Layout};
+
+/// The per-iteration series of one AutoFit run.
+#[derive(Debug, Clone)]
+pub struct Fig10Data {
+    /// Per-iteration velocity/stress phase times.
+    pub iterations: Vec<IterTime>,
+}
+
+impl Fig10Data {
+    /// Total time of iteration `i` in milliseconds.
+    pub fn total_ms(&self, i: usize) -> f64 {
+        self.iterations[i].total().as_millis_f64()
+    }
+
+    /// Mean steady-state (iterations ≥ 1) total in milliseconds.
+    pub fn steady_ms(&self) -> f64 {
+        let n = self.iterations.len().saturating_sub(1).max(1);
+        self.iterations[1..]
+            .iter()
+            .map(|t| t.total().as_millis_f64())
+            .sum::<f64>()
+            / n as f64
+    }
+
+    /// First-iteration overhead relative to steady state (%).
+    pub fn first_iteration_overhead_pct(&self) -> f64 {
+        hwsim::stats::overhead_pct(self.total_ms(0), self.steady_ms())
+    }
+}
+
+/// Run AutoFit on the given layout for `iterations` iterations.
+pub fn run(layout: Layout, iterations: usize) -> Fig10Data {
+    let platform = fresh_platform();
+    let ctx = fresh_context(&platform, ContextSchedPolicy::AutoFit, true);
+    let cfg = FdmConfig { layout, iterations, ..FdmConfig::default() };
+    let mut app = FdmApp::new(&ctx, cfg, &FdmPlan::Auto).expect("app builds");
+    app.run().expect("app runs");
+    assert!(app.is_finite());
+    Fig10Data { iterations: app.iteration_times().to_vec() }
+}
+
+/// Render the paper-style table.
+pub fn table(layout: Layout, d: &Fig10Data) -> Table {
+    let mut t = Table::new(
+        format!("Figure 10: per-iteration time, {}-major, Auto Fit", layout.label()),
+        &["Iteration", "Velocity (ms)", "Stress (ms)", "Total (ms)"],
+    );
+    for (i, it) in d.iterations.iter().enumerate() {
+        t.row(vec![
+            i.to_string(),
+            format!("{:.3}", it.velocity.as_millis_f64()),
+            format!("{:.3}", it.stress.as_millis_f64()),
+            format!("{:.3}", it.total().as_millis_f64()),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_iteration_dominates_then_amortizes() {
+        let d = run(Layout::RowMajor, 6);
+        assert!(d.total_ms(0) > 1.5 * d.steady_ms(), "iter0 {} vs steady {}", d.total_ms(0), d.steady_ms());
+        // Steady-state iterations are mutually consistent (no re-profiling).
+        for i in 2..d.iterations.len() {
+            let ratio = d.total_ms(i) / d.total_ms(1);
+            assert!((0.5..2.0).contains(&ratio), "iteration {i} unstable: {ratio}");
+        }
+    }
+
+    #[test]
+    fn overhead_is_amortized_with_more_iterations(){
+        let short = run(Layout::ColumnMajor, 3);
+        let long = run(Layout::ColumnMajor, 10);
+        let total_short: f64 = (0..short.iterations.len()).map(|i| short.total_ms(i)).sum();
+        let total_long: f64 = (0..long.iterations.len()).map(|i| long.total_ms(i)).sum();
+        let per_iter_short = total_short / 3.0;
+        let per_iter_long = total_long / 10.0;
+        assert!(per_iter_long < per_iter_short, "amortization: {per_iter_long} !< {per_iter_short}");
+    }
+}

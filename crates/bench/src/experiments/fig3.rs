@@ -1,0 +1,118 @@
+//! Figure 3: relative execution times of the SNU-NPB benchmarks on CPU vs
+//! GPU (single-device, single-queue).
+//!
+//! Expected shape: every benchmark except EP runs faster on the CPU (the
+//! OpenCL ports are naive), with varying degrees; EP runs much faster on
+//! the GPU.
+
+use super::common::run_on_fresh;
+use crate::harness::Table;
+use multicl::ContextSchedPolicy;
+use npb::{Class, QueuePlan};
+
+/// One benchmark's CPU-vs-GPU comparison.
+#[derive(Debug, Clone)]
+pub struct Fig3Row {
+    /// Benchmark name.
+    pub name: String,
+    /// CPU time (normalization base).
+    pub cpu_secs: f64,
+    /// GPU time.
+    pub gpu_secs: f64,
+}
+
+impl Fig3Row {
+    /// GPU time relative to CPU (the figure's y-axis, CPU = 1.0).
+    pub fn gpu_relative(&self) -> f64 {
+        self.gpu_secs / self.cpu_secs
+    }
+}
+
+/// Run the comparison for the given benchmark/class pairs.
+pub fn run(set: &[(&str, Class)]) -> Vec<Fig3Row> {
+    let node = hwsim::NodeConfig::paper_node();
+    let cpu = node.cpu().expect("paper node has a CPU");
+    let gpu = node.gpus()[0];
+    set.iter()
+        .map(|&(name, class)| {
+            let (c, _) = run_on_fresh(
+                ContextSchedPolicy::AutoFit,
+                true,
+                name,
+                class,
+                1,
+                &QueuePlan::Manual(vec![cpu]),
+            );
+            assert!(c.verified, "{name}.{class} failed verification on CPU");
+            let (g, _) = run_on_fresh(
+                ContextSchedPolicy::AutoFit,
+                true,
+                name,
+                class,
+                1,
+                &QueuePlan::Manual(vec![gpu]),
+            );
+            assert!(g.verified, "{name}.{class} failed verification on GPU");
+            Fig3Row {
+                name: name.to_string(),
+                cpu_secs: c.time.as_secs_f64(),
+                gpu_secs: g.time.as_secs_f64(),
+            }
+        })
+        .collect()
+}
+
+/// Render the paper-style table (relative execution time, CPU = 1.0).
+pub fn table(rows: &[Fig3Row]) -> Table {
+    let mut t = Table::new(
+        "Figure 3: relative execution time, CPU vs GPU (CPU = 1.0)",
+        &["Benchmark", "CPU", "GPU", "faster device"],
+    );
+    for r in rows {
+        let faster = if r.gpu_relative() < 1.0 { "GPU" } else { "CPU" };
+        t.row(vec![
+            r.name.clone(),
+            "1.00".into(),
+            format!("{:.2}", r.gpu_relative()),
+            faster.into(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::common::SMALL_SET;
+
+    #[test]
+    fn cpu_wins_everything_but_ep() {
+        let rows = run(&SMALL_SET);
+        for r in &rows {
+            if r.name == "EP" {
+                assert!(
+                    r.gpu_relative() < 0.5,
+                    "EP must strongly favour the GPU: {:.2}",
+                    r.gpu_relative()
+                );
+            } else {
+                assert!(
+                    r.gpu_relative() > 1.0,
+                    "{} must favour the CPU: {:.2}",
+                    r.name,
+                    r.gpu_relative()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bt_is_among_the_most_cpu_favoured() {
+        // Figure 3: BT shows a larger CPU advantage than CG. Compare at
+        // class A where both problems are large enough to occupy the GPU.
+        let rows = run(&[("BT", Class::A), ("CG", Class::A)]);
+        let bt = rows.iter().find(|r| r.name == "BT").unwrap();
+        let cg = rows.iter().find(|r| r.name == "CG").unwrap();
+        assert!(bt.gpu_relative() > cg.gpu_relative(), "BT {:.2} vs CG {:.2}", bt.gpu_relative(), cg.gpu_relative());
+    }
+}

@@ -1,0 +1,160 @@
+//! Figure 4: performance of SNU-NPB-MD under manual schedules vs MultiCL's
+//! automatic scheduling (4 command queues, 1 CPU + 2 GPUs).
+//!
+//! Expected shape: AutoFit lands within a small overhead of the best manual
+//! mapping for every benchmark (geometric-mean overhead ≈ 10% in the paper,
+//! dominated by FT's ≈ 45%), and is never beaten by any of the five manual
+//! baselines.
+
+use super::common::{auto_and_ideal, figure4_baselines, run_on_fresh};
+use crate::harness::Table;
+use hwsim::stats::geomean;
+use multicl::ContextSchedPolicy;
+use npb::{Class, QueuePlan};
+
+/// Results for one benchmark.
+#[derive(Debug, Clone)]
+pub struct Fig4Row {
+    /// "BT.B"-style label.
+    pub label: String,
+    /// `(schedule label, seconds)` for the five manual baselines.
+    pub manual: Vec<(String, f64)>,
+    /// AutoFit time in seconds (includes profiling overhead).
+    pub autofit_secs: f64,
+    /// Ideal time: AutoFit's chosen mapping replayed without the scheduler.
+    pub ideal_secs: f64,
+    /// Devices AutoFit chose.
+    pub devices: Vec<hwsim::DeviceId>,
+}
+
+impl Fig4Row {
+    /// The paper's overhead metric (%).
+    pub fn overhead_pct(&self) -> f64 {
+        hwsim::stats::overhead_pct(self.autofit_secs, self.ideal_secs)
+    }
+
+    /// Best manual baseline time.
+    pub fn best_manual_secs(&self) -> f64 {
+        self.manual.iter().map(|(_, t)| *t).fold(f64::INFINITY, f64::min)
+    }
+}
+
+/// Run the sweep for the given benchmark/class pairs with `queues` queues.
+pub fn run(set: &[(&str, Class)], queues: usize) -> Vec<Fig4Row> {
+    let node = hwsim::NodeConfig::paper_node();
+    let cpu = node.cpu().unwrap();
+    let gpus = node.gpus();
+    let baselines = figure4_baselines(cpu, gpus[0], gpus[1]);
+    set.iter()
+        .map(|&(name, class)| {
+            let mut manual = Vec::new();
+            for (label, cycle) in &baselines {
+                let (r, _) = run_on_fresh(
+                    ContextSchedPolicy::AutoFit,
+                    true,
+                    name,
+                    class,
+                    queues,
+                    &QueuePlan::Manual(cycle.clone()),
+                );
+                assert!(r.verified, "{name}.{class} manual `{label}` failed verification");
+                manual.push((label.to_string(), r.time.as_secs_f64()));
+            }
+            let (auto, _trace, ideal) =
+                auto_and_ideal(name, class, queues, &QueuePlan::Auto, true);
+            assert!(auto.verified, "{name}.{class} autofit failed verification");
+            Fig4Row {
+                label: format!("{name}.{class}"),
+                manual,
+                autofit_secs: auto.time.as_secs_f64(),
+                ideal_secs: ideal.as_secs_f64(),
+                devices: auto.final_devices,
+            }
+        })
+        .collect()
+}
+
+/// Geometric-mean AutoFit overhead across the rows (%), the paper's summary
+/// statistic ("the geometric mean of the overall performance overhead is
+/// 10.1%").
+pub fn geomean_overhead_pct(rows: &[Fig4Row]) -> f64 {
+    // geomean over (1 + overhead) − 1, robust to near-zero overheads.
+    let factors: Vec<f64> = rows.iter().map(|r| 1.0 + r.overhead_pct() / 100.0).collect();
+    (geomean(&factors) - 1.0) * 100.0
+}
+
+/// Render the paper-style table.
+pub fn table(rows: &[Fig4Row]) -> Table {
+    let mut headers: Vec<&str> = vec!["Benchmark"];
+    let manual_labels: Vec<String> =
+        rows.first().map(|r| r.manual.iter().map(|(l, _)| l.clone()).collect()).unwrap_or_default();
+    let mut owned: Vec<String> = manual_labels;
+    owned.push("Auto Fit".into());
+    owned.push("ideal".into());
+    owned.push("overhead %".into());
+    headers.extend(owned.iter().map(String::as_str));
+    let mut t = Table::new("Figure 4: manual schedules vs automatic scheduling, time (s)", &headers);
+    for r in rows {
+        let mut cells = vec![r.label.clone()];
+        cells.extend(r.manual.iter().map(|(_, v)| format!("{v:.4}")));
+        cells.push(format!("{:.4}", r.autofit_secs));
+        cells.push(format!("{:.4}", r.ideal_secs));
+        cells.push(format!("{:.1}", r.overhead_pct()));
+        t.row(cells);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn autofit_is_never_beaten_by_a_manual_baseline() {
+        // Smaller classes keep debug-build wall time low; the shape is
+        // class-independent.
+        let rows = run(&[("EP", Class::A), ("CG", Class::S)], 4);
+        for r in &rows {
+            // Sub-1% differences are enqueue-ordering noise (the replayed
+            // plan pairs queues to the same devices but may issue in a
+            // different order).
+            assert!(
+                r.ideal_secs <= r.best_manual_secs() * 1.01,
+                "{}: ideal {} worse than best manual {}",
+                r.label,
+                r.ideal_secs,
+                r.best_manual_secs()
+            );
+        }
+    }
+
+    #[test]
+    fn autofit_overhead_is_bounded() {
+        let rows = run(&[("MG", Class::S)], 4);
+        let r = &rows[0];
+        assert!(r.overhead_pct() >= -1e-6, "overhead cannot be negative: {}", r.overhead_pct());
+        assert!(r.overhead_pct() < 100.0, "overhead out of band: {}", r.overhead_pct());
+    }
+
+    #[test]
+    fn geomean_overhead_matches_manual_computation() {
+        let rows = vec![
+            Fig4Row {
+                label: "X".into(),
+                manual: vec![],
+                autofit_secs: 1.1,
+                ideal_secs: 1.0,
+                devices: vec![],
+            },
+            Fig4Row {
+                label: "Y".into(),
+                manual: vec![],
+                autofit_secs: 1.1,
+                ideal_secs: 1.0,
+                devices: vec![],
+            },
+        ];
+        let g = geomean_overhead_pct(&rows);
+        assert!((g - 10.0).abs() < 1e-6, "{g}");
+    }
+}

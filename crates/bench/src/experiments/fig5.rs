@@ -1,0 +1,83 @@
+//! Figure 5: distribution of SNU-NPB-MD kernels to devices under MultiCL's
+//! automatic scheduling (application launches only; profiling launches
+//! excluded), normalized per benchmark.
+//!
+//! Expected shape, mirroring Figure 3: BT/MG almost entirely on the CPU, EP
+//! entirely on the GPUs, the others mostly CPU with some GPU share.
+
+use super::common::run_on_fresh;
+use crate::harness::Table;
+use hwsim::DeviceId;
+use multicl::{metrics, ContextSchedPolicy};
+use npb::{Class, QueuePlan};
+use std::collections::BTreeMap;
+
+/// Per-benchmark normalized kernel distribution.
+#[derive(Debug, Clone)]
+pub struct Fig5Row {
+    /// "BT.B"-style label.
+    pub label: String,
+    /// Fraction of application kernel launches per device.
+    pub fractions: BTreeMap<DeviceId, f64>,
+}
+
+impl Fig5Row {
+    /// Fraction on the given device (0 if none).
+    pub fn fraction(&self, dev: DeviceId) -> f64 {
+        self.fractions.get(&dev).copied().unwrap_or(0.0)
+    }
+}
+
+/// Run AutoFit and collect distributions.
+pub fn run(set: &[(&str, Class)], queues: usize) -> Vec<Fig5Row> {
+    set.iter()
+        .map(|&(name, class)| {
+            let (r, trace) =
+                run_on_fresh(ContextSchedPolicy::AutoFit, true, name, class, queues, &QueuePlan::Auto);
+            assert!(r.verified, "{name}.{class} failed verification");
+            Fig5Row {
+                label: format!("{name}.{class}"),
+                fractions: metrics::kernel_distribution_fractions(&trace),
+            }
+        })
+        .collect()
+}
+
+/// Render the paper-style table (CPU / GPU0 / GPU1 percentages).
+pub fn table(rows: &[Fig5Row]) -> Table {
+    let mut t = Table::new(
+        "Figure 5: normalized kernel distribution under MultiCL (Auto Fit)",
+        &["Benchmark", "CPU %", "GPU0 %", "GPU1 %"],
+    );
+    for r in rows {
+        t.row(vec![
+            r.label.clone(),
+            format!("{:.1}", 100.0 * r.fraction(DeviceId(0))),
+            format!("{:.1}", 100.0 * r.fraction(DeviceId(1))),
+            format!("{:.1}", 100.0 * r.fraction(DeviceId(2))),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ep_kernels_all_land_on_gpus_bt_on_cpu() {
+        let rows = run(&[("EP", Class::B), ("BT", Class::S)], 4);
+        let ep = &rows[0];
+        assert!(ep.fraction(DeviceId(0)) < 1e-9, "EP on CPU: {:?}", ep.fractions);
+        assert!(ep.fraction(DeviceId(1)) + ep.fraction(DeviceId(2)) > 0.999);
+        let bt = &rows[1];
+        assert!(bt.fraction(DeviceId(0)) > 0.99, "BT should be CPU-bound: {:?}", bt.fractions);
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let rows = run(&[("CG", Class::S)], 2);
+        let total: f64 = rows[0].fractions.values().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,107 @@
+//! Figure 6: FT profiling (data-transfer) overhead vs command-queue count.
+//!
+//! FT distributes its input among the queues, so the data *per queue* halves
+//! as the queue count doubles, while kernel profiling happens only once per
+//! device — the profiling overhead therefore shrinks as queues grow.
+//! Expected shape: normalized execution time (ideal = 100%) decreasing with
+//! queue count; per-queue transfer size halving.
+
+use super::common::auto_and_ideal;
+use crate::harness::Table;
+use multicl::metrics;
+use npb::{Class, QueuePlan};
+
+/// One queue-count measurement.
+#[derive(Debug, Clone)]
+pub struct Fig6Row {
+    /// Queue count.
+    pub queues: usize,
+    /// AutoFit time (s), including profiling.
+    pub autofit_secs: f64,
+    /// Ideal (replayed mapping) time (s).
+    pub ideal_secs: f64,
+    /// Bytes of spectral state per queue.
+    pub bytes_per_queue: u64,
+    /// Device time spent in profiling data transfers (s).
+    pub profiling_transfer_secs: f64,
+    /// Bytes actually moved by profiling transfers (from the trace).
+    pub profiling_transfer_bytes: u64,
+}
+
+impl Fig6Row {
+    /// Normalized execution time, ideal = 100% (the figure's left axis).
+    pub fn normalized_pct(&self) -> f64 {
+        100.0 * self.autofit_secs / self.ideal_secs
+    }
+}
+
+/// Sweep FT over the given queue counts.
+pub fn run(class: Class, queue_counts: &[usize]) -> Vec<Fig6Row> {
+    let (nx, ny, nz) = npb::ft::grid(class);
+    queue_counts
+        .iter()
+        .map(|&q| {
+            let (auto, trace, ideal) = auto_and_ideal("FT", class, q, &QueuePlan::Auto, true);
+            assert!(auto.verified, "FT.{class} x{q} failed verification");
+            let breakdown = metrics::overhead_breakdown(&trace);
+            Fig6Row {
+                queues: q,
+                autofit_secs: auto.time.as_secs_f64(),
+                ideal_secs: ideal.as_secs_f64(),
+                bytes_per_queue: (nx * ny * (nz / q).max(1) * 16) as u64,
+                profiling_transfer_secs: breakdown.profiling_transfer_time.as_secs_f64(),
+                profiling_transfer_bytes: breakdown.profiling_transfer_bytes,
+            }
+        })
+        .collect()
+}
+
+/// Render the paper-style table.
+pub fn table(class: Class, rows: &[Fig6Row]) -> Table {
+    let mut t = Table::new(
+        format!("Figure 6: FT.{class} profiling overhead vs command-queue count"),
+        &["Queues", "Data/queue (MB)", "Normalized exec (%)", "Profiling transfer (ms)"],
+    );
+    for r in rows {
+        t.row(vec![
+            r.queues.to_string(),
+            format!("{:.2}", r.bytes_per_queue as f64 / (1 << 20) as f64),
+            format!("{:.1}", r.normalized_pct()),
+            format!("{:.3}", r.profiling_transfer_secs * 1e3),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_decreases_with_queue_count() {
+        let rows = run(Class::A, &[1, 2, 4, 8]);
+        // Data per queue halves.
+        for w in rows.windows(2) {
+            assert_eq!(w[0].bytes_per_queue, 2 * w[1].bytes_per_queue);
+        }
+        // Normalized execution time decreases toward 100%.
+        assert!(
+            rows.first().unwrap().normalized_pct() > rows.last().unwrap().normalized_pct(),
+            "{:?}",
+            rows.iter().map(Fig6Row::normalized_pct).collect::<Vec<_>>()
+        );
+        for r in &rows {
+            assert!(r.normalized_pct() >= 100.0 - 1e-6);
+        }
+        // Measured profiling traffic shrinks with queue count (each queue's
+        // slab is smaller while kernels are profiled once per name).
+        for w in rows.windows(2) {
+            assert!(
+                w[1].profiling_transfer_bytes < w[0].profiling_transfer_bytes,
+                "traffic must shrink: {} !> {}",
+                w[0].profiling_transfer_bytes,
+                w[1].profiling_transfer_bytes
+            );
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Figure 7: effect of data caching on FT's profiling (data-transfer)
+//! overhead.
+//!
+//! Without caching, profiling a queue's inputs on `n` devices performs a
+//! staged D2D — a D2H from the source device plus an H2D — per destination
+//! (`n−1` D2H + `n−1` H2D). With caching, a single D2H stages the data on
+//! the host and every destination pays only its H2D, and destinations keep
+//! their copies. The D2H leg of the staged D2D is therefore cut from `n−1`
+//! to 1 — exactly halved on the paper's 3-device node ("reduces the D2D
+//! transfer overhead consistently by about 50%").
+
+use super::common::run_on_fresh;
+use crate::harness::Table;
+use hwsim::engine::CommandKind;
+use hwsim::topology::TransferKind;
+use multicl::{metrics, ContextSchedPolicy, PROFILING_TAG};
+use npb::{Class, QueuePlan};
+
+/// One queue-count comparison.
+#[derive(Debug, Clone)]
+pub struct Fig7Row {
+    /// Queue count.
+    pub queues: usize,
+    /// Total profiling transfer time without data caching (s).
+    pub without_secs: f64,
+    /// Total profiling transfer time with data caching (s).
+    pub with_secs: f64,
+    /// D2H staging time without caching (s).
+    pub without_d2h_secs: f64,
+    /// D2H staging time with caching (s).
+    pub with_d2h_secs: f64,
+    /// D2H staging transfer count without caching.
+    pub without_d2h_count: usize,
+    /// D2H staging transfer count with caching.
+    pub with_d2h_count: usize,
+}
+
+impl Fig7Row {
+    /// Total-transfer ratio `with / without` (< 1.0 when caching helps).
+    pub fn reduction_ratio(&self) -> f64 {
+        if self.without_secs == 0.0 {
+            1.0
+        } else {
+            self.with_secs / self.without_secs
+        }
+    }
+
+    /// D2H-staging ratio `with / without` — the paper's ~50% cut.
+    pub fn d2h_reduction_ratio(&self) -> f64 {
+        if self.without_d2h_secs == 0.0 {
+            1.0
+        } else {
+            self.with_d2h_secs / self.without_d2h_secs
+        }
+    }
+}
+
+/// Sweep FT over queue counts with caching off/on.
+pub fn run(class: Class, queue_counts: &[usize]) -> Vec<Fig7Row> {
+    queue_counts
+        .iter()
+        .map(|&q| {
+            let measure = |caching: bool| {
+                let (r, trace) = run_on_fresh(
+                    ContextSchedPolicy::AutoFit,
+                    caching,
+                    "FT",
+                    class,
+                    q,
+                    &QueuePlan::Auto,
+                );
+                assert!(r.verified);
+                let b = metrics::overhead_breakdown(&trace);
+                let is_prof_d2h = |rec: &hwsim::trace::TraceRecord| {
+                    rec.has_tag(PROFILING_TAG)
+                        && matches!(
+                            rec.kind,
+                            CommandKind::Transfer { kind: TransferKind::DeviceToHost, .. }
+                        )
+                };
+                let d2h_secs = trace.time_where(is_prof_d2h).as_secs_f64();
+                let d2h_count = trace.transfers_where(is_prof_d2h);
+                (b.profiling_transfer_time.as_secs_f64(), d2h_secs, d2h_count)
+            };
+            let (without_secs, without_d2h_secs, without_d2h_count) = measure(false);
+            let (with_secs, with_d2h_secs, with_d2h_count) = measure(true);
+            Fig7Row {
+                queues: q,
+                without_secs,
+                with_secs,
+                without_d2h_secs,
+                with_d2h_secs,
+                without_d2h_count,
+                with_d2h_count,
+            }
+        })
+        .collect()
+}
+
+/// Render the paper-style table (normalized transfer overhead).
+pub fn table(class: Class, rows: &[Fig7Row]) -> Table {
+    let mut t = Table::new(
+        format!("Figure 7: data caching vs profiling transfer overhead, FT.{class}"),
+        &[
+            "Queues",
+            "Total w/o (%)",
+            "Total w/ (%)",
+            "D2H staging w/ (%)",
+            "D2H count w/o",
+            "D2H count w/",
+        ],
+    );
+    for r in rows {
+        t.row(vec![
+            r.queues.to_string(),
+            "100.0".into(),
+            format!("{:.1}", 100.0 * r.reduction_ratio()),
+            format!("{:.1}", 100.0 * r.d2h_reduction_ratio()),
+            r.without_d2h_count.to_string(),
+            r.with_d2h_count.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn caching_halves_the_d2h_staging() {
+        let rows = run(Class::S, &[1, 2, 4]);
+        for r in &rows {
+            // On the 3-device node, brute force performs n−1 = 2 D2H legs
+            // per staged buffer; caching performs exactly 1.
+            assert_eq!(
+                r.with_d2h_count * 2,
+                r.without_d2h_count,
+                "queues={}: D2H count must halve",
+                r.queues
+            );
+            assert!(
+                r.d2h_reduction_ratio() < 0.75,
+                "queues={}: D2H staging time should drop ~50%: {:.2}",
+                r.queues,
+                r.d2h_reduction_ratio()
+            );
+            // Total transfer time also improves.
+            assert!(
+                r.reduction_ratio() < 1.0,
+                "queues={}: caching must not increase transfers: {:.2}",
+                r.queues,
+                r.reduction_ratio()
+            );
+        }
+    }
+}

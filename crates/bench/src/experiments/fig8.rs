@@ -1,0 +1,118 @@
+//! Figure 8: impact of minikernel profiling for EP across problem classes.
+//!
+//! Full-kernel profiling runs the whole kernel on every device — for a
+//! compute-bound kernel whose worst device is far slower than its best, the
+//! overhead grows with the problem size. Minikernel profiling runs only
+//! workgroup 0, so its overhead is constant in the problem size.
+//! Expected shape: full-profiling overhead grows with class; minikernel
+//! overhead flat and small (paper: ~3% for large classes).
+
+use super::common::auto_and_ideal;
+use crate::harness::Table;
+use multicl::QueueSchedFlags;
+use npb::{Class, QueuePlan};
+
+/// One (class, profiling-mode) measurement.
+#[derive(Debug, Clone)]
+pub struct Fig8Row {
+    /// Problem class.
+    pub class: Class,
+    /// Whether minikernel profiling was used.
+    pub minikernel: bool,
+    /// AutoFit time (s), including profiling.
+    pub autofit_secs: f64,
+    /// Ideal (replayed mapping) time (s).
+    pub ideal_secs: f64,
+}
+
+impl Fig8Row {
+    /// Profiling overhead in seconds.
+    pub fn overhead_secs(&self) -> f64 {
+        (self.autofit_secs - self.ideal_secs).max(0.0)
+    }
+
+    /// The paper's overhead metric (%).
+    pub fn overhead_pct(&self) -> f64 {
+        hwsim::stats::overhead_pct(self.autofit_secs, self.ideal_secs)
+    }
+}
+
+/// Run EP under both profiling modes for each class.
+pub fn run(classes: &[Class], queues: usize) -> Vec<Fig8Row> {
+    let mut rows = Vec::new();
+    for &class in classes {
+        for minikernel in [true, false] {
+            // Table II gives EP KERNEL_EPOCH + COMPUTE_BOUND; dropping
+            // COMPUTE_BOUND disables the minikernel transformation.
+            let flags = if minikernel {
+                QueueSchedFlags::SCHED_AUTO_DYNAMIC
+                    | QueueSchedFlags::SCHED_KERNEL_EPOCH
+                    | QueueSchedFlags::SCHED_COMPUTE_BOUND
+            } else {
+                QueueSchedFlags::SCHED_AUTO_DYNAMIC | QueueSchedFlags::SCHED_KERNEL_EPOCH
+            };
+            let (auto, _trace, ideal) =
+                auto_and_ideal("EP", class, queues, &QueuePlan::AutoWith(flags), true);
+            assert!(auto.verified, "EP.{class} failed verification");
+            rows.push(Fig8Row {
+                class,
+                minikernel,
+                autofit_secs: auto.time.as_secs_f64(),
+                ideal_secs: ideal.as_secs_f64(),
+            });
+        }
+    }
+    rows
+}
+
+/// Render the paper-style table.
+pub fn table(rows: &[Fig8Row]) -> Table {
+    let mut t = Table::new(
+        "Figure 8: minikernel vs full-kernel profiling, EP",
+        &["Class", "Mode", "Ideal exec (s)", "Profiling overhead (s)", "Overhead (%)"],
+    );
+    for r in rows {
+        t.row(vec![
+            format!("EP.{}", r.class),
+            if r.minikernel { "minikernel" } else { "full kernel" }.into(),
+            format!("{:.4}", r.ideal_secs),
+            format!("{:.4}", r.overhead_secs()),
+            format!("{:.1}", r.overhead_pct()),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minikernel_overhead_is_flat_full_overhead_grows() {
+        let rows = run(&[Class::S, Class::A], 2);
+        let mini: Vec<&Fig8Row> = rows.iter().filter(|r| r.minikernel).collect();
+        let full: Vec<&Fig8Row> = rows.iter().filter(|r| !r.minikernel).collect();
+        // Minikernel profiling cost is ~constant in problem size.
+        let ratio = mini[1].overhead_secs() / mini[0].overhead_secs().max(1e-12);
+        assert!(ratio < 3.0, "minikernel overhead grew {ratio:.1}x between classes");
+        // Full-kernel profiling cost grows with the problem size.
+        assert!(
+            full[1].overhead_secs() > 3.0 * full[0].overhead_secs(),
+            "full overhead S={} A={}",
+            full[0].overhead_secs(),
+            full[1].overhead_secs()
+        );
+        // And minikernel beats full at the larger class.
+        assert!(mini[1].overhead_secs() < full[1].overhead_secs());
+    }
+
+    #[test]
+    fn both_modes_pick_the_same_ideal_devices() {
+        let rows = run(&[Class::W], 2);
+        // The minikernel probe must not change the mapping quality: ideal
+        // times agree within noise.
+        let (a, b) = (&rows[0], &rows[1]);
+        let rel = (a.ideal_secs - b.ideal_secs).abs() / a.ideal_secs;
+        assert!(rel < 0.05, "{} vs {}", a.ideal_secs, b.ideal_secs);
+    }
+}

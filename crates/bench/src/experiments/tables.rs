@@ -1,0 +1,103 @@
+//! Tables I and II of the paper.
+
+use crate::harness::Table;
+
+/// Table I: the proposed OpenCL extensions.
+pub fn table1() -> Table {
+    let mut t = Table::new(
+        "Table I: proposed OpenCL extensions",
+        &["CL function", "Extension", "Parameter / option"],
+    );
+    t.row(vec![
+        "clCreateContext".into(),
+        "new property".into(),
+        "CL_CONTEXT_SCHEDULER = ROUND_ROBIN | AUTO_FIT".into(),
+    ]);
+    for flag in [
+        "SCHED_OFF",
+        "SCHED_AUTO_STATIC",
+        "SCHED_AUTO_DYNAMIC",
+        "SCHED_KERNEL_EPOCH",
+        "SCHED_EXPLICIT_REGION",
+        "SCHED_ITERATIVE",
+        "SCHED_COMPUTE_BOUND",
+        "SCHED_IO_BOUND",
+        "SCHED_MEM_BOUND",
+    ] {
+        t.row(vec!["clCreateCommandQueue".into(), "new property".into(), flag.into()]);
+    }
+    t.row(vec![
+        "clSetCommandQueueSchedProperty".into(),
+        "new CL API".into(),
+        "start/stop explicit scheduler regions".into(),
+    ]);
+    t.row(vec![
+        "clSetKernelWorkGroupInfo".into(),
+        "new CL API".into(),
+        "per-device kernel launch configuration".into(),
+    ]);
+    t
+}
+
+/// Table II: SNU-NPB-MD benchmarks, requirements, and scheduler options.
+pub fn table2() -> Table {
+    let mut t = Table::new(
+        "Table II: SNU-NPB-MD benchmarks and chosen scheduler options",
+        &["Bench", "Classes", "Cmd queues", "Scheduler option(s)"],
+    );
+    for b in npb::suite() {
+        let classes: Vec<String> = b.classes.iter().map(|c| c.to_string()).collect();
+        let rule = match b.queue_rule {
+            npb::QueueRule::Square => "square",
+            npb::QueueRule::PowerOfTwo => "power of 2",
+            npb::QueueRule::Any => "any",
+        };
+        let queues = format!(
+            "{rule}: {}",
+            b.queue_examples.iter().map(usize::to_string).collect::<Vec<_>>().join(",")
+        );
+        t.row(vec![
+            b.name.to_string(),
+            classes.join(","),
+            queues,
+            b.scheduler_options.join(", "),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_lists_all_nine_queue_flags_and_both_policies() {
+        let s = table1().render();
+        for flag in [
+            "SCHED_OFF",
+            "SCHED_AUTO_STATIC",
+            "SCHED_AUTO_DYNAMIC",
+            "SCHED_KERNEL_EPOCH",
+            "SCHED_EXPLICIT_REGION",
+            "SCHED_ITERATIVE",
+            "SCHED_COMPUTE_BOUND",
+            "SCHED_IO_BOUND",
+            "SCHED_MEM_BOUND",
+            "ROUND_ROBIN",
+            "AUTO_FIT",
+            "clSetKernelWorkGroupInfo",
+            "clSetCommandQueueSchedProperty",
+        ] {
+            assert!(s.contains(flag), "missing {flag}");
+        }
+    }
+
+    #[test]
+    fn table2_matches_the_suite_metadata() {
+        let s = table2().render();
+        assert!(s.contains("BT"));
+        assert!(s.contains("square: 1,4"));
+        assert!(s.contains("SCHED_KERNEL_EPOCH, SCHED_COMPUTE_BOUND"));
+        assert!(s.contains("clSetKernelWorkGroupInfo"));
+    }
+}

@@ -1,0 +1,490 @@
+//! Kernels: real Rust computation bodies plus OpenCL-style argument binding
+//! and per-device launch configurations.
+//!
+//! A [`KernelBody`] is the Rust analogue of an OpenCL kernel function: it
+//! declares its cost characteristics (used by the time plane) and implements
+//! `execute`, which performs the actual computation against the buffer
+//! arguments (the data plane). [`Kernel`] is the `cl_kernel` object: a body
+//! plus bound arguments plus — our extension from the paper
+//! (`clSetKernelWorkGroupInfo`) — optional per-device launch configurations.
+
+use crate::buffer::{Buffer, DataStore, Element};
+use crate::error::{ClError, ClResult};
+use crate::ndrange::NdRange;
+use crate::platform::next_object_id;
+use hwsim::{DeviceId, KernelCostSpec};
+use parking_lot::{Mutex, MutexGuard};
+use std::cell::Cell;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A kernel argument (`clSetKernelArg`).
+#[derive(Debug, Clone)]
+pub enum ArgValue {
+    /// A buffer the kernel only reads.
+    Buffer(Buffer),
+    /// A buffer the kernel may write. Distinguishing read-only from
+    /// read-write arguments lets the runtime keep residency exact: read-only
+    /// arguments remain valid on every device that holds them.
+    BufferMut(Buffer),
+    /// Scalar arguments.
+    U64(u64),
+    /// 32-bit unsigned scalar.
+    U32(u32),
+    /// 64-bit signed scalar.
+    I64(i64),
+    /// Double scalar.
+    F64(f64),
+    /// Float scalar.
+    F32(f32),
+}
+
+impl ArgValue {
+    /// The buffer inside this argument, if it is one.
+    pub fn buffer(&self) -> Option<&Buffer> {
+        match self {
+            ArgValue::Buffer(b) | ArgValue::BufferMut(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// True for `BufferMut`.
+    pub fn is_mutable_buffer(&self) -> bool {
+        matches!(self, ArgValue::BufferMut(_))
+    }
+}
+
+/// The computation + cost description of a kernel function.
+///
+/// `execute` runs exactly once per application launch, against host-backed
+/// storage, with geometry available through the [`KernelCtx`]. Implementors
+/// are expected to parallelize internally (e.g. with rayon) when profitable.
+pub trait KernelBody: Send + Sync {
+    /// Kernel function name (unique within its program).
+    fn name(&self) -> &str;
+
+    /// Number of arguments the kernel expects.
+    fn arity(&self) -> usize;
+
+    /// Per-work-item cost description for the time plane.
+    fn cost(&self) -> KernelCostSpec;
+
+    /// Perform the computation.
+    fn execute(&self, ctx: &mut KernelCtx<'_>);
+}
+
+struct KernelInner {
+    id: u64,
+    ctx_id: u64,
+    body: Arc<dyn KernelBody>,
+    args: Mutex<Vec<Option<ArgValue>>>,
+    /// Per-device launch configuration overrides — the paper's
+    /// `clSetKernelWorkGroupInfo` extension (§IV-C).
+    per_device_nd: Mutex<HashMap<DeviceId, NdRange>>,
+}
+
+/// A `cl_kernel`: body + bound arguments. Clones share argument state, like
+/// retained OpenCL handles.
+#[derive(Clone)]
+pub struct Kernel {
+    inner: Arc<KernelInner>,
+}
+
+impl Kernel {
+    pub(crate) fn new(ctx_id: u64, body: Arc<dyn KernelBody>) -> Kernel {
+        let arity = body.arity();
+        Kernel {
+            inner: Arc::new(KernelInner {
+                id: next_object_id(),
+                ctx_id,
+                body,
+                args: Mutex::new(vec![None; arity]),
+                per_device_nd: Mutex::new(HashMap::new()),
+            }),
+        }
+    }
+
+    /// Kernel function name.
+    pub fn name(&self) -> String {
+        self.inner.body.name().to_string()
+    }
+
+    /// Unique object id.
+    pub fn id(&self) -> u64 {
+        self.inner.id
+    }
+
+    pub(crate) fn ctx_id(&self) -> u64 {
+        self.inner.ctx_id
+    }
+
+    /// The kernel's cost description.
+    pub fn cost(&self) -> KernelCostSpec {
+        self.inner.body.cost()
+    }
+
+    pub(crate) fn body(&self) -> &Arc<dyn KernelBody> {
+        &self.inner.body
+    }
+
+    /// Bind argument `idx` (`clSetKernelArg`).
+    pub fn set_arg(&self, idx: usize, value: ArgValue) -> ClResult<()> {
+        let mut args = self.inner.args.lock();
+        if idx >= args.len() {
+            return Err(ClError::InvalidValue(format!(
+                "kernel `{}` has {} args, index {idx} out of range",
+                self.inner.body.name(),
+                args.len()
+            )));
+        }
+        args[idx] = Some(value);
+        Ok(())
+    }
+
+    /// Snapshot the bound arguments, erroring if any is unset
+    /// (`CL_INVALID_KERNEL_ARGS`). Scheduler layers use this to capture the
+    /// arguments of a buffered launch at enqueue time, so later
+    /// `set_arg` calls (for the next launch of the same kernel object)
+    /// cannot retroactively change it.
+    pub fn snapshot_args(&self) -> ClResult<Vec<ArgValue>> {
+        let args = self.inner.args.lock();
+        args.iter()
+            .enumerate()
+            .map(|(i, a)| {
+                a.clone().ok_or_else(|| {
+                    ClError::InvalidKernelArgs(format!(
+                        "kernel `{}`: argument {i} is not set",
+                        self.inner.body.name()
+                    ))
+                })
+            })
+            .collect()
+    }
+
+    /// The paper's proposed `clSetKernelWorkGroupInfo`: register a launch
+    /// configuration specific to `device`, to be used instead of the
+    /// geometry passed to `enqueue_ndrange` whenever the kernel runs there.
+    pub fn set_work_group_info(&self, device: DeviceId, nd: NdRange) -> ClResult<()> {
+        nd.validate()?;
+        self.inner.per_device_nd.lock().insert(device, nd);
+        Ok(())
+    }
+
+    /// The launch configuration to use on `device`: the per-device override
+    /// if one was registered, else `requested`.
+    pub fn effective_nd(&self, device: DeviceId, requested: NdRange) -> NdRange {
+        self.inner
+            .per_device_nd
+            .lock()
+            .get(&device)
+            .copied()
+            .unwrap_or(requested)
+    }
+
+    /// True if a per-device launch configuration is registered for `device`.
+    pub fn has_work_group_info(&self, device: DeviceId) -> bool {
+        self.inner.per_device_nd.lock().contains_key(&device)
+    }
+}
+
+impl std::fmt::Debug for Kernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Kernel(`{}`)", self.inner.body.name())
+    }
+}
+
+/// Per-buffer borrow state inside a [`KernelCtx`] (RefCell-like dynamic
+/// checking; borrows last for the whole kernel execution).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Borrow {
+    None,
+    Shared,
+    Exclusive,
+}
+
+enum CtxArg {
+    Buf { guard: usize, mutable: bool },
+    Scalar(ArgValue),
+}
+
+/// A locked buffer plus the raw storage pointer captured while we held the
+/// exclusive guard. The guard is kept alive for the context's lifetime, so
+/// the pointer remains valid and exclusive to this context.
+struct LockedStore<'a> {
+    _guard: MutexGuard<'a, DataStore>,
+    ptr: *mut u64,
+    byte_len: usize,
+}
+
+/// Execution context handed to [`KernelBody::execute`]: launch geometry,
+/// target device, and typed access to the buffer arguments.
+///
+/// Buffer access uses dynamic borrow checking: a given buffer may be taken
+/// either shared (any number of times) or exclusively (once) during one
+/// execution; violations panic, flagging a kernel bug.
+pub struct KernelCtx<'a> {
+    nd: NdRange,
+    device: DeviceId,
+    args: Vec<CtxArg>,
+    stores: Vec<LockedStore<'a>>,
+    borrows: Vec<Cell<Borrow>>,
+}
+
+impl<'a> KernelCtx<'a> {
+    /// Lock the buffers referenced by `args` and build the context.
+    /// Duplicate references to the same buffer share one lock.
+    pub(crate) fn new(nd: NdRange, device: DeviceId, args: &'a [ArgValue]) -> KernelCtx<'a> {
+        let mut stores: Vec<LockedStore<'a>> = Vec::new();
+        let mut owners: Vec<*const ()> = Vec::new();
+        let mut ctx_args = Vec::with_capacity(args.len());
+        for arg in args {
+            match arg {
+                ArgValue::Buffer(b) | ArgValue::BufferMut(b) => {
+                    let key = Arc::as_ptr(&b.inner).cast::<()>();
+                    let guard_idx = match owners.iter().position(|&p| p == key) {
+                        Some(i) => i,
+                        None => {
+                            owners.push(key);
+                            let mut guard = b.inner.store.lock();
+                            let (ptr, byte_len) = guard.raw_parts();
+                            stores.push(LockedStore { _guard: guard, ptr, byte_len });
+                            stores.len() - 1
+                        }
+                    };
+                    ctx_args.push(CtxArg::Buf { guard: guard_idx, mutable: arg.is_mutable_buffer() });
+                }
+                scalar => ctx_args.push(CtxArg::Scalar(scalar.clone())),
+            }
+        }
+        let borrows = vec![Cell::new(Borrow::None); stores.len()];
+        KernelCtx { nd, device, args: ctx_args, stores, borrows }
+    }
+
+    /// The effective launch geometry of this execution.
+    pub fn nd(&self) -> NdRange {
+        self.nd
+    }
+
+    /// The device the kernel is (virtually) executing on.
+    pub fn device(&self) -> DeviceId {
+        self.device
+    }
+
+    fn buf_index(&self, idx: usize, need_mut: bool) -> (usize, bool) {
+        match self.args.get(idx) {
+            Some(CtxArg::Buf { guard, mutable }) => {
+                if need_mut && !mutable {
+                    panic!("kernel argument {idx} is read-only (bound with ArgValue::Buffer) but taken mutably");
+                }
+                (*guard, *mutable)
+            }
+            Some(CtxArg::Scalar(_)) => panic!("kernel argument {idx} is a scalar, not a buffer"),
+            None => panic!("kernel argument index {idx} out of range"),
+        }
+    }
+
+    fn element_count<T: Element>(&self, g: usize, idx: usize) -> usize {
+        let size = std::mem::size_of::<T>();
+        let byte_len = self.stores[g].byte_len;
+        assert!(
+            size <= 8 && byte_len.is_multiple_of(size),
+            "kernel argument {idx}: buffer length {byte_len} not a multiple of element size {size}"
+        );
+        byte_len / size
+    }
+
+    /// Shared typed view of buffer argument `idx`.
+    pub fn slice<T: Element>(&self, idx: usize) -> &[T] {
+        let (g, _) = self.buf_index(idx, false);
+        match self.borrows[g].get() {
+            Borrow::Exclusive => panic!("kernel argument {idx}: buffer already borrowed mutably"),
+            _ => self.borrows[g].set(Borrow::Shared),
+        }
+        let n = self.element_count::<T>(g, idx);
+        // SAFETY: the lock is held for the lifetime of self, the storage is
+        // 8-byte aligned, and the borrow flags guarantee no exclusive view
+        // coexists.
+        unsafe { std::slice::from_raw_parts(self.stores[g].ptr.cast::<T>(), n) }
+    }
+
+    /// Exclusive typed view of buffer argument `idx`. The argument must have
+    /// been bound with [`ArgValue::BufferMut`].
+    #[allow(clippy::mut_from_ref)] // dynamic borrow discipline enforced via flags
+    pub fn slice_mut<T: Element>(&self, idx: usize) -> &mut [T] {
+        let (g, _) = self.buf_index(idx, true);
+        match self.borrows[g].get() {
+            Borrow::None => self.borrows[g].set(Borrow::Exclusive),
+            Borrow::Shared => panic!("kernel argument {idx}: buffer already borrowed shared"),
+            Borrow::Exclusive => panic!("kernel argument {idx}: buffer already borrowed mutably"),
+        }
+        let n = self.element_count::<T>(g, idx);
+        // SAFETY: as in `slice`, and the flag now records an exclusive
+        // borrow, so no other view of this buffer will be handed out.
+        unsafe { std::slice::from_raw_parts_mut(self.stores[g].ptr.cast::<T>(), n) }
+    }
+
+    fn scalar(&self, idx: usize) -> &ArgValue {
+        match self.args.get(idx) {
+            Some(CtxArg::Scalar(v)) => v,
+            Some(CtxArg::Buf { .. }) => panic!("kernel argument {idx} is a buffer, not a scalar"),
+            None => panic!("kernel argument index {idx} out of range"),
+        }
+    }
+
+    /// Scalar `u64` argument.
+    pub fn u64(&self, idx: usize) -> u64 {
+        match self.scalar(idx) {
+            ArgValue::U64(v) => *v,
+            ArgValue::U32(v) => u64::from(*v),
+            other => panic!("kernel argument {idx}: expected u64, got {other:?}"),
+        }
+    }
+
+    /// Scalar `u32` argument.
+    pub fn u32(&self, idx: usize) -> u32 {
+        match self.scalar(idx) {
+            ArgValue::U32(v) => *v,
+            other => panic!("kernel argument {idx}: expected u32, got {other:?}"),
+        }
+    }
+
+    /// Scalar `i64` argument.
+    pub fn i64(&self, idx: usize) -> i64 {
+        match self.scalar(idx) {
+            ArgValue::I64(v) => *v,
+            other => panic!("kernel argument {idx}: expected i64, got {other:?}"),
+        }
+    }
+
+    /// Scalar `f64` argument.
+    pub fn f64(&self, idx: usize) -> f64 {
+        match self.scalar(idx) {
+            ArgValue::F64(v) => *v,
+            ArgValue::F32(v) => f64::from(*v),
+            other => panic!("kernel argument {idx}: expected f64, got {other:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hwsim::KernelCostSpec;
+
+    struct Saxpy;
+    impl KernelBody for Saxpy {
+        fn name(&self) -> &str {
+            "saxpy"
+        }
+        fn arity(&self) -> usize {
+            3
+        }
+        fn cost(&self) -> KernelCostSpec {
+            KernelCostSpec::memory_bound(24.0)
+        }
+        fn execute(&self, ctx: &mut KernelCtx<'_>) {
+            let a = ctx.f64(0);
+            let n = ctx.nd().global_items() as usize;
+            let x: Vec<f64> = ctx.slice::<f64>(1)[..n].to_vec();
+            let y = ctx.slice_mut::<f64>(2);
+            for i in 0..n {
+                y[i] += a * x[i];
+            }
+        }
+    }
+
+    fn buffers(n: usize) -> (Buffer, Buffer) {
+        let x = Buffer::new(1, n * 8).unwrap();
+        let y = Buffer::new(1, n * 8).unwrap();
+        x.host_fill::<f64>(&vec![2.0; n]).unwrap();
+        y.host_fill::<f64>(&vec![1.0; n]).unwrap();
+        (x, y)
+    }
+
+    #[test]
+    fn kernel_executes_against_bound_args() {
+        let (x, y) = buffers(8);
+        let k = Kernel::new(1, Arc::new(Saxpy));
+        k.set_arg(0, ArgValue::F64(3.0)).unwrap();
+        k.set_arg(1, ArgValue::Buffer(x)).unwrap();
+        k.set_arg(2, ArgValue::BufferMut(y.clone())).unwrap();
+        let args = k.snapshot_args().unwrap();
+        let mut ctx = KernelCtx::new(NdRange::d1(8, 4), DeviceId(0), &args);
+        k.body().execute(&mut ctx);
+        drop(ctx);
+        assert_eq!(y.host_snapshot::<f64>(), vec![7.0; 8]);
+    }
+
+    #[test]
+    fn unset_argument_is_reported() {
+        let k = Kernel::new(1, Arc::new(Saxpy));
+        k.set_arg(0, ArgValue::F64(1.0)).unwrap();
+        let err = k.snapshot_args().unwrap_err();
+        assert!(matches!(err, ClError::InvalidKernelArgs(_)));
+    }
+
+    #[test]
+    fn out_of_range_argument_index_is_rejected() {
+        let k = Kernel::new(1, Arc::new(Saxpy));
+        assert!(k.set_arg(3, ArgValue::F64(0.0)).is_err());
+    }
+
+    #[test]
+    fn per_device_launch_config_overrides_requested() {
+        let k = Kernel::new(1, Arc::new(Saxpy));
+        let cpu_nd = NdRange::d1(64, 1);
+        k.set_work_group_info(DeviceId(0), cpu_nd).unwrap();
+        let requested = NdRange::d1(64, 32);
+        assert_eq!(k.effective_nd(DeviceId(0), requested), cpu_nd);
+        assert_eq!(k.effective_nd(DeviceId(1), requested), requested);
+        assert!(k.has_work_group_info(DeviceId(0)));
+        assert!(!k.has_work_group_info(DeviceId(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "read-only")]
+    fn mutable_take_of_readonly_arg_panics() {
+        let (x, _) = buffers(4);
+        let args = vec![ArgValue::Buffer(x)];
+        let ctx = KernelCtx::new(NdRange::d1(4, 4), DeviceId(0), &args);
+        let _ = ctx.slice_mut::<f64>(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "already borrowed")]
+    fn exclusive_then_shared_panics() {
+        let (x, _) = buffers(4);
+        let args = vec![ArgValue::BufferMut(x)];
+        let ctx = KernelCtx::new(NdRange::d1(4, 4), DeviceId(0), &args);
+        let _m = ctx.slice_mut::<f64>(0);
+        let _s = ctx.slice::<f64>(0);
+    }
+
+    #[test]
+    fn same_buffer_twice_shared_is_allowed() {
+        let (x, _) = buffers(4);
+        let args = vec![ArgValue::Buffer(x.clone()), ArgValue::Buffer(x)];
+        let ctx = KernelCtx::new(NdRange::d1(4, 4), DeviceId(0), &args);
+        let a = ctx.slice::<f64>(0);
+        let b = ctx.slice::<f64>(1);
+        assert_eq!(a[0], b[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "already borrowed shared")]
+    fn same_buffer_shared_then_mut_panics() {
+        let (x, _) = buffers(4);
+        let args = vec![ArgValue::Buffer(x.clone()), ArgValue::BufferMut(x)];
+        let ctx = KernelCtx::new(NdRange::d1(4, 4), DeviceId(0), &args);
+        let _a = ctx.slice::<f64>(0);
+        let _b = ctx.slice_mut::<f64>(1);
+    }
+
+    #[test]
+    fn scalar_accessors_coerce_where_sensible() {
+        let args = vec![ArgValue::U32(7), ArgValue::F32(1.5)];
+        let ctx = KernelCtx::new(NdRange::d1(1, 1), DeviceId(0), &args);
+        assert_eq!(ctx.u64(0), 7);
+        assert_eq!(ctx.f64(1), 1.5);
+    }
+}

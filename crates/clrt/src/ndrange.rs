@@ -1,0 +1,110 @@
+//! Kernel launch geometry: up to three dimensions, OpenCL-style.
+
+use crate::error::{ClError, ClResult};
+use hwsim::NdRangeShape;
+
+/// An OpenCL NDRange: global and local sizes in 1–3 dimensions.
+///
+/// Unused dimensions are 1. The local size must divide nothing in particular
+/// (OpenCL 2.x relaxed this); workgroup counts round up per dimension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NdRange {
+    /// Global work-items per dimension.
+    pub global: [u64; 3],
+    /// Work-items per workgroup per dimension.
+    pub local: [u64; 3],
+}
+
+impl NdRange {
+    /// One-dimensional launch.
+    pub fn d1(global: u64, local: u64) -> NdRange {
+        NdRange { global: [global, 1, 1], local: [local, 1, 1] }
+    }
+
+    /// Two-dimensional launch.
+    pub fn d2(global: [u64; 2], local: [u64; 2]) -> NdRange {
+        NdRange { global: [global[0], global[1], 1], local: [local[0], local[1], 1] }
+    }
+
+    /// Three-dimensional launch.
+    pub fn d3(global: [u64; 3], local: [u64; 3]) -> NdRange {
+        NdRange { global, local }
+    }
+
+    /// Validate the range: every dimension nonzero.
+    pub fn validate(&self) -> ClResult<()> {
+        for d in 0..3 {
+            if self.global[d] == 0 || self.local[d] == 0 {
+                return Err(ClError::InvalidWorkGroupSize(format!(
+                    "dimension {d} has zero size (global={:?}, local={:?})",
+                    self.global, self.local
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Total global work-items.
+    pub fn global_items(&self) -> u64 {
+        self.global.iter().product()
+    }
+
+    /// Work-items per workgroup.
+    pub fn local_items(&self) -> u64 {
+        self.local.iter().product()
+    }
+
+    /// Total workgroups (per-dimension round-up, then product) — this is the
+    /// OpenCL rule and differs from `global_items / local_items` when a
+    /// dimension is not evenly divisible.
+    pub fn workgroups(&self) -> u64 {
+        (0..3).map(|d| self.global[d].div_ceil(self.local[d])).product()
+    }
+
+    /// Flatten to the cost model's 1-D shape. Total items and workgroup size
+    /// are preserved; the workgroup count is the per-dimension round-up.
+    pub fn shape(&self) -> NdRangeShape {
+        // Preserve the true workgroup count by synthesizing a global size of
+        // workgroups * local_items (tail workgroups are charged in full, as
+        // on real hardware).
+        let local = self.local_items();
+        NdRangeShape::new(self.workgroups() * local, local)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn d1_constructor() {
+        let nd = NdRange::d1(1024, 128);
+        assert_eq!(nd.global_items(), 1024);
+        assert_eq!(nd.local_items(), 128);
+        assert_eq!(nd.workgroups(), 8);
+    }
+
+    #[test]
+    fn d3_workgroups_round_up_per_dimension() {
+        let nd = NdRange::d3([10, 10, 1], [4, 4, 1]);
+        // ceil(10/4)=3 per dim → 9 workgroups, not ceil(100/16)=7.
+        assert_eq!(nd.workgroups(), 9);
+        assert_eq!(nd.shape().workgroups(), 9);
+    }
+
+    #[test]
+    fn zero_dimension_is_invalid() {
+        let nd = NdRange::d2([0, 4], [1, 1]);
+        assert!(nd.validate().is_err());
+        let ok = NdRange::d2([4, 4], [2, 2]);
+        assert!(ok.validate().is_ok());
+    }
+
+    #[test]
+    fn shape_preserves_local_size() {
+        let nd = NdRange::d2([100, 7], [16, 2]);
+        let s = nd.shape();
+        assert_eq!(s.local_items, 32);
+        assert_eq!(s.workgroups(), nd.workgroups());
+    }
+}

@@ -1,0 +1,181 @@
+//! Programs: named collections of kernel bodies.
+//!
+//! `clCreateProgramWithSource` + `clBuildProgram` are modeled as registering
+//! Rust [`KernelBody`] implementations and charging a fixed host-side build
+//! cost. The MultiCL layer intercepts the build to create minikernel
+//! variants, which — as in the paper — *doubles* the build time (a one-time
+//! setup cost that does not affect steady-state runtime).
+
+use crate::error::{ClError, ClResult};
+use crate::kernel::{Kernel, KernelBody};
+use crate::platform::{next_object_id, RuntimeInner};
+use hwsim::SimDuration;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Host-side cost of one `clBuildProgram` invocation.
+pub const BUILD_COST: SimDuration = SimDuration::from_millis(120);
+
+struct ProgramInner {
+    #[allow(dead_code)]
+    id: u64,
+    ctx_id: u64,
+    rt: Arc<RuntimeInner>,
+    bodies: HashMap<String, Arc<dyn KernelBody>>,
+    built: Mutex<bool>,
+}
+
+/// A `cl_program`: kernel bodies registered under their function names.
+#[derive(Clone)]
+pub struct Program {
+    inner: Arc<ProgramInner>,
+}
+
+impl Program {
+    pub(crate) fn new(
+        rt: Arc<RuntimeInner>,
+        ctx_id: u64,
+        bodies: Vec<Arc<dyn KernelBody>>,
+    ) -> ClResult<Program> {
+        let mut map = HashMap::with_capacity(bodies.len());
+        for b in bodies {
+            let name = b.name().to_string();
+            if map.insert(name.clone(), b).is_some() {
+                return Err(ClError::InvalidValue(format!(
+                    "duplicate kernel name `{name}` in program"
+                )));
+            }
+        }
+        Ok(Program {
+            inner: Arc::new(ProgramInner {
+                id: next_object_id(),
+                ctx_id,
+                rt,
+                bodies: map,
+                built: Mutex::new(false),
+            }),
+        })
+    }
+
+    /// `clBuildProgram`: charge the host-side build cost. `extra_passes`
+    /// models source transformations layered on top (MultiCL's minikernel
+    /// creation passes 1 here, doubling the build time as in the paper).
+    pub fn build(&self, extra_passes: u32) -> ClResult<()> {
+        let mut built = self.inner.built.lock();
+        if *built {
+            return Ok(());
+        }
+        let cost = BUILD_COST * u64::from(1 + extra_passes);
+        self.inner.rt.engine.lock().host_busy(cost);
+        *built = true;
+        Ok(())
+    }
+
+    /// True once [`Self::build`] has run.
+    pub fn is_built(&self) -> bool {
+        *self.inner.built.lock()
+    }
+
+    /// `clCreateKernel`: instantiate the kernel named `name`.
+    pub fn create_kernel(&self, name: &str) -> ClResult<Kernel> {
+        if !self.is_built() {
+            return Err(ClError::InvalidOperation(format!(
+                "program must be built before creating kernel `{name}`"
+            )));
+        }
+        let body = self
+            .inner
+            .bodies
+            .get(name)
+            .ok_or_else(|| ClError::InvalidKernelName(format!("no kernel named `{name}`")))?;
+        Ok(Kernel::new(self.inner.ctx_id, Arc::clone(body)))
+    }
+
+    /// Names of every kernel in the program (sorted for determinism).
+    pub fn kernel_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.inner.bodies.keys().cloned().collect();
+        names.sort_unstable();
+        names
+    }
+}
+
+impl std::fmt::Debug for Program {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Program({} kernels)", self.inner.bodies.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::KernelCtx;
+    use crate::Platform;
+    use hwsim::KernelCostSpec;
+
+    struct Nop(&'static str);
+    impl KernelBody for Nop {
+        fn name(&self) -> &str {
+            self.0
+        }
+        fn arity(&self) -> usize {
+            0
+        }
+        fn cost(&self) -> KernelCostSpec {
+            KernelCostSpec::compute_bound(1.0)
+        }
+        fn execute(&self, _ctx: &mut KernelCtx<'_>) {}
+    }
+
+    fn program(p: &Platform, names: &[&'static str]) -> Program {
+        let ctx = p.create_context_all().unwrap();
+        ctx.create_program(names.iter().map(|n| Arc::new(Nop(n)) as Arc<dyn KernelBody>).collect())
+            .unwrap()
+    }
+
+    #[test]
+    fn build_charges_host_time_once() {
+        let p = Platform::paper_node();
+        let prog = program(&p, &["a"]);
+        let t0 = p.now();
+        prog.build(0).unwrap();
+        let t1 = p.now();
+        assert_eq!(t1 - t0, BUILD_COST);
+        prog.build(0).unwrap();
+        assert_eq!(p.now(), t1, "rebuilding is a no-op");
+    }
+
+    #[test]
+    fn extra_passes_scale_build_cost() {
+        let p = Platform::paper_node();
+        let prog = program(&p, &["a"]);
+        let t0 = p.now();
+        prog.build(1).unwrap();
+        assert_eq!(p.now() - t0, BUILD_COST * 2);
+    }
+
+    #[test]
+    fn kernel_creation_requires_build() {
+        let p = Platform::paper_node();
+        let prog = program(&p, &["a"]);
+        assert!(prog.create_kernel("a").is_err());
+        prog.build(0).unwrap();
+        assert!(prog.create_kernel("a").is_ok());
+        assert!(matches!(prog.create_kernel("zzz"), Err(ClError::InvalidKernelName(_))));
+    }
+
+    #[test]
+    fn duplicate_kernel_names_are_rejected() {
+        let p = Platform::paper_node();
+        let ctx = p.create_context_all().unwrap();
+        let dup: Vec<Arc<dyn KernelBody>> = vec![Arc::new(Nop("k")), Arc::new(Nop("k"))];
+        assert!(ctx.create_program(dup).is_err());
+    }
+
+    #[test]
+    fn kernel_names_are_sorted() {
+        let p = Platform::paper_node();
+        let prog = program(&p, &["zeta", "alpha", "mid"]);
+        assert_eq!(prog.kernel_names(), vec!["alpha", "mid", "zeta"]);
+    }
+}

@@ -1,0 +1,783 @@
+//! Command queues and the command executor.
+//!
+//! A [`CommandQueue`] is bound to one device (the OpenCL rule the paper sets
+//! out to relax). The binding is *rebindable* via [`CommandQueue::rebind`] —
+//! that is the single hook the MultiCL scheduler needs: it maps user queues
+//! onto device queues by rebinding them at synchronization epochs, exactly
+//! like Figure 1's "queues → device pool" arrow.
+//!
+//! Queues are in-order by default. Out-of-order queues
+//! (`CL_QUEUE_OUT_OF_ORDER_EXEC_MODE_ENABLE`,
+//! [`crate::Context::create_queue_ooo`]) drop the implicit command chaining:
+//! commands are ordered only by explicit event wait lists and
+//! [`CommandQueue::enqueue_barrier`], so independent commands may overlap in
+//! virtual time (e.g. one kernel's input migration running while an earlier
+//! kernel still executes). Data hazards between unordered commands are the
+//! application's responsibility, exactly as in OpenCL.
+//!
+//! Every enqueue operation:
+//! 1. validates arguments (context membership, sizes, capacities),
+//! 2. inserts the implicit data movement the command needs (buffer
+//!    residency → H2D / D2H / staged D2D), charging virtual time,
+//! 3. submits the command to the hwsim engine (time plane), and
+//! 4. for kernels, executes the body against host-backed storage
+//!    (data plane).
+
+use crate::buffer::{Buffer, Element};
+use crate::context::Context;
+use crate::error::{ClError, ClResult};
+use crate::event::Event;
+use crate::kernel::{ArgValue, Kernel, KernelCtx};
+use crate::ndrange::NdRange;
+use crate::platform::next_object_id;
+use hwsim::engine::{CommandDesc, CommandKind, Engine, EventId};
+use hwsim::topology::TransferKind;
+use hwsim::{DeviceId, SimDuration};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+struct QueueInner {
+    ctx: Context,
+    qid: usize,
+    /// Out-of-order execution mode: no implicit chaining between commands.
+    ooo: bool,
+    device: Mutex<DeviceId>,
+    last: Mutex<Option<EventId>>,
+    /// Commands submitted since the last `finish`/barrier (drives `finish`
+    /// and `enqueue_barrier` for out-of-order queues).
+    outstanding: Mutex<Vec<EventId>>,
+}
+
+/// A `cl_command_queue` bound (rebindably) to one device; in-order by
+/// default, out-of-order via [`crate::Context::create_queue_ooo`].
+#[derive(Clone)]
+pub struct CommandQueue {
+    inner: Arc<QueueInner>,
+}
+
+impl CommandQueue {
+    pub(crate) fn new(ctx: Context, device: DeviceId) -> CommandQueue {
+        Self::with_order(ctx, device, false)
+    }
+
+    pub(crate) fn with_order(ctx: Context, device: DeviceId, ooo: bool) -> CommandQueue {
+        CommandQueue {
+            inner: Arc::new(QueueInner {
+                ctx,
+                qid: next_object_id() as usize,
+                ooo,
+                device: Mutex::new(device),
+                last: Mutex::new(None),
+                outstanding: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// True if this queue executes out of order.
+    pub fn is_out_of_order(&self) -> bool {
+        self.inner.ooo
+    }
+
+    /// The device this queue currently targets.
+    pub fn device(&self) -> DeviceId {
+        *self.inner.device.lock()
+    }
+
+    /// Rebind the queue to another device of the same context. This is the
+    /// scheduler hook: MultiCL calls it when the device mapper assigns the
+    /// queue. Commands enqueued afterwards execute on the new device;
+    /// commands already submitted are unaffected.
+    pub fn rebind(&self, device: DeviceId) -> ClResult<()> {
+        if !self.inner.ctx.contains(device) {
+            return Err(ClError::InvalidDevice(format!(
+                "cannot rebind queue to {device}: not in context"
+            )));
+        }
+        *self.inner.device.lock() = device;
+        Ok(())
+    }
+
+    /// The queue's context.
+    pub fn context(&self) -> &Context {
+        &self.inner.ctx
+    }
+
+    /// Stable queue id, as recorded in execution traces.
+    pub fn trace_id(&self) -> usize {
+        self.inner.qid
+    }
+
+    /// Submit one command on `device` with `extra_waits`. In-order queues
+    /// additionally chain after the queue's previous command; out-of-order
+    /// queues rely on the explicit waits alone.
+    fn submit(
+        &self,
+        engine: &mut Engine,
+        device: DeviceId,
+        kind: CommandKind,
+        duration: SimDuration,
+        extra_waits: &[EventId],
+    ) -> EventId {
+        let mut waits: Vec<EventId> = Vec::with_capacity(extra_waits.len() + 1);
+        if !self.inner.ooo {
+            if let Some(last) = *self.inner.last.lock() {
+                waits.push(last);
+            }
+        }
+        waits.extend_from_slice(extra_waits);
+        let id = engine.submit(CommandDesc { device, kind, duration, waits, queue: self.inner.qid });
+        *self.inner.last.lock() = Some(id);
+        self.inner.outstanding.lock().push(id);
+        id
+    }
+
+    /// Insert the transfers needed to make `buf` valid on `dev`, updating
+    /// residency. Returns the final transfer event, if any movement happened.
+    fn migrate_to(&self, engine: &mut Engine, buf: &Buffer, dev: DeviceId) -> Option<EventId> {
+        let node = &self.inner.ctx.rt.node;
+        let mut res = buf.inner.residency.lock();
+        if res.valid_on(dev) {
+            return None;
+        }
+        let bytes = buf.byte_len() as u64;
+        if res.host {
+            let d = node.topology.host_transfer_time(dev, bytes, &node.devices);
+            let ev = self.submit(
+                engine,
+                dev,
+                CommandKind::Transfer { kind: TransferKind::HostToDevice, bytes },
+                d,
+                &[],
+            );
+            res.devices.insert(dev);
+            Some(ev)
+        } else {
+            // Valid only on some other device: stage through the host
+            // (cross-vendor D2D is unavailable, paper §V-C3).
+            let owner = *res
+                .devices
+                .iter()
+                .next()
+                .expect("buffer valid neither on host nor any device");
+            let d2h = node.topology.host_transfer_time(owner, bytes, &node.devices);
+            let ev1 = self.submit(
+                engine,
+                owner,
+                CommandKind::Transfer { kind: TransferKind::DeviceToHost, bytes },
+                d2h,
+                &[],
+            );
+            let h2d = node.topology.host_transfer_time(dev, bytes, &node.devices);
+            let ev2 = self.submit(
+                engine,
+                dev,
+                CommandKind::Transfer { kind: TransferKind::HostToDevice, bytes },
+                h2d,
+                &[ev1],
+            );
+            res.host = true;
+            res.devices.insert(dev);
+            Some(ev2)
+        }
+    }
+
+    fn check_buffer(&self, buf: &Buffer) -> ClResult<()> {
+        if !self.inner.ctx.owns_buffer(buf) {
+            return Err(ClError::InvalidMemObject(format!(
+                "buffer id={} belongs to a different context",
+                buf.id()
+            )));
+        }
+        Ok(())
+    }
+
+    /// `clEnqueueWriteBuffer`: copy `data` from the host into the buffer and
+    /// charge an H2D transfer to this queue's device. After the write the
+    /// contents are valid on this device only — the runtime does not retain
+    /// a staging copy of the user's host array, exactly as in OpenCL.
+    pub fn enqueue_write<T: Element>(&self, buf: &Buffer, data: &[T]) -> ClResult<Event> {
+        self.check_buffer(buf)?;
+        let expected = buf.len::<T>();
+        if data.len() != expected {
+            return Err(ClError::InvalidValue(format!(
+                "enqueue_write length mismatch: buffer holds {expected} elements, got {}",
+                data.len()
+            )));
+        }
+        let dev = self.device();
+        let node = &self.inner.ctx.rt.node;
+        let bytes = buf.byte_len() as u64;
+        let duration = node.topology.host_transfer_time(dev, bytes, &node.devices);
+        let ev = {
+            let mut engine = self.inner.ctx.rt.engine.lock();
+            self.submit(
+                &mut engine,
+                dev,
+                CommandKind::Transfer { kind: TransferKind::HostToDevice, bytes },
+                duration,
+                &[],
+            )
+        };
+        buf.inner.store.lock().as_mut_slice::<T>().copy_from_slice(data);
+        let mut res = buf.inner.residency.lock();
+        res.devices.clear();
+        res.devices.insert(dev);
+        res.host = false;
+        Ok(Event::new(Arc::clone(&self.inner.ctx.rt), ev))
+    }
+
+    /// `clEnqueueReadBuffer` (blocking): make the buffer valid on this
+    /// queue's device if needed, transfer it back, block, and copy the
+    /// contents into `out`.
+    pub fn enqueue_read<T: Element>(&self, buf: &Buffer, out: &mut [T]) -> ClResult<Event> {
+        self.check_buffer(buf)?;
+        let expected = buf.len::<T>();
+        if out.len() != expected {
+            return Err(ClError::InvalidValue(format!(
+                "enqueue_read length mismatch: buffer holds {expected} elements, got {}",
+                out.len()
+            )));
+        }
+        let dev = self.device();
+        let node_devices_len = self.inner.ctx.rt.node.devices.len();
+        debug_assert!(dev.index() < node_devices_len);
+        let bytes = buf.byte_len() as u64;
+        let ev = {
+            let mut engine = self.inner.ctx.rt.engine.lock();
+            let mig = self.migrate_to(&mut engine, buf, dev);
+            let node = &self.inner.ctx.rt.node;
+            let duration = node.topology.host_transfer_time(dev, bytes, &node.devices);
+            let waits: Vec<EventId> = mig.into_iter().collect();
+            let id = self.submit(
+                &mut engine,
+                dev,
+                CommandKind::Transfer { kind: TransferKind::DeviceToHost, bytes },
+                duration,
+                &waits,
+            );
+            engine.wait(id);
+            id
+        };
+        buf.inner.residency.lock().host = true;
+        out.copy_from_slice(buf.inner.store.lock().as_slice::<T>());
+        Ok(Event::new(Arc::clone(&self.inner.ctx.rt), ev))
+    }
+
+    /// `clEnqueueCopyBuffer`: device-side copy of `src` into `dst`
+    /// (whole-buffer; lengths must match).
+    pub fn enqueue_copy(&self, src: &Buffer, dst: &Buffer) -> ClResult<Event> {
+        self.check_buffer(src)?;
+        self.check_buffer(dst)?;
+        if src.byte_len() != dst.byte_len() {
+            return Err(ClError::InvalidValue(format!(
+                "enqueue_copy size mismatch: {} vs {} bytes",
+                src.byte_len(),
+                dst.byte_len()
+            )));
+        }
+        let dev = self.device();
+        let bytes = src.byte_len() as u64;
+        let ev = {
+            let mut engine = self.inner.ctx.rt.engine.lock();
+            let mig = self.migrate_to(&mut engine, src, dev);
+            let node = &self.inner.ctx.rt.node;
+            let duration = node.topology.device_transfer_time(dev, dev, bytes, &node.devices);
+            let waits: Vec<EventId> = mig.into_iter().collect();
+            self.submit(
+                &mut engine,
+                dev,
+                CommandKind::Transfer { kind: TransferKind::DeviceToDevice, bytes },
+                duration,
+                &waits,
+            )
+        };
+        // Data plane: copy the canonical stores.
+        {
+            let src_store = src.inner.store.lock();
+            let mut dst_store = dst.inner.store.lock();
+            dst_store
+                .as_mut_slice::<u8>()
+                .copy_from_slice(src_store.as_slice::<u8>());
+        }
+        let mut res = dst.inner.residency.lock();
+        res.devices.clear();
+        res.devices.insert(dev);
+        res.host = false;
+        Ok(Event::new(Arc::clone(&self.inner.ctx.rt), ev))
+    }
+
+    /// `clEnqueueNDRangeKernel`: migrate buffer arguments to this queue's
+    /// device, charge the kernel's modeled execution time, and run the body.
+    ///
+    /// If the kernel has a per-device launch configuration registered for
+    /// this device (the paper's `clSetKernelWorkGroupInfo`), it overrides
+    /// `nd`.
+    pub fn enqueue_ndrange(&self, kernel: &Kernel, nd: NdRange, waits: &[Event]) -> ClResult<Event> {
+        let args = kernel.snapshot_args()?;
+        self.enqueue_ndrange_with_args(kernel, nd, &args, waits)
+    }
+
+    /// Like [`Self::enqueue_ndrange`], but with an explicit argument
+    /// snapshot, decoupled from the kernel object's current bindings.
+    /// Scheduler layers that buffer launches use this so each buffered
+    /// launch runs with the arguments it carried at enqueue time.
+    pub fn enqueue_ndrange_with_args(
+        &self,
+        kernel: &Kernel,
+        nd: NdRange,
+        args: &[ArgValue],
+        waits: &[Event],
+    ) -> ClResult<Event> {
+        if kernel.ctx_id() != self.inner.ctx.id {
+            return Err(ClError::InvalidContext(format!(
+                "kernel `{}` belongs to a different context",
+                kernel.name()
+            )));
+        }
+        nd.validate()?;
+        let dev = self.device();
+        let effective = kernel.effective_nd(dev, nd);
+        effective.validate()?;
+        let spec = self.inner.ctx.rt.node.spec(dev);
+        // Capacity check: every buffer argument must fit in device memory.
+        for (i, a) in args.iter().enumerate() {
+            if let Some(b) = a.buffer() {
+                self.check_buffer(b)?;
+                if b.byte_len() as u64 > spec.mem_capacity {
+                    return Err(ClError::MemObjectAllocationFailure(format!(
+                        "kernel `{}` arg {i}: buffer of {} bytes exceeds device {} memory",
+                        kernel.name(),
+                        b.byte_len(),
+                        dev
+                    )));
+                }
+            }
+        }
+        let cost = kernel.cost();
+        let duration = cost.kernel_time(spec, effective.shape());
+        let ev = {
+            let mut engine = self.inner.ctx.rt.engine.lock();
+            let mut chain: Vec<EventId> = waits.iter().map(Event::raw).collect();
+            for a in args {
+                if let Some(b) = a.buffer() {
+                    if let Some(t) = self.migrate_to(&mut engine, b, dev) {
+                        chain.push(t);
+                    }
+                }
+            }
+            self.submit(
+                &mut engine,
+                dev,
+                CommandKind::Kernel { name: Arc::from(kernel.name().as_str()) },
+                duration,
+                &chain,
+            )
+        };
+        // Data plane: run the body exactly once, outside the engine lock.
+        {
+            let mut ctx = KernelCtx::new(effective, dev, args);
+            kernel.body().execute(&mut ctx);
+        }
+        // Residency: written buffers are now valid only on this device.
+        for a in args {
+            if a.is_mutable_buffer() {
+                let b = a.buffer().expect("mutable arg has a buffer");
+                let mut res = b.inner.residency.lock();
+                res.devices.clear();
+                res.devices.insert(dev);
+                res.host = false;
+            }
+        }
+        Ok(Event::new(Arc::clone(&self.inner.ctx.rt), ev))
+    }
+
+    /// `clEnqueueMarker`: a zero-duration command that completes when all
+    /// previously enqueued commands on this queue complete (on both queue
+    /// kinds the marker waits for everything outstanding).
+    pub fn enqueue_marker(&self) -> Event {
+        self.enqueue_barrier()
+    }
+
+    /// `clEnqueueBarrierWithWaitList` (empty list): a zero-duration command
+    /// ordered after every previously enqueued command; subsequent commands
+    /// on an out-of-order queue are ordered after it.
+    pub fn enqueue_barrier(&self) -> Event {
+        let mut engine = self.inner.ctx.rt.engine.lock();
+        let dev = self.device();
+        let waits: Vec<EventId> = std::mem::take(&mut *self.inner.outstanding.lock());
+        let mut all_waits = waits;
+        if let Some(last) = *self.inner.last.lock() {
+            if !all_waits.contains(&last) {
+                all_waits.push(last);
+            }
+        }
+        let id = engine.submit(CommandDesc {
+            device: dev,
+            kind: CommandKind::Marker,
+            duration: SimDuration::ZERO,
+            waits: all_waits,
+            queue: self.inner.qid,
+        });
+        *self.inner.last.lock() = Some(id);
+        self.inner.outstanding.lock().push(id);
+        Event::new(Arc::clone(&self.inner.ctx.rt), id)
+    }
+
+    /// `clFinish`: block the host until every command enqueued on this queue
+    /// has completed.
+    pub fn finish(&self) {
+        let outstanding: Vec<EventId> = std::mem::take(&mut *self.inner.outstanding.lock());
+        if !outstanding.is_empty() {
+            let mut engine = self.inner.ctx.rt.engine.lock();
+            for id in outstanding {
+                engine.wait(id);
+            }
+        }
+    }
+
+    /// The completion event of the most recently enqueued command, if any.
+    pub fn last_event(&self) -> Option<Event> {
+        self.inner
+            .last
+            .lock()
+            .map(|id| Event::new(Arc::clone(&self.inner.ctx.rt), id))
+    }
+}
+
+impl std::fmt::Debug for CommandQueue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "CommandQueue(qid={}, device={})", self.inner.qid, self.device())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::KernelBody;
+    use crate::Platform;
+    use hwsim::KernelCostSpec;
+
+    struct Scale(f64);
+    impl KernelBody for Scale {
+        fn name(&self) -> &str {
+            "scale"
+        }
+        fn arity(&self) -> usize {
+            1
+        }
+        fn cost(&self) -> KernelCostSpec {
+            KernelCostSpec::memory_bound(16.0)
+        }
+        fn execute(&self, ctx: &mut KernelCtx<'_>) {
+            let n = ctx.nd().global_items() as usize;
+            let data = ctx.slice_mut::<f64>(0);
+            for v in data.iter_mut().take(n) {
+                *v *= self.0;
+            }
+        }
+    }
+
+    fn setup() -> (Platform, Context, Kernel, Buffer) {
+        let p = Platform::paper_node();
+        let ctx = p.create_context_all().unwrap();
+        let prog = ctx
+            .create_program(vec![Arc::new(Scale(2.0)) as Arc<dyn KernelBody>])
+            .unwrap();
+        prog.build(0).unwrap();
+        let k = prog.create_kernel("scale").unwrap();
+        let b = ctx.create_buffer_of::<f64>(1024).unwrap();
+        (p, ctx, k, b)
+    }
+
+    #[test]
+    fn write_kernel_read_roundtrip() {
+        let (_p, ctx, k, b) = setup();
+        let q = ctx.create_queue(DeviceId(1)).unwrap();
+        q.enqueue_write(&b, &vec![3.0f64; 1024]).unwrap();
+        k.set_arg(0, ArgValue::BufferMut(b.clone())).unwrap();
+        q.enqueue_ndrange(&k, NdRange::d1(1024, 128), &[]).unwrap();
+        let mut out = vec![0.0f64; 1024];
+        q.enqueue_read(&b, &mut out).unwrap();
+        assert!(out.iter().all(|&v| v == 6.0));
+    }
+
+    #[test]
+    fn kernel_on_written_device_needs_no_migration() {
+        let (p, ctx, k, b) = setup();
+        let q = ctx.create_queue(DeviceId(1)).unwrap();
+        q.enqueue_write(&b, &vec![1.0f64; 1024]).unwrap();
+        k.set_arg(0, ArgValue::BufferMut(b.clone())).unwrap();
+        q.enqueue_ndrange(&k, NdRange::d1(1024, 128), &[]).unwrap();
+        q.finish();
+        let trace = p.trace_snapshot();
+        // One H2D for the write; the kernel triggered no extra transfers.
+        assert_eq!(trace.transfers_where(|_| true), 1);
+    }
+
+    #[test]
+    fn kernel_on_other_device_stages_through_host() {
+        let (p, ctx, k, b) = setup();
+        let q1 = ctx.create_queue(DeviceId(1)).unwrap();
+        q1.enqueue_write(&b, &vec![1.0f64; 1024]).unwrap();
+        k.set_arg(0, ArgValue::BufferMut(b.clone())).unwrap();
+        q1.enqueue_ndrange(&k, NdRange::d1(1024, 128), &[]).unwrap();
+        // Buffer now valid only on GPU 1; running on GPU 2 needs D2H + H2D.
+        let q2 = ctx.create_queue(DeviceId(2)).unwrap();
+        q2.enqueue_ndrange(&k, NdRange::d1(1024, 128), &[]).unwrap();
+        q2.finish();
+        let trace = p.trace_snapshot();
+        let d2h = trace.transfers_where(|r| {
+            matches!(r.kind, CommandKind::Transfer { kind: TransferKind::DeviceToHost, .. })
+        });
+        assert_eq!(d2h, 1);
+        assert_eq!(trace.transfers_where(|_| true), 3); // write H2D + D2H + H2D
+    }
+
+    #[test]
+    fn rebind_switches_execution_device() {
+        let (p, ctx, k, b) = setup();
+        let q = ctx.create_queue(DeviceId(0)).unwrap();
+        q.enqueue_write(&b, &vec![1.0f64; 1024]).unwrap();
+        k.set_arg(0, ArgValue::BufferMut(b.clone())).unwrap();
+        q.rebind(DeviceId(2)).unwrap();
+        q.enqueue_ndrange(&k, NdRange::d1(1024, 128), &[]).unwrap();
+        q.finish();
+        let dist = p.trace_snapshot().kernel_distribution();
+        assert_eq!(dist.get(&DeviceId(2)), Some(&1));
+        assert_eq!(dist.get(&DeviceId(0)), None);
+    }
+
+    #[test]
+    fn rebind_to_foreign_device_fails() {
+        let p = Platform::paper_node();
+        let gpus = p.devices_of_type(hwsim::DeviceType::Gpu);
+        let ctx = p.create_context(&gpus).unwrap();
+        let q = ctx.create_queue(DeviceId(1)).unwrap();
+        assert!(q.rebind(DeviceId(0)).is_err());
+    }
+
+    #[test]
+    fn in_order_queue_serializes_commands() {
+        let (_p, ctx, k, b) = setup();
+        let q = ctx.create_queue(DeviceId(1)).unwrap();
+        let e1 = q.enqueue_write(&b, &vec![1.0f64; 1024]).unwrap();
+        k.set_arg(0, ArgValue::BufferMut(b.clone())).unwrap();
+        let e2 = q.enqueue_ndrange(&k, NdRange::d1(1024, 128), &[]).unwrap();
+        assert!(e2.stamp().start >= e1.stamp().end);
+    }
+
+    #[test]
+    fn cross_queue_waits_are_honored() {
+        let (_p, ctx, k, b) = setup();
+        let q1 = ctx.create_queue(DeviceId(1)).unwrap();
+        let q2 = ctx.create_queue(DeviceId(2)).unwrap();
+        let b2 = ctx.create_buffer_of::<f64>(1024).unwrap();
+        let e1 = q1.enqueue_write(&b, &vec![1.0f64; 1024]).unwrap();
+        k.set_arg(0, ArgValue::BufferMut(b2.clone())).unwrap();
+        let e2 = q2.enqueue_ndrange(&k, NdRange::d1(1024, 128), std::slice::from_ref(&e1)).unwrap();
+        assert!(e2.stamp().start >= e1.stamp().end);
+    }
+
+    #[test]
+    fn finish_blocks_until_queue_drains() {
+        let (p, ctx, k, b) = setup();
+        let q = ctx.create_queue(DeviceId(0)).unwrap();
+        q.enqueue_write(&b, &vec![1.0f64; 1024]).unwrap();
+        k.set_arg(0, ArgValue::BufferMut(b.clone())).unwrap();
+        let ev = q.enqueue_ndrange(&k, NdRange::d1(1024, 128), &[]).unwrap();
+        q.finish();
+        assert!(p.now() >= ev.stamp().end);
+    }
+
+    #[test]
+    fn write_length_mismatch_is_rejected() {
+        let (_p, ctx, _k, b) = setup();
+        let q = ctx.create_queue(DeviceId(0)).unwrap();
+        assert!(q.enqueue_write(&b, &[1.0f64; 7]).is_err());
+    }
+
+    #[test]
+    fn copy_duplicates_contents() {
+        let (_p, ctx, _k, b) = setup();
+        let q = ctx.create_queue(DeviceId(1)).unwrap();
+        let dst = ctx.create_buffer_of::<f64>(1024).unwrap();
+        q.enqueue_write(&b, &vec![5.0f64; 1024]).unwrap();
+        q.enqueue_copy(&b, &dst).unwrap();
+        assert_eq!(dst.host_snapshot::<f64>(), vec![5.0f64; 1024]);
+        assert!(dst.residency().valid_on(DeviceId(1)));
+        assert!(!dst.residency().host);
+    }
+
+    #[test]
+    fn per_device_workgroup_info_changes_duration() {
+        let (_p, ctx, k, b) = setup();
+        k.set_arg(0, ArgValue::BufferMut(b.clone())).unwrap();
+        // Register a CPU-specific single-item-per-group configuration.
+        k.set_work_group_info(DeviceId(0), NdRange::d1(1024, 1)).unwrap();
+        let q_cpu = ctx.create_queue(DeviceId(0)).unwrap();
+        let e_cpu = q_cpu.enqueue_ndrange(&k, NdRange::d1(1024, 128), &[]).unwrap();
+        let q_gpu = ctx.create_queue(DeviceId(1)).unwrap();
+        let e_gpu = q_gpu.enqueue_ndrange(&k, NdRange::d1(1024, 128), &[]).unwrap();
+        // The CPU launch used 1024 workgroups of 1 item; the GPU launch used
+        // the requested 8 workgroups of 128. Durations must differ from the
+        // device models *and* the differing geometry.
+        assert_ne!(e_cpu.duration(), e_gpu.duration());
+    }
+
+    #[test]
+    fn marker_completes_after_preceding_commands() {
+        let (_p, ctx, _k, b) = setup();
+        let q = ctx.create_queue(DeviceId(1)).unwrap();
+        let w = q.enqueue_write(&b, &vec![0.0f64; 1024]).unwrap();
+        let m = q.enqueue_marker();
+        assert!(m.stamp().end >= w.stamp().end);
+    }
+
+    /// Build the out-of-order overlap scenario: kernel A runs on GPU1 with
+    /// resident data; kernel B's buffer lives on GPU2 and must be staged
+    /// over before B can run on GPU1. Returns (A's event, B's event).
+    fn overlap_scenario(ooo: bool) -> (Event, Event) {
+        let p = Platform::paper_node();
+        let ctx = p.create_context_all().unwrap();
+        let prog = ctx
+            .create_program(vec![Arc::new(Scale(2.0)) as Arc<dyn KernelBody>])
+            .unwrap();
+        prog.build(0).unwrap();
+        let q = if ooo {
+            ctx.create_queue_ooo(DeviceId(1)).unwrap()
+        } else {
+            ctx.create_queue(DeviceId(1)).unwrap()
+        };
+        // Buffer A resident on GPU1 (this queue's device).
+        let a = ctx.create_buffer_of::<f64>(1 << 20).unwrap();
+        q.enqueue_write(&a, &vec![1.0f64; 1 << 20]).unwrap();
+        // Buffer B resident on GPU2 (written via a throwaway queue).
+        let staging = ctx.create_queue(DeviceId(2)).unwrap();
+        let b = ctx.create_buffer_of::<f64>(1 << 20).unwrap();
+        staging.enqueue_write(&b, &vec![1.0f64; 1 << 20]).unwrap();
+        staging.finish();
+
+        let ka = prog.create_kernel("scale").unwrap();
+        ka.set_arg(0, ArgValue::BufferMut(a)).unwrap();
+        let ea = q.enqueue_ndrange(&ka, NdRange::d1(1 << 20, 128), &[]).unwrap();
+        let kb = prog.create_kernel("scale").unwrap();
+        kb.set_arg(0, ArgValue::BufferMut(b)).unwrap();
+        let eb = q.enqueue_ndrange(&kb, NdRange::d1(1 << 20, 128), &[]).unwrap();
+        q.finish();
+        (ea, eb)
+    }
+
+    #[test]
+    fn out_of_order_queue_overlaps_independent_commands() {
+        let (a_in, b_in) = overlap_scenario(false);
+        let (a_ooo, b_ooo) = overlap_scenario(true);
+        // Kernel A costs the same either way.
+        assert_eq!(a_in.duration(), a_ooo.duration());
+        // In order, B's staging waits for A; out of order it starts at once,
+        // so B completes strictly earlier.
+        assert!(
+            b_ooo.stamp().end < b_in.stamp().end,
+            "ooo B {} !< in-order B {}",
+            b_ooo.stamp().end,
+            b_in.stamp().end
+        );
+    }
+
+    #[test]
+    fn barrier_restores_ordering_on_ooo_queues() {
+        let p = Platform::paper_node();
+        let ctx = p.create_context_all().unwrap();
+        let prog = ctx
+            .create_program(vec![Arc::new(Scale(2.0)) as Arc<dyn KernelBody>])
+            .unwrap();
+        prog.build(0).unwrap();
+        let q = ctx.create_queue_ooo(DeviceId(1)).unwrap();
+        let b1 = ctx.create_buffer_of::<f64>(4096).unwrap();
+        let b2 = ctx.create_buffer_of::<f64>(4096).unwrap();
+        let k1 = prog.create_kernel("scale").unwrap();
+        k1.set_arg(0, ArgValue::BufferMut(b1)).unwrap();
+        let e1 = q.enqueue_ndrange(&k1, NdRange::d1(4096, 64), &[]).unwrap();
+        let bar = q.enqueue_barrier();
+        let k2 = prog.create_kernel("scale").unwrap();
+        k2.set_arg(0, ArgValue::BufferMut(b2)).unwrap();
+        // No explicit waits — but the barrier orders everything before it,
+        // and subsequent in-flight chaining goes through `last` (the
+        // barrier) only for in-order queues, so pass the barrier explicitly
+        // as OpenCL requires on OOO queues.
+        let e2 = q.enqueue_ndrange(&k2, NdRange::d1(4096, 64), std::slice::from_ref(&bar)).unwrap();
+        assert!(bar.stamp().end >= e1.stamp().end);
+        assert!(e2.stamp().start >= bar.stamp().end);
+        q.finish();
+    }
+
+    #[test]
+    fn ooo_queue_overlaps_transfer_with_kernel_on_one_device() {
+        // Dual-lane devices: with no event ordering, a buffer upload rides
+        // the copy engine while a kernel occupies the compute engine.
+        let p = Platform::paper_node();
+        let ctx = p.create_context_all().unwrap();
+        let prog = ctx
+            .create_program(vec![Arc::new(Scale(2.0)) as Arc<dyn KernelBody>])
+            .unwrap();
+        prog.build(0).unwrap();
+        let q = ctx.create_queue_ooo(DeviceId(1)).unwrap();
+        let a = ctx.create_buffer_of::<f64>(1 << 20).unwrap();
+        q.enqueue_write(&a, &vec![1.0f64; 1 << 20]).unwrap();
+        let k = prog.create_kernel("scale").unwrap();
+        k.set_arg(0, ArgValue::BufferMut(a)).unwrap();
+        let write_ev = q.last_event().unwrap();
+        let kernel_ev =
+            q.enqueue_ndrange(&k, NdRange::d1(1 << 20, 128), std::slice::from_ref(&write_ev)).unwrap();
+        // A second, unrelated upload overlaps the kernel on the same device.
+        let b = ctx.create_buffer_of::<f64>(1 << 20).unwrap();
+        let upload_ev = q.enqueue_write(&b, &vec![2.0f64; 1 << 20]).unwrap();
+        assert!(
+            upload_ev.stamp().start < kernel_ev.stamp().end,
+            "copy engine should run during the kernel: upload {} vs kernel end {}",
+            upload_ev.stamp().start,
+            kernel_ev.stamp().end
+        );
+        q.finish();
+    }
+
+    #[test]
+    fn ooo_finish_drains_every_command() {
+        let p = Platform::paper_node();
+        let ctx = p.create_context_all().unwrap();
+        let prog = ctx
+            .create_program(vec![Arc::new(Scale(1.5)) as Arc<dyn KernelBody>])
+            .unwrap();
+        prog.build(0).unwrap();
+        let q = ctx.create_queue_ooo(DeviceId(0)).unwrap();
+        let mut events = Vec::new();
+        for _ in 0..5 {
+            let b = ctx.create_buffer_of::<f64>(1024).unwrap();
+            let k = prog.create_kernel("scale").unwrap();
+            k.set_arg(0, ArgValue::BufferMut(b)).unwrap();
+            events.push(q.enqueue_ndrange(&k, NdRange::d1(1024, 64), &[]).unwrap());
+        }
+        q.finish();
+        let now = p.now();
+        for e in events {
+            assert!(e.stamp().end <= now, "finish returned before {e:?} completed");
+        }
+        assert!(q.is_out_of_order());
+    }
+
+    #[test]
+    fn oversized_buffer_launch_is_rejected_per_device() {
+        let p = Platform::paper_node();
+        let ctx = p.create_context_all().unwrap();
+        let prog = ctx
+            .create_program(vec![Arc::new(Scale(1.0)) as Arc<dyn KernelBody>])
+            .unwrap();
+        prog.build(0).unwrap();
+        let k = prog.create_kernel("scale").unwrap();
+        // 4 GiB: fits the CPU (32 GB) but not a C2050 (3 GB).
+        let big = ctx.create_buffer(4 << 30).unwrap();
+        k.set_arg(0, ArgValue::BufferMut(big)).unwrap();
+        let q_gpu = ctx.create_queue(DeviceId(1)).unwrap();
+        let err = q_gpu.enqueue_ndrange(&k, NdRange::d1(16, 1), &[]);
+        assert!(matches!(err, Err(ClError::MemObjectAllocationFailure(_))));
+    }
+}

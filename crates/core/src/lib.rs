@@ -1,0 +1,418 @@
+#![warn(missing_docs)]
+
+//! # MultiCL — automatic command-queue scheduling for task-parallel OpenCL
+//!
+//! Rust reproduction of *"Automatic Command Queue Scheduling for
+//! Task-Parallel Workloads in OpenCL"* (Aji, Peña, Balaji, Feng — IEEE
+//! CLUSTER 2015). The paper's proposal decouples OpenCL command queues from
+//! devices via scheduling attributes; this crate implements the attributes
+//! and the MultiCL runtime on top of the [`clrt`] OpenCL-style runtime and
+//! the [`hwsim`] node simulator.
+//!
+//! ## The extension surface (paper Table I)
+//!
+//! | OpenCL function | Extension | Here |
+//! |---|---|---|
+//! | `clCreateContext` | `CL_CONTEXT_SCHEDULER` = `ROUND_ROBIN` \| `AUTO_FIT` | [`MulticlContext::new`] + [`ContextSchedPolicy`] |
+//! | `clCreateCommandQueue` | `SCHED_*` bitfield | [`MulticlContext::create_queue`] + [`QueueSchedFlags`] |
+//! | `clSetCommandQueueSchedProperty` | new API | [`SchedQueue::set_sched_property`] |
+//! | `clSetKernelWorkGroupInfo` | new API | [`set_kernel_work_group_info`] / [`clrt::Kernel::set_work_group_info`] |
+//!
+//! ## Runtime modules (paper §V)
+//!
+//! * **Device profiler** ([`profile`]): bandwidth + instruction-throughput
+//!   micro-benchmarks, cached on the filesystem, interpolated for unknown
+//!   sizes.
+//! * **Kernel profiler** (inside [`scheduler`]): runs each epoch's kernels
+//!   once per device; kernel & epoch profile caching, minikernel profiling
+//!   for compute-bound queues, data caching for I/O-heavy profiling.
+//! * **Device mapper** ([`mapper`]): exact makespan minimization over the
+//!   queue pool (plus greedy and round-robin strategies).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use multicl::{ContextSchedPolicy, MulticlContext, QueueSchedFlags};
+//! use clrt::Platform;
+//!
+//! let platform = Platform::paper_node();
+//! let ctx = MulticlContext::new(&platform, ContextSchedPolicy::AutoFit).unwrap();
+//! let q = ctx
+//!     .create_queue(QueueSchedFlags::SCHED_AUTO_DYNAMIC | QueueSchedFlags::SCHED_KERNEL_EPOCH)
+//!     .unwrap();
+//! // ... create programs/kernels/buffers, enqueue, q.finish() ...
+//! # drop(q);
+//! ```
+
+pub mod flags;
+pub mod mapper;
+pub mod metrics;
+pub mod profile;
+pub mod scheduler;
+
+pub use clrt::error;
+pub use flags::{ContextSchedPolicy, QueueSchedFlags};
+pub use profile::{DeviceProfile, ProfileCache, StaticHint, PROFILE_DIR_ENV};
+pub use scheduler::{MapperKind, MulticlContext, SchedOptions, SchedQueue, SchedStats, ITER_FREQ_ENV, PROFILING_TAG};
+
+use clrt::error::ClResult;
+use clrt::{Kernel, NdRange};
+use hwsim::DeviceId;
+
+/// The paper's proposed `clSetKernelWorkGroupInfo` (§IV-C): register a
+/// device-specific launch configuration on a kernel, so the scheduler can
+/// launch it on any device with the right geometry. Free-function form
+/// mirroring the C API; equivalent to [`clrt::Kernel::set_work_group_info`].
+pub fn set_kernel_work_group_info(kernel: &Kernel, device: DeviceId, nd: NdRange) -> ClResult<()> {
+    kernel.set_work_group_info(device, nd)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clrt::{ArgValue, KernelBody, KernelCtx, Platform};
+    use hwsim::{KernelCostSpec, KernelTraits, SimDuration};
+    use std::sync::Arc;
+
+    /// A kernel that strongly prefers the CPU (uncoalesced, branchy).
+    struct CpuFriendly;
+    impl KernelBody for CpuFriendly {
+        fn name(&self) -> &str {
+            "cpu_friendly"
+        }
+        fn arity(&self) -> usize {
+            1
+        }
+        fn cost(&self) -> KernelCostSpec {
+            KernelCostSpec::memory_bound(128.0).with_traits(KernelTraits {
+                coalescing: 0.05,
+                branch_divergence: 0.6,
+                vector_friendliness: 0.3,
+                double_precision: true,
+            })
+        }
+        fn execute(&self, ctx: &mut KernelCtx<'_>) {
+            let data = ctx.slice_mut::<f64>(0);
+            for v in data.iter_mut() {
+                *v += 1.0;
+            }
+        }
+    }
+
+    /// A kernel that strongly prefers the GPU (wide, compute-dense).
+    struct GpuFriendly;
+    impl KernelBody for GpuFriendly {
+        fn name(&self) -> &str {
+            "gpu_friendly"
+        }
+        fn arity(&self) -> usize {
+            1
+        }
+        fn cost(&self) -> KernelCostSpec {
+            KernelCostSpec::compute_bound(20_000.0)
+        }
+        fn execute(&self, ctx: &mut KernelCtx<'_>) {
+            let data = ctx.slice_mut::<f64>(0);
+            for v in data.iter_mut() {
+                *v += 2.0;
+            }
+        }
+    }
+
+    fn scratch_options(tag: &str) -> SchedOptions {
+        let dir = std::env::temp_dir().join(format!("multicl-libtest-{tag}-{}", std::process::id()));
+        SchedOptions { profile_cache: ProfileCache::at(dir), ..SchedOptions::default() }
+    }
+
+    fn setup(policy: ContextSchedPolicy, tag: &str) -> (Platform, MulticlContext) {
+        let platform = Platform::paper_node();
+        let ctx = MulticlContext::with_options(&platform, policy, scratch_options(tag)).unwrap();
+        (platform, ctx)
+    }
+
+    #[test]
+    fn autofit_maps_gpu_kernel_to_gpu_and_cpu_kernel_to_cpu() {
+        let (platform, ctx) = setup(ContextSchedPolicy::AutoFit, "autofit-map");
+        let prog = ctx
+            .create_program(vec![Arc::new(CpuFriendly) as Arc<dyn KernelBody>, Arc::new(GpuFriendly)])
+            .unwrap();
+        let kc = prog.create_kernel("cpu_friendly").unwrap();
+        let kg = prog.create_kernel("gpu_friendly").unwrap();
+        let bc = ctx.create_buffer_of::<f64>(1 << 16).unwrap();
+        let bg = ctx.create_buffer_of::<f64>(1 << 16).unwrap();
+        kc.set_arg(0, ArgValue::BufferMut(bc)).unwrap();
+        kg.set_arg(0, ArgValue::BufferMut(bg)).unwrap();
+
+        let q1 = ctx.create_queue(QueueSchedFlags::SCHED_AUTO_DYNAMIC).unwrap();
+        let q2 = ctx.create_queue(QueueSchedFlags::SCHED_AUTO_DYNAMIC).unwrap();
+        q1.enqueue_ndrange(&kc, clrt::NdRange::d1(1 << 16, 64)).unwrap();
+        q2.enqueue_ndrange(&kg, clrt::NdRange::d1(1 << 16, 128)).unwrap();
+        ctx.finish_all();
+
+        let node = platform.node();
+        let cpu = node.cpu().unwrap();
+        assert_eq!(q1.device(), cpu, "CPU-friendly queue must land on the CPU");
+        assert!(node.gpus().contains(&q2.device()), "GPU-friendly queue must land on a GPU");
+    }
+
+    #[test]
+    fn sched_off_queue_never_moves() {
+        let (platform, ctx) = setup(ContextSchedPolicy::AutoFit, "sched-off");
+        let prog = ctx.create_program(vec![Arc::new(GpuFriendly) as Arc<dyn KernelBody>]).unwrap();
+        let k = prog.create_kernel("gpu_friendly").unwrap();
+        let b = ctx.create_buffer_of::<f64>(4096).unwrap();
+        k.set_arg(0, ArgValue::BufferMut(b)).unwrap();
+        let cpu = platform.node().cpu().unwrap();
+        let q = ctx.create_queue_on(cpu).unwrap();
+        q.enqueue_ndrange(&k, clrt::NdRange::d1(4096, 64)).unwrap();
+        q.finish();
+        // Even though the kernel prefers the GPU, a SCHED_OFF queue stays put.
+        assert_eq!(q.device(), cpu);
+        let dist = crate::metrics::kernel_distribution_fractions(&platform.trace_snapshot());
+        assert_eq!(dist.get(&cpu), Some(&1.0));
+    }
+
+    #[test]
+    fn second_epoch_hits_the_profile_cache() {
+        let (_platform, ctx) = setup(ContextSchedPolicy::AutoFit, "cache-hit");
+        let prog = ctx.create_program(vec![Arc::new(GpuFriendly) as Arc<dyn KernelBody>]).unwrap();
+        let k = prog.create_kernel("gpu_friendly").unwrap();
+        let b = ctx.create_buffer_of::<f64>(4096).unwrap();
+        k.set_arg(0, ArgValue::BufferMut(b)).unwrap();
+        let q = ctx.create_queue(QueueSchedFlags::SCHED_AUTO_DYNAMIC).unwrap();
+        for _ in 0..3 {
+            q.enqueue_ndrange(&k, clrt::NdRange::d1(4096, 64)).unwrap();
+            q.finish();
+        }
+        let stats = ctx.stats();
+        assert_eq!(stats.profiled_epochs, 1, "only the first epoch profiles");
+        assert!(stats.cache_hits >= 2);
+        assert_eq!(stats.kernels_issued, 3);
+    }
+
+    #[test]
+    fn round_robin_policy_cycles_queues_across_devices() {
+        let (platform, ctx) = setup(ContextSchedPolicy::RoundRobin, "rr");
+        let prog = ctx.create_program(vec![Arc::new(GpuFriendly) as Arc<dyn KernelBody>]).unwrap();
+        let k = prog.create_kernel("gpu_friendly").unwrap();
+        let queues: Vec<_> = (0..3)
+            .map(|_| ctx.create_queue(QueueSchedFlags::SCHED_AUTO_DYNAMIC).unwrap())
+            .collect();
+        for q in &queues {
+            let b = ctx.create_buffer_of::<f64>(256).unwrap();
+            k.set_arg(0, ArgValue::BufferMut(b)).unwrap();
+            q.enqueue_ndrange(&k, clrt::NdRange::d1(256, 64)).unwrap();
+        }
+        ctx.finish_all();
+        let devices: std::collections::HashSet<_> = queues.iter().map(|q| q.device()).collect();
+        assert_eq!(devices.len(), 3, "round robin must fan out across all devices");
+        // RoundRobin never profiles.
+        assert_eq!(ctx.stats().profiled_epochs, 0);
+        let _ = platform;
+    }
+
+    #[test]
+    fn explicit_region_gates_scheduling() {
+        let (platform, ctx) = setup(ContextSchedPolicy::AutoFit, "region");
+        let prog = ctx.create_program(vec![Arc::new(GpuFriendly) as Arc<dyn KernelBody>]).unwrap();
+        let k = prog.create_kernel("gpu_friendly").unwrap();
+        let b = ctx.create_buffer_of::<f64>(1 << 14).unwrap();
+        k.set_arg(0, ArgValue::BufferMut(b)).unwrap();
+        let q = ctx
+            .create_queue(QueueSchedFlags::SCHED_AUTO_DYNAMIC | QueueSchedFlags::SCHED_EXPLICIT_REGION)
+            .unwrap();
+        let initial = q.device();
+        // Outside the region: no scheduling, stays on initial binding.
+        q.enqueue_ndrange(&k, clrt::NdRange::d1(1 << 14, 128)).unwrap();
+        q.finish();
+        assert_eq!(q.device(), initial);
+        assert_eq!(ctx.stats().profiled_epochs, 0);
+        // Inside the region: scheduled to the GPU.
+        q.set_sched_property(true).unwrap();
+        q.enqueue_ndrange(&k, clrt::NdRange::d1(1 << 14, 128)).unwrap();
+        q.finish();
+        assert!(platform.node().gpus().contains(&q.device()));
+        assert_eq!(ctx.stats().profiled_epochs, 1);
+        // After the region closes: binding sticks, no further profiling.
+        q.set_sched_property(false).unwrap();
+        let mapped = q.device();
+        q.enqueue_ndrange(&k, clrt::NdRange::d1(1 << 14, 128)).unwrap();
+        q.finish();
+        assert_eq!(q.device(), mapped);
+        assert_eq!(ctx.stats().profiled_epochs, 1);
+    }
+
+    #[test]
+    fn set_sched_property_requires_region_flag() {
+        let (_platform, ctx) = setup(ContextSchedPolicy::AutoFit, "region-guard");
+        let q = ctx.create_queue(QueueSchedFlags::SCHED_AUTO_DYNAMIC).unwrap();
+        assert!(q.set_sched_property(true).is_err());
+    }
+
+    #[test]
+    fn minikernel_profiling_charges_less_time_than_full() {
+        let run = |flags: QueueSchedFlags, tag: &str| -> SimDuration {
+            let (platform, ctx) = setup(ContextSchedPolicy::AutoFit, tag);
+            let prog =
+                ctx.create_program(vec![Arc::new(GpuFriendly) as Arc<dyn KernelBody>]).unwrap();
+            let k = prog.create_kernel("gpu_friendly").unwrap();
+            let b = ctx.create_buffer_of::<f64>(1 << 18).unwrap();
+            k.set_arg(0, ArgValue::BufferMut(b)).unwrap();
+            let q = ctx.create_queue(flags).unwrap();
+            q.enqueue_ndrange(&k, clrt::NdRange::d1(1 << 18, 128)).unwrap();
+            q.finish();
+            let breakdown = crate::metrics::overhead_breakdown(&platform.trace_snapshot());
+            breakdown.profiling_kernel_time
+        };
+        let full = run(QueueSchedFlags::SCHED_AUTO_DYNAMIC, "mini-full");
+        let mini = run(
+            QueueSchedFlags::SCHED_AUTO_DYNAMIC | QueueSchedFlags::SCHED_COMPUTE_BOUND,
+            "mini-mini",
+        );
+        assert!(
+            mini.as_nanos() * 10 < full.as_nanos(),
+            "minikernel profiling should be ≥10× cheaper: mini={mini} full={full}"
+        );
+    }
+
+    #[test]
+    fn static_scheduling_uses_hints_without_profiling() {
+        let (platform, ctx) = setup(ContextSchedPolicy::AutoFit, "static");
+        let prog = ctx.create_program(vec![Arc::new(GpuFriendly) as Arc<dyn KernelBody>]).unwrap();
+        let k = prog.create_kernel("gpu_friendly").unwrap();
+        let b = ctx.create_buffer_of::<f64>(4096).unwrap();
+        k.set_arg(0, ArgValue::BufferMut(b)).unwrap();
+        let q = ctx
+            .create_queue(QueueSchedFlags::SCHED_AUTO_STATIC | QueueSchedFlags::SCHED_COMPUTE_BOUND)
+            .unwrap();
+        q.enqueue_ndrange(&k, clrt::NdRange::d1(4096, 64)).unwrap();
+        q.finish();
+        assert_eq!(ctx.stats().profiled_epochs, 0, "static mode never profiles kernels");
+        // COMPUTE_BOUND hint ranks by instruction throughput → a GPU.
+        assert!(platform.node().gpus().contains(&q.device()));
+    }
+
+    #[test]
+    fn kernel_results_are_correct_after_scheduling() {
+        let (_platform, ctx) = setup(ContextSchedPolicy::AutoFit, "results");
+        let prog = ctx.create_program(vec![Arc::new(GpuFriendly) as Arc<dyn KernelBody>]).unwrap();
+        let k = prog.create_kernel("gpu_friendly").unwrap();
+        let b = ctx.create_buffer_of::<f64>(512).unwrap();
+        let q = ctx.create_queue(QueueSchedFlags::SCHED_AUTO_DYNAMIC).unwrap();
+        q.enqueue_write(&b, &vec![1.0f64; 512]).unwrap();
+        k.set_arg(0, ArgValue::BufferMut(b.clone())).unwrap();
+        q.enqueue_ndrange(&k, clrt::NdRange::d1(512, 64)).unwrap();
+        let mut out = vec![0.0f64; 512];
+        q.enqueue_read(&b, &mut out).unwrap();
+        assert!(out.iter().all(|&v| v == 3.0), "1.0 + 2.0 from one launch");
+    }
+
+    #[test]
+    fn write_after_pending_kernels_forces_epoch_boundary() {
+        let (_platform, ctx) = setup(ContextSchedPolicy::AutoFit, "write-boundary");
+        let prog = ctx.create_program(vec![Arc::new(GpuFriendly) as Arc<dyn KernelBody>]).unwrap();
+        let k = prog.create_kernel("gpu_friendly").unwrap();
+        let b = ctx.create_buffer_of::<f64>(512).unwrap();
+        let q = ctx.create_queue(QueueSchedFlags::SCHED_AUTO_DYNAMIC).unwrap();
+        k.set_arg(0, ArgValue::BufferMut(b.clone())).unwrap();
+        q.enqueue_ndrange(&k, clrt::NdRange::d1(512, 64)).unwrap();
+        assert_eq!(q.pending_len(), 1);
+        // The write flushes the pending kernel first (in-order semantics),
+        // then overwrites the buffer.
+        q.enqueue_write(&b, &vec![7.0f64; 512]).unwrap();
+        assert_eq!(q.pending_len(), 0);
+        let mut out = vec![0.0f64; 512];
+        q.enqueue_read(&b, &mut out).unwrap();
+        assert!(out.iter().all(|&v| v == 7.0));
+    }
+
+    #[test]
+    fn kernel_profiles_are_inspectable() {
+        let (platform, ctx) = setup(ContextSchedPolicy::AutoFit, "inspect");
+        let prog = ctx.create_program(vec![Arc::new(GpuFriendly) as Arc<dyn KernelBody>]).unwrap();
+        let k = prog.create_kernel("gpu_friendly").unwrap();
+        let b = ctx.create_buffer_of::<f64>(1 << 14).unwrap();
+        k.set_arg(0, ArgValue::BufferMut(b)).unwrap();
+        assert!(ctx.kernel_profile("gpu_friendly").is_none(), "unprofiled yet");
+        let q = ctx.create_queue(QueueSchedFlags::SCHED_AUTO_DYNAMIC).unwrap();
+        q.enqueue_ndrange(&k, clrt::NdRange::d1(1 << 14, 128)).unwrap();
+        q.finish();
+        let profile = ctx.kernel_profile("gpu_friendly").expect("profiled at first epoch");
+        assert_eq!(profile.len(), platform.node().device_count());
+        // The profile explains the mapping: the chosen device has the
+        // minimum estimated time.
+        let chosen = q.device().index();
+        let min = profile.iter().min().unwrap();
+        assert_eq!(&profile[chosen], min);
+        assert_eq!(ctx.profiled_kernels(), vec!["gpu_friendly".to_string()]);
+    }
+
+    #[test]
+    fn contexts_do_not_share_profile_caches() {
+        // Kernel profiles are keyed by name *within a context*; two contexts
+        // with same-named kernels of different costs must profile
+        // independently (process-level isolation in the real runtime).
+        let platform = Platform::paper_node();
+        let mk = |tag: &str| {
+            MulticlContext::with_options(
+                &platform,
+                ContextSchedPolicy::AutoFit,
+                scratch_options(tag),
+            )
+            .unwrap()
+        };
+        let run_in = |ctx: &MulticlContext, body: Arc<dyn KernelBody>| -> hwsim::DeviceId {
+            let prog = ctx.create_program(vec![body]).unwrap();
+            // Both bodies are registered under their own names; rename is
+            // not needed — we reuse the same name via separate contexts.
+            let name = prog.kernel_names()[0].clone();
+            let k = prog.create_kernel(&name).unwrap();
+            let b = ctx.create_buffer_of::<f64>(1 << 14).unwrap();
+            k.set_arg(0, ArgValue::BufferMut(b)).unwrap();
+            let q = ctx.create_queue(QueueSchedFlags::SCHED_AUTO_DYNAMIC).unwrap();
+            q.enqueue_ndrange(&k, clrt::NdRange::d1(1 << 14, 128)).unwrap();
+            q.finish();
+            q.device()
+        };
+        let ctx1 = mk("iso1");
+        let d1 = run_in(&ctx1, Arc::new(GpuFriendly));
+        assert!(platform.node().gpus().contains(&d1));
+        // Same kernel name would collide *within* ctx1; a fresh context
+        // profiles from scratch and must not inherit ctx1's verdicts.
+        let ctx2 = mk("iso2");
+        let d2 = run_in(&ctx2, Arc::new(CpuFriendly));
+        assert_eq!(ctx2.stats().profiled_epochs, 1, "ctx2 must profile for itself");
+        let _ = d2;
+    }
+
+    #[test]
+    fn buffered_launches_snapshot_arguments_at_enqueue_time() {
+        // A kernel object's args may be rebound between buffered launches
+        // (the standard OpenCL launch-loop pattern); each launch must run
+        // with the bindings it was enqueued with, not the latest ones.
+        let (_platform, ctx) = setup(ContextSchedPolicy::AutoFit, "arg-snapshot");
+        let prog = ctx.create_program(vec![Arc::new(GpuFriendly) as Arc<dyn KernelBody>]).unwrap();
+        let k = prog.create_kernel("gpu_friendly").unwrap();
+        let b1 = ctx.create_buffer_of::<f64>(256).unwrap();
+        let b2 = ctx.create_buffer_of::<f64>(256).unwrap();
+        let q = ctx.create_queue(QueueSchedFlags::SCHED_AUTO_DYNAMIC).unwrap();
+        k.set_arg(0, ArgValue::BufferMut(b1.clone())).unwrap();
+        q.enqueue_ndrange(&k, clrt::NdRange::d1(256, 64)).unwrap();
+        // Rebind to b2 *before* the buffered b1 launch is flushed.
+        k.set_arg(0, ArgValue::BufferMut(b2.clone())).unwrap();
+        q.enqueue_ndrange(&k, clrt::NdRange::d1(256, 64)).unwrap();
+        q.finish();
+        // Each buffer received exactly one launch (+2.0 each).
+        assert!(b1.host_snapshot::<f64>().iter().all(|&v| v == 2.0));
+        assert!(b2.host_snapshot::<f64>().iter().all(|&v| v == 2.0));
+    }
+
+    #[test]
+    fn work_group_info_free_function_matches_method() {
+        let (_platform, ctx) = setup(ContextSchedPolicy::AutoFit, "wgi");
+        let prog = ctx.create_program(vec![Arc::new(GpuFriendly) as Arc<dyn KernelBody>]).unwrap();
+        let k = prog.create_kernel("gpu_friendly").unwrap();
+        set_kernel_work_group_info(&k, DeviceId(0), clrt::NdRange::d1(128, 1)).unwrap();
+        assert!(k.has_work_group_info(DeviceId(0)));
+    }
+}

@@ -1,0 +1,273 @@
+//! The device mapper (paper §V-A): assign command queues to devices so that
+//! the *concurrent* completion time (makespan) is minimal.
+//!
+//! The paper uses "a simple dynamic programming approach" over the queue set
+//! and notes it "guarantees ideal queue–device mapping \[with\] negligible
+//! overhead because the number of devices in present-day nodes is not high".
+//! We implement an exact branch-and-bound search (equivalent optimality,
+//! same small-input regime), plus two cheaper strategies used as ablations
+//! and as the `ROUND_ROBIN` global policy.
+
+use hwsim::{DeviceId, SimDuration};
+
+/// Cost matrix: `costs[q][d]` is the estimated execution time of queue `q`'s
+/// pending work if mapped to device `d` (kernel time + any data-migration
+/// cost).
+pub type CostMatrix = Vec<Vec<SimDuration>>;
+
+/// A queue→device assignment plus its predicted makespan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mapping {
+    /// Device chosen for each queue, in queue order.
+    pub assignment: Vec<DeviceId>,
+    /// Predicted concurrent completion time.
+    pub makespan: SimDuration,
+}
+
+/// Makespan of a given assignment under `costs`: per-device load is the sum
+/// of its queues' costs; the makespan is the maximum load.
+pub fn makespan(costs: &CostMatrix, assignment: &[DeviceId], devices: usize) -> SimDuration {
+    let mut load = vec![SimDuration::ZERO; devices];
+    for (q, d) in assignment.iter().enumerate() {
+        load[d.index()] += costs[q][d.index()];
+    }
+    load.into_iter().max().unwrap_or(SimDuration::ZERO)
+}
+
+/// Exact optimal mapping by branch-and-bound over all `D^Q` assignments.
+///
+/// Queues are explored in descending order of their best-case cost, which
+/// tightens the bound early; identical-cost symmetric devices are not
+/// deduplicated (D ≤ a handful, Q ≤ a handful — the search is microseconds,
+/// matching the paper's "negligible overhead" claim, which `bench/mapper`
+/// verifies).
+///
+/// Ties on makespan are broken by the *total* device time: when one queue's
+/// cost dominates the makespan either way, the others are still placed on
+/// their individually fastest devices. Besides being the sensible secondary
+/// objective, this keeps data resident where the next epoch will want it.
+pub fn optimal(costs: &CostMatrix) -> Mapping {
+    let queues = costs.len();
+    if queues == 0 {
+        return Mapping { assignment: vec![], makespan: SimDuration::ZERO };
+    }
+    let devices = costs[0].len();
+    assert!(devices > 0, "cost matrix must have at least one device column");
+    assert!(
+        costs.iter().all(|row| row.len() == devices),
+        "ragged cost matrix"
+    );
+
+    // Order queues by descending minimum cost: big rocks first.
+    let mut order: Vec<usize> = (0..queues).collect();
+    order.sort_by_key(|&q| std::cmp::Reverse(costs[q].iter().copied().min().unwrap()));
+
+    const MAX: SimDuration = SimDuration::from_nanos(u64::MAX);
+    let mut best_assign = vec![DeviceId(0); queues];
+    // Objective: (makespan, total-time), lexicographic.
+    let mut best = (MAX, MAX);
+    let mut load = vec![SimDuration::ZERO; devices];
+    let mut current = vec![DeviceId(0); queues];
+
+    #[allow(clippy::too_many_arguments)]
+    fn dfs(
+        depth: usize,
+        order: &[usize],
+        costs: &CostMatrix,
+        load: &mut Vec<SimDuration>,
+        total: SimDuration,
+        current: &mut Vec<DeviceId>,
+        best: &mut (SimDuration, SimDuration),
+        best_assign: &mut Vec<DeviceId>,
+    ) {
+        if depth == order.len() {
+            let ms = load.iter().copied().max().unwrap_or(SimDuration::ZERO);
+            if (ms, total) < *best {
+                *best = (ms, total);
+                best_assign.clone_from(current);
+            }
+            return;
+        }
+        let q = order[depth];
+        for d in 0..load.len() {
+            let new_load = load[d] + costs[q][d];
+            if new_load > best.0 {
+                continue; // prune: this branch cannot match the best makespan
+            }
+            let saved = load[d];
+            load[d] = new_load;
+            current[q] = DeviceId(d);
+            dfs(depth + 1, order, costs, load, total + costs[q][d], current, best, best_assign);
+            load[d] = saved;
+        }
+    }
+
+    dfs(
+        0,
+        &order,
+        costs,
+        &mut load,
+        SimDuration::ZERO,
+        &mut current,
+        &mut best,
+        &mut best_assign,
+    );
+
+    debug_assert!(best.0 < MAX, "the search always visits at least one full assignment");
+    Mapping { assignment: best_assign, makespan: best.0 }
+}
+
+/// Greedy longest-processing-time heuristic: queues in descending best-cost
+/// order, each placed on the device minimizing its completion time given
+/// current loads. Cheap and usually good; used as an ablation against
+/// [`optimal`].
+pub fn greedy(costs: &CostMatrix) -> Mapping {
+    let queues = costs.len();
+    if queues == 0 {
+        return Mapping { assignment: vec![], makespan: SimDuration::ZERO };
+    }
+    let devices = costs[0].len();
+    let mut order: Vec<usize> = (0..queues).collect();
+    order.sort_by_key(|&q| std::cmp::Reverse(costs[q].iter().copied().min().unwrap()));
+    let mut load = vec![SimDuration::ZERO; devices];
+    let mut assignment = vec![DeviceId(0); queues];
+    for &q in &order {
+        let d = (0..devices)
+            .min_by_key(|&d| load[d] + costs[q][d])
+            .expect("at least one device");
+        load[d] += costs[q][d];
+        assignment[q] = DeviceId(d);
+    }
+    let ms = load.into_iter().max().unwrap_or(SimDuration::ZERO);
+    Mapping { assignment, makespan: ms }
+}
+
+/// The `ROUND_ROBIN` global policy: queue `i` (in pool order) goes to device
+/// `(start + i) mod D`, ignoring costs entirely.
+pub fn round_robin(queues: usize, devices: usize, start: usize) -> Vec<DeviceId> {
+    assert!(devices > 0);
+    (0..queues).map(|i| DeviceId((start + i) % devices)).collect()
+}
+
+/// Round-robin restricted to a device subset (used by manual baselines like
+/// "round robin over GPUs only").
+pub fn round_robin_over(queues: usize, pool: &[DeviceId], start: usize) -> Vec<DeviceId> {
+    assert!(!pool.is_empty());
+    (0..queues).map(|i| pool[(start + i) % pool.len()]).collect()
+}
+
+/// Enumerate every possible assignment of `queues` to `devices` (the paper's
+/// "one can schedule four queues among three devices in 3^4 ways"). Used by
+/// tests and the figure harness to verify AutoFit finds the true optimum.
+pub fn enumerate_assignments(queues: usize, devices: usize) -> Vec<Vec<DeviceId>> {
+    assert!(devices > 0);
+    let total = devices.pow(queues as u32);
+    let mut out = Vec::with_capacity(total);
+    for mut code in 0..total {
+        let mut a = Vec::with_capacity(queues);
+        for _ in 0..queues {
+            a.push(DeviceId(code % devices));
+            code /= devices;
+        }
+        out.push(a);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> SimDuration {
+        SimDuration::from_millis(v)
+    }
+
+    #[test]
+    fn single_queue_picks_fastest_device() {
+        let costs = vec![vec![ms(10), ms(5), ms(7)]];
+        let m = optimal(&costs);
+        assert_eq!(m.assignment, vec![DeviceId(1)]);
+        assert_eq!(m.makespan, ms(5));
+    }
+
+    #[test]
+    fn optimal_balances_load_across_devices() {
+        // Two identical queues, one fast device: splitting beats stacking.
+        let costs = vec![vec![ms(10), ms(12)], vec![ms(10), ms(12)]];
+        let m = optimal(&costs);
+        assert_eq!(m.makespan, ms(12));
+        assert_ne!(m.assignment[0], m.assignment[1]);
+    }
+
+    #[test]
+    fn optimal_matches_exhaustive_enumeration() {
+        // Pseudo-random 4-queue × 3-device instance, checked against brute
+        // force over all 81 assignments.
+        let costs: CostMatrix = vec![
+            vec![ms(13), ms(7), ms(9)],
+            vec![ms(4), ms(22), ms(6)],
+            vec![ms(11), ms(11), ms(2)],
+            vec![ms(8), ms(3), ms(17)],
+        ];
+        let m = optimal(&costs);
+        let brute = enumerate_assignments(4, 3)
+            .into_iter()
+            .map(|a| makespan(&costs, &a, 3))
+            .min()
+            .unwrap();
+        assert_eq!(m.makespan, brute);
+        assert_eq!(makespan(&costs, &m.assignment, 3), m.makespan);
+    }
+
+    #[test]
+    fn greedy_never_beats_optimal() {
+        let costs: CostMatrix = vec![
+            vec![ms(5), ms(9)],
+            vec![ms(6), ms(4)],
+            vec![ms(7), ms(8)],
+        ];
+        assert!(greedy(&costs).makespan >= optimal(&costs).makespan);
+    }
+
+    #[test]
+    fn round_robin_cycles_through_devices() {
+        let a = round_robin(5, 3, 0);
+        assert_eq!(
+            a,
+            vec![DeviceId(0), DeviceId(1), DeviceId(2), DeviceId(0), DeviceId(1)]
+        );
+        let b = round_robin(2, 3, 2);
+        assert_eq!(b, vec![DeviceId(2), DeviceId(0)]);
+    }
+
+    #[test]
+    fn round_robin_over_subset() {
+        let pool = [DeviceId(1), DeviceId(2)];
+        let a = round_robin_over(4, &pool, 0);
+        assert_eq!(a, vec![DeviceId(1), DeviceId(2), DeviceId(1), DeviceId(2)]);
+    }
+
+    #[test]
+    fn enumerate_covers_the_full_space() {
+        let all = enumerate_assignments(4, 3);
+        assert_eq!(all.len(), 81);
+        let unique: std::collections::HashSet<Vec<usize>> =
+            all.iter().map(|a| a.iter().map(|d| d.index()).collect()).collect();
+        assert_eq!(unique.len(), 81);
+    }
+
+    #[test]
+    fn empty_pool_yields_empty_mapping() {
+        let m = optimal(&vec![]);
+        assert!(m.assignment.is_empty());
+        assert_eq!(m.makespan, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn makespan_accounts_device_sharing() {
+        let costs = vec![vec![ms(10), ms(1)], vec![ms(10), ms(1)]];
+        // Both on device 1: loads add up.
+        let ms_val = makespan(&costs, &[DeviceId(1), DeviceId(1)], 2);
+        assert_eq!(ms_val, ms(2));
+    }
+}

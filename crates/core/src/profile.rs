@@ -1,0 +1,270 @@
+//! The static device profile and its filesystem cache (paper §V-A).
+//!
+//! The device profiler runs once, at platform initialization
+//! (`clGetPlatformIds` in the paper). It first looks for a cached profile on
+//! disk; only on a cache miss does it run the bandwidth and instruction-
+//! throughput micro-benchmarks (charging virtual time, exactly like the real
+//! runtime charges wall time on first run). The cache is keyed by the node
+//! configuration fingerprint, so it is re-measured only "if the system
+//! configuration changes".
+
+use clrt::Platform;
+use hwsim::microbench::{self, BandwidthCurve};
+use hwsim::{DeviceId, SimDuration};
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+
+/// Environment variable overriding the profile-cache directory (the paper:
+/// "the profile cache location can be controlled by environment variables").
+pub const PROFILE_DIR_ENV: &str = "MULTICL_PROFILE_DIR";
+
+/// Static per-node device profile: measured bandwidth curves and sustained
+/// instruction throughput for every device.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct DeviceProfile {
+    /// Node fingerprint the profile was measured on.
+    pub fingerprint: String,
+    /// Host↔device bandwidth curve per device.
+    pub h2d: Vec<BandwidthCurve>,
+    /// Device→device bandwidth curve per (src, dst) pair; `d2d[src][dst]`.
+    pub d2d: Vec<Vec<BandwidthCurve>>,
+    /// Sustained single-precision GFLOP/s per device.
+    pub gflops_sp: Vec<f64>,
+    /// Sustained double-precision GFLOP/s per device.
+    pub gflops_dp: Vec<f64>,
+}
+
+impl DeviceProfile {
+    /// Measure the profile by running the micro-benchmarks on the platform's
+    /// engine (charges virtual time — this is the first-run cost the cache
+    /// exists to avoid).
+    pub fn measure(platform: &Platform) -> DeviceProfile {
+        let node = platform.node().clone();
+        platform.with_engine(|engine| {
+            engine.set_tag(Some("device-profiling"));
+            let n = node.device_count();
+            let mut h2d = Vec::with_capacity(n);
+            let mut gflops_sp = Vec::with_capacity(n);
+            let mut gflops_dp = Vec::with_capacity(n);
+            for d in node.device_ids() {
+                h2d.push(microbench::measure_host_bandwidth(engine, &node, d));
+                gflops_sp.push(microbench::measure_instruction_throughput(engine, &node, d, false));
+                gflops_dp.push(microbench::measure_instruction_throughput(engine, &node, d, true));
+            }
+            let mut d2d = Vec::with_capacity(n);
+            for s in node.device_ids() {
+                let mut row = Vec::with_capacity(n);
+                for t in node.device_ids() {
+                    row.push(microbench::measure_d2d_bandwidth(engine, &node, s, t));
+                }
+                d2d.push(row);
+            }
+            engine.set_tag(None);
+            DeviceProfile { fingerprint: node.fingerprint(), h2d, d2d, gflops_sp, gflops_dp }
+        })
+    }
+
+    /// Predicted host↔device transfer time for `bytes` on `dev`.
+    pub fn host_transfer_time(&self, dev: DeviceId, bytes: u64) -> SimDuration {
+        self.h2d[dev.index()].predict_time(bytes)
+    }
+
+    /// Predicted device→device transfer time (staged through the host).
+    pub fn d2d_transfer_time(&self, src: DeviceId, dst: DeviceId, bytes: u64) -> SimDuration {
+        self.d2d[src.index()][dst.index()].predict_time(bytes)
+    }
+
+    /// Number of devices the profile covers.
+    pub fn device_count(&self) -> usize {
+        self.h2d.len()
+    }
+
+    /// Rank score for static scheduling by hint (§V-B): higher is better.
+    pub fn static_score(&self, dev: DeviceId, hint: StaticHint) -> f64 {
+        let i = dev.index();
+        match hint {
+            StaticHint::ComputeBound => self.gflops_sp[i],
+            StaticHint::MemoryBound => {
+                // Device-local memory bandwidth is approximated by the
+                // same-device "transfer" measurement (read+write at device
+                // memory speed).
+                self.d2d[i][i].gbs.last().copied().unwrap_or(0.0)
+            }
+            StaticHint::IoBound => self.h2d[i].gbs.last().copied().unwrap_or(0.0),
+        }
+    }
+}
+
+/// The static-mode selection criterion derived from queue hints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StaticHint {
+    /// Rank devices by instruction throughput.
+    ComputeBound,
+    /// Rank devices by device-memory bandwidth.
+    MemoryBound,
+    /// Rank devices by host-link bandwidth.
+    IoBound,
+}
+
+/// Filesystem cache for [`DeviceProfile`]s.
+#[derive(Debug, Clone)]
+pub struct ProfileCache {
+    dir: PathBuf,
+}
+
+impl ProfileCache {
+    /// Cache under an explicit directory.
+    pub fn at(dir: impl Into<PathBuf>) -> ProfileCache {
+        ProfileCache { dir: dir.into() }
+    }
+
+    /// Default location: `$MULTICL_PROFILE_DIR`, or the OS temp directory.
+    pub fn default_location() -> ProfileCache {
+        let dir = std::env::var_os(PROFILE_DIR_ENV)
+            .map(PathBuf::from)
+            .unwrap_or_else(|| std::env::temp_dir().join("multicl-profile-cache"));
+        ProfileCache { dir }
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn file_for(&self, fingerprint: &str) -> PathBuf {
+        // FNV-1a over the fingerprint keeps the file name short and stable.
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in fingerprint.bytes() {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        self.dir.join(format!("devprofile-{hash:016x}.json"))
+    }
+
+    /// Load the cached profile for `fingerprint`, if present and matching.
+    pub fn load(&self, fingerprint: &str) -> Option<DeviceProfile> {
+        let path = self.file_for(fingerprint);
+        let text = std::fs::read_to_string(path).ok()?;
+        let profile: DeviceProfile = serde_json::from_str(&text).ok()?;
+        (profile.fingerprint == fingerprint).then_some(profile)
+    }
+
+    /// Persist `profile` for future runs. Errors are reported but not fatal
+    /// (a missing cache only costs re-measurement).
+    pub fn store(&self, profile: &DeviceProfile) -> std::io::Result<()> {
+        std::fs::create_dir_all(&self.dir)?;
+        let path = self.file_for(&profile.fingerprint);
+        let text = serde_json::to_string(profile).expect("profile serializes");
+        std::fs::write(path, text)
+    }
+
+    /// Load the profile if cached, else measure (charging virtual time) and
+    /// cache it. This is the device-profiler entry point invoked at platform
+    /// initialization.
+    pub fn load_or_measure(&self, platform: &Platform) -> DeviceProfile {
+        let fingerprint = platform.node().fingerprint();
+        if let Some(p) = self.load(&fingerprint) {
+            return p;
+        }
+        let profile = DeviceProfile::measure(platform);
+        // Best effort: an unwritable cache directory only means the next run
+        // re-measures.
+        let _ = self.store(&profile);
+        profile
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hwsim::SimTime;
+
+    fn temp_cache(tag: &str) -> ProfileCache {
+        let dir = std::env::temp_dir().join(format!(
+            "multicl-test-cache-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        ProfileCache::at(dir)
+    }
+
+    #[test]
+    fn measurement_charges_virtual_time() {
+        let p = Platform::paper_node();
+        assert_eq!(p.now(), SimTime::ZERO);
+        let _profile = DeviceProfile::measure(&p);
+        assert!(p.now() > SimTime::ZERO, "micro-benchmarks must cost time");
+    }
+
+    #[test]
+    fn cache_roundtrip_preserves_profile() {
+        let cache = temp_cache("roundtrip");
+        let p = Platform::paper_node();
+        let measured = DeviceProfile::measure(&p);
+        cache.store(&measured).unwrap();
+        let loaded = cache.load(&measured.fingerprint).expect("cache hit");
+        // JSON float round-trips can differ in the last ULP; compare
+        // structurally with a tight relative tolerance.
+        assert_eq!(loaded.fingerprint, measured.fingerprint);
+        assert_eq!(loaded.h2d.len(), measured.h2d.len());
+        let close = |a: f64, b: f64| (a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1.0);
+        for (l, m) in loaded.h2d.iter().zip(&measured.h2d) {
+            assert_eq!(l.sizes, m.sizes);
+            assert!(l.gbs.iter().zip(&m.gbs).all(|(a, b)| close(*a, *b)));
+        }
+        for (lr, mr) in loaded.d2d.iter().zip(&measured.d2d) {
+            for (l, m) in lr.iter().zip(mr) {
+                assert_eq!(l.sizes, m.sizes);
+                assert!(l.gbs.iter().zip(&m.gbs).all(|(a, b)| close(*a, *b)));
+            }
+        }
+        assert!(loaded.gflops_sp.iter().zip(&measured.gflops_sp).all(|(a, b)| close(*a, *b)));
+        assert!(loaded.gflops_dp.iter().zip(&measured.gflops_dp).all(|(a, b)| close(*a, *b)));
+    }
+
+    #[test]
+    fn warm_cache_skips_measurement() {
+        let cache = temp_cache("warm");
+        let p1 = Platform::paper_node();
+        let _ = cache.load_or_measure(&p1); // cold: measures
+        let p2 = Platform::paper_node();
+        let t0 = p2.now();
+        let _ = cache.load_or_measure(&p2); // warm: loads
+        assert_eq!(p2.now(), t0, "warm load must not charge engine time");
+    }
+
+    #[test]
+    fn mismatched_fingerprint_misses() {
+        let cache = temp_cache("mismatch");
+        let p = Platform::paper_node();
+        let profile = DeviceProfile::measure(&p);
+        cache.store(&profile).unwrap();
+        assert!(cache.load("some-other-node").is_none());
+    }
+
+    #[test]
+    fn transfer_predictions_match_topology() {
+        let p = Platform::paper_node();
+        let profile = DeviceProfile::measure(&p);
+        let node = p.node();
+        let gpu = node.gpus()[0];
+        let bytes = 16 << 20;
+        let predicted = profile.host_transfer_time(gpu, bytes);
+        let actual = node.topology.host_transfer_time(gpu, bytes, &node.devices);
+        let err = (predicted.as_secs_f64() - actual.as_secs_f64()).abs() / actual.as_secs_f64();
+        assert!(err < 0.05, "prediction error {err}");
+    }
+
+    #[test]
+    fn static_scores_rank_sensibly() {
+        let p = Platform::paper_node();
+        let profile = DeviceProfile::measure(&p);
+        let node = p.node();
+        let cpu = node.cpu().unwrap();
+        let gpu = node.gpus()[0];
+        // GPU wins compute and device-memory bandwidth; CPU wins host I/O.
+        assert!(profile.static_score(gpu, StaticHint::ComputeBound) > profile.static_score(cpu, StaticHint::ComputeBound));
+        assert!(profile.static_score(gpu, StaticHint::MemoryBound) > profile.static_score(cpu, StaticHint::MemoryBound));
+        assert!(profile.static_score(cpu, StaticHint::IoBound) > profile.static_score(gpu, StaticHint::IoBound));
+    }
+}

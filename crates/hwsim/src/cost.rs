@@ -1,0 +1,311 @@
+//! The roofline kernel cost model.
+//!
+//! A kernel is described by its per-work-item arithmetic and memory traffic
+//! plus three qualitative traits ([`KernelTraits`]). Given a device and an
+//! NDRange, the model produces the kernel's execution time as
+//!
+//! ```text
+//! time = waves * max(compute_time_per_wave, memory_time_per_wave) + launch_overhead
+//! ```
+//!
+//! where a *wave* is one batch of `concurrent_workgroups` workgroups executing
+//! together. This wave structure is what makes **minikernel profiling**
+//! (paper §V-C2) work: running only workgroup 0 with the original launch
+//! configuration costs exactly one workgroup on one compute unit — a constant
+//! independent of the problem size — while remaining proportional to the
+//! full kernel's per-item costs, so *relative* device rankings are preserved.
+
+use crate::device::{DeviceSpec, KernelTraitsView};
+use crate::time::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Qualitative execution characteristics of a kernel, all in `[0, 1]`.
+///
+/// These play the role of the architectural knowledge MultiCL's kernel
+/// profiler extracts by *measurement* on real hardware; here they parameterize
+/// the simulator so that measurement recovers the same relative behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KernelTraits {
+    /// Fraction of global-memory accesses that are coalesced / unit-stride.
+    /// Column-major (Fortran-order) ports score low; row-major ports high.
+    pub coalescing: f64,
+    /// Degree of branch divergence between adjacent work-items.
+    pub branch_divergence: f64,
+    /// How amenable the inner arithmetic is to SIMD vectorization.
+    pub vector_friendliness: f64,
+    /// Whether the kernel computes in double precision.
+    pub double_precision: bool,
+}
+
+impl KernelTraits {
+    /// A well-behaved data-parallel kernel: coalesced, uniform, vectorizable.
+    pub const IDEAL: KernelTraits = KernelTraits {
+        coalescing: 1.0,
+        branch_divergence: 0.0,
+        vector_friendliness: 1.0,
+        double_precision: false,
+    };
+
+    /// Borrowed view used by the device efficiency model.
+    #[inline]
+    pub(crate) fn view(&self) -> KernelTraitsView {
+        KernelTraitsView {
+            coalescing: self.coalescing,
+            branch_divergence: self.branch_divergence,
+            vector_friendliness: self.vector_friendliness,
+        }
+    }
+}
+
+impl Default for KernelTraits {
+    fn default() -> Self {
+        KernelTraits::IDEAL
+    }
+}
+
+/// Launch geometry of a kernel: total work-items and workgroup size, flattened
+/// to 1-D (OpenCL NDRanges of any dimensionality flatten losslessly for cost
+/// purposes because the model is per-item).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct NdRangeShape {
+    /// Total number of work-items across all dimensions.
+    pub global_items: u64,
+    /// Work-items per workgroup.
+    pub local_items: u64,
+}
+
+impl NdRangeShape {
+    /// Build a shape, clamping degenerate inputs to at least one item.
+    pub fn new(global_items: u64, local_items: u64) -> Self {
+        let local = local_items.max(1);
+        let global = global_items.max(1);
+        NdRangeShape { global_items: global, local_items: local }
+    }
+
+    /// Number of workgroups (rounded up).
+    #[inline]
+    pub fn workgroups(&self) -> u64 {
+        self.global_items.div_ceil(self.local_items)
+    }
+}
+
+/// Quantitative cost description of a kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KernelCostSpec {
+    /// Floating-point operations performed per work-item.
+    pub flops_per_item: f64,
+    /// Bytes of global-memory traffic per work-item.
+    pub bytes_per_item: f64,
+    /// Qualitative traits.
+    pub traits: KernelTraits,
+}
+
+impl KernelCostSpec {
+    /// A compute-bound spec with the given flops/item and light memory use.
+    pub fn compute_bound(flops_per_item: f64) -> Self {
+        KernelCostSpec { flops_per_item, bytes_per_item: 8.0, traits: KernelTraits::IDEAL }
+    }
+
+    /// A memory-bound spec with the given bytes/item and light arithmetic.
+    pub fn memory_bound(bytes_per_item: f64) -> Self {
+        KernelCostSpec { flops_per_item: 2.0, bytes_per_item, traits: KernelTraits::IDEAL }
+    }
+
+    /// Builder-style trait override.
+    pub fn with_traits(mut self, traits: KernelTraits) -> Self {
+        self.traits = traits;
+        self
+    }
+
+    /// Execution time of the full kernel on `device` with launch shape `nd`.
+    pub fn kernel_time(&self, device: &DeviceSpec, nd: NdRangeShape) -> SimDuration {
+        let workgroups = nd.workgroups();
+        let conc = u64::from(device.concurrent_workgroups.max(1));
+        let waves = workgroups.div_ceil(conc);
+        // Items processed per full wave (the last partial wave is charged as
+        // a full one — tail effects are real on both CPUs and GPUs).
+        let items_per_wave = (conc.min(workgroups) * nd.local_items) as f64;
+        let wave = self.wave_time(device, nd, items_per_wave, conc.min(workgroups));
+        device.launch_overhead + wave * waves
+    }
+
+    /// Execution time of the *minikernel* (paper §V-C2): same launch shape,
+    /// but only workgroup 0 does work. One workgroup occupies one compute
+    /// unit; all other workgroups return immediately (their cost is folded
+    /// into the launch overhead).
+    pub fn minikernel_time(&self, device: &DeviceSpec, nd: NdRangeShape) -> SimDuration {
+        let items = nd.local_items as f64;
+        // One workgroup executing alone: utilization is whatever one
+        // workgroup's items can sustain on a single compute unit.
+        let wave = self.wave_time(device, nd, items, 1);
+        device.launch_overhead + wave
+    }
+
+    /// Time for one wave of `wgs` workgroups covering `items` work-items.
+    ///
+    /// A wave engages `ceil(wgs / wgs_per_cu)` compute units (capped at the
+    /// device total); per-unit utilization follows the saturating curve on
+    /// the items resident per engaged unit. Splitting parallelism this way —
+    /// *width* (engaged units) times *depth* (per-unit occupancy) — is what
+    /// lets the minikernel (one workgroup, one unit) remain a faithful probe
+    /// of relative device speed.
+    fn wave_time(&self, device: &DeviceSpec, nd: NdRangeShape, items: f64, wgs: u64) -> SimDuration {
+        let traits = self.traits.view();
+        let total_cus = u64::from(device.compute_units.max(1));
+        let wgs_per_cu = (u64::from(device.concurrent_workgroups.max(1)) / total_cus).max(1);
+        let engaged = wgs.div_ceil(wgs_per_cu).clamp(1, total_cus);
+        let items_per_cu = items / engaged as f64;
+        let ce = device.compute_efficiency(&traits, items_per_cu);
+        let me = device.memory_efficiency(&traits);
+        let cu_fraction = engaged as f64 / total_cus as f64;
+        let flops = self.flops_per_item * items;
+        let bytes = self.bytes_per_item * items;
+        let compute_rate = device.peak_flops(self.traits.double_precision) * ce * cu_fraction;
+        // Memory bandwidth is a shared resource but a single compute unit
+        // cannot saturate it either; scale by the same engaged fraction,
+        // floored so one unit still sees a usable slice of the bus.
+        let mem_fraction = cu_fraction.max(1.0 / total_cus as f64);
+        let mem_rate = device.mem_bandwidth_gbs * 1e9 * me * mem_fraction;
+        let t_compute = if flops > 0.0 { flops / compute_rate.max(1.0) } else { 0.0 };
+        let t_memory = if bytes > 0.0 { bytes / mem_rate.max(1.0) } else { 0.0 };
+        let _ = nd;
+        SimDuration::from_secs_f64(t_compute.max(t_memory))
+    }
+
+    /// Total global-memory traffic of the kernel in bytes.
+    #[inline]
+    pub fn total_bytes(&self, nd: NdRangeShape) -> u64 {
+        (self.bytes_per_item * nd.global_items as f64).round() as u64
+    }
+
+    /// Total floating-point work of the kernel.
+    #[inline]
+    pub fn total_flops(&self, nd: NdRangeShape) -> f64 {
+        self.flops_per_item * nd.global_items as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceType;
+
+    fn gpu() -> DeviceSpec {
+        DeviceSpec {
+            name: "g".into(),
+            device_type: DeviceType::Gpu,
+            compute_units: 14,
+            peak_gflops: 1030.0,
+            peak_gflops_dp: 515.0,
+            mem_bandwidth_gbs: 144.0,
+            mem_capacity: 3 << 30,
+            concurrent_workgroups: 112,
+            launch_overhead: SimDuration::from_micros(8),
+            saturation_items: 384.0,
+            socket: Some(1),
+        }
+    }
+
+    fn cpu() -> DeviceSpec {
+        DeviceSpec {
+            name: "c".into(),
+            device_type: DeviceType::Cpu,
+            compute_units: 16,
+            peak_gflops: 250.0,
+            peak_gflops_dp: 125.0,
+            mem_bandwidth_gbs: 42.0,
+            mem_capacity: 32 << 30,
+            concurrent_workgroups: 16,
+            launch_overhead: SimDuration::from_micros(3),
+            saturation_items: 32.0,
+            socket: None,
+        }
+    }
+
+    #[test]
+    fn ndrange_workgroup_count_rounds_up() {
+        assert_eq!(NdRangeShape::new(100, 32).workgroups(), 4);
+        assert_eq!(NdRangeShape::new(128, 32).workgroups(), 4);
+        assert_eq!(NdRangeShape::new(1, 64).workgroups(), 1);
+    }
+
+    #[test]
+    fn degenerate_ndrange_is_clamped() {
+        let nd = NdRangeShape::new(0, 0);
+        assert_eq!(nd.global_items, 1);
+        assert_eq!(nd.local_items, 1);
+        assert_eq!(nd.workgroups(), 1);
+    }
+
+    #[test]
+    fn compute_bound_ideal_kernel_prefers_gpu() {
+        let spec = KernelCostSpec::compute_bound(5_000.0);
+        let nd = NdRangeShape::new(1 << 20, 128);
+        let tg = spec.kernel_time(&gpu(), nd);
+        let tc = spec.kernel_time(&cpu(), nd);
+        assert!(tg < tc, "gpu={tg} cpu={tc}");
+    }
+
+    #[test]
+    fn uncoalesced_memory_bound_kernel_prefers_cpu() {
+        let traits = KernelTraits { coalescing: 0.05, ..KernelTraits::IDEAL };
+        let spec = KernelCostSpec::memory_bound(256.0).with_traits(traits);
+        let nd = NdRangeShape::new(1 << 20, 128);
+        let tg = spec.kernel_time(&gpu(), nd);
+        let tc = spec.kernel_time(&cpu(), nd);
+        assert!(tc < tg, "cpu={tc} gpu={tg}");
+    }
+
+    #[test]
+    fn kernel_time_scales_roughly_linearly_with_items() {
+        let spec = KernelCostSpec::compute_bound(1_000.0);
+        let small = spec.kernel_time(&gpu(), NdRangeShape::new(1 << 20, 128));
+        let large = spec.kernel_time(&gpu(), NdRangeShape::new(1 << 24, 128));
+        let ratio = large.ratio(small);
+        assert!((8.0..=32.0).contains(&ratio), "ratio={ratio}");
+    }
+
+    #[test]
+    fn minikernel_time_is_constant_in_problem_size() {
+        // The headline property behind Figure 8.
+        let spec = KernelCostSpec::compute_bound(10_000.0);
+        let t1 = spec.minikernel_time(&gpu(), NdRangeShape::new(1 << 16, 128));
+        let t2 = spec.minikernel_time(&gpu(), NdRangeShape::new(1 << 26, 128));
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn minikernel_time_is_much_smaller_than_kernel_time() {
+        let spec = KernelCostSpec::compute_bound(10_000.0);
+        let nd = NdRangeShape::new(1 << 24, 128);
+        for dev in [gpu(), cpu()] {
+            let full = spec.kernel_time(&dev, nd);
+            let mini = spec.minikernel_time(&dev, nd);
+            assert!(mini.as_nanos() * 100 < full.as_nanos(), "{}: mini={mini} full={full}", dev.name);
+        }
+    }
+
+    #[test]
+    fn minikernel_preserves_device_ranking_for_compute_bound() {
+        let spec = KernelCostSpec::compute_bound(20_000.0);
+        let nd = NdRangeShape::new(1 << 24, 128);
+        let full_gpu_wins = spec.kernel_time(&gpu(), nd) < spec.kernel_time(&cpu(), nd);
+        let mini_gpu_wins = spec.minikernel_time(&gpu(), nd) < spec.minikernel_time(&cpu(), nd);
+        assert_eq!(full_gpu_wins, mini_gpu_wins);
+    }
+
+    #[test]
+    fn launch_overhead_dominates_empty_kernels() {
+        let spec = KernelCostSpec { flops_per_item: 0.0, bytes_per_item: 0.0, traits: KernelTraits::IDEAL };
+        let nd = NdRangeShape::new(1, 1);
+        assert_eq!(spec.kernel_time(&gpu(), nd), gpu().launch_overhead);
+    }
+
+    #[test]
+    fn total_bytes_and_flops() {
+        let spec = KernelCostSpec { flops_per_item: 3.0, bytes_per_item: 16.0, traits: KernelTraits::IDEAL };
+        let nd = NdRangeShape::new(1000, 100);
+        assert_eq!(spec.total_bytes(nd), 16_000);
+        assert_eq!(spec.total_flops(nd), 3_000.0);
+    }
+}

@@ -1,0 +1,405 @@
+//! The discrete-event execution engine.
+//!
+//! Commands arrive from in-order command queues (via `clrt`). Because every
+//! dependency of a command is already submitted when the command itself is
+//! submitted (in-order queues + OpenCL event wait lists may only reference
+//! existing events), the engine can *eagerly* timestamp each command at
+//! submission:
+//!
+//! ```text
+//! start = max(host_now, device_available, max(dep.end for dep in waits))
+//! end   = start + duration
+//! ```
+//!
+//! Each device has **two lanes**: a compute engine (kernels) and a copy
+//! engine (DMA transfers), mirroring the paper-era hardware where transfers
+//! and kernels overlap when nothing orders them. Commands serialize within
+//! their lane; ordering *across* lanes comes only from event waits (which is
+//! how in-order command queues keep their semantics). The host clock only
+//! advances when the program *waits* (blocking reads, `clFinish`,
+//! `clWaitForEvents`) — between synchronizations the host enqueues
+//! asynchronously at a fixed small cost, exactly like a real runtime.
+
+use crate::device::DeviceId;
+use crate::time::{SimDuration, SimTime};
+use crate::trace::{Trace, TraceRecord};
+use std::sync::Arc;
+
+/// Index of an event in the engine's event table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(pub usize);
+
+/// Timestamps recorded for one command, mirroring OpenCL's
+/// `CL_PROFILING_COMMAND_{QUEUED,SUBMIT,START,END}`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventStamp {
+    /// When the host enqueued the command.
+    pub queued: SimTime,
+    /// When the runtime handed it to the device (same as `queued` here).
+    pub submit: SimTime,
+    /// When the device began executing it.
+    pub start: SimTime,
+    /// When execution completed.
+    pub end: SimTime,
+}
+
+impl EventStamp {
+    /// Device execution time of the command.
+    #[inline]
+    pub fn duration(&self) -> SimDuration {
+        self.end - self.start
+    }
+}
+
+/// What a command does (for tracing/accounting; the engine itself only needs
+/// the duration).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommandKind {
+    /// An NDRange kernel execution.
+    Kernel {
+        /// Kernel function name.
+        name: Arc<str>,
+    },
+    /// A data movement command.
+    Transfer {
+        /// Direction of movement.
+        kind: crate::topology::TransferKind,
+        /// Payload size.
+        bytes: u64,
+    },
+    /// A zero-duration marker (used for barriers/markers and user events).
+    Marker,
+}
+
+/// A command submitted to the engine.
+#[derive(Debug, Clone)]
+pub struct CommandDesc {
+    /// The device whose timeline the command occupies.
+    pub device: DeviceId,
+    /// What the command is (trace/accounting only).
+    pub kind: CommandKind,
+    /// Precomputed execution duration (from the cost model / topology).
+    pub duration: SimDuration,
+    /// Events that must complete before this command may start.
+    pub waits: Vec<EventId>,
+    /// Logical command-queue id, recorded in the trace.
+    pub queue: usize,
+}
+
+/// One execution lane (compute or copy engine) of a device.
+#[derive(Debug, Clone, Default)]
+struct LaneState {
+    /// The instant the lane becomes free.
+    available: SimTime,
+    /// Total busy time accumulated (for utilization reporting).
+    busy: SimDuration,
+}
+
+/// Per-device execution state: a compute engine and a copy engine.
+#[derive(Debug, Clone, Default)]
+struct DeviceState {
+    compute: LaneState,
+    copy: LaneState,
+}
+
+impl DeviceState {
+    fn lane_mut(&mut self, kind: &CommandKind) -> &mut LaneState {
+        match kind {
+            CommandKind::Transfer { .. } => &mut self.copy,
+            CommandKind::Kernel { .. } | CommandKind::Marker => &mut self.compute,
+        }
+    }
+}
+
+/// The discrete-event engine: device timelines + host clock + event table.
+#[derive(Debug)]
+pub struct Engine {
+    devices: Vec<DeviceState>,
+    host_now: SimTime,
+    events: Vec<EventStamp>,
+    trace: Trace,
+    /// Free-form label attached to subsequently-submitted commands
+    /// (e.g. "profiling", "iter:3"); drives overhead accounting.
+    tag: Option<Arc<str>>,
+    /// Host-side cost charged per enqueue (driver call overhead).
+    enqueue_cost: SimDuration,
+}
+
+impl Engine {
+    /// Create an engine for `device_count` devices, all idle at t=0.
+    pub fn new(device_count: usize) -> Self {
+        Engine {
+            devices: vec![DeviceState::default(); device_count],
+            host_now: SimTime::ZERO,
+            events: Vec::with_capacity(1024),
+            trace: Trace::default(),
+            tag: None,
+            enqueue_cost: SimDuration::from_nanos(500),
+        }
+    }
+
+    /// Number of device timelines.
+    #[inline]
+    pub fn device_count(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// The current host (virtual) time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.host_now
+    }
+
+    /// Set the label attached to subsequent trace records (`None` clears it).
+    pub fn set_tag(&mut self, tag: Option<&str>) {
+        self.tag = tag.map(Arc::from);
+    }
+
+    /// Current trace tag, if any.
+    pub fn tag(&self) -> Option<&str> {
+        self.tag.as_deref()
+    }
+
+    /// Submit a command; returns its completion event. Timestamps are
+    /// resolved immediately (see module docs).
+    ///
+    /// # Panics
+    /// Panics if `desc.device` or any wait event is out of range — both
+    /// indicate a runtime bug, not a user error.
+    pub fn submit(&mut self, desc: CommandDesc) -> EventId {
+        let dev = self
+            .devices
+            .get_mut(desc.device.index())
+            .expect("CommandDesc.device out of range");
+        let lane = dev.lane_mut(&desc.kind);
+        // Host pays a small driver cost per enqueue.
+        self.host_now += self.enqueue_cost;
+        let queued = self.host_now;
+        let mut ready = queued.max(lane.available);
+        for w in &desc.waits {
+            let stamp = self.events.get(w.0).expect("wait event out of range");
+            ready = ready.max(stamp.end);
+        }
+        let start = ready;
+        let end = start + desc.duration;
+        lane.available = end;
+        lane.busy += desc.duration;
+        let stamp = EventStamp { queued, submit: queued, start, end };
+        let id = EventId(self.events.len());
+        self.events.push(stamp);
+        self.trace.push(TraceRecord {
+            device: desc.device,
+            queue: desc.queue,
+            kind: desc.kind,
+            stamp,
+            tag: self.tag.clone(),
+        });
+        id
+    }
+
+    /// Create a marker event that completes at the current host time without
+    /// occupying any device (used for user events and completed-state queries).
+    pub fn marker_now(&mut self) -> EventId {
+        let t = self.host_now;
+        let id = EventId(self.events.len());
+        self.events.push(EventStamp { queued: t, submit: t, start: t, end: t });
+        id
+    }
+
+    /// The recorded timestamps of `ev`.
+    #[inline]
+    pub fn stamp(&self, ev: EventId) -> EventStamp {
+        self.events[ev.0]
+    }
+
+    /// Block the host until `ev` completes (`clWaitForEvents`).
+    pub fn wait(&mut self, ev: EventId) {
+        let end = self.events[ev.0].end;
+        self.host_now = self.host_now.max(end);
+    }
+
+    /// Block the host until every submitted command on `dev` completes
+    /// (both lanes drain).
+    pub fn finish_device(&mut self, dev: DeviceId) {
+        let d = &self.devices[dev.index()];
+        let avail = d.compute.available.max(d.copy.available);
+        self.host_now = self.host_now.max(avail);
+    }
+
+    /// Block the host until *all* devices are idle.
+    pub fn finish_all(&mut self) {
+        for d in 0..self.devices.len() {
+            self.finish_device(DeviceId(d));
+        }
+    }
+
+    /// Advance the host clock by `d` (models host-side compute between
+    /// enqueues).
+    pub fn host_busy(&mut self, d: SimDuration) {
+        self.host_now += d;
+    }
+
+    /// Total busy time accumulated by `dev` (compute + copy lanes).
+    pub fn device_busy(&self, dev: DeviceId) -> SimDuration {
+        let d = &self.devices[dev.index()];
+        d.compute.busy + d.copy.busy
+    }
+
+    /// The instant `dev` becomes fully free (both lanes).
+    pub fn device_available(&self, dev: DeviceId) -> SimTime {
+        let d = &self.devices[dev.index()];
+        d.compute.available.max(d.copy.available)
+    }
+
+    /// Read access to the accumulated trace.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Drain the accumulated trace, leaving it empty (used between
+    /// experiment repetitions).
+    pub fn take_trace(&mut self) -> Trace {
+        std::mem::take(&mut self.trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kernel(name: &str) -> CommandKind {
+        CommandKind::Kernel { name: Arc::from(name) }
+    }
+
+    fn cmd(dev: usize, ms: u64, waits: Vec<EventId>) -> CommandDesc {
+        CommandDesc {
+            device: DeviceId(dev),
+            kind: kernel("k"),
+            duration: SimDuration::from_millis(ms),
+            waits,
+            queue: 0,
+        }
+    }
+
+    #[test]
+    fn commands_on_one_device_serialize() {
+        let mut e = Engine::new(2);
+        let a = e.submit(cmd(0, 10, vec![]));
+        let b = e.submit(cmd(0, 5, vec![]));
+        assert_eq!(e.stamp(b).start, e.stamp(a).end);
+        assert_eq!(e.stamp(b).duration(), SimDuration::from_millis(5));
+    }
+
+    #[test]
+    fn transfer_and_kernel_lanes_overlap_on_one_device() {
+        let mut e = Engine::new(1);
+        let k = e.submit(cmd(0, 10, vec![]));
+        let t = e.submit(CommandDesc {
+            device: DeviceId(0),
+            kind: CommandKind::Transfer {
+                kind: crate::topology::TransferKind::HostToDevice,
+                bytes: 1024,
+            },
+            duration: SimDuration::from_millis(10),
+            waits: vec![],
+            queue: 0,
+        });
+        // The copy engine does not wait for the compute engine.
+        assert!(e.stamp(t).start < e.stamp(k).end);
+        // But an explicit wait still orders across lanes.
+        let t2 = e.submit(CommandDesc {
+            device: DeviceId(0),
+            kind: CommandKind::Transfer {
+                kind: crate::topology::TransferKind::DeviceToHost,
+                bytes: 1024,
+            },
+            duration: SimDuration::from_millis(1),
+            waits: vec![k],
+            queue: 0,
+        });
+        assert!(e.stamp(t2).start >= e.stamp(k).end);
+    }
+
+    #[test]
+    fn commands_on_different_devices_overlap() {
+        let mut e = Engine::new(2);
+        let a = e.submit(cmd(0, 10, vec![]));
+        let b = e.submit(cmd(1, 10, vec![]));
+        // Both start at (almost) t=0; they run concurrently.
+        assert!(e.stamp(b).start < e.stamp(a).end);
+    }
+
+    #[test]
+    fn waits_delay_start() {
+        let mut e = Engine::new(2);
+        let a = e.submit(cmd(0, 10, vec![]));
+        let b = e.submit(cmd(1, 5, vec![a]));
+        assert_eq!(e.stamp(b).start, e.stamp(a).end);
+    }
+
+    #[test]
+    fn host_wait_advances_clock() {
+        let mut e = Engine::new(1);
+        let a = e.submit(cmd(0, 10, vec![]));
+        assert!(e.now() < e.stamp(a).end);
+        e.wait(a);
+        assert_eq!(e.now(), e.stamp(a).end);
+        // Waiting again is idempotent.
+        e.wait(a);
+        assert_eq!(e.now(), e.stamp(a).end);
+    }
+
+    #[test]
+    fn finish_all_reaches_max_device_time() {
+        let mut e = Engine::new(3);
+        e.submit(cmd(0, 10, vec![]));
+        e.submit(cmd(1, 30, vec![]));
+        e.submit(cmd(2, 20, vec![]));
+        e.finish_all();
+        assert!(e.now() >= SimTime::from_nanos(30_000_000));
+    }
+
+    #[test]
+    fn commands_submitted_after_wait_start_later() {
+        let mut e = Engine::new(2);
+        let a = e.submit(cmd(0, 10, vec![]));
+        e.wait(a);
+        let b = e.submit(cmd(1, 1, vec![]));
+        assert!(e.stamp(b).start >= e.stamp(a).end);
+    }
+
+    #[test]
+    fn device_busy_accumulates() {
+        let mut e = Engine::new(1);
+        e.submit(cmd(0, 10, vec![]));
+        e.submit(cmd(0, 5, vec![]));
+        assert_eq!(e.device_busy(DeviceId(0)), SimDuration::from_millis(15));
+    }
+
+    #[test]
+    fn trace_records_tags() {
+        let mut e = Engine::new(1);
+        e.set_tag(Some("profiling"));
+        e.submit(cmd(0, 1, vec![]));
+        e.set_tag(None);
+        e.submit(cmd(0, 1, vec![]));
+        let recs = &e.trace().records;
+        assert_eq!(recs[0].tag.as_deref(), Some("profiling"));
+        assert_eq!(recs[1].tag, None);
+    }
+
+    #[test]
+    fn marker_completes_immediately() {
+        let mut e = Engine::new(1);
+        e.host_busy(SimDuration::from_millis(3));
+        let m = e.marker_now();
+        assert_eq!(e.stamp(m).end, e.now());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn submitting_to_unknown_device_panics() {
+        let mut e = Engine::new(1);
+        e.submit(cmd(5, 1, vec![]));
+    }
+}

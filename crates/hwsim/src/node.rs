@@ -1,0 +1,309 @@
+//! Prebuilt node configurations.
+//!
+//! [`NodeConfig::paper_node`] reconstructs the CLUSTER'15 testbed:
+//! a dual-socket oct-core AMD Opteron 6134 ("Magny-Cours") with two NVIDIA
+//! Tesla C2050 GPUs, exposed as three OpenCL devices (1 CPU + 2 GPUs).
+//! The network interface sits near socket 0 and both GPUs have affinity to
+//! socket 1, creating the nonuniform host–device distances the paper's device
+//! profiler measures.
+
+use crate::device::{DeviceId, DeviceSpec, DeviceType};
+use crate::time::SimDuration;
+use crate::topology::{LinkSpec, Topology};
+use serde::{Deserialize, Serialize};
+
+/// A complete node: device list plus interconnect topology.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NodeConfig {
+    /// Human-readable name used to key the device-profile cache.
+    pub name: String,
+    /// The OpenCL devices, indexed by [`DeviceId`].
+    pub devices: Vec<DeviceSpec>,
+    /// Interconnect description.
+    pub topology: Topology,
+}
+
+impl NodeConfig {
+    /// The paper's experimental node (§VI-A): 1 CPU device (16 Opteron 6134
+    /// cores across two sockets, 32 GB) + 2 GPU devices (Tesla C2050, 3 GB,
+    /// 144 GB/s, PCIe gen2 on socket 1).
+    pub fn paper_node() -> NodeConfig {
+        let cpu = DeviceSpec {
+            name: "AMD Opteron 6134 x2 (16 cores)".into(),
+            device_type: DeviceType::Cpu,
+            compute_units: 16,
+            // 16 cores * 2.3 GHz * 4-wide SSE * 2 (mul+add) ≈ 294 SP GFLOP/s.
+            peak_gflops: 294.0,
+            peak_gflops_dp: 147.0,
+            // Dual-socket DDR3-1333, 4 channels/socket ≈ 42 GB/s aggregate.
+            mem_bandwidth_gbs: 42.0,
+            mem_capacity: 32 << 30,
+            concurrent_workgroups: 16,
+            launch_overhead: SimDuration::from_micros(4),
+            // A CPU core is essentially fully utilized by a single resident
+            // work-item: it pipelines instructions without needing SIMT-style
+            // latency hiding. (GPUs are the ones that need many resident
+            // items per compute unit.)
+            saturation_items: 0.5,
+            socket: None,
+        };
+        let gpu = |i: usize| DeviceSpec {
+            name: format!("NVIDIA Tesla C2050 #{i}"),
+            device_type: DeviceType::Gpu,
+            compute_units: 14,
+            peak_gflops: 1030.0,
+            peak_gflops_dp: 515.0,
+            mem_bandwidth_gbs: 144.0,
+            mem_capacity: 3 << 30,
+            // 14 SMs * 8 resident workgroups at typical occupancy.
+            concurrent_workgroups: 112,
+            launch_overhead: SimDuration::from_micros(9),
+            // A Fermi SM wants ~12 warps resident to hide ALU latency.
+            saturation_items: 384.0,
+            socket: Some(1),
+        };
+        NodeConfig {
+            name: "cluster15-opteron6134-2xc2050".into(),
+            devices: vec![cpu, gpu(0), gpu(1)],
+            topology: Topology {
+                sockets: 2,
+                host_socket: 0,
+                device_links: vec![
+                    // CPU device: unused (host transfers use host_memcpy).
+                    LinkSpec::new(1, 20.0),
+                    // PCIe gen2 x16 ≈ 6 GB/s sustained, ~15 µs setup.
+                    LinkSpec::new(15, 6.0),
+                    LinkSpec::new(15, 6.0),
+                ],
+                // HyperTransport hop: ~25% bandwidth loss, extra 5 µs.
+                cross_socket_derate: 0.75,
+                cross_socket_latency: SimDuration::from_micros(5),
+                // Host memcpy: ~10 GB/s effective (read+write), 1 µs setup.
+                host_memcpy: LinkSpec::new(1, 10.0),
+            },
+        }
+    }
+
+    /// Device fission (`clCreateSubDevices`, paper §IV-D): return a node in
+    /// which device `dev` is replaced by `parts` equal sub-devices, each
+    /// with a `1/parts` share of the compute units, concurrent workgroups,
+    /// and memory bandwidth (partition-equally semantics). Memory capacity
+    /// is shared, not divided — sub-devices of one parent address the same
+    /// physical memory. The scheduler "handles all cl_device_id objects
+    /// uniformly", so sub-devices need no special casing anywhere else.
+    ///
+    /// Returns `None` if `parts` is 0, exceeds the device's compute units,
+    /// or doesn't divide them evenly (the `PARTITION_EQUALLY` rule).
+    pub fn fission(&self, dev: DeviceId, parts: u32) -> Option<NodeConfig> {
+        let spec = self.devices.get(dev.index())?;
+        if parts == 0 || parts > spec.compute_units || !spec.compute_units.is_multiple_of(parts) {
+            return None;
+        }
+        let mut node = self.clone();
+        node.name = format!("{}+fission[{}x{}]", self.name, dev, parts);
+        let parent = node.devices.remove(dev.index());
+        let parent_link = node.topology.device_links.remove(dev.index());
+        let f = f64::from(parts);
+        for i in 0..parts {
+            let sub = DeviceSpec {
+                name: format!("{} [sub {i}/{parts}]", parent.name),
+                compute_units: parent.compute_units / parts,
+                peak_gflops: parent.peak_gflops / f,
+                peak_gflops_dp: parent.peak_gflops_dp / f,
+                mem_bandwidth_gbs: parent.mem_bandwidth_gbs / f,
+                concurrent_workgroups: (parent.concurrent_workgroups / parts).max(1),
+                ..parent.clone()
+            };
+            node.devices.insert(dev.index() + i as usize, sub);
+            node.topology.device_links.insert(dev.index() + i as usize, parent_link);
+        }
+        Some(node)
+    }
+
+    /// The paper's testbed extended with an Intel Xeon Phi-style
+    /// coprocessor (the third device class the paper's introduction names).
+    /// The Phi behaves like a very wide CPU: many simple cores, good
+    /// bandwidth, strong dependence on vectorization.
+    pub fn paper_node_with_phi() -> NodeConfig {
+        let mut node = Self::paper_node();
+        node.name = "cluster15-opteron6134-2xc2050+phi".into();
+        node.devices.push(DeviceSpec {
+            name: "Intel Xeon Phi 5110P".into(),
+            device_type: DeviceType::Accelerator,
+            compute_units: 60,
+            // 60 cores * 1.05 GHz * 16-wide * 2 ≈ 2 TF SP, half DP.
+            peak_gflops: 2016.0,
+            peak_gflops_dp: 1008.0,
+            mem_bandwidth_gbs: 160.0,
+            mem_capacity: 8 << 30,
+            concurrent_workgroups: 240,
+            launch_overhead: SimDuration::from_micros(12),
+            // In-order cores with 4-way SMT: a handful of resident items
+            // per core suffice.
+            saturation_items: 8.0,
+            socket: Some(0),
+        });
+        node.topology.device_links.push(LinkSpec::new(15, 6.0));
+        node
+    }
+
+    /// A homogeneous multi-GPU node (used by ablation examples/tests).
+    pub fn gpu_node(gpus: usize) -> NodeConfig {
+        let mut base = Self::paper_node();
+        let gpu = base.devices[1].clone();
+        base.name = format!("homogeneous-{gpus}xgpu");
+        base.devices = (0..gpus)
+            .map(|i| {
+                let mut g = gpu.clone();
+                g.name = format!("GPU #{i}");
+                g.socket = Some(i % 2);
+                g
+            })
+            .collect();
+        base.topology.device_links = vec![LinkSpec::new(15, 6.0); gpus];
+        base
+    }
+
+    /// Number of devices in the node.
+    #[inline]
+    pub fn device_count(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// All device ids.
+    pub fn device_ids(&self) -> impl Iterator<Item = DeviceId> + '_ {
+        (0..self.devices.len()).map(DeviceId)
+    }
+
+    /// The spec for `dev`.
+    #[inline]
+    pub fn spec(&self, dev: DeviceId) -> &DeviceSpec {
+        &self.devices[dev.index()]
+    }
+
+    /// Ids of all devices of the given type.
+    pub fn devices_of_type(&self, ty: DeviceType) -> Vec<DeviceId> {
+        self.device_ids().filter(|d| self.spec(*d).device_type == ty).collect()
+    }
+
+    /// First CPU device, if any.
+    pub fn cpu(&self) -> Option<DeviceId> {
+        self.devices_of_type(DeviceType::Cpu).first().copied()
+    }
+
+    /// All GPU devices.
+    pub fn gpus(&self) -> Vec<DeviceId> {
+        self.devices_of_type(DeviceType::Gpu)
+    }
+
+    /// A configuration fingerprint: the profile cache is invalidated when the
+    /// system configuration changes (paper §V-A, "the benchmarks are run
+    /// again only if the system configuration changes").
+    pub fn fingerprint(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::with_capacity(128);
+        let _ = write!(s, "{}|", self.name);
+        for d in &self.devices {
+            let _ = write!(
+                s,
+                "{}:{}:{}cu:{:.0}gf:{:.0}gbs;",
+                d.name, d.device_type, d.compute_units, d.peak_gflops, d.mem_bandwidth_gbs
+            );
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_node_has_one_cpu_and_two_gpus() {
+        let node = NodeConfig::paper_node();
+        assert_eq!(node.device_count(), 3);
+        assert_eq!(node.cpu(), Some(DeviceId(0)));
+        assert_eq!(node.gpus(), vec![DeviceId(1), DeviceId(2)]);
+    }
+
+    #[test]
+    fn paper_node_gpus_live_on_socket_1() {
+        let node = NodeConfig::paper_node();
+        for g in node.gpus() {
+            assert_eq!(node.spec(g).socket, Some(1));
+        }
+        assert_eq!(node.topology.host_socket, 0);
+    }
+
+    #[test]
+    fn paper_node_capacities_match_testbed() {
+        let node = NodeConfig::paper_node();
+        assert_eq!(node.spec(DeviceId(0)).mem_capacity, 32 << 30);
+        assert_eq!(node.spec(DeviceId(1)).mem_capacity, 3 << 30);
+    }
+
+    #[test]
+    fn phi_node_adds_an_accelerator_device() {
+        let node = NodeConfig::paper_node_with_phi();
+        assert_eq!(node.device_count(), 4);
+        let phi = node.devices_of_type(DeviceType::Accelerator);
+        assert_eq!(phi.len(), 1);
+        assert_eq!(node.topology.device_links.len(), 4);
+        assert_ne!(node.fingerprint(), NodeConfig::paper_node().fingerprint());
+    }
+
+    #[test]
+    fn gpu_node_builder_produces_requested_count() {
+        let node = NodeConfig::gpu_node(4);
+        assert_eq!(node.device_count(), 4);
+        assert!(node.cpu().is_none());
+        assert_eq!(node.gpus().len(), 4);
+    }
+
+    #[test]
+    fn fission_splits_compute_resources_equally() {
+        let node = NodeConfig::paper_node();
+        let cpu = node.cpu().unwrap();
+        let split = node.fission(cpu, 2).expect("16 CUs divide by 2");
+        assert_eq!(split.device_count(), 4);
+        let (a, b) = (split.spec(DeviceId(0)), split.spec(DeviceId(1)));
+        assert_eq!(a.compute_units, 8);
+        assert_eq!(b.compute_units, 8);
+        assert_eq!(a.peak_gflops, node.spec(cpu).peak_gflops / 2.0);
+        // Memory capacity is shared, not divided.
+        assert_eq!(a.mem_capacity, node.spec(cpu).mem_capacity);
+        // The GPUs shifted but are unchanged.
+        assert_eq!(split.gpus().len(), 2);
+        assert_eq!(split.topology.device_links.len(), 4);
+    }
+
+    #[test]
+    fn fission_rejects_uneven_partitions() {
+        let node = NodeConfig::paper_node();
+        let cpu = node.cpu().unwrap();
+        assert!(node.fission(cpu, 0).is_none());
+        assert!(node.fission(cpu, 3).is_none(), "16 CUs don't divide by 3");
+        assert!(node.fission(cpu, 32).is_none(), "more parts than CUs");
+        assert!(node.fission(DeviceId(9), 2).is_none(), "unknown device");
+    }
+
+    #[test]
+    fn fissioned_subdevices_sum_to_the_parent() {
+        let node = NodeConfig::paper_node();
+        let gpu = node.gpus()[0];
+        let split = node.fission(gpu, 2).unwrap();
+        let subs = [DeviceId(1), DeviceId(2)];
+        let total_gf: f64 = subs.iter().map(|d| split.spec(*d).peak_gflops).sum();
+        assert!((total_gf - node.spec(gpu).peak_gflops).abs() < 1e-9);
+        let fingerprint_changed = split.fingerprint() != node.fingerprint();
+        assert!(fingerprint_changed, "fission must invalidate the profile cache");
+    }
+
+    #[test]
+    fn fingerprint_changes_with_configuration() {
+        let a = NodeConfig::paper_node();
+        let mut b = NodeConfig::paper_node();
+        b.devices.pop();
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+}

@@ -1,0 +1,187 @@
+//! Schedule analysis over execution traces: per-device utilization and a
+//! terminal Gantt chart. Companion tooling to
+//! [`Trace::to_chrome_json`](crate::trace::Trace::to_chrome_json) for
+//! inspecting what the scheduler actually did.
+
+use crate::device::DeviceId;
+use crate::time::{SimDuration, SimTime};
+use crate::trace::Trace;
+use std::collections::BTreeMap;
+
+/// Busy/idle accounting for one device over a trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceUtilization {
+    /// The device.
+    pub device: DeviceId,
+    /// Total time the device executed commands.
+    pub busy: SimDuration,
+    /// Commands executed.
+    pub commands: usize,
+    /// First command start on this device.
+    pub first_start: SimTime,
+    /// Last command end on this device.
+    pub last_end: SimTime,
+}
+
+impl DeviceUtilization {
+    /// Busy fraction of the `[0, horizon]` window.
+    pub fn utilization(&self, horizon: SimTime) -> f64 {
+        if horizon == SimTime::ZERO {
+            return 0.0;
+        }
+        self.busy.as_secs_f64() / horizon.as_secs_f64()
+    }
+}
+
+/// Compute per-device utilization from a trace. Devices that executed
+/// nothing are absent from the result.
+pub fn utilization(trace: &Trace) -> BTreeMap<DeviceId, DeviceUtilization> {
+    let mut out: BTreeMap<DeviceId, DeviceUtilization> = BTreeMap::new();
+    for r in &trace.records {
+        let u = out.entry(r.device).or_insert_with(|| DeviceUtilization {
+            device: r.device,
+            busy: SimDuration::ZERO,
+            commands: 0,
+            first_start: r.stamp.start,
+            last_end: r.stamp.end,
+        });
+        u.busy += r.stamp.duration();
+        u.commands += 1;
+        u.first_start = u.first_start.min(r.stamp.start);
+        u.last_end = u.last_end.max(r.stamp.end);
+    }
+    out
+}
+
+/// The end of the last command in the trace (the schedule's horizon).
+pub fn horizon(trace: &Trace) -> SimTime {
+    trace
+        .records
+        .iter()
+        .map(|r| r.stamp.end)
+        .max()
+        .unwrap_or(SimTime::ZERO)
+}
+
+/// Render an ASCII Gantt chart of the trace: one row per device, `width`
+/// columns spanning `[0, horizon]`. Each cell shows `#` when the device was
+/// busy for most of that slot, `+` when partially busy, `.` when idle.
+pub fn ascii_gantt(trace: &Trace, width: usize) -> String {
+    let width = width.max(10);
+    let end = horizon(trace);
+    if end == SimTime::ZERO {
+        return String::from("(empty trace)\n");
+    }
+    let slot_ns = (end.as_nanos() as f64 / width as f64).max(1.0);
+    let devices: Vec<DeviceId> = utilization(trace).into_keys().collect();
+    let mut out = String::new();
+    for dev in devices {
+        // Busy nanoseconds per slot.
+        let mut busy = vec![0.0f64; width];
+        for r in trace.records.iter().filter(|r| r.device == dev) {
+            let (s, e) = (r.stamp.start.as_nanos() as f64, r.stamp.end.as_nanos() as f64);
+            let first = (s / slot_ns) as usize;
+            let last = ((e / slot_ns) as usize).min(width - 1);
+            for (slot, b) in busy.iter_mut().enumerate().take(last + 1).skip(first) {
+                let lo = slot as f64 * slot_ns;
+                let hi = lo + slot_ns;
+                *b += (e.min(hi) - s.max(lo)).max(0.0);
+            }
+        }
+        out.push_str(&format!("{dev:>4} |"));
+        for b in busy {
+            let frac = b / slot_ns;
+            out.push(if frac > 0.5 {
+                '#'
+            } else if frac > 0.01 {
+                '+'
+            } else {
+                '.'
+            });
+        }
+        out.push_str("|\n");
+    }
+    out.push_str(&format!("      0 {:>width$}\n", format!("{end}"), width = width - 2));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{CommandDesc, CommandKind, Engine};
+
+    fn engine_with_work() -> Engine {
+        let mut e = Engine::new(2);
+        for i in 0..4 {
+            e.submit(CommandDesc {
+                device: DeviceId(i % 2),
+                kind: CommandKind::Marker,
+                duration: SimDuration::from_millis(10),
+                waits: vec![],
+                queue: 0,
+            });
+        }
+        e.finish_all();
+        e
+    }
+
+    #[test]
+    fn utilization_accounts_busy_time_and_commands() {
+        let e = engine_with_work();
+        let u = utilization(e.trace());
+        assert_eq!(u.len(), 2);
+        for du in u.values() {
+            assert_eq!(du.commands, 2);
+            assert_eq!(du.busy, SimDuration::from_millis(20));
+        }
+        let h = horizon(e.trace());
+        assert!(h >= SimTime::from_nanos(20_000_000));
+        // Both devices ran 20ms of a ~20ms horizon: utilization ≈ 1.
+        let frac = u[&DeviceId(0)].utilization(h);
+        assert!(frac > 0.9 && frac <= 1.0, "{frac}");
+    }
+
+    #[test]
+    fn gantt_renders_one_row_per_device() {
+        let e = engine_with_work();
+        let g = ascii_gantt(e.trace(), 40);
+        let rows: Vec<&str> = g.lines().collect();
+        assert_eq!(rows.len(), 3, "{g}");
+        assert!(rows[0].contains('#'));
+        assert!(rows[1].contains('#'));
+    }
+
+    #[test]
+    fn empty_trace_is_handled() {
+        let t = Trace::default();
+        assert!(utilization(&t).is_empty());
+        assert_eq!(horizon(&t), SimTime::ZERO);
+        assert_eq!(ascii_gantt(&t, 40), "(empty trace)\n");
+    }
+
+    #[test]
+    fn idle_device_shows_dots() {
+        let mut e = Engine::new(2);
+        // Device 0 busy early; device 1 busy late (after waiting).
+        let a = e.submit(CommandDesc {
+            device: DeviceId(0),
+            kind: CommandKind::Marker,
+            duration: SimDuration::from_millis(10),
+            waits: vec![],
+            queue: 0,
+        });
+        e.submit(CommandDesc {
+            device: DeviceId(1),
+            kind: CommandKind::Marker,
+            duration: SimDuration::from_millis(10),
+            waits: vec![a],
+            queue: 0,
+        });
+        let g = ascii_gantt(e.trace(), 20);
+        let rows: Vec<&str> = g.lines().collect();
+        // Device 0's row starts busy and ends idle; device 1 the reverse.
+        assert!(rows[0].trim_start().starts_with("D0 |#"));
+        assert!(rows[0].contains('.'));
+        assert!(rows[1].trim_start().starts_with("D1 |."));
+    }
+}

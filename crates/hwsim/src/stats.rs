@@ -1,0 +1,96 @@
+//! Small numeric helpers used by the experiment harness.
+
+/// Arithmetic mean; 0.0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Geometric mean; 0.0 for an empty slice. Non-positive entries are skipped
+/// (they would make the geomean undefined); if all entries are non-positive
+/// the result is 0.0. The paper reports its overall overhead as a geometric
+/// mean across benchmarks.
+pub fn geomean(xs: &[f64]) -> f64 {
+    let logs: Vec<f64> = xs.iter().filter(|&&x| x > 0.0).map(|x| x.ln()).collect();
+    if logs.is_empty() {
+        0.0
+    } else {
+        (logs.iter().sum::<f64>() / logs.len() as f64).exp()
+    }
+}
+
+/// Normalize each element by `base` (percent). Returns 0.0 entries when
+/// `base` is zero.
+pub fn normalize_pct(xs: &[f64], base: f64) -> Vec<f64> {
+    xs.iter()
+        .map(|x| if base > 0.0 { 100.0 * x / base } else { 0.0 })
+        .collect()
+}
+
+/// Relative overhead `(observed - ideal) / ideal * 100`, the paper's
+/// profiling-overhead metric (§VI-B1). Returns 0.0 when `ideal` is zero.
+pub fn overhead_pct(observed: f64, ideal: f64) -> f64 {
+    if ideal <= 0.0 {
+        0.0
+    } else {
+        (observed - ideal) / ideal * 100.0
+    }
+}
+
+/// Index of the minimum element (first on ties); `None` when empty or when
+/// any element is NaN.
+pub fn argmin(xs: &[f64]) -> Option<usize> {
+    if xs.iter().any(|x| x.is_nan()) {
+        return None;
+    }
+    xs.iter()
+        .enumerate()
+        .min_by(|a, b| a.1.partial_cmp(b.1).expect("NaN filtered above"))
+        .map(|(i, _)| i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_of_empty_is_zero() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+    }
+
+    #[test]
+    fn geomean_matches_hand_computation() {
+        let g = geomean(&[1.0, 100.0]);
+        assert!((g - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn geomean_skips_nonpositive() {
+        assert_eq!(geomean(&[0.0, -5.0]), 0.0);
+        let g = geomean(&[0.0, 4.0, 9.0]);
+        assert!((g - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overhead_pct_basic() {
+        assert!((overhead_pct(110.0, 100.0) - 10.0).abs() < 1e-12);
+        assert_eq!(overhead_pct(110.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn argmin_finds_first_minimum() {
+        assert_eq!(argmin(&[3.0, 1.0, 1.0, 2.0]), Some(1));
+        assert_eq!(argmin(&[]), None);
+        assert_eq!(argmin(&[1.0, f64::NAN]), None);
+    }
+
+    #[test]
+    fn normalize_pct_handles_zero_base() {
+        assert_eq!(normalize_pct(&[1.0, 2.0], 0.0), vec![0.0, 0.0]);
+        assert_eq!(normalize_pct(&[1.0, 2.0], 2.0), vec![50.0, 100.0]);
+    }
+}

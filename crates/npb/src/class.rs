@@ -1,0 +1,95 @@
+//! NPB problem classes.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// The NPB problem-size classes. Sizes here are scaled down from the real
+/// suite so the whole evaluation runs in seconds on a laptop; the *ratios*
+/// between classes (each step roughly 2–4× more work) are preserved, which
+/// is what the paper's class sweeps (e.g. Figure 8's EP.S…EP.D) exercise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Class {
+    /// Small (sanity size).
+    S,
+    /// Workstation.
+    W,
+    /// Class A.
+    A,
+    /// Class B.
+    B,
+    /// Class C.
+    C,
+    /// Class D (largest).
+    D,
+}
+
+impl Class {
+    /// All classes in ascending size order.
+    pub const ALL: [Class; 6] = [Class::S, Class::W, Class::A, Class::B, Class::C, Class::D];
+
+    /// Zero-based index in ascending size order.
+    pub fn index(self) -> usize {
+        match self {
+            Class::S => 0,
+            Class::W => 1,
+            Class::A => 2,
+            Class::B => 3,
+            Class::C => 4,
+            Class::D => 5,
+        }
+    }
+
+    /// One-letter name as used in benchmark labels (`EP.D`).
+    pub fn letter(self) -> char {
+        match self {
+            Class::S => 'S',
+            Class::W => 'W',
+            Class::A => 'A',
+            Class::B => 'B',
+            Class::C => 'C',
+            Class::D => 'D',
+        }
+    }
+}
+
+impl fmt::Display for Class {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.letter())
+    }
+}
+
+impl FromStr for Class {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_uppercase().as_str() {
+            "S" => Ok(Class::S),
+            "W" => Ok(Class::W),
+            "A" => Ok(Class::A),
+            "B" => Ok(Class::B),
+            "C" => Ok(Class::C),
+            "D" => Ok(Class::D),
+            other => Err(format!("unknown NPB class `{other}`")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_and_index_agree() {
+        for w in Class::ALL.windows(2) {
+            assert!(w[0] < w[1]);
+            assert_eq!(w[0].index() + 1, w[1].index());
+        }
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        for c in Class::ALL {
+            assert_eq!(c.to_string().parse::<Class>().unwrap(), c);
+        }
+        assert!("x".parse::<Class>().is_err());
+    }
+}

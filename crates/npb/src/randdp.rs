@@ -1,0 +1,115 @@
+//! The NPB double-precision pseudorandom generator (`randdp`).
+//!
+//! Linear congruential generator `x_{k+1} = a·x_k mod 2^46` with
+//! `a = 5^13`, exactly as specified in the NPB report and used by EP and
+//! CG's `makea`. Implemented with 64-bit integer arithmetic (the Fortran
+//! original splits into 23-bit halves to stay within doubles; `u128`
+//! multiplication gives identical results).
+
+/// The NPB multiplier `a = 5^13`.
+pub const A: u64 = 1_220_703_125;
+/// Default NPB seed.
+pub const SEED: u64 = 271_828_183;
+const MASK46: u64 = (1 << 46) - 1;
+const R46: f64 = 1.0 / (1u64 << 46) as f64;
+
+/// The `randdp` LCG state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RanDp {
+    x: u64,
+}
+
+impl RanDp {
+    /// Start from `seed` (the NPB convention uses odd seeds < 2^46).
+    pub fn new(seed: u64) -> RanDp {
+        RanDp { x: seed & MASK46 }
+    }
+
+    /// Start from the standard NPB seed.
+    pub fn standard() -> RanDp {
+        RanDp::new(SEED)
+    }
+
+    /// Next uniform double in `(0, 1)` (`vranlc`/`randlc` step).
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        self.x = ((u128::from(A) * u128::from(self.x)) & u128::from(MASK46)) as u64;
+        self.x as f64 * R46
+    }
+
+    /// Current raw state.
+    pub fn state(&self) -> u64 {
+        self.x
+    }
+
+    /// Jump the generator forward by `n` steps in `O(log n)`
+    /// (the NPB `randlc` power trick): computes `a^n mod 2^46` and applies
+    /// it. This is what lets EP work-items own disjoint subsequences.
+    pub fn skip(&mut self, n: u64) {
+        let an = pow_mod46(A, n);
+        self.x = ((u128::from(an) * u128::from(self.x)) & u128::from(MASK46)) as u64;
+    }
+}
+
+/// `a^n mod 2^46` by binary exponentiation.
+fn pow_mod46(a: u64, mut n: u64) -> u64 {
+    let mut base = a & MASK46;
+    let mut acc: u64 = 1;
+    while n > 0 {
+        if n & 1 == 1 {
+            acc = ((u128::from(acc) * u128::from(base)) & u128::from(MASK46)) as u64;
+        }
+        base = ((u128::from(base) * u128::from(base)) & u128::from(MASK46)) as u64;
+        n >>= 1;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn values_are_in_unit_interval() {
+        let mut r = RanDp::standard();
+        for _ in 0..1000 {
+            let v = r.next_f64();
+            assert!(v > 0.0 && v < 1.0, "{v}");
+        }
+    }
+
+    #[test]
+    fn skip_matches_sequential_stepping() {
+        let mut a = RanDp::standard();
+        let mut b = RanDp::standard();
+        for _ in 0..137 {
+            a.next_f64();
+        }
+        b.skip(137);
+        assert_eq!(a.state(), b.state());
+        assert_eq!(a.next_f64(), b.next_f64());
+    }
+
+    #[test]
+    fn skip_zero_is_identity() {
+        let mut a = RanDp::standard();
+        let before = a.state();
+        a.skip(0);
+        assert_eq!(a.state(), before);
+    }
+
+    #[test]
+    fn sequence_mean_is_near_half() {
+        let mut r = RanDp::standard();
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| r.next_f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean={mean}");
+    }
+
+    #[test]
+    fn distinct_seeds_give_distinct_streams() {
+        let mut a = RanDp::new(271_828_183);
+        let mut b = RanDp::new(314_159_265);
+        assert_ne!(a.next_f64(), b.next_f64());
+    }
+}

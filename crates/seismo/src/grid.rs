@@ -1,0 +1,105 @@
+//! Grid geometry and memory layouts.
+
+/// 3-D grid dimensions of one region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Dims {
+    /// Extent along x.
+    pub nx: usize,
+    /// Extent along y.
+    pub ny: usize,
+    /// Extent along z.
+    pub nz: usize,
+}
+
+impl Dims {
+    /// Construct dimensions.
+    pub fn new(nx: usize, ny: usize, nz: usize) -> Dims {
+        Dims { nx, ny, nz }
+    }
+
+    /// Total cell count.
+    pub fn cells(&self) -> usize {
+        self.nx * self.ny * self.nz
+    }
+}
+
+/// Memory layout of the field arrays — the paper's two code versions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Layout {
+    /// Fortran order (x fastest): what the reference DISFD arrays use.
+    /// Fast on the CPU, badly uncoalesced on GPUs when work-items stride y/z.
+    ColumnMajor,
+    /// C order (z fastest): the GPU-amenable port.
+    RowMajor,
+}
+
+impl Layout {
+    /// Linear index of `(i, j, k)` under this layout.
+    #[inline]
+    pub fn idx(self, i: usize, j: usize, k: usize, d: Dims) -> usize {
+        match self {
+            Layout::ColumnMajor => i + d.nx * (j + d.ny * k),
+            Layout::RowMajor => k + d.nz * (j + d.ny * i),
+        }
+    }
+
+    /// Effective GPU coalescing of the port (drives the cost model, §VI-B2:
+    /// the column-major version "performs worst when all kernels run on a
+    /// single GPU" and the row-major version is "more amenable for GPU
+    /// execution").
+    pub fn coalescing(self) -> f64 {
+        match self {
+            Layout::ColumnMajor => 0.2,
+            Layout::RowMajor => 0.7,
+        }
+    }
+
+    /// Short label used in reports ("col" / "row").
+    pub fn label(self) -> &'static str {
+        match self {
+            Layout::ColumnMajor => "col",
+            Layout::RowMajor => "row",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layouts_are_bijections() {
+        let d = Dims::new(4, 3, 5);
+        for layout in [Layout::ColumnMajor, Layout::RowMajor] {
+            let mut seen = vec![false; d.cells()];
+            for i in 0..d.nx {
+                for j in 0..d.ny {
+                    for k in 0..d.nz {
+                        let p = layout.idx(i, j, k, d);
+                        assert!(!seen[p], "{layout:?} collides at ({i},{j},{k})");
+                        seen[p] = true;
+                    }
+                }
+            }
+            assert!(seen.iter().all(|&s| s));
+        }
+    }
+
+    #[test]
+    fn column_major_is_x_fastest() {
+        let d = Dims::new(8, 8, 8);
+        assert_eq!(
+            Layout::ColumnMajor.idx(1, 0, 0, d),
+            Layout::ColumnMajor.idx(0, 0, 0, d) + 1
+        );
+        assert_eq!(
+            Layout::RowMajor.idx(0, 0, 1, d),
+            Layout::RowMajor.idx(0, 0, 0, d) + 1
+        );
+    }
+
+    #[test]
+    fn row_major_is_more_coalesced_for_the_gpu_port() {
+        assert!(Layout::RowMajor.coalescing() > Layout::ColumnMajor.coalescing());
+    }
+}

@@ -1,0 +1,497 @@
+//! The velocity and stress kernels of the FDM-Seismology port.
+//!
+//! All kernels share a [`Params`] block (geometry, layout, material,
+//! timestep) fixed at program-creation time, and operate on the nine field
+//! buffers of one region: velocities `vx, vy, vz` and stress components
+//! `sxx, syy, szz, sxy, sxz, syz`.
+//!
+//! Kernel inventory (matching the paper's counts):
+//!
+//! * velocity phase — `vel_vx`, `vel_vy`, `vel_vz` (region 1: 3 kernels),
+//!   plus `vel_taper` on region 2 (4 kernels; 7 total);
+//! * stress phase — `str_sxx/syy/szz` (normal), `str_sxy/sxz/syz` (shear),
+//!   `str_taper_n`, `str_taper_s`, `str_atten`, `str_free_surface`, and on
+//!   region 1 the source injection `str_source` (11 kernels), on region 2
+//!   four absorbing strips `str_absorb_{xlo,xhi,ylo,yhi}` (14 kernels;
+//!   25 total).
+
+use crate::grid::{Dims, Layout};
+use crate::medium::Medium;
+use crate::source::ricker;
+use clrt::{KernelBody, KernelCtx};
+use hwsim::{KernelCostSpec, KernelTraits};
+use std::sync::Arc;
+
+/// Fixed per-region parameters baked into the kernel bodies.
+#[derive(Debug, Clone)]
+pub struct Params {
+    /// Region grid dimensions.
+    pub dims: Dims,
+    /// Memory layout of the port (column- vs row-major).
+    pub layout: Layout,
+    /// Timestep (s).
+    pub dt: f64,
+    /// Grid spacing (m).
+    pub dx: f64,
+    /// The elastic medium (homogeneous or depth-layered, as in the
+    /// original DISFD "layered medium" model).
+    pub medium: Medium,
+    /// Sponge-taper width in cells (absorbing boundary).
+    pub sponge: usize,
+    /// Source peak frequency (Hz); source sits at the region center.
+    pub freq: f64,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params {
+            dims: Dims::new(24, 24, 12),
+            layout: Layout::ColumnMajor,
+            dt: 0.05,
+            dx: 1.0,
+            medium: Medium::homogeneous(1.0, 1.0, 1.0),
+            sponge: 4,
+            freq: 1.2,
+        }
+    }
+}
+
+impl Params {
+    fn traits(&self) -> KernelTraits {
+        KernelTraits {
+            coalescing: self.layout.coalescing(),
+            branch_divergence: 0.08,
+            vector_friendliness: 0.5,
+            double_precision: true,
+        }
+    }
+
+    /// Cerjan damping factor at `(i, j, k)`: 1.0 in the interior, smoothly
+    /// below 1.0 within `sponge` cells of any boundary.
+    fn taper(&self, i: usize, j: usize, k: usize) -> f64 {
+        let d = self.dims;
+        let edge = |p: usize, n: usize| -> usize { p.min(n - 1 - p) };
+        let m = edge(i, d.nx).min(edge(j, d.ny)).min(edge(k, d.nz));
+        if m >= self.sponge {
+            1.0
+        } else {
+            let w = (self.sponge - m) as f64;
+            (-0.015 * w * w).exp()
+        }
+    }
+}
+
+/// Clamped central difference along one axis of field `f`.
+#[inline]
+fn diff(
+    f: &[f64],
+    i: usize,
+    j: usize,
+    k: usize,
+    axis: usize,
+    p: &Params,
+) -> f64 {
+    let d = p.dims;
+    let (lo, hi) = match axis {
+        0 => (
+            p.layout.idx(i.saturating_sub(1), j, k, d),
+            p.layout.idx((i + 1).min(d.nx - 1), j, k, d),
+        ),
+        1 => (
+            p.layout.idx(i, j.saturating_sub(1), k, d),
+            p.layout.idx(i, (j + 1).min(d.ny - 1), k, d),
+        ),
+        _ => (
+            p.layout.idx(i, j, k.saturating_sub(1), d),
+            p.layout.idx(i, j, (k + 1).min(d.nz - 1), d),
+        ),
+    };
+    (f[hi] - f[lo]) / (2.0 * p.dx)
+}
+
+macro_rules! for_each_cell {
+    ($p:expr, $i:ident, $j:ident, $k:ident, $body:block) => {
+        for $k in 0..$p.dims.nz {
+            for $j in 0..$p.dims.ny {
+                for $i in 0..$p.dims.nx {
+                    $body
+                }
+            }
+        }
+    };
+}
+
+/// Velocity update for one component.
+/// Args: 0..=5 = sxx, syy, szz, sxy, sxz, syz (read); 6 = v component (mut).
+pub struct VelUpdate {
+    /// 0 = vx, 1 = vy, 2 = vz.
+    pub comp: usize,
+    /// Kernel name (`vel_vx` …).
+    pub kname: &'static str,
+    /// Shared parameters.
+    pub p: Arc<Params>,
+}
+
+impl KernelBody for VelUpdate {
+    fn name(&self) -> &str {
+        self.kname
+    }
+    fn arity(&self) -> usize {
+        7
+    }
+    fn cost(&self) -> KernelCostSpec {
+        // Reads three stress fields at 2 neighbors each + the velocity,
+        // writes the velocity: ~160 B and ~15 flops per cell.
+        KernelCostSpec { flops_per_item: 15.0, bytes_per_item: 160.0, traits: self.p.traits() }
+    }
+    fn execute(&self, ctx: &mut KernelCtx<'_>) {
+        let p = &self.p;
+        let sxx = ctx.slice::<f64>(0);
+        let syy = ctx.slice::<f64>(1);
+        let szz = ctx.slice::<f64>(2);
+        let sxy = ctx.slice::<f64>(3);
+        let sxz = ctx.slice::<f64>(4);
+        let syz = ctx.slice::<f64>(5);
+        let v = ctx.slice_mut::<f64>(6);
+        for_each_cell!(p, i, j, k, {
+            let div = match self.comp {
+                0 => diff(sxx, i, j, k, 0, p) + diff(sxy, i, j, k, 1, p) + diff(sxz, i, j, k, 2, p),
+                1 => diff(sxy, i, j, k, 0, p) + diff(syy, i, j, k, 1, p) + diff(syz, i, j, k, 2, p),
+                _ => diff(sxz, i, j, k, 0, p) + diff(syz, i, j, k, 1, p) + diff(szz, i, j, k, 2, p),
+            };
+            let scale = p.dt / p.medium.at_depth(k).rho;
+            v[p.layout.idx(i, j, k, p.dims)] += scale * div;
+        });
+    }
+}
+
+/// Sponge taper on the three velocity fields (region 2's fourth velocity
+/// kernel). Args: vx, vy, vz (mut).
+pub struct VelTaper {
+    /// Shared parameters.
+    pub p: Arc<Params>,
+}
+
+impl KernelBody for VelTaper {
+    fn name(&self) -> &str {
+        "vel_taper"
+    }
+    fn arity(&self) -> usize {
+        3
+    }
+    fn cost(&self) -> KernelCostSpec {
+        KernelCostSpec { flops_per_item: 6.0, bytes_per_item: 48.0, traits: self.p.traits() }
+    }
+    fn execute(&self, ctx: &mut KernelCtx<'_>) {
+        let p = &self.p;
+        let vx = ctx.slice_mut::<f64>(0);
+        let vy = ctx.slice_mut::<f64>(1);
+        let vz = ctx.slice_mut::<f64>(2);
+        for_each_cell!(p, i, j, k, {
+            let f = p.taper(i, j, k);
+            if f < 1.0 {
+                let idx = p.layout.idx(i, j, k, p.dims);
+                vx[idx] *= f;
+                vy[idx] *= f;
+                vz[idx] *= f;
+            }
+        });
+    }
+}
+
+/// Normal-stress update for one diagonal component.
+/// Args: vx, vy, vz (read); 3 = stress component (mut).
+pub struct StressNormal {
+    /// 0 = sxx, 1 = syy, 2 = szz.
+    pub comp: usize,
+    /// Kernel name (`str_sxx` …).
+    pub kname: &'static str,
+    /// Shared parameters.
+    pub p: Arc<Params>,
+}
+
+impl KernelBody for StressNormal {
+    fn name(&self) -> &str {
+        self.kname
+    }
+    fn arity(&self) -> usize {
+        4
+    }
+    fn cost(&self) -> KernelCostSpec {
+        KernelCostSpec { flops_per_item: 14.0, bytes_per_item: 128.0, traits: self.p.traits() }
+    }
+    fn execute(&self, ctx: &mut KernelCtx<'_>) {
+        let p = &self.p;
+        let vx = ctx.slice::<f64>(0);
+        let vy = ctx.slice::<f64>(1);
+        let vz = ctx.slice::<f64>(2);
+        let s = ctx.slice_mut::<f64>(3);
+        for_each_cell!(p, i, j, k, {
+            let exx = diff(vx, i, j, k, 0, p);
+            let eyy = diff(vy, i, j, k, 1, p);
+            let ezz = diff(vz, i, j, k, 2, p);
+            let tr = exx + eyy + ezz;
+            let own = [exx, eyy, ezz][self.comp];
+            let m = p.medium.at_depth(k);
+            s[p.layout.idx(i, j, k, p.dims)] += p.dt * (m.lam * tr + 2.0 * m.mu * own);
+        });
+    }
+}
+
+/// Shear-stress update for one off-diagonal component.
+/// Args: first velocity, second velocity (read); 2 = stress (mut).
+pub struct StressShear {
+    /// Differentiation axes `(a, b)`: s_ab += dt·μ·(dv_a/db + dv_b/da).
+    pub axes: (usize, usize),
+    /// Kernel name (`str_sxy` …).
+    pub kname: &'static str,
+    /// Shared parameters.
+    pub p: Arc<Params>,
+}
+
+impl KernelBody for StressShear {
+    fn name(&self) -> &str {
+        self.kname
+    }
+    fn arity(&self) -> usize {
+        3
+    }
+    fn cost(&self) -> KernelCostSpec {
+        KernelCostSpec { flops_per_item: 9.0, bytes_per_item: 96.0, traits: self.p.traits() }
+    }
+    fn execute(&self, ctx: &mut KernelCtx<'_>) {
+        let p = &self.p;
+        let va = ctx.slice::<f64>(0);
+        let vb = ctx.slice::<f64>(1);
+        let s = ctx.slice_mut::<f64>(2);
+        let (a, b) = self.axes;
+        for_each_cell!(p, i, j, k, {
+            let e = diff(va, i, j, k, b, p) + diff(vb, i, j, k, a, p);
+            s[p.layout.idx(i, j, k, p.dims)] += p.dt * p.medium.at_depth(k).mu * e;
+        });
+    }
+}
+
+/// Sponge taper over the three normal (or three shear) stress fields.
+/// Args: three stress fields (mut).
+pub struct StressTaper {
+    /// `str_taper_n` or `str_taper_s`.
+    pub kname: &'static str,
+    /// Shared parameters.
+    pub p: Arc<Params>,
+}
+
+impl KernelBody for StressTaper {
+    fn name(&self) -> &str {
+        self.kname
+    }
+    fn arity(&self) -> usize {
+        3
+    }
+    fn cost(&self) -> KernelCostSpec {
+        KernelCostSpec { flops_per_item: 6.0, bytes_per_item: 48.0, traits: self.p.traits() }
+    }
+    fn execute(&self, ctx: &mut KernelCtx<'_>) {
+        let p = &self.p;
+        let s0 = ctx.slice_mut::<f64>(0);
+        let s1 = ctx.slice_mut::<f64>(1);
+        let s2 = ctx.slice_mut::<f64>(2);
+        for_each_cell!(p, i, j, k, {
+            let f = p.taper(i, j, k);
+            if f < 1.0 {
+                let idx = p.layout.idx(i, j, k, p.dims);
+                s0[idx] *= f;
+                s1[idx] *= f;
+                s2[idx] *= f;
+            }
+        });
+    }
+}
+
+/// Explosive point source at the region center: adds a Ricker wavelet to
+/// the three normal stresses. Args: sxx, syy, szz (mut); 3 = t (f64).
+pub struct SourceInject {
+    /// Shared parameters.
+    pub p: Arc<Params>,
+}
+
+impl KernelBody for SourceInject {
+    fn name(&self) -> &str {
+        "str_source"
+    }
+    fn arity(&self) -> usize {
+        4
+    }
+    fn cost(&self) -> KernelCostSpec {
+        // Touches one cell; the launch overhead dominates.
+        KernelCostSpec {
+            flops_per_item: 12.0,
+            bytes_per_item: 48.0,
+            traits: KernelTraits { coalescing: 1.0, branch_divergence: 0.0, vector_friendliness: 0.5, double_precision: true },
+        }
+    }
+    fn execute(&self, ctx: &mut KernelCtx<'_>) {
+        let p = &self.p;
+        let t = ctx.f64(3);
+        let amp = ricker(t, p.freq) * p.dt;
+        let idx = p.layout.idx(p.dims.nx / 2, p.dims.ny / 2, p.dims.nz / 2, p.dims);
+        ctx.slice_mut::<f64>(0)[idx] += amp;
+        ctx.slice_mut::<f64>(1)[idx] += amp;
+        ctx.slice_mut::<f64>(2)[idx] += amp;
+    }
+}
+
+/// Free-surface condition at the top plane (k = 0): the z-normal tractions
+/// vanish. Args: szz, sxz, syz (mut).
+pub struct FreeSurface {
+    /// Shared parameters.
+    pub p: Arc<Params>,
+}
+
+impl KernelBody for FreeSurface {
+    fn name(&self) -> &str {
+        "str_free_surface"
+    }
+    fn arity(&self) -> usize {
+        3
+    }
+    fn cost(&self) -> KernelCostSpec {
+        KernelCostSpec { flops_per_item: 1.0, bytes_per_item: 24.0, traits: self.p.traits() }
+    }
+    fn execute(&self, ctx: &mut KernelCtx<'_>) {
+        let p = &self.p;
+        let szz = ctx.slice_mut::<f64>(0);
+        let sxz = ctx.slice_mut::<f64>(1);
+        let syz = ctx.slice_mut::<f64>(2);
+        for j in 0..p.dims.ny {
+            for i in 0..p.dims.nx {
+                let idx = p.layout.idx(i, j, 0, p.dims);
+                szz[idx] = 0.0;
+                sxz[idx] = 0.0;
+                syz[idx] = 0.0;
+            }
+        }
+    }
+}
+
+/// Intrinsic attenuation: uniform Q damping of all six stresses.
+/// Args: six stress fields (mut).
+pub struct Attenuate {
+    /// Shared parameters.
+    pub p: Arc<Params>,
+}
+
+impl KernelBody for Attenuate {
+    fn name(&self) -> &str {
+        "str_atten"
+    }
+    fn arity(&self) -> usize {
+        6
+    }
+    fn cost(&self) -> KernelCostSpec {
+        KernelCostSpec { flops_per_item: 6.0, bytes_per_item: 96.0, traits: self.p.traits() }
+    }
+    fn execute(&self, ctx: &mut KernelCtx<'_>) {
+        const Q: f64 = 0.9995;
+        for a in 0..6 {
+            for v in ctx.slice_mut::<f64>(a).iter_mut() {
+                *v *= Q;
+            }
+        }
+    }
+}
+
+/// One absorbing side strip (region 2's extra boundary handling): extra
+/// damping within the sponge on one lateral face.
+/// Args: six stress fields (mut).
+pub struct AbsorbStrip {
+    /// 0 = x-low, 1 = x-high, 2 = y-low, 3 = y-high.
+    pub side: usize,
+    /// Kernel name (`str_absorb_xlo` …).
+    pub kname: &'static str,
+    /// Shared parameters.
+    pub p: Arc<Params>,
+}
+
+impl KernelBody for AbsorbStrip {
+    fn name(&self) -> &str {
+        self.kname
+    }
+    fn arity(&self) -> usize {
+        6
+    }
+    fn cost(&self) -> KernelCostSpec {
+        KernelCostSpec { flops_per_item: 3.0, bytes_per_item: 48.0, traits: self.p.traits() }
+    }
+    fn execute(&self, ctx: &mut KernelCtx<'_>) {
+        let p = self.p.clone();
+        let d = p.dims;
+        let w = p.sponge.min(d.nx).min(d.ny);
+        let damp = 0.985f64;
+        let apply = |s: &mut [f64]| {
+            for k in 0..d.nz {
+                for t in 0..w {
+                    match self.side {
+                        0 | 1 => {
+                            let i = if self.side == 0 { t } else { d.nx - 1 - t };
+                            for j in 0..d.ny {
+                                s[p.layout.idx(i, j, k, d)] *= damp;
+                            }
+                        }
+                        _ => {
+                            let j = if self.side == 2 { t } else { d.ny - 1 - t };
+                            for i in 0..d.nx {
+                                s[p.layout.idx(i, j, k, d)] *= damp;
+                            }
+                        }
+                    }
+                }
+            }
+        };
+        for a in 0..6 {
+            apply(ctx.slice_mut::<f64>(a));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn taper_is_one_in_the_interior_and_below_one_at_edges() {
+        let p = Params::default();
+        let c = (p.dims.nx / 2, p.dims.ny / 2, p.dims.nz / 2);
+        assert_eq!(p.taper(c.0, c.1, c.2), 1.0);
+        assert!(p.taper(0, c.1, c.2) < 1.0);
+        assert!(p.taper(0, 0, 0) < p.taper(1, c.1, c.2));
+    }
+
+    #[test]
+    fn diff_of_linear_field_is_constant() {
+        let p = Params { dims: Dims::new(8, 8, 8), ..Params::default() };
+        let d = p.dims;
+        let mut f = vec![0.0; d.cells()];
+        for i in 0..d.nx {
+            for j in 0..d.ny {
+                for k in 0..d.nz {
+                    f[p.layout.idx(i, j, k, d)] = 3.0 * i as f64;
+                }
+            }
+        }
+        // Interior central difference of 3x is exactly 3.
+        let g = diff(&f, 4, 4, 4, 0, &p);
+        assert!((g - 3.0).abs() < 1e-12);
+        // Orthogonal axes see zero gradient.
+        assert_eq!(diff(&f, 4, 4, 4, 1, &p), 0.0);
+    }
+
+    #[test]
+    fn kernel_costs_reflect_layout_coalescing() {
+        let col = Params { layout: Layout::ColumnMajor, ..Params::default() };
+        let row = Params { layout: Layout::RowMajor, ..Params::default() };
+        let kc = VelUpdate { comp: 0, kname: "vel_vx", p: Arc::new(col) };
+        let kr = VelUpdate { comp: 0, kname: "vel_vx", p: Arc::new(row) };
+        assert!(kc.cost().traits.coalescing < kr.cost().traits.coalescing);
+    }
+}

@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+
+//! # seismo — FDM-Seismology on `clrt`/`multicl`
+//!
+//! Reproduction of the paper's real-world case study (§VI-B2): a
+//! finite-difference seismic wave propagation code in the velocity–stress
+//! formulation, modeling waves from a point source in a layered elastic
+//! medium with absorbing (sponge-taper) boundaries.
+//!
+//! Structure follows the OpenCL port the paper evaluates:
+//!
+//! * the wavefield is split into **two independent regions**, each computed
+//!   on its own command queue (the task parallelism MultiCL schedules);
+//! * each iteration computes **velocity** wavefields (7 kernels: 3 on
+//!   region 1, 4 on region 2) then **stress** wavefields (25 kernels: 11 on
+//!   region 1, 14 on region 2), each phase a synchronization epoch;
+//! * two memory layouts exist: **column-major** (directly following the
+//!   Fortran arrays — fast on the CPU, uncoalesced on GPUs) and
+//!   **row-major** (GPU-friendly). Figure 9's crossover — column-major best
+//!   on (CPU,CPU), row-major best on (GPU0,GPU1) — falls out of the layout's
+//!   coalescing characteristics.
+//!
+//! Physics simplifications vs. the original DISFD code (documented in
+//! DESIGN.md): collocated central differences instead of a staggered grid,
+//! Cerjan sponge tapers instead of PML, homogeneous medium per region. The
+//! kernel structure, data volumes, and layout behaviour — what the paper's
+//! evaluation actually exercises — are preserved.
+
+pub mod app;
+pub mod grid;
+pub mod medium;
+pub mod kernels;
+pub mod source;
+
+pub use app::{FdmApp, FdmConfig, FdmPlan, IterTime};
+pub use grid::{Dims, Layout};
+pub use medium::{Layer, Material, Medium};
+pub use source::ricker;

@@ -1,0 +1,41 @@
+//! The seismic source time function.
+
+/// Ricker wavelet with peak frequency `f` (Hz) at time `t` (s), delayed so
+/// the wavelet starts near zero: `r(τ) = (1 − 2π²f²τ²)·exp(−π²f²τ²)` with
+/// `τ = t − 1/f`.
+pub fn ricker(t: f64, f: f64) -> f64 {
+    let tau = t - 1.0 / f;
+    let a = std::f64::consts::PI * f * tau;
+    let a2 = a * a;
+    (1.0 - 2.0 * a2) * (-a2).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_is_at_the_delay_time() {
+        let f = 5.0;
+        let peak = ricker(1.0 / f, f);
+        assert!((peak - 1.0).abs() < 1e-12);
+        assert!(ricker(1.0 / f + 0.05, f) < peak);
+        assert!(ricker(1.0 / f - 0.05, f) < peak);
+    }
+
+    #[test]
+    fn wavelet_decays_to_zero() {
+        let f = 5.0;
+        assert!(ricker(0.0, f).abs() < 0.1);
+        assert!(ricker(10.0, f).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wavelet_has_zero_mean_shape() {
+        // The Ricker wavelet integrates to ~0 over its support.
+        let f = 4.0;
+        let dt = 1e-3;
+        let integral: f64 = (0..2000).map(|s| ricker(s as f64 * dt, f) * dt).sum();
+        assert!(integral.abs() < 1e-3, "{integral}");
+    }
+}

@@ -1,0 +1,64 @@
+//! Run SNU-NPB-MD benchmarks under automatic scheduling.
+//!
+//! Usage: `cargo run --release --example npb_suite [BENCH] [CLASS] [QUEUES]`
+//! e.g. `cargo run --release --example npb_suite EP C 4`
+//! With no arguments, runs every benchmark at a small class with 4 queues.
+
+use multicl::{ContextSchedPolicy, ProfileCache, SchedOptions};
+use npb::{run_benchmark, suite, Class, QueuePlan};
+
+fn options() -> SchedOptions {
+    SchedOptions {
+        profile_cache: ProfileCache::at(
+            std::env::temp_dir().join(format!("multicl-example-{}", std::process::id())),
+        ),
+        ..SchedOptions::default()
+    }
+}
+
+fn run_one(name: &str, class: Class, queues: usize) {
+    let platform = clrt::Platform::paper_node();
+    match run_benchmark(
+        &platform,
+        ContextSchedPolicy::AutoFit,
+        options(),
+        name,
+        class,
+        queues,
+        &QueuePlan::Auto,
+    ) {
+        Ok(r) => {
+            let devices: Vec<String> = r.final_devices.iter().map(|d| d.to_string()).collect();
+            println!(
+                "{:<6} time={:<12} verified={:<5} queues->[{}]  (profiled epochs: {})",
+                r.label,
+                r.time.to_string(),
+                r.verified,
+                devices.join(", "),
+                r.stats.profiled_epochs
+            );
+        }
+        Err(e) => println!("{name}.{class}: {e}"),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.as_slice() {
+        [name, class, queues] => {
+            let class: Class = class.parse().expect("class is one of S,W,A,B,C,D");
+            let queues: usize = queues.parse().expect("queue count");
+            run_one(name, class, queues);
+        }
+        [] => {
+            println!("SNU-NPB-MD under MultiCL AUTO_FIT (4 queues):\n");
+            for b in suite() {
+                // Smallest class each benchmark supports keeps this quick.
+                let queues = if b.queue_rule.allows(4) { 4 } else { 1 };
+                run_one(b.name, b.classes[0], queues);
+            }
+            println!("\n(arguments: BENCH CLASS QUEUES — e.g. `npb_suite EP C 4`)");
+        }
+        _ => eprintln!("usage: npb_suite [BENCH CLASS QUEUES]"),
+    }
+}

@@ -1,0 +1,10 @@
+//! Umbrella crate for the MultiCL reproduction workspace.
+//!
+//! Re-exports the public API of every member crate so that examples and
+//! integration tests can `use multicl_repro::...` uniformly.
+
+pub use clrt;
+pub use hwsim;
+pub use multicl;
+pub use npb;
+pub use seismo;

@@ -1,0 +1,166 @@
+//! Stateful property test: buffer coherence under arbitrary command
+//! sequences.
+//!
+//! A random interleaving of writes, kernel launches, copies, and reads
+//! across multiple queues/devices is mirrored against a trivial shadow
+//! model (plain `Vec<f64>` per buffer). Whatever the residency tracker and
+//! migration machinery do internally, every read-back must match the
+//! shadow — i.e. the simulated memory system is coherent.
+
+use clrt::{ArgValue, Buffer, CommandQueue, KernelBody, KernelCtx, NdRange, Platform};
+use hwsim::{DeviceId, KernelCostSpec};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+const N: usize = 64;
+const BUFFERS: usize = 3;
+const QUEUES: usize = 3;
+
+/// `scale_add`: buf[i] = buf[i] * a + b. Args: buf(mut), a, b.
+struct ScaleAdd;
+impl KernelBody for ScaleAdd {
+    fn name(&self) -> &str {
+        "scale_add"
+    }
+    fn arity(&self) -> usize {
+        3
+    }
+    fn cost(&self) -> KernelCostSpec {
+        KernelCostSpec::memory_bound(16.0)
+    }
+    fn execute(&self, ctx: &mut KernelCtx<'_>) {
+        let a = ctx.f64(1);
+        let b = ctx.f64(2);
+        for v in ctx.slice_mut::<f64>(0).iter_mut() {
+            *v = *v * a + b;
+        }
+    }
+}
+
+/// One step of the random program.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Write `value` to buffer `buf` via queue `q`.
+    Write { q: usize, buf: usize, value: f64 },
+    /// Launch scale_add on buffer `buf` via queue `q`.
+    Kernel { q: usize, buf: usize, a: f64, b: f64 },
+    /// Copy buffer `src` into buffer `dst` via queue `q`.
+    Copy { q: usize, src: usize, dst: usize },
+    /// Read buffer `buf` back via queue `q` and check it.
+    Read { q: usize, buf: usize },
+    /// Rebind queue `q` to device `dev` (the scheduler hook).
+    Rebind { q: usize, dev: usize },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..QUEUES, 0..BUFFERS, -10.0f64..10.0).prop_map(|(q, buf, value)| Op::Write { q, buf, value }),
+        (0..QUEUES, 0..BUFFERS, 0.5f64..2.0, -1.0f64..1.0)
+            .prop_map(|(q, buf, a, b)| Op::Kernel { q, buf, a, b }),
+        (0..QUEUES, 0..BUFFERS, 0..BUFFERS).prop_map(|(q, src, dst)| Op::Copy { q, src, dst }),
+        (0..QUEUES, 0..BUFFERS).prop_map(|(q, buf)| Op::Read { q, buf }),
+        (0..QUEUES, 0..3usize).prop_map(|(q, dev)| Op::Rebind { q, dev }),
+    ]
+}
+
+struct Harness {
+    queues: Vec<CommandQueue>,
+    buffers: Vec<Buffer>,
+    kernel: clrt::Kernel,
+    shadow: Vec<Vec<f64>>,
+}
+
+impl Harness {
+    fn new() -> Harness {
+        let platform = Platform::paper_node();
+        let ctx = platform.create_context_all().unwrap();
+        let program = ctx.create_program(vec![Arc::new(ScaleAdd) as Arc<dyn KernelBody>]).unwrap();
+        program.build(0).unwrap();
+        let kernel = program.create_kernel("scale_add").unwrap();
+        Harness {
+            queues: (0..QUEUES).map(|i| ctx.create_queue(DeviceId(i % 3)).unwrap()).collect(),
+            buffers: (0..BUFFERS).map(|_| ctx.create_buffer_of::<f64>(N).unwrap()).collect(),
+            kernel,
+            shadow: vec![vec![0.0; N]; BUFFERS],
+        }
+    }
+
+    fn apply(&mut self, op: &Op) -> Result<(), TestCaseError> {
+        match *op {
+            Op::Write { q, buf, value } => {
+                // Cross-queue hazards are the app's responsibility in
+                // OpenCL; serialize like a correct app would.
+                self.sync();
+                self.queues[q].enqueue_write(&self.buffers[buf], &vec![value; N]).unwrap();
+                self.shadow[buf] = vec![value; N];
+            }
+            Op::Kernel { q, buf, a, b } => {
+                self.sync();
+                self.kernel.set_arg(0, ArgValue::BufferMut(self.buffers[buf].clone())).unwrap();
+                self.kernel.set_arg(1, ArgValue::F64(a)).unwrap();
+                self.kernel.set_arg(2, ArgValue::F64(b)).unwrap();
+                self.queues[q]
+                    .enqueue_ndrange(&self.kernel, NdRange::d1(N as u64, 16), &[])
+                    .unwrap();
+                for v in self.shadow[buf].iter_mut() {
+                    *v = *v * a + b;
+                }
+            }
+            Op::Copy { q, src, dst } => {
+                if src == dst {
+                    return Ok(());
+                }
+                self.sync();
+                self.queues[q].enqueue_copy(&self.buffers[src], &self.buffers[dst]).unwrap();
+                self.shadow[dst] = self.shadow[src].clone();
+            }
+            Op::Read { q, buf } => {
+                let mut out = vec![0.0f64; N];
+                self.queues[q].enqueue_read(&self.buffers[buf], &mut out).unwrap();
+                prop_assert_eq!(&out, &self.shadow[buf], "read-back diverged from shadow");
+            }
+            Op::Rebind { q, dev } => {
+                self.queues[q].rebind(DeviceId(dev)).unwrap();
+            }
+        }
+        Ok(())
+    }
+
+    fn sync(&self) {
+        for q in &self.queues {
+            q.finish();
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_programs_stay_coherent(ops in proptest::collection::vec(op_strategy(), 1..40)) {
+        let mut h = Harness::new();
+        for op in &ops {
+            h.apply(op)?;
+        }
+        // Final read-back of everything through every queue.
+        for q in 0..QUEUES {
+            for buf in 0..BUFFERS {
+                h.apply(&Op::Read { q, buf })?;
+            }
+        }
+    }
+
+    /// Residency invariant: after any program, every buffer is valid
+    /// somewhere (host or at least one device).
+    #[test]
+    fn buffers_are_always_valid_somewhere(ops in proptest::collection::vec(op_strategy(), 1..30)) {
+        let mut h = Harness::new();
+        for op in &ops {
+            h.apply(op)?;
+        }
+        for buf in &h.buffers {
+            let r = buf.residency();
+            prop_assert!(r.host || !r.devices.is_empty(), "buffer lost: {r:?}");
+        }
+    }
+}

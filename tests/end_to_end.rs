@@ -1,0 +1,426 @@
+//! Cross-crate integration tests: the full stack from the OpenCL-style API
+//! through the MultiCL scheduler to the simulated node.
+
+use clrt::{ArgValue, KernelBody, KernelCtx, NdRange, Platform};
+use hwsim::{DeviceId, KernelCostSpec, KernelTraits};
+use multicl::{
+    set_kernel_work_group_info, ContextSchedPolicy, MulticlContext, ProfileCache, QueueSchedFlags,
+    SchedOptions,
+};
+use std::sync::Arc;
+
+fn options(tag: &str) -> SchedOptions {
+    SchedOptions {
+        profile_cache: ProfileCache::at(
+            std::env::temp_dir().join(format!("multicl-e2e-{tag}-{}", std::process::id())),
+        ),
+        ..SchedOptions::default()
+    }
+}
+
+struct Axpy;
+impl KernelBody for Axpy {
+    fn name(&self) -> &str {
+        "axpy"
+    }
+    fn arity(&self) -> usize {
+        4
+    }
+    fn cost(&self) -> KernelCostSpec {
+        KernelCostSpec::memory_bound(24.0)
+    }
+    fn execute(&self, ctx: &mut KernelCtx<'_>) {
+        let a = ctx.f64(0);
+        let n = ctx.u64(3) as usize;
+        let x = ctx.slice::<f64>(1);
+        let y = ctx.slice_mut::<f64>(2);
+        for i in 0..n {
+            y[i] += a * x[i];
+        }
+    }
+}
+
+struct Branchy;
+impl KernelBody for Branchy {
+    fn name(&self) -> &str {
+        "branchy"
+    }
+    fn arity(&self) -> usize {
+        1
+    }
+    fn cost(&self) -> KernelCostSpec {
+        KernelCostSpec::memory_bound(200.0).with_traits(KernelTraits {
+            coalescing: 0.1,
+            branch_divergence: 0.7,
+            vector_friendliness: 0.2,
+            double_precision: true,
+        })
+    }
+    fn execute(&self, ctx: &mut KernelCtx<'_>) {
+        for v in ctx.slice_mut::<f64>(0).iter_mut() {
+            *v += 1.0;
+        }
+    }
+}
+
+#[test]
+fn results_are_identical_across_all_schedules() {
+    // The same program must produce bit-identical results no matter where
+    // the scheduler puts it: manual CPU, manual GPU, AutoFit, RoundRobin.
+    let reference: Option<Vec<f64>> = None;
+    let mut reference = reference;
+    let node = hwsim::NodeConfig::paper_node();
+    let plans: Vec<(&str, Option<DeviceId>, ContextSchedPolicy)> = vec![
+        ("cpu", Some(node.cpu().unwrap()), ContextSchedPolicy::AutoFit),
+        ("gpu", Some(node.gpus()[0]), ContextSchedPolicy::AutoFit),
+        ("autofit", None, ContextSchedPolicy::AutoFit),
+        ("rr", None, ContextSchedPolicy::RoundRobin),
+    ];
+    for (tag, manual, policy) in plans {
+        let platform = Platform::paper_node();
+        let ctx = MulticlContext::with_options(&platform, policy, options(tag)).unwrap();
+        let program = ctx.create_program(vec![Arc::new(Axpy) as Arc<dyn KernelBody>]).unwrap();
+        let k = program.create_kernel("axpy").unwrap();
+        let q = match manual {
+            Some(d) => ctx.create_queue_on(d).unwrap(),
+            None => ctx.create_queue(QueueSchedFlags::SCHED_AUTO_DYNAMIC).unwrap(),
+        };
+        let n = 4096usize;
+        let x = ctx.create_buffer_of::<f64>(n).unwrap();
+        let y = ctx.create_buffer_of::<f64>(n).unwrap();
+        q.enqueue_write(&x, &(0..n).map(|i| (i as f64).sin()).collect::<Vec<_>>()).unwrap();
+        q.enqueue_write(&y, &vec![1.0; n]).unwrap();
+        k.set_arg(0, ArgValue::F64(2.5)).unwrap();
+        k.set_arg(1, ArgValue::Buffer(x)).unwrap();
+        k.set_arg(2, ArgValue::BufferMut(y.clone())).unwrap();
+        k.set_arg(3, ArgValue::U64(n as u64)).unwrap();
+        q.enqueue_ndrange(&k, NdRange::d1(n as u64, 64)).unwrap();
+        let mut out = vec![0.0; n];
+        q.enqueue_read(&y, &mut out).unwrap();
+        match &reference {
+            None => reference = Some(out),
+            Some(r) => assert_eq!(r, &out, "schedule `{tag}` changed the results"),
+        }
+    }
+}
+
+#[test]
+fn mixed_manual_and_auto_queues_coexist() {
+    // Paper §IV-B: "an intermediate or advanced user may want to manually
+    // optimize the scheduling of just a subset of the available queues".
+    let platform = Platform::paper_node();
+    let ctx =
+        MulticlContext::with_options(&platform, ContextSchedPolicy::AutoFit, options("mixed"))
+            .unwrap();
+    let program = ctx.create_program(vec![Arc::new(Branchy) as Arc<dyn KernelBody>]).unwrap();
+    let gpu = platform.node().gpus()[0];
+    let manual = ctx.create_queue_on(gpu).unwrap();
+    let auto = ctx.create_queue(QueueSchedFlags::SCHED_AUTO_DYNAMIC).unwrap();
+    for q in [&manual, &auto] {
+        let b = ctx.create_buffer_of::<f64>(1 << 14).unwrap();
+        let k = program.create_kernel("branchy").unwrap();
+        k.set_arg(0, ArgValue::BufferMut(b)).unwrap();
+        q.enqueue_ndrange(&k, NdRange::d1(1 << 14, 64)).unwrap();
+    }
+    ctx.finish_all();
+    // The manual queue stayed on the GPU it was pinned to; the auto queue
+    // found the CPU (the kernel is branchy and uncoalesced).
+    assert_eq!(manual.device(), gpu);
+    assert_eq!(auto.device(), platform.node().cpu().unwrap());
+}
+
+#[test]
+fn per_device_launch_configurations_are_honored_by_the_scheduler() {
+    let platform = Platform::paper_node();
+    let ctx = MulticlContext::with_options(&platform, ContextSchedPolicy::AutoFit, options("wgi"))
+        .unwrap();
+    let program = ctx.create_program(vec![Arc::new(Branchy) as Arc<dyn KernelBody>]).unwrap();
+    let k = program.create_kernel("branchy").unwrap();
+    // Table I: clSetKernelWorkGroupInfo decouples launch geometry from the
+    // final device choice.
+    for d in platform.node().device_ids() {
+        let local = if platform.node().spec(d).device_type == hwsim::DeviceType::Cpu { 16 } else { 128 };
+        set_kernel_work_group_info(&k, d, NdRange::d1(1 << 14, local)).unwrap();
+    }
+    let b = ctx.create_buffer_of::<f64>(1 << 14).unwrap();
+    k.set_arg(0, ArgValue::BufferMut(b)).unwrap();
+    let q = ctx.create_queue(QueueSchedFlags::SCHED_AUTO_DYNAMIC).unwrap();
+    // The geometry passed here is deliberately wrong; the runtime must use
+    // the registered per-device configuration instead.
+    q.enqueue_ndrange(&k, NdRange::d1(1 << 14, 1)).unwrap();
+    q.finish();
+    assert_eq!(q.device(), platform.node().cpu().unwrap());
+}
+
+#[test]
+fn iterative_frequency_forces_periodic_reprofiling() {
+    let platform = Platform::paper_node();
+    let mut opts = options("iterfreq");
+    opts.iterative_frequency = Some(2);
+    let ctx = MulticlContext::with_options(&platform, ContextSchedPolicy::AutoFit, opts).unwrap();
+    let program = ctx.create_program(vec![Arc::new(Branchy) as Arc<dyn KernelBody>]).unwrap();
+    let k = program.create_kernel("branchy").unwrap();
+    let b = ctx.create_buffer_of::<f64>(4096).unwrap();
+    k.set_arg(0, ArgValue::BufferMut(b)).unwrap();
+    let q = ctx
+        .create_queue(QueueSchedFlags::SCHED_AUTO_DYNAMIC | QueueSchedFlags::SCHED_ITERATIVE)
+        .unwrap();
+    for _ in 0..6 {
+        q.enqueue_ndrange(&k, NdRange::d1(4096, 64)).unwrap();
+        q.finish();
+    }
+    let stats = ctx.stats();
+    // Epochs 0, 2, 4 re-profile (frequency 2); 1, 3, 5 hit the cache.
+    assert_eq!(stats.profiled_epochs, 3, "{stats:?}");
+}
+
+#[test]
+fn static_hints_select_different_devices() {
+    let platform = Platform::paper_node();
+    let ctx =
+        MulticlContext::with_options(&platform, ContextSchedPolicy::AutoFit, options("hints"))
+            .unwrap();
+    let program = ctx.create_program(vec![Arc::new(Axpy) as Arc<dyn KernelBody>]).unwrap();
+    let run_with = |hint: QueueSchedFlags| -> DeviceId {
+        let q = ctx.create_queue(QueueSchedFlags::SCHED_AUTO_STATIC | hint).unwrap();
+        let k = program.create_kernel("axpy").unwrap();
+        let x = ctx.create_buffer_of::<f64>(256).unwrap();
+        let y = ctx.create_buffer_of::<f64>(256).unwrap();
+        k.set_arg(0, ArgValue::F64(1.0)).unwrap();
+        k.set_arg(1, ArgValue::Buffer(x)).unwrap();
+        k.set_arg(2, ArgValue::BufferMut(y)).unwrap();
+        k.set_arg(3, ArgValue::U64(256)).unwrap();
+        q.enqueue_ndrange(&k, NdRange::d1(256, 64)).unwrap();
+        q.finish();
+        q.device()
+    };
+    let compute = run_with(QueueSchedFlags::SCHED_COMPUTE_BOUND);
+    let io = run_with(QueueSchedFlags::SCHED_IO_BOUND);
+    // Compute-bound ranks by GFLOP/s → a GPU; I/O-bound ranks by host-link
+    // bandwidth → the CPU (host memory is closest to the host).
+    assert!(platform.node().gpus().contains(&compute));
+    assert_eq!(io, platform.node().cpu().unwrap());
+    // Static mode never ran the kernel profiler.
+    assert_eq!(ctx.stats().profiled_epochs, 0);
+}
+
+#[test]
+fn the_node_survives_many_queues_and_epochs() {
+    // Stress: 8 queues × 10 epochs with the full scheduling machinery.
+    let platform = Platform::paper_node();
+    let ctx =
+        MulticlContext::with_options(&platform, ContextSchedPolicy::AutoFit, options("stress"))
+            .unwrap();
+    let program = ctx.create_program(vec![Arc::new(Branchy) as Arc<dyn KernelBody>]).unwrap();
+    let queues: Vec<_> = (0..8)
+        .map(|_| ctx.create_queue(QueueSchedFlags::SCHED_AUTO_DYNAMIC).unwrap())
+        .collect();
+    let kernels: Vec<_> = (0..8)
+        .map(|_| {
+            let k = program.create_kernel("branchy").unwrap();
+            let b = ctx.create_buffer_of::<f64>(1 << 12).unwrap();
+            k.set_arg(0, ArgValue::BufferMut(b)).unwrap();
+            k
+        })
+        .collect();
+    for _ in 0..10 {
+        for (q, k) in queues.iter().zip(&kernels) {
+            q.enqueue_ndrange(k, NdRange::d1(1 << 12, 64)).unwrap();
+        }
+        ctx.finish_all();
+    }
+    let stats = ctx.stats();
+    assert_eq!(stats.kernels_issued, 80);
+    assert_eq!(stats.profiled_epochs, 1, "one profiling pass serves all 8 identical queues");
+    // Virtual time advanced monotonically and is sane.
+    assert!(platform.now() > hwsim::SimTime::ZERO);
+}
+
+#[test]
+fn scheduler_handles_fissioned_subdevices_uniformly() {
+    // Paper §IV-D: "Our example scheduler handles all cl_device_id objects
+    // and makes queue–device mapping decisions uniformly" — including
+    // sub-devices from clCreateSubDevices. Split the CPU in two and check
+    // two CPU-friendly queues land on *different* CPU sub-devices (the
+    // mapper now sees them as independent resources).
+    let node = hwsim::NodeConfig::paper_node();
+    let cpu = node.cpu().unwrap();
+    let split = node.fission(cpu, 2).expect("CPU splits in two");
+    let platform = Platform::new(split);
+    let ctx =
+        MulticlContext::with_options(&platform, ContextSchedPolicy::AutoFit, options("fission"))
+            .unwrap();
+    let program = ctx.create_program(vec![Arc::new(Branchy) as Arc<dyn KernelBody>]).unwrap();
+    let queues: Vec<_> = (0..2)
+        .map(|_| ctx.create_queue(QueueSchedFlags::SCHED_AUTO_DYNAMIC).unwrap())
+        .collect();
+    for q in &queues {
+        let k = program.create_kernel("branchy").unwrap();
+        let b = ctx.create_buffer_of::<f64>(1 << 14).unwrap();
+        k.set_arg(0, ArgValue::BufferMut(b)).unwrap();
+        q.enqueue_ndrange(&k, NdRange::d1(1 << 14, 64)).unwrap();
+    }
+    ctx.finish_all();
+    let subdevices = [DeviceId(0), DeviceId(1)];
+    let (d1, d2) = (queues[0].device(), queues[1].device());
+    assert!(subdevices.contains(&d1) && subdevices.contains(&d2), "({d1}, {d2})");
+    assert_ne!(d1, d2, "the mapper should balance across the two CPU halves");
+}
+
+#[test]
+fn concurrent_host_threads_can_drive_independent_queues() {
+    // Real OpenCL hosts enqueue from several threads; the runtime's locks
+    // must neither deadlock nor corrupt results. Four threads each drive
+    // their own auto-scheduled queue through several epochs.
+    let platform = Platform::paper_node();
+    let ctx = Arc::new(
+        MulticlContext::with_options(&platform, ContextSchedPolicy::AutoFit, options("threads"))
+            .unwrap(),
+    );
+    let program =
+        Arc::new(ctx.create_program(vec![Arc::new(Axpy) as Arc<dyn KernelBody>]).unwrap());
+    let handles: Vec<_> = (0..4)
+        .map(|t| {
+            let ctx = Arc::clone(&ctx);
+            let program = Arc::clone(&program);
+            std::thread::spawn(move || {
+                let n = 2048usize;
+                let q = ctx.create_queue(QueueSchedFlags::SCHED_AUTO_DYNAMIC).unwrap();
+                let x = ctx.create_buffer_of::<f64>(n).unwrap();
+                let y = ctx.create_buffer_of::<f64>(n).unwrap();
+                q.enqueue_write(&x, &vec![t as f64; n]).unwrap();
+                q.enqueue_write(&y, &vec![1.0; n]).unwrap();
+                let k = program.create_kernel("axpy").unwrap();
+                k.set_arg(0, ArgValue::F64(2.0)).unwrap();
+                k.set_arg(1, ArgValue::Buffer(x)).unwrap();
+                k.set_arg(2, ArgValue::BufferMut(y.clone())).unwrap();
+                k.set_arg(3, ArgValue::U64(n as u64)).unwrap();
+                for _ in 0..5 {
+                    q.enqueue_ndrange(&k, NdRange::d1(n as u64, 64)).unwrap();
+                    q.finish();
+                }
+                let mut out = vec![0.0f64; n];
+                q.enqueue_read(&y, &mut out).unwrap();
+                // y = 1 + 5 * (2 * t)
+                assert!(out.iter().all(|&v| v == 1.0 + 10.0 * t as f64), "thread {t} corrupted");
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("no thread may panic");
+    }
+    assert_eq!(ctx.stats().kernels_issued, 20);
+}
+
+#[test]
+fn mem_bound_static_hint_ranks_by_device_memory_bandwidth() {
+    let platform = Platform::paper_node();
+    let ctx =
+        MulticlContext::with_options(&platform, ContextSchedPolicy::AutoFit, options("membound"))
+            .unwrap();
+    let program = ctx.create_program(vec![Arc::new(Axpy) as Arc<dyn KernelBody>]).unwrap();
+    let q = ctx
+        .create_queue(QueueSchedFlags::SCHED_AUTO_STATIC | QueueSchedFlags::SCHED_MEM_BOUND)
+        .unwrap();
+    let k = program.create_kernel("axpy").unwrap();
+    let x = ctx.create_buffer_of::<f64>(256).unwrap();
+    let y = ctx.create_buffer_of::<f64>(256).unwrap();
+    k.set_arg(0, ArgValue::F64(1.0)).unwrap();
+    k.set_arg(1, ArgValue::Buffer(x)).unwrap();
+    k.set_arg(2, ArgValue::BufferMut(y)).unwrap();
+    k.set_arg(3, ArgValue::U64(256)).unwrap();
+    q.enqueue_ndrange(&k, NdRange::d1(256, 64)).unwrap();
+    q.finish();
+    // The C2050's 144 GB/s device memory dwarfs the CPU's 42 GB/s.
+    assert!(platform.node().gpus().contains(&q.device()));
+}
+
+#[test]
+fn scheduler_exploits_an_accelerator_device() {
+    // The paper names Xeon Phi as a third device class; the scheduler must
+    // handle it like any other cl_device_id. A wide, vector-friendly,
+    // compute-dense kernel should beat even the GPUs on the 2-TF Phi.
+    let node = hwsim::NodeConfig::paper_node_with_phi();
+    let phi = node.devices_of_type(hwsim::DeviceType::Accelerator)[0];
+    let platform = Platform::new(node);
+    let ctx = MulticlContext::with_options(&platform, ContextSchedPolicy::AutoFit, options("phi"))
+        .unwrap();
+
+    struct WideVector;
+    impl KernelBody for WideVector {
+        fn name(&self) -> &str {
+            "wide_vector"
+        }
+        fn arity(&self) -> usize {
+            1
+        }
+        fn cost(&self) -> KernelCostSpec {
+            // Single precision, perfectly vectorizable, enormous width —
+            // the Phi's sweet spot.
+            KernelCostSpec::compute_bound(50_000.0)
+        }
+        fn execute(&self, ctx: &mut KernelCtx<'_>) {
+            for v in ctx.slice_mut::<f64>(0).iter_mut() {
+                *v += 1.0;
+            }
+        }
+    }
+    let program = ctx.create_program(vec![Arc::new(WideVector) as Arc<dyn KernelBody>]).unwrap();
+    let k = program.create_kernel("wide_vector").unwrap();
+    let b = ctx.create_buffer_of::<f64>(1 << 18).unwrap();
+    k.set_arg(0, ArgValue::BufferMut(b)).unwrap();
+    let q = ctx.create_queue(QueueSchedFlags::SCHED_AUTO_DYNAMIC).unwrap();
+    q.enqueue_ndrange(&k, NdRange::d1(1 << 18, 128)).unwrap();
+    q.finish();
+    assert_eq!(q.device(), phi, "the 2-TF accelerator should win this kernel");
+}
+
+#[test]
+fn autofit_optimality_holds_across_queue_counts() {
+    // Paper: "We see similar trends for the other problem classes and other
+    // command queue numbers as well". CG allows 1, 2, and 4 queues.
+    use npb::{run_benchmark, Class, QueuePlan};
+    for queues in [1usize, 2, 4] {
+        let platform = Platform::paper_node();
+        let auto = run_benchmark(
+            &platform,
+            ContextSchedPolicy::AutoFit,
+            options(&format!("sweep{queues}")),
+            "CG",
+            Class::S,
+            queues,
+            &QueuePlan::Auto,
+        )
+        .unwrap();
+        assert!(auto.verified);
+        let platform2 = Platform::paper_node();
+        let replay = run_benchmark(
+            &platform2,
+            ContextSchedPolicy::AutoFit,
+            options(&format!("sweep{queues}r")),
+            "CG",
+            Class::S,
+            queues,
+            &QueuePlan::Manual(auto.final_devices.clone()),
+        )
+        .unwrap();
+        // The chosen mapping beats (or ties) the naive all-CPU baseline.
+        let platform3 = Platform::paper_node();
+        let cpu_only = run_benchmark(
+            &platform3,
+            ContextSchedPolicy::AutoFit,
+            options(&format!("sweep{queues}c")),
+            "CG",
+            Class::S,
+            queues,
+            &QueuePlan::Manual(vec![hwsim::NodeConfig::paper_node().cpu().unwrap()]),
+        )
+        .unwrap();
+        assert!(
+            replay.time.as_secs_f64() <= cpu_only.time.as_secs_f64() * 1.01,
+            "{queues} queues: replay {:?} vs cpu-only {:?}",
+            replay.time,
+            cpu_only.time
+        );
+    }
+}

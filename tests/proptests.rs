@@ -1,0 +1,244 @@
+//! Property-based tests on the core invariants of every layer.
+
+use hwsim::engine::{CommandDesc, CommandKind, Engine};
+use hwsim::microbench::BandwidthCurve;
+use hwsim::{DeviceId, KernelCostSpec, KernelTraits, NodeConfig, SimDuration};
+use multicl::mapper;
+use proptest::prelude::*;
+
+fn duration_strategy() -> impl Strategy<Value = SimDuration> {
+    (1u64..10_000_000).prop_map(SimDuration::from_nanos)
+}
+
+proptest! {
+    /// The exact mapper is never worse than any enumerated assignment and
+    /// reports the true makespan of its own assignment.
+    #[test]
+    fn mapper_optimal_beats_every_enumerated_assignment(
+        costs in proptest::collection::vec(
+            proptest::collection::vec(duration_strategy(), 3),
+            1..6,
+        )
+    ) {
+        let queues = costs.len();
+        let m = mapper::optimal(&costs);
+        prop_assert_eq!(m.assignment.len(), queues);
+        prop_assert_eq!(mapper::makespan(&costs, &m.assignment, 3), m.makespan);
+        for a in mapper::enumerate_assignments(queues, 3) {
+            prop_assert!(m.makespan <= mapper::makespan(&costs, &a, 3));
+        }
+    }
+
+    /// Greedy is valid (same cost accounting) and never beats optimal.
+    #[test]
+    fn mapper_greedy_is_valid_and_dominated(
+        costs in proptest::collection::vec(
+            proptest::collection::vec(duration_strategy(), 4),
+            1..8,
+        )
+    ) {
+        let g = mapper::greedy(&costs);
+        prop_assert_eq!(mapper::makespan(&costs, &g.assignment, 4), g.makespan);
+        let o = mapper::optimal(&costs);
+        prop_assert!(g.makespan >= o.makespan);
+    }
+
+    /// Engine events never run backwards: start ≥ queued, end ≥ start, and
+    /// commands on one device never overlap.
+    #[test]
+    fn engine_timeline_is_monotonic_and_non_overlapping(
+        cmds in proptest::collection::vec((0usize..3, 1u64..1000), 1..60)
+    ) {
+        let mut e = Engine::new(3);
+        let mut events = Vec::new();
+        for (dev, us) in cmds {
+            let ev = e.submit(CommandDesc {
+                device: DeviceId(dev),
+                kind: CommandKind::Marker,
+                duration: SimDuration::from_micros(us),
+                waits: events.last().copied().into_iter().collect(),
+                queue: 0,
+            });
+            events.push(ev);
+        }
+        let mut last_end = [hwsim::SimTime::ZERO; 3];
+        let mut prev_end = hwsim::SimTime::ZERO;
+        for (i, ev) in events.iter().enumerate() {
+            let s = e.stamp(*ev);
+            prop_assert!(s.start >= s.queued);
+            prop_assert!(s.end >= s.start);
+            // Chained waits: each command starts after its predecessor.
+            prop_assert!(s.start >= prev_end);
+            prev_end = s.end;
+            let d = e.trace().records[i].device.index();
+            prop_assert!(s.start >= last_end[d], "overlap on device {d}");
+            last_end[d] = s.end;
+        }
+    }
+
+    /// Kernel cost model: time scales monotonically with work, and the
+    /// minikernel never costs more than the full kernel.
+    #[test]
+    fn cost_model_is_monotonic_and_minikernel_is_cheaper(
+        flops in 1.0f64..10_000.0,
+        bytes in 1.0f64..10_000.0,
+        coal in 0.0f64..1.0,
+        div in 0.0f64..1.0,
+        vec in 0.0f64..1.0,
+        log_items in 8u32..22,
+    ) {
+        let node = NodeConfig::paper_node();
+        let spec = KernelCostSpec {
+            flops_per_item: flops,
+            bytes_per_item: bytes,
+            traits: KernelTraits {
+                coalescing: coal,
+                branch_divergence: div,
+                vector_friendliness: vec,
+                double_precision: true,
+            },
+        };
+        let small = hwsim::NdRangeShape::new(1 << log_items, 64);
+        let large = hwsim::NdRangeShape::new(1 << (log_items + 1), 64);
+        for d in node.device_ids() {
+            let dev = node.spec(d);
+            let t_small = spec.kernel_time(dev, small);
+            let t_large = spec.kernel_time(dev, large);
+            prop_assert!(t_large >= t_small, "{d}: more work must not be faster");
+            let mini = spec.minikernel_time(dev, large);
+            prop_assert!(mini <= t_large, "{d}: minikernel must not exceed full");
+        }
+    }
+
+    /// Bandwidth-curve interpolation stays within the measured envelope.
+    #[test]
+    fn interpolation_is_bounded_by_measurements(
+        gbs in proptest::collection::vec(0.1f64..50.0, 4..10),
+        query in 1u64..(1 << 30),
+    ) {
+        let sizes: Vec<u64> = (0..gbs.len()).map(|i| 1u64 << (10 + 2 * i)).collect();
+        let curve = BandwidthCurve { sizes, gbs: gbs.clone() };
+        let v = curve.interpolate_gbs(query);
+        let lo = gbs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = gbs.iter().cloned().fold(0.0, f64::max);
+        prop_assert!(v >= lo - 1e-12 && v <= hi + 1e-12, "{v} outside [{lo}, {hi}]");
+    }
+
+    /// Transfer times scale monotonically with payload size for every
+    /// device pair.
+    #[test]
+    fn transfer_times_are_monotonic_in_size(bytes in 1u64..(1 << 28)) {
+        let node = NodeConfig::paper_node();
+        for src in node.device_ids() {
+            for dst in node.device_ids() {
+                let t1 = node.topology.device_transfer_time(src, dst, bytes, &node.devices);
+                let t2 = node.topology.device_transfer_time(src, dst, bytes * 2, &node.devices);
+                prop_assert!(t2 >= t1);
+            }
+        }
+    }
+
+    /// NdRange flattening preserves item/workgroup accounting.
+    #[test]
+    fn ndrange_flattening_is_consistent(
+        gx in 1u64..64, gy in 1u64..64, gz in 1u64..8,
+        lx in 1u64..16, ly in 1u64..16,
+    ) {
+        let nd = clrt::NdRange::d3([gx, gy, gz], [lx, ly, 1]);
+        let shape = nd.shape();
+        prop_assert_eq!(shape.local_items, lx * ly);
+        prop_assert_eq!(shape.workgroups(), nd.workgroups());
+        prop_assert_eq!(
+            nd.workgroups(),
+            gx.div_ceil(lx) * gy.div_ceil(ly) * gz
+        );
+    }
+
+    /// The NPB generator's skip-ahead equals sequential stepping from any
+    /// starting state.
+    #[test]
+    fn randdp_skip_equals_stepping(seed in 1u64..(1 << 40), n in 0u64..5000) {
+        let mut a = npb::randdp::RanDp::new(seed | 1);
+        let mut b = npb::randdp::RanDp::new(seed | 1);
+        for _ in 0..n {
+            a.next_f64();
+        }
+        b.skip(n);
+        prop_assert_eq!(a.state(), b.state());
+    }
+
+    /// The scalar tridiagonal solver leaves a tiny residual on any
+    /// diagonally dominant system.
+    #[test]
+    fn thomas_solver_residual_is_small(
+        n in 3usize..40,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut rng = npb::randdp::RanDp::new(seed | 1);
+        let a0: Vec<f64> = (0..n).map(|i| if i == 0 { 0.0 } else { rng.next_f64() - 0.5 }).collect();
+        let c0: Vec<f64> = (0..n).map(|i| if i + 1 == n { 0.0 } else { rng.next_f64() - 0.5 }).collect();
+        let b0: Vec<f64> = (0..n).map(|i| 2.0 + a0[i].abs() + c0[i].abs()).collect();
+        let d0: Vec<f64> = (0..n).map(|_| rng.next_f64() * 2.0 - 1.0).collect();
+        let (mut b, mut c, mut d) = (b0.clone(), c0.clone(), d0.clone());
+        npb::math::thomas_tridiag(&a0, &mut b, &mut c, &mut d);
+        for i in 0..n {
+            let mut acc = b0[i] * d[i];
+            if i > 0 {
+                acc += a0[i] * d[i - 1];
+            }
+            if i + 1 < n {
+                acc += c0[i] * d[i + 1];
+            }
+            prop_assert!((acc - d0[i]).abs() < 1e-8, "row {i}: {acc} vs {}", d0[i]);
+        }
+    }
+
+    /// FFT round-trips arbitrary signals (power-of-two lengths).
+    #[test]
+    fn fft_roundtrip_is_identity(
+        log_n in 2u32..9,
+        seed in 0u64..1_000_000,
+    ) {
+        let n = 1usize << log_n;
+        let mut rng = npb::randdp::RanDp::new(seed | 1);
+        let mut data: Vec<f64> = (0..2 * n).map(|_| rng.next_f64() * 2.0 - 1.0).collect();
+        let orig = data.clone();
+        npb::math::fft_radix2(&mut data, -1.0);
+        npb::math::fft_radix2(&mut data, 1.0);
+        for v in data.iter_mut() {
+            *v /= n as f64;
+        }
+        for (x, y) in data.iter().zip(&orig) {
+            prop_assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    /// Queue scheduling flag bitfield: insert/remove/contains behave like a
+    /// set for any combination.
+    #[test]
+    fn flags_behave_like_a_set(bits in proptest::collection::vec(0usize..9, 0..9)) {
+        use multicl::QueueSchedFlags as F;
+        const ALL: [F; 9] = [
+            F::SCHED_OFF,
+            F::SCHED_AUTO_STATIC,
+            F::SCHED_AUTO_DYNAMIC,
+            F::SCHED_KERNEL_EPOCH,
+            F::SCHED_EXPLICIT_REGION,
+            F::SCHED_ITERATIVE,
+            F::SCHED_COMPUTE_BOUND,
+            F::SCHED_IO_BOUND,
+            F::SCHED_MEM_BOUND,
+        ];
+        let mut f = F::NONE;
+        for &b in &bits {
+            f.insert(ALL[b]);
+        }
+        for &b in &bits {
+            prop_assert!(f.contains(ALL[b]));
+        }
+        for &b in &bits {
+            f.remove(ALL[b]);
+        }
+        prop_assert!(f.is_empty());
+    }
+}
