@@ -2,9 +2,9 @@
 //! path: how many simulated commands per second the substrate sustains.
 
 use clrt::{ArgValue, KernelBody, KernelCtx, NdRange, Platform};
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use hwsim::engine::{CommandDesc, CommandKind, Engine};
 use hwsim::{DeviceId, KernelCostSpec, SimDuration};
+use multicl_bench::timing::bench;
 use std::hint::black_box;
 use std::sync::Arc;
 
@@ -24,46 +24,35 @@ impl KernelBody for Nop {
     }
 }
 
-fn bench_engine(c: &mut Criterion) {
-    let mut group = c.benchmark_group("engine");
-    group.throughput(Throughput::Elements(1000));
-    group.bench_function("submit_1000_commands", |b| {
-        b.iter(|| {
-            let mut e = Engine::new(3);
-            for i in 0..1000u64 {
-                let ev = e.submit(CommandDesc {
-                    device: DeviceId((i % 3) as usize),
-                    kind: CommandKind::Marker,
-                    duration: SimDuration::from_micros(5),
-                    waits: vec![],
-                    queue: 0,
-                });
-                black_box(ev);
-            }
-            e.finish_all();
-            black_box(e.now())
-        })
+fn main() {
+    bench("engine/submit_1000_commands", || {
+        let mut e = Engine::new(3);
+        for i in 0..1000u64 {
+            let ev = e.submit(CommandDesc {
+                device: DeviceId((i % 3) as usize),
+                kind: CommandKind::Marker,
+                duration: SimDuration::from_micros(5),
+                waits: vec![],
+                queue: 0,
+            });
+            black_box(ev);
+        }
+        e.finish_all();
+        black_box(e.now())
     });
 
-    group.throughput(Throughput::Elements(100));
-    group.bench_function("clrt_enqueue_100_kernels", |b| {
-        let platform = Platform::paper_node();
-        let ctx = platform.create_context_all().unwrap();
-        let program = ctx.create_program(vec![Arc::new(Nop) as Arc<dyn KernelBody>]).unwrap();
-        program.build(0).unwrap();
-        let kernel = program.create_kernel("nop").unwrap();
-        let buf = ctx.create_buffer_of::<f64>(64).unwrap();
-        kernel.set_arg(0, ArgValue::Buffer(buf)).unwrap();
-        let queue = ctx.create_queue(DeviceId(1)).unwrap();
-        b.iter(|| {
-            for _ in 0..100 {
-                queue.enqueue_ndrange(&kernel, NdRange::d1(64, 64), &[]).unwrap();
-            }
-            queue.finish();
-        })
+    let platform = Platform::paper_node();
+    let ctx = platform.create_context_all().unwrap();
+    let program = ctx.create_program(vec![Arc::new(Nop) as Arc<dyn KernelBody>]).unwrap();
+    program.build(0).unwrap();
+    let kernel = program.create_kernel("nop").unwrap();
+    let buf = ctx.create_buffer_of::<f64>(64).unwrap();
+    kernel.set_arg(0, ArgValue::Buffer(buf)).unwrap();
+    let queue = ctx.create_queue(DeviceId(1)).unwrap();
+    bench("engine/clrt_enqueue_100_kernels", || {
+        for _ in 0..100 {
+            queue.enqueue_ndrange(&kernel, NdRange::d1(64, 64), &[]).unwrap();
+        }
+        queue.finish();
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_engine);
-criterion_main!(benches);

@@ -4,9 +4,9 @@
 //! plus larger ablation points, and compares the exact branch-and-bound
 //! search against the greedy heuristic and round-robin.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hwsim::SimDuration;
 use multicl::mapper;
+use multicl_bench::timing::bench;
 use std::hint::black_box;
 
 /// Deterministic pseudo-random cost matrix.
@@ -19,34 +19,21 @@ fn matrix(queues: usize, devices: usize) -> mapper::CostMatrix {
         state
     };
     (0..queues)
-        .map(|_| {
-            (0..devices)
-                .map(|_| SimDuration::from_micros(100 + next() % 10_000))
-                .collect()
-        })
+        .map(|_| (0..devices).map(|_| SimDuration::from_micros(100 + next() % 10_000)).collect())
         .collect()
 }
 
-fn bench_mapper(c: &mut Criterion) {
-    let mut group = c.benchmark_group("mapper");
+fn main() {
     for (queues, devices) in [(4usize, 3usize), (8, 3), (8, 4), (12, 4)] {
         let costs = matrix(queues, devices);
-        group.bench_with_input(
-            BenchmarkId::new("optimal", format!("{queues}q_{devices}d")),
-            &costs,
-            |b, costs| b.iter(|| black_box(mapper::optimal(black_box(costs)))),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("greedy", format!("{queues}q_{devices}d")),
-            &costs,
-            |b, costs| b.iter(|| black_box(mapper::greedy(black_box(costs)))),
-        );
+        bench(&format!("mapper/optimal/{queues}q_{devices}d"), || {
+            black_box(mapper::optimal(black_box(&costs)))
+        });
+        bench(&format!("mapper/greedy/{queues}q_{devices}d"), || {
+            black_box(mapper::greedy(black_box(&costs)))
+        });
     }
-    group.bench_function("round_robin/8q_3d", |b| {
-        b.iter(|| black_box(mapper::round_robin(black_box(8), black_box(3), 0)))
+    bench("mapper/round_robin/8q_3d", || {
+        black_box(mapper::round_robin(black_box(8), black_box(3), 0))
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_mapper);
-criterion_main!(benches);

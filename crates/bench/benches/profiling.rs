@@ -3,9 +3,9 @@
 //! opposed to the *virtual-time* overhead the figures report.
 
 use clrt::{ArgValue, KernelBody, KernelCtx, NdRange, Platform};
-use criterion::{criterion_group, criterion_main, Criterion};
 use hwsim::KernelCostSpec;
 use multicl::{ContextSchedPolicy, MulticlContext, ProfileCache, QueueSchedFlags, SchedOptions};
+use multicl_bench::timing::bench;
 use std::hint::black_box;
 use std::sync::Arc;
 
@@ -31,38 +31,28 @@ impl KernelBody for Work {
 fn options() -> SchedOptions {
     SchedOptions {
         profile_cache: ProfileCache::at(
-            std::env::temp_dir().join(format!("multicl-critbench-{}", std::process::id())),
+            std::env::temp_dir().join(format!("multicl-bench-{}", std::process::id())),
         ),
         ..SchedOptions::default()
     }
 }
 
-fn bench_scheduling_pass(c: &mut Criterion) {
-    let mut group = c.benchmark_group("scheduling");
-    group.bench_function("epoch_schedule_and_flush_4q", |b| {
-        b.iter(|| {
-            let platform = Platform::paper_node();
-            let ctx =
-                MulticlContext::with_options(&platform, ContextSchedPolicy::AutoFit, options())
-                    .unwrap();
-            let program = ctx
-                .create_program(vec![Arc::new(Work("w")) as Arc<dyn KernelBody>])
-                .unwrap();
-            let kernel = program.create_kernel("w").unwrap();
-            let queues: Vec<_> = (0..4)
-                .map(|_| ctx.create_queue(QueueSchedFlags::SCHED_AUTO_DYNAMIC).unwrap())
-                .collect();
-            for q in &queues {
-                let buf = ctx.create_buffer_of::<f64>(4096).unwrap();
-                kernel.set_arg(0, ArgValue::BufferMut(buf)).unwrap();
-                q.enqueue_ndrange(&kernel, NdRange::d1(4096, 64)).unwrap();
-            }
-            ctx.finish_all();
-            black_box(ctx.stats().sched_invocations)
-        })
+fn main() {
+    bench("scheduling/epoch_schedule_and_flush_4q", || {
+        let platform = Platform::paper_node();
+        let ctx = MulticlContext::with_options(&platform, ContextSchedPolicy::AutoFit, options())
+            .unwrap();
+        let program = ctx.create_program(vec![Arc::new(Work("w")) as Arc<dyn KernelBody>]).unwrap();
+        let kernel = program.create_kernel("w").unwrap();
+        let queues: Vec<_> = (0..4)
+            .map(|_| ctx.create_queue(QueueSchedFlags::SCHED_AUTO_DYNAMIC).unwrap())
+            .collect();
+        for q in &queues {
+            let buf = ctx.create_buffer_of::<f64>(4096).unwrap();
+            kernel.set_arg(0, ArgValue::BufferMut(buf)).unwrap();
+            q.enqueue_ndrange(&kernel, NdRange::d1(4096, 64)).unwrap();
+        }
+        ctx.finish_all();
+        black_box(ctx.stats().sched_invocations)
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_scheduling_pass);
-criterion_main!(benches);

@@ -2,51 +2,35 @@
 //! how fast the reproduction itself executes (build + schedule + real
 //! computation), one representative workload per suite member.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use multicl::ContextSchedPolicy;
 use multicl_bench::experiments::common::{bench_options, run_on_fresh};
+use multicl_bench::timing::bench_heavy;
 use npb::{Class, QueuePlan};
 use std::hint::black_box;
 
-fn bench_workloads(c: &mut Criterion) {
-    let mut group = c.benchmark_group("workloads");
-    group.sample_size(10);
+fn main() {
     for (name, class) in [("EP", Class::A), ("CG", Class::S), ("MG", Class::S), ("FT", Class::S)] {
-        group.bench_function(format!("{name}.{class}_autofit_2q"), |b| {
-            b.iter(|| {
-                let (r, _) = run_on_fresh(
-                    ContextSchedPolicy::AutoFit,
-                    true,
-                    name,
-                    class,
-                    2,
-                    &QueuePlan::Auto,
-                );
-                black_box(r.time)
-            })
+        bench_heavy(&format!("workloads/{name}.{class}_autofit_2q"), || {
+            let (r, _) =
+                run_on_fresh(ContextSchedPolicy::AutoFit, true, name, class, 2, &QueuePlan::Auto);
+            black_box(r.time)
         });
     }
-    group.bench_function("seismology_row_major_autofit", |b| {
-        b.iter(|| {
-            let platform = clrt::Platform::paper_node();
-            let ctx = multicl::MulticlContext::with_options(
-                &platform,
-                ContextSchedPolicy::AutoFit,
-                bench_options(true),
-            )
-            .unwrap();
-            let cfg = seismo::FdmConfig {
-                layout: seismo::Layout::RowMajor,
-                iterations: 4,
-                ..seismo::FdmConfig::default()
-            };
-            let mut app = seismo::FdmApp::new(&ctx, cfg, &seismo::FdmPlan::Auto).unwrap();
-            app.run().unwrap();
-            black_box(app.mean_iteration_time())
-        })
+    bench_heavy("workloads/seismology_row_major_autofit", || {
+        let platform = clrt::Platform::paper_node();
+        let ctx = multicl::MulticlContext::with_options(
+            &platform,
+            ContextSchedPolicy::AutoFit,
+            bench_options(true),
+        )
+        .unwrap();
+        let cfg = seismo::FdmConfig {
+            layout: seismo::Layout::RowMajor,
+            iterations: 4,
+            ..seismo::FdmConfig::default()
+        };
+        let mut app = seismo::FdmApp::new(&ctx, cfg, &seismo::FdmPlan::Auto).unwrap();
+        app.run().unwrap();
+        black_box(app.mean_iteration_time())
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_workloads);
-criterion_main!(benches);

@@ -1,7 +1,9 @@
 //! Regenerate every table and figure in one pass and print the paper's
 //! headline summary numbers. Writes each artifact under `results/`.
 
-use multicl_bench::experiments::{common::PAPER_SET, fig10, fig3, fig4, fig5, fig6, fig7, fig8, fig9, tables};
+use multicl_bench::experiments::{
+    common::PAPER_SET, fig10, fig3, fig4, fig5, fig6, fig7, fig8, fig9, tables,
+};
 use multicl_bench::harness::Table;
 use multicl_bench::{print_table, write_report};
 use npb::Class;

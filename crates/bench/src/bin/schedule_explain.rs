@@ -1,0 +1,105 @@
+//! Replay one benchmark run with the telemetry layer attached and render
+//! the scheduler's decision log next to the Gantt chart of what actually
+//! executed — "why did queue 3 land on the CPU?" answered from the
+//! recorded [`MappingDecision`](multicl::SchedEvent::MappingDecision)
+//! explain records (per-device estimated times + migration costs).
+//!
+//! Also writes, under `results/`:
+//! * `explain_<BENCH>.jsonl` — the raw event stream (re-renderable later
+//!   with `--replay <file>`),
+//! * `explain_<BENCH>.prom` — the scheduler metrics in Prometheus text
+//!   exposition,
+//! * `explain_<BENCH>.trace.json` — the extended Chrome/Perfetto trace
+//!   with migration flow arrows and per-device utilization counters.
+//!
+//! Usage:
+//! `cargo run --release -p multicl-bench --bin schedule_explain [BENCH] [CLASS] [QUEUES]`
+//! `cargo run --release -p multicl-bench --bin schedule_explain -- --replay results/explain_MG.S.jsonl`
+
+use multicl::telemetry::{perfetto, registry, report, sink, RingBufferSink, SchedMetrics};
+use multicl::ContextSchedPolicy;
+use multicl_bench::experiments::common::bench_options;
+use multicl_bench::{fresh_platform, write_report};
+use npb::{run_benchmark, Class, QueuePlan};
+use std::sync::Arc;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--replay") {
+        let path = args.get(1).expect("--replay needs a JSONL path");
+        let text =
+            std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+        let events = sink::parse_jsonl(&text)
+            .unwrap_or_else(|| panic!("{path} is not a telemetry JSONL stream"));
+        println!("replaying {} event(s) from {path}\n", events.len());
+        print!("{}", report::decision_log(&events));
+        return;
+    }
+
+    let name = args.first().map(String::as_str).unwrap_or("MG").to_uppercase();
+    let class: Class = args.get(1).map(String::as_str).unwrap_or("S").parse().expect("class");
+    let queues: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(4);
+
+    let recorder = Arc::new(RingBufferSink::new(1 << 16));
+    let metrics = Arc::new(SchedMetrics::new());
+    let mut options = bench_options(true);
+    options.observers = vec![recorder.clone(), metrics.clone()];
+
+    let platform = fresh_platform();
+    let result = run_benchmark(
+        &platform,
+        ContextSchedPolicy::AutoFit,
+        options,
+        &name,
+        class,
+        queues,
+        &QueuePlan::Auto,
+    )
+    .unwrap_or_else(|e| panic!("{name}.{class} failed: {e}"));
+    let trace = platform.take_trace();
+
+    println!("{} under AUTO_FIT ({queues} queues): {}", result.label, result.time);
+    println!("queues ended on: {:?}\n", result.final_devices);
+
+    let events = recorder.snapshot();
+    if recorder.dropped() > 0 {
+        println!("(decision log truncated: {} oldest event(s) dropped)\n", recorder.dropped());
+    }
+    println!("=== decision log ===");
+    print!("{}", report::decision_log(&events));
+
+    println!("\n=== schedule ===");
+    println!("{}", hwsim::report::ascii_gantt(&trace, 100));
+    let horizon = hwsim::report::horizon(&trace);
+    for (dev, u) in hwsim::report::utilization(&trace) {
+        println!(
+            "{dev}: {:>4} commands, busy {:>10}, utilization {:>5.1}%",
+            u.commands,
+            u.busy.to_string(),
+            100.0 * u.utilization(horizon)
+        );
+    }
+
+    let prom = metrics.registry().to_prometheus();
+    println!("\n=== scheduler metrics ===");
+    // Histogram bucket series are for machines; show the scalar samples.
+    for s in registry::parse_prometheus(&prom).expect("own exposition parses") {
+        if s.labels.is_empty() {
+            println!("{:<40} {}", s.name, s.value);
+        }
+    }
+
+    let jsonl: String = events.iter().map(|e| e.to_json().dump() + "\n").collect();
+    for (file, contents) in [
+        (format!("explain_{}.jsonl", result.label), jsonl),
+        (format!("explain_{}.prom", result.label), prom),
+        (
+            format!("explain_{}.trace.json", result.label),
+            perfetto::chrome_trace_with_telemetry(&trace, &events),
+        ),
+    ] {
+        if let Some(path) = write_report(&file, &contents) {
+            println!("wrote {}", path.display());
+        }
+    }
+}

@@ -31,7 +31,9 @@ fn main() {
             100.0 * u.utilization(horizon)
         );
     }
-    if let Some(path) = write_report(&format!("trace_{}.json", result.label), &trace.to_chrome_json()) {
+    if let Some(path) =
+        write_report(&format!("trace_{}.json", result.label), &trace.to_chrome_json())
+    {
         println!("\nChrome-tracing JSON written to {}", path.display());
     }
 }

@@ -42,8 +42,8 @@ fn replayed_time(
     queues: usize,
 ) -> f64 {
     let platform = fresh_platform();
-    let first = run_benchmark(&platform, policy, options, name, class, queues, &QueuePlan::Auto)
-        .unwrap();
+    let first =
+        run_benchmark(&platform, policy, options, name, class, queues, &QueuePlan::Auto).unwrap();
     assert!(first.verified);
     let (replayed, _) = run_on_fresh(
         ContextSchedPolicy::AutoFit,
@@ -288,12 +288,9 @@ pub fn trigger_granularity(launch_pairs: usize) -> (f64, f64) {
     let run = |per_kernel: bool| -> f64 {
         let platform = fresh_platform();
         let options = SchedOptions { per_kernel_trigger: per_kernel, ..bench_options(true) };
-        let ctx = multicl::MulticlContext::with_options(
-            &platform,
-            ContextSchedPolicy::AutoFit,
-            options,
-        )
-        .unwrap();
+        let ctx =
+            multicl::MulticlContext::with_options(&platform, ContextSchedPolicy::AutoFit, options)
+                .unwrap();
         let program = ctx
             .create_program(vec![
                 Arc::new(Affine { name: "cpu_phase", gpu: false }) as Arc<dyn KernelBody>,
@@ -392,7 +389,12 @@ mod tests {
         let ep = rows.iter().find(|r| r.label.starts_with("EP")).unwrap();
         // BT with a compute-bound hint lands on a GPU: much slower than the
         // dynamically profiled CPU mapping.
-        assert!(bt.static_secs > 1.5 * bt.dynamic_secs, "BT static {} vs dyn {}", bt.static_secs, bt.dynamic_secs);
+        assert!(
+            bt.static_secs > 1.5 * bt.dynamic_secs,
+            "BT static {} vs dyn {}",
+            bt.static_secs,
+            bt.dynamic_secs
+        );
         // EP's hint is correct: static mode matches dynamic without any
         // profiling cost.
         assert!(ep.static_secs <= ep.dynamic_secs * 1.05);

@@ -68,29 +68,21 @@ pub fn auto_and_ideal(
     plan: &QueuePlan,
     data_caching: bool,
 ) -> (RunResult, Trace, SimDuration) {
-    let (auto, trace) = run_on_fresh(
-        ContextSchedPolicy::AutoFit,
-        data_caching,
-        name,
-        class,
-        queues,
-        plan,
-    );
+    let (auto, trace) =
+        run_on_fresh(ContextSchedPolicy::AutoFit, data_caching, name, class, queues, plan);
     let replay = QueuePlan::Manual(auto.final_devices.clone());
-    let (ideal, _) = run_on_fresh(
-        ContextSchedPolicy::AutoFit,
-        data_caching,
-        name,
-        class,
-        queues,
-        &replay,
-    );
+    let (ideal, _) =
+        run_on_fresh(ContextSchedPolicy::AutoFit, data_caching, name, class, queues, &replay);
     (auto, trace, ideal.time)
 }
 
 /// Manual schedules used as Figure 4 baselines, given the node's devices.
 /// Returns `(label, device cycle)` pairs; queue `i` goes to `cycle[i % len]`.
-pub fn figure4_baselines(cpu: DeviceId, g0: DeviceId, g1: DeviceId) -> Vec<(&'static str, Vec<DeviceId>)> {
+pub fn figure4_baselines(
+    cpu: DeviceId,
+    g0: DeviceId,
+    g1: DeviceId,
+) -> Vec<(&'static str, Vec<DeviceId>)> {
     vec![
         ("Explicit CPU only", vec![cpu]),
         ("Explicit GPU only", vec![g0]),

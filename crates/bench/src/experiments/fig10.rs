@@ -21,11 +21,7 @@ impl Fig10Data {
     /// Mean steady-state (iterations ≥ 1) total in milliseconds.
     pub fn steady_ms(&self) -> f64 {
         let n = self.iterations.len().saturating_sub(1).max(1);
-        self.iterations[1..]
-            .iter()
-            .map(|t| t.total().as_millis_f64())
-            .sum::<f64>()
-            / n as f64
+        self.iterations[1..].iter().map(|t| t.total().as_millis_f64()).sum::<f64>() / n as f64
     }
 
     /// First-iteration overhead relative to steady state (%).
@@ -69,7 +65,12 @@ mod tests {
     #[test]
     fn first_iteration_dominates_then_amortizes() {
         let d = run(Layout::RowMajor, 6);
-        assert!(d.total_ms(0) > 1.5 * d.steady_ms(), "iter0 {} vs steady {}", d.total_ms(0), d.steady_ms());
+        assert!(
+            d.total_ms(0) > 1.5 * d.steady_ms(),
+            "iter0 {} vs steady {}",
+            d.total_ms(0),
+            d.steady_ms()
+        );
         // Steady-state iterations are mutually consistent (no re-profiling).
         for i in 2..d.iterations.len() {
             let ratio = d.total_ms(i) / d.total_ms(1);
@@ -78,13 +79,16 @@ mod tests {
     }
 
     #[test]
-    fn overhead_is_amortized_with_more_iterations(){
+    fn overhead_is_amortized_with_more_iterations() {
         let short = run(Layout::ColumnMajor, 3);
         let long = run(Layout::ColumnMajor, 10);
         let total_short: f64 = (0..short.iterations.len()).map(|i| short.total_ms(i)).sum();
         let total_long: f64 = (0..long.iterations.len()).map(|i| long.total_ms(i)).sum();
         let per_iter_short = total_short / 3.0;
         let per_iter_long = total_long / 10.0;
-        assert!(per_iter_long < per_iter_short, "amortization: {per_iter_long} !< {per_iter_short}");
+        assert!(
+            per_iter_long < per_iter_short,
+            "amortization: {per_iter_long} !< {per_iter_short}"
+        );
     }
 }

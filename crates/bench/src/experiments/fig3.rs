@@ -113,6 +113,11 @@ mod tests {
         let rows = run(&[("BT", Class::A), ("CG", Class::A)]);
         let bt = rows.iter().find(|r| r.name == "BT").unwrap();
         let cg = rows.iter().find(|r| r.name == "CG").unwrap();
-        assert!(bt.gpu_relative() > cg.gpu_relative(), "BT {:.2} vs CG {:.2}", bt.gpu_relative(), cg.gpu_relative());
+        assert!(
+            bt.gpu_relative() > cg.gpu_relative(),
+            "BT {:.2} vs CG {:.2}",
+            bt.gpu_relative(),
+            cg.gpu_relative()
+        );
     }
 }

@@ -60,8 +60,7 @@ pub fn run(set: &[(&str, Class)], queues: usize) -> Vec<Fig4Row> {
                 assert!(r.verified, "{name}.{class} manual `{label}` failed verification");
                 manual.push((label.to_string(), r.time.as_secs_f64()));
             }
-            let (auto, _trace, ideal) =
-                auto_and_ideal(name, class, queues, &QueuePlan::Auto, true);
+            let (auto, _trace, ideal) = auto_and_ideal(name, class, queues, &QueuePlan::Auto, true);
             assert!(auto.verified, "{name}.{class} autofit failed verification");
             Fig4Row {
                 label: format!("{name}.{class}"),
@@ -93,7 +92,8 @@ pub fn table(rows: &[Fig4Row]) -> Table {
     owned.push("ideal".into());
     owned.push("overhead %".into());
     headers.extend(owned.iter().map(String::as_str));
-    let mut t = Table::new("Figure 4: manual schedules vs automatic scheduling, time (s)", &headers);
+    let mut t =
+        Table::new("Figure 4: manual schedules vs automatic scheduling, time (s)", &headers);
     for r in rows {
         let mut cells = vec![r.label.clone()];
         cells.extend(r.manual.iter().map(|(_, v)| format!("{v:.4}")));

@@ -32,8 +32,14 @@ impl Fig5Row {
 pub fn run(set: &[(&str, Class)], queues: usize) -> Vec<Fig5Row> {
     set.iter()
         .map(|&(name, class)| {
-            let (r, trace) =
-                run_on_fresh(ContextSchedPolicy::AutoFit, true, name, class, queues, &QueuePlan::Auto);
+            let (r, trace) = run_on_fresh(
+                ContextSchedPolicy::AutoFit,
+                true,
+                name,
+                class,
+                queues,
+                &QueuePlan::Auto,
+            );
             assert!(r.verified, "{name}.{class} failed verification");
             Fig5Row {
                 label: format!("{name}.{class}"),

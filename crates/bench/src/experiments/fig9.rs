@@ -58,7 +58,11 @@ impl Fig9Column {
     }
 }
 
-fn run_once(cfg: &FdmConfig, plan: &FdmPlan, policy: ContextSchedPolicy) -> (f64, (DeviceId, DeviceId)) {
+fn run_once(
+    cfg: &FdmConfig,
+    plan: &FdmPlan,
+    policy: ContextSchedPolicy,
+) -> (f64, (DeviceId, DeviceId)) {
     let platform = fresh_platform();
     let ctx = fresh_context(&platform, policy, true);
     let mut app = FdmApp::new(&ctx, cfg.clone(), plan).expect("app builds");
@@ -97,7 +101,11 @@ pub fn run_layout(layout: Layout, iterations: usize) -> Fig9Column {
     let mut cells = Vec::new();
     for (d1, d2) in manual {
         let (ms, devs) = run_once(&cfg, &FdmPlan::Manual(d1, d2), ContextSchedPolicy::AutoFit);
-        cells.push(Fig9Cell { label: format!("({}, {})", name(d1), name(d2)), iter_ms: ms, devices: devs });
+        cells.push(Fig9Cell {
+            label: format!("({}, {})", name(d1), name(d2)),
+            iter_ms: ms,
+            devices: devs,
+        });
     }
     let (ms, devs) = run_once(&cfg, &FdmPlan::Auto, ContextSchedPolicy::RoundRobin);
     cells.push(Fig9Cell { label: "Round Robin".into(), iter_ms: ms, devices: devs });
@@ -136,7 +144,10 @@ mod tests {
     fn column_major_best_is_cpu_cpu_and_single_gpu_is_worst() {
         let col = run_layout(Layout::ColumnMajor, 4);
         let best = col.best_manual_ms();
-        assert!((col.cell("(C, C)").iter_ms - best).abs() < 1e-9, "(C,C) must be the best manual mapping");
+        assert!(
+            (col.cell("(C, C)").iter_ms - best).abs() < 1e-9,
+            "(C,C) must be the best manual mapping"
+        );
         let single_gpu = col.cell("(G0, G0)").iter_ms;
         let ratio = single_gpu / best;
         assert!(ratio > 2.0 && ratio < 4.0, "col worst/best = {ratio:.2} (paper: 2.7)");

@@ -56,12 +56,7 @@ pub fn table2() -> Table {
             "{rule}: {}",
             b.queue_examples.iter().map(usize::to_string).collect::<Vec<_>>().join(",")
         );
-        t.row(vec![
-            b.name.to_string(),
-            classes.join(","),
-            queues,
-            b.scheduler_options.join(", "),
-        ]);
+        t.row(vec![b.name.to_string(), classes.join(","), queues, b.scheduler_options.join(", ")]);
     }
     t
 }

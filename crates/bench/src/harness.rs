@@ -79,10 +79,7 @@ impl Table {
 
     /// Render to a string with aligned columns.
     pub fn render(&self) -> String {
-        let ncols = self
-            .headers
-            .len()
-            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let ncols = self.headers.len().max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
         let mut widths = vec![0usize; ncols];
         for (i, h) in self.headers.iter().enumerate() {
             widths[i] = widths[i].max(h.chars().count());

@@ -21,12 +21,14 @@
 //! | `fig9` | FDM-Seismology mapping sweep + RR + AutoFit |
 //! | `fig10` | FDM-Seismology per-iteration profile amortization |
 //!
-//! Criterion benches (`benches/`) measure the *wall-clock* cost of the
-//! runtime machinery itself (device mapper, DES engine, profiling pass,
-//! workload construction) — the paper's "negligible scheduling overhead"
-//! claim in host terms.
+//! The bench targets (`benches/`, run with `cargo bench`) measure the
+//! *wall-clock* cost of the runtime machinery itself (device mapper, DES
+//! engine, profiling pass, workload construction) via the [`timing`]
+//! module — the paper's "negligible scheduling overhead" claim in host
+//! terms.
 
 pub mod experiments;
 pub mod harness;
+pub mod timing;
 
 pub use harness::{fresh_context, fresh_platform, print_table, write_report, Table};

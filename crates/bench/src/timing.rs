@@ -1,0 +1,86 @@
+//! Minimal wall-clock micro-benchmark loop for the `benches/` targets.
+//!
+//! The workspace builds offline with no external crates, so the bench
+//! targets (declared `harness = false`) use this instead of a benchmarking
+//! framework: warm up, then time individual iterations until a time budget
+//! is spent, and report the mean and minimum. Good enough to check the
+//! paper's "negligible scheduling overhead" claim in host terms; not a
+//! statistics suite.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// One benchmark's timing summary.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Benchmark name as printed.
+    pub name: String,
+    /// Timed iterations (after the warm-up).
+    pub iters: u32,
+    /// Mean per-iteration wall-clock time.
+    pub mean: Duration,
+    /// Fastest observed iteration.
+    pub min: Duration,
+}
+
+impl Measurement {
+    /// One aligned report line.
+    pub fn report(&self) -> String {
+        format!(
+            "{:<40} {:>6} iters   mean {:>12?}   min {:>12?}",
+            self.name, self.iters, self.mean, self.min
+        )
+    }
+}
+
+/// Time `f` repeatedly: one warm-up call, then iterations until `budget`
+/// elapses (always at least `min_iters`). Prints the report line and
+/// returns the measurement.
+pub fn bench_with<R>(
+    name: &str,
+    min_iters: u32,
+    budget: Duration,
+    mut f: impl FnMut() -> R,
+) -> Measurement {
+    black_box(f());
+    let mut iters = 0u32;
+    let mut total = Duration::ZERO;
+    let mut min = Duration::MAX;
+    let started = Instant::now();
+    while iters < min_iters || started.elapsed() < budget {
+        let t0 = Instant::now();
+        black_box(f());
+        let dt = t0.elapsed();
+        total += dt;
+        min = min.min(dt);
+        iters += 1;
+    }
+    let m = Measurement { name: name.to_string(), iters, mean: total / iters, min };
+    println!("{}", m.report());
+    m
+}
+
+/// [`bench_with`] tuned for cheap operations: 200 ms budget, ≥ 10 iters.
+pub fn bench<R>(name: &str, f: impl FnMut() -> R) -> Measurement {
+    bench_with(name, 10, Duration::from_millis(200), f)
+}
+
+/// [`bench_with`] tuned for whole-workload runs: 1 s budget, ≥ 3 iters.
+pub fn bench_heavy<R>(name: &str, f: impl FnMut() -> R) -> Measurement {
+    bench_with(name, 3, Duration::from_secs(1), f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_reports_sane_numbers() {
+        let m = bench_with("spin", 5, Duration::from_millis(1), || {
+            std::hint::black_box((0..100u64).sum::<u64>())
+        });
+        assert!(m.iters >= 5);
+        assert!(m.min <= m.mean);
+        assert!(m.report().contains("spin"));
+    }
+}

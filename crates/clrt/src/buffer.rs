@@ -10,8 +10,8 @@
 
 use crate::error::{ClError, ClResult};
 use crate::platform::next_object_id;
+use hwsim::sync::Mutex;
 use hwsim::DeviceId;
-use parking_lot::Mutex;
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
@@ -60,7 +60,11 @@ impl DataStore {
     /// OpenCL kernel argument.
     pub(crate) fn as_slice<T: Element>(&self) -> &[T] {
         let size = std::mem::size_of::<T>();
-        assert!(size <= 8 && self.byte_len.is_multiple_of(size), "buffer length {} not a multiple of element size {size}", self.byte_len);
+        assert!(
+            size <= 8 && self.byte_len.is_multiple_of(size),
+            "buffer length {} not a multiple of element size {size}",
+            self.byte_len
+        );
         let n = self.byte_len / size;
         // SAFETY: storage is 8-byte aligned (Vec<u64>) and T is POD with
         // alignment <= 8; n*size <= words.len()*8 by construction.
@@ -77,7 +81,11 @@ impl DataStore {
     /// Mutable view as a slice of `T`. Same preconditions as [`Self::as_slice`].
     pub(crate) fn as_mut_slice<T: Element>(&mut self) -> &mut [T] {
         let size = std::mem::size_of::<T>();
-        assert!(size <= 8 && self.byte_len.is_multiple_of(size), "buffer length {} not a multiple of element size {size}", self.byte_len);
+        assert!(
+            size <= 8 && self.byte_len.is_multiple_of(size),
+            "buffer length {} not a multiple of element size {size}",
+            self.byte_len
+        );
         let n = self.byte_len / size;
         // SAFETY: as above, and we hold &mut self.
         unsafe { std::slice::from_raw_parts_mut(self.words.as_mut_ptr().cast::<T>(), n) }

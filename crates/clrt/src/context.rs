@@ -67,12 +67,8 @@ impl Context {
     /// bytes, shareable among this context's devices.
     pub fn create_buffer(&self, byte_len: usize) -> ClResult<Buffer> {
         // OpenCL would reject buffers exceeding every device's capacity.
-        let max_cap = self
-            .devices
-            .iter()
-            .map(|d| self.rt.node.spec(*d).mem_capacity)
-            .max()
-            .unwrap_or(0);
+        let max_cap =
+            self.devices.iter().map(|d| self.rt.node.spec(*d).mem_capacity).max().unwrap_or(0);
         if byte_len as u64 > max_cap {
             return Err(ClError::MemObjectAllocationFailure(format!(
                 "buffer of {byte_len} bytes exceeds the largest device memory ({max_cap} bytes)"

@@ -12,8 +12,8 @@ use crate::buffer::{Buffer, DataStore, Element};
 use crate::error::{ClError, ClResult};
 use crate::ndrange::NdRange;
 use crate::platform::next_object_id;
+use hwsim::sync::{Mutex, MutexGuard};
 use hwsim::{DeviceId, KernelCostSpec};
-use parking_lot::{Mutex, MutexGuard};
 use std::cell::Cell;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -173,12 +173,7 @@ impl Kernel {
     /// The launch configuration to use on `device`: the per-device override
     /// if one was registered, else `requested`.
     pub fn effective_nd(&self, device: DeviceId, requested: NdRange) -> NdRange {
-        self.inner
-            .per_device_nd
-            .lock()
-            .get(&device)
-            .copied()
-            .unwrap_or(requested)
+        self.inner.per_device_nd.lock().get(&device).copied().unwrap_or(requested)
     }
 
     /// True if a per-device launch configuration is registered for `device`.
@@ -251,7 +246,8 @@ impl<'a> KernelCtx<'a> {
                             stores.len() - 1
                         }
                     };
-                    ctx_args.push(CtxArg::Buf { guard: guard_idx, mutable: arg.is_mutable_buffer() });
+                    ctx_args
+                        .push(CtxArg::Buf { guard: guard_idx, mutable: arg.is_mutable_buffer() });
                 }
                 scalar => ctx_args.push(CtxArg::Scalar(scalar.clone())),
             }

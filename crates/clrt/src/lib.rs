@@ -52,4 +52,6 @@ pub use platform::{Device, Platform};
 pub use program::Program;
 pub use queue::CommandQueue;
 
-pub use hwsim::{DeviceId, DeviceType, KernelCostSpec, KernelTraits, NodeConfig, SimDuration, SimTime};
+pub use hwsim::{
+    DeviceId, DeviceType, KernelCostSpec, KernelTraits, NodeConfig, SimDuration, SimTime,
+};

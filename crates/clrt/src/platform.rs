@@ -2,8 +2,8 @@
 //! shared virtual-time engine. Equivalent to SnuCL's single platform over
 //! multiple vendor drivers.
 
+use hwsim::sync::Mutex;
 use hwsim::{DeviceId, DeviceSpec, DeviceType, Engine, NodeConfig, SimTime, Trace};
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -42,11 +42,7 @@ impl Platform {
 
     /// All devices of the node (`clGetDeviceIDs` with `CL_DEVICE_TYPE_ALL`).
     pub fn devices(&self) -> Vec<Device> {
-        self.rt
-            .node
-            .device_ids()
-            .map(|id| Device { rt: Arc::clone(&self.rt), id })
-            .collect()
+        self.rt.node.device_ids().map(|id| Device { rt: Arc::clone(&self.rt), id }).collect()
     }
 
     /// Devices of a specific type.

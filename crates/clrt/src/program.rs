@@ -9,8 +9,8 @@
 use crate::error::{ClError, ClResult};
 use crate::kernel::{Kernel, KernelBody};
 use crate::platform::{next_object_id, RuntimeInner};
+use hwsim::sync::Mutex;
 use hwsim::SimDuration;
-use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
 

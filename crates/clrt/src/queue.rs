@@ -31,9 +31,9 @@ use crate::kernel::{ArgValue, Kernel, KernelCtx};
 use crate::ndrange::NdRange;
 use crate::platform::next_object_id;
 use hwsim::engine::{CommandDesc, CommandKind, Engine, EventId};
+use hwsim::sync::Mutex;
 use hwsim::topology::TransferKind;
 use hwsim::{DeviceId, SimDuration};
-use parking_lot::Mutex;
 use std::sync::Arc;
 
 struct QueueInner {
@@ -125,7 +125,8 @@ impl CommandQueue {
             }
         }
         waits.extend_from_slice(extra_waits);
-        let id = engine.submit(CommandDesc { device, kind, duration, waits, queue: self.inner.qid });
+        let id =
+            engine.submit(CommandDesc { device, kind, duration, waits, queue: self.inner.qid });
         *self.inner.last.lock() = Some(id);
         self.inner.outstanding.lock().push(id);
         id
@@ -154,11 +155,8 @@ impl CommandQueue {
         } else {
             // Valid only on some other device: stage through the host
             // (cross-vendor D2D is unavailable, paper §V-C3).
-            let owner = *res
-                .devices
-                .iter()
-                .next()
-                .expect("buffer valid neither on host nor any device");
+            let owner =
+                *res.devices.iter().next().expect("buffer valid neither on host nor any device");
             let d2h = node.topology.host_transfer_time(owner, bytes, &node.devices);
             let ev1 = self.submit(
                 engine,
@@ -295,9 +293,7 @@ impl CommandQueue {
         {
             let src_store = src.inner.store.lock();
             let mut dst_store = dst.inner.store.lock();
-            dst_store
-                .as_mut_slice::<u8>()
-                .copy_from_slice(src_store.as_slice::<u8>());
+            dst_store.as_mut_slice::<u8>().copy_from_slice(src_store.as_slice::<u8>());
         }
         let mut res = dst.inner.residency.lock();
         res.devices.clear();
@@ -312,7 +308,12 @@ impl CommandQueue {
     /// If the kernel has a per-device launch configuration registered for
     /// this device (the paper's `clSetKernelWorkGroupInfo`), it overrides
     /// `nd`.
-    pub fn enqueue_ndrange(&self, kernel: &Kernel, nd: NdRange, waits: &[Event]) -> ClResult<Event> {
+    pub fn enqueue_ndrange(
+        &self,
+        kernel: &Kernel,
+        nd: NdRange,
+        waits: &[Event],
+    ) -> ClResult<Event> {
         let args = kernel.snapshot_args()?;
         self.enqueue_ndrange_with_args(kernel, nd, &args, waits)
     }
@@ -437,10 +438,7 @@ impl CommandQueue {
 
     /// The completion event of the most recently enqueued command, if any.
     pub fn last_event(&self) -> Option<Event> {
-        self.inner
-            .last
-            .lock()
-            .map(|id| Event::new(Arc::clone(&self.inner.ctx.rt), id))
+        self.inner.last.lock().map(|id| Event::new(Arc::clone(&self.inner.ctx.rt), id))
     }
 }
 
@@ -480,9 +478,7 @@ mod tests {
     fn setup() -> (Platform, Context, Kernel, Buffer) {
         let p = Platform::paper_node();
         let ctx = p.create_context_all().unwrap();
-        let prog = ctx
-            .create_program(vec![Arc::new(Scale(2.0)) as Arc<dyn KernelBody>])
-            .unwrap();
+        let prog = ctx.create_program(vec![Arc::new(Scale(2.0)) as Arc<dyn KernelBody>]).unwrap();
         prog.build(0).unwrap();
         let k = prog.create_kernel("scale").unwrap();
         let b = ctx.create_buffer_of::<f64>(1024).unwrap();
@@ -639,9 +635,7 @@ mod tests {
     fn overlap_scenario(ooo: bool) -> (Event, Event) {
         let p = Platform::paper_node();
         let ctx = p.create_context_all().unwrap();
-        let prog = ctx
-            .create_program(vec![Arc::new(Scale(2.0)) as Arc<dyn KernelBody>])
-            .unwrap();
+        let prog = ctx.create_program(vec![Arc::new(Scale(2.0)) as Arc<dyn KernelBody>]).unwrap();
         prog.build(0).unwrap();
         let q = if ooo {
             ctx.create_queue_ooo(DeviceId(1)).unwrap()
@@ -687,9 +681,7 @@ mod tests {
     fn barrier_restores_ordering_on_ooo_queues() {
         let p = Platform::paper_node();
         let ctx = p.create_context_all().unwrap();
-        let prog = ctx
-            .create_program(vec![Arc::new(Scale(2.0)) as Arc<dyn KernelBody>])
-            .unwrap();
+        let prog = ctx.create_program(vec![Arc::new(Scale(2.0)) as Arc<dyn KernelBody>]).unwrap();
         prog.build(0).unwrap();
         let q = ctx.create_queue_ooo(DeviceId(1)).unwrap();
         let b1 = ctx.create_buffer_of::<f64>(4096).unwrap();
@@ -716,9 +708,7 @@ mod tests {
         // the copy engine while a kernel occupies the compute engine.
         let p = Platform::paper_node();
         let ctx = p.create_context_all().unwrap();
-        let prog = ctx
-            .create_program(vec![Arc::new(Scale(2.0)) as Arc<dyn KernelBody>])
-            .unwrap();
+        let prog = ctx.create_program(vec![Arc::new(Scale(2.0)) as Arc<dyn KernelBody>]).unwrap();
         prog.build(0).unwrap();
         let q = ctx.create_queue_ooo(DeviceId(1)).unwrap();
         let a = ctx.create_buffer_of::<f64>(1 << 20).unwrap();
@@ -726,8 +716,9 @@ mod tests {
         let k = prog.create_kernel("scale").unwrap();
         k.set_arg(0, ArgValue::BufferMut(a)).unwrap();
         let write_ev = q.last_event().unwrap();
-        let kernel_ev =
-            q.enqueue_ndrange(&k, NdRange::d1(1 << 20, 128), std::slice::from_ref(&write_ev)).unwrap();
+        let kernel_ev = q
+            .enqueue_ndrange(&k, NdRange::d1(1 << 20, 128), std::slice::from_ref(&write_ev))
+            .unwrap();
         // A second, unrelated upload overlaps the kernel on the same device.
         let b = ctx.create_buffer_of::<f64>(1 << 20).unwrap();
         let upload_ev = q.enqueue_write(&b, &vec![2.0f64; 1 << 20]).unwrap();
@@ -744,9 +735,7 @@ mod tests {
     fn ooo_finish_drains_every_command() {
         let p = Platform::paper_node();
         let ctx = p.create_context_all().unwrap();
-        let prog = ctx
-            .create_program(vec![Arc::new(Scale(1.5)) as Arc<dyn KernelBody>])
-            .unwrap();
+        let prog = ctx.create_program(vec![Arc::new(Scale(1.5)) as Arc<dyn KernelBody>]).unwrap();
         prog.build(0).unwrap();
         let q = ctx.create_queue_ooo(DeviceId(0)).unwrap();
         let mut events = Vec::new();
@@ -768,9 +757,7 @@ mod tests {
     fn oversized_buffer_launch_is_rejected_per_device() {
         let p = Platform::paper_node();
         let ctx = p.create_context_all().unwrap();
-        let prog = ctx
-            .create_program(vec![Arc::new(Scale(1.0)) as Arc<dyn KernelBody>])
-            .unwrap();
+        let prog = ctx.create_program(vec![Arc::new(Scale(1.0)) as Arc<dyn KernelBody>]).unwrap();
         prog.build(0).unwrap();
         let k = prog.create_kernel("scale").unwrap();
         // 4 GiB: fits the CPU (32 GB) but not a C2050 (3 GB).

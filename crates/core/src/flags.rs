@@ -130,11 +130,7 @@ impl QueueSchedFlags {
             (1 << 7, "SCHED_IO_BOUND"),
             (1 << 8, "SCHED_MEM_BOUND"),
         ];
-        TABLE
-            .iter()
-            .filter(|(bit, _)| self.0 & bit != 0)
-            .map(|&(_, name)| name)
-            .collect()
+        TABLE.iter().filter(|(bit, _)| self.0 & bit != 0).map(|&(_, name)| name).collect()
     }
 }
 

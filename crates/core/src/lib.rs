@@ -49,11 +49,15 @@ pub mod mapper;
 pub mod metrics;
 pub mod profile;
 pub mod scheduler;
+pub mod telemetry;
 
 pub use clrt::error;
 pub use flags::{ContextSchedPolicy, QueueSchedFlags};
 pub use profile::{DeviceProfile, ProfileCache, StaticHint, PROFILE_DIR_ENV};
-pub use scheduler::{MapperKind, MulticlContext, SchedOptions, SchedQueue, SchedStats, ITER_FREQ_ENV, PROFILING_TAG};
+pub use scheduler::{
+    MapperKind, MulticlContext, SchedOptions, SchedQueue, SchedStats, ITER_FREQ_ENV, PROFILING_TAG,
+};
+pub use telemetry::{QueueDecision, SchedEvent, SchedObserver};
 
 use clrt::error::ClResult;
 use clrt::{Kernel, NdRange};
@@ -120,7 +124,8 @@ mod tests {
     }
 
     fn scratch_options(tag: &str) -> SchedOptions {
-        let dir = std::env::temp_dir().join(format!("multicl-libtest-{tag}-{}", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("multicl-libtest-{tag}-{}", std::process::id()));
         SchedOptions { profile_cache: ProfileCache::at(dir), ..SchedOptions::default() }
     }
 
@@ -134,7 +139,10 @@ mod tests {
     fn autofit_maps_gpu_kernel_to_gpu_and_cpu_kernel_to_cpu() {
         let (platform, ctx) = setup(ContextSchedPolicy::AutoFit, "autofit-map");
         let prog = ctx
-            .create_program(vec![Arc::new(CpuFriendly) as Arc<dyn KernelBody>, Arc::new(GpuFriendly)])
+            .create_program(vec![
+                Arc::new(CpuFriendly) as Arc<dyn KernelBody>,
+                Arc::new(GpuFriendly),
+            ])
             .unwrap();
         let kc = prog.create_kernel("cpu_friendly").unwrap();
         let kg = prog.create_kernel("gpu_friendly").unwrap();
@@ -153,6 +161,156 @@ mod tests {
         let cpu = node.cpu().unwrap();
         assert_eq!(q1.device(), cpu, "CPU-friendly queue must land on the CPU");
         assert!(node.gpus().contains(&q2.device()), "GPU-friendly queue must land on a GPU");
+    }
+
+    #[test]
+    fn mapping_decision_explains_two_queue_cpu_gpu_split() {
+        use crate::telemetry::{RingBufferSink, SchedMetrics};
+
+        let platform = Platform::paper_node();
+        let recorder = Arc::new(RingBufferSink::new(256));
+        let metrics = Arc::new(SchedMetrics::new());
+        let mut options = scratch_options("explain");
+        options.observers = vec![recorder.clone(), metrics.clone()];
+        let ctx =
+            MulticlContext::with_options(&platform, ContextSchedPolicy::AutoFit, options).unwrap();
+
+        let prog = ctx
+            .create_program(vec![
+                Arc::new(CpuFriendly) as Arc<dyn KernelBody>,
+                Arc::new(GpuFriendly),
+            ])
+            .unwrap();
+        let kc = prog.create_kernel("cpu_friendly").unwrap();
+        let kg = prog.create_kernel("gpu_friendly").unwrap();
+        let bc = ctx.create_buffer_of::<f64>(1 << 16).unwrap();
+        let bg = ctx.create_buffer_of::<f64>(1 << 16).unwrap();
+        kc.set_arg(0, ArgValue::BufferMut(bc)).unwrap();
+        kg.set_arg(0, ArgValue::BufferMut(bg)).unwrap();
+        let q1 = ctx.create_queue(QueueSchedFlags::SCHED_AUTO_DYNAMIC).unwrap();
+        let q2 = ctx.create_queue(QueueSchedFlags::SCHED_AUTO_DYNAMIC).unwrap();
+        q1.enqueue_ndrange(&kc, clrt::NdRange::d1(1 << 16, 64)).unwrap();
+        q2.enqueue_ndrange(&kg, clrt::NdRange::d1(1 << 16, 128)).unwrap();
+        ctx.finish_all();
+
+        let events = recorder.snapshot();
+        // The stream is well-formed: begins with EpochBegin, ends with
+        // EpochEnd, and the cold cache missed before profiling.
+        assert!(
+            matches!(events.first(), Some(SchedEvent::EpochBegin { pool: 2, .. })),
+            "{events:?}"
+        );
+        assert!(matches!(events.last(), Some(SchedEvent::EpochEnd { .. })));
+        assert!(events.iter().any(|e| matches!(e, SchedEvent::CacheMiss { .. })));
+        assert!(events.iter().any(
+            |e| matches!(e, SchedEvent::KernelProfiled { kernel, .. } if kernel == "cpu_friendly")
+        ));
+
+        // The decision record explains the mapping: per-device estimated
+        // times and migration costs whose minimum total sits on the device
+        // each queue actually ran on.
+        let decision = events
+            .iter()
+            .find_map(|e| match e {
+                SchedEvent::MappingDecision { queues, .. } => Some(queues.clone()),
+                _ => None,
+            })
+            .expect("AUTO_FIT emits a mapping decision");
+        assert_eq!(decision.len(), 2);
+        let n = platform.node().device_count();
+        for q in [&q1, &q2] {
+            let d = decision.iter().find(|d| d.queue == q.id()).expect("one record per queue");
+            assert_eq!(d.exec_estimates.len(), n);
+            assert_eq!(d.migration_costs.len(), n);
+            assert_eq!(d.chosen, q.device(), "the decision names where the queue ran");
+            // The chosen device attains the minimum recorded total cost
+            // (compare by value: the two paper GPUs are identical, so the
+            // GPU-friendly queue's costs can tie exactly across them).
+            assert_eq!(
+                d.total(d.chosen),
+                d.total(d.argmin_total()),
+                "queue {}: chosen device must minimize exec+migration",
+                d.queue
+            );
+        }
+        // The CPU column is untied: the CPU-friendly queue's argmin is
+        // exactly the CPU.
+        let cpu = platform.node().cpu().unwrap();
+        let d1 = decision.iter().find(|d| d.queue == q1.id()).unwrap();
+        assert_eq!(d1.argmin_total(), cpu);
+
+        // End-to-end round-trips: the real stream survives JSONL, and the
+        // metrics bound to it export/parse through both formats.
+        let jsonl: String = events.iter().map(|e| e.to_json().dump() + "\n").collect();
+        assert_eq!(crate::telemetry::sink::parse_jsonl(&jsonl), Some(events));
+        assert_eq!(metrics.epochs.get(), 1);
+        assert!(metrics.kernels_profiled.get() >= 2);
+        let prom = metrics.registry().to_prometheus();
+        let samples = crate::telemetry::registry::parse_prometheus(&prom).expect("parseable");
+        let epochs = samples.iter().find(|s| s.name == "multicl_epochs_total").unwrap();
+        assert_eq!(epochs.value, 1.0);
+        assert!(hwsim::json::Json::parse(&metrics.registry().to_json().dump()).is_some());
+    }
+
+    #[test]
+    fn queue_migration_events_carry_flow_payload() {
+        use crate::telemetry::{perfetto, RingBufferSink};
+
+        let platform = Platform::paper_node();
+        let recorder = Arc::new(RingBufferSink::new(256));
+        let mut options = scratch_options("migrate-ev");
+        options.observers = vec![recorder.clone()];
+        let ctx =
+            MulticlContext::with_options(&platform, ContextSchedPolicy::AutoFit, options).unwrap();
+        let prog = ctx.create_program(vec![Arc::new(CpuFriendly) as Arc<dyn KernelBody>]).unwrap();
+        let k = prog.create_kernel("cpu_friendly").unwrap();
+        let b = ctx.create_buffer_of::<f64>(1 << 14).unwrap();
+        let q = ctx.create_queue(QueueSchedFlags::SCHED_AUTO_DYNAMIC).unwrap();
+        // Seed the data on the initial (round-robin) binding so a CPU-bound
+        // mapping has real bytes to move, then launch the CPU-friendly
+        // kernel. If the initial binding already is the CPU, no migration
+        // happens — create a second queue to cover both phases.
+        q.enqueue_write(&b, &vec![0.0f64; 1 << 14]).unwrap();
+        k.set_arg(0, ArgValue::BufferMut(b)).unwrap();
+        q.enqueue_ndrange(&k, clrt::NdRange::d1(1 << 14, 64)).unwrap();
+        let q2 = ctx.create_queue(QueueSchedFlags::SCHED_AUTO_DYNAMIC).unwrap();
+        let b2 = ctx.create_buffer_of::<f64>(1 << 14).unwrap();
+        q2.enqueue_write(&b2, &vec![0.0f64; 1 << 14]).unwrap();
+        k.set_arg(0, ArgValue::BufferMut(b2)).unwrap();
+        q2.enqueue_ndrange(&k, clrt::NdRange::d1(1 << 14, 64)).unwrap();
+        ctx.finish_all();
+
+        // Both queues end on the CPU; at least one started elsewhere
+        // (round-robin initial bindings diverge), so a migration was
+        // recorded, carrying the bytes it had to move.
+        let cpu = platform.node().cpu().unwrap();
+        assert_eq!(q.device(), cpu);
+        assert_eq!(q2.device(), cpu);
+        let events = recorder.snapshot();
+        let migrations: Vec<_> =
+            events.iter().filter(|e| matches!(e, SchedEvent::QueueMigrated { .. })).collect();
+        assert!(!migrations.is_empty(), "{events:?}");
+        assert!(
+            migrations.iter().any(|e| match e {
+                SchedEvent::QueueMigrated { to, bytes, .. } => *to == cpu && *bytes > 0,
+                _ => false,
+            }),
+            "{migrations:?}"
+        );
+
+        // And the extended exporter turns them into paired flow events on
+        // top of the engine trace.
+        let text = perfetto::chrome_trace_with_telemetry(&platform.trace_snapshot(), &events);
+        let parsed = hwsim::json::Json::parse(&text).expect("valid trace JSON");
+        let arr = parsed.as_arr().unwrap();
+        let count = |ph: &str| {
+            arr.iter()
+                .filter(|o| o.get("ph").and_then(hwsim::json::Json::as_str) == Some(ph))
+                .count()
+        };
+        assert_eq!(count("s"), migrations.len());
+        assert_eq!(count("f"), migrations.len());
+        assert!(count("C") > 0);
     }
 
     #[test]
@@ -219,7 +377,9 @@ mod tests {
         let b = ctx.create_buffer_of::<f64>(1 << 14).unwrap();
         k.set_arg(0, ArgValue::BufferMut(b)).unwrap();
         let q = ctx
-            .create_queue(QueueSchedFlags::SCHED_AUTO_DYNAMIC | QueueSchedFlags::SCHED_EXPLICIT_REGION)
+            .create_queue(
+                QueueSchedFlags::SCHED_AUTO_DYNAMIC | QueueSchedFlags::SCHED_EXPLICIT_REGION,
+            )
             .unwrap();
         let initial = q.device();
         // Outside the region: no scheduling, stays on initial binding.

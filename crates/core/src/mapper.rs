@@ -53,10 +53,7 @@ pub fn optimal(costs: &CostMatrix) -> Mapping {
     }
     let devices = costs[0].len();
     assert!(devices > 0, "cost matrix must have at least one device column");
-    assert!(
-        costs.iter().all(|row| row.len() == devices),
-        "ragged cost matrix"
-    );
+    assert!(costs.iter().all(|row| row.len() == devices), "ragged cost matrix");
 
     // Order queues by descending minimum cost: big rocks first.
     let mut order: Vec<usize> = (0..queues).collect();
@@ -102,16 +99,7 @@ pub fn optimal(costs: &CostMatrix) -> Mapping {
         }
     }
 
-    dfs(
-        0,
-        &order,
-        costs,
-        &mut load,
-        SimDuration::ZERO,
-        &mut current,
-        &mut best,
-        &mut best_assign,
-    );
+    dfs(0, &order, costs, &mut load, SimDuration::ZERO, &mut current, &mut best, &mut best_assign);
 
     debug_assert!(best.0 < MAX, "the search always visits at least one full assignment");
     Mapping { assignment: best_assign, makespan: best.0 }
@@ -132,9 +120,7 @@ pub fn greedy(costs: &CostMatrix) -> Mapping {
     let mut load = vec![SimDuration::ZERO; devices];
     let mut assignment = vec![DeviceId(0); queues];
     for &q in &order {
-        let d = (0..devices)
-            .min_by_key(|&d| load[d] + costs[q][d])
-            .expect("at least one device");
+        let d = (0..devices).min_by_key(|&d| load[d] + costs[q][d]).expect("at least one device");
         load[d] += costs[q][d];
         assignment[q] = DeviceId(d);
     }
@@ -210,32 +196,22 @@ mod tests {
             vec![ms(8), ms(3), ms(17)],
         ];
         let m = optimal(&costs);
-        let brute = enumerate_assignments(4, 3)
-            .into_iter()
-            .map(|a| makespan(&costs, &a, 3))
-            .min()
-            .unwrap();
+        let brute =
+            enumerate_assignments(4, 3).into_iter().map(|a| makespan(&costs, &a, 3)).min().unwrap();
         assert_eq!(m.makespan, brute);
         assert_eq!(makespan(&costs, &m.assignment, 3), m.makespan);
     }
 
     #[test]
     fn greedy_never_beats_optimal() {
-        let costs: CostMatrix = vec![
-            vec![ms(5), ms(9)],
-            vec![ms(6), ms(4)],
-            vec![ms(7), ms(8)],
-        ];
+        let costs: CostMatrix = vec![vec![ms(5), ms(9)], vec![ms(6), ms(4)], vec![ms(7), ms(8)]];
         assert!(greedy(&costs).makespan >= optimal(&costs).makespan);
     }
 
     #[test]
     fn round_robin_cycles_through_devices() {
         let a = round_robin(5, 3, 0);
-        assert_eq!(
-            a,
-            vec![DeviceId(0), DeviceId(1), DeviceId(2), DeviceId(0), DeviceId(1)]
-        );
+        assert_eq!(a, vec![DeviceId(0), DeviceId(1), DeviceId(2), DeviceId(0), DeviceId(1)]);
         let b = round_robin(2, 3, 2);
         assert_eq!(b, vec![DeviceId(2), DeviceId(0)]);
     }

@@ -9,9 +9,9 @@
 //! configuration changes".
 
 use clrt::Platform;
+use hwsim::json::Json;
 use hwsim::microbench::{self, BandwidthCurve};
 use hwsim::{DeviceId, SimDuration};
-use serde::{Deserialize, Serialize};
 use std::path::{Path, PathBuf};
 
 /// Environment variable overriding the profile-cache directory (the paper:
@@ -20,7 +20,7 @@ pub const PROFILE_DIR_ENV: &str = "MULTICL_PROFILE_DIR";
 
 /// Static per-node device profile: measured bandwidth curves and sustained
 /// instruction throughput for every device.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DeviceProfile {
     /// Node fingerprint the profile was measured on.
     pub fingerprint: String,
@@ -61,6 +61,54 @@ impl DeviceProfile {
             }
             engine.set_tag(None);
             DeviceProfile { fingerprint: node.fingerprint(), h2d, d2d, gflops_sp, gflops_dp }
+        })
+    }
+
+    /// Encode the profile as JSON (the on-disk cache format; same shape the
+    /// earlier `serde_json` encoding produced, so old cache files still
+    /// load).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("fingerprint", Json::from(self.fingerprint.as_str())),
+            ("h2d", Json::Arr(self.h2d.iter().map(BandwidthCurve::to_json).collect())),
+            (
+                "d2d",
+                Json::Arr(
+                    self.d2d
+                        .iter()
+                        .map(|row| Json::Arr(row.iter().map(BandwidthCurve::to_json).collect()))
+                        .collect(),
+                ),
+            ),
+            ("gflops_sp", Json::num_arr(self.gflops_sp.iter().copied())),
+            ("gflops_dp", Json::num_arr(self.gflops_dp.iter().copied())),
+        ])
+    }
+
+    /// Decode a profile from the [`Self::to_json`] representation.
+    pub fn from_json(value: &Json) -> Option<DeviceProfile> {
+        let fingerprint = value.get("fingerprint")?.as_str()?.to_string();
+        let h2d = value
+            .get("h2d")?
+            .as_arr()?
+            .iter()
+            .map(BandwidthCurve::from_json)
+            .collect::<Option<Vec<_>>>()?;
+        let d2d = value
+            .get("d2d")?
+            .as_arr()?
+            .iter()
+            .map(|row| row.as_arr()?.iter().map(BandwidthCurve::from_json).collect())
+            .collect::<Option<Vec<Vec<_>>>>()?;
+        let floats = |key: &str| -> Option<Vec<f64>> {
+            value.get(key)?.as_arr()?.iter().map(Json::as_f64).collect()
+        };
+        Some(DeviceProfile {
+            fingerprint,
+            h2d,
+            d2d,
+            gflops_sp: floats("gflops_sp")?,
+            gflops_dp: floats("gflops_dp")?,
         })
     }
 
@@ -145,7 +193,7 @@ impl ProfileCache {
     pub fn load(&self, fingerprint: &str) -> Option<DeviceProfile> {
         let path = self.file_for(fingerprint);
         let text = std::fs::read_to_string(path).ok()?;
-        let profile: DeviceProfile = serde_json::from_str(&text).ok()?;
+        let profile = DeviceProfile::from_json(&Json::parse(&text)?)?;
         (profile.fingerprint == fingerprint).then_some(profile)
     }
 
@@ -154,8 +202,7 @@ impl ProfileCache {
     pub fn store(&self, profile: &DeviceProfile) -> std::io::Result<()> {
         std::fs::create_dir_all(&self.dir)?;
         let path = self.file_for(&profile.fingerprint);
-        let text = serde_json::to_string(profile).expect("profile serializes");
-        std::fs::write(path, text)
+        std::fs::write(path, profile.to_json().dump())
     }
 
     /// Load the profile if cached, else measure (charging virtual time) and
@@ -180,10 +227,8 @@ mod tests {
     use hwsim::SimTime;
 
     fn temp_cache(tag: &str) -> ProfileCache {
-        let dir = std::env::temp_dir().join(format!(
-            "multicl-test-cache-{tag}-{}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("multicl-test-cache-{tag}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         ProfileCache::at(dir)
     }
@@ -263,8 +308,17 @@ mod tests {
         let cpu = node.cpu().unwrap();
         let gpu = node.gpus()[0];
         // GPU wins compute and device-memory bandwidth; CPU wins host I/O.
-        assert!(profile.static_score(gpu, StaticHint::ComputeBound) > profile.static_score(cpu, StaticHint::ComputeBound));
-        assert!(profile.static_score(gpu, StaticHint::MemoryBound) > profile.static_score(cpu, StaticHint::MemoryBound));
-        assert!(profile.static_score(cpu, StaticHint::IoBound) > profile.static_score(gpu, StaticHint::IoBound));
+        assert!(
+            profile.static_score(gpu, StaticHint::ComputeBound)
+                > profile.static_score(cpu, StaticHint::ComputeBound)
+        );
+        assert!(
+            profile.static_score(gpu, StaticHint::MemoryBound)
+                > profile.static_score(cpu, StaticHint::MemoryBound)
+        );
+        assert!(
+            profile.static_score(cpu, StaticHint::IoBound)
+                > profile.static_score(gpu, StaticHint::IoBound)
+        );
     }
 }

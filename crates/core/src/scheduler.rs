@@ -26,12 +26,16 @@
 use crate::flags::{ContextSchedPolicy, QueueSchedFlags};
 use crate::mapper;
 use crate::profile::{DeviceProfile, ProfileCache, StaticHint};
+use crate::telemetry::event::{QueueDecision, SchedEvent};
+use crate::telemetry::{SchedObserver, StderrSink};
 use clrt::error::{ClError, ClResult};
-use clrt::{ArgValue, Buffer, CommandQueue, Context, Kernel, KernelBody, NdRange, Platform, Program};
+use clrt::{
+    ArgValue, Buffer, CommandQueue, Context, Kernel, KernelBody, NdRange, Platform, Program,
+};
 use hwsim::engine::CommandKind;
+use hwsim::sync::Mutex;
 use hwsim::topology::TransferKind;
 use hwsim::{DeviceId, SimDuration};
-use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Weak};
@@ -60,7 +64,7 @@ pub enum MapperKind {
 
 /// Runtime options controlling the overhead-reduction strategies. All enabled
 /// by default; the figure harness toggles them for the ablation experiments.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct SchedOptions {
     /// §V-C3: stage profiling inputs through the host once (1×D2H + (n−1)×H2D
     /// instead of (n−1)×(D2H+H2D)) and cache the destination copies.
@@ -80,6 +84,12 @@ pub struct SchedOptions {
     pub profile_cache: ProfileCache,
     /// Mapping algorithm for the AUTO_FIT policy.
     pub mapper: MapperKind,
+    /// Telemetry observers attached at context creation; each receives
+    /// every [`SchedEvent`] the runtime emits. More can be added later via
+    /// [`MulticlContext::add_observer`]. When the `MULTICL_DEBUG`
+    /// environment variable is set, a [`StderrSink`] is appended
+    /// automatically.
+    pub observers: Vec<Arc<dyn SchedObserver>>,
 }
 
 impl Default for SchedOptions {
@@ -94,7 +104,22 @@ impl Default for SchedOptions {
             per_kernel_trigger: false,
             profile_cache: ProfileCache::default_location(),
             mapper: MapperKind::Optimal,
+            observers: Vec::new(),
         }
+    }
+}
+
+impl std::fmt::Debug for SchedOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SchedOptions")
+            .field("data_caching", &self.data_caching)
+            .field("minikernel", &self.minikernel)
+            .field("iterative_frequency", &self.iterative_frequency)
+            .field("per_kernel_trigger", &self.per_kernel_trigger)
+            .field("profile_cache", &self.profile_cache)
+            .field("mapper", &self.mapper)
+            .field("observers", &self.observers.len())
+            .finish()
     }
 }
 
@@ -119,6 +144,9 @@ struct PendingKernel {
 }
 
 struct QueueState {
+    /// Stable id (creation order within the context) — what telemetry
+    /// events call the queue.
+    id: usize,
     cl: CommandQueue,
     flags: QueueSchedFlags,
     pending: Mutex<Vec<PendingKernel>>,
@@ -161,7 +189,12 @@ struct RtInner {
     queues: Mutex<Vec<Weak<QueueState>>>,
     rr_next: AtomicUsize,
     created: AtomicUsize,
+    /// Next stable queue id (all queues, auto or not).
+    queue_ids: AtomicUsize,
     stats: Mutex<SchedStats>,
+    /// Scheduling epochs completed (the `epoch` field of every event).
+    sched_epoch: AtomicU64,
+    observers: Mutex<Vec<Arc<dyn SchedObserver>>>,
 }
 
 /// A scheduling-aware OpenCL context: `clCreateContext` with the proposed
@@ -187,6 +220,10 @@ impl MulticlContext {
     ) -> ClResult<MulticlContext> {
         let cl = platform.create_context_all()?;
         let device_profile = options.profile_cache.load_or_measure(platform);
+        let mut observers = options.observers.clone();
+        if std::env::var_os("MULTICL_DEBUG").is_some() {
+            observers.push(Arc::new(StderrSink));
+        }
         Ok(MulticlContext {
             rt: Arc::new(RtInner {
                 cl,
@@ -199,9 +236,19 @@ impl MulticlContext {
                 queues: Mutex::new(Vec::new()),
                 rr_next: AtomicUsize::new(0),
                 created: AtomicUsize::new(0),
+                queue_ids: AtomicUsize::new(0),
                 stats: Mutex::new(SchedStats::default()),
+                sched_epoch: AtomicU64::new(0),
+                observers: Mutex::new(observers),
             }),
         })
+    }
+
+    /// Attach a telemetry observer; it receives every [`SchedEvent`] from
+    /// subsequent scheduling passes (after any attached via
+    /// [`SchedOptions::observers`]).
+    pub fn add_observer(&self, observer: Arc<dyn SchedObserver>) {
+        self.rt.observers.lock().push(observer);
     }
 
     /// The global scheduling policy this context was created with.
@@ -301,6 +348,7 @@ impl MulticlContext {
     fn make_queue(&self, flags: QueueSchedFlags, device: DeviceId) -> ClResult<SchedQueue> {
         let cl = self.rt.cl.create_queue(device)?;
         let state = Arc::new(QueueState {
+            id: self.rt.queue_ids.fetch_add(1, Ordering::Relaxed),
             cl,
             flags,
             pending: Mutex::new(Vec::new()),
@@ -329,6 +377,15 @@ impl RtInner {
         queues.iter().filter_map(Weak::upgrade).collect()
     }
 
+    /// Deliver one event to every attached observer. The observer list is
+    /// cloned out first so no runtime lock is held while observer code runs.
+    fn emit(&self, event: &SchedEvent) {
+        let observers: Vec<Arc<dyn SchedObserver>> = self.observers.lock().clone();
+        for o in &observers {
+            o.on_event(event);
+        }
+    }
+
     /// The scheduler proper: runs at every synchronization trigger.
     fn schedule_and_flush(&self) {
         let queues = self.alive_queues();
@@ -352,7 +409,19 @@ impl RtInner {
             return;
         }
         self.stats.lock().sched_invocations += 1;
+        let epoch = self.sched_epoch.fetch_add(1, Ordering::Relaxed) + 1;
+        let began = self.platform.now();
+        self.emit(&SchedEvent::EpochBegin {
+            epoch,
+            at: began,
+            pool: pool.len(),
+            policy: self.policy.to_string(),
+        });
         let devices = self.cl.devices().to_vec();
+        // Virtual time the pass spends obtaining cost vectors (dynamic
+        // profiling and its staging transfers are the only clock-advancing
+        // work before the flush).
+        let mut profiling = SimDuration::ZERO;
         let assignment: Vec<DeviceId> = match self.policy {
             ContextSchedPolicy::RoundRobin => {
                 // "Schedules the command queue to the next available device
@@ -372,31 +441,66 @@ impl RtInner {
                     .collect()
             }
             ContextSchedPolicy::AutoFit => {
+                let breakdowns: Vec<CostBreakdown> =
+                    pool.iter().map(|q| self.cost_breakdown(q, &devices, epoch)).collect();
+                profiling = self.platform.now().saturating_since(began);
                 let costs: mapper::CostMatrix =
-                    pool.iter().map(|q| self.cost_vector(q, &devices)).collect();
-                if std::env::var_os("MULTICL_DEBUG").is_some() {
-                    for (qi, row) in costs.iter().enumerate() {
-                        eprintln!("[multicl] pool[{qi}] costs: {row:?}");
-                    }
-                }
-                let mapping = match self.options.mapper {
-                    MapperKind::Optimal => mapper::optimal(&costs),
-                    MapperKind::Greedy => mapper::greedy(&costs),
+                    breakdowns.iter().map(CostBreakdown::totals).collect();
+                let (mapper_name, mapping) = match self.options.mapper {
+                    MapperKind::Optimal => ("optimal", mapper::optimal(&costs)),
+                    MapperKind::Greedy => ("greedy", mapper::greedy(&costs)),
                 };
-                mapping
-                    .assignment
-                    .into_iter()
-                    .map(|d| devices[d.index()])
-                    .collect()
+                let decisions: Vec<QueueDecision> = pool
+                    .iter()
+                    .zip(&breakdowns)
+                    .zip(&mapping.assignment)
+                    .map(|((q, b), &dev)| QueueDecision {
+                        queue: q.id,
+                        exec_estimates: b.exec.clone(),
+                        migration_costs: b.migration.clone(),
+                        chosen: devices[dev.index()],
+                        previous: q.cl.device(),
+                    })
+                    .collect();
+                self.emit(&SchedEvent::MappingDecision {
+                    epoch,
+                    at: self.platform.now(),
+                    mapper: mapper_name.to_string(),
+                    makespan: mapping.makespan,
+                    queues: decisions,
+                });
+                mapping.assignment.into_iter().map(|d| devices[d.index()]).collect()
             }
         };
-        if std::env::var_os("MULTICL_DEBUG").is_some() {
-            eprintln!("[multicl] assignment: {assignment:?}");
-        }
+        let issued_before = self.stats.lock().kernels_issued;
         for (q, dev) in pool.iter().zip(&assignment) {
+            let previous = q.cl.device();
+            if previous != *dev {
+                let bytes = {
+                    let pending = q.pending.lock();
+                    self.pending_nonresident_bytes(&pending, *dev)
+                };
+                self.emit(&SchedEvent::QueueMigrated {
+                    epoch,
+                    queue: q.id,
+                    from: previous,
+                    to: *dev,
+                    bytes,
+                    at: self.platform.now(),
+                });
+            }
             q.cl.rebind(*dev).expect("mapper chose a context device");
             self.flush_queue(q);
         }
+        let done = self.platform.now();
+        let kernels_issued = self.stats.lock().kernels_issued - issued_before;
+        self.emit(&SchedEvent::EpochEnd {
+            epoch,
+            at: done,
+            elapsed: done.saturating_since(began),
+            profiling,
+            kernels_issued,
+        });
     }
 
     /// Issue a queue's buffered launches to its (now final) device.
@@ -408,26 +512,30 @@ impl RtInner {
         self.stats.lock().kernels_issued += pending.len() as u64;
         q.epochs.fetch_add(1, Ordering::Relaxed);
         for cmd in pending {
-            q.cl
-                .enqueue_ndrange_with_args(&cmd.kernel, cmd.nd, &cmd.args, &[])
+            q.cl.enqueue_ndrange_with_args(&cmd.kernel, cmd.nd, &cmd.args, &[])
                 .expect("buffered launch was validated at enqueue time");
         }
     }
 
-    /// Per-device cost vector for one queue's pending epoch.
-    fn cost_vector(&self, q: &QueueState, devices: &[DeviceId]) -> Vec<SimDuration> {
+    /// Per-device cost terms for one queue's pending epoch, kept separate
+    /// so the [`SchedEvent::MappingDecision`] explain record can show the
+    /// execution and migration contributions individually.
+    fn cost_breakdown(&self, q: &QueueState, devices: &[DeviceId], epoch: u64) -> CostBreakdown {
         let pending = q.pending.lock();
         if q.flags.contains(QueueSchedFlags::SCHED_AUTO_STATIC) {
             // §V-B: static mode ranks devices purely by the hint score —
             // "chooses the best available device for the given command
             // queue" — without dynamic knowledge of kernels or data.
-            return self.static_costs(q, &pending, devices);
+            return CostBreakdown {
+                exec: self.static_costs(q, &pending, devices),
+                migration: vec![SimDuration::ZERO; devices.len()],
+            };
         }
-        let mut exec = self.dynamic_costs(q, &pending, devices);
-        // Fold in the predicted data-migration cost of *choosing* each
-        // device: buffers the epoch reads that are not yet resident there
-        // ("we derive the data transfer costs based on the device profiles,
-        // and the kernel profiles provide the kernel execution costs").
+        let exec = self.dynamic_costs(q, &pending, devices, epoch);
+        // The predicted data-migration cost of *choosing* each device:
+        // buffers the epoch reads that are not yet resident there ("we
+        // derive the data transfer costs based on the device profiles, and
+        // the kernel profiles provide the kernel execution costs").
         //
         // Exception: explicit-region queues. The mapping decided inside the
         // region persists for the rest of the program (that is the point of
@@ -435,12 +543,12 @@ impl RtInner {
         // migration cost is amortized over many future epochs; charging it
         // against every-epoch kernel costs would bias the mapper toward
         // wherever the data happens to start.
-        if !q.flags.contains(QueueSchedFlags::SCHED_EXPLICIT_REGION) {
-            for (i, &d) in devices.iter().enumerate() {
-                exec[i] += self.migration_cost(&pending, d);
-            }
-        }
-        exec
+        let migration = if q.flags.contains(QueueSchedFlags::SCHED_EXPLICIT_REGION) {
+            vec![SimDuration::ZERO; devices.len()]
+        } else {
+            devices.iter().map(|&d| self.migration_cost(&pending, d)).collect()
+        };
+        CostBreakdown { exec, migration }
     }
 
     /// §V-B: static selection from device profiles + queue hints only.
@@ -477,17 +585,22 @@ impl RtInner {
         q: &QueueState,
         pending: &[PendingKernel],
         devices: &[DeviceId],
+        epoch: u64,
     ) -> Vec<SimDuration> {
         let key = epoch_key(pending);
         // §V-C1: iterative queues may force periodic re-profiling.
-        let force = match (q.flags.contains(QueueSchedFlags::SCHED_ITERATIVE), self.options.iterative_frequency) {
+        let force = match (
+            q.flags.contains(QueueSchedFlags::SCHED_ITERATIVE),
+            self.options.iterative_frequency,
+        ) {
             (true, Some(freq)) if freq > 0 => q.epochs.load(Ordering::Relaxed).is_multiple_of(freq),
             _ => false,
         };
         if !force {
-            if let Some(v) = self.epoch_profiles.lock().get(&key) {
+            if let Some(v) = self.epoch_profiles.lock().get(&key).cloned() {
                 self.stats.lock().cache_hits += 1;
-                return v.clone();
+                self.emit(&SchedEvent::CacheHit { epoch, key });
+                return v;
             }
             // Compose from per-kernel profiles when every kernel is known.
             let kp = self.kernel_profiles.lock();
@@ -500,10 +613,12 @@ impl RtInner {
                 }
                 drop(kp);
                 self.stats.lock().cache_hits += 1;
-                self.epoch_profiles.lock().insert(key, total.clone());
+                self.epoch_profiles.lock().insert(key.clone(), total.clone());
+                self.emit(&SchedEvent::CacheHit { epoch, key });
                 return total;
             }
         }
+        self.emit(&SchedEvent::CacheMiss { epoch, key: key.clone() });
         // Cache miss (or forced): profile the *distinct kernel names* that
         // lack a cached per-device row (paper §V-A: "we run the kernels
         // once per device and store the corresponding execution times as
@@ -529,7 +644,7 @@ impl RtInner {
                 .collect()
         };
         if !missing.is_empty() {
-            self.profile_kernels(&missing, devices, minikernel);
+            self.profile_kernels(&missing, devices, minikernel, epoch);
             self.stats.lock().profiled_epochs += 1;
         }
         // Epoch estimate: sum the cached per-name rows over every launch.
@@ -556,6 +671,7 @@ impl RtInner {
         pending: &[&PendingKernel],
         devices: &[DeviceId],
         minikernel: bool,
+        epoch: u64,
     ) {
         let node = self.platform.node().clone();
         // Unique input buffers of the profiled kernels (profiling must move
@@ -570,7 +686,7 @@ impl RtInner {
                 }
             }
         }
-        self.platform.with_engine(|engine| {
+        let kernel_rows = self.platform.with_engine(|engine| {
             let prev_tag = engine.tag().map(str::to_owned);
             engine.set_tag(Some(PROFILING_TAG));
             let mut kernel_rows: HashMap<String, Vec<SimDuration>> = HashMap::new();
@@ -667,11 +783,40 @@ impl RtInner {
                 }
             }
             engine.set_tag(prev_tag.as_deref());
-            let mut kp = self.kernel_profiles.lock();
-            for (name, row) in kernel_rows {
-                kp.insert(name, row);
-            }
+            kernel_rows
         });
+        // Record and announce outside the engine lock (observers may query
+        // the platform clock).
+        {
+            let mut kp = self.kernel_profiles.lock();
+            for (name, row) in &kernel_rows {
+                kp.insert(name.clone(), row.clone());
+            }
+        }
+        for (name, row) in kernel_rows {
+            self.emit(&SchedEvent::KernelProfiled { epoch, kernel: name, minikernel, costs: row });
+        }
+    }
+
+    /// Buffer bytes referenced by `pending` that are not yet resident on
+    /// `dev` — the data a migration to `dev` will actually move. Reported
+    /// in [`SchedEvent::QueueMigrated`].
+    fn pending_nonresident_bytes(&self, pending: &[PendingKernel], dev: DeviceId) -> u64 {
+        let mut total = 0;
+        let mut seen: Vec<u64> = Vec::new();
+        for p in pending {
+            for a in &p.args {
+                let Some(b) = a.buffer() else { continue };
+                if seen.contains(&b.id()) {
+                    continue;
+                }
+                seen.push(b.id());
+                if !b.residency().valid_on(dev) {
+                    total += b.byte_len() as u64;
+                }
+            }
+        }
+        total
     }
 
     /// Predicted cost of migrating the epoch's buffers to `dev`, from the
@@ -702,6 +847,21 @@ impl RtInner {
     }
 }
 
+/// Per-device cost terms for one queue's pending epoch, as the mapper sees
+/// them: the estimated execution time plus the predicted data-migration
+/// penalty of choosing each device.
+struct CostBreakdown {
+    exec: Vec<SimDuration>,
+    migration: Vec<SimDuration>,
+}
+
+impl CostBreakdown {
+    /// The combined per-device cost column handed to the mapper.
+    fn totals(&self) -> Vec<SimDuration> {
+        self.exec.iter().zip(&self.migration).map(|(e, m)| *e + *m).collect()
+    }
+}
+
 /// Build the epoch cache key: the multiset of kernel names (§V-C1, "the key
 /// for a kernel epoch is just the set of the participating kernel names").
 fn epoch_key(pending: &[PendingKernel]) -> String {
@@ -722,6 +882,12 @@ impl SchedQueue {
     /// The queue's local scheduling flags.
     pub fn flags(&self) -> QueueSchedFlags {
         self.state.flags
+    }
+
+    /// Stable queue id within the context (creation order) — the id
+    /// telemetry events report for this queue.
+    pub fn id(&self) -> usize {
+        self.state.id
     }
 
     /// The device the queue is currently bound to (before the first

@@ -1,0 +1,52 @@
+//! Scheduler telemetry: a typed event stream, a lock-cheap metrics
+//! registry, and exportable sinks.
+//!
+//! The paper's whole evaluation (§VI) is an exercise in *explaining* what
+//! the device mapper did — which queue landed on which device, what the
+//! profiled cost vectors were, how much time profiling stole from the
+//! application. This module turns each of those facts into a first-class,
+//! exportable record:
+//!
+//! * [`SchedEvent`] — the typed event stream emitted by the runtime at every
+//!   synchronization epoch: [`SchedEvent::EpochBegin`],
+//!   [`SchedEvent::KernelProfiled`], [`SchedEvent::CacheHit`] /
+//!   [`SchedEvent::CacheMiss`], [`SchedEvent::MappingDecision`] (the full
+//!   explain record: per-device estimated times, migration cost terms, and
+//!   the chosen assignment), [`SchedEvent::QueueMigrated`], and
+//!   [`SchedEvent::EpochEnd`]. Every event serializes to JSON and parses
+//!   back ([`SchedEvent::to_json`] / [`SchedEvent::from_json`]).
+//! * [`SchedObserver`] — the hook trait; implementations are attached via
+//!   [`SchedOptions::observers`](crate::SchedOptions) or
+//!   [`MulticlContext::add_observer`](crate::MulticlContext::add_observer).
+//! * [`registry`] — counters, gauges, and log-scale histograms with
+//!   Prometheus text exposition and JSON export; [`SchedMetrics`] binds the
+//!   standard scheduler metric set to the event stream.
+//! * [`sink`] — ready-made observers: an in-memory ring buffer
+//!   ([`RingBufferSink`]), a JSONL writer ([`JsonlSink`]), and a stderr
+//!   printer ([`StderrSink`], what `MULTICL_DEBUG` uses).
+//! * [`perfetto`] — an extended Chrome/Perfetto exporter adding flow events
+//!   for queue migrations and per-device utilization counter tracks on top
+//!   of [`Trace::to_chrome_json`](hwsim::trace::Trace::to_chrome_json).
+//! * [`report`] — terminal rendering of the decision log (the
+//!   `schedule_explain` binary in `multicl-bench` drives it).
+
+pub mod event;
+pub mod perfetto;
+pub mod registry;
+pub mod report;
+pub mod sink;
+
+pub use event::{QueueDecision, SchedEvent};
+pub use registry::{Counter, Gauge, Histogram, MetricsRegistry, SchedMetrics};
+pub use sink::{JsonlSink, RingBufferSink, StderrSink};
+
+/// Receiver for scheduler telemetry events.
+///
+/// Observers are invoked synchronously from the scheduling pass, in
+/// attachment order, while no runtime locks are held. Implementations
+/// should be cheap (push to a buffer, bump a counter); anything expensive
+/// belongs in a drain step after the run.
+pub trait SchedObserver: Send + Sync {
+    /// Called once per emitted event.
+    fn on_event(&self, event: &SchedEvent);
+}

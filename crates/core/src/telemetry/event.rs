@@ -1,0 +1,377 @@
+//! The typed scheduler event stream and its JSON codec.
+
+use hwsim::json::Json;
+use hwsim::{DeviceId, SimDuration, SimTime};
+
+/// Everything the mapper knew about one queue when it made its decision —
+/// the "explain record" of a `MappingDecision`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueueDecision {
+    /// Stable queue id (creation order within the context).
+    pub queue: usize,
+    /// Estimated execution time of the queue's pending epoch per device
+    /// (device order), from dynamic profiles or static hint scores.
+    pub exec_estimates: Vec<SimDuration>,
+    /// Predicted data-migration cost of *choosing* each device (zero for
+    /// explicit-region queues, whose one-time migration is amortized).
+    pub migration_costs: Vec<SimDuration>,
+    /// The device the mapper assigned.
+    pub chosen: DeviceId,
+    /// The device the queue was bound to before this decision.
+    pub previous: DeviceId,
+}
+
+impl QueueDecision {
+    /// Total cost the mapper saw for `device`: execution + migration.
+    pub fn total(&self, device: DeviceId) -> SimDuration {
+        self.exec_estimates[device.index()] + self.migration_costs[device.index()]
+    }
+
+    /// The device with the minimum total cost for this queue alone. The
+    /// mapper optimizes the *makespan* across all queues, so this is not
+    /// always [`Self::chosen`] — but when it differs, the decision log shows
+    /// exactly which contention forced the detour.
+    pub fn argmin_total(&self) -> DeviceId {
+        let n = self.exec_estimates.len();
+        (0..n)
+            .map(DeviceId)
+            .min_by_key(|&d| self.total(d))
+            .expect("decision has at least one device column")
+    }
+}
+
+/// One scheduler telemetry event. All events carry the synchronization
+/// epoch they belong to; timestamps are virtual (engine) time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SchedEvent {
+    /// A scheduling pass started over a non-empty queue pool.
+    EpochBegin {
+        /// Scheduling epoch (1-based, per context).
+        epoch: u64,
+        /// Virtual time when the pass began.
+        at: SimTime,
+        /// Number of queues in the pool.
+        pool: usize,
+        /// The context's global policy (`AUTO_FIT` / `ROUND_ROBIN`).
+        policy: String,
+    },
+    /// The dynamic profiler measured one kernel on every device.
+    KernelProfiled {
+        /// Scheduling epoch.
+        epoch: u64,
+        /// Kernel function name.
+        kernel: String,
+        /// Whether the single-workgroup minikernel optimization ran.
+        minikernel: bool,
+        /// Estimated full execution time per device (device order).
+        costs: Vec<SimDuration>,
+    },
+    /// An epoch's cost vector was served from the profile caches.
+    CacheHit {
+        /// Scheduling epoch.
+        epoch: u64,
+        /// The epoch cache key (sorted multiset of kernel names).
+        key: String,
+    },
+    /// An epoch's cost vector required dynamic profiling.
+    CacheMiss {
+        /// Scheduling epoch.
+        epoch: u64,
+        /// The epoch cache key that missed.
+        key: String,
+    },
+    /// The AUTO_FIT mapper chose an assignment — the auditable explain
+    /// record for the whole pool.
+    MappingDecision {
+        /// Scheduling epoch.
+        epoch: u64,
+        /// Virtual time of the decision.
+        at: SimTime,
+        /// Mapping algorithm (`optimal` / `greedy`).
+        mapper: String,
+        /// Predicted concurrent completion time of the chosen assignment.
+        makespan: SimDuration,
+        /// Per-queue explain records, pool order.
+        queues: Vec<QueueDecision>,
+    },
+    /// A queue's device binding changed.
+    QueueMigrated {
+        /// Scheduling epoch.
+        epoch: u64,
+        /// Stable queue id.
+        queue: usize,
+        /// Previous binding.
+        from: DeviceId,
+        /// New binding.
+        to: DeviceId,
+        /// Buffer bytes referenced by the pending epoch that were not yet
+        /// resident on the destination (the data the move will migrate).
+        bytes: u64,
+        /// Virtual time of the rebind.
+        at: SimTime,
+    },
+    /// The scheduling pass finished and the epoch's commands were flushed.
+    EpochEnd {
+        /// Scheduling epoch.
+        epoch: u64,
+        /// Virtual time when the pass finished issuing.
+        at: SimTime,
+        /// Virtual time the pass consumed (profiling + staging + issue).
+        elapsed: SimDuration,
+        /// Of `elapsed`, the part spent obtaining cost vectors (dynamic
+        /// kernel profiling and its data staging).
+        profiling: SimDuration,
+        /// Kernel launches flushed to devices this pass.
+        kernels_issued: u64,
+    },
+}
+
+impl SchedEvent {
+    /// The event's scheduling epoch.
+    pub fn epoch(&self) -> u64 {
+        match *self {
+            SchedEvent::EpochBegin { epoch, .. }
+            | SchedEvent::KernelProfiled { epoch, .. }
+            | SchedEvent::CacheHit { epoch, .. }
+            | SchedEvent::CacheMiss { epoch, .. }
+            | SchedEvent::MappingDecision { epoch, .. }
+            | SchedEvent::QueueMigrated { epoch, .. }
+            | SchedEvent::EpochEnd { epoch, .. } => epoch,
+        }
+    }
+
+    /// The event's type name as used in the JSON encoding.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SchedEvent::EpochBegin { .. } => "epoch_begin",
+            SchedEvent::KernelProfiled { .. } => "kernel_profiled",
+            SchedEvent::CacheHit { .. } => "cache_hit",
+            SchedEvent::CacheMiss { .. } => "cache_miss",
+            SchedEvent::MappingDecision { .. } => "mapping_decision",
+            SchedEvent::QueueMigrated { .. } => "queue_migrated",
+            SchedEvent::EpochEnd { .. } => "epoch_end",
+        }
+    }
+
+    /// Encode as a JSON object. Durations and times are nanoseconds.
+    pub fn to_json(&self) -> Json {
+        let durs = |v: &[SimDuration]| Json::num_arr(v.iter().map(|d| d.as_nanos() as f64));
+        match self {
+            SchedEvent::EpochBegin { epoch, at, pool, policy } => Json::obj([
+                ("type", Json::from(self.kind())),
+                ("epoch", Json::from(*epoch)),
+                ("at_ns", Json::from(at.as_nanos())),
+                ("pool", Json::from(*pool)),
+                ("policy", Json::from(policy.as_str())),
+            ]),
+            SchedEvent::KernelProfiled { epoch, kernel, minikernel, costs } => Json::obj([
+                ("type", Json::from(self.kind())),
+                ("epoch", Json::from(*epoch)),
+                ("kernel", Json::from(kernel.as_str())),
+                ("minikernel", Json::Bool(*minikernel)),
+                ("costs_ns", durs(costs)),
+            ]),
+            SchedEvent::CacheHit { epoch, key } | SchedEvent::CacheMiss { epoch, key } => {
+                Json::obj([
+                    ("type", Json::from(self.kind())),
+                    ("epoch", Json::from(*epoch)),
+                    ("key", Json::from(key.as_str())),
+                ])
+            }
+            SchedEvent::MappingDecision { epoch, at, mapper, makespan, queues } => Json::obj([
+                ("type", Json::from(self.kind())),
+                ("epoch", Json::from(*epoch)),
+                ("at_ns", Json::from(at.as_nanos())),
+                ("mapper", Json::from(mapper.as_str())),
+                ("makespan_ns", Json::from(makespan.as_nanos())),
+                (
+                    "queues",
+                    Json::Arr(
+                        queues
+                            .iter()
+                            .map(|q| {
+                                Json::obj([
+                                    ("queue", Json::from(q.queue)),
+                                    ("exec_ns", durs(&q.exec_estimates)),
+                                    ("migration_ns", durs(&q.migration_costs)),
+                                    ("chosen", Json::from(q.chosen.index())),
+                                    ("previous", Json::from(q.previous.index())),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+            SchedEvent::QueueMigrated { epoch, queue, from, to, bytes, at } => Json::obj([
+                ("type", Json::from(self.kind())),
+                ("epoch", Json::from(*epoch)),
+                ("queue", Json::from(*queue)),
+                ("from", Json::from(from.index())),
+                ("to", Json::from(to.index())),
+                ("bytes", Json::from(*bytes)),
+                ("at_ns", Json::from(at.as_nanos())),
+            ]),
+            SchedEvent::EpochEnd { epoch, at, elapsed, profiling, kernels_issued } => Json::obj([
+                ("type", Json::from(self.kind())),
+                ("epoch", Json::from(*epoch)),
+                ("at_ns", Json::from(at.as_nanos())),
+                ("elapsed_ns", Json::from(elapsed.as_nanos())),
+                ("profiling_ns", Json::from(profiling.as_nanos())),
+                ("kernels_issued", Json::from(*kernels_issued)),
+            ]),
+        }
+    }
+
+    /// Decode from the [`Self::to_json`] representation.
+    pub fn from_json(value: &Json) -> Option<SchedEvent> {
+        let epoch = value.get("epoch")?.as_u64()?;
+        let time = |key: &str| value.get(key)?.as_u64().map(SimTime::from_nanos);
+        let dur = |key: &str| value.get(key)?.as_u64().map(SimDuration::from_nanos);
+        let durs = |v: &Json| -> Option<Vec<SimDuration>> {
+            v.as_arr()?.iter().map(|n| n.as_u64().map(SimDuration::from_nanos)).collect()
+        };
+        Some(match value.get("type")?.as_str()? {
+            "epoch_begin" => SchedEvent::EpochBegin {
+                epoch,
+                at: time("at_ns")?,
+                pool: value.get("pool")?.as_u64()? as usize,
+                policy: value.get("policy")?.as_str()?.to_string(),
+            },
+            "kernel_profiled" => SchedEvent::KernelProfiled {
+                epoch,
+                kernel: value.get("kernel")?.as_str()?.to_string(),
+                minikernel: value.get("minikernel")?.as_bool()?,
+                costs: durs(value.get("costs_ns")?)?,
+            },
+            "cache_hit" => {
+                SchedEvent::CacheHit { epoch, key: value.get("key")?.as_str()?.to_string() }
+            }
+            "cache_miss" => {
+                SchedEvent::CacheMiss { epoch, key: value.get("key")?.as_str()?.to_string() }
+            }
+            "mapping_decision" => SchedEvent::MappingDecision {
+                epoch,
+                at: time("at_ns")?,
+                mapper: value.get("mapper")?.as_str()?.to_string(),
+                makespan: dur("makespan_ns")?,
+                queues: value
+                    .get("queues")?
+                    .as_arr()?
+                    .iter()
+                    .map(|q| {
+                        Some(QueueDecision {
+                            queue: q.get("queue")?.as_u64()? as usize,
+                            exec_estimates: durs(q.get("exec_ns")?)?,
+                            migration_costs: durs(q.get("migration_ns")?)?,
+                            chosen: DeviceId(q.get("chosen")?.as_u64()? as usize),
+                            previous: DeviceId(q.get("previous")?.as_u64()? as usize),
+                        })
+                    })
+                    .collect::<Option<Vec<_>>>()?,
+            },
+            "queue_migrated" => SchedEvent::QueueMigrated {
+                epoch,
+                queue: value.get("queue")?.as_u64()? as usize,
+                from: DeviceId(value.get("from")?.as_u64()? as usize),
+                to: DeviceId(value.get("to")?.as_u64()? as usize),
+                bytes: value.get("bytes")?.as_u64()?,
+                at: time("at_ns")?,
+            },
+            "epoch_end" => SchedEvent::EpochEnd {
+                epoch,
+                at: time("at_ns")?,
+                elapsed: dur("elapsed_ns")?,
+                profiling: dur("profiling_ns")?,
+                kernels_issued: value.get("kernels_issued")?.as_u64()?,
+            },
+            _ => return None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ns(v: u64) -> SimDuration {
+        SimDuration::from_nanos(v)
+    }
+
+    fn sample_events() -> Vec<SchedEvent> {
+        vec![
+            SchedEvent::EpochBegin {
+                epoch: 1,
+                at: SimTime::from_nanos(100),
+                pool: 2,
+                policy: "AUTO_FIT".into(),
+            },
+            SchedEvent::CacheMiss { epoch: 1, key: "a+b".into() },
+            SchedEvent::KernelProfiled {
+                epoch: 1,
+                kernel: "k \"quoted\"\n".into(),
+                minikernel: true,
+                costs: vec![ns(10), ns(20), ns(30)],
+            },
+            SchedEvent::MappingDecision {
+                epoch: 1,
+                at: SimTime::from_nanos(500),
+                mapper: "optimal".into(),
+                makespan: ns(42),
+                queues: vec![QueueDecision {
+                    queue: 0,
+                    exec_estimates: vec![ns(5), ns(9)],
+                    migration_costs: vec![ns(1), ns(0)],
+                    chosen: DeviceId(0),
+                    previous: DeviceId(1),
+                }],
+            },
+            SchedEvent::QueueMigrated {
+                epoch: 1,
+                queue: 0,
+                from: DeviceId(1),
+                to: DeviceId(0),
+                bytes: 4096,
+                at: SimTime::from_nanos(501),
+            },
+            SchedEvent::CacheHit { epoch: 2, key: "a+b".into() },
+            SchedEvent::EpochEnd {
+                epoch: 1,
+                at: SimTime::from_nanos(900),
+                elapsed: ns(800),
+                profiling: ns(600),
+                kernels_issued: 3,
+            },
+        ]
+    }
+
+    #[test]
+    fn every_event_roundtrips_through_json() {
+        for ev in sample_events() {
+            let text = ev.to_json().dump();
+            let parsed = SchedEvent::from_json(&Json::parse(&text).expect("valid JSON"))
+                .unwrap_or_else(|| panic!("decode failed for {text}"));
+            assert_eq!(parsed, ev);
+        }
+    }
+
+    #[test]
+    fn decision_totals_and_argmin() {
+        let d = QueueDecision {
+            queue: 3,
+            exec_estimates: vec![ns(100), ns(50), ns(70)],
+            migration_costs: vec![ns(0), ns(60), ns(10)],
+            chosen: DeviceId(2),
+            previous: DeviceId(0),
+        };
+        assert_eq!(d.total(DeviceId(0)), ns(100));
+        assert_eq!(d.total(DeviceId(1)), ns(110));
+        assert_eq!(d.total(DeviceId(2)), ns(80));
+        assert_eq!(d.argmin_total(), DeviceId(2));
+    }
+
+    #[test]
+    fn unknown_type_is_rejected() {
+        let v = Json::parse(r#"{"type":"warp_drive","epoch":1}"#).unwrap();
+        assert_eq!(SchedEvent::from_json(&v), None);
+    }
+}

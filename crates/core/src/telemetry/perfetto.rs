@@ -1,0 +1,200 @@
+//! Extended Chrome/Perfetto export: the engine trace plus telemetry.
+//!
+//! [`Trace::to_chrome_json`](hwsim::trace::Trace::to_chrome_json) renders
+//! each executed command as a complete event. This module layers the
+//! scheduler's story on top:
+//!
+//! * **flow events** (`"ph":"s"` / `"ph":"f"`) connecting the source and
+//!   destination device rows of every [`SchedEvent::QueueMigrated`], so
+//!   queue rebinds show up as arrows in the Perfetto UI;
+//! * **counter tracks** (`"ph":"C"`) with the number of concurrently
+//!   executing commands per device — a per-device utilization curve.
+//!
+//! Times follow the trace convention: virtual nanoseconds emitted as the
+//! viewer's microsecond `ts` field.
+
+use super::event::SchedEvent;
+use hwsim::json::Json;
+use hwsim::trace::Trace;
+use hwsim::DeviceId;
+
+/// One flow-event pair (start on the source device row, finish on the
+/// destination row) per queue migration in `events`. Returned as JSON
+/// objects ready to splice into a trace array.
+pub fn migration_flow_events(events: &[SchedEvent]) -> Vec<Json> {
+    let mut out = Vec::new();
+    let mut id = 0u64;
+    for ev in events {
+        if let SchedEvent::QueueMigrated { epoch, queue, from, to, bytes, at } = ev {
+            id += 1;
+            let name = format!("Q{queue} migration");
+            let common = |ph: &str, tid: DeviceId, ts: u64| {
+                let mut obj = vec![
+                    ("name".to_string(), Json::from(name.as_str())),
+                    ("cat".to_string(), Json::from("migration")),
+                    ("ph".to_string(), Json::from(ph)),
+                    ("id".to_string(), Json::from(id)),
+                    ("ts".to_string(), Json::from(ts)),
+                    ("pid".to_string(), Json::from(0u64)),
+                    ("tid".to_string(), Json::from(tid.index())),
+                ];
+                if ph == "f" {
+                    // Bind the arrowhead to the enclosing slice.
+                    obj.push(("bp".to_string(), Json::from("e")));
+                }
+                obj.push((
+                    "args".to_string(),
+                    Json::obj([("epoch", Json::from(*epoch)), ("bytes", Json::from(*bytes))]),
+                ));
+                Json::Obj(obj)
+            };
+            let ts = at.as_nanos();
+            out.push(common("s", *from, ts));
+            // The finish must be strictly after the start for the viewer
+            // to draw the arrow.
+            out.push(common("f", *to, ts + 1));
+        }
+    }
+    out
+}
+
+/// Per-device utilization counter events: one `"ph":"C"` sample at every
+/// instant the number of concurrently executing commands on a device
+/// changes. Rendered as a counter track named `active/D<n>`.
+pub fn utilization_counter_events(trace: &Trace) -> Vec<Json> {
+    // (device, time, delta) edges for every command.
+    let mut edges: Vec<(DeviceId, u64, i64)> = Vec::with_capacity(trace.records.len() * 2);
+    for r in &trace.records {
+        edges.push((r.device, r.stamp.start.as_nanos(), 1));
+        edges.push((r.device, r.stamp.end.as_nanos(), -1));
+    }
+    // Per device, by time; ends before starts at the same instant so a
+    // back-to-back pair reads as 1→1, not 1→2→1... ends first means
+    // 1→0→1 at one timestamp, collapsed below by emitting only the final
+    // value per (device, time).
+    edges.sort_by_key(|&(d, t, delta)| (d, t, delta));
+
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < edges.len() {
+        let (dev, _, _) = edges[i];
+        let mut active: i64 = 0;
+        let track = format!("active/{dev}");
+        while i < edges.len() && edges[i].0 == dev {
+            let t = edges[i].1;
+            while i < edges.len() && edges[i].0 == dev && edges[i].1 == t {
+                active += edges[i].2;
+                i += 1;
+            }
+            out.push(Json::obj([
+                ("name", Json::from(track.as_str())),
+                ("ph", Json::from("C")),
+                ("ts", Json::from(t)),
+                ("pid", Json::from(0u64)),
+                ("args", Json::obj([("active", Json::from(active.max(0) as u64))])),
+            ]));
+        }
+    }
+    out
+}
+
+/// The full export: every trace record (via
+/// [`TraceRecord::chrome_event_json`](hwsim::trace::TraceRecord::chrome_event_json)),
+/// plus migration flow events and per-device utilization counters from the
+/// telemetry stream. The result is one Chrome-tracing JSON array.
+pub fn chrome_trace_with_telemetry(trace: &Trace, events: &[SchedEvent]) -> String {
+    let mut parts: Vec<String> = trace.records.iter().map(|r| r.chrome_event_json()).collect();
+    parts.extend(migration_flow_events(events).iter().map(Json::dump));
+    parts.extend(utilization_counter_events(trace).iter().map(Json::dump));
+    format!("[{}]", parts.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hwsim::engine::{CommandDesc, CommandKind, Engine};
+    use hwsim::{SimDuration, SimTime};
+
+    fn traced_engine() -> Engine {
+        let mut e = Engine::new(2);
+        for i in 0..3 {
+            e.submit(CommandDesc {
+                device: DeviceId(i % 2),
+                kind: CommandKind::Marker,
+                duration: SimDuration::from_millis(5),
+                waits: vec![],
+                queue: i,
+            });
+        }
+        e.finish_all();
+        e
+    }
+
+    fn migration(queue: usize, at_ns: u64) -> SchedEvent {
+        SchedEvent::QueueMigrated {
+            epoch: 1,
+            queue,
+            from: DeviceId(0),
+            to: DeviceId(1),
+            bytes: 256,
+            at: SimTime::from_nanos(at_ns),
+        }
+    }
+
+    #[test]
+    fn flow_events_pair_start_and_finish() {
+        let flows = migration_flow_events(&[migration(0, 100), migration(1, 200)]);
+        assert_eq!(flows.len(), 4);
+        let phs: Vec<&str> = flows.iter().map(|f| f.get("ph").unwrap().as_str().unwrap()).collect();
+        assert_eq!(phs, vec!["s", "f", "s", "f"]);
+        // Pairs share an id; distinct migrations do not.
+        let id = |i: usize| flows[i].get("id").unwrap().as_u64().unwrap();
+        assert_eq!(id(0), id(1));
+        assert_ne!(id(0), id(2));
+        // Start sits on the source row, finish on the destination row,
+        // strictly later.
+        assert_eq!(flows[0].get("tid").unwrap().as_u64(), Some(0));
+        assert_eq!(flows[1].get("tid").unwrap().as_u64(), Some(1));
+        let ts = |i: usize| flows[i].get("ts").unwrap().as_u64().unwrap();
+        assert!(ts(1) > ts(0));
+        assert_eq!(flows[1].get("bp").unwrap().as_str(), Some("e"));
+    }
+
+    #[test]
+    fn counter_events_track_concurrent_commands() {
+        let e = traced_engine();
+        let counters = utilization_counter_events(e.trace());
+        assert!(!counters.is_empty());
+        for c in &counters {
+            assert_eq!(c.get("ph").unwrap().as_str(), Some("C"));
+            assert!(c.get("name").unwrap().as_str().unwrap().starts_with("active/D"));
+            assert!(c.get("args").unwrap().get("active").unwrap().as_u64().is_some());
+        }
+        // Every device's last sample returns to zero active commands.
+        let last_d0 = counters
+            .iter()
+            .rfind(|c| c.get("name").unwrap().as_str() == Some("active/D0"))
+            .unwrap();
+        assert_eq!(last_d0.get("args").unwrap().get("active").unwrap().as_u64(), Some(0));
+    }
+
+    #[test]
+    fn full_export_roundtrips_through_the_json_parser() {
+        let e = traced_engine();
+        let events = [migration(0, 2_000_000)];
+        let text = chrome_trace_with_telemetry(e.trace(), &events);
+        let parsed = Json::parse(&text).expect("valid JSON");
+        let arr = parsed.as_arr().unwrap();
+        // 3 complete events + 2 flow events + counters.
+        let ph_count = |ph: &str| {
+            arr.iter().filter(|o| o.get("ph").and_then(Json::as_str) == Some(ph)).count()
+        };
+        assert_eq!(ph_count("X"), 3);
+        assert_eq!(ph_count("s"), 1);
+        assert_eq!(ph_count("f"), 1);
+        assert!(ph_count("C") >= 4, "{text}");
+        // Flow events carry the migration payload through the parser.
+        let flow = arr.iter().find(|o| o.get("ph").and_then(Json::as_str) == Some("s")).unwrap();
+        assert_eq!(flow.get("args").unwrap().get("bytes").unwrap().as_u64(), Some(256));
+    }
+}

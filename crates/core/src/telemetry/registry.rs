@@ -1,0 +1,581 @@
+//! A lock-cheap metrics registry: counters, gauges, and log-scale
+//! histograms, with Prometheus text exposition and JSON export.
+//!
+//! Metric handles are `Arc`-backed atomics — updating one is a single
+//! relaxed atomic op, safe to do from the scheduling hot path. The registry
+//! itself only takes a lock on registration and export.
+
+use super::event::SchedEvent;
+use super::SchedObserver;
+use hwsim::json::Json;
+use hwsim::sync::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A fresh, unregistered counter at zero.
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Add one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A settable instantaneous value.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// A fresh, unregistered gauge at zero.
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Set the value.
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Number of finite power-of-two buckets in a [`Histogram`].
+///
+/// Bucket `i` has upper bound `2^i`: bound 0 is 1ns / 1B, bound 47 is
+/// ~1.6 virtual days in nanoseconds (or ~140TB in bytes) — comfortably
+/// above anything the simulator produces. Larger observations count only
+/// toward `+Inf`.
+pub const HISTOGRAM_BUCKETS: usize = 48;
+
+/// A histogram over `u64` observations with power-of-two bucket bounds —
+/// the right shape for quantities spanning many orders of magnitude
+/// (epoch latencies, profiling overheads, migrated byte counts).
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    inner: Arc<HistogramInner>,
+}
+
+#[derive(Debug)]
+struct HistogramInner {
+    /// Non-cumulative counts per finite bucket.
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    /// Observations above the last finite bound (land only in `+Inf`).
+    overflow: AtomicU64,
+    /// Sum of all observed values.
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            inner: Arc::new(HistogramInner {
+                buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+                overflow: AtomicU64::new(0),
+                sum: AtomicU64::new(0),
+            }),
+        }
+    }
+}
+
+impl Histogram {
+    /// A fresh, unregistered histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Record one observation.
+    pub fn observe(&self, value: u64) {
+        let idx = Histogram::bucket_index(value);
+        match idx {
+            Some(i) => self.inner.buckets[i].fetch_add(1, Ordering::Relaxed),
+            None => self.inner.overflow.fetch_add(1, Ordering::Relaxed),
+        };
+        self.inner.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Index of the smallest bucket whose bound covers `value`, or `None`
+    /// if the value exceeds every finite bound.
+    fn bucket_index(value: u64) -> Option<usize> {
+        // Smallest i with value <= 2^i.
+        let i = if value <= 1 { 0 } else { 64 - (value - 1).leading_zeros() as usize };
+        (i < HISTOGRAM_BUCKETS).then_some(i)
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        let finite: u64 = self.inner.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum();
+        finite + self.inner.overflow.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> u64 {
+        self.inner.sum.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative counts per finite bucket bound `(2^i, count_le)`.
+    pub fn cumulative(&self) -> Vec<(u64, u64)> {
+        let mut acc = 0;
+        self.inner
+            .buckets
+            .iter()
+            .enumerate()
+            .map(|(i, b)| {
+                acc += b.load(Ordering::Relaxed);
+                (1u64 << i, acc)
+            })
+            .collect()
+    }
+}
+
+enum MetricKind {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+struct Metric {
+    name: String,
+    help: String,
+    kind: MetricKind,
+}
+
+/// A named collection of metrics with text exposition.
+///
+/// Handles returned by the `register_*` methods stay live after
+/// registration; the registry lock is only held while registering or
+/// exporting.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    metrics: Mutex<Vec<Metric>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Register and return a counter.
+    pub fn counter(&self, name: &str, help: &str) -> Counter {
+        let c = Counter::new();
+        self.push(name, help, MetricKind::Counter(c.clone()));
+        c
+    }
+
+    /// Register and return a gauge.
+    pub fn gauge(&self, name: &str, help: &str) -> Gauge {
+        let g = Gauge::new();
+        self.push(name, help, MetricKind::Gauge(g.clone()));
+        g
+    }
+
+    /// Register and return a histogram.
+    pub fn histogram(&self, name: &str, help: &str) -> Histogram {
+        let h = Histogram::new();
+        self.push(name, help, MetricKind::Histogram(h.clone()));
+        h
+    }
+
+    fn push(&self, name: &str, help: &str, kind: MetricKind) {
+        self.metrics.lock().push(Metric { name: name.to_string(), help: help.to_string(), kind });
+    }
+
+    /// Render the registry in the Prometheus text exposition format
+    /// (version 0.0.4): `# HELP` / `# TYPE` comments, `_bucket{le=...}`,
+    /// `_sum`, `_count` series for histograms.
+    pub fn to_prometheus(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for m in self.metrics.lock().iter() {
+            let kind = match m.kind {
+                MetricKind::Counter(_) => "counter",
+                MetricKind::Gauge(_) => "gauge",
+                MetricKind::Histogram(_) => "histogram",
+            };
+            let _ = writeln!(out, "# HELP {} {}", m.name, m.help);
+            let _ = writeln!(out, "# TYPE {} {}", m.name, kind);
+            match &m.kind {
+                MetricKind::Counter(c) => {
+                    let _ = writeln!(out, "{} {}", m.name, c.get());
+                }
+                MetricKind::Gauge(g) => {
+                    let _ = writeln!(out, "{} {}", m.name, g.get());
+                }
+                MetricKind::Histogram(h) => {
+                    // Elide the flat tail: stop after the last bucket where
+                    // the cumulative count rises, then emit +Inf.
+                    let cum = h.cumulative();
+                    let count = h.count();
+                    let last_rise = cum
+                        .iter()
+                        .enumerate()
+                        .rev()
+                        .find(|&(i, &(_, c))| i == 0 || c != cum[i - 1].1)
+                        .map(|(i, _)| i)
+                        .unwrap_or(0);
+                    for &(le, c) in &cum[..=last_rise] {
+                        let _ = writeln!(out, "{}_bucket{{le=\"{}\"}} {}", m.name, le, c);
+                    }
+                    let _ = writeln!(out, "{}_bucket{{le=\"+Inf\"}} {}", m.name, count);
+                    let _ = writeln!(out, "{}_sum {}", m.name, h.sum());
+                    let _ = writeln!(out, "{}_count {}", m.name, count);
+                }
+            }
+        }
+        out
+    }
+
+    /// Export the registry as a JSON object keyed by metric name.
+    /// Histograms become `{"buckets": [{"le": .., "count": ..}, ...],
+    /// "sum": .., "count": ..}` with cumulative bucket counts.
+    pub fn to_json(&self) -> Json {
+        let members: Vec<(String, Json)> = self
+            .metrics
+            .lock()
+            .iter()
+            .map(|m| {
+                let value = match &m.kind {
+                    MetricKind::Counter(c) => Json::from(c.get()),
+                    MetricKind::Gauge(g) => Json::from(g.get()),
+                    MetricKind::Histogram(h) => Json::obj([
+                        (
+                            "buckets",
+                            Json::Arr(
+                                h.cumulative()
+                                    .into_iter()
+                                    .map(|(le, c)| {
+                                        Json::obj([
+                                            ("le", Json::from(le)),
+                                            ("count", Json::from(c)),
+                                        ])
+                                    })
+                                    .collect(),
+                            ),
+                        ),
+                        ("sum", Json::from(h.sum())),
+                        ("count", Json::from(h.count())),
+                    ]),
+                };
+                (m.name.clone(), value)
+            })
+            .collect();
+        Json::Obj(members)
+    }
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "MetricsRegistry({} metrics)", self.metrics.lock().len())
+    }
+}
+
+/// One sample line from a Prometheus text exposition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PromSample {
+    /// Metric (series) name, e.g. `multicl_epoch_latency_ns_bucket`.
+    pub name: String,
+    /// Label pairs, e.g. `[("le", "1024")]`.
+    pub labels: Vec<(String, String)>,
+    /// Sample value.
+    pub value: f64,
+}
+
+/// Parse Prometheus text exposition back into samples. Comment (`#`) and
+/// blank lines are skipped. Returns `None` on the first malformed sample
+/// line. This is the counterpart used by the round-trip tests.
+pub fn parse_prometheus(text: &str) -> Option<Vec<PromSample>> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (series, value) = line.rsplit_once(' ')?;
+        let value: f64 = value.parse().ok()?;
+        let (name, labels) = match series.split_once('{') {
+            None => (series.to_string(), Vec::new()),
+            Some((name, rest)) => {
+                let body = rest.strip_suffix('}')?;
+                let mut labels = Vec::new();
+                for pair in body.split(',').filter(|p| !p.is_empty()) {
+                    let (k, v) = pair.split_once('=')?;
+                    let v = v.strip_prefix('"')?.strip_suffix('"')?;
+                    labels.push((k.to_string(), v.to_string()));
+                }
+                (name.to_string(), labels)
+            }
+        };
+        out.push(PromSample { name, labels, value });
+    }
+    Some(out)
+}
+
+/// The standard scheduler metric set, bound to the event stream.
+///
+/// Attach via `SchedOptions::observers` (or
+/// `MulticlContext::add_observer`); every emitted [`SchedEvent`] updates
+/// the corresponding metrics. Times are recorded in virtual nanoseconds.
+#[derive(Debug)]
+pub struct SchedMetrics {
+    registry: MetricsRegistry,
+    /// Scheduling epochs completed.
+    pub epochs: Counter,
+    /// Epoch cost vectors served from the profile caches.
+    pub cache_hits: Counter,
+    /// Epoch cost vectors that required dynamic profiling.
+    pub cache_misses: Counter,
+    /// Kernels dynamically profiled (each covers every device).
+    pub kernels_profiled: Counter,
+    /// Queue-to-device rebinds.
+    pub queue_migrations: Counter,
+    /// Kernel launches flushed to devices.
+    pub kernels_issued: Counter,
+    /// Queues in the most recent scheduling pool.
+    pub pool_size: Gauge,
+    /// Virtual time per scheduling pass (ns).
+    pub epoch_latency: Histogram,
+    /// Virtual time per pass spent obtaining cost vectors (ns).
+    pub profiling_overhead: Histogram,
+    /// Bytes migrated per queue rebind.
+    pub migrated_bytes: Histogram,
+}
+
+impl Default for SchedMetrics {
+    fn default() -> SchedMetrics {
+        let registry = MetricsRegistry::new();
+        SchedMetrics {
+            epochs: registry.counter("multicl_epochs_total", "Scheduling epochs completed"),
+            cache_hits: registry.counter(
+                "multicl_cache_hits_total",
+                "Epoch cost vectors served from the profile caches",
+            ),
+            cache_misses: registry.counter(
+                "multicl_cache_misses_total",
+                "Epoch cost vectors that required dynamic profiling",
+            ),
+            kernels_profiled: registry.counter(
+                "multicl_kernels_profiled_total",
+                "Kernels dynamically profiled across all devices",
+            ),
+            queue_migrations: registry.counter(
+                "multicl_queue_migrations_total",
+                "Queue-to-device rebinds performed by the mapper",
+            ),
+            kernels_issued: registry
+                .counter("multicl_kernels_issued_total", "Kernel launches flushed to devices"),
+            pool_size: registry
+                .gauge("multicl_epoch_pool_size", "Queues in the most recent scheduling pool"),
+            epoch_latency: registry.histogram(
+                "multicl_epoch_latency_ns",
+                "Virtual time per scheduling pass in nanoseconds",
+            ),
+            profiling_overhead: registry.histogram(
+                "multicl_profiling_overhead_ns",
+                "Virtual time per pass spent obtaining cost vectors, in nanoseconds",
+            ),
+            migrated_bytes: registry
+                .histogram("multicl_migrated_bytes", "Bytes migrated per queue rebind"),
+            registry,
+        }
+    }
+}
+
+impl SchedMetrics {
+    /// A fresh metric set with its own registry.
+    pub fn new() -> SchedMetrics {
+        SchedMetrics::default()
+    }
+
+    /// The backing registry (for exposition/export).
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+}
+
+impl SchedObserver for SchedMetrics {
+    fn on_event(&self, event: &SchedEvent) {
+        match event {
+            SchedEvent::EpochBegin { pool, .. } => {
+                self.pool_size.set(*pool as f64);
+            }
+            SchedEvent::KernelProfiled { .. } => self.kernels_profiled.inc(),
+            SchedEvent::CacheHit { .. } => self.cache_hits.inc(),
+            SchedEvent::CacheMiss { .. } => self.cache_misses.inc(),
+            SchedEvent::MappingDecision { .. } => {}
+            SchedEvent::QueueMigrated { bytes, .. } => {
+                self.queue_migrations.inc();
+                self.migrated_bytes.observe(*bytes);
+            }
+            SchedEvent::EpochEnd { elapsed, profiling, kernels_issued, .. } => {
+                self.epochs.inc();
+                self.kernels_issued.add(*kernels_issued);
+                self.epoch_latency.observe(elapsed.as_nanos());
+                self.profiling_overhead.observe(profiling.as_nanos());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hwsim::{SimDuration, SimTime};
+
+    #[test]
+    fn counters_and_gauges_update_atomically() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("c_total", "a counter");
+        let g = reg.gauge("g", "a gauge");
+        c.inc();
+        c.add(4);
+        g.set(2.5);
+        assert_eq!(c.get(), 5);
+        assert_eq!(g.get(), 2.5);
+    }
+
+    #[test]
+    fn histogram_buckets_are_log_scale_and_cumulative() {
+        let h = Histogram::new();
+        for v in [0, 1, 2, 3, 1024, u64::MAX] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 6);
+        let cum = h.cumulative();
+        // le=1 covers 0 and 1; le=2 adds 2; le=4 adds 3; le=1024 adds 1024.
+        assert_eq!(cum[0], (1, 2));
+        assert_eq!(cum[1], (2, 3));
+        assert_eq!(cum[2], (4, 4));
+        assert_eq!(cum[10], (1024, 5));
+        // u64::MAX exceeds every finite bound: only +Inf (count) sees it.
+        assert_eq!(cum.last().unwrap().1, 5);
+    }
+
+    #[test]
+    fn prometheus_exposition_roundtrips_through_parser() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("multicl_epochs_total", "epochs");
+        let g = reg.gauge("multicl_pool", "pool size");
+        let h = reg.histogram("multicl_latency_ns", "latency");
+        c.add(3);
+        g.set(2.0);
+        h.observe(5);
+        h.observe(900);
+
+        let text = reg.to_prometheus();
+        assert!(text.contains("# TYPE multicl_epochs_total counter"));
+        assert!(text.contains("# TYPE multicl_latency_ns histogram"));
+
+        let samples = parse_prometheus(&text).expect("parseable exposition");
+        let find = |name: &str| samples.iter().find(|s| s.name == name).unwrap();
+        assert_eq!(find("multicl_epochs_total").value, 3.0);
+        assert_eq!(find("multicl_pool").value, 2.0);
+        assert_eq!(find("multicl_latency_ns_sum").value, 905.0);
+        assert_eq!(find("multicl_latency_ns_count").value, 2.0);
+        // The +Inf bucket equals the count, and le="8" covers the 5.
+        let inf = samples
+            .iter()
+            .find(|s| {
+                s.name == "multicl_latency_ns_bucket"
+                    && s.labels == vec![("le".to_string(), "+Inf".to_string())]
+            })
+            .unwrap();
+        assert_eq!(inf.value, 2.0);
+        let le8 = samples
+            .iter()
+            .find(|s| {
+                s.name == "multicl_latency_ns_bucket"
+                    && s.labels == vec![("le".to_string(), "8".to_string())]
+            })
+            .unwrap();
+        assert_eq!(le8.value, 1.0);
+    }
+
+    #[test]
+    fn json_export_roundtrips_through_parser() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("hits_total", "hits");
+        let h = reg.histogram("bytes", "migrated bytes");
+        c.add(7);
+        h.observe(100);
+
+        let text = reg.to_json().dump();
+        let parsed = hwsim::json::Json::parse(&text).expect("valid JSON");
+        assert_eq!(parsed.get("hits_total").unwrap().as_u64(), Some(7));
+        let hist = parsed.get("bytes").unwrap();
+        assert_eq!(hist.get("count").unwrap().as_u64(), Some(1));
+        assert_eq!(hist.get("sum").unwrap().as_u64(), Some(100));
+        let buckets = hist.get("buckets").unwrap().as_arr().unwrap();
+        assert_eq!(buckets.len(), HISTOGRAM_BUCKETS);
+        // le=128 is the first bound covering 100.
+        let b128 = buckets.iter().find(|b| b.get("le").unwrap().as_u64() == Some(128)).unwrap();
+        assert_eq!(b128.get("count").unwrap().as_u64(), Some(1));
+    }
+
+    #[test]
+    fn sched_metrics_track_the_event_stream() {
+        let m = SchedMetrics::new();
+        m.on_event(&SchedEvent::EpochBegin {
+            epoch: 1,
+            at: SimTime::ZERO,
+            pool: 4,
+            policy: "AUTO_FIT".into(),
+        });
+        m.on_event(&SchedEvent::CacheMiss { epoch: 1, key: "k".into() });
+        m.on_event(&SchedEvent::KernelProfiled {
+            epoch: 1,
+            kernel: "k".into(),
+            minikernel: false,
+            costs: vec![],
+        });
+        m.on_event(&SchedEvent::QueueMigrated {
+            epoch: 1,
+            queue: 0,
+            from: hwsim::DeviceId(0),
+            to: hwsim::DeviceId(1),
+            bytes: 2048,
+            at: SimTime::ZERO,
+        });
+        m.on_event(&SchedEvent::EpochEnd {
+            epoch: 1,
+            at: SimTime::from_nanos(500),
+            elapsed: SimDuration::from_nanos(500),
+            profiling: SimDuration::from_nanos(200),
+            kernels_issued: 6,
+        });
+        m.on_event(&SchedEvent::CacheHit { epoch: 2, key: "k".into() });
+
+        assert_eq!(m.epochs.get(), 1);
+        assert_eq!(m.cache_hits.get(), 1);
+        assert_eq!(m.cache_misses.get(), 1);
+        assert_eq!(m.kernels_profiled.get(), 1);
+        assert_eq!(m.queue_migrations.get(), 1);
+        assert_eq!(m.kernels_issued.get(), 6);
+        assert_eq!(m.pool_size.get(), 4.0);
+        assert_eq!(m.epoch_latency.count(), 1);
+        assert_eq!(m.epoch_latency.sum(), 500);
+        assert_eq!(m.profiling_overhead.sum(), 200);
+        assert_eq!(m.migrated_bytes.sum(), 2048);
+        // And the whole set exports cleanly.
+        assert!(parse_prometheus(&m.registry().to_prometheus()).is_some());
+    }
+}

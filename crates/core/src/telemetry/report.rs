@@ -1,0 +1,185 @@
+//! Terminal rendering of the scheduler decision log.
+//!
+//! Turns a recorded [`SchedEvent`] stream into the human-readable account
+//! the `schedule_explain` binary prints next to the Gantt chart: one line
+//! per event, with [`SchedEvent::MappingDecision`]s expanded into a
+//! per-queue cost table showing what every device would have cost and why
+//! the mapper chose what it chose.
+
+use super::event::{QueueDecision, SchedEvent};
+use hwsim::SimDuration;
+use std::fmt::Write as _;
+
+fn ms(d: SimDuration) -> String {
+    format!("{:.3}ms", d.as_millis_f64())
+}
+
+/// A compact one-line description of an event (used by
+/// [`StderrSink`](super::StderrSink) and the log headers).
+pub fn one_line(event: &SchedEvent) -> String {
+    match event {
+        SchedEvent::EpochBegin { pool, policy, at, .. } => {
+            format!("epoch begin at {at}: {pool} queue(s), policy {policy}")
+        }
+        SchedEvent::KernelProfiled { kernel, minikernel, costs, .. } => {
+            let costs = costs.iter().map(|c| ms(*c)).collect::<Vec<_>>().join(" ");
+            let mk = if *minikernel { " (minikernel)" } else { "" };
+            format!("profiled `{kernel}`{mk}: [{costs}]")
+        }
+        SchedEvent::CacheHit { key, .. } => format!("cache hit for epoch [{key}]"),
+        SchedEvent::CacheMiss { key, .. } => format!("cache miss for epoch [{key}]"),
+        SchedEvent::MappingDecision { mapper, makespan, queues, .. } => {
+            let assignment = queues
+                .iter()
+                .map(|q| format!("Q{}→{}", q.queue, q.chosen))
+                .collect::<Vec<_>>()
+                .join(" ");
+            format!("{mapper} mapping [{assignment}], makespan {}", ms(*makespan))
+        }
+        SchedEvent::QueueMigrated { queue, from, to, bytes, .. } => {
+            format!("queue Q{queue} migrated {from}→{to} ({bytes}B to move)")
+        }
+        SchedEvent::EpochEnd { elapsed, profiling, kernels_issued, .. } => {
+            format!(
+                "epoch end: {} elapsed ({} profiling), {kernels_issued} kernel(s) issued",
+                ms(*elapsed),
+                ms(*profiling)
+            )
+        }
+    }
+}
+
+/// Render one queue's explain record as table rows (one per device), with
+/// `*` marking the device the mapper chose and `<` marking the queue-local
+/// argmin when contention pushed the mapper elsewhere.
+fn decision_rows(out: &mut String, d: &QueueDecision) {
+    let argmin = d.argmin_total();
+    for i in 0..d.exec_estimates.len() {
+        let dev = hwsim::DeviceId(i);
+        let chosen = if dev == d.chosen { '*' } else { ' ' };
+        let local = if dev == argmin && argmin != d.chosen { '<' } else { ' ' };
+        let _ = writeln!(
+            out,
+            "    {chosen}{local} {dev:>3}  exec {:>12}  +migration {:>12}  = {:>12}",
+            ms(d.exec_estimates[i]),
+            ms(d.migration_costs[i]),
+            ms(d.total(dev)),
+        );
+    }
+}
+
+/// Render the full decision log for an event stream. Events are grouped
+/// by epoch; mapping decisions expand into per-queue cost tables.
+pub fn decision_log(events: &[SchedEvent]) -> String {
+    let mut out = String::new();
+    for ev in events {
+        match ev {
+            SchedEvent::EpochBegin { .. } => {
+                let _ = writeln!(out, "=== epoch {}: {}", ev.epoch(), one_line(ev));
+            }
+            SchedEvent::MappingDecision { queues, .. } => {
+                let _ = writeln!(out, "  {}", one_line(ev));
+                for d in queues {
+                    let moved = if d.chosen != d.previous {
+                        format!(" (was {})", d.previous)
+                    } else {
+                        String::new()
+                    };
+                    let _ = writeln!(out, "  Q{} → {}{moved}:", d.queue, d.chosen);
+                    decision_rows(&mut out, d);
+                }
+            }
+            _ => {
+                let _ = writeln!(out, "  {}", one_line(ev));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hwsim::{DeviceId, SimTime};
+
+    fn ns(v: u64) -> SimDuration {
+        SimDuration::from_nanos(v)
+    }
+
+    #[test]
+    fn decision_log_expands_mapping_decisions() {
+        let events = vec![
+            SchedEvent::EpochBegin {
+                epoch: 1,
+                at: SimTime::ZERO,
+                pool: 2,
+                policy: "AUTO_FIT".into(),
+            },
+            SchedEvent::MappingDecision {
+                epoch: 1,
+                at: SimTime::from_nanos(10),
+                mapper: "optimal".into(),
+                makespan: ns(2_000_000),
+                queues: vec![
+                    QueueDecision {
+                        queue: 0,
+                        exec_estimates: vec![ns(1_000_000), ns(3_000_000)],
+                        migration_costs: vec![ns(0), ns(500_000)],
+                        chosen: DeviceId(0),
+                        previous: DeviceId(0),
+                    },
+                    QueueDecision {
+                        queue: 1,
+                        exec_estimates: vec![ns(1_500_000), ns(2_000_000)],
+                        migration_costs: vec![ns(0), ns(0)],
+                        chosen: DeviceId(1),
+                        previous: DeviceId(0),
+                    },
+                ],
+            },
+            SchedEvent::EpochEnd {
+                epoch: 1,
+                at: SimTime::from_nanos(100),
+                elapsed: ns(100),
+                profiling: ns(40),
+                kernels_issued: 2,
+            },
+        ];
+        let log = decision_log(&events);
+        assert!(log.contains("=== epoch 1"), "{log}");
+        assert!(log.contains("optimal mapping [Q0→D0 Q1→D1]"), "{log}");
+        // Q1 moved off its previous device and off its local argmin (D0),
+        // so both markers appear.
+        assert!(log.contains("Q1 → D1 (was D0)"), "{log}");
+        assert!(log.contains('*'), "{log}");
+        assert!(log.contains('<'), "{log}");
+        assert!(log.contains("2 kernel(s) issued"), "{log}");
+    }
+
+    #[test]
+    fn one_line_covers_every_variant() {
+        let events = vec![
+            SchedEvent::CacheHit { epoch: 1, key: "a".into() },
+            SchedEvent::CacheMiss { epoch: 1, key: "a".into() },
+            SchedEvent::KernelProfiled {
+                epoch: 1,
+                kernel: "k".into(),
+                minikernel: true,
+                costs: vec![ns(10)],
+            },
+            SchedEvent::QueueMigrated {
+                epoch: 1,
+                queue: 0,
+                from: DeviceId(0),
+                to: DeviceId(1),
+                bytes: 8,
+                at: SimTime::ZERO,
+            },
+        ];
+        for ev in &events {
+            assert!(!one_line(ev).is_empty());
+        }
+        assert!(one_line(&events[2]).contains("minikernel"));
+        assert!(one_line(&events[3]).contains("D0→D1"));
+    }
+}

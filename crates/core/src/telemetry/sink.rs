@@ -1,0 +1,207 @@
+//! Ready-made [`SchedObserver`] implementations: an in-memory ring
+//! buffer, a JSONL writer, and a stderr printer.
+
+use super::event::SchedEvent;
+use super::SchedObserver;
+use hwsim::json::Json;
+use hwsim::sync::Mutex;
+use std::collections::VecDeque;
+use std::io::Write;
+use std::path::Path;
+
+/// Keeps the last `capacity` events in memory. The cheapest way to attach
+/// telemetry to a run and inspect it afterwards.
+#[derive(Debug)]
+pub struct RingBufferSink {
+    capacity: usize,
+    events: Mutex<VecDeque<SchedEvent>>,
+    /// Events discarded because the buffer was full.
+    dropped: Mutex<u64>,
+}
+
+impl RingBufferSink {
+    /// A sink keeping at most `capacity` events (oldest evicted first).
+    pub fn new(capacity: usize) -> RingBufferSink {
+        RingBufferSink {
+            capacity: capacity.max(1),
+            events: Mutex::new(VecDeque::new()),
+            dropped: Mutex::new(0),
+        }
+    }
+
+    /// Copy out the buffered events, oldest first.
+    pub fn snapshot(&self) -> Vec<SchedEvent> {
+        self.events.lock().iter().cloned().collect()
+    }
+
+    /// Remove and return the buffered events, oldest first.
+    pub fn drain(&self) -> Vec<SchedEvent> {
+        self.events.lock().drain(..).collect()
+    }
+
+    /// Events evicted because the buffer was full.
+    pub fn dropped(&self) -> u64 {
+        *self.dropped.lock()
+    }
+
+    /// Number of currently buffered events.
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    /// True if no events are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.events.lock().is_empty()
+    }
+}
+
+impl SchedObserver for RingBufferSink {
+    fn on_event(&self, event: &SchedEvent) {
+        let mut events = self.events.lock();
+        if events.len() == self.capacity {
+            events.pop_front();
+            *self.dropped.lock() += 1;
+        }
+        events.push_back(event.clone());
+    }
+}
+
+/// Writes one JSON object per event, newline-delimited (JSONL). Pair with
+/// [`parse_jsonl`] to replay a recorded run (the `schedule_explain` binary
+/// does exactly that).
+pub struct JsonlSink {
+    writer: Mutex<Box<dyn Write + Send>>,
+}
+
+impl JsonlSink {
+    /// Wrap any writer.
+    pub fn new(writer: impl Write + Send + 'static) -> JsonlSink {
+        JsonlSink { writer: Mutex::new(Box::new(writer)) }
+    }
+
+    /// Create (truncating) a JSONL file at `path`.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<JsonlSink> {
+        Ok(JsonlSink::new(std::io::BufWriter::new(std::fs::File::create(path)?)))
+    }
+
+    /// Flush the underlying writer.
+    pub fn flush(&self) -> std::io::Result<()> {
+        self.writer.lock().flush()
+    }
+}
+
+impl std::fmt::Debug for JsonlSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("JsonlSink")
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        let _ = self.writer.lock().flush();
+    }
+}
+
+impl SchedObserver for JsonlSink {
+    fn on_event(&self, event: &SchedEvent) {
+        let mut w = self.writer.lock();
+        // Telemetry must never take the runtime down: I/O errors are
+        // swallowed (the writer stays usable for later events).
+        let _ = writeln!(w, "{}", event.to_json().dump());
+    }
+}
+
+/// Parse a JSONL event stream produced by [`JsonlSink`] back into events.
+/// Blank lines are skipped; returns `None` on the first malformed line.
+pub fn parse_jsonl(text: &str) -> Option<Vec<SchedEvent>> {
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty())
+        .map(|l| SchedEvent::from_json(&Json::parse(l)?))
+        .collect()
+}
+
+/// Prints one human-readable line per event to stderr — the observer
+/// behind `MULTICL_DEBUG`-style tracing.
+#[derive(Debug, Default)]
+pub struct StderrSink;
+
+impl SchedObserver for StderrSink {
+    fn on_event(&self, event: &SchedEvent) {
+        eprintln!("[multicl:{}] {}", event.epoch(), super::report::one_line(event));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hwsim::{DeviceId, SimDuration, SimTime};
+
+    fn ev(epoch: u64) -> SchedEvent {
+        SchedEvent::CacheHit { epoch, key: format!("k{epoch}") }
+    }
+
+    #[test]
+    fn ring_buffer_keeps_the_newest_events() {
+        let sink = RingBufferSink::new(3);
+        for i in 0..5 {
+            sink.on_event(&ev(i));
+        }
+        let got: Vec<u64> = sink.snapshot().iter().map(|e| e.epoch()).collect();
+        assert_eq!(got, vec![2, 3, 4]);
+        assert_eq!(sink.dropped(), 2);
+        assert_eq!(sink.len(), 3);
+        assert_eq!(sink.drain().len(), 3);
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn jsonl_roundtrips_a_stream() {
+        let events = vec![
+            ev(1),
+            SchedEvent::QueueMigrated {
+                epoch: 1,
+                queue: 2,
+                from: DeviceId(0),
+                to: DeviceId(1),
+                bytes: 64,
+                at: SimTime::from_nanos(9),
+            },
+            SchedEvent::EpochEnd {
+                epoch: 1,
+                at: SimTime::from_nanos(10),
+                elapsed: SimDuration::from_nanos(10),
+                profiling: SimDuration::ZERO,
+                kernels_issued: 1,
+            },
+        ];
+        let buf = std::sync::Arc::new(Mutex::new(Vec::<u8>::new()));
+        struct Shared(std::sync::Arc<Mutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().extend_from_slice(data);
+                Ok(data.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let sink = JsonlSink::new(Shared(buf.clone()));
+        for e in &events {
+            sink.on_event(e);
+        }
+        sink.flush().unwrap();
+        let text = String::from_utf8(buf.lock().clone()).unwrap();
+        assert_eq!(text.lines().count(), 3);
+        assert_eq!(parse_jsonl(&text), Some(events));
+    }
+
+    #[test]
+    fn parse_jsonl_rejects_garbage_and_accepts_blank_lines() {
+        assert_eq!(parse_jsonl(""), Some(vec![]));
+        let good = ev(1).to_json().dump();
+        assert_eq!(parse_jsonl(&format!("{good}\n\n")), Some(vec![ev(1)]));
+        assert_eq!(parse_jsonl("not json"), None);
+        assert_eq!(parse_jsonl(r#"{"type":"nope","epoch":1}"#), None);
+    }
+}

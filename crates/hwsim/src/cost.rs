@@ -17,14 +17,13 @@
 
 use crate::device::{DeviceSpec, KernelTraitsView};
 use crate::time::SimDuration;
-use serde::{Deserialize, Serialize};
 
 /// Qualitative execution characteristics of a kernel, all in `[0, 1]`.
 ///
 /// These play the role of the architectural knowledge MultiCL's kernel
 /// profiler extracts by *measurement* on real hardware; here they parameterize
 /// the simulator so that measurement recovers the same relative behaviour.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct KernelTraits {
     /// Fraction of global-memory accesses that are coalesced / unit-stride.
     /// Column-major (Fortran-order) ports score low; row-major ports high.
@@ -66,7 +65,7 @@ impl Default for KernelTraits {
 /// Launch geometry of a kernel: total work-items and workgroup size, flattened
 /// to 1-D (OpenCL NDRanges of any dimensionality flatten losslessly for cost
 /// purposes because the model is per-item).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct NdRangeShape {
     /// Total number of work-items across all dimensions.
     pub global_items: u64,
@@ -90,7 +89,7 @@ impl NdRangeShape {
 }
 
 /// Quantitative cost description of a kernel.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct KernelCostSpec {
     /// Floating-point operations performed per work-item.
     pub flops_per_item: f64,
@@ -149,7 +148,13 @@ impl KernelCostSpec {
     /// *width* (engaged units) times *depth* (per-unit occupancy) — is what
     /// lets the minikernel (one workgroup, one unit) remain a faithful probe
     /// of relative device speed.
-    fn wave_time(&self, device: &DeviceSpec, nd: NdRangeShape, items: f64, wgs: u64) -> SimDuration {
+    fn wave_time(
+        &self,
+        device: &DeviceSpec,
+        nd: NdRangeShape,
+        items: f64,
+        wgs: u64,
+    ) -> SimDuration {
         let traits = self.traits.view();
         let total_cus = u64::from(device.compute_units.max(1));
         let wgs_per_cu = (u64::from(device.concurrent_workgroups.max(1)) / total_cus).max(1);
@@ -281,7 +286,11 @@ mod tests {
         for dev in [gpu(), cpu()] {
             let full = spec.kernel_time(&dev, nd);
             let mini = spec.minikernel_time(&dev, nd);
-            assert!(mini.as_nanos() * 100 < full.as_nanos(), "{}: mini={mini} full={full}", dev.name);
+            assert!(
+                mini.as_nanos() * 100 < full.as_nanos(),
+                "{}: mini={mini} full={full}",
+                dev.name
+            );
         }
     }
 
@@ -296,14 +305,22 @@ mod tests {
 
     #[test]
     fn launch_overhead_dominates_empty_kernels() {
-        let spec = KernelCostSpec { flops_per_item: 0.0, bytes_per_item: 0.0, traits: KernelTraits::IDEAL };
+        let spec = KernelCostSpec {
+            flops_per_item: 0.0,
+            bytes_per_item: 0.0,
+            traits: KernelTraits::IDEAL,
+        };
         let nd = NdRangeShape::new(1, 1);
         assert_eq!(spec.kernel_time(&gpu(), nd), gpu().launch_overhead);
     }
 
     #[test]
     fn total_bytes_and_flops() {
-        let spec = KernelCostSpec { flops_per_item: 3.0, bytes_per_item: 16.0, traits: KernelTraits::IDEAL };
+        let spec = KernelCostSpec {
+            flops_per_item: 3.0,
+            bytes_per_item: 16.0,
+            traits: KernelTraits::IDEAL,
+        };
         let nd = NdRangeShape::new(1000, 100);
         assert_eq!(spec.total_bytes(nd), 16_000);
         assert_eq!(spec.total_flops(nd), 3_000.0);

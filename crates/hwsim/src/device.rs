@@ -20,11 +20,10 @@
 //! massively parallel) is GPU-friendly — the crux of Figures 3–5.
 
 use crate::time::SimDuration;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifies a device within a [`crate::node::NodeConfig`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct DeviceId(pub usize);
 
 impl DeviceId {
@@ -42,7 +41,7 @@ impl fmt::Display for DeviceId {
 }
 
 /// Broad architecture family of a device.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DeviceType {
     /// A multicore CPU exposed as an OpenCL device (e.g. via the AMD APP SDK).
     Cpu,
@@ -64,7 +63,7 @@ impl fmt::Display for DeviceType {
 }
 
 /// Static description of one OpenCL device.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DeviceSpec {
     /// Human-readable name, e.g. `"Tesla C2050"`.
     pub name: String,
@@ -213,8 +212,10 @@ mod tests {
         let items = 1e5;
         let g = gpu();
         let c = cpu();
-        let gpu_loss = g.compute_efficiency(&uniform, items) / g.compute_efficiency(&divergent, items);
-        let cpu_loss = c.compute_efficiency(&uniform, items) / c.compute_efficiency(&divergent, items);
+        let gpu_loss =
+            g.compute_efficiency(&uniform, items) / g.compute_efficiency(&divergent, items);
+        let cpu_loss =
+            c.compute_efficiency(&uniform, items) / c.compute_efficiency(&divergent, items);
         assert!(gpu_loss > 3.0);
         assert!(cpu_loss < 1.6);
     }

@@ -167,10 +167,8 @@ impl Engine {
     /// Panics if `desc.device` or any wait event is out of range — both
     /// indicate a runtime bug, not a user error.
     pub fn submit(&mut self, desc: CommandDesc) -> EventId {
-        let dev = self
-            .devices
-            .get_mut(desc.device.index())
-            .expect("CommandDesc.device out of range");
+        let dev =
+            self.devices.get_mut(desc.device.index()).expect("CommandDesc.device out of range");
         let lane = dev.lane_mut(&desc.kind);
         // Host pays a small driver cost per enqueue.
         self.host_now += self.enqueue_cost;

@@ -26,6 +26,9 @@
 //! * [`trace`] — execution traces (who ran what, when) used to regenerate the
 //!   paper's kernel-distribution and per-iteration figures.
 //! * [`stats`] — small numeric helpers (geomean, normalization).
+//! * [`json`] — a minimal JSON value/parser/writer (the workspace builds
+//!   offline with no external crates; this replaces `serde_json`).
+//! * [`sync`] — `parking_lot`-style locking over `std::sync`.
 //!
 //! Everything is deterministic: the same program produces the same virtual
 //! timeline on every run, which makes the paper's figures exactly
@@ -34,10 +37,12 @@
 pub mod cost;
 pub mod device;
 pub mod engine;
+pub mod json;
 pub mod microbench;
 pub mod node;
 pub mod report;
 pub mod stats;
+pub mod sync;
 pub mod time;
 pub mod topology;
 pub mod trace;

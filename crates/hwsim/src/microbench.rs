@@ -10,29 +10,19 @@
 use crate::cost::{KernelCostSpec, NdRangeShape};
 use crate::device::DeviceId;
 use crate::engine::{CommandDesc, CommandKind, Engine};
+use crate::json::Json;
 use crate::node::NodeConfig;
 use crate::time::SimDuration;
 use crate::topology::TransferKind;
-use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
 /// Transfer sizes swept by the bandwidth benchmarks: 1 KiB (latency-bound)
 /// through 256 MiB (bandwidth-bound), in powers of four.
-pub const BANDWIDTH_SIZES: [u64; 10] = [
-    1 << 10,
-    1 << 12,
-    1 << 14,
-    1 << 16,
-    1 << 18,
-    1 << 20,
-    1 << 22,
-    1 << 24,
-    1 << 26,
-    1 << 28,
-];
+pub const BANDWIDTH_SIZES: [u64; 10] =
+    [1 << 10, 1 << 12, 1 << 14, 1 << 16, 1 << 18, 1 << 20, 1 << 22, 1 << 24, 1 << 26, 1 << 28];
 
 /// One measured (size → effective GB/s) curve.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct BandwidthCurve {
     /// Transfer sizes in bytes, ascending.
     pub sizes: Vec<u64>,
@@ -41,6 +31,23 @@ pub struct BandwidthCurve {
 }
 
 impl BandwidthCurve {
+    /// Encode as a JSON object `{"sizes":[...],"gbs":[...]}`.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("sizes", Json::num_arr(self.sizes.iter().map(|&s| s as f64))),
+            ("gbs", Json::num_arr(self.gbs.iter().copied())),
+        ])
+    }
+
+    /// Decode from the [`Self::to_json`] representation.
+    pub fn from_json(value: &Json) -> Option<BandwidthCurve> {
+        let sizes =
+            value.get("sizes")?.as_arr()?.iter().map(Json::as_u64).collect::<Option<Vec<u64>>>()?;
+        let gbs =
+            value.get("gbs")?.as_arr()?.iter().map(Json::as_f64).collect::<Option<Vec<f64>>>()?;
+        (sizes.len() == gbs.len()).then_some(BandwidthCurve { sizes, gbs })
+    }
+
     /// Effective bandwidth for an arbitrary size by piecewise-linear
     /// interpolation in log2(size) (paper: "bandwidth numbers for unknown
     /// data sizes are computed by using simple interpolation techniques").
@@ -74,7 +81,11 @@ impl BandwidthCurve {
 /// Measure the host↔device bandwidth curve for `dev` by timing transfers.
 ///
 /// The engine's clock advances; callers normally use a scratch engine.
-pub fn measure_host_bandwidth(engine: &mut Engine, node: &NodeConfig, dev: DeviceId) -> BandwidthCurve {
+pub fn measure_host_bandwidth(
+    engine: &mut Engine,
+    node: &NodeConfig,
+    dev: DeviceId,
+) -> BandwidthCurve {
     let mut curve = BandwidthCurve::default();
     for &bytes in &BANDWIDTH_SIZES {
         let duration = node.topology.host_transfer_time(dev, bytes, &node.devices);

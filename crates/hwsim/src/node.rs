@@ -10,10 +10,9 @@
 use crate::device::{DeviceId, DeviceSpec, DeviceType};
 use crate::time::SimDuration;
 use crate::topology::{LinkSpec, Topology};
-use serde::{Deserialize, Serialize};
 
 /// A complete node: device list plus interconnect topology.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct NodeConfig {
     /// Human-readable name used to key the device-profile cache.
     pub name: String,

@@ -25,9 +25,7 @@ pub fn geomean(xs: &[f64]) -> f64 {
 /// Normalize each element by `base` (percent). Returns 0.0 entries when
 /// `base` is zero.
 pub fn normalize_pct(xs: &[f64], base: f64) -> Vec<f64> {
-    xs.iter()
-        .map(|x| if base > 0.0 { 100.0 * x / base } else { 0.0 })
-        .collect()
+    xs.iter().map(|x| if base > 0.0 { 100.0 * x / base } else { 0.0 }).collect()
 }
 
 /// Relative overhead `(observed - ideal) / ideal * 100`, the paper's

@@ -13,10 +13,9 @@
 
 use crate::device::{DeviceId, DeviceSpec, DeviceType};
 use crate::time::SimDuration;
-use serde::{Deserialize, Serialize};
 
 /// A point-to-point link: fixed latency plus a bandwidth-proportional term.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LinkSpec {
     /// Per-transfer fixed cost (driver + DMA setup).
     pub latency: SimDuration,
@@ -49,7 +48,7 @@ impl LinkSpec {
 }
 
 /// Which direction a transfer moves.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TransferKind {
     /// Host memory to device memory.
     HostToDevice,
@@ -61,7 +60,7 @@ pub enum TransferKind {
 
 /// The node's interconnect: per-(socket, device) PCIe links plus the
 /// inter-socket penalty.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Topology {
     /// Number of CPU sockets.
     pub sockets: usize,
@@ -101,7 +100,12 @@ impl Topology {
     /// Time to move `bytes` between host and `dev` in either direction.
     /// H2D and D2H are symmetric in this model (true to within a few percent
     /// on the paper's PCIe gen-2 parts).
-    pub fn host_transfer_time(&self, dev: DeviceId, bytes: u64, specs: &[DeviceSpec]) -> SimDuration {
+    pub fn host_transfer_time(
+        &self,
+        dev: DeviceId,
+        bytes: u64,
+        specs: &[DeviceSpec],
+    ) -> SimDuration {
         self.host_link(dev, specs).transfer_time(bytes)
     }
 
@@ -138,7 +142,8 @@ mod tests {
         let link = LinkSpec::new(10, 8.0);
         // 80 MB at 8 GB/s = 10 ms, plus 10 µs latency.
         let t = link.transfer_time(80 << 20);
-        let expect = SimDuration::from_micros(10) + SimDuration::from_secs_f64((80 << 20) as f64 / 8e9);
+        let expect =
+            SimDuration::from_micros(10) + SimDuration::from_secs_f64((80 << 20) as f64 / 8e9);
         assert_eq!(t, expect);
     }
 

@@ -47,6 +47,38 @@ impl TraceRecord {
             _ => 0,
         }
     }
+
+    /// This record as one Chrome-tracing complete event (`"ph":"X"`) JSON
+    /// object. Categories: `kernel`, `transfer`, or `marker`; names and tags
+    /// are fully escaped (including control characters). The telemetry
+    /// exporter composes these with flow and counter events.
+    pub fn chrome_event_json(&self) -> String {
+        let name = match &self.kind {
+            CommandKind::Kernel { name } => crate::json::escape(name),
+            CommandKind::Transfer { kind, bytes } => format!("{kind:?} {bytes}B"),
+            CommandKind::Marker => "marker".to_string(),
+        };
+        let cat = match self.kind {
+            CommandKind::Kernel { .. } => "kernel",
+            CommandKind::Transfer { .. } => "transfer",
+            CommandKind::Marker => "marker",
+        };
+        let tag = self.tag.as_deref().unwrap_or("");
+        format!(
+            concat!(
+                "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",",
+                "\"ts\":{},\"dur\":{},\"pid\":0,\"tid\":{},",
+                "\"args\":{{\"queue\":{},\"tag\":\"{}\"}}}}"
+            ),
+            name,
+            cat,
+            self.stamp.start.as_nanos(),
+            self.stamp.duration().as_nanos().max(1),
+            self.device.index(),
+            self.queue,
+            crate::json::escape(tag),
+        )
+    }
 }
 
 /// An append-only list of [`TraceRecord`]s with aggregation helpers.
@@ -74,20 +106,12 @@ impl Trace {
 
     /// Total device time spent in records matching `pred`.
     pub fn time_where(&self, mut pred: impl FnMut(&TraceRecord) -> bool) -> SimDuration {
-        self.records
-            .iter()
-            .filter(|r| pred(r))
-            .map(|r| r.stamp.duration())
-            .sum()
+        self.records.iter().filter(|r| pred(r)).map(|r| r.stamp.duration()).sum()
     }
 
     /// Total bytes moved by transfer records matching `pred`.
     pub fn bytes_where(&self, mut pred: impl FnMut(&TraceRecord) -> bool) -> u64 {
-        self.records
-            .iter()
-            .filter(|r| pred(r))
-            .map(|r| r.transfer_bytes())
-            .sum()
+        self.records.iter().filter(|r| pred(r)).map(|r| r.transfer_bytes()).sum()
     }
 
     /// Count of transfer commands matching `pred`.
@@ -120,34 +144,12 @@ impl Trace {
     /// complete event per command, with the tag and queue id as arguments.
     /// Virtual nanoseconds map to microseconds in the viewer's timeline.
     pub fn to_chrome_json(&self) -> String {
-        fn escape(s: &str) -> String {
-            s.replace('\\', "\\\\").replace('"', "\\\"")
-        }
         let mut out = String::from("[");
         for (i, r) in self.records.iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
-            let name = match &r.kind {
-                CommandKind::Kernel { name } => escape(name),
-                CommandKind::Transfer { kind, bytes } => format!("{kind:?} {bytes}B"),
-                CommandKind::Marker => "marker".to_string(),
-            };
-            let tag = r.tag.as_deref().unwrap_or("");
-            out.push_str(&format!(
-                concat!(
-                    "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",",
-                    "\"ts\":{},\"dur\":{},\"pid\":0,\"tid\":{},",
-                    "\"args\":{{\"queue\":{},\"tag\":\"{}\"}}}}"
-                ),
-                name,
-                if r.is_kernel() { "kernel" } else { "transfer" },
-                r.stamp.start.as_nanos(),
-                r.stamp.duration().as_nanos().max(1),
-                r.device.index(),
-                r.queue,
-                escape(tag),
-            ));
+            out.push_str(&r.chrome_event_json());
         }
         out.push(']');
         out
@@ -182,7 +184,12 @@ mod tests {
         t.push(rec(0, kernel("a"), 1, None));
         t.push(rec(0, kernel("b"), 1, None));
         t.push(rec(1, kernel("c"), 1, None));
-        t.push(rec(1, CommandKind::Transfer { kind: TransferKind::HostToDevice, bytes: 8 }, 1, None));
+        t.push(rec(
+            1,
+            CommandKind::Transfer { kind: TransferKind::HostToDevice, bytes: 8 },
+            1,
+            None,
+        ));
         let d = t.kernel_distribution();
         assert_eq!(d[&DeviceId(0)], 2);
         assert_eq!(d[&DeviceId(1)], 1);
@@ -202,8 +209,18 @@ mod tests {
     #[test]
     fn transfer_byte_accounting() {
         let mut t = Trace::default();
-        t.push(rec(0, CommandKind::Transfer { kind: TransferKind::DeviceToHost, bytes: 100 }, 1, None));
-        t.push(rec(1, CommandKind::Transfer { kind: TransferKind::HostToDevice, bytes: 50 }, 1, None));
+        t.push(rec(
+            0,
+            CommandKind::Transfer { kind: TransferKind::DeviceToHost, bytes: 100 },
+            1,
+            None,
+        ));
+        t.push(rec(
+            1,
+            CommandKind::Transfer { kind: TransferKind::HostToDevice, bytes: 50 },
+            1,
+            None,
+        ));
         assert_eq!(t.bytes_where(|_| true), 150);
         assert_eq!(t.transfers_where(|r| r.device == DeviceId(1)), 1);
     }
@@ -212,7 +229,12 @@ mod tests {
     fn chrome_json_export_is_valid_and_complete() {
         let mut t = Trace::default();
         t.push(rec(0, kernel("my \"kernel\""), 2, Some("profiling")));
-        t.push(rec(1, CommandKind::Transfer { kind: TransferKind::HostToDevice, bytes: 64 }, 1, None));
+        t.push(rec(
+            1,
+            CommandKind::Transfer { kind: TransferKind::HostToDevice, bytes: 64 },
+            1,
+            None,
+        ));
         let json = t.to_chrome_json();
         // Structure: a JSON array with one object per record.
         assert!(json.starts_with('[') && json.ends_with(']'));
@@ -222,6 +244,35 @@ mod tests {
         assert!(json.contains("profiling"));
         // The quote in the kernel name is escaped.
         assert!(json.contains("my \\\"kernel\\\""));
+    }
+
+    #[test]
+    fn chrome_json_gives_markers_their_own_category() {
+        let mut t = Trace::default();
+        t.push(rec(0, CommandKind::Marker, 1, Some("barrier")));
+        t.push(rec(
+            0,
+            CommandKind::Transfer { kind: TransferKind::DeviceToHost, bytes: 8 },
+            1,
+            None,
+        ));
+        let json = t.to_chrome_json();
+        assert!(json.contains("\"name\":\"marker\",\"cat\":\"marker\""), "{json}");
+        assert_eq!(json.matches("\"cat\":\"transfer\"").count(), 1);
+    }
+
+    #[test]
+    fn chrome_json_escapes_control_characters() {
+        let mut t = Trace::default();
+        t.push(rec(0, kernel("bad\nname\t"), 1, Some("tab\there")));
+        let json = t.to_chrome_json();
+        assert!(!json.contains('\n'), "raw newline leaked: {json:?}");
+        assert!(!json.contains('\t'), "raw tab leaked: {json:?}");
+        // Still parseable JSON that round-trips the name.
+        let parsed = crate::json::Json::parse(&json).expect("valid JSON");
+        let ev = &parsed.as_arr().unwrap()[0];
+        assert_eq!(ev.get("name").unwrap().as_str(), Some("bad\nname\t"));
+        assert_eq!(ev.get("args").unwrap().get("tag").unwrap().as_str(), Some("tab\there"));
     }
 
     #[test]

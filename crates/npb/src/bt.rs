@@ -96,43 +96,38 @@ pub fn sweep_axis(u: &[f64], rhs: &mut [f64], dims: (usize, usize, usize), axis:
             _ => cell(line_a, line_b, t, nx, ny),
         }
     };
-    use rayon::prelude::*;
-    // One rayon task per (a,b) line; lines are independent.
-    let lines: Vec<(usize, usize)> =
-        (0..db).flat_map(|b| (0..da).map(move |a| (a, b))).collect();
+    // One parallel task per (a,b) line; lines are independent.
+    let lines: Vec<(usize, usize)> = (0..db).flat_map(|b| (0..da).map(move |a| (a, b))).collect();
     // rhs is written per line at disjoint offsets; split through a raw
     // pointer wrapper would be overkill — gather/solve/scatter per line.
-    let solutions: Vec<((usize, usize), Vec<Vec5>)> = lines
-        .par_iter()
-        .map(|&(a, b)| {
-            let mut lower: Vec<Block5> = Vec::with_capacity(len);
-            let mut diag: Vec<Block5> = Vec::with_capacity(len);
-            let mut upper: Vec<Block5> = Vec::with_capacity(len);
-            let mut line_rhs: Vec<Vec5> = Vec::with_capacity(len);
-            for t in 0..len {
-                let c = index(a, b, t);
-                let uc = &u[c..c + 5];
-                diag.push(diag_block(uc));
-                lower.push(if t == 0 {
-                    [[0.0; 5]; 5]
-                } else {
-                    let cp = index(a, b, t - 1);
-                    off_block(&u[cp..cp + 5])
-                });
-                upper.push(if t + 1 == len {
-                    [[0.0; 5]; 5]
-                } else {
-                    let cn = index(a, b, t + 1);
-                    off_block(&u[cn..cn + 5])
-                });
-                let mut r = [0.0; 5];
-                r.copy_from_slice(&rhs[c..c + 5]);
-                line_rhs.push(r);
-            }
-            block_tridiag_solve(&lower, &mut diag, &mut upper, &mut line_rhs);
-            ((a, b), line_rhs)
-        })
-        .collect();
+    let solutions: Vec<((usize, usize), Vec<Vec5>)> = crate::par::par_map(&lines, |&(a, b)| {
+        let mut lower: Vec<Block5> = Vec::with_capacity(len);
+        let mut diag: Vec<Block5> = Vec::with_capacity(len);
+        let mut upper: Vec<Block5> = Vec::with_capacity(len);
+        let mut line_rhs: Vec<Vec5> = Vec::with_capacity(len);
+        for t in 0..len {
+            let c = index(a, b, t);
+            let uc = &u[c..c + 5];
+            diag.push(diag_block(uc));
+            lower.push(if t == 0 {
+                [[0.0; 5]; 5]
+            } else {
+                let cp = index(a, b, t - 1);
+                off_block(&u[cp..cp + 5])
+            });
+            upper.push(if t + 1 == len {
+                [[0.0; 5]; 5]
+            } else {
+                let cn = index(a, b, t + 1);
+                off_block(&u[cn..cn + 5])
+            });
+            let mut r = [0.0; 5];
+            r.copy_from_slice(&rhs[c..c + 5]);
+            line_rhs.push(r);
+        }
+        block_tridiag_solve(&lower, &mut diag, &mut upper, &mut line_rhs);
+        ((a, b), line_rhs)
+    });
     for ((a, b), line) in solutions {
         for (t, v) in line.iter().enumerate() {
             let c = index(a, b, t);
@@ -152,9 +147,14 @@ pub fn compute_rhs_host(u: &[f64], rhs: &mut [f64], dims: (usize, usize, usize))
                 let c = cell(i, j, k, nx, ny);
                 for comp in 0..5 {
                     let mut acc = -6.0 * u[c + comp];
-                    for (di, dj, dk) in
-                        [(-1i64, 0i64, 0i64), (1, 0, 0), (0, -1, 0), (0, 1, 0), (0, 0, -1), (0, 0, 1)]
-                    {
+                    for (di, dj, dk) in [
+                        (-1i64, 0i64, 0i64),
+                        (1, 0, 0),
+                        (0, -1, 0),
+                        (0, 1, 0),
+                        (0, 0, -1),
+                        (0, 0, 1),
+                    ] {
                         let n = cell(
                             clamp(i as i64 + di, nx),
                             clamp(j as i64 + dj, ny),
@@ -172,14 +172,24 @@ pub fn compute_rhs_host(u: &[f64], rhs: &mut [f64], dims: (usize, usize, usize))
 }
 
 fn rhs_traits() -> KernelTraits {
-    KernelTraits { coalescing: 0.4, branch_divergence: 0.12, vector_friendliness: 0.5, double_precision: true }
+    KernelTraits {
+        coalescing: 0.4,
+        branch_divergence: 0.12,
+        vector_friendliness: 0.5,
+        double_precision: true,
+    }
 }
 
 fn solve_traits(coalescing: f64) -> KernelTraits {
     // Line-sequential solves with 5×5 LU per cell: long serial chains,
     // strided access — the worst case for the naive GPU port (BT is the
     // most CPU-favoured benchmark in Fig. 3).
-    KernelTraits { coalescing, branch_divergence: 0.2, vector_friendliness: 0.18, double_precision: true }
+    KernelTraits {
+        coalescing,
+        branch_divergence: 0.2,
+        vector_friendliness: 0.18,
+        double_precision: true,
+    }
 }
 
 /// `bt_compute_rhs`. Args: u, rhs(mut), nx, ny, nz.
@@ -192,7 +202,11 @@ impl KernelBody for BtRhs {
         5
     }
     fn cost(&self) -> KernelCostSpec {
-        KernelCostSpec { flops_per_item: 5.0 * 8.0, bytes_per_item: 5.0 * 64.0, traits: rhs_traits() }
+        KernelCostSpec {
+            flops_per_item: 5.0 * 8.0,
+            bytes_per_item: 5.0 * 64.0,
+            traits: rhs_traits(),
+        }
     }
     fn execute(&self, ctx: &mut KernelCtx<'_>) {
         let dims = (ctx.u64(2) as usize, ctx.u64(3) as usize, ctx.u64(4) as usize);
@@ -250,7 +264,12 @@ impl KernelBody for BtAdd {
         KernelCostSpec {
             flops_per_item: 1.0,
             bytes_per_item: 24.0,
-            traits: KernelTraits { coalescing: 0.9, branch_divergence: 0.0, vector_friendliness: 0.85, double_precision: true },
+            traits: KernelTraits {
+                coalescing: 0.9,
+                branch_divergence: 0.0,
+                vector_friendliness: 0.85,
+                double_precision: true,
+            },
         }
     }
     fn execute(&self, ctx: &mut KernelCtx<'_>) {
@@ -310,9 +329,8 @@ impl BtApp {
                     for i in 0..tx {
                         let c = cell(i, j, k, tx, ty);
                         for comp in 0..5 {
-                            u0[c + comp] = 1.0
-                                + 0.1
-                                    * ((i + 2 * j + 3 * k + comp + qi) as f64 * 0.37).sin();
+                            u0[c + comp] =
+                                1.0 + 0.1 * ((i + 2 * j + 3 * k + comp + qi) as f64 * 0.37).sin();
                         }
                     }
                 }
@@ -460,8 +478,10 @@ mod tests {
     fn ctx(tag: &str) -> (Platform, MulticlContext) {
         let platform = Platform::paper_node();
         let dir = std::env::temp_dir().join(format!("npb-bt-test-{tag}-{}", std::process::id()));
-        let options = SchedOptions { profile_cache: ProfileCache::at(dir), ..SchedOptions::default() };
-        let c = MulticlContext::with_options(&platform, ContextSchedPolicy::AutoFit, options).unwrap();
+        let options =
+            SchedOptions { profile_cache: ProfileCache::at(dir), ..SchedOptions::default() };
+        let c =
+            MulticlContext::with_options(&platform, ContextSchedPolicy::AutoFit, options).unwrap();
         (platform, c)
     }
 

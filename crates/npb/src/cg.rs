@@ -109,11 +109,21 @@ pub fn csr_matvec(csr: &Csr, x: &[f64], y: &mut [f64]) {
 fn sparse_traits() -> KernelTraits {
     // Gather addressing: poorly coalesced, modest vectorization — the
     // pattern that makes naive GPU SpMV lose to a cached CPU (Fig. 3).
-    KernelTraits { coalescing: 0.22, branch_divergence: 0.15, vector_friendliness: 0.3, double_precision: true }
+    KernelTraits {
+        coalescing: 0.22,
+        branch_divergence: 0.15,
+        vector_friendliness: 0.3,
+        double_precision: true,
+    }
 }
 
 fn stream_traits() -> KernelTraits {
-    KernelTraits { coalescing: 0.9, branch_divergence: 0.0, vector_friendliness: 0.8, double_precision: true }
+    KernelTraits {
+        coalescing: 0.9,
+        branch_divergence: 0.0,
+        vector_friendliness: 0.8,
+        double_precision: true,
+    }
 }
 
 /// `cg_init`: x=0, r=b, p=b, scal[0]=b·b.
@@ -171,14 +181,18 @@ impl KernelBody for CgMatvec {
         let vals = ctx.slice::<f64>(2);
         let p = ctx.slice::<f64>(3);
         let q = ctx.slice_mut::<f64>(4);
-        use rayon::prelude::*;
-        q[..n].par_iter_mut().enumerate().for_each(|(i, qi)| {
-            let (lo, hi) = (rowptr[i] as usize, rowptr[i + 1] as usize);
-            let mut acc = 0.0;
-            for k in lo..hi {
-                acc += vals[k] * p[cols[k] as usize];
+        // Parallelize over row blocks; each row only reads shared data.
+        const ROWS_PER_TASK: usize = 1024;
+        crate::par::par_chunks_mut(&mut q[..n], ROWS_PER_TASK, |chunk_idx, rows| {
+            for (j, qi) in rows.iter_mut().enumerate() {
+                let i = chunk_idx * ROWS_PER_TASK + j;
+                let (lo, hi) = (rowptr[i] as usize, rowptr[i + 1] as usize);
+                let mut acc = 0.0;
+                for k in lo..hi {
+                    acc += vals[k] * p[cols[k] as usize];
+                }
+                *qi = acc;
             }
-            *qi = acc;
         });
     }
 }
@@ -403,13 +417,8 @@ impl CgApp {
             }
             let mut ax = vec![0.0; s.n];
             csr_matvec(&s.csr, &x, &mut ax);
-            let rnorm: f64 = s
-                .b
-                .iter()
-                .zip(&ax)
-                .map(|(b, a)| (b - a) * (b - a))
-                .sum::<f64>()
-                .sqrt();
+            let rnorm: f64 =
+                s.b.iter().zip(&ax).map(|(b, a)| (b - a) * (b - a)).sum::<f64>().sqrt();
             let bnorm: f64 = s.b.iter().map(|b| b * b).sum::<f64>().sqrt();
             if rnorm > 1e-6 * bnorm {
                 return false;
@@ -433,8 +442,10 @@ mod tests {
     fn ctx(tag: &str) -> (Platform, MulticlContext) {
         let platform = Platform::paper_node();
         let dir = std::env::temp_dir().join(format!("npb-cg-test-{tag}-{}", std::process::id()));
-        let options = SchedOptions { profile_cache: ProfileCache::at(dir), ..SchedOptions::default() };
-        let c = MulticlContext::with_options(&platform, ContextSchedPolicy::AutoFit, options).unwrap();
+        let options =
+            SchedOptions { profile_cache: ProfileCache::at(dir), ..SchedOptions::default() };
+        let c =
+            MulticlContext::with_options(&platform, ContextSchedPolicy::AutoFit, options).unwrap();
         (platform, c)
     }
 

@@ -109,10 +109,10 @@ impl KernelBody for Embar {
         let items = ctx.u64(2);
         let wgs = items.div_ceil(LOCAL) as usize;
         let out = ctx.slice_mut::<f64>(0);
-        // One rayon task per workgroup; each reduces its items locally
+        // One parallel task per workgroup; each reduces its items locally
         // (mirroring the OpenCL kernel's local-memory reduction).
-        use rayon::prelude::*;
-        out.par_chunks_mut(REC).take(wgs).enumerate().for_each(|(wg, rec)| {
+        let covered = (wgs * REC).min(out.len());
+        crate::par::par_chunks_mut(&mut out[..covered], REC, |wg, rec| {
             let first_item = wg as u64 * LOCAL;
             let wg_items = LOCAL.min(items.saturating_sub(first_item));
             let (mut sx, mut sy, mut bins) = (0.0f64, 0.0f64, [0u64; 10]);
@@ -200,10 +200,8 @@ impl EpApp {
     ) -> ClResult<EpApp> {
         let meta = crate::suite::info("EP").expect("EP in suite");
         let queues = make_queues(ctx, plan, nqueues, meta.flags)?;
-        let program = ctx.create_program(vec![
-            Arc::new(Embar) as Arc<dyn KernelBody>,
-            Arc::new(EpReduce),
-        ])?;
+        let program =
+            ctx.create_program(vec![Arc::new(Embar) as Arc<dyn KernelBody>, Arc::new(EpReduce)])?;
         let total_items = total_pairs(class) / PAIRS_PER_ITEM;
         let per_queue = total_items.div_ceil(nqueues as u64);
         let mut slices = Vec::with_capacity(nqueues);
@@ -221,7 +219,14 @@ impl EpApp {
             reduce.set_arg(0, ArgValue::Buffer(records.clone()))?;
             reduce.set_arg(1, ArgValue::BufferMut(result.clone()))?;
             reduce.set_arg(2, ArgValue::U64(items))?;
-            slices.push(EpSlice { embar, reduce, records, result, first_pair: first_item * PAIRS_PER_ITEM, items });
+            slices.push(EpSlice {
+                embar,
+                reduce,
+                records,
+                result,
+                first_pair: first_item * PAIRS_PER_ITEM,
+                items,
+            });
         }
         Ok(EpApp { queues, slices, class })
     }
@@ -246,7 +251,8 @@ impl EpApp {
             let got = s.result.host_snapshot::<f64>();
             let (mut sx, mut sy, mut bins) = (0.0, 0.0, [0u64; 10]);
             for i in 0..s.items {
-                let (px, py, pb) = gaussian_tally(SEED, s.first_pair + i * PAIRS_PER_ITEM, PAIRS_PER_ITEM);
+                let (px, py, pb) =
+                    gaussian_tally(SEED, s.first_pair + i * PAIRS_PER_ITEM, PAIRS_PER_ITEM);
                 sx += px;
                 sy += py;
                 for (b, p) in bins.iter_mut().zip(pb) {
@@ -289,8 +295,10 @@ mod tests {
     fn ctx(tag: &str) -> (Platform, MulticlContext) {
         let platform = Platform::paper_node();
         let dir = std::env::temp_dir().join(format!("npb-ep-test-{tag}-{}", std::process::id()));
-        let options = SchedOptions { profile_cache: ProfileCache::at(dir), ..SchedOptions::default() };
-        let c = MulticlContext::with_options(&platform, ContextSchedPolicy::AutoFit, options).unwrap();
+        let options =
+            SchedOptions { profile_cache: ProfileCache::at(dir), ..SchedOptions::default() };
+        let c =
+            MulticlContext::with_options(&platform, ContextSchedPolicy::AutoFit, options).unwrap();
         (platform, c)
     }
 

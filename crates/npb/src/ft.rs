@@ -97,8 +97,8 @@ pub fn ifft3d(data: &mut [f64], dims: (usize, usize, usize)) {
 }
 
 fn fft_pass_x(data: &mut [f64], (nx, ny, nz): (usize, usize, usize), sign: f64) {
-    use rayon::prelude::*;
-    data.par_chunks_mut(2 * nx).take(ny * nz).for_each(|line| fft_radix2(line, sign));
+    let covered = (2 * nx * ny * nz).min(data.len());
+    crate::par::par_chunks_mut(&mut data[..covered], 2 * nx, |_, line| fft_radix2(line, sign));
 }
 
 fn fft_pass_y(data: &mut [f64], (nx, ny, nz): (usize, usize, usize), sign: f64) {
@@ -153,7 +153,12 @@ pub fn checksum(data: &[f64], (nx, ny, nz): (usize, usize, usize)) -> (f64, f64)
 }
 
 fn fft_traits(coalescing: f64) -> KernelTraits {
-    KernelTraits { coalescing, branch_divergence: 0.1, vector_friendliness: 0.5, double_precision: true }
+    KernelTraits {
+        coalescing,
+        branch_divergence: 0.1,
+        vector_friendliness: 0.5,
+        double_precision: true,
+    }
 }
 
 /// Scalar args shared by the FFT pass kernels: 0=data(mut), 1=nx, 2=ny,
@@ -213,7 +218,12 @@ impl KernelBody for FtEvolve {
         KernelCostSpec {
             flops_per_item: 20.0,
             bytes_per_item: 32.0,
-            traits: KernelTraits { coalescing: 0.9, branch_divergence: 0.05, vector_friendliness: 0.7, double_precision: true },
+            traits: KernelTraits {
+                coalescing: 0.9,
+                branch_divergence: 0.05,
+                vector_friendliness: 0.7,
+                double_precision: true,
+            },
         }
     }
     fn execute(&self, ctx: &mut KernelCtx<'_>) {
@@ -249,7 +259,12 @@ impl KernelBody for FtChecksum {
         KernelCostSpec {
             flops_per_item: 2.0,
             bytes_per_item: 16.0,
-            traits: KernelTraits { coalescing: 0.3, branch_divergence: 0.1, vector_friendliness: 0.4, double_precision: true },
+            traits: KernelTraits {
+                coalescing: 0.3,
+                branch_divergence: 0.1,
+                vector_friendliness: 0.4,
+                double_precision: true,
+            },
         }
     }
     fn execute(&self, ctx: &mut KernelCtx<'_>) {
@@ -434,8 +449,10 @@ mod tests {
     fn ctx(tag: &str) -> (Platform, MulticlContext) {
         let platform = Platform::paper_node();
         let dir = std::env::temp_dir().join(format!("npb-ft-test-{tag}-{}", std::process::id()));
-        let options = SchedOptions { profile_cache: ProfileCache::at(dir), ..SchedOptions::default() };
-        let c = MulticlContext::with_options(&platform, ContextSchedPolicy::AutoFit, options).unwrap();
+        let options =
+            SchedOptions { profile_cache: ProfileCache::at(dir), ..SchedOptions::default() };
+        let c =
+            MulticlContext::with_options(&platform, ContextSchedPolicy::AutoFit, options).unwrap();
         (platform, c)
     }
 

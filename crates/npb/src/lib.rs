@@ -27,6 +27,7 @@ pub mod ep;
 pub mod ft;
 pub mod math;
 pub mod mg;
+pub mod par;
 pub mod randdp;
 pub mod sp;
 pub mod suite;

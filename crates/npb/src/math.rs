@@ -304,9 +304,11 @@ mod tests {
             }
             b
         };
-        let lower: Vec<Block5> = (0..n).map(|i| if i == 0 { [[0.0; 5]; 5] } else { mk(-1.0, 0.2) }).collect();
+        let lower: Vec<Block5> =
+            (0..n).map(|i| if i == 0 { [[0.0; 5]; 5] } else { mk(-1.0, 0.2) }).collect();
         let diag0: Vec<Block5> = (0..n).map(|_| mk(6.0, 0.5)).collect();
-        let upper0: Vec<Block5> = (0..n).map(|i| if i + 1 == n { [[0.0; 5]; 5] } else { mk(-1.0, -0.3) }).collect();
+        let upper0: Vec<Block5> =
+            (0..n).map(|i| if i + 1 == n { [[0.0; 5]; 5] } else { mk(-1.0, -0.3) }).collect();
         let rhs0: Vec<Vec5> = (0..n)
             .map(|i| {
                 let mut v = [0.0; 5];

@@ -51,8 +51,7 @@ fn idx(i: usize, j: usize, k: usize, n: usize) -> usize {
 /// `out[p] = rhs[p] - Σ w(class)·u[neighbor]` when `rhs` is given, or
 /// `out[p] += Σ w·u[neighbor]` otherwise (smoother form).
 fn stencil27(u: &[f64], rhs: Option<&[f64]>, out: &mut [f64], n: usize, w: [f64; 4], add: bool) {
-    use rayon::prelude::*;
-    out.par_chunks_mut(n * n).enumerate().for_each(|(k, plane)| {
+    crate::par::par_chunks_mut(out, n * n, |k, plane| {
         for j in 0..n {
             for i in 0..n {
                 let mut acc = 0.0;
@@ -156,7 +155,12 @@ pub fn interp_host(coarse: &[f64], fine: &mut [f64], nc: usize) {
 fn stencil_traits() -> KernelTraits {
     // Column-major-derived 3-D indexing: badly coalesced on the GPU,
     // cache-friendly enough on the CPU.
-    KernelTraits { coalescing: 0.28, branch_divergence: 0.1, vector_friendliness: 0.45, double_precision: true }
+    KernelTraits {
+        coalescing: 0.28,
+        branch_divergence: 0.1,
+        vector_friendliness: 0.45,
+        double_precision: true,
+    }
 }
 
 /// `mg_resid`: r = v − A·u. Args: u, v, r(mut), n.
@@ -169,7 +173,11 @@ impl KernelBody for MgResid {
         4
     }
     fn cost(&self) -> KernelCostSpec {
-        KernelCostSpec { flops_per_item: 2.0 * 20.0, bytes_per_item: 96.0, traits: stencil_traits() }
+        KernelCostSpec {
+            flops_per_item: 2.0 * 20.0,
+            bytes_per_item: 96.0,
+            traits: stencil_traits(),
+        }
     }
     fn execute(&self, ctx: &mut KernelCtx<'_>) {
         let n = ctx.u64(3) as usize;
@@ -190,7 +198,11 @@ impl KernelBody for MgPsinv {
         3
     }
     fn cost(&self) -> KernelCostSpec {
-        KernelCostSpec { flops_per_item: 2.0 * 19.0, bytes_per_item: 88.0, traits: stencil_traits() }
+        KernelCostSpec {
+            flops_per_item: 2.0 * 19.0,
+            bytes_per_item: 88.0,
+            traits: stencil_traits(),
+        }
     }
     fn execute(&self, ctx: &mut KernelCtx<'_>) {
         let n = ctx.u64(2) as usize;
@@ -253,7 +265,12 @@ impl KernelBody for MgZero {
         KernelCostSpec {
             flops_per_item: 0.0,
             bytes_per_item: 8.0,
-            traits: KernelTraits { coalescing: 0.95, branch_divergence: 0.0, vector_friendliness: 0.9, double_precision: true },
+            traits: KernelTraits {
+                coalescing: 0.95,
+                branch_divergence: 0.0,
+                vector_friendliness: 0.9,
+                double_precision: true,
+            },
         }
     }
     fn execute(&self, ctx: &mut KernelCtx<'_>) {
@@ -484,8 +501,10 @@ mod tests {
     fn ctx(tag: &str) -> (Platform, MulticlContext) {
         let platform = Platform::paper_node();
         let dir = std::env::temp_dir().join(format!("npb-mg-test-{tag}-{}", std::process::id()));
-        let options = SchedOptions { profile_cache: ProfileCache::at(dir), ..SchedOptions::default() };
-        let c = MulticlContext::with_options(&platform, ContextSchedPolicy::AutoFit, options).unwrap();
+        let options =
+            SchedOptions { profile_cache: ProfileCache::at(dir), ..SchedOptions::default() };
+        let c =
+            MulticlContext::with_options(&platform, ContextSchedPolicy::AutoFit, options).unwrap();
         (platform, c)
     }
 

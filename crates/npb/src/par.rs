@@ -1,0 +1,102 @@
+//! Scoped-thread data-parallel helpers (rayon stand-in).
+//!
+//! The kernel bodies run real math on the host while the simulator charges
+//! virtual time; the heavier ones (BT/SP line solves, MG stencils, EP
+//! tallies) parallelize across host cores. The workspace builds offline
+//! with no external crates, so instead of rayon these two helpers cover the
+//! patterns the benchmarks need: chunked mutation of a slice and an
+//! order-preserving parallel map. Work is handed out through a shared
+//! iterator guarded by a mutex — chunks are coarse, so the lock is cold.
+
+use hwsim::sync::Mutex;
+use std::num::NonZeroUsize;
+
+fn workers(jobs: usize) -> usize {
+    std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1).min(jobs).max(1)
+}
+
+/// Apply `f(chunk_index, chunk)` to consecutive `chunk_len`-sized chunks of
+/// `data` (the last chunk may be shorter), in parallel. Equivalent to
+/// `data.par_chunks_mut(chunk_len).enumerate().for_each(...)`.
+pub fn par_chunks_mut<T, F>(data: &mut [T], chunk_len: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(chunk_len > 0, "chunk_len must be positive");
+    let jobs = data.len().div_ceil(chunk_len);
+    if jobs <= 1 {
+        if let Some(first) = (!data.is_empty()).then_some(data) {
+            f(0, first);
+        }
+        return;
+    }
+    let work = Mutex::new(data.chunks_mut(chunk_len).enumerate());
+    std::thread::scope(|s| {
+        for _ in 0..workers(jobs) {
+            s.spawn(|| loop {
+                let Some((i, chunk)) = work.lock().next() else { break };
+                f(i, chunk);
+            });
+        }
+    });
+}
+
+/// Parallel map preserving input order: `items.par_iter().map(f).collect()`.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    if items.len() <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let work = Mutex::new(items.iter().enumerate());
+    let collected = Mutex::new(Vec::with_capacity(items.len()));
+    std::thread::scope(|s| {
+        for _ in 0..workers(items.len()) {
+            s.spawn(|| loop {
+                let Some((i, item)) = work.lock().next() else { break };
+                let r = f(item);
+                collected.lock().push((i, r));
+            });
+        }
+    });
+    let mut indexed = collected.into_inner();
+    indexed.sort_unstable_by_key(|&(i, _)| i);
+    indexed.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunks_cover_everything_once() {
+        let mut v = vec![0u64; 1000];
+        par_chunks_mut(&mut v, 64, |i, chunk| {
+            for (j, x) in chunk.iter_mut().enumerate() {
+                *x = (i * 64 + j) as u64;
+            }
+        });
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i as u64));
+    }
+
+    #[test]
+    fn chunks_handle_empty_and_short_inputs() {
+        let mut empty: Vec<u8> = vec![];
+        par_chunks_mut(&mut empty, 4, |_, _| panic!("no chunks expected"));
+        let mut short = vec![1u8, 2, 3];
+        par_chunks_mut(&mut short, 10, |i, c| {
+            assert_eq!((i, c.len()), (0, 3));
+        });
+    }
+
+    #[test]
+    fn map_preserves_order() {
+        let items: Vec<u32> = (0..500).collect();
+        let out = par_map(&items, |&x| x * 2);
+        assert_eq!(out, items.iter().map(|&x| x * 2).collect::<Vec<_>>());
+    }
+}

@@ -61,49 +61,44 @@ pub fn sweep_axis(u: &[f64], rhs: &mut [f64], dims: (usize, usize, usize), axis:
             _ => cell(a, b, t, nx, ny),
         }
     };
-    use rayon::prelude::*;
     type LineSolution = ((usize, usize), Vec<[f64; 5]>);
-    let lines: Vec<(usize, usize)> =
-        (0..db).flat_map(|b| (0..da).map(move |a| (a, b))).collect();
-    let solutions: Vec<LineSolution> = lines
-        .par_iter()
-        .map(|&(a, b)| {
-            let mut out: Vec<[f64; 5]> = vec![[0.0; 5]; len];
-            // Five independent scalar solves per line.
-            for comp in 0..5 {
-                let mut e = vec![0.0f64; len];
-                let mut lo = vec![0.0f64; len];
-                let mut di = vec![0.0f64; len];
-                let mut up = vec![0.0f64; len];
-                let mut f = vec![0.0f64; len];
-                let mut d = vec![0.0f64; len];
-                for t in 0..len {
-                    let c = index(a, b, t);
-                    let s = u[c + comp];
-                    let bend = 1.0 + 0.02 * s / (1.0 + s.abs());
-                    di[t] = 1.0 + 2.0 * THETA + 2.0 * PHI;
-                    if t >= 1 {
-                        lo[t] = -THETA * bend;
-                    }
-                    if t >= 2 {
-                        e[t] = PHI * bend;
-                    }
-                    if t + 1 < len {
-                        up[t] = -THETA * bend;
-                    }
-                    if t + 2 < len {
-                        f[t] = PHI * bend;
-                    }
-                    d[t] = rhs[c + comp];
+    let lines: Vec<(usize, usize)> = (0..db).flat_map(|b| (0..da).map(move |a| (a, b))).collect();
+    let solutions: Vec<LineSolution> = crate::par::par_map(&lines, |&(a, b)| {
+        let mut out: Vec<[f64; 5]> = vec![[0.0; 5]; len];
+        // Five independent scalar solves per line.
+        for comp in 0..5 {
+            let mut e = vec![0.0f64; len];
+            let mut lo = vec![0.0f64; len];
+            let mut di = vec![0.0f64; len];
+            let mut up = vec![0.0f64; len];
+            let mut f = vec![0.0f64; len];
+            let mut d = vec![0.0f64; len];
+            for t in 0..len {
+                let c = index(a, b, t);
+                let s = u[c + comp];
+                let bend = 1.0 + 0.02 * s / (1.0 + s.abs());
+                di[t] = 1.0 + 2.0 * THETA + 2.0 * PHI;
+                if t >= 1 {
+                    lo[t] = -THETA * bend;
                 }
-                penta_solve(&mut e, &mut lo, &mut di, &mut up, &mut f, &mut d);
-                for t in 0..len {
-                    out[t][comp] = d[t];
+                if t >= 2 {
+                    e[t] = PHI * bend;
                 }
+                if t + 1 < len {
+                    up[t] = -THETA * bend;
+                }
+                if t + 2 < len {
+                    f[t] = PHI * bend;
+                }
+                d[t] = rhs[c + comp];
             }
-            ((a, b), out)
-        })
-        .collect();
+            penta_solve(&mut e, &mut lo, &mut di, &mut up, &mut f, &mut d);
+            for t in 0..len {
+                out[t][comp] = d[t];
+            }
+        }
+        ((a, b), out)
+    });
     for ((a, b), line) in solutions {
         for (t, v) in line.iter().enumerate() {
             let c = index(a, b, t);
@@ -122,9 +117,14 @@ pub fn compute_rhs_host(u: &[f64], rhs: &mut [f64], dims: (usize, usize, usize))
                 let c = cell(i, j, k, nx, ny);
                 for comp in 0..5 {
                     let mut acc = -6.0 * u[c + comp];
-                    for (di, dj, dk) in
-                        [(-1i64, 0i64, 0i64), (1, 0, 0), (0, -1, 0), (0, 1, 0), (0, 0, -1), (0, 0, 1)]
-                    {
+                    for (di, dj, dk) in [
+                        (-1i64, 0i64, 0i64),
+                        (1, 0, 0),
+                        (0, -1, 0),
+                        (0, 1, 0),
+                        (0, 0, -1),
+                        (0, 0, 1),
+                    ] {
                         let nb = cell(
                             clamp(i as i64 + di, nx),
                             clamp(j as i64 + dj, ny),
@@ -142,7 +142,12 @@ pub fn compute_rhs_host(u: &[f64], rhs: &mut [f64], dims: (usize, usize, usize))
 }
 
 fn solve_traits(coalescing: f64) -> KernelTraits {
-    KernelTraits { coalescing, branch_divergence: 0.18, vector_friendliness: 0.25, double_precision: true }
+    KernelTraits {
+        coalescing,
+        branch_divergence: 0.18,
+        vector_friendliness: 0.25,
+        double_precision: true,
+    }
 }
 
 /// `sp_compute_rhs`. Args: u, rhs(mut), nx, ny, nz.
@@ -158,7 +163,12 @@ impl KernelBody for SpRhs {
         KernelCostSpec {
             flops_per_item: 5.0 * 8.0,
             bytes_per_item: 5.0 * 64.0,
-            traits: KernelTraits { coalescing: 0.4, branch_divergence: 0.12, vector_friendliness: 0.5, double_precision: true },
+            traits: KernelTraits {
+                coalescing: 0.4,
+                branch_divergence: 0.12,
+                vector_friendliness: 0.5,
+                double_precision: true,
+            },
         }
     }
     fn execute(&self, ctx: &mut KernelCtx<'_>) {
@@ -216,7 +226,12 @@ impl KernelBody for SpAdd {
         KernelCostSpec {
             flops_per_item: 1.0,
             bytes_per_item: 24.0,
-            traits: KernelTraits { coalescing: 0.9, branch_divergence: 0.0, vector_friendliness: 0.85, double_precision: true },
+            traits: KernelTraits {
+                coalescing: 0.9,
+                branch_divergence: 0.0,
+                vector_friendliness: 0.85,
+                double_precision: true,
+            },
         }
     }
     fn execute(&self, ctx: &mut KernelCtx<'_>) {
@@ -358,10 +373,7 @@ impl SpApp {
                 return false;
             }
             let reference = self.reference_state(qi);
-            let maxerr = u
-                .iter()
-                .zip(&reference)
-                .fold(0.0f64, |m, (a, b)| m.max((a - b).abs()));
+            let maxerr = u.iter().zip(&reference).fold(0.0f64, |m, (a, b)| m.max((a - b).abs()));
             if maxerr > 1e-12 {
                 return false;
             }
@@ -406,8 +418,10 @@ mod tests {
     fn ctx(tag: &str) -> (Platform, MulticlContext) {
         let platform = Platform::paper_node();
         let dir = std::env::temp_dir().join(format!("npb-sp-test-{tag}-{}", std::process::id()));
-        let options = SchedOptions { profile_cache: ProfileCache::at(dir), ..SchedOptions::default() };
-        let c = MulticlContext::with_options(&platform, ContextSchedPolicy::AutoFit, options).unwrap();
+        let options =
+            SchedOptions { profile_cache: ProfileCache::at(dir), ..SchedOptions::default() };
+        let c =
+            MulticlContext::with_options(&platform, ContextSchedPolicy::AutoFit, options).unwrap();
         (platform, c)
     }
 

@@ -6,7 +6,9 @@ use crate::{bt, cg, ep, ft, mg, sp};
 use clrt::error::{ClError, ClResult};
 use clrt::Platform;
 use hwsim::{DeviceId, SimDuration};
-use multicl::{ContextSchedPolicy, MulticlContext, QueueSchedFlags, SchedOptions, SchedQueue, SchedStats};
+use multicl::{
+    ContextSchedPolicy, MulticlContext, QueueSchedFlags, SchedOptions, SchedQueue, SchedStats,
+};
 
 /// How a benchmark's command queues are created.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -217,8 +219,8 @@ pub fn run_benchmark(
     queues: usize,
     plan: &QueuePlan,
 ) -> ClResult<RunResult> {
-    let meta = info(name)
-        .ok_or_else(|| ClError::InvalidValue(format!("unknown benchmark `{name}`")))?;
+    let meta =
+        info(name).ok_or_else(|| ClError::InvalidValue(format!("unknown benchmark `{name}`")))?;
     if !meta.queue_rule.allows(queues) {
         return Err(ClError::InvalidValue(format!(
             "{name} does not allow {queues} queues ({:?})",

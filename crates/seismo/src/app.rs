@@ -139,7 +139,8 @@ impl FdmApp {
         });
         let queues = match plan {
             FdmPlan::Auto => {
-                let flags = QueueSchedFlags::SCHED_AUTO_DYNAMIC | QueueSchedFlags::SCHED_KERNEL_EPOCH;
+                let flags =
+                    QueueSchedFlags::SCHED_AUTO_DYNAMIC | QueueSchedFlags::SCHED_KERNEL_EPOCH;
                 [ctx.create_queue(flags)?, ctx.create_queue(flags)?]
             }
             FdmPlan::AutoWith(flags) => [ctx.create_queue(*flags)?, ctx.create_queue(*flags)?],
@@ -173,9 +174,8 @@ impl FdmApp {
 
         let mut regions = Vec::with_capacity(2);
         for (ri, q) in queues.iter().enumerate() {
-            let fields: [Buffer; 9] = std::array::from_fn(|_| {
-                ctx.create_buffer_of::<f64>(cells).expect("field buffer")
-            });
+            let fields: [Buffer; 9] =
+                std::array::from_fn(|_| ctx.create_buffer_of::<f64>(cells).expect("field buffer"));
             // Fields start at zero (quiescent medium); make them resident
             // on the queue's initial device like the real app's setup phase.
             for f in &fields {
@@ -212,11 +212,9 @@ impl FdmApp {
                 let _ = comp;
                 stress_kernels.push(k);
             }
-            for (va, vb, s, name) in [
-                (VX, VY, SXY, "str_sxy"),
-                (VX, VZ, SXZ, "str_sxz"),
-                (VY, VZ, SYZ, "str_syz"),
-            ] {
+            for (va, vb, s, name) in
+                [(VX, VY, SXY, "str_sxy"), (VX, VZ, SXZ, "str_sxz"), (VY, VZ, SYZ, "str_syz")]
+            {
                 let k = program.create_kernel(name)?;
                 k.set_arg(0, ArgValue::Buffer(fields[va].clone()))?;
                 k.set_arg(1, ArgValue::Buffer(fields[vb].clone()))?;
@@ -255,7 +253,8 @@ impl FdmApp {
                 source = Some(k);
             } else {
                 // Region 2 handles the outer absorbing strips (14 kernels).
-                for name in ["str_absorb_xlo", "str_absorb_xhi", "str_absorb_ylo", "str_absorb_yhi"] {
+                for name in ["str_absorb_xlo", "str_absorb_xhi", "str_absorb_ylo", "str_absorb_yhi"]
+                {
                     let k = program.create_kernel(name)?;
                     for (a, s) in [SXX, SYY, SZZ, SXY, SXZ, SYZ].iter().enumerate() {
                         k.set_arg(a, ArgValue::BufferMut(fields[*s].clone()))?;
@@ -423,18 +422,15 @@ mod tests {
     fn ctx(tag: &str) -> (Platform, MulticlContext) {
         let platform = Platform::paper_node();
         let dir = std::env::temp_dir().join(format!("seismo-test-{tag}-{}", std::process::id()));
-        let options = SchedOptions { profile_cache: ProfileCache::at(dir), ..SchedOptions::default() };
-        let c = MulticlContext::with_options(&platform, ContextSchedPolicy::AutoFit, options).unwrap();
+        let options =
+            SchedOptions { profile_cache: ProfileCache::at(dir), ..SchedOptions::default() };
+        let c =
+            MulticlContext::with_options(&platform, ContextSchedPolicy::AutoFit, options).unwrap();
         (platform, c)
     }
 
     fn small(layout: Layout) -> FdmConfig {
-        FdmConfig {
-            dims: Dims::new(12, 12, 8),
-            layout,
-            iterations: 4,
-            ..FdmConfig::default()
-        }
+        FdmConfig { dims: Dims::new(12, 12, 8), layout, iterations: 4, ..FdmConfig::default() }
     }
 
     #[test]
@@ -518,8 +514,10 @@ mod tests {
         let mut row = FdmApp::new(&c2, full(Layout::RowMajor), &FdmPlan::Auto).unwrap();
         row.run().unwrap();
         let (d1, d2) = row.devices();
-        assert!(gpus.contains(&d1) && gpus.contains(&d2) && d1 != d2,
-            "row-major prefers the two GPUs, got ({d1}, {d2})");
+        assert!(
+            gpus.contains(&d1) && gpus.contains(&d2) && d1 != d2,
+            "row-major prefers the two GPUs, got ({d1}, {d2})"
+        );
     }
 
     #[test]
@@ -570,8 +568,7 @@ mod tests {
         };
         let mut homo = FdmApp::new(&c, base.clone(), &FdmPlan::Manual(cpu, cpu)).unwrap();
         homo.run().unwrap();
-        let layered_cfg =
-            FdmConfig { medium: crate::medium::Medium::two_layer(6), ..base };
+        let layered_cfg = FdmConfig { medium: crate::medium::Medium::two_layer(6), ..base };
         let mut layered = FdmApp::new(&c, layered_cfg, &FdmPlan::Manual(cpu, cpu)).unwrap();
         layered.run().unwrap();
         assert!(layered.is_finite(), "layered run must stay stable");
@@ -589,8 +586,11 @@ mod tests {
         let mut app = FdmApp::new(&c, small(Layout::RowMajor), &FdmPlan::Auto).unwrap();
         app.run().unwrap();
         let times = app.iteration_times();
-        assert!(times[0].total() > times[1].total() * 2,
-            "iteration 0 should dominate: {:?}", times.iter().map(|t| t.total()).collect::<Vec<_>>());
+        assert!(
+            times[0].total() > times[1].total() * 2,
+            "iteration 0 should dominate: {:?}",
+            times.iter().map(|t| t.total()).collect::<Vec<_>>()
+        );
         // Steady state is stable.
         assert!(times[2].total().ratio(times[1].total()) < 1.5);
     }

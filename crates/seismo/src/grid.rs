@@ -88,14 +88,8 @@ mod tests {
     #[test]
     fn column_major_is_x_fastest() {
         let d = Dims::new(8, 8, 8);
-        assert_eq!(
-            Layout::ColumnMajor.idx(1, 0, 0, d),
-            Layout::ColumnMajor.idx(0, 0, 0, d) + 1
-        );
-        assert_eq!(
-            Layout::RowMajor.idx(0, 0, 1, d),
-            Layout::RowMajor.idx(0, 0, 0, d) + 1
-        );
+        assert_eq!(Layout::ColumnMajor.idx(1, 0, 0, d), Layout::ColumnMajor.idx(0, 0, 0, d) + 1);
+        assert_eq!(Layout::RowMajor.idx(0, 0, 1, d), Layout::RowMajor.idx(0, 0, 0, d) + 1);
     }
 
     #[test]

@@ -83,14 +83,7 @@ impl Params {
 
 /// Clamped central difference along one axis of field `f`.
 #[inline]
-fn diff(
-    f: &[f64],
-    i: usize,
-    j: usize,
-    k: usize,
-    axis: usize,
-    p: &Params,
-) -> f64 {
+fn diff(f: &[f64], i: usize, j: usize, k: usize, axis: usize, p: &Params) -> f64 {
     let d = p.dims;
     let (lo, hi) = match axis {
         0 => (
@@ -327,7 +320,12 @@ impl KernelBody for SourceInject {
         KernelCostSpec {
             flops_per_item: 12.0,
             bytes_per_item: 48.0,
-            traits: KernelTraits { coalescing: 1.0, branch_divergence: 0.0, vector_friendliness: 0.5, double_precision: true },
+            traits: KernelTraits {
+                coalescing: 1.0,
+                branch_divergence: 0.0,
+                vector_friendliness: 0.5,
+                double_precision: true,
+            },
         }
     }
     fn execute(&self, ctx: &mut KernelCtx<'_>) {

@@ -28,8 +28,8 @@
 
 pub mod app;
 pub mod grid;
-pub mod medium;
 pub mod kernels;
+pub mod medium;
 pub mod source;
 
 pub use app::{FdmApp, FdmConfig, FdmPlan, IterTime};

@@ -45,9 +45,7 @@ pub struct Medium {
 impl Medium {
     /// A single material everywhere.
     pub fn homogeneous(rho: f64, lam: f64, mu: f64) -> Medium {
-        Medium {
-            layers: vec![Layer { bottom_k: usize::MAX, material: Material { rho, lam, mu } }],
-        }
+        Medium { layers: vec![Layer { bottom_k: usize::MAX, material: Material { rho, lam, mu } }] }
     }
 
     /// A stratified medium. Layers must be in increasing `bottom_k` order;

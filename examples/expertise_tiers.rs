@@ -65,9 +65,8 @@ fn run_tier(
     let platform = Platform::paper_node();
     let ctx = MulticlContext::with_options(&platform, ContextSchedPolicy::AutoFit, options(tag))
         .expect("context");
-    let program = ctx
-        .create_program(vec![Arc::new(Smooth) as Arc<dyn KernelBody>])
-        .expect("program");
+    let program =
+        ctx.create_program(vec![Arc::new(Smooth) as Arc<dyn KernelBody>]).expect("program");
     let kernel = program.create_kernel("smooth").expect("kernel");
     let buf = ctx.create_buffer_of::<f64>(N).expect("buffer");
     let queue = make(&ctx);

@@ -94,8 +94,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ctx.finish_all();
 
     println!("\nafter AUTO_FIT scheduling:");
-    println!("  compute-heavy queue  -> {} ({})", q1.device(), platform.node().spec(q1.device()).name);
-    println!("  pointer-chaser queue -> {} ({})", q2.device(), platform.node().spec(q2.device()).name);
+    println!(
+        "  compute-heavy queue  -> {} ({})",
+        q1.device(),
+        platform.node().spec(q1.device()).name
+    );
+    println!(
+        "  pointer-chaser queue -> {} ({})",
+        q2.device(),
+        platform.node().spec(q2.device()).name
+    );
     println!("\nvirtual time elapsed: {}", platform.now());
     let stats = ctx.stats();
     println!(

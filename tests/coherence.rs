@@ -1,4 +1,4 @@
-//! Stateful property test: buffer coherence under arbitrary command
+//! Stateful randomized test: buffer coherence under arbitrary command
 //! sequences.
 //!
 //! A random interleaving of writes, kernel launches, copies, and reads
@@ -6,10 +6,14 @@
 //! model (plain `Vec<f64>` per buffer). Whatever the residency tracker and
 //! migration machinery do internally, every read-back must match the
 //! shadow — i.e. the simulated memory system is coherent.
+//!
+//! Programs are generated from the seeded
+//! [`xrand::XorShift`](multicl_repro::xrand::XorShift) generator; each seed
+//! reproduces one exact program.
 
 use clrt::{ArgValue, Buffer, CommandQueue, KernelBody, KernelCtx, NdRange, Platform};
 use hwsim::{DeviceId, KernelCostSpec};
-use proptest::prelude::*;
+use multicl_repro::xrand::XorShift;
 use std::sync::Arc;
 
 const N: usize = 64;
@@ -52,15 +56,26 @@ enum Op {
     Rebind { q: usize, dev: usize },
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0..QUEUES, 0..BUFFERS, -10.0f64..10.0).prop_map(|(q, buf, value)| Op::Write { q, buf, value }),
-        (0..QUEUES, 0..BUFFERS, 0.5f64..2.0, -1.0f64..1.0)
-            .prop_map(|(q, buf, a, b)| Op::Kernel { q, buf, a, b }),
-        (0..QUEUES, 0..BUFFERS, 0..BUFFERS).prop_map(|(q, src, dst)| Op::Copy { q, src, dst }),
-        (0..QUEUES, 0..BUFFERS).prop_map(|(q, buf)| Op::Read { q, buf }),
-        (0..QUEUES, 0..3usize).prop_map(|(q, dev)| Op::Rebind { q, dev }),
-    ]
+fn random_op(rng: &mut XorShift) -> Op {
+    let q = rng.index(QUEUES);
+    match rng.index(5) {
+        0 => Op::Write { q, buf: rng.index(BUFFERS), value: rng.range_f64(-10.0, 10.0) },
+        1 => Op::Kernel {
+            q,
+            buf: rng.index(BUFFERS),
+            a: rng.range_f64(0.5, 2.0),
+            b: rng.range_f64(-1.0, 1.0),
+        },
+        2 => Op::Copy { q, src: rng.index(BUFFERS), dst: rng.index(BUFFERS) },
+        3 => Op::Read { q, buf: rng.index(BUFFERS) },
+        _ => Op::Rebind { q, dev: rng.index(3) },
+    }
+}
+
+fn random_program(seed: u64, max_ops: u64) -> Vec<Op> {
+    let mut rng = XorShift::new(seed);
+    let n = rng.range_u64(1, max_ops);
+    (0..n).map(|_| random_op(&mut rng)).collect()
 }
 
 struct Harness {
@@ -85,7 +100,7 @@ impl Harness {
         }
     }
 
-    fn apply(&mut self, op: &Op) -> Result<(), TestCaseError> {
+    fn apply(&mut self, op: &Op) {
         match *op {
             Op::Write { q, buf, value } => {
                 // Cross-queue hazards are the app's responsibility in
@@ -108,7 +123,7 @@ impl Harness {
             }
             Op::Copy { q, src, dst } => {
                 if src == dst {
-                    return Ok(());
+                    return;
                 }
                 self.sync();
                 self.queues[q].enqueue_copy(&self.buffers[src], &self.buffers[dst]).unwrap();
@@ -117,13 +132,12 @@ impl Harness {
             Op::Read { q, buf } => {
                 let mut out = vec![0.0f64; N];
                 self.queues[q].enqueue_read(&self.buffers[buf], &mut out).unwrap();
-                prop_assert_eq!(&out, &self.shadow[buf], "read-back diverged from shadow");
+                assert_eq!(&out, &self.shadow[buf], "read-back diverged from shadow");
             }
             Op::Rebind { q, dev } => {
                 self.queues[q].rebind(DeviceId(dev)).unwrap();
             }
         }
-        Ok(())
     }
 
     fn sync(&self) {
@@ -133,34 +147,36 @@ impl Harness {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn random_programs_stay_coherent(ops in proptest::collection::vec(op_strategy(), 1..40)) {
+#[test]
+fn random_programs_stay_coherent() {
+    for seed in 0..64u64 {
+        let ops = random_program(seed + 1, 40);
         let mut h = Harness::new();
         for op in &ops {
-            h.apply(op)?;
+            h.apply(op);
         }
         // Final read-back of everything through every queue.
         for q in 0..QUEUES {
             for buf in 0..BUFFERS {
-                h.apply(&Op::Read { q, buf })?;
+                h.apply(&Op::Read { q, buf });
             }
         }
     }
+}
 
-    /// Residency invariant: after any program, every buffer is valid
-    /// somewhere (host or at least one device).
-    #[test]
-    fn buffers_are_always_valid_somewhere(ops in proptest::collection::vec(op_strategy(), 1..30)) {
+/// Residency invariant: after any program, every buffer is valid somewhere
+/// (host or at least one device).
+#[test]
+fn buffers_are_always_valid_somewhere() {
+    for seed in 0..32u64 {
+        let ops = random_program(seed + 101, 30);
         let mut h = Harness::new();
         for op in &ops {
-            h.apply(op)?;
+            h.apply(op);
         }
         for buf in &h.buffers {
             let r = buf.residency();
-            prop_assert!(r.host || !r.devices.is_empty(), "buffer lost: {r:?}");
+            assert!(r.host || !r.devices.is_empty(), "buffer lost (seed {seed}): {r:?}");
         }
     }
 }

@@ -130,12 +130,8 @@ fn setup(tag: &str, pin_dev: DeviceId, halo_elems: usize, gpu_bias: bool) -> Hal
 /// codes synchronize between phases).
 fn run(h: &HaloSetup, iters: usize) {
     for _ in 0..iters {
-        h.q_pinned
-            .enqueue_ndrange(&h.k_pinned, NdRange::d1(h.n as u64, 64))
-            .unwrap();
-        h.q_auto
-            .enqueue_ndrange(&h.k_auto, NdRange::d1(h.n as u64, 64))
-            .unwrap();
+        h.q_pinned.enqueue_ndrange(&h.k_pinned, NdRange::d1(h.n as u64, 64)).unwrap();
+        h.q_auto.enqueue_ndrange(&h.k_auto, NdRange::d1(h.n as u64, 64)).unwrap();
         h.ctx.finish_all();
     }
 }
@@ -148,11 +144,7 @@ fn heavy_halo_traffic_pulls_queues_together() {
     let gpu = hwsim::NodeConfig::paper_node().gpus()[0];
     let h = setup("heavy", gpu, 1 << 19, false);
     run(&h, 4);
-    assert_eq!(
-        h.q_auto.device(),
-        gpu,
-        "co-location avoids per-epoch halo staging"
-    );
+    assert_eq!(h.q_auto.device(), gpu, "co-location avoids per-epoch halo staging");
 }
 
 #[test]

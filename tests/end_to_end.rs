@@ -139,7 +139,8 @@ fn per_device_launch_configurations_are_honored_by_the_scheduler() {
     // Table I: clSetKernelWorkGroupInfo decouples launch geometry from the
     // final device choice.
     for d in platform.node().device_ids() {
-        let local = if platform.node().spec(d).device_type == hwsim::DeviceType::Cpu { 16 } else { 128 };
+        let local =
+            if platform.node().spec(d).device_type == hwsim::DeviceType::Cpu { 16 } else { 128 };
         set_kernel_work_group_info(&k, d, NdRange::d1(1 << 14, local)).unwrap();
     }
     let b = ctx.create_buffer_of::<f64>(1 << 14).unwrap();
@@ -212,9 +213,8 @@ fn the_node_survives_many_queues_and_epochs() {
         MulticlContext::with_options(&platform, ContextSchedPolicy::AutoFit, options("stress"))
             .unwrap();
     let program = ctx.create_program(vec![Arc::new(Branchy) as Arc<dyn KernelBody>]).unwrap();
-    let queues: Vec<_> = (0..8)
-        .map(|_| ctx.create_queue(QueueSchedFlags::SCHED_AUTO_DYNAMIC).unwrap())
-        .collect();
+    let queues: Vec<_> =
+        (0..8).map(|_| ctx.create_queue(QueueSchedFlags::SCHED_AUTO_DYNAMIC).unwrap()).collect();
     let kernels: Vec<_> = (0..8)
         .map(|_| {
             let k = program.create_kernel("branchy").unwrap();
@@ -251,9 +251,8 @@ fn scheduler_handles_fissioned_subdevices_uniformly() {
         MulticlContext::with_options(&platform, ContextSchedPolicy::AutoFit, options("fission"))
             .unwrap();
     let program = ctx.create_program(vec![Arc::new(Branchy) as Arc<dyn KernelBody>]).unwrap();
-    let queues: Vec<_> = (0..2)
-        .map(|_| ctx.create_queue(QueueSchedFlags::SCHED_AUTO_DYNAMIC).unwrap())
-        .collect();
+    let queues: Vec<_> =
+        (0..2).map(|_| ctx.create_queue(QueueSchedFlags::SCHED_AUTO_DYNAMIC).unwrap()).collect();
     for q in &queues {
         let k = program.create_kernel("branchy").unwrap();
         let b = ctx.create_buffer_of::<f64>(1 << 14).unwrap();

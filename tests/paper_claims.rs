@@ -35,13 +35,8 @@ fn autofit_ties_the_exhaustive_optimum() {
     let devices: Vec<_> = hwsim::NodeConfig::paper_node().device_ids().collect();
     let auto = run("EP", Class::A, 2, &QueuePlan::Auto, "exh-auto");
     assert!(auto.verified);
-    let replay = run(
-        "EP",
-        Class::A,
-        2,
-        &QueuePlan::Manual(auto.final_devices.clone()),
-        "exh-replay",
-    );
+    let replay =
+        run("EP", Class::A, 2, &QueuePlan::Manual(auto.final_devices.clone()), "exh-replay");
     let mut best = f64::INFINITY;
     for a in multicl::mapper::enumerate_assignments(2, devices.len()) {
         let manual: Vec<_> = a.iter().map(|d| devices[d.index()]).collect();
@@ -88,13 +83,7 @@ fn minikernel_overhead_is_size_independent() {
     let mini_flags = F::SCHED_AUTO_DYNAMIC | F::SCHED_KERNEL_EPOCH | F::SCHED_COMPUTE_BOUND;
     let overhead = |class: Class, flags: F, tag: &str| -> f64 {
         let auto = run("EP", class, 2, &QueuePlan::AutoWith(flags), tag);
-        let ideal = run(
-            "EP",
-            class,
-            2,
-            &QueuePlan::Manual(auto.final_devices.clone()),
-            tag,
-        );
+        let ideal = run("EP", class, 2, &QueuePlan::Manual(auto.final_devices.clone()), tag);
         (auto.time.as_secs_f64() - ideal.time.as_secs_f64()).max(0.0)
     };
     let mini_small = overhead(Class::S, mini_flags, "mini-s");
@@ -148,8 +137,9 @@ fn seismology_steady_state_overhead_is_negligible() {
     let cfg = FdmConfig { layout: Layout::ColumnMajor, iterations: 6, ..FdmConfig::default() };
 
     let platform = clrt::Platform::paper_node();
-    let ctx = MulticlContext::with_options(&platform, ContextSchedPolicy::AutoFit, options("ss-auto"))
-        .unwrap();
+    let ctx =
+        MulticlContext::with_options(&platform, ContextSchedPolicy::AutoFit, options("ss-auto"))
+            .unwrap();
     let mut auto = FdmApp::new(&ctx, cfg.clone(), &FdmPlan::Auto).unwrap();
     auto.run().unwrap();
 
@@ -164,10 +154,7 @@ fn seismology_steady_state_overhead_is_negligible() {
     let auto_ss = auto.steady_iteration_time().as_secs_f64();
     let best_ss = best.steady_iteration_time().as_secs_f64();
     let overhead = (auto_ss - best_ss) / best_ss * 100.0;
-    assert!(
-        overhead.abs() < 2.0,
-        "steady-state overhead should be negligible: {overhead:.2}%"
-    );
+    assert!(overhead.abs() < 2.0, "steady-state overhead should be negligible: {overhead:.2}%");
     // And the first iteration carried the one-time cost.
     let t = auto.iteration_times();
     assert!(t[0].total() > t[1].total());

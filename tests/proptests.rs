@@ -1,61 +1,69 @@
-//! Property-based tests on the core invariants of every layer.
+//! Randomized property tests on the core invariants of every layer.
+//!
+//! Inputs are generated from the workspace's own seeded
+//! [`xrand::XorShift`](multicl_repro::xrand::XorShift) generator (the build
+//! is offline, so no property-testing framework): each property runs over a
+//! fixed range of seeds and failures reproduce exactly.
 
 use hwsim::engine::{CommandDesc, CommandKind, Engine};
 use hwsim::microbench::BandwidthCurve;
 use hwsim::{DeviceId, KernelCostSpec, KernelTraits, NodeConfig, SimDuration};
 use multicl::mapper;
-use proptest::prelude::*;
+use multicl_repro::xrand::XorShift;
 
-fn duration_strategy() -> impl Strategy<Value = SimDuration> {
-    (1u64..10_000_000).prop_map(SimDuration::from_nanos)
+fn duration(rng: &mut XorShift) -> SimDuration {
+    SimDuration::from_nanos(rng.range_u64(1, 10_000_000))
 }
 
-proptest! {
-    /// The exact mapper is never worse than any enumerated assignment and
-    /// reports the true makespan of its own assignment.
-    #[test]
-    fn mapper_optimal_beats_every_enumerated_assignment(
-        costs in proptest::collection::vec(
-            proptest::collection::vec(duration_strategy(), 3),
-            1..6,
-        )
-    ) {
-        let queues = costs.len();
+fn cost_matrix(rng: &mut XorShift, queues: usize, devices: usize) -> Vec<Vec<SimDuration>> {
+    (0..queues).map(|_| (0..devices).map(|_| duration(rng)).collect()).collect()
+}
+
+/// The exact mapper is never worse than any enumerated assignment and
+/// reports the true makespan of its own assignment.
+#[test]
+fn mapper_optimal_beats_every_enumerated_assignment() {
+    for seed in 0..60u64 {
+        let mut rng = XorShift::new(seed + 1);
+        let queues = rng.range_u64(1, 6) as usize;
+        let costs = cost_matrix(&mut rng, queues, 3);
         let m = mapper::optimal(&costs);
-        prop_assert_eq!(m.assignment.len(), queues);
-        prop_assert_eq!(mapper::makespan(&costs, &m.assignment, 3), m.makespan);
+        assert_eq!(m.assignment.len(), queues);
+        assert_eq!(mapper::makespan(&costs, &m.assignment, 3), m.makespan);
         for a in mapper::enumerate_assignments(queues, 3) {
-            prop_assert!(m.makespan <= mapper::makespan(&costs, &a, 3));
+            assert!(m.makespan <= mapper::makespan(&costs, &a, 3), "seed {seed}");
         }
     }
+}
 
-    /// Greedy is valid (same cost accounting) and never beats optimal.
-    #[test]
-    fn mapper_greedy_is_valid_and_dominated(
-        costs in proptest::collection::vec(
-            proptest::collection::vec(duration_strategy(), 4),
-            1..8,
-        )
-    ) {
+/// Greedy is valid (same cost accounting) and never beats optimal.
+#[test]
+fn mapper_greedy_is_valid_and_dominated() {
+    for seed in 0..60u64 {
+        let mut rng = XorShift::new(seed + 1);
+        let queues = rng.range_u64(1, 8) as usize;
+        let costs = cost_matrix(&mut rng, queues, 4);
         let g = mapper::greedy(&costs);
-        prop_assert_eq!(mapper::makespan(&costs, &g.assignment, 4), g.makespan);
+        assert_eq!(mapper::makespan(&costs, &g.assignment, 4), g.makespan);
         let o = mapper::optimal(&costs);
-        prop_assert!(g.makespan >= o.makespan);
+        assert!(g.makespan >= o.makespan, "seed {seed}");
     }
+}
 
-    /// Engine events never run backwards: start ≥ queued, end ≥ start, and
-    /// commands on one device never overlap.
-    #[test]
-    fn engine_timeline_is_monotonic_and_non_overlapping(
-        cmds in proptest::collection::vec((0usize..3, 1u64..1000), 1..60)
-    ) {
+/// Engine events never run backwards: start ≥ queued, end ≥ start, and
+/// commands on one device never overlap.
+#[test]
+fn engine_timeline_is_monotonic_and_non_overlapping() {
+    for seed in 0..40u64 {
+        let mut rng = XorShift::new(seed + 1);
+        let n = rng.range_u64(1, 60) as usize;
         let mut e = Engine::new(3);
         let mut events = Vec::new();
-        for (dev, us) in cmds {
+        for _ in 0..n {
             let ev = e.submit(CommandDesc {
-                device: DeviceId(dev),
+                device: DeviceId(rng.index(3)),
                 kind: CommandKind::Marker,
-                duration: SimDuration::from_micros(us),
+                duration: SimDuration::from_micros(rng.range_u64(1, 1000)),
                 waits: events.last().copied().into_iter().collect(),
                 queue: 0,
             });
@@ -65,118 +73,129 @@ proptest! {
         let mut prev_end = hwsim::SimTime::ZERO;
         for (i, ev) in events.iter().enumerate() {
             let s = e.stamp(*ev);
-            prop_assert!(s.start >= s.queued);
-            prop_assert!(s.end >= s.start);
+            assert!(s.start >= s.queued);
+            assert!(s.end >= s.start);
             // Chained waits: each command starts after its predecessor.
-            prop_assert!(s.start >= prev_end);
+            assert!(s.start >= prev_end);
             prev_end = s.end;
             let d = e.trace().records[i].device.index();
-            prop_assert!(s.start >= last_end[d], "overlap on device {d}");
+            assert!(s.start >= last_end[d], "overlap on device {d} (seed {seed})");
             last_end[d] = s.end;
         }
     }
+}
 
-    /// Kernel cost model: time scales monotonically with work, and the
-    /// minikernel never costs more than the full kernel.
-    #[test]
-    fn cost_model_is_monotonic_and_minikernel_is_cheaper(
-        flops in 1.0f64..10_000.0,
-        bytes in 1.0f64..10_000.0,
-        coal in 0.0f64..1.0,
-        div in 0.0f64..1.0,
-        vec in 0.0f64..1.0,
-        log_items in 8u32..22,
-    ) {
-        let node = NodeConfig::paper_node();
+/// Kernel cost model: time scales monotonically with work, and the
+/// minikernel never costs more than the full kernel.
+#[test]
+fn cost_model_is_monotonic_and_minikernel_is_cheaper() {
+    let node = NodeConfig::paper_node();
+    for seed in 0..100u64 {
+        let mut rng = XorShift::new(seed + 1);
         let spec = KernelCostSpec {
-            flops_per_item: flops,
-            bytes_per_item: bytes,
+            flops_per_item: rng.range_f64(1.0, 10_000.0),
+            bytes_per_item: rng.range_f64(1.0, 10_000.0),
             traits: KernelTraits {
-                coalescing: coal,
-                branch_divergence: div,
-                vector_friendliness: vec,
+                coalescing: rng.f64(),
+                branch_divergence: rng.f64(),
+                vector_friendliness: rng.f64(),
                 double_precision: true,
             },
         };
+        let log_items = rng.range_u64(8, 22) as u32;
         let small = hwsim::NdRangeShape::new(1 << log_items, 64);
         let large = hwsim::NdRangeShape::new(1 << (log_items + 1), 64);
         for d in node.device_ids() {
             let dev = node.spec(d);
             let t_small = spec.kernel_time(dev, small);
             let t_large = spec.kernel_time(dev, large);
-            prop_assert!(t_large >= t_small, "{d}: more work must not be faster");
+            assert!(t_large >= t_small, "{d}: more work must not be faster (seed {seed})");
             let mini = spec.minikernel_time(dev, large);
-            prop_assert!(mini <= t_large, "{d}: minikernel must not exceed full");
+            assert!(mini <= t_large, "{d}: minikernel must not exceed full (seed {seed})");
         }
     }
+}
 
-    /// Bandwidth-curve interpolation stays within the measured envelope.
-    #[test]
-    fn interpolation_is_bounded_by_measurements(
-        gbs in proptest::collection::vec(0.1f64..50.0, 4..10),
-        query in 1u64..(1 << 30),
-    ) {
+/// Bandwidth-curve interpolation stays within the measured envelope.
+#[test]
+fn interpolation_is_bounded_by_measurements() {
+    for seed in 0..100u64 {
+        let mut rng = XorShift::new(seed + 1);
+        let n = rng.range_u64(4, 10) as usize;
+        let gbs: Vec<f64> = (0..n).map(|_| rng.range_f64(0.1, 50.0)).collect();
+        let query = rng.range_u64(1, 1 << 30);
         let sizes: Vec<u64> = (0..gbs.len()).map(|i| 1u64 << (10 + 2 * i)).collect();
         let curve = BandwidthCurve { sizes, gbs: gbs.clone() };
         let v = curve.interpolate_gbs(query);
         let lo = gbs.iter().cloned().fold(f64::INFINITY, f64::min);
         let hi = gbs.iter().cloned().fold(0.0, f64::max);
-        prop_assert!(v >= lo - 1e-12 && v <= hi + 1e-12, "{v} outside [{lo}, {hi}]");
+        assert!(v >= lo - 1e-12 && v <= hi + 1e-12, "{v} outside [{lo}, {hi}] (seed {seed})");
     }
+}
 
-    /// Transfer times scale monotonically with payload size for every
-    /// device pair.
-    #[test]
-    fn transfer_times_are_monotonic_in_size(bytes in 1u64..(1 << 28)) {
-        let node = NodeConfig::paper_node();
+/// Transfer times scale monotonically with payload size for every device
+/// pair.
+#[test]
+fn transfer_times_are_monotonic_in_size() {
+    let node = NodeConfig::paper_node();
+    for seed in 0..100u64 {
+        let mut rng = XorShift::new(seed + 1);
+        let bytes = rng.range_u64(1, 1 << 28);
         for src in node.device_ids() {
             for dst in node.device_ids() {
                 let t1 = node.topology.device_transfer_time(src, dst, bytes, &node.devices);
                 let t2 = node.topology.device_transfer_time(src, dst, bytes * 2, &node.devices);
-                prop_assert!(t2 >= t1);
+                assert!(t2 >= t1, "seed {seed}");
             }
         }
     }
+}
 
-    /// NdRange flattening preserves item/workgroup accounting.
-    #[test]
-    fn ndrange_flattening_is_consistent(
-        gx in 1u64..64, gy in 1u64..64, gz in 1u64..8,
-        lx in 1u64..16, ly in 1u64..16,
-    ) {
+/// NdRange flattening preserves item/workgroup accounting.
+#[test]
+fn ndrange_flattening_is_consistent() {
+    for seed in 0..200u64 {
+        let mut rng = XorShift::new(seed + 1);
+        let (gx, gy, gz) = (rng.range_u64(1, 64), rng.range_u64(1, 64), rng.range_u64(1, 8));
+        let (lx, ly) = (rng.range_u64(1, 16), rng.range_u64(1, 16));
         let nd = clrt::NdRange::d3([gx, gy, gz], [lx, ly, 1]);
         let shape = nd.shape();
-        prop_assert_eq!(shape.local_items, lx * ly);
-        prop_assert_eq!(shape.workgroups(), nd.workgroups());
-        prop_assert_eq!(
-            nd.workgroups(),
-            gx.div_ceil(lx) * gy.div_ceil(ly) * gz
-        );
+        assert_eq!(shape.local_items, lx * ly);
+        assert_eq!(shape.workgroups(), nd.workgroups());
+        assert_eq!(nd.workgroups(), gx.div_ceil(lx) * gy.div_ceil(ly) * gz);
     }
+}
 
-    /// The NPB generator's skip-ahead equals sequential stepping from any
-    /// starting state.
-    #[test]
-    fn randdp_skip_equals_stepping(seed in 1u64..(1 << 40), n in 0u64..5000) {
-        let mut a = npb::randdp::RanDp::new(seed | 1);
-        let mut b = npb::randdp::RanDp::new(seed | 1);
+/// The NPB generator's skip-ahead equals sequential stepping from any
+/// starting state.
+#[test]
+fn randdp_skip_equals_stepping() {
+    for seed in 0..30u64 {
+        let mut rng = XorShift::new(seed + 1);
+        let start = rng.range_u64(1, 1 << 40) | 1;
+        let n = rng.range_u64(0, 5000);
+        let mut a = npb::randdp::RanDp::new(start);
+        let mut b = npb::randdp::RanDp::new(start);
         for _ in 0..n {
             a.next_f64();
         }
         b.skip(n);
-        prop_assert_eq!(a.state(), b.state());
+        assert_eq!(a.state(), b.state(), "seed {seed}");
     }
+}
 
-    /// The scalar tridiagonal solver leaves a tiny residual on any
-    /// diagonally dominant system.
-    #[test]
-    fn thomas_solver_residual_is_small(
-        n in 3usize..40,
-        seed in 0u64..1_000_000,
-    ) {
-        let mut rng = npb::randdp::RanDp::new(seed | 1);
-        let a0: Vec<f64> = (0..n).map(|i| if i == 0 { 0.0 } else { rng.next_f64() - 0.5 }).collect();
-        let c0: Vec<f64> = (0..n).map(|i| if i + 1 == n { 0.0 } else { rng.next_f64() - 0.5 }).collect();
+/// The scalar tridiagonal solver leaves a tiny residual on any diagonally
+/// dominant system.
+#[test]
+fn thomas_solver_residual_is_small() {
+    for seed in 0..60u64 {
+        let mut outer = XorShift::new(seed + 1);
+        let n = outer.range_u64(3, 40) as usize;
+        let mut rng = npb::randdp::RanDp::new(outer.next_u64() | 1);
+        let a0: Vec<f64> =
+            (0..n).map(|i| if i == 0 { 0.0 } else { rng.next_f64() - 0.5 }).collect();
+        let c0: Vec<f64> =
+            (0..n).map(|i| if i + 1 == n { 0.0 } else { rng.next_f64() - 0.5 }).collect();
         let b0: Vec<f64> = (0..n).map(|i| 2.0 + a0[i].abs() + c0[i].abs()).collect();
         let d0: Vec<f64> = (0..n).map(|_| rng.next_f64() * 2.0 - 1.0).collect();
         let (mut b, mut c, mut d) = (b0.clone(), c0.clone(), d0.clone());
@@ -189,18 +208,18 @@ proptest! {
             if i + 1 < n {
                 acc += c0[i] * d[i + 1];
             }
-            prop_assert!((acc - d0[i]).abs() < 1e-8, "row {i}: {acc} vs {}", d0[i]);
+            assert!((acc - d0[i]).abs() < 1e-8, "row {i}: {acc} vs {} (seed {seed})", d0[i]);
         }
     }
+}
 
-    /// FFT round-trips arbitrary signals (power-of-two lengths).
-    #[test]
-    fn fft_roundtrip_is_identity(
-        log_n in 2u32..9,
-        seed in 0u64..1_000_000,
-    ) {
-        let n = 1usize << log_n;
-        let mut rng = npb::randdp::RanDp::new(seed | 1);
+/// FFT round-trips arbitrary signals (power-of-two lengths).
+#[test]
+fn fft_roundtrip_is_identity() {
+    for seed in 0..40u64 {
+        let mut outer = XorShift::new(seed + 1);
+        let n = 1usize << outer.range_u64(2, 9);
+        let mut rng = npb::randdp::RanDp::new(outer.next_u64() | 1);
         let mut data: Vec<f64> = (0..2 * n).map(|_| rng.next_f64() * 2.0 - 1.0).collect();
         let orig = data.clone();
         npb::math::fft_radix2(&mut data, -1.0);
@@ -209,36 +228,40 @@ proptest! {
             *v /= n as f64;
         }
         for (x, y) in data.iter().zip(&orig) {
-            prop_assert!((x - y).abs() < 1e-9);
+            assert!((x - y).abs() < 1e-9, "seed {seed}");
         }
     }
+}
 
-    /// Queue scheduling flag bitfield: insert/remove/contains behave like a
-    /// set for any combination.
-    #[test]
-    fn flags_behave_like_a_set(bits in proptest::collection::vec(0usize..9, 0..9)) {
-        use multicl::QueueSchedFlags as F;
-        const ALL: [F; 9] = [
-            F::SCHED_OFF,
-            F::SCHED_AUTO_STATIC,
-            F::SCHED_AUTO_DYNAMIC,
-            F::SCHED_KERNEL_EPOCH,
-            F::SCHED_EXPLICIT_REGION,
-            F::SCHED_ITERATIVE,
-            F::SCHED_COMPUTE_BOUND,
-            F::SCHED_IO_BOUND,
-            F::SCHED_MEM_BOUND,
-        ];
+/// Queue scheduling flag bitfield: insert/remove/contains behave like a set
+/// for any combination.
+#[test]
+fn flags_behave_like_a_set() {
+    use multicl::QueueSchedFlags as F;
+    const ALL: [F; 9] = [
+        F::SCHED_OFF,
+        F::SCHED_AUTO_STATIC,
+        F::SCHED_AUTO_DYNAMIC,
+        F::SCHED_KERNEL_EPOCH,
+        F::SCHED_EXPLICIT_REGION,
+        F::SCHED_ITERATIVE,
+        F::SCHED_COMPUTE_BOUND,
+        F::SCHED_IO_BOUND,
+        F::SCHED_MEM_BOUND,
+    ];
+    for seed in 0..200u64 {
+        let mut rng = XorShift::new(seed + 1);
+        let bits: Vec<usize> = (0..rng.index(9)).map(|_| rng.index(9)).collect();
         let mut f = F::NONE;
         for &b in &bits {
             f.insert(ALL[b]);
         }
         for &b in &bits {
-            prop_assert!(f.contains(ALL[b]));
+            assert!(f.contains(ALL[b]), "seed {seed}");
         }
         for &b in &bits {
             f.remove(ALL[b]);
         }
-        prop_assert!(f.is_empty());
+        assert!(f.is_empty(), "seed {seed}");
     }
 }
