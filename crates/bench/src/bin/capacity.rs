@@ -1,0 +1,33 @@
+//! Service capacity-curve experiment: sweep offered load over the
+//! `served` front-end under AUTO_FIT / ROUND_ROBIN / SCHED_OFF backends
+//! and report achieved throughput, p95 latency, and rejections per point.
+//!
+//! Writes `results/capacity_curve.csv`.
+//!
+//! Usage: `cargo run --release -p multicl-bench --bin capacity [SEED] [JOBS]`
+
+use multicl_bench::experiments::capacity;
+use multicl_bench::{print_table, write_report};
+use served::ServePolicy;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let seed: u64 = args.first().and_then(|s| s.parse().ok()).unwrap_or(42);
+    let jobs: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(64);
+
+    let points = capacity::run(seed, jobs, &capacity::default_rates());
+    let table = capacity::table(&points);
+    print_table(&table);
+
+    let auto = capacity::plateau(&points, ServePolicy::AutoFit);
+    let rr = capacity::plateau(&points, ServePolicy::RoundRobin);
+    let off = capacity::plateau(&points, ServePolicy::Off);
+    println!(
+        "saturation plateau: AUTO_FIT {auto:.0} jobs/s, ROUND_ROBIN {rr:.0} jobs/s, \
+         SCHED_OFF {off:.0} jobs/s"
+    );
+
+    if let Some(path) = write_report("capacity_curve.csv", &table.to_csv()) {
+        println!("wrote {}", path.display());
+    }
+}

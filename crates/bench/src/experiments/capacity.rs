@@ -1,0 +1,159 @@
+//! Service capacity curve: offered load vs achieved throughput and tail
+//! latency for the `served` front-end, under `AUTO_FIT`, `ROUND_ROBIN`,
+//! and `SCHED_OFF` backends.
+//!
+//! The workload is the load generator's heterogeneous template mix
+//! (CPU-leaning, GPU-leaning, and mixed jobs) from four tenants in open
+//! loop. Below saturation every policy keeps up and the curves coincide;
+//! past saturation throughput plateaus at the backend's capacity — and the
+//! plateau height is exactly what the scheduler buys: `AUTO_FIT` places
+//! each epoch's job mix by measured device affinity, so its plateau sits
+//! at or above the static policies'.
+
+use crate::harness::Table;
+use hwsim::stats;
+use served::loadgen::{self, LoadgenConfig};
+use served::ServePolicy;
+use std::path::PathBuf;
+
+/// One (policy, offered-rate) measurement.
+#[derive(Debug, Clone)]
+pub struct CapacityPoint {
+    /// Backend policy.
+    pub policy: ServePolicy,
+    /// Offered arrival rate (virtual jobs/s).
+    pub offered_hz: f64,
+    /// Achieved completion rate (virtual jobs/s, measured from the end of
+    /// service start-up to drain).
+    pub achieved_hz: f64,
+    /// Aggregate p95 job latency across tenants (virtual ms).
+    pub p95_ms: f64,
+    /// Jobs bounced by admission control.
+    pub rejected: u64,
+}
+
+/// The shared per-process profile-cache directory (same idea as
+/// [`crate::harness::fresh_context`]: measure the device profile once).
+fn cache_dir() -> PathBuf {
+    std::env::temp_dir().join(format!("multicl-bench-serve-cache-{}", std::process::id()))
+}
+
+/// Run one point of the sweep.
+pub fn run_point(policy: ServePolicy, offered_hz: f64, seed: u64, jobs: usize) -> CapacityPoint {
+    let cfg = LoadgenConfig {
+        seed,
+        policy,
+        rate_hz: offered_hz,
+        jobs,
+        tenants: 4,
+        workers: 4,
+        queue_capacity: 8,
+        ..LoadgenConfig::default()
+    };
+    let (served, _) = loadgen::run(&cfg, &cache_dir()).expect("load run");
+    let elapsed_s = served.now().saturating_since(served.serving_since()).as_secs_f64().max(1e-12);
+    let mut completed = 0u64;
+    let mut rejected = 0u64;
+    let mut latencies = Vec::new();
+    for i in 0..served.tenant_count() {
+        completed += served.metrics().tenant(i).completed.get();
+        rejected += served.metrics().tenant(i).rejected.get();
+        latencies.extend(served.metrics().latencies_ms(i));
+    }
+    CapacityPoint {
+        policy,
+        offered_hz,
+        achieved_hz: completed as f64 / elapsed_s,
+        p95_ms: stats::percentile(&latencies, 95.0),
+        rejected,
+    }
+}
+
+/// Sweep the offered-load grid for every policy.
+pub fn run(seed: u64, jobs: usize, rates: &[f64]) -> Vec<CapacityPoint> {
+    let mut points = Vec::new();
+    for policy in [ServePolicy::AutoFit, ServePolicy::RoundRobin, ServePolicy::Off] {
+        for &rate in rates {
+            points.push(run_point(policy, rate, seed, jobs));
+        }
+    }
+    points
+}
+
+/// The default offered-load grid (virtual jobs/s): from comfortably under
+/// capacity to several times over it.
+pub fn default_rates() -> Vec<f64> {
+    vec![1_000.0, 4_000.0, 16_000.0, 64_000.0, 256_000.0]
+}
+
+/// Achieved throughput of `policy` at the highest offered rate (the
+/// saturation plateau).
+pub fn plateau(points: &[CapacityPoint], policy: ServePolicy) -> f64 {
+    points
+        .iter()
+        .filter(|p| p.policy == policy)
+        .map(|p| (p.offered_hz, p.achieved_hz))
+        .fold((0.0, 0.0), |acc, p| if p.0 > acc.0 { p } else { acc })
+        .1
+}
+
+/// Render the sweep as a table (one row per offered rate, one column group
+/// per policy).
+pub fn table(points: &[CapacityPoint]) -> Table {
+    let mut t = Table::new(
+        "Service capacity: offered vs achieved throughput (jobs/s) and p95 latency (ms)",
+        &[
+            "offered",
+            "AUTO_FIT ach.",
+            "AUTO_FIT p95",
+            "AUTO_FIT rej.",
+            "RR ach.",
+            "RR p95",
+            "RR rej.",
+            "OFF ach.",
+            "OFF p95",
+            "OFF rej.",
+        ],
+    );
+    let mut rates: Vec<f64> = points.iter().map(|p| p.offered_hz).collect();
+    rates.sort_by(|a, b| a.partial_cmp(b).expect("rates are finite"));
+    rates.dedup();
+    for rate in rates {
+        let mut row = vec![format!("{rate:.0}")];
+        for policy in [ServePolicy::AutoFit, ServePolicy::RoundRobin, ServePolicy::Off] {
+            let p = points
+                .iter()
+                .find(|p| p.policy == policy && p.offered_hz == rate)
+                .expect("full grid");
+            row.push(format!("{:.0}", p.achieved_hz));
+            row.push(format!("{:.3}", p.p95_ms));
+            row.push(format!("{}", p.rejected));
+        }
+        t.row(row);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn autofit_plateau_is_at_least_round_robin() {
+        let points = run(42, 64, &[16_000.0, 256_000.0]);
+        let auto = plateau(&points, ServePolicy::AutoFit);
+        let rr = plateau(&points, ServePolicy::RoundRobin);
+        assert!(auto > 0.0 && rr > 0.0);
+        assert!(
+            auto >= rr * 0.999,
+            "AUTO_FIT plateau ({auto:.0} jobs/s) below ROUND_ROBIN ({rr:.0} jobs/s)"
+        );
+    }
+
+    #[test]
+    fn under_light_load_nobody_is_rejected() {
+        let p = run_point(ServePolicy::AutoFit, 200.0, 7, 16);
+        assert_eq!(p.rejected, 0);
+        assert!(p.achieved_hz > 0.0);
+    }
+}

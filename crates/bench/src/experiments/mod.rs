@@ -1,6 +1,7 @@
 //! One module per table/figure of the paper's evaluation section.
 
 pub mod ablation;
+pub mod capacity;
 pub mod common;
 pub mod fig10;
 pub mod fig3;

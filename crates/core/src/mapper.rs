@@ -246,4 +246,53 @@ mod tests {
         let ms_val = makespan(&costs, &[DeviceId(1), DeviceId(1)], 2);
         assert_eq!(ms_val, ms(2));
     }
+
+    #[test]
+    fn zero_queues_are_consistent_across_strategies() {
+        assert_eq!(optimal(&vec![]), greedy(&vec![]));
+        assert_eq!(round_robin(0, 3, 1), Vec::<DeviceId>::new());
+        assert_eq!(enumerate_assignments(0, 3), vec![Vec::<DeviceId>::new()]);
+        assert_eq!(makespan(&vec![], &[], 3), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn one_device_stacks_everything_on_it() {
+        let costs: CostMatrix = vec![vec![ms(3)], vec![ms(5)], vec![ms(2)]];
+        let m = optimal(&costs);
+        assert_eq!(m.assignment, vec![DeviceId(0); 3]);
+        // With a single column the makespan is simply the sum.
+        assert_eq!(m.makespan, ms(10));
+        let g = greedy(&costs);
+        assert_eq!(g.assignment, m.assignment);
+        assert_eq!(g.makespan, m.makespan);
+    }
+
+    #[test]
+    fn equal_cost_ties_resolve_deterministically_and_optimally() {
+        // Every queue costs the same everywhere: many assignments tie on
+        // makespan. The search must (a) still achieve the optimal makespan,
+        // (b) return the same assignment on every run (no iteration-order
+        // nondeterminism), and (c) spread the queues (stacking would double
+        // the makespan).
+        let costs: CostMatrix = vec![vec![ms(4), ms(4)], vec![ms(4), ms(4)]];
+        let first = optimal(&costs);
+        let brute =
+            enumerate_assignments(2, 2).into_iter().map(|a| makespan(&costs, &a, 2)).min().unwrap();
+        assert_eq!(first.makespan, brute);
+        assert_eq!(first.makespan, ms(4));
+        assert_ne!(first.assignment[0], first.assignment[1]);
+        for _ in 0..10 {
+            assert_eq!(optimal(&costs), first);
+        }
+        // A larger symmetric tie: 3 queues × 3 identical devices.
+        let costs: CostMatrix = vec![vec![ms(6); 3], vec![ms(6); 3], vec![ms(6); 3]];
+        let m = optimal(&costs);
+        assert_eq!(m.makespan, ms(6));
+        let used: std::collections::HashSet<usize> =
+            m.assignment.iter().map(|d| d.index()).collect();
+        assert_eq!(used.len(), 3, "ties must still spread queues: {:?}", m.assignment);
+        for _ in 0..10 {
+            assert_eq!(optimal(&costs), m);
+        }
+    }
 }

@@ -22,6 +22,7 @@
 //!
 //! Set the `MULTICL_DEBUG` environment variable to print each scheduling
 //! decision (per-queue cost vectors and the chosen assignment) to stderr.
+//! Values `0`, `false`, `off`, and the empty string leave it disabled.
 
 use crate::flags::{ContextSchedPolicy, QueueSchedFlags};
 use crate::mapper;
@@ -195,6 +196,25 @@ struct RtInner {
     /// Scheduling epochs completed (the `epoch` field of every event).
     sched_epoch: AtomicU64,
     observers: Mutex<Vec<Arc<dyn SchedObserver>>>,
+    /// Serializes scheduling passes. Queues can be driven from multiple
+    /// submitter threads (the serving layer does this); a pass reads the
+    /// whole pool, computes an assignment, and rebinds+flushes — interleaving
+    /// two passes could double-flush a queue or rebind it mid-flush.
+    pass_lock: Mutex<()>,
+}
+
+/// Interpret a debug-style environment variable value: unset, empty (after
+/// trimming), `0`, `false`, and `off` (case-insensitive) mean *disabled*;
+/// any other value enables the flag. `MULTICL_DEBUG=0` must not turn debug
+/// tracing on.
+fn env_flag_enabled(value: Option<&std::ffi::OsStr>) -> bool {
+    let Some(value) = value else { return false };
+    let value = value.to_string_lossy();
+    let value = value.trim();
+    !(value.is_empty()
+        || value == "0"
+        || value.eq_ignore_ascii_case("false")
+        || value.eq_ignore_ascii_case("off"))
 }
 
 /// A scheduling-aware OpenCL context: `clCreateContext` with the proposed
@@ -221,7 +241,7 @@ impl MulticlContext {
         let cl = platform.create_context_all()?;
         let device_profile = options.profile_cache.load_or_measure(platform);
         let mut observers = options.observers.clone();
-        if std::env::var_os("MULTICL_DEBUG").is_some() {
+        if env_flag_enabled(std::env::var_os("MULTICL_DEBUG").as_deref()) {
             observers.push(Arc::new(StderrSink));
         }
         Ok(MulticlContext {
@@ -240,6 +260,7 @@ impl MulticlContext {
                 stats: Mutex::new(SchedStats::default()),
                 sched_epoch: AtomicU64::new(0),
                 observers: Mutex::new(observers),
+                pass_lock: Mutex::new(()),
             }),
         })
     }
@@ -274,6 +295,20 @@ impl MulticlContext {
     /// Snapshot of the scheduler counters.
     pub fn stats(&self) -> SchedStats {
         self.rt.stats.lock().clone()
+    }
+
+    /// Scheduling epochs completed so far (0 before the first pass) — the
+    /// `epoch` value layered subsystems stamp onto the events they emit.
+    pub fn current_epoch(&self) -> u64 {
+        self.rt.sched_epoch.load(Ordering::Relaxed)
+    }
+
+    /// Broadcast an event to every observer attached to this context. Lets
+    /// layers built on top of the scheduler (e.g. the `served` job service)
+    /// interleave their lifecycle events with the scheduler's own stream,
+    /// so one JSONL sink captures both.
+    pub fn emit_event(&self, event: &SchedEvent) {
+        self.rt.emit(event);
     }
 
     /// The cached per-device profile of a kernel (estimated full execution
@@ -388,6 +423,10 @@ impl RtInner {
 
     /// The scheduler proper: runs at every synchronization trigger.
     fn schedule_and_flush(&self) {
+        // One pass at a time: concurrent submitters (e.g. the serving
+        // layer's front-end threads) may all hit a trigger; the second one
+        // waits and then finds the pool already drained, which is correct.
+        let _pass = self.pass_lock.lock();
         let queues = self.alive_queues();
         let mut pool: Vec<Arc<QueueState>> = Vec::new();
         let mut passthrough: Vec<Arc<QueueState>> = Vec::new();
@@ -896,6 +935,15 @@ impl SchedQueue {
         self.state.cl.device()
     }
 
+    /// The id recorded in the `queue` field of engine [`hwsim::TraceRecord`]s
+    /// produced by this queue's commands — lets callers attribute trace
+    /// records (and thus completion times) back to the queue that issued
+    /// them. Distinct from [`Self::id`], which is the telemetry-facing
+    /// context-creation-order id.
+    pub fn trace_id(&self) -> usize {
+        self.state.cl.trace_id()
+    }
+
     /// `clSetCommandQueueSchedProperty` (§IV-B): start (`true`) or stop
     /// (`false`) the explicit scheduling region. Stopping triggers a
     /// scheduling pass so the region's pending work is mapped before the
@@ -974,5 +1022,35 @@ impl SchedQueue {
 impl std::fmt::Debug for SchedQueue {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "SchedQueue(flags={}, device={})", self.state.flags, self.device())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::env_flag_enabled;
+    use std::ffi::OsStr;
+
+    #[test]
+    fn debug_env_flag_off_values_stay_off() {
+        for off in [
+            None,
+            Some(""),
+            Some("0"),
+            Some("false"),
+            Some("FALSE"),
+            Some("off"),
+            Some("Off"),
+            Some("  "),
+            Some(" 0 "),
+        ] {
+            assert!(!env_flag_enabled(off.map(OsStr::new)), "{off:?} should disable");
+        }
+    }
+
+    #[test]
+    fn debug_env_flag_on_values_enable() {
+        for on in ["1", "true", "yes", "verbose", "2"] {
+            assert!(env_flag_enabled(Some(OsStr::new(on))), "{on:?} should enable");
+        }
     }
 }

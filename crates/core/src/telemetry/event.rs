@@ -124,6 +124,69 @@ pub enum SchedEvent {
         /// Kernel launches flushed to devices this pass.
         kernels_issued: u64,
     },
+    /// A tenant submitted a job to the serving layer.
+    JobSubmitted {
+        /// Scheduling epoch current at submission (0 before the first pass).
+        epoch: u64,
+        /// Tenant name.
+        tenant: String,
+        /// Service-wide job id.
+        job: u64,
+        /// Virtual submission time.
+        at: SimTime,
+    },
+    /// Admission control accepted a submitted job into its tenant queue.
+    JobAdmitted {
+        /// Scheduling epoch current at admission.
+        epoch: u64,
+        /// Tenant name.
+        tenant: String,
+        /// Service-wide job id.
+        job: u64,
+        /// Tenant queue depth after admission.
+        depth: usize,
+        /// Virtual admission time.
+        at: SimTime,
+    },
+    /// Admission control rejected a submitted job (backpressure).
+    JobRejected {
+        /// Scheduling epoch current at rejection.
+        epoch: u64,
+        /// Tenant name.
+        tenant: String,
+        /// Service-wide job id.
+        job: u64,
+        /// Human-readable rejection reason (e.g. `queue_full`).
+        reason: String,
+        /// Virtual rejection time.
+        at: SimTime,
+    },
+    /// The dispatcher drained an admitted job onto a scheduler queue.
+    JobDispatched {
+        /// Scheduling epoch current at dispatch.
+        epoch: u64,
+        /// Tenant name.
+        tenant: String,
+        /// Service-wide job id.
+        job: u64,
+        /// Stable id of the `SchedQueue` the job was placed on.
+        queue: usize,
+        /// Virtual dispatch time.
+        at: SimTime,
+    },
+    /// All commands of a dispatched job finished on the devices.
+    JobCompleted {
+        /// Scheduling epoch current at completion.
+        epoch: u64,
+        /// Tenant name.
+        tenant: String,
+        /// Service-wide job id.
+        job: u64,
+        /// Submission-to-completion virtual latency.
+        latency: SimDuration,
+        /// Virtual completion time.
+        at: SimTime,
+    },
 }
 
 impl SchedEvent {
@@ -136,7 +199,12 @@ impl SchedEvent {
             | SchedEvent::CacheMiss { epoch, .. }
             | SchedEvent::MappingDecision { epoch, .. }
             | SchedEvent::QueueMigrated { epoch, .. }
-            | SchedEvent::EpochEnd { epoch, .. } => epoch,
+            | SchedEvent::EpochEnd { epoch, .. }
+            | SchedEvent::JobSubmitted { epoch, .. }
+            | SchedEvent::JobAdmitted { epoch, .. }
+            | SchedEvent::JobRejected { epoch, .. }
+            | SchedEvent::JobDispatched { epoch, .. }
+            | SchedEvent::JobCompleted { epoch, .. } => epoch,
         }
     }
 
@@ -150,6 +218,11 @@ impl SchedEvent {
             SchedEvent::MappingDecision { .. } => "mapping_decision",
             SchedEvent::QueueMigrated { .. } => "queue_migrated",
             SchedEvent::EpochEnd { .. } => "epoch_end",
+            SchedEvent::JobSubmitted { .. } => "job_submitted",
+            SchedEvent::JobAdmitted { .. } => "job_admitted",
+            SchedEvent::JobRejected { .. } => "job_rejected",
+            SchedEvent::JobDispatched { .. } => "job_dispatched",
+            SchedEvent::JobCompleted { .. } => "job_completed",
         }
     }
 
@@ -219,6 +292,45 @@ impl SchedEvent {
                 ("profiling_ns", Json::from(profiling.as_nanos())),
                 ("kernels_issued", Json::from(*kernels_issued)),
             ]),
+            SchedEvent::JobSubmitted { epoch, tenant, job, at } => Json::obj([
+                ("type", Json::from(self.kind())),
+                ("epoch", Json::from(*epoch)),
+                ("tenant", Json::from(tenant.as_str())),
+                ("job", Json::from(*job)),
+                ("at_ns", Json::from(at.as_nanos())),
+            ]),
+            SchedEvent::JobAdmitted { epoch, tenant, job, depth, at } => Json::obj([
+                ("type", Json::from(self.kind())),
+                ("epoch", Json::from(*epoch)),
+                ("tenant", Json::from(tenant.as_str())),
+                ("job", Json::from(*job)),
+                ("depth", Json::from(*depth)),
+                ("at_ns", Json::from(at.as_nanos())),
+            ]),
+            SchedEvent::JobRejected { epoch, tenant, job, reason, at } => Json::obj([
+                ("type", Json::from(self.kind())),
+                ("epoch", Json::from(*epoch)),
+                ("tenant", Json::from(tenant.as_str())),
+                ("job", Json::from(*job)),
+                ("reason", Json::from(reason.as_str())),
+                ("at_ns", Json::from(at.as_nanos())),
+            ]),
+            SchedEvent::JobDispatched { epoch, tenant, job, queue, at } => Json::obj([
+                ("type", Json::from(self.kind())),
+                ("epoch", Json::from(*epoch)),
+                ("tenant", Json::from(tenant.as_str())),
+                ("job", Json::from(*job)),
+                ("queue", Json::from(*queue)),
+                ("at_ns", Json::from(at.as_nanos())),
+            ]),
+            SchedEvent::JobCompleted { epoch, tenant, job, latency, at } => Json::obj([
+                ("type", Json::from(self.kind())),
+                ("epoch", Json::from(*epoch)),
+                ("tenant", Json::from(tenant.as_str())),
+                ("job", Json::from(*job)),
+                ("latency_ns", Json::from(latency.as_nanos())),
+                ("at_ns", Json::from(at.as_nanos())),
+            ]),
         }
     }
 
@@ -284,9 +396,136 @@ impl SchedEvent {
                 profiling: dur("profiling_ns")?,
                 kernels_issued: value.get("kernels_issued")?.as_u64()?,
             },
+            "job_submitted" => SchedEvent::JobSubmitted {
+                epoch,
+                tenant: value.get("tenant")?.as_str()?.to_string(),
+                job: value.get("job")?.as_u64()?,
+                at: time("at_ns")?,
+            },
+            "job_admitted" => SchedEvent::JobAdmitted {
+                epoch,
+                tenant: value.get("tenant")?.as_str()?.to_string(),
+                job: value.get("job")?.as_u64()?,
+                depth: value.get("depth")?.as_u64()? as usize,
+                at: time("at_ns")?,
+            },
+            "job_rejected" => SchedEvent::JobRejected {
+                epoch,
+                tenant: value.get("tenant")?.as_str()?.to_string(),
+                job: value.get("job")?.as_u64()?,
+                reason: value.get("reason")?.as_str()?.to_string(),
+                at: time("at_ns")?,
+            },
+            "job_dispatched" => SchedEvent::JobDispatched {
+                epoch,
+                tenant: value.get("tenant")?.as_str()?.to_string(),
+                job: value.get("job")?.as_u64()?,
+                queue: value.get("queue")?.as_u64()? as usize,
+                at: time("at_ns")?,
+            },
+            "job_completed" => SchedEvent::JobCompleted {
+                epoch,
+                tenant: value.get("tenant")?.as_str()?.to_string(),
+                job: value.get("job")?.as_u64()?,
+                latency: dur("latency_ns")?,
+                at: time("at_ns")?,
+            },
             _ => return None,
         })
     }
+}
+
+/// One sample event per [`SchedEvent`] variant, with adversarial strings
+/// (quotes, newlines) where the codec must escape. Shared by the codec
+/// round-trip test here and the JSONL sink round-trip test, so new variants
+/// are automatically exercised on both paths.
+#[cfg(test)]
+pub(crate) fn sample_events() -> Vec<SchedEvent> {
+    let ns = SimDuration::from_nanos;
+    let events = vec![
+        SchedEvent::EpochBegin {
+            epoch: 1,
+            at: SimTime::from_nanos(100),
+            pool: 2,
+            policy: "AUTO_FIT".into(),
+        },
+        SchedEvent::CacheMiss { epoch: 1, key: "a+b".into() },
+        SchedEvent::KernelProfiled {
+            epoch: 1,
+            kernel: "k \"quoted\"\n".into(),
+            minikernel: true,
+            costs: vec![ns(10), ns(20), ns(30)],
+        },
+        SchedEvent::MappingDecision {
+            epoch: 1,
+            at: SimTime::from_nanos(500),
+            mapper: "optimal".into(),
+            makespan: ns(42),
+            queues: vec![QueueDecision {
+                queue: 0,
+                exec_estimates: vec![ns(5), ns(9)],
+                migration_costs: vec![ns(1), ns(0)],
+                chosen: DeviceId(0),
+                previous: DeviceId(1),
+            }],
+        },
+        SchedEvent::QueueMigrated {
+            epoch: 1,
+            queue: 0,
+            from: DeviceId(1),
+            to: DeviceId(0),
+            bytes: 4096,
+            at: SimTime::from_nanos(501),
+        },
+        SchedEvent::CacheHit { epoch: 2, key: "a+b".into() },
+        SchedEvent::EpochEnd {
+            epoch: 1,
+            at: SimTime::from_nanos(900),
+            elapsed: ns(800),
+            profiling: ns(600),
+            kernels_issued: 3,
+        },
+        SchedEvent::JobSubmitted {
+            epoch: 2,
+            tenant: "tenant \"zero\"".into(),
+            job: 7,
+            at: SimTime::from_nanos(1000),
+        },
+        SchedEvent::JobAdmitted {
+            epoch: 2,
+            tenant: "t0".into(),
+            job: 7,
+            depth: 3,
+            at: SimTime::from_nanos(1001),
+        },
+        SchedEvent::JobRejected {
+            epoch: 2,
+            tenant: "t1".into(),
+            job: 8,
+            reason: "queue_full depth=4/4\n".into(),
+            at: SimTime::from_nanos(1002),
+        },
+        SchedEvent::JobDispatched {
+            epoch: 3,
+            tenant: "t0".into(),
+            job: 7,
+            queue: 5,
+            at: SimTime::from_nanos(1500),
+        },
+        SchedEvent::JobCompleted {
+            epoch: 3,
+            tenant: "t0".into(),
+            job: 7,
+            latency: ns(12_345),
+            at: SimTime::from_nanos(13_345),
+        },
+    ];
+    // Exhaustiveness guard: a sample for every variant's kind string.
+    let mut kinds: Vec<&str> = events.iter().map(|e| e.kind()).collect();
+    kinds.sort_unstable();
+    kinds.dedup();
+    assert_eq!(kinds.len(), 12, "sample_events must cover every SchedEvent variant; got {kinds:?}");
+    events
 }
 
 #[cfg(test)]
@@ -295,53 +534,6 @@ mod tests {
 
     fn ns(v: u64) -> SimDuration {
         SimDuration::from_nanos(v)
-    }
-
-    fn sample_events() -> Vec<SchedEvent> {
-        vec![
-            SchedEvent::EpochBegin {
-                epoch: 1,
-                at: SimTime::from_nanos(100),
-                pool: 2,
-                policy: "AUTO_FIT".into(),
-            },
-            SchedEvent::CacheMiss { epoch: 1, key: "a+b".into() },
-            SchedEvent::KernelProfiled {
-                epoch: 1,
-                kernel: "k \"quoted\"\n".into(),
-                minikernel: true,
-                costs: vec![ns(10), ns(20), ns(30)],
-            },
-            SchedEvent::MappingDecision {
-                epoch: 1,
-                at: SimTime::from_nanos(500),
-                mapper: "optimal".into(),
-                makespan: ns(42),
-                queues: vec![QueueDecision {
-                    queue: 0,
-                    exec_estimates: vec![ns(5), ns(9)],
-                    migration_costs: vec![ns(1), ns(0)],
-                    chosen: DeviceId(0),
-                    previous: DeviceId(1),
-                }],
-            },
-            SchedEvent::QueueMigrated {
-                epoch: 1,
-                queue: 0,
-                from: DeviceId(1),
-                to: DeviceId(0),
-                bytes: 4096,
-                at: SimTime::from_nanos(501),
-            },
-            SchedEvent::CacheHit { epoch: 2, key: "a+b".into() },
-            SchedEvent::EpochEnd {
-                epoch: 1,
-                at: SimTime::from_nanos(900),
-                elapsed: ns(800),
-                profiling: ns(600),
-                kernels_issued: 3,
-            },
-        ]
     }
 
     #[test]

@@ -432,6 +432,14 @@ impl SchedObserver for SchedMetrics {
                 self.epoch_latency.observe(elapsed.as_nanos());
                 self.profiling_overhead.observe(profiling.as_nanos());
             }
+            // Job lifecycle events are accounted per tenant by the serving
+            // layer's own metrics (the `served` crate); the scheduler-level
+            // metric set ignores them.
+            SchedEvent::JobSubmitted { .. }
+            | SchedEvent::JobAdmitted { .. }
+            | SchedEvent::JobRejected { .. }
+            | SchedEvent::JobDispatched { .. }
+            | SchedEvent::JobCompleted { .. } => {}
         }
     }
 }

@@ -46,6 +46,21 @@ pub fn one_line(event: &SchedEvent) -> String {
                 ms(*profiling)
             )
         }
+        SchedEvent::JobSubmitted { tenant, job, at, .. } => {
+            format!("job #{job} submitted by `{tenant}` at {at}")
+        }
+        SchedEvent::JobAdmitted { tenant, job, depth, .. } => {
+            format!("job #{job} admitted for `{tenant}` (queue depth {depth})")
+        }
+        SchedEvent::JobRejected { tenant, job, reason, .. } => {
+            format!("job #{job} REJECTED for `{tenant}`: {reason}")
+        }
+        SchedEvent::JobDispatched { tenant, job, queue, .. } => {
+            format!("job #{job} (`{tenant}`) dispatched onto Q{queue}")
+        }
+        SchedEvent::JobCompleted { tenant, job, latency, .. } => {
+            format!("job #{job} (`{tenant}`) completed, latency {}", ms(*latency))
+        }
     }
 }
 
@@ -181,5 +196,37 @@ mod tests {
         }
         assert!(one_line(&events[2]).contains("minikernel"));
         assert!(one_line(&events[3]).contains("D0→D1"));
+    }
+
+    #[test]
+    fn one_line_describes_job_lifecycle_events() {
+        let at = SimTime::from_nanos(5);
+        let cases = vec![
+            SchedEvent::JobSubmitted { epoch: 1, tenant: "t0".into(), job: 9, at },
+            SchedEvent::JobAdmitted { epoch: 1, tenant: "t0".into(), job: 9, depth: 2, at },
+            SchedEvent::JobRejected {
+                epoch: 1,
+                tenant: "t0".into(),
+                job: 9,
+                reason: "queue_full".into(),
+                at,
+            },
+            SchedEvent::JobDispatched { epoch: 1, tenant: "t0".into(), job: 9, queue: 4, at },
+            SchedEvent::JobCompleted {
+                epoch: 1,
+                tenant: "t0".into(),
+                job: 9,
+                latency: ns(1_000_000),
+                at,
+            },
+        ];
+        for ev in &cases {
+            let line = one_line(ev);
+            assert!(line.contains("#9") && line.contains("t0"), "{line}");
+        }
+        assert!(one_line(&cases[1]).contains("depth 2"));
+        assert!(one_line(&cases[2]).contains("queue_full"));
+        assert!(one_line(&cases[3]).contains("Q4"));
+        assert!(one_line(&cases[4]).contains("1.000ms"));
     }
 }

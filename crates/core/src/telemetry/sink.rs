@@ -197,6 +197,34 @@ mod tests {
     }
 
     #[test]
+    fn jsonl_roundtrips_every_event_variant_losslessly() {
+        // The `schedule_explain --replay` path depends on JsonlSink output
+        // re-parsing into identical events. Drive one sample of every
+        // SchedEvent variant (the shared sample set asserts exhaustiveness)
+        // through the sink and the parser.
+        let events = crate::telemetry::event::sample_events();
+        let buf = std::sync::Arc::new(Mutex::new(Vec::<u8>::new()));
+        struct Shared(std::sync::Arc<Mutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().extend_from_slice(data);
+                Ok(data.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let sink = JsonlSink::new(Shared(buf.clone()));
+        for e in &events {
+            sink.on_event(e);
+        }
+        sink.flush().unwrap();
+        let text = String::from_utf8(buf.lock().clone()).unwrap();
+        assert_eq!(text.lines().count(), events.len());
+        assert_eq!(parse_jsonl(&text), Some(events));
+    }
+
+    #[test]
     fn parse_jsonl_rejects_garbage_and_accepts_blank_lines() {
         assert_eq!(parse_jsonl(""), Some(vec![]));
         let good = ev(1).to_json().dump();

@@ -25,10 +25,12 @@
 //!   *against the simulator*, used by MultiCL's device profiler.
 //! * [`trace`] — execution traces (who ran what, when) used to regenerate the
 //!   paper's kernel-distribution and per-iteration figures.
-//! * [`stats`] — small numeric helpers (geomean, normalization).
+//! * [`stats`] — small numeric helpers (geomean, normalization, percentiles).
 //! * [`json`] — a minimal JSON value/parser/writer (the workspace builds
 //!   offline with no external crates; this replaces `serde_json`).
 //! * [`sync`] — `parking_lot`-style locking over `std::sync`.
+//! * [`xrand`] — a seeded xorshift64* generator (replaces `rand` for
+//!   deterministic tests and load generation).
 //!
 //! Everything is deterministic: the same program produces the same virtual
 //! timeline on every run, which makes the paper's figures exactly
@@ -46,6 +48,7 @@ pub mod sync;
 pub mod time;
 pub mod topology;
 pub mod trace;
+pub mod xrand;
 
 pub use cost::{KernelCostSpec, KernelTraits, NdRangeShape};
 pub use device::{DeviceId, DeviceSpec, DeviceType};

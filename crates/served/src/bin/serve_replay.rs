@@ -1,0 +1,84 @@
+//! Replay a recorded arrival trace against the job service.
+//!
+//! Reads a JSONL trace written by the `loadgen` binary
+//! (`results/serve_trace_seed<seed>.jsonl`), re-submits the exact same
+//! jobs at the exact same virtual times, and writes
+//! `results/serve_replay_<policy>.json` — useful for A/B-ing scheduler
+//! policies over one fixed workload.
+//!
+//! Usage:
+//! `cargo run -p served --bin serve_replay -- results/serve_trace_seed42.jsonl \
+//!   [--policy auto_fit|round_robin|off] [--tenants N] [--workers N] [--capacity N]`
+
+use served::loadgen::{self, ArrivalMode, LoadgenConfig};
+use served::ServePolicy;
+use std::path::PathBuf;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: serve_replay <trace.jsonl> [--policy auto_fit|round_robin|off] \
+         [--tenants N] [--workers N] [--capacity N]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let path = args.first().unwrap_or_else(|| usage());
+    if path.starts_with("--") {
+        usage();
+    }
+    let mut cfg = LoadgenConfig { mode: ArrivalMode::Open, ..LoadgenConfig::default() };
+    let mut i = 1;
+    while i < args.len() {
+        let value = args.get(i + 1);
+        let num = |v: Option<&String>| -> usize {
+            v.and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
+        };
+        match args[i].as_str() {
+            "--policy" => {
+                cfg.policy = value.and_then(|s| ServePolicy::parse(s)).unwrap_or_else(|| usage());
+            }
+            "--tenants" => cfg.tenants = num(value),
+            "--workers" => cfg.workers = num(value),
+            "--capacity" => cfg.queue_capacity = num(value),
+            _ => usage(),
+        }
+        i += 2;
+    }
+
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+    let arrivals = loadgen::parse_trace(&text)
+        .unwrap_or_else(|| panic!("{path} is not a serve trace (JSONL of arrivals)"));
+    // The service needs one tenant slot per index the trace references.
+    let max_tenant = arrivals.iter().map(|a| a.tenant).max().unwrap_or(0);
+    cfg.tenants = cfg.tenants.max(max_tenant + 1);
+
+    let cache_dir = std::env::temp_dir().join("served-profile-cache");
+    let served = loadgen::build_service(&cfg, &cache_dir, Vec::new())
+        .unwrap_or_else(|e| panic!("service creation failed: {e}"));
+    let specs: Vec<_> = arrivals.iter().map(|a| a.spec.clone()).collect();
+    served.warm_programs(&specs).unwrap_or_else(|e| panic!("program warm-up failed: {e}"));
+    loadgen::drive_open(&served, &arrivals);
+
+    let report = loadgen::report_json(&served, &cfg);
+    println!(
+        "replayed {} arrival(s) from {path} under {}: {} completed / {} rejected in {:.2} virtual ms",
+        arrivals.len(),
+        cfg.policy,
+        report.get("jobs_completed").and_then(|v| v.as_u64()).unwrap_or(0),
+        report.get("jobs_rejected").and_then(|v| v.as_u64()).unwrap_or(0),
+        served.now().as_millis_f64(),
+    );
+
+    let dir = PathBuf::from("results");
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("warning: cannot create results/: {e}");
+        return;
+    }
+    let out = dir.join(format!("serve_replay_{}.json", cfg.policy.label()));
+    match std::fs::write(&out, report.dump()) {
+        Ok(()) => println!("wrote {}", out.display()),
+        Err(e) => eprintln!("warning: cannot write {}: {e}", out.display()),
+    }
+}

@@ -1,0 +1,405 @@
+//! Deterministic load generation against a [`Served`] instance.
+//!
+//! Two arrival processes, both driven entirely in virtual time from a
+//! seeded [`XorShift`] stream, so the same seed reproduces the same
+//! submissions, rejections, schedules, and latencies bit-for-bit:
+//!
+//! - **Open loop**: Poisson arrivals at an aggregate `rate_hz`, assigned
+//!   uniformly to tenants. Arrivals do not wait for completions — offered
+//!   load beyond capacity builds backlog and eventually trips admission
+//!   control (the interesting regime for the capacity experiment).
+//! - **Closed loop**: each tenant keeps a fixed number of jobs in flight;
+//!   a completion schedules the next submission after a think time. Offered
+//!   load self-limits, probing sustained throughput.
+//!
+//! Arrivals can be serialized to a JSONL trace and replayed later
+//! ([`trace_lines`] / [`parse_trace`]), which is what the `serve_replay`
+//! binary does.
+
+use crate::service::{warmed_options, ServePolicy, Served, ServiceConfig};
+use crate::spec::JobSpec;
+use crate::tenant::TenantConfig;
+use clrt::error::ClResult;
+use clrt::Platform;
+use hwsim::json::Json;
+use hwsim::xrand::XorShift;
+use hwsim::{SimDuration, SimTime};
+use std::path::Path;
+
+/// How submissions are timed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArrivalMode {
+    /// Poisson arrivals at a fixed offered rate, independent of completions.
+    Open,
+    /// Fixed jobs-in-flight per tenant; completions trigger resubmission.
+    Closed,
+}
+
+impl ArrivalMode {
+    /// Parse a CLI spelling.
+    pub fn parse(s: &str) -> Option<ArrivalMode> {
+        match s.to_ascii_lowercase().as_str() {
+            "open" => Some(ArrivalMode::Open),
+            "closed" => Some(ArrivalMode::Closed),
+            _ => None,
+        }
+    }
+
+    /// Stable lowercase label.
+    pub fn label(self) -> &'static str {
+        match self {
+            ArrivalMode::Open => "open",
+            ArrivalMode::Closed => "closed",
+        }
+    }
+}
+
+/// Load-generator configuration.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// RNG seed; equal seeds reproduce runs exactly.
+    pub seed: u64,
+    /// Number of tenants.
+    pub tenants: usize,
+    /// Backend scheduling policy.
+    pub policy: ServePolicy,
+    /// Total jobs to submit.
+    pub jobs: usize,
+    /// Open-loop aggregate arrival rate in virtual jobs/second.
+    pub rate_hz: f64,
+    /// Arrival process.
+    pub mode: ArrivalMode,
+    /// Closed-loop think time between a completion and the next submission.
+    pub think: SimDuration,
+    /// Closed-loop jobs in flight per tenant.
+    pub concurrency: usize,
+    /// Per-tenant admission-queue bound.
+    pub queue_capacity: usize,
+    /// Worker queue pool size.
+    pub workers: usize,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> LoadgenConfig {
+        LoadgenConfig {
+            seed: 42,
+            tenants: 4,
+            policy: ServePolicy::AutoFit,
+            jobs: 48,
+            rate_hz: 400.0,
+            mode: ArrivalMode::Open,
+            think: SimDuration::from_millis(2),
+            concurrency: 2,
+            queue_capacity: 8,
+            workers: 4,
+        }
+    }
+}
+
+/// One timed submission.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Arrival {
+    /// Virtual arrival time.
+    pub at: SimTime,
+    /// Target tenant index.
+    pub tenant: usize,
+    /// The job to submit.
+    pub spec: JobSpec,
+}
+
+/// The fixed job-template pool. Template names double as kernel names, so
+/// the scheduler's per-epoch kernel-profile cache warms quickly and stays
+/// hot across jobs — exactly how a service reuses a small program library.
+///
+/// The mix is deliberately heterogeneous: a CPU-friendly kernel
+/// (uncoalesced, divergent, scalar), a GPU-friendly one (coalesced
+/// compute), and a two-stage chain — the device-affinity spread that gives
+/// `AUTO_FIT` something to exploit.
+pub fn templates() -> Vec<JobSpec> {
+    let parse = |text: &str| JobSpec::parse_str(text).expect("template parses");
+    vec![
+        parse(
+            r#"{
+              "name": "svc_cpu",
+              "buffers": [{"name": "a", "elements": 2048}],
+              "kernels": [{"name": "svc_cpu_scan", "flops_per_item": 8.0,
+                           "bytes_per_item": 48.0, "coalescing": 0.1,
+                           "branch_divergence": 0.9, "vector_friendliness": 0.3}],
+              "steps": [
+                {"id": "in", "op": "write", "buffer": "a"},
+                {"op": "launch", "kernel": "svc_cpu_scan", "global": 32768,
+                 "local": 64, "args": ["a"], "after": ["in"]}
+              ]
+            }"#,
+        ),
+        parse(
+            r#"{
+              "name": "svc_gpu",
+              "buffers": [{"name": "x", "elements": 2048}],
+              "kernels": [{"name": "svc_gpu_map", "flops_per_item": 1280.0,
+                           "bytes_per_item": 8.0, "vector_friendliness": 0.15}],
+              "steps": [
+                {"id": "in", "op": "write", "buffer": "x"},
+                {"op": "launch", "kernel": "svc_gpu_map", "global": 32768,
+                 "local": 128, "args": ["x"], "after": ["in"]}
+              ]
+            }"#,
+        ),
+        parse(
+            r#"{
+              "name": "svc_mixed",
+              "buffers": [{"name": "u", "elements": 2048}, {"name": "v", "elements": 2048}],
+              "kernels": [
+                {"name": "svc_mixed_gather", "flops_per_item": 8.0,
+                 "bytes_per_item": 64.0, "coalescing": 0.15,
+                 "branch_divergence": 0.7, "vector_friendliness": 0.3},
+                {"name": "svc_mixed_fma", "flops_per_item": 960.0, "bytes_per_item": 8.0,
+                 "vector_friendliness": 0.15}
+              ],
+              "steps": [
+                {"id": "in_u", "op": "write", "buffer": "u"},
+                {"id": "in_v", "op": "write", "buffer": "v"},
+                {"id": "g", "op": "launch", "kernel": "svc_mixed_gather", "global": 16384,
+                 "local": 64, "args": ["u", "v"], "after": ["in_u", "in_v"]},
+                {"op": "launch", "kernel": "svc_mixed_fma", "global": 16384,
+                 "local": 128, "args": ["v"], "after": ["g"]}
+              ]
+            }"#,
+        ),
+    ]
+}
+
+/// Generate the open-loop Poisson arrival schedule: exponential
+/// inter-arrival gaps at `rate_hz`, uniform tenant and template choice.
+/// Sorted by time by construction.
+pub fn open_arrivals(cfg: &LoadgenConfig) -> Vec<Arrival> {
+    let mut rng = XorShift::new(cfg.seed);
+    let pool = templates();
+    let mut at = SimTime::ZERO;
+    (0..cfg.jobs)
+        .map(|_| {
+            at += SimDuration::from_secs_f64(rng.exp_f64(cfg.rate_hz.max(1e-9)));
+            Arrival {
+                at,
+                tenant: rng.index(cfg.tenants.max(1)),
+                spec: pool[rng.index(pool.len())].clone(),
+            }
+        })
+        .collect()
+}
+
+/// Serialize arrivals as a JSONL trace (one object per line).
+pub fn trace_lines(arrivals: &[Arrival]) -> String {
+    let mut out = String::new();
+    for a in arrivals {
+        let line = Json::obj([
+            ("at_ns", Json::from(a.at.as_nanos())),
+            ("tenant", Json::from(a.tenant)),
+            ("spec", a.spec.to_json()),
+        ]);
+        out.push_str(&line.dump());
+        out.push('\n');
+    }
+    out
+}
+
+/// Parse a JSONL trace produced by [`trace_lines`]. Returns `None` if any
+/// line is malformed.
+pub fn parse_trace(text: &str) -> Option<Vec<Arrival>> {
+    text.lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| {
+            let v = Json::parse(l)?;
+            Some(Arrival {
+                at: SimTime::from_nanos(v.get("at_ns")?.as_u64()?),
+                tenant: v.get("tenant")?.as_u64()? as usize,
+                spec: JobSpec::from_json(v.get("spec")?).ok()?,
+            })
+        })
+        .collect()
+}
+
+/// Drive a pre-computed (time-sorted) arrival schedule through `served`:
+/// admit everything due, dispatch while there is backlog, and jump the
+/// virtual clock to the next arrival when idle. Drains fully at the end.
+/// Arrival times are relative to the clock at entry, so the same schedule
+/// replays identically regardless of start-up cost already on the clock.
+pub fn drive_open(served: &Served, arrivals: &[Arrival]) {
+    let base = served.now();
+    let mut next = 0;
+    while next < arrivals.len() {
+        while next < arrivals.len()
+            && base + arrivals[next].at.saturating_since(SimTime::ZERO) <= served.now()
+        {
+            let a = &arrivals[next];
+            let _ = served.submit(a.tenant, a.spec.clone());
+            next += 1;
+        }
+        if served.backlog() > 0 {
+            served.dispatch_round();
+        } else if next < arrivals.len() {
+            served.advance_to(base + arrivals[next].at.saturating_since(SimTime::ZERO));
+        }
+    }
+    served.run_until_drained();
+}
+
+/// Drive a closed loop: each tenant keeps `concurrency` jobs in flight;
+/// every completion schedules the next submission `think` later, until
+/// `jobs` total submissions. Template choice is seeded per submission.
+pub fn drive_closed(served: &Served, cfg: &LoadgenConfig) {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    let mut rng = XorShift::new(cfg.seed);
+    let pool = templates();
+    // (when, sequence, tenant): the sequence number makes ordering total and
+    // deterministic even for identical timestamps.
+    let mut pending: BinaryHeap<Reverse<(SimTime, u64, usize)>> = BinaryHeap::new();
+    let mut seq = 0u64;
+    for t in 0..cfg.tenants {
+        for _ in 0..cfg.concurrency.max(1) {
+            pending.push(Reverse((SimTime::ZERO, seq, t)));
+            seq += 1;
+        }
+    }
+    let mut submitted = 0usize;
+    let mut seen_outcomes = 0usize;
+    while submitted < cfg.jobs {
+        // Submit everything due now; if nothing is due, jump to the next.
+        let mut any_due = false;
+        while let Some(&Reverse((at, _, _))) = pending.peek() {
+            if at > served.now() {
+                break;
+            }
+            let Reverse((_, _, tenant)) = pending.pop().expect("peeked");
+            let _ = served.submit(tenant, pool[rng.index(pool.len())].clone());
+            submitted += 1;
+            any_due = true;
+            if submitted >= cfg.jobs {
+                break;
+            }
+        }
+        if !any_due {
+            if let Some(&Reverse((at, _, _))) = pending.peek() {
+                served.advance_to(at);
+                continue;
+            }
+            break; // nothing pending and nothing due: loop is exhausted
+        }
+        served.dispatch_round();
+        let outcomes = served.outcomes();
+        for o in &outcomes[seen_outcomes..] {
+            pending.push(Reverse((o.completed_at + cfg.think, seq, o.tenant)));
+            seq += 1;
+        }
+        seen_outcomes = outcomes.len();
+    }
+    served.run_until_drained();
+}
+
+/// Build the service for `cfg` with a warmed profile cache at `cache_dir`
+/// (see [`warmed_options`] — this is what makes runs reproducible) and the
+/// given telemetry observers attached to the context.
+pub fn build_service(
+    cfg: &LoadgenConfig,
+    cache_dir: &Path,
+    observers: Vec<std::sync::Arc<dyn multicl::SchedObserver>>,
+) -> ClResult<Served> {
+    let platform = Platform::paper_node();
+    let tenants = (0..cfg.tenants.max(1))
+        .map(|i| TenantConfig::new(format!("t{i}"), 1, cfg.queue_capacity))
+        .collect();
+    let mut options = warmed_options(&platform, cache_dir);
+    options.observers = observers;
+    Served::new(
+        &platform,
+        ServiceConfig { policy: cfg.policy, workers: cfg.workers, tenants, options },
+    )
+}
+
+/// [`run_with`] without telemetry observers.
+pub fn run(cfg: &LoadgenConfig, cache_dir: &Path) -> ClResult<(Served, Vec<Arrival>)> {
+    run_with(cfg, cache_dir, Vec::new())
+}
+
+/// Run the configured load against a fresh service and return
+/// `(service, arrivals)` — the arrivals are empty for closed-loop runs
+/// (there is no precomputed schedule to trace).
+pub fn run_with(
+    cfg: &LoadgenConfig,
+    cache_dir: &Path,
+    observers: Vec<std::sync::Arc<dyn multicl::SchedObserver>>,
+) -> ClResult<(Served, Vec<Arrival>)> {
+    let served = build_service(cfg, cache_dir, observers)?;
+    served.warm_programs(&templates())?;
+    let arrivals = match cfg.mode {
+        ArrivalMode::Open => {
+            let arrivals = open_arrivals(cfg);
+            drive_open(&served, &arrivals);
+            arrivals
+        }
+        ArrivalMode::Closed => {
+            drive_closed(&served, cfg);
+            Vec::new()
+        }
+    };
+    Ok((served, arrivals))
+}
+
+/// Summarize a finished run as a JSON report: totals plus per-tenant
+/// throughput, rejection counts, and p50/p95/p99 latency.
+pub fn report_json(served: &Served, cfg: &LoadgenConfig) -> Json {
+    let elapsed = served.now().saturating_since(served.serving_since());
+    let elapsed_s = elapsed.as_secs_f64().max(1e-12);
+    let mut total_submitted = 0u64;
+    let mut total_completed = 0u64;
+    let mut total_rejected = 0u64;
+    let mut per_tenant = Vec::new();
+    for i in 0..served.tenant_count() {
+        let m = served.metrics().tenant(i);
+        let (p50, p95, p99) = served.metrics().latency_percentiles_ms(i);
+        let samples = served.metrics().latencies_ms(i);
+        let mean = if samples.is_empty() {
+            0.0
+        } else {
+            samples.iter().sum::<f64>() / samples.len() as f64
+        };
+        total_submitted += m.submitted.get();
+        total_completed += m.completed.get();
+        total_rejected += m.rejected.get();
+        per_tenant.push(Json::obj([
+            ("name", Json::from(served.tenant_name(i))),
+            ("submitted", Json::from(m.submitted.get())),
+            ("admitted", Json::from(m.admitted.get())),
+            ("rejected", Json::from(m.rejected.get())),
+            ("completed", Json::from(m.completed.get())),
+            ("starved_rounds", Json::from(served.starvation_rounds(i))),
+            ("throughput_jobs_per_s", Json::from(m.completed.get() as f64 / elapsed_s)),
+            (
+                "latency_ms",
+                Json::obj([
+                    ("p50", Json::from(p50)),
+                    ("p95", Json::from(p95)),
+                    ("p99", Json::from(p99)),
+                    ("mean", Json::from(mean)),
+                ]),
+            ),
+        ]));
+    }
+    Json::obj([
+        ("policy", Json::from(cfg.policy.label())),
+        ("mode", Json::from(cfg.mode.label())),
+        ("seed", Json::from(cfg.seed)),
+        ("tenants", Json::from(cfg.tenants)),
+        ("workers", Json::from(cfg.workers)),
+        ("queue_capacity", Json::from(cfg.queue_capacity)),
+        ("offered_rate_hz", Json::from(cfg.rate_hz)),
+        ("elapsed_virtual_ms", Json::from(elapsed.as_millis_f64())),
+        ("jobs_submitted", Json::from(total_submitted)),
+        ("jobs_completed", Json::from(total_completed)),
+        ("jobs_rejected", Json::from(total_rejected)),
+        ("achieved_throughput_jobs_per_s", Json::from(total_completed as f64 / elapsed_s)),
+        ("per_tenant", Json::Arr(per_tenant)),
+    ])
+}

@@ -1,0 +1,144 @@
+//! Per-tenant service metrics, registered in the scheduler's
+//! [`MetricsRegistry`] so one Prometheus/JSON export covers both the
+//! scheduler and the serving layer.
+//!
+//! The registry has no label support (it is the workspace's offline
+//! Prometheus stand-in), so tenant metrics embed a sanitized tenant name:
+//! `served_t0_jobs_completed_total`. Exact job latencies are additionally
+//! kept per tenant so reports can quote precise p50/p95/p99 (the registry
+//! histograms are log-bucketed).
+
+use hwsim::stats;
+use hwsim::sync::Mutex;
+use hwsim::SimDuration;
+use multicl::telemetry::{Counter, Gauge, Histogram, MetricsRegistry};
+
+/// The metric handles of one tenant.
+pub struct TenantMetrics {
+    /// Jobs submitted (admitted + rejected).
+    pub submitted: Counter,
+    /// Jobs admitted into the tenant queue.
+    pub admitted: Counter,
+    /// Jobs rejected by admission control.
+    pub rejected: Counter,
+    /// Jobs handed to a scheduler queue.
+    pub dispatched: Counter,
+    /// Jobs fully executed.
+    pub completed: Counter,
+    /// Current admitted-but-undispatched queue depth.
+    pub depth: Gauge,
+    /// Rounds where the tenant had backlog but got no dispatch slot.
+    pub starved_rounds: Counter,
+    /// Submission-to-completion latency (virtual nanoseconds, log buckets).
+    pub latency_ns: Histogram,
+}
+
+/// Metrics for the whole service: a shared registry plus per-tenant handles
+/// and exact latency samples.
+pub struct ServiceMetrics {
+    registry: MetricsRegistry,
+    tenants: Vec<TenantMetrics>,
+    /// Exact per-tenant job latencies in virtual milliseconds.
+    latencies_ms: Vec<Mutex<Vec<f64>>>,
+}
+
+/// Make a tenant name safe for Prometheus metric names.
+fn sanitize(name: &str) -> String {
+    let mut out: String =
+        name.chars().map(|c| if c.is_ascii_alphanumeric() { c } else { '_' }).collect();
+    if out.chars().next().is_none_or(|c| c.is_ascii_digit()) {
+        out.insert(0, 't');
+    }
+    out
+}
+
+impl ServiceMetrics {
+    /// Create the metric set for the given tenant names.
+    pub fn new(tenant_names: &[String]) -> ServiceMetrics {
+        let registry = MetricsRegistry::new();
+        let tenants = tenant_names
+            .iter()
+            .map(|name| {
+                let p = format!("served_{}", sanitize(name));
+                TenantMetrics {
+                    submitted: registry
+                        .counter(&format!("{p}_jobs_submitted_total"), "jobs submitted"),
+                    admitted: registry
+                        .counter(&format!("{p}_jobs_admitted_total"), "jobs admitted"),
+                    rejected: registry
+                        .counter(&format!("{p}_jobs_rejected_total"), "jobs rejected"),
+                    dispatched: registry
+                        .counter(&format!("{p}_jobs_dispatched_total"), "jobs dispatched"),
+                    completed: registry
+                        .counter(&format!("{p}_jobs_completed_total"), "jobs completed"),
+                    depth: registry.gauge(&format!("{p}_queue_depth"), "tenant queue depth"),
+                    starved_rounds: registry.counter(
+                        &format!("{p}_starved_rounds_total"),
+                        "rounds with backlog but no dispatch slot",
+                    ),
+                    latency_ns: registry.histogram(
+                        &format!("{p}_job_latency_ns"),
+                        "submission-to-completion virtual latency",
+                    ),
+                }
+            })
+            .collect();
+        let latencies_ms = tenant_names.iter().map(|_| Mutex::new(Vec::new())).collect();
+        ServiceMetrics { registry, tenants, latencies_ms }
+    }
+
+    /// The shared registry (exportable as Prometheus text or JSON).
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// Metric handles of tenant `i`.
+    pub fn tenant(&self, i: usize) -> &TenantMetrics {
+        &self.tenants[i]
+    }
+
+    /// Record one completed-job latency for tenant `i`.
+    pub fn record_latency(&self, i: usize, latency: SimDuration) {
+        self.tenants[i].latency_ns.observe(latency.as_nanos());
+        self.latencies_ms[i].lock().push(latency.as_millis_f64());
+    }
+
+    /// Exact latency samples (virtual ms) of tenant `i`, submission order.
+    pub fn latencies_ms(&self, i: usize) -> Vec<f64> {
+        self.latencies_ms[i].lock().clone()
+    }
+
+    /// `(p50, p95, p99)` job latency of tenant `i`, virtual ms.
+    pub fn latency_percentiles_ms(&self, i: usize) -> (f64, f64, f64) {
+        stats::latency_percentiles(&self.latencies_ms[i].lock())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sanitize_produces_prometheus_safe_names() {
+        assert_eq!(sanitize("t0"), "t0");
+        assert_eq!(sanitize("team a/b"), "team_a_b");
+        assert_eq!(sanitize("0day"), "t0day");
+        assert_eq!(sanitize(""), "t");
+    }
+
+    #[test]
+    fn per_tenant_metrics_appear_in_the_export() {
+        let m = ServiceMetrics::new(&["t0".into(), "t1".into()]);
+        m.tenant(0).submitted.inc();
+        m.tenant(0).admitted.inc();
+        m.record_latency(0, SimDuration::from_millis(4));
+        m.record_latency(0, SimDuration::from_millis(8));
+        let prom = m.registry().to_prometheus();
+        assert!(prom.contains("served_t0_jobs_submitted_total 1"), "{prom}");
+        assert!(prom.contains("served_t1_jobs_submitted_total 0"), "{prom}");
+        assert!(prom.contains("served_t0_job_latency_ns"), "{prom}");
+        let (p50, p95, p99) = m.latency_percentiles_ms(0);
+        assert!(p50 >= 4.0 && p99 <= 8.0 && p50 <= p95 && p95 <= p99);
+        assert_eq!(m.latencies_ms(1), Vec::<f64>::new());
+    }
+}

@@ -1,0 +1,518 @@
+//! The job service: multi-tenant ingestion in front of a shared
+//! [`MulticlContext`].
+//!
+//! Submissions go through per-tenant admission control
+//! ([`Served::submit`]); admitted jobs wait in bounded tenant queues until
+//! a dispatch round ([`Served::dispatch_round`]) drains them — weighted
+//! round-robin across tenants — onto the service's pool of worker
+//! [`SchedQueue`]s. The round ends with one context-wide synchronization,
+//! which is exactly a MultiCL scheduling epoch: under `AUTO_FIT` the mapper
+//! load-balances the *mixture* of tenants' kernels across devices each
+//! round.
+//!
+//! Every lifecycle transition emits a [`SchedEvent`] job variant through
+//! the context's observer stream, interleaved with the scheduler's own
+//! epoch events, so one JSONL sink captures the full picture.
+
+use crate::metrics::ServiceMetrics;
+use crate::spec::{JobSpec, StepOp};
+use crate::tenant::{PendingJob, RejectReason, TenantConfig, TenantState};
+use clrt::error::ClResult;
+use clrt::{ArgValue, KernelBody, KernelCtx, NdRange, Platform};
+use hwsim::sync::Mutex;
+use hwsim::{KernelCostSpec, SimDuration, SimTime};
+use multicl::profile::{DeviceProfile, ProfileCache};
+use multicl::telemetry::SchedEvent;
+use multicl::{ContextSchedPolicy, MulticlContext, QueueSchedFlags, SchedOptions, SchedQueue};
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Scheduling policy of the service backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServePolicy {
+    /// MultiCL `AUTO_FIT`: per-epoch makespan-optimal queue→device mapping.
+    AutoFit,
+    /// MultiCL `ROUND_ROBIN`: each worker queue bound once, round-robin.
+    RoundRobin,
+    /// `SCHED_OFF`: workers statically bound round-robin at creation —
+    /// stock-OpenCL behaviour, the no-scheduler baseline.
+    Off,
+}
+
+impl ServePolicy {
+    /// Parse a CLI spelling (`auto_fit`, `round_robin`, `off`, ...).
+    pub fn parse(s: &str) -> Option<ServePolicy> {
+        match s.to_ascii_lowercase().as_str() {
+            "auto_fit" | "autofit" | "auto" => Some(ServePolicy::AutoFit),
+            "round_robin" | "roundrobin" | "rr" => Some(ServePolicy::RoundRobin),
+            "off" | "sched_off" | "none" => Some(ServePolicy::Off),
+            _ => None,
+        }
+    }
+
+    /// Stable lowercase label (file names, reports).
+    pub fn label(self) -> &'static str {
+        match self {
+            ServePolicy::AutoFit => "auto_fit",
+            ServePolicy::RoundRobin => "round_robin",
+            ServePolicy::Off => "sched_off",
+        }
+    }
+}
+
+impl std::fmt::Display for ServePolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Configuration of a [`Served`] instance.
+pub struct ServiceConfig {
+    /// Backend scheduling policy.
+    pub policy: ServePolicy,
+    /// Worker queue pool size (dispatch slots per round).
+    pub workers: usize,
+    /// The tenants, in stable order (their index is the submission handle).
+    pub tenants: Vec<TenantConfig>,
+    /// Scheduler options for the underlying context (profile cache,
+    /// observers, ...).
+    pub options: SchedOptions,
+}
+
+impl ServiceConfig {
+    /// A config with default scheduler options.
+    pub fn new(policy: ServePolicy, workers: usize, tenants: Vec<TenantConfig>) -> ServiceConfig {
+        ServiceConfig { policy, workers, tenants, options: SchedOptions::default() }
+    }
+}
+
+/// Scheduler options whose device profile is pre-measured on a *scratch*
+/// platform (same node config) and stored in a cache at `dir`, so creating
+/// the serving context never charges device-profiling time to the serving
+/// clock. This makes the virtual timeline identical across runs whether or
+/// not a cache already existed — the property the deterministic load
+/// generator relies on.
+pub fn warmed_options(platform: &Platform, dir: impl Into<PathBuf>) -> SchedOptions {
+    let cache = ProfileCache::at(dir);
+    let fingerprint = platform.node().fingerprint();
+    if cache.load(&fingerprint).is_none() {
+        let scratch = Platform::new(platform.node().clone());
+        let profile = DeviceProfile::measure(&scratch);
+        let _ = cache.store(&profile);
+    }
+    SchedOptions { profile_cache: cache, ..SchedOptions::default() }
+}
+
+/// A kernel body synthesized from a [`JobSpec`] kernel declaration: the
+/// cost plane comes from the spec; the data plane does a token amount of
+/// real work (bumps the first element of its first argument) so buffer
+/// residency and migration behave exactly as for hand-written kernels.
+struct SpecKernel {
+    name: String,
+    arity: usize,
+    cost: KernelCostSpec,
+}
+
+impl KernelBody for SpecKernel {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn arity(&self) -> usize {
+        self.arity
+    }
+
+    fn cost(&self) -> KernelCostSpec {
+        self.cost
+    }
+
+    fn execute(&self, ctx: &mut KernelCtx<'_>) {
+        if self.arity > 0 {
+            let data = ctx.slice_mut::<f64>(0);
+            if let Some(first) = data.first_mut() {
+                *first += 1.0;
+            }
+        }
+    }
+}
+
+/// The record of one finished job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobOutcome {
+    /// Service-wide job id.
+    pub id: u64,
+    /// Tenant index.
+    pub tenant: usize,
+    /// Virtual submission time.
+    pub submitted_at: SimTime,
+    /// Virtual completion time (last device command of the job).
+    pub completed_at: SimTime,
+    /// Submission-to-completion latency.
+    pub latency: SimDuration,
+}
+
+/// The multi-tenant job service. See the module docs for the data flow.
+///
+/// `Served` is `Sync`: submissions may come from many threads concurrently
+/// (admission control is per-tenant locking); dispatch rounds serialize on
+/// the scheduler's own pass lock. Deterministic single-threaded driving —
+/// what the load generator does — is a special case.
+pub struct Served {
+    platform: Platform,
+    ctx: MulticlContext,
+    workers: Vec<SchedQueue>,
+    tenants: Vec<TenantState>,
+    metrics: ServiceMetrics,
+    next_job: AtomicU64,
+    /// Rotates which tenant a round's weighted sweep starts at, so equal
+    /// weights get equal long-run shares.
+    rr_start: AtomicUsize,
+    /// Built programs keyed by kernel signature. `clBuildProgram` charges
+    /// real host time (doubled by MultiCL's minikernel pass), so the
+    /// service compiles each job template once and reuses the program —
+    /// what any production OpenCL service does.
+    programs: Mutex<HashMap<String, clrt::Program>>,
+    /// Virtual time at which the service finished start-up (program
+    /// warm-up); throughput should be measured from here.
+    serving_since: Mutex<SimTime>,
+    outcomes: Mutex<Vec<JobOutcome>>,
+}
+
+impl Served {
+    /// Build the service: one shared context, `workers` scheduler queues.
+    pub fn new(platform: &Platform, config: ServiceConfig) -> ClResult<Served> {
+        let ServiceConfig { policy, workers, tenants, options } = config;
+        let ctx_policy = match policy {
+            ServePolicy::AutoFit => ContextSchedPolicy::AutoFit,
+            _ => ContextSchedPolicy::RoundRobin,
+        };
+        let ctx = MulticlContext::with_options(platform, ctx_policy, options)?;
+        let devices = ctx.cl().devices().to_vec();
+        let workers = (0..workers.max(1))
+            .map(|i| match policy {
+                ServePolicy::Off => ctx.create_queue_on(devices[i % devices.len()]),
+                _ => ctx.create_queue(QueueSchedFlags::SCHED_AUTO_DYNAMIC),
+            })
+            .collect::<ClResult<Vec<_>>>()?;
+        let names: Vec<String> = tenants.iter().map(|t| t.name.clone()).collect();
+        Ok(Served {
+            platform: platform.clone(),
+            ctx,
+            workers,
+            tenants: tenants.into_iter().map(TenantState::new).collect(),
+            metrics: ServiceMetrics::new(&names),
+            next_job: AtomicU64::new(1),
+            rr_start: AtomicUsize::new(0),
+            programs: Mutex::new(HashMap::new()),
+            serving_since: Mutex::new(SimTime::ZERO),
+            outcomes: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// The underlying scheduling context (observers, stats, policy).
+    pub fn context(&self) -> &MulticlContext {
+        &self.ctx
+    }
+
+    /// The service metric set.
+    pub fn metrics(&self) -> &ServiceMetrics {
+        &self.metrics
+    }
+
+    /// Number of tenants.
+    pub fn tenant_count(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// Name of tenant `i`.
+    pub fn tenant_name(&self, i: usize) -> &str {
+        &self.tenants[i].config.name
+    }
+
+    /// Number of worker queues (dispatch slots per round).
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.platform.now()
+    }
+
+    /// Advance the virtual clock to `t` (idle host time). No-op if `t` is
+    /// in the past. The load generator uses this to jump to the next
+    /// arrival when the service is idle.
+    pub fn advance_to(&self, t: SimTime) {
+        let now = self.platform.now();
+        let gap = t.saturating_since(now);
+        if !gap.is_zero() {
+            self.platform.with_engine(|e| e.host_busy(gap));
+        }
+    }
+
+    /// Total admitted-but-undispatched jobs across tenants.
+    pub fn backlog(&self) -> usize {
+        self.tenants.iter().map(TenantState::depth).sum()
+    }
+
+    /// Rounds in which tenant `i` had backlog but received no slot.
+    pub fn starvation_rounds(&self, tenant: usize) -> u64 {
+        self.tenants[tenant].starvation_rounds()
+    }
+
+    /// All finished jobs so far, completion order.
+    pub fn outcomes(&self) -> Vec<JobOutcome> {
+        self.outcomes.lock().clone()
+    }
+
+    /// Submit a job for `tenant`. Validates the spec, then applies
+    /// admission control against the tenant's bounded queue. Returns the
+    /// job id, or the rejection reason (spec error or backpressure).
+    pub fn submit(&self, tenant: usize, spec: JobSpec) -> Result<u64, RejectReason> {
+        let state = &self.tenants[tenant];
+        let job = self.next_job.fetch_add(1, Ordering::Relaxed);
+        let now = self.platform.now();
+        let epoch = self.ctx.current_epoch();
+        let name = state.config.name.clone();
+        self.ctx.emit_event(&SchedEvent::JobSubmitted {
+            epoch,
+            tenant: name.clone(),
+            job,
+            at: now,
+        });
+        self.metrics.tenant(tenant).submitted.inc();
+        if let Err(e) = spec.validate() {
+            let reason = RejectReason::InvalidSpec(e);
+            self.reject(tenant, &name, job, &reason, now);
+            return Err(reason);
+        }
+        let depth = {
+            let mut queue = state.queue.lock();
+            if queue.len() >= state.config.capacity {
+                let reason =
+                    RejectReason::QueueFull { depth: queue.len(), capacity: state.config.capacity };
+                drop(queue);
+                self.reject(tenant, &name, job, &reason, now);
+                return Err(reason);
+            }
+            queue.push_back(PendingJob { id: job, spec, submitted_at: now });
+            queue.len()
+        };
+        self.metrics.tenant(tenant).admitted.inc();
+        self.metrics.tenant(tenant).depth.set(depth as f64);
+        self.ctx.emit_event(&SchedEvent::JobAdmitted { epoch, tenant: name, job, depth, at: now });
+        Ok(job)
+    }
+
+    fn reject(&self, tenant: usize, name: &str, job: u64, reason: &RejectReason, at: SimTime) {
+        self.metrics.tenant(tenant).rejected.inc();
+        self.ctx.emit_event(&SchedEvent::JobRejected {
+            epoch: self.ctx.current_epoch(),
+            tenant: name.to_string(),
+            job,
+            reason: reason.to_string(),
+            at,
+        });
+    }
+
+    /// Weighted-round-robin selection of up to `worker_count` jobs: sweep
+    /// the tenants (rotating the starting tenant each round), each sweep
+    /// granting a tenant up to `weight` jobs, until the slots are full or
+    /// every queue is empty. Deterministic given queue contents.
+    fn select_round(&self) -> Vec<(usize, PendingJob)> {
+        let n = self.tenants.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let backlogged: Vec<bool> = self.tenants.iter().map(|t| t.depth() > 0).collect();
+        let start = self.rr_start.fetch_add(1, Ordering::Relaxed) % n;
+        let mut slots = self.workers.len();
+        let mut picks: Vec<(usize, PendingJob)> = Vec::new();
+        let mut progressed = true;
+        while slots > 0 && progressed {
+            progressed = false;
+            for k in 0..n {
+                let t = (start + k) % n;
+                let state = &self.tenants[t];
+                let share = state.config.weight as usize;
+                let mut queue = state.queue.lock();
+                let take = share.min(slots).min(queue.len());
+                for _ in 0..take {
+                    picks.push((t, queue.pop_front().expect("len checked")));
+                    slots -= 1;
+                    progressed = true;
+                }
+                if slots == 0 {
+                    break;
+                }
+            }
+        }
+        for (t, was_backlogged) in backlogged.iter().enumerate() {
+            if *was_backlogged && !picks.iter().any(|(pt, _)| *pt == t) {
+                self.tenants[t].note_starved();
+                self.metrics.tenant(t).starved_rounds.inc();
+            }
+        }
+        picks
+    }
+
+    /// Drain one dispatch round: select jobs (weighted round-robin), issue
+    /// each onto its own worker queue, synchronize the context (one
+    /// scheduling epoch), and account completions. Returns the number of
+    /// jobs completed this round (0 = nothing queued).
+    pub fn dispatch_round(&self) -> usize {
+        let picks = self.select_round();
+        if picks.is_empty() {
+            return 0;
+        }
+        let trace_offset = self.platform.with_engine(|e| e.trace().records.len());
+        let epoch = self.ctx.current_epoch();
+        for (slot, (tenant, job)) in picks.iter().enumerate() {
+            let worker = &self.workers[slot];
+            self.metrics.tenant(*tenant).depth.set(self.tenants[*tenant].depth() as f64);
+            self.metrics.tenant(*tenant).dispatched.inc();
+            self.ctx.emit_event(&SchedEvent::JobDispatched {
+                epoch,
+                tenant: self.tenants[*tenant].config.name.clone(),
+                job: job.id,
+                queue: worker.id(),
+                at: self.platform.now(),
+            });
+            self.issue_job(worker, &job.spec, job.id).expect("validated spec issues cleanly");
+        }
+        // One synchronization epoch: the scheduler maps the combined pool.
+        self.ctx.finish_all();
+        // Attribute completion times: every trace record issued this round
+        // on a worker's queue belongs to the single job dispatched there.
+        let mut worker_end: HashMap<usize, SimTime> = HashMap::new();
+        self.platform.with_engine(|e| {
+            for r in &e.trace().records[trace_offset..] {
+                let end = worker_end.entry(r.queue).or_insert(SimTime::ZERO);
+                *end = (*end).max(r.stamp.end);
+            }
+        });
+        let now = self.platform.now();
+        let completed_epoch = self.ctx.current_epoch();
+        for (slot, (tenant, job)) in picks.iter().enumerate() {
+            let completed_at =
+                worker_end.get(&self.workers[slot].trace_id()).copied().unwrap_or(now);
+            let latency = completed_at.saturating_since(job.submitted_at);
+            self.metrics.tenant(*tenant).completed.inc();
+            self.metrics.record_latency(*tenant, latency);
+            self.ctx.emit_event(&SchedEvent::JobCompleted {
+                epoch: completed_epoch,
+                tenant: self.tenants[*tenant].config.name.clone(),
+                job: job.id,
+                latency,
+                at: completed_at,
+            });
+            self.outcomes.lock().push(JobOutcome {
+                id: job.id,
+                tenant: *tenant,
+                submitted_at: job.submitted_at,
+                completed_at,
+                latency,
+            });
+        }
+        picks.len()
+    }
+
+    /// Run dispatch rounds until every tenant queue is empty.
+    pub fn run_until_drained(&self) {
+        while self.dispatch_round() > 0 {}
+    }
+
+    /// Compile the programs of a template library and run one throwaway
+    /// instance of each template (service start-up). Afterwards no job pays
+    /// the `clBuildProgram` cost on the serving path, and the scheduler's
+    /// one-time per-kernel device profiling has already happened — without
+    /// this, `AUTO_FIT` would pay its profiling passes exactly while the
+    /// first burst of real jobs is testing admission capacity. Marks the
+    /// end of start-up: [`Self::serving_since`] is set to the clock after
+    /// the warm-up drains. Warm-up instances never touch tenant queues,
+    /// metrics, or outcomes.
+    pub fn warm_programs(&self, specs: &[JobSpec]) -> ClResult<()> {
+        for spec in specs {
+            self.program_for(spec)?;
+        }
+        for (i, spec) in specs.iter().enumerate() {
+            self.issue_job(&self.workers[i % self.workers.len()], spec, u64::MAX)?;
+        }
+        self.ctx.finish_all();
+        *self.serving_since.lock() = self.platform.now();
+        Ok(())
+    }
+
+    /// Virtual time at which start-up finished (`ZERO` if no warm-up ran).
+    pub fn serving_since(&self) -> SimTime {
+        *self.serving_since.lock()
+    }
+
+    /// Get or build the program for `spec`'s kernel set. Keyed by the full
+    /// kernel signature (name, arity, cost), so two templates sharing a
+    /// kernel name but differing in cost get distinct programs.
+    fn program_for(&self, spec: &JobSpec) -> ClResult<clrt::Program> {
+        let arities = spec.kernel_arities();
+        let key: String = spec
+            .kernels
+            .iter()
+            .map(|k| {
+                format!("{}/{}/{:?};", k.name, arities.get(&k.name).copied().unwrap_or(0), k.cost)
+            })
+            .collect();
+        let mut programs = self.programs.lock();
+        if let Some(p) = programs.get(&key) {
+            return Ok(p.clone());
+        }
+        let bodies: Vec<Arc<dyn KernelBody>> = spec
+            .kernels
+            .iter()
+            .map(|k| {
+                Arc::new(SpecKernel {
+                    name: k.name.clone(),
+                    arity: arities.get(&k.name).copied().unwrap_or(0),
+                    cost: k.cost,
+                }) as Arc<dyn KernelBody>
+            })
+            .collect();
+        let program = self.ctx.create_program(bodies)?;
+        programs.insert(key, program.clone());
+        Ok(program)
+    }
+
+    /// Issue one job's command stream onto `worker`: allocate its buffers,
+    /// build its program, and walk the steps in topological order. Writes
+    /// execute immediately (defining initial residency); launches buffer
+    /// into the worker's pending epoch.
+    fn issue_job(&self, worker: &SchedQueue, spec: &JobSpec, job_id: u64) -> ClResult<()> {
+        let mut buffers: HashMap<&str, clrt::Buffer> = HashMap::new();
+        for b in &spec.buffers {
+            buffers.insert(b.name.as_str(), self.ctx.create_buffer_of::<f64>(b.elements)?);
+        }
+        let program = self.program_for(spec)?;
+        let mut kernels: HashMap<&str, clrt::Kernel> = HashMap::new();
+        for k in &spec.kernels {
+            kernels.insert(k.name.as_str(), program.create_kernel(&k.name)?);
+        }
+        let order = spec.topo_order().expect("validated spec is acyclic");
+        for idx in order {
+            match &spec.steps[idx].op {
+                StepOp::Write { buffer } => {
+                    let buf = &buffers[buffer.as_str()];
+                    let data = vec![job_id as f64; buf.len::<f64>()];
+                    worker.enqueue_write(buf, &data)?;
+                }
+                StepOp::Launch { kernel, global, local, args } => {
+                    let k = &kernels[kernel.as_str()];
+                    for (pos, arg) in args.iter().enumerate() {
+                        k.set_arg(pos, ArgValue::BufferMut(buffers[arg.as_str()].clone()))?;
+                    }
+                    worker.enqueue_ndrange(k, NdRange::d1(*global, *local))?;
+                }
+            }
+        }
+        Ok(())
+    }
+}

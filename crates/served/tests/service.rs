@@ -1,0 +1,237 @@
+//! End-to-end tests of the job service: determinism, admission control,
+//! weighted fairness, telemetry coverage, and thread-safe submission.
+
+use clrt::Platform;
+use multicl::telemetry::RingBufferSink;
+use served::loadgen::{self, ArrivalMode, LoadgenConfig};
+use served::service::warmed_options;
+use served::{RejectReason, ServePolicy, Served, ServiceConfig, TenantConfig};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// A per-test scratch profile-cache directory.
+fn scratch_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("served-test-{tag}-{}", std::process::id()))
+}
+
+/// A small service with uniform tenants, for direct-submission tests.
+fn small_service(tag: &str, workers: usize, tenants: Vec<TenantConfig>) -> Served {
+    let platform = Platform::paper_node();
+    let options = warmed_options(&platform, scratch_dir(tag));
+    Served::new(
+        &platform,
+        ServiceConfig { policy: ServePolicy::AutoFit, workers, tenants, options },
+    )
+    .expect("service builds")
+}
+
+#[test]
+fn open_loop_runs_are_identical_across_cache_states() {
+    let cfg = LoadgenConfig {
+        seed: 11,
+        tenants: 3,
+        jobs: 18,
+        rate_hz: 3000.0,
+        workers: 3,
+        ..LoadgenConfig::default()
+    };
+    let dir = scratch_dir("det");
+    // Cold cache: the device profile is measured on a scratch platform.
+    let _ = std::fs::remove_dir_all(&dir);
+    let (first, arrivals_a) = loadgen::run(&cfg, &dir).expect("cold run");
+    // Warm cache: the profile loads from disk. The virtual timeline and
+    // every outcome must be unchanged.
+    let (second, arrivals_b) = loadgen::run(&cfg, &dir).expect("warm run");
+    assert_eq!(arrivals_a, arrivals_b, "arrival schedule is seed-determined");
+    assert_eq!(first.outcomes(), second.outcomes(), "outcomes identical cold vs warm");
+    assert_eq!(
+        loadgen::report_json(&first, &cfg).dump(),
+        loadgen::report_json(&second, &cfg).dump(),
+        "reports identical cold vs warm"
+    );
+    assert!(!first.outcomes().is_empty());
+}
+
+#[test]
+fn different_seeds_change_the_schedule() {
+    let dir = scratch_dir("seeds");
+    let a = loadgen::open_arrivals(&LoadgenConfig { seed: 1, ..LoadgenConfig::default() });
+    let b = loadgen::open_arrivals(&LoadgenConfig { seed: 2, ..LoadgenConfig::default() });
+    assert_ne!(a, b);
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn queue_full_submissions_are_rejected_with_reason() {
+    let served = small_service("reject", 2, vec![TenantConfig::new("a", 1, 2)]);
+    let spec = loadgen::templates()[0].clone();
+    assert!(served.submit(0, spec.clone()).is_ok());
+    assert!(served.submit(0, spec.clone()).is_ok());
+    match served.submit(0, spec.clone()) {
+        Err(RejectReason::QueueFull { depth, capacity }) => {
+            assert_eq!((depth, capacity), (2, 2));
+        }
+        other => panic!("expected QueueFull, got {other:?}"),
+    }
+    let m = served.metrics().tenant(0);
+    assert_eq!(m.submitted.get(), 3);
+    assert_eq!(m.admitted.get(), 2);
+    assert_eq!(m.rejected.get(), 1);
+    assert_eq!(m.depth.get(), 2.0);
+    // Draining frees capacity again.
+    served.run_until_drained();
+    assert_eq!(m.completed.get(), 2);
+    assert!(served.submit(0, spec).is_ok());
+}
+
+#[test]
+fn invalid_specs_are_rejected_before_queueing() {
+    let served = small_service("invalid", 1, vec![TenantConfig::new("a", 1, 4)]);
+    let mut spec = loadgen::templates()[0].clone();
+    spec.buffers.clear(); // steps now reference unknown buffers
+    match served.submit(0, spec) {
+        Err(RejectReason::InvalidSpec(_)) => {}
+        other => panic!("expected InvalidSpec, got {other:?}"),
+    }
+    assert_eq!(served.metrics().tenant(0).rejected.get(), 1);
+    assert_eq!(served.backlog(), 0);
+}
+
+#[test]
+fn weighted_round_robin_grants_weight_proportional_slots() {
+    let served = small_service(
+        "weights",
+        4,
+        vec![TenantConfig::new("heavy", 3, 16), TenantConfig::new("light", 1, 16)],
+    );
+    let spec = loadgen::templates()[1].clone();
+    for _ in 0..8 {
+        served.submit(0, spec.clone()).expect("admit heavy");
+        served.submit(1, spec.clone()).expect("admit light");
+    }
+    // One round, 4 slots: the sweep grants heavy its weight (3), light 1.
+    assert_eq!(served.dispatch_round(), 4);
+    assert_eq!(served.metrics().tenant(0).completed.get(), 3);
+    assert_eq!(served.metrics().tenant(1).completed.get(), 1);
+    served.run_until_drained();
+    assert_eq!(served.metrics().tenant(0).completed.get(), 8);
+    assert_eq!(served.metrics().tenant(1).completed.get(), 8);
+}
+
+#[test]
+fn starved_tenants_are_counted_and_eventually_served() {
+    let served = small_service(
+        "starve",
+        1,
+        vec![TenantConfig::new("a", 1, 8), TenantConfig::new("b", 1, 8)],
+    );
+    let spec = loadgen::templates()[0].clone();
+    served.submit(0, spec.clone()).expect("admit a");
+    served.submit(1, spec.clone()).expect("admit b");
+    // One worker slot: the round starting at tenant a serves a, starves b.
+    assert_eq!(served.dispatch_round(), 1);
+    assert_eq!(served.starvation_rounds(1), 1);
+    assert_eq!(served.metrics().tenant(1).starved_rounds.get(), 1);
+    // The rotating start serves b next round; nobody starves.
+    assert_eq!(served.dispatch_round(), 1);
+    assert_eq!(served.metrics().tenant(1).completed.get(), 1);
+    assert_eq!(served.starvation_rounds(1), 1);
+}
+
+#[test]
+fn job_lifecycle_events_interleave_with_scheduler_events() {
+    let recorder = Arc::new(RingBufferSink::new(4096));
+    let cfg = LoadgenConfig {
+        seed: 5,
+        tenants: 2,
+        jobs: 10,
+        rate_hz: 50_000.0, // overload a little to get rejections
+        queue_capacity: 2,
+        workers: 2,
+        ..LoadgenConfig::default()
+    };
+    let (served, _) =
+        loadgen::run_with(&cfg, &scratch_dir("events"), vec![recorder.clone()]).expect("run");
+    let kinds: std::collections::HashSet<&'static str> =
+        recorder.snapshot().iter().map(|e| e.kind()).collect();
+    for kind in ["job_submitted", "job_admitted", "job_dispatched", "job_completed"] {
+        assert!(kinds.contains(kind), "missing {kind} in {kinds:?}");
+    }
+    for kind in ["epoch_begin", "mapping_decision", "epoch_end"] {
+        assert!(kinds.contains(kind), "missing scheduler event {kind} in {kinds:?}");
+    }
+    let total: u64 =
+        (0..served.tenant_count()).map(|i| served.metrics().tenant(i).completed.get()).sum();
+    assert_eq!(total as usize, served.outcomes().len());
+}
+
+#[test]
+fn closed_loop_completes_every_submission() {
+    let cfg = LoadgenConfig {
+        seed: 9,
+        tenants: 2,
+        jobs: 12,
+        mode: ArrivalMode::Closed,
+        concurrency: 2,
+        workers: 2,
+        ..LoadgenConfig::default()
+    };
+    let (served, _) = loadgen::run(&cfg, &scratch_dir("closed")).expect("run");
+    let m = served.metrics();
+    let submitted: u64 = (0..2).map(|i| m.tenant(i).submitted.get()).sum();
+    let completed: u64 = (0..2).map(|i| m.tenant(i).completed.get()).sum();
+    assert_eq!(submitted, 12);
+    assert_eq!(completed, 12, "closed loop never rejects under its own concurrency bound");
+}
+
+#[test]
+fn trace_roundtrips_and_replays_identically() {
+    let cfg = LoadgenConfig { seed: 21, tenants: 2, jobs: 8, ..LoadgenConfig::default() };
+    let arrivals = loadgen::open_arrivals(&cfg);
+    let text = loadgen::trace_lines(&arrivals);
+    let parsed = loadgen::parse_trace(&text).expect("trace parses");
+    assert_eq!(parsed, arrivals);
+    // Replaying the parsed trace gives the same outcomes as driving the
+    // original schedule.
+    let dir = scratch_dir("replay");
+    let a = loadgen::build_service(&cfg, &dir, Vec::new()).expect("service a");
+    a.warm_programs(&loadgen::templates()).expect("warm a");
+    loadgen::drive_open(&a, &arrivals);
+    let b = loadgen::build_service(&cfg, &dir, Vec::new()).expect("service b");
+    b.warm_programs(&loadgen::templates()).expect("warm b");
+    loadgen::drive_open(&b, &parsed);
+    assert_eq!(a.outcomes(), b.outcomes());
+}
+
+#[test]
+fn concurrent_submitters_are_accounted_exactly() {
+    const PER_TENANT: usize = 25;
+    let served = Arc::new(small_service(
+        "threads",
+        4,
+        (0..4).map(|i| TenantConfig::new(format!("t{i}"), 1, PER_TENANT)).collect(),
+    ));
+    let spec = loadgen::templates()[2].clone();
+    let handles: Vec<_> = (0..4)
+        .map(|tenant| {
+            let served = Arc::clone(&served);
+            let spec = spec.clone();
+            std::thread::spawn(move || {
+                for _ in 0..PER_TENANT {
+                    served.submit(tenant, spec.clone()).expect("capacity is sufficient");
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("submitter thread");
+    }
+    assert_eq!(served.backlog(), 4 * PER_TENANT);
+    for i in 0..4 {
+        assert_eq!(served.metrics().tenant(i).admitted.get(), PER_TENANT as u64);
+    }
+    served.run_until_drained();
+    assert_eq!(served.outcomes().len(), 4 * PER_TENANT);
+    let ids: std::collections::HashSet<u64> = served.outcomes().iter().map(|o| o.id).collect();
+    assert_eq!(ids.len(), 4 * PER_TENANT, "job ids are unique across threads");
+}

@@ -8,70 +8,9 @@ pub use hwsim;
 pub use multicl;
 pub use npb;
 pub use seismo;
+pub use served;
 
-/// A tiny deterministic xorshift64* generator for randomized tests.
-///
-/// The workspace builds offline with no external crates, so the
-/// property-style integration tests drive their input generation from this
-/// instead of a property-testing framework. Seeds are fixed in the tests:
-/// failures reproduce exactly.
-pub mod xrand {
-    /// xorshift64* state.
-    pub struct XorShift(u64);
-
-    impl XorShift {
-        /// Seeded generator (zero seeds are nudged to 1).
-        pub fn new(seed: u64) -> XorShift {
-            XorShift(seed.max(1))
-        }
-
-        /// Next raw value.
-        pub fn next_u64(&mut self) -> u64 {
-            self.0 ^= self.0 << 13;
-            self.0 ^= self.0 >> 7;
-            self.0 ^= self.0 << 17;
-            self.0.wrapping_mul(0x2545_F491_4F6C_DD1D)
-        }
-
-        /// Uniform integer in `[lo, hi)`.
-        pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
-            assert!(lo < hi);
-            lo + self.next_u64() % (hi - lo)
-        }
-
-        /// Uniform index in `[0, n)`.
-        pub fn index(&mut self, n: usize) -> usize {
-            self.range_u64(0, n as u64) as usize
-        }
-
-        /// Uniform float in `[0, 1)`.
-        pub fn f64(&mut self) -> f64 {
-            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
-        }
-
-        /// Uniform float in `[lo, hi)`.
-        pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
-            lo + self.f64() * (hi - lo)
-        }
-    }
-
-    #[cfg(test)]
-    mod tests {
-        use super::*;
-
-        #[test]
-        fn deterministic_and_in_range() {
-            let mut a = XorShift::new(42);
-            let mut b = XorShift::new(42);
-            for _ in 0..1000 {
-                assert_eq!(a.next_u64(), b.next_u64());
-                let v = a.range_u64(5, 10);
-                b.range_u64(5, 10);
-                assert!((5..10).contains(&v));
-                let f = a.f64();
-                b.f64();
-                assert!((0.0..1.0).contains(&f));
-            }
-        }
-    }
-}
+/// Deterministic xorshift64* generator, re-exported from [`hwsim::xrand`]
+/// (where it moved so that non-umbrella crates can share it). Existing
+/// `multicl_repro::xrand::XorShift` paths keep working.
+pub use hwsim::xrand;
