@@ -33,6 +33,25 @@ fn main() {
             black_box(mapper::greedy(black_box(&costs)))
         });
     }
+    // Serving-scale points, where only the budgeted strategies stay cheap.
+    let budget = multicl::DEFAULT_ADAPTIVE_NODE_BUDGET;
+    let mut scratch = mapper::MapperScratch::new();
+    for (queues, devices) in [(16usize, 4usize), (32, 8), (64, 16)] {
+        let costs = matrix(queues, devices);
+        bench(&format!("mapper/adaptive/{queues}q_{devices}d"), || {
+            black_box(mapper::adaptive(black_box(&costs), None, budget, &mut scratch))
+        });
+        bench(&format!("mapper/greedy_refined/{queues}q_{devices}d"), || {
+            black_box(mapper::greedy_refined(black_box(&costs)))
+        });
+    }
+    // Warm starts: re-deciding an epoch whose assignment barely changed —
+    // the serving steady state — should be far cheaper than a cold search.
+    let costs = matrix(24, 6);
+    let warm = mapper::adaptive(&costs, None, budget, &mut scratch).mapping.assignment;
+    bench("mapper/adaptive_warm/24q_6d", || {
+        black_box(mapper::adaptive(black_box(&costs), Some(&warm), budget, &mut scratch))
+    });
     bench("mapper/round_robin/8q_3d", || {
         black_box(mapper::round_robin(black_box(8), black_box(3), 0))
     });

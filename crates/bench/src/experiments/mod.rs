@@ -11,4 +11,5 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod mapper_scaling;
 pub mod tables;

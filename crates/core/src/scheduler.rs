@@ -55,12 +55,19 @@ pub const ITER_FREQ_ENV: &str = "MULTICL_SCHED_FREQ";
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum MapperKind {
     /// Exact makespan minimization (the paper's dynamic-programming mapper;
-    /// guaranteed optimal, negligible cost at node scale).
+    /// guaranteed optimal, negligible cost at node scale). Warm-started
+    /// from the previous epoch's assignment and symmetry-pruned, but
+    /// unbounded: pathological pools can still take exponential time.
     #[default]
     Optimal,
     /// Longest-processing-time greedy heuristic — an ablation point showing
     /// what the optimality guarantee buys.
     Greedy,
+    /// Exact search under [`SchedOptions::adaptive_node_budget`] explored
+    /// nodes; past the budget, falls back to the incumbent (greedy refined
+    /// by local search — never worse than greedy). Optimal in the paper's
+    /// small-pool regime, bounded decision cost at serving scale.
+    Adaptive,
 }
 
 /// Runtime options controlling the overhead-reduction strategies. All enabled
@@ -85,6 +92,19 @@ pub struct SchedOptions {
     pub profile_cache: ProfileCache,
     /// Mapping algorithm for the AUTO_FIT policy.
     pub mapper: MapperKind,
+    /// Explored-node budget for [`MapperKind::Adaptive`]: exact search
+    /// gives up and keeps the refined-greedy incumbent after this many
+    /// branch-and-bound nodes. The default (100k nodes, well under a
+    /// millisecond of host time) is far more than the paper's node-scale
+    /// pools ever need, so adaptive == optimal in that regime.
+    pub adaptive_node_budget: u64,
+    /// Worker threads for the per-queue cost-vector computation on warm
+    /// epochs (every queue served from the profile caches). `0` or `1`
+    /// keeps the pass fully sequential; profiling epochs are always
+    /// sequential regardless (profiling charges virtual time and moves
+    /// buffer residency, which must happen in pool order). Defaults to
+    /// `min(4, available_parallelism)`.
+    pub cost_threads: usize,
     /// Telemetry observers attached at context creation; each receives
     /// every [`SchedEvent`] the runtime emits. More can be added later via
     /// [`MulticlContext::add_observer`]. When the `MULTICL_DEBUG`
@@ -105,10 +125,20 @@ impl Default for SchedOptions {
             per_kernel_trigger: false,
             profile_cache: ProfileCache::default_location(),
             mapper: MapperKind::Optimal,
+            adaptive_node_budget: DEFAULT_ADAPTIVE_NODE_BUDGET,
+            cost_threads: std::thread::available_parallelism().map_or(1, |n| n.get()).min(4),
             observers: Vec::new(),
         }
     }
 }
+
+/// Default [`SchedOptions::adaptive_node_budget`].
+pub const DEFAULT_ADAPTIVE_NODE_BUDGET: u64 = 100_000;
+
+/// Pools smaller than this are costed sequentially even when
+/// [`SchedOptions::cost_threads`] allows parallelism — thread hand-off
+/// costs more than a handful of cache lookups.
+const PARALLEL_COST_MIN_POOL: usize = 8;
 
 impl std::fmt::Debug for SchedOptions {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -119,6 +149,8 @@ impl std::fmt::Debug for SchedOptions {
             .field("per_kernel_trigger", &self.per_kernel_trigger)
             .field("profile_cache", &self.profile_cache)
             .field("mapper", &self.mapper)
+            .field("adaptive_node_budget", &self.adaptive_node_budget)
+            .field("cost_threads", &self.cost_threads)
             .field("observers", &self.observers.len())
             .finish()
     }
@@ -201,6 +233,21 @@ struct RtInner {
     /// whole pool, computes an assignment, and rebinds+flushes — interleaving
     /// two passes could double-flush a queue or rebind it mid-flush.
     pass_lock: Mutex<()>,
+    /// Reusable mapper buffers (scratch, cost matrix, warm-start vector).
+    /// Passes are serialized by `pass_lock`, so this lock is uncontended —
+    /// it exists to keep `RtInner: Sync` without `unsafe`.
+    mapper_state: Mutex<MapperState>,
+}
+
+/// Buffers the AUTO_FIT arm reuses across epochs so the steady-state hot
+/// path does not allocate per decision.
+#[derive(Default)]
+struct MapperState {
+    scratch: mapper::MapperScratch,
+    costs: mapper::CostMatrix,
+    /// Previous-epoch warm start: each pool queue's current device binding,
+    /// as an index into the pass's device list.
+    warm: Vec<DeviceId>,
 }
 
 /// Interpret a debug-style environment variable value: unset, empty (after
@@ -261,6 +308,7 @@ impl MulticlContext {
                 sched_epoch: AtomicU64::new(0),
                 observers: Mutex::new(observers),
                 pass_lock: Mutex::new(()),
+                mapper_state: Mutex::new(MapperState::default()),
             }),
         })
     }
@@ -422,11 +470,16 @@ impl RtInner {
     }
 
     /// The scheduler proper: runs at every synchronization trigger.
+    ///
+    /// Stats are accumulated into a local delta and applied under a single
+    /// `stats` lock per pass — the epoch hot path takes no per-queue or
+    /// per-event stats locks.
     fn schedule_and_flush(&self) {
         // One pass at a time: concurrent submitters (e.g. the serving
         // layer's front-end threads) may all hit a trigger; the second one
         // waits and then finds the pool already drained, which is correct.
         let _pass = self.pass_lock.lock();
+        let mut delta = SchedStats::default();
         let queues = self.alive_queues();
         let mut pool: Vec<Arc<QueueState>> = Vec::new();
         let mut passthrough: Vec<Arc<QueueState>> = Vec::new();
@@ -442,12 +495,13 @@ impl RtInner {
         }
         // Non-participating queues flush to their current binding.
         for q in &passthrough {
-            self.flush_queue(q);
+            delta.kernels_issued += self.flush_queue(q);
         }
         if pool.is_empty() {
+            self.apply_stats(&delta);
             return;
         }
-        self.stats.lock().sched_invocations += 1;
+        delta.sched_invocations += 1;
         let epoch = self.sched_epoch.fetch_add(1, Ordering::Relaxed) + 1;
         let began = self.platform.now();
         self.emit(&SchedEvent::EpochBegin {
@@ -480,15 +534,54 @@ impl RtInner {
                     .collect()
             }
             ContextSchedPolicy::AutoFit => {
-                let breakdowns: Vec<CostBreakdown> =
-                    pool.iter().map(|q| self.cost_breakdown(q, &devices, epoch)).collect();
+                let breakdowns = self.pool_breakdowns(&pool, &devices, epoch, &mut delta);
                 profiling = self.platform.now().saturating_since(began);
-                let costs: mapper::CostMatrix =
-                    breakdowns.iter().map(CostBreakdown::totals).collect();
-                let (mapper_name, mapping) = match self.options.mapper {
-                    MapperKind::Optimal => ("optimal", mapper::optimal(&costs)),
-                    MapperKind::Greedy => ("greedy", mapper::greedy(&costs)),
+                let mut state = self.mapper_state.lock();
+                let state = &mut *state;
+                // Reuse the cost-matrix rows across epochs: the steady
+                // state re-fills them without allocating.
+                state.costs.resize_with(breakdowns.len(), Vec::new);
+                for (row, b) in state.costs.iter_mut().zip(&breakdowns) {
+                    b.totals_into(row);
+                }
+                // Warm start: each queue's current binding — exactly the
+                // previous epoch's assignment for queues that stayed in the
+                // pool. Positions are column indices into `devices`.
+                state.warm.clear();
+                let warm_valid = pool.iter().all(|q| {
+                    devices.iter().position(|&d| d == q.cl.device()).is_some_and(|i| {
+                        state.warm.push(DeviceId(i));
+                        true
+                    })
+                });
+                let warm = warm_valid.then_some(state.warm.as_slice());
+                let mapper_began = std::time::Instant::now();
+                let (mapper_name, outcome) = match self.options.mapper {
+                    MapperKind::Optimal => {
+                        ("optimal", mapper::optimal_with(&state.costs, warm, &mut state.scratch))
+                    }
+                    MapperKind::Greedy => (
+                        "greedy",
+                        mapper::SearchOutcome {
+                            mapping: mapper::greedy(&state.costs),
+                            nodes_explored: 0,
+                            budget_tripped: false,
+                        },
+                    ),
+                    MapperKind::Adaptive => (
+                        "adaptive",
+                        mapper::adaptive(
+                            &state.costs,
+                            warm,
+                            self.options.adaptive_node_budget,
+                            &mut state.scratch,
+                        ),
+                    ),
                 };
+                let mapper_wall = SimDuration::from_nanos(
+                    mapper_began.elapsed().as_nanos().min(u64::MAX as u128) as u64,
+                );
+                let mapping = outcome.mapping;
                 let decisions: Vec<QueueDecision> = pool
                     .iter()
                     .zip(&breakdowns)
@@ -506,12 +599,15 @@ impl RtInner {
                     at: self.platform.now(),
                     mapper: mapper_name.to_string(),
                     makespan: mapping.makespan,
+                    nodes_explored: outcome.nodes_explored,
+                    budget_tripped: outcome.budget_tripped,
+                    mapper_wall,
                     queues: decisions,
                 });
-                mapping.assignment.into_iter().map(|d| devices[d.index()]).collect()
+                mapping.assignment.iter().map(|d| devices[d.index()]).collect()
             }
         };
-        let issued_before = self.stats.lock().kernels_issued;
+        let mut pool_issued = 0;
         for (q, dev) in pool.iter().zip(&assignment) {
             let previous = q.cl.device();
             if previous != *dev {
@@ -529,37 +625,223 @@ impl RtInner {
                 });
             }
             q.cl.rebind(*dev).expect("mapper chose a context device");
-            self.flush_queue(q);
+            pool_issued += self.flush_queue(q);
         }
+        delta.kernels_issued += pool_issued;
+        self.apply_stats(&delta);
         let done = self.platform.now();
-        let kernels_issued = self.stats.lock().kernels_issued - issued_before;
         self.emit(&SchedEvent::EpochEnd {
             epoch,
             at: done,
             elapsed: done.saturating_since(began),
             profiling,
-            kernels_issued,
+            kernels_issued: pool_issued,
         });
     }
 
+    /// Fold a pass's accumulated stats delta into the shared counters —
+    /// the single `stats` lock acquisition per scheduling pass.
+    fn apply_stats(&self, delta: &SchedStats) {
+        let mut stats = self.stats.lock();
+        stats.sched_invocations += delta.sched_invocations;
+        stats.profiled_epochs += delta.profiled_epochs;
+        stats.cache_hits += delta.cache_hits;
+        stats.kernels_issued += delta.kernels_issued;
+    }
+
+    /// Cost breakdowns for the whole pool. Warm epochs — every queue's
+    /// cost vector available from the profile caches — are pure reads and
+    /// fan out across [`SchedOptions::cost_threads`] scoped workers; any
+    /// queue that needs dynamic profiling forces the fully sequential
+    /// legacy path, because profiling charges virtual time and moves
+    /// buffer residency in pool order. Either way, telemetry events are
+    /// emitted sequentially in pool order, so the observable stream (and
+    /// the virtual clock) is identical to a sequential pass.
+    fn pool_breakdowns(
+        &self,
+        pool: &[Arc<QueueState>],
+        devices: &[DeviceId],
+        epoch: u64,
+        delta: &mut SchedStats,
+    ) -> Vec<CostBreakdown> {
+        let threads = self.options.cost_threads.min(pool.len());
+        let plans: Option<Vec<CostPlan>> = if threads >= 2 && pool.len() >= PARALLEL_COST_MIN_POOL {
+            pool.iter()
+                .map(|q| {
+                    let plan = self.classify(q);
+                    matches!(plan, CostPlan::Hit(_) | CostPlan::Compose(_) | CostPlan::Static)
+                        .then_some(plan)
+                })
+                .collect()
+        } else {
+            None
+        };
+        let Some(plans) = plans else {
+            // Cold (or small) pass: sequential, event-interleaved with the
+            // profiling work exactly as before.
+            return pool.iter().map(|q| self.cost_breakdown(q, devices, epoch, delta)).collect();
+        };
+        let mut slots: Vec<Option<CostBreakdown>> = Vec::with_capacity(pool.len());
+        slots.resize_with(pool.len(), || None);
+        std::thread::scope(|scope| {
+            let workers: Vec<_> = (0..threads)
+                .map(|stripe| {
+                    let plans = &plans;
+                    scope.spawn(move || {
+                        let mut part: Vec<(usize, CostBreakdown)> = Vec::new();
+                        let mut i = stripe;
+                        while i < pool.len() {
+                            part.push((i, self.cached_breakdown(&pool[i], &plans[i], devices)));
+                            i += threads;
+                        }
+                        part
+                    })
+                })
+                .collect();
+            for w in workers {
+                for (i, b) in w.join().expect("cost worker panicked") {
+                    slots[i] = Some(b);
+                }
+            }
+        });
+        let breakdowns: Vec<CostBreakdown> =
+            slots.into_iter().map(|b| b.expect("every stripe covered its indices")).collect();
+        // Cache bookkeeping and events, sequentially in pool order — the
+        // stream is indistinguishable from the sequential path.
+        for (plan, breakdown) in plans.into_iter().zip(&breakdowns) {
+            match plan {
+                CostPlan::Static => {}
+                CostPlan::Hit(key) => {
+                    delta.cache_hits += 1;
+                    self.emit(&SchedEvent::CacheHit { epoch, key });
+                }
+                CostPlan::Compose(key) => {
+                    delta.cache_hits += 1;
+                    self.epoch_profiles.lock().insert(key.clone(), breakdown.exec.clone());
+                    self.emit(&SchedEvent::CacheHit { epoch, key });
+                }
+                CostPlan::Profile => unreachable!("profile plans take the sequential path"),
+            }
+        }
+        breakdowns
+    }
+
+    /// How a queue's cost vector will be obtained this pass. `Hit` and
+    /// `Compose` (and `Static`) are pure cache/profile reads, safe to
+    /// compute concurrently; `Profile` must run dynamic profiling, which
+    /// mutates the virtual clock and buffer residency.
+    fn classify(&self, q: &QueueState) -> CostPlan {
+        if q.flags.contains(QueueSchedFlags::SCHED_AUTO_STATIC) {
+            return CostPlan::Static;
+        }
+        let pending = q.pending.lock();
+        // §V-C1: iterative queues may force periodic re-profiling.
+        if self.force_reprofile(q) {
+            return CostPlan::Profile;
+        }
+        let key = epoch_key(&pending);
+        if self.epoch_profiles.lock().contains_key(&key) {
+            return CostPlan::Hit(key);
+        }
+        let kp = self.kernel_profiles.lock();
+        if pending.iter().all(|p| kp.contains_key(&p.kernel.name())) {
+            return CostPlan::Compose(key);
+        }
+        CostPlan::Profile
+    }
+
+    fn force_reprofile(&self, q: &QueueState) -> bool {
+        match (q.flags.contains(QueueSchedFlags::SCHED_ITERATIVE), self.options.iterative_frequency)
+        {
+            (true, Some(freq)) if freq > 0 => q.epochs.load(Ordering::Relaxed).is_multiple_of(freq),
+            _ => false,
+        }
+    }
+
+    /// Cost breakdown for one queue whose plan is a pure read (`Static`,
+    /// `Hit`, or `Compose`). Touches only caches and buffer-residency
+    /// snapshots — no events, no stats, no clock — so the warm pass can run
+    /// many of these concurrently. The caches cannot change under us: only
+    /// scheduling passes mutate them and `pass_lock` is held.
+    fn cached_breakdown(
+        &self,
+        q: &QueueState,
+        plan: &CostPlan,
+        devices: &[DeviceId],
+    ) -> CostBreakdown {
+        let pending = q.pending.lock();
+        match plan {
+            CostPlan::Static => CostBreakdown {
+                exec: self.static_costs(q, &pending, devices),
+                migration: vec![SimDuration::ZERO; devices.len()],
+            },
+            CostPlan::Hit(key) => {
+                let exec = self
+                    .epoch_profiles
+                    .lock()
+                    .get(key)
+                    .cloned()
+                    .expect("classified as hit under pass_lock");
+                CostBreakdown { exec, migration: self.migration_vec(q, &pending, devices) }
+            }
+            CostPlan::Compose(_) => {
+                let kp = self.kernel_profiles.lock();
+                let mut exec = vec![SimDuration::ZERO; devices.len()];
+                for p in pending.iter() {
+                    for (t, v) in exec.iter_mut().zip(&kp[&p.kernel.name()]) {
+                        *t += *v;
+                    }
+                }
+                drop(kp);
+                CostBreakdown { exec, migration: self.migration_vec(q, &pending, devices) }
+            }
+            CostPlan::Profile => unreachable!("profile plans take the sequential path"),
+        }
+    }
+
+    /// Predicted per-device migration-cost column for one queue, honoring
+    /// the explicit-region amortization exception.
+    fn migration_vec(
+        &self,
+        q: &QueueState,
+        pending: &[PendingKernel],
+        devices: &[DeviceId],
+    ) -> Vec<SimDuration> {
+        if q.flags.contains(QueueSchedFlags::SCHED_EXPLICIT_REGION) {
+            vec![SimDuration::ZERO; devices.len()]
+        } else {
+            devices.iter().map(|&d| self.migration_cost(pending, d)).collect()
+        }
+    }
+
     /// Issue a queue's buffered launches to its (now final) device.
-    fn flush_queue(&self, q: &QueueState) {
+    /// Returns the number of launches issued; the caller folds it into the
+    /// pass's stats delta.
+    fn flush_queue(&self, q: &QueueState) -> u64 {
         let pending: Vec<PendingKernel> = std::mem::take(&mut *q.pending.lock());
         if pending.is_empty() {
-            return;
+            return 0;
         }
-        self.stats.lock().kernels_issued += pending.len() as u64;
+        let issued = pending.len() as u64;
         q.epochs.fetch_add(1, Ordering::Relaxed);
         for cmd in pending {
             q.cl.enqueue_ndrange_with_args(&cmd.kernel, cmd.nd, &cmd.args, &[])
                 .expect("buffered launch was validated at enqueue time");
         }
+        issued
     }
 
     /// Per-device cost terms for one queue's pending epoch, kept separate
     /// so the [`SchedEvent::MappingDecision`] explain record can show the
-    /// execution and migration contributions individually.
-    fn cost_breakdown(&self, q: &QueueState, devices: &[DeviceId], epoch: u64) -> CostBreakdown {
+    /// execution and migration contributions individually. The sequential
+    /// path: may run dynamic profiling (clock + residency side effects).
+    fn cost_breakdown(
+        &self,
+        q: &QueueState,
+        devices: &[DeviceId],
+        epoch: u64,
+        delta: &mut SchedStats,
+    ) -> CostBreakdown {
         let pending = q.pending.lock();
         if q.flags.contains(QueueSchedFlags::SCHED_AUTO_STATIC) {
             // §V-B: static mode ranks devices purely by the hint score —
@@ -570,7 +852,7 @@ impl RtInner {
                 migration: vec![SimDuration::ZERO; devices.len()],
             };
         }
-        let exec = self.dynamic_costs(q, &pending, devices, epoch);
+        let exec = self.dynamic_costs(q, &pending, devices, epoch, delta);
         // The predicted data-migration cost of *choosing* each device:
         // buffers the epoch reads that are not yet resident there ("we
         // derive the data transfer costs based on the device profiles, and
@@ -582,11 +864,7 @@ impl RtInner {
         // migration cost is amortized over many future epochs; charging it
         // against every-epoch kernel costs would bias the mapper toward
         // wherever the data happens to start.
-        let migration = if q.flags.contains(QueueSchedFlags::SCHED_EXPLICIT_REGION) {
-            vec![SimDuration::ZERO; devices.len()]
-        } else {
-            devices.iter().map(|&d| self.migration_cost(&pending, d)).collect()
-        };
+        let migration = self.migration_vec(q, &pending, devices);
         CostBreakdown { exec, migration }
     }
 
@@ -625,19 +903,14 @@ impl RtInner {
         pending: &[PendingKernel],
         devices: &[DeviceId],
         epoch: u64,
+        delta: &mut SchedStats,
     ) -> Vec<SimDuration> {
         let key = epoch_key(pending);
         // §V-C1: iterative queues may force periodic re-profiling.
-        let force = match (
-            q.flags.contains(QueueSchedFlags::SCHED_ITERATIVE),
-            self.options.iterative_frequency,
-        ) {
-            (true, Some(freq)) if freq > 0 => q.epochs.load(Ordering::Relaxed).is_multiple_of(freq),
-            _ => false,
-        };
+        let force = self.force_reprofile(q);
         if !force {
             if let Some(v) = self.epoch_profiles.lock().get(&key).cloned() {
-                self.stats.lock().cache_hits += 1;
+                delta.cache_hits += 1;
                 self.emit(&SchedEvent::CacheHit { epoch, key });
                 return v;
             }
@@ -651,7 +924,7 @@ impl RtInner {
                     }
                 }
                 drop(kp);
-                self.stats.lock().cache_hits += 1;
+                delta.cache_hits += 1;
                 self.epoch_profiles.lock().insert(key.clone(), total.clone());
                 self.emit(&SchedEvent::CacheHit { epoch, key });
                 return total;
@@ -684,7 +957,7 @@ impl RtInner {
         };
         if !missing.is_empty() {
             self.profile_kernels(&missing, devices, minikernel, epoch);
-            self.stats.lock().profiled_epochs += 1;
+            delta.profiled_epochs += 1;
         }
         // Epoch estimate: sum the cached per-name rows over every launch.
         let kp = self.kernel_profiles.lock();
@@ -895,10 +1168,27 @@ struct CostBreakdown {
 }
 
 impl CostBreakdown {
-    /// The combined per-device cost column handed to the mapper.
-    fn totals(&self) -> Vec<SimDuration> {
-        self.exec.iter().zip(&self.migration).map(|(e, m)| *e + *m).collect()
+    /// The combined per-device cost column handed to the mapper, written
+    /// into a reused row buffer.
+    fn totals_into(&self, row: &mut Vec<SimDuration>) {
+        row.clear();
+        row.extend(self.exec.iter().zip(&self.migration).map(|(e, m)| *e + *m));
     }
+}
+
+/// How one pool queue's cost vector will be obtained this pass (see
+/// [`RtInner::classify`]).
+enum CostPlan {
+    /// §V-B static hint scores — pure arithmetic over the device profile.
+    Static,
+    /// The epoch cache already holds this key.
+    Hit(String),
+    /// Every kernel name has a cached per-device row; the epoch vector is
+    /// their sum (and is inserted into the epoch cache afterwards).
+    Compose(String),
+    /// Dynamic profiling required (cold kernels, or a forced iterative
+    /// re-profile) — virtual-clock and residency side effects.
+    Profile,
 }
 
 /// Build the epoch cache key: the multiset of kernel names (§V-C1, "the key

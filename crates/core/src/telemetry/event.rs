@@ -87,10 +87,22 @@ pub enum SchedEvent {
         epoch: u64,
         /// Virtual time of the decision.
         at: SimTime,
-        /// Mapping algorithm (`optimal` / `greedy`).
+        /// Mapping algorithm (`optimal` / `greedy` / `adaptive`).
         mapper: String,
         /// Predicted concurrent completion time of the chosen assignment.
         makespan: SimDuration,
+        /// Branch-and-bound nodes the mapper explored (0 for heuristics
+        /// that do no tree search).
+        nodes_explored: u64,
+        /// Whether the adaptive mapper's node budget tripped, making this
+        /// a heuristic (greedy + local search) decision rather than a
+        /// proven optimum.
+        budget_tripped: bool,
+        /// *Host* wall-clock time the mapping computation took — the
+        /// scheduler's own decision overhead. Unlike every other duration
+        /// in the stream this is real time, not virtual engine time: the
+        /// mapper runs on the host and charges nothing to the simulation.
+        mapper_wall: SimDuration,
         /// Per-queue explain records, pool order.
         queues: Vec<QueueDecision>,
     },
@@ -251,12 +263,24 @@ impl SchedEvent {
                     ("key", Json::from(key.as_str())),
                 ])
             }
-            SchedEvent::MappingDecision { epoch, at, mapper, makespan, queues } => Json::obj([
+            SchedEvent::MappingDecision {
+                epoch,
+                at,
+                mapper,
+                makespan,
+                nodes_explored,
+                budget_tripped,
+                mapper_wall,
+                queues,
+            } => Json::obj([
                 ("type", Json::from(self.kind())),
                 ("epoch", Json::from(*epoch)),
                 ("at_ns", Json::from(at.as_nanos())),
                 ("mapper", Json::from(mapper.as_str())),
                 ("makespan_ns", Json::from(makespan.as_nanos())),
+                ("nodes_explored", Json::from(*nodes_explored)),
+                ("budget_tripped", Json::Bool(*budget_tripped)),
+                ("mapper_wall_ns", Json::from(mapper_wall.as_nanos())),
                 (
                     "queues",
                     Json::Arr(
@@ -366,6 +390,14 @@ impl SchedEvent {
                 at: time("at_ns")?,
                 mapper: value.get("mapper")?.as_str()?.to_string(),
                 makespan: dur("makespan_ns")?,
+                // Effort fields were added later; default them so streams
+                // recorded by older builds still replay.
+                nodes_explored: value.get("nodes_explored").and_then(Json::as_u64).unwrap_or(0),
+                budget_tripped: value
+                    .get("budget_tripped")
+                    .and_then(Json::as_bool)
+                    .unwrap_or(false),
+                mapper_wall: dur("mapper_wall_ns").unwrap_or(SimDuration::ZERO),
                 queues: value
                     .get("queues")?
                     .as_arr()?
@@ -459,8 +491,11 @@ pub(crate) fn sample_events() -> Vec<SchedEvent> {
         SchedEvent::MappingDecision {
             epoch: 1,
             at: SimTime::from_nanos(500),
-            mapper: "optimal".into(),
+            mapper: "adaptive".into(),
             makespan: ns(42),
+            nodes_explored: 137,
+            budget_tripped: true,
+            mapper_wall: ns(2_500),
             queues: vec![QueueDecision {
                 queue: 0,
                 exec_estimates: vec![ns(5), ns(9)],
@@ -559,6 +594,25 @@ mod tests {
         assert_eq!(d.total(DeviceId(1)), ns(110));
         assert_eq!(d.total(DeviceId(2)), ns(80));
         assert_eq!(d.argmin_total(), DeviceId(2));
+    }
+
+    #[test]
+    fn mapping_decision_without_effort_fields_decodes_with_defaults() {
+        // Streams recorded before the mapper-effort fields existed must
+        // still replay: missing fields default to "no search effort".
+        let v = Json::parse(
+            r#"{"type":"mapping_decision","epoch":4,"at_ns":500,"mapper":"optimal",
+                "makespan_ns":42,"queues":[]}"#,
+        )
+        .unwrap();
+        match SchedEvent::from_json(&v).expect("legacy record decodes") {
+            SchedEvent::MappingDecision { nodes_explored, budget_tripped, mapper_wall, .. } => {
+                assert_eq!(nodes_explored, 0);
+                assert!(!budget_tripped);
+                assert_eq!(mapper_wall, SimDuration::ZERO);
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
     }
 
     #[test]

@@ -358,6 +358,14 @@ pub struct SchedMetrics {
     pub profiling_overhead: Histogram,
     /// Bytes migrated per queue rebind.
     pub migrated_bytes: Histogram,
+    /// Branch-and-bound nodes explored per mapping decision.
+    pub mapper_nodes: Histogram,
+    /// Host wall-clock time per mapping decision (ns) — the scheduler's
+    /// own decision overhead, not virtual time.
+    pub mapper_wall: Histogram,
+    /// Mapping decisions where the adaptive node budget tripped and a
+    /// heuristic (greedy + local search) answer was used.
+    pub mapper_budget_trips: Counter,
 }
 
 impl Default for SchedMetrics {
@@ -395,6 +403,18 @@ impl Default for SchedMetrics {
             ),
             migrated_bytes: registry
                 .histogram("multicl_migrated_bytes", "Bytes migrated per queue rebind"),
+            mapper_nodes: registry.histogram(
+                "multicl_mapper_nodes",
+                "Branch-and-bound nodes explored per mapping decision",
+            ),
+            mapper_wall: registry.histogram(
+                "multicl_mapper_wall_ns",
+                "Host wall-clock time per mapping decision in nanoseconds",
+            ),
+            mapper_budget_trips: registry.counter(
+                "multicl_mapper_budget_trips_total",
+                "Mapping decisions where the adaptive node budget tripped",
+            ),
             registry,
         }
     }
@@ -421,7 +441,13 @@ impl SchedObserver for SchedMetrics {
             SchedEvent::KernelProfiled { .. } => self.kernels_profiled.inc(),
             SchedEvent::CacheHit { .. } => self.cache_hits.inc(),
             SchedEvent::CacheMiss { .. } => self.cache_misses.inc(),
-            SchedEvent::MappingDecision { .. } => {}
+            SchedEvent::MappingDecision { nodes_explored, budget_tripped, mapper_wall, .. } => {
+                self.mapper_nodes.observe(*nodes_explored);
+                self.mapper_wall.observe(mapper_wall.as_nanos());
+                if *budget_tripped {
+                    self.mapper_budget_trips.inc();
+                }
+            }
             SchedEvent::QueueMigrated { bytes, .. } => {
                 self.queue_migrations.inc();
                 self.migrated_bytes.observe(*bytes);

@@ -28,13 +28,27 @@ pub fn one_line(event: &SchedEvent) -> String {
         }
         SchedEvent::CacheHit { key, .. } => format!("cache hit for epoch [{key}]"),
         SchedEvent::CacheMiss { key, .. } => format!("cache miss for epoch [{key}]"),
-        SchedEvent::MappingDecision { mapper, makespan, queues, .. } => {
+        SchedEvent::MappingDecision {
+            mapper,
+            makespan,
+            queues,
+            nodes_explored,
+            budget_tripped,
+            mapper_wall,
+            ..
+        } => {
             let assignment = queues
                 .iter()
                 .map(|q| format!("Q{}→{}", q.queue, q.chosen))
                 .collect::<Vec<_>>()
                 .join(" ");
-            format!("{mapper} mapping [{assignment}], makespan {}", ms(*makespan))
+            let tripped = if *budget_tripped { ", budget tripped" } else { "" };
+            format!(
+                "{mapper} mapping [{assignment}], makespan {} \
+                 ({nodes_explored} node(s), {} wall{tripped})",
+                ms(*makespan),
+                ms(*mapper_wall),
+            )
         }
         SchedEvent::QueueMigrated { queue, from, to, bytes, .. } => {
             format!("queue Q{queue} migrated {from}→{to} ({bytes}B to move)")
@@ -135,6 +149,9 @@ mod tests {
                 at: SimTime::from_nanos(10),
                 mapper: "optimal".into(),
                 makespan: ns(2_000_000),
+                nodes_explored: 42,
+                budget_tripped: false,
+                mapper_wall: ns(7_000),
                 queues: vec![
                     QueueDecision {
                         queue: 0,
@@ -163,6 +180,8 @@ mod tests {
         let log = decision_log(&events);
         assert!(log.contains("=== epoch 1"), "{log}");
         assert!(log.contains("optimal mapping [Q0→D0 Q1→D1]"), "{log}");
+        assert!(log.contains("42 node(s)"), "{log}");
+        assert!(!log.contains("budget tripped"), "{log}");
         // Q1 moved off its previous device and off its local argmin (D0),
         // so both markers appear.
         assert!(log.contains("Q1 → D1 (was D0)"), "{log}");

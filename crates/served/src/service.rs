@@ -82,9 +82,13 @@ pub struct ServiceConfig {
 }
 
 impl ServiceConfig {
-    /// A config with default scheduler options.
+    /// A config with serving-default scheduler options: the adaptive mapper,
+    /// so a mapping decision over a large worker pool stays within the node
+    /// budget instead of searching a `D^Q` space exactly.
     pub fn new(policy: ServePolicy, workers: usize, tenants: Vec<TenantConfig>) -> ServiceConfig {
-        ServiceConfig { policy, workers, tenants, options: SchedOptions::default() }
+        let options =
+            SchedOptions { mapper: multicl::MapperKind::Adaptive, ..SchedOptions::default() };
+        ServiceConfig { policy, workers, tenants, options }
     }
 }
 
@@ -93,7 +97,10 @@ impl ServiceConfig {
 /// the serving context never charges device-profiling time to the serving
 /// clock. This makes the virtual timeline identical across runs whether or
 /// not a cache already existed — the property the deterministic load
-/// generator relies on.
+/// generator relies on. Like [`ServiceConfig::new`], serving uses the
+/// adaptive mapper (the decision itself is host time, not virtual time,
+/// but pools are large enough that an unbounded exact search would be the
+/// scheduler's real-world bottleneck).
 pub fn warmed_options(platform: &Platform, dir: impl Into<PathBuf>) -> SchedOptions {
     let cache = ProfileCache::at(dir);
     let fingerprint = platform.node().fingerprint();
@@ -102,7 +109,11 @@ pub fn warmed_options(platform: &Platform, dir: impl Into<PathBuf>) -> SchedOpti
         let profile = DeviceProfile::measure(&scratch);
         let _ = cache.store(&profile);
     }
-    SchedOptions { profile_cache: cache, ..SchedOptions::default() }
+    SchedOptions {
+        profile_cache: cache,
+        mapper: multicl::MapperKind::Adaptive,
+        ..SchedOptions::default()
+    }
 }
 
 /// A kernel body synthesized from a [`JobSpec`] kernel declaration: the

@@ -23,15 +23,16 @@ fn cost_matrix(rng: &mut XorShift, queues: usize, devices: usize) -> Vec<Vec<Sim
 /// reports the true makespan of its own assignment.
 #[test]
 fn mapper_optimal_beats_every_enumerated_assignment() {
+    let mut load = vec![SimDuration::ZERO; 3];
     for seed in 0..60u64 {
         let mut rng = XorShift::new(seed + 1);
         let queues = rng.range_u64(1, 6) as usize;
         let costs = cost_matrix(&mut rng, queues, 3);
         let m = mapper::optimal(&costs);
         assert_eq!(m.assignment.len(), queues);
-        assert_eq!(mapper::makespan(&costs, &m.assignment, 3), m.makespan);
+        assert_eq!(mapper::makespan(&costs, &m.assignment, &mut load), m.makespan);
         for a in mapper::enumerate_assignments(queues, 3) {
-            assert!(m.makespan <= mapper::makespan(&costs, &a, 3), "seed {seed}");
+            assert!(m.makespan <= mapper::makespan(&costs, &a, &mut load), "seed {seed}");
         }
     }
 }
@@ -39,14 +40,101 @@ fn mapper_optimal_beats_every_enumerated_assignment() {
 /// Greedy is valid (same cost accounting) and never beats optimal.
 #[test]
 fn mapper_greedy_is_valid_and_dominated() {
+    let mut load = vec![SimDuration::ZERO; 4];
     for seed in 0..60u64 {
         let mut rng = XorShift::new(seed + 1);
         let queues = rng.range_u64(1, 8) as usize;
         let costs = cost_matrix(&mut rng, queues, 4);
         let g = mapper::greedy(&costs);
-        assert_eq!(mapper::makespan(&costs, &g.assignment, 4), g.makespan);
+        assert_eq!(mapper::makespan(&costs, &g.assignment, &mut load), g.makespan);
         let o = mapper::optimal(&costs);
         assert!(g.makespan >= o.makespan, "seed {seed}");
+    }
+}
+
+/// The adaptive mapper with a generous budget is *exactly* optimal — same
+/// (makespan, total) objective — on every instance small enough to verify
+/// by enumeration (`D^Q ≤ 4096`).
+#[test]
+fn mapper_adaptive_equals_optimal_on_small_instances() {
+    let mut scratch = mapper::MapperScratch::new();
+    for seed in 0..80u64 {
+        let mut rng = XorShift::new(seed + 1);
+        // D ∈ {2,3,4}, Q chosen so D^Q ≤ 4096: 2^12, 3^7 = 2187, 4^6.
+        let devices = rng.range_u64(2, 5) as usize;
+        let max_q = match devices {
+            2 => 12,
+            3 => 7,
+            _ => 6,
+        };
+        let queues = rng.range_u64(1, max_q + 1) as usize;
+        assert!(devices.pow(queues as u32) <= 4096);
+        let costs = cost_matrix(&mut rng, queues, devices);
+        let o = mapper::optimal(&costs);
+        let a = mapper::adaptive(&costs, None, 1_000_000, &mut scratch);
+        assert!(!a.budget_tripped, "seed {seed}: tiny instance must fit the budget");
+        assert_eq!(
+            (a.mapping.makespan, a.mapping.total),
+            (o.makespan, o.total),
+            "seed {seed}: adaptive under budget must match optimal"
+        );
+        // And the optimum really is the enumerated one.
+        let mut load = vec![SimDuration::ZERO; devices];
+        let brute = mapper::enumerate_assignments(queues, devices)
+            .into_iter()
+            .map(|asg| mapper::makespan(&costs, &asg, &mut load))
+            .min()
+            .unwrap();
+        assert_eq!(o.makespan, brute, "seed {seed}");
+    }
+}
+
+/// Local search never worsens: starting from greedy (and from adversarially
+/// bad all-on-one-device seeds), the refined makespan is ≤ the seed's.
+#[test]
+fn mapper_local_search_never_worse_than_greedy() {
+    let mut load = [SimDuration::ZERO; 5];
+    for seed in 0..120u64 {
+        let mut rng = XorShift::new(seed + 1);
+        let devices = rng.range_u64(2, 6) as usize;
+        let queues = rng.range_u64(1, 20) as usize;
+        let costs = cost_matrix(&mut rng, queues, devices);
+        let g = mapper::greedy(&costs);
+        let refined = mapper::greedy_refined(&costs);
+        assert!(refined.makespan <= g.makespan, "seed {seed}");
+        assert_eq!(
+            mapper::makespan(&costs, &refined.assignment, &mut load[..devices]),
+            refined.makespan,
+            "seed {seed}"
+        );
+        // From a deliberately terrible seed, refinement still never worsens.
+        let mut stacked = vec![DeviceId(rng.index(devices)); queues];
+        let before = mapper::makespan(&costs, &stacked, &mut load[..devices]);
+        let after = mapper::local_search(&costs, &mut stacked);
+        assert!(after.makespan <= before, "seed {seed}");
+    }
+}
+
+/// A warm-started exact search reaches the identical (makespan, total)
+/// objective as the cold search — the warm start only tightens the bound.
+#[test]
+fn mapper_warm_start_preserves_the_cold_objective() {
+    let mut scratch = mapper::MapperScratch::new();
+    for seed in 0..80u64 {
+        let mut rng = XorShift::new(seed + 1);
+        let devices = rng.range_u64(2, 5) as usize;
+        let queues = rng.range_u64(1, 9) as usize;
+        let costs = cost_matrix(&mut rng, queues, devices);
+        let cold = mapper::optimal_with(&costs, None, &mut scratch);
+        // Any warm start — here a random (possibly awful) assignment.
+        let warm: Vec<DeviceId> = (0..queues).map(|_| DeviceId(rng.index(devices))).collect();
+        let warmed = mapper::optimal_with(&costs, Some(&warm), &mut scratch);
+        assert_eq!(
+            (warmed.mapping.makespan, warmed.mapping.total),
+            (cold.mapping.makespan, cold.mapping.total),
+            "seed {seed}: warm start changed the objective"
+        );
+        assert!(!cold.budget_tripped && !warmed.budget_tripped);
     }
 }
 
