@@ -32,7 +32,7 @@ fn main() {
                 device: DeviceId((i % 3) as usize),
                 kind: CommandKind::Marker,
                 duration: SimDuration::from_micros(5),
-                waits: vec![],
+                waits: hwsim::WaitList::new(),
                 queue: 0,
             });
             black_box(ev);

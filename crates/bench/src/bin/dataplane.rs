@@ -1,0 +1,45 @@
+//! Data-plane scaling experiment: run the capacity workload at data-plane
+//! worker counts {1, 2, 4, 8} and report wall-clock throughput per count.
+//! The virtual timeline is asserted bit-identical across counts — the
+//! executor is a pure wall-clock optimization.
+//!
+//! Writes `results/BENCH_dataplane.json` (and a CSV of the table).
+//!
+//! Usage: `cargo run --release -p multicl-bench --bin dataplane [SEED] [JOBS]`
+//! Pass `--smoke` (in place of the positional args) for the CI variant:
+//! a small job count over workers {1, 2}, checking the semantic invariant
+//! without asserting anything about speed.
+
+use multicl_bench::experiments::dataplane;
+use multicl_bench::{print_table, write_report};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let positional: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let seed: u64 = positional.first().and_then(|s| s.parse().ok()).unwrap_or(42);
+    let jobs: usize =
+        positional.get(1).and_then(|s| s.parse().ok()).unwrap_or(if smoke { 10 } else { 48 });
+    let workers: Vec<usize> = if smoke { vec![1, 2] } else { dataplane::default_workers() };
+
+    let points = dataplane::run(seed, jobs, &workers);
+    let table = dataplane::table(&points);
+    print_table(&table);
+
+    assert!(
+        dataplane::identical_timelines(&points),
+        "worker count changed the virtual timeline: {points:?}"
+    );
+    println!("virtual timeline identical across worker counts \u{2713}");
+    if let Some(speedup) = dataplane::speedup_vs_sequential(&points, 4) {
+        println!("wall-clock speedup, 4 workers vs synchronous: {speedup:.2}x");
+    }
+
+    let json = dataplane::to_json(seed, jobs, &points);
+    if let Some(path) = write_report("BENCH_dataplane.json", &(json.dump() + "\n")) {
+        println!("wrote {}", path.display());
+    }
+    if let Some(path) = write_report("dataplane_scaling.csv", &table.to_csv()) {
+        println!("wrote {}", path.display());
+    }
+}

@@ -9,6 +9,7 @@
 //! machinery behind the paper's data-movement overhead analysis (Figs. 6–7).
 
 use crate::error::{ClError, ClResult};
+use crate::exec::{BufHazard, DataPlane, TaskId};
 use crate::platform::next_object_id;
 use hwsim::sync::Mutex;
 use hwsim::DeviceId;
@@ -117,6 +118,13 @@ pub(crate) struct BufferInner {
     pub(crate) ctx_id: u64,
     pub(crate) store: Mutex<DataStore>,
     pub(crate) residency: Mutex<Residency>,
+    /// Data-plane hazard state: last writer task, readers since, and the
+    /// write version counter.
+    pub(crate) hazard: Mutex<BufHazard>,
+    /// The executor of the owning runtime; `None` for bare buffers created
+    /// outside a context (unit tests). Host accessors join through it so
+    /// snapshots always observe completed data-plane writes.
+    pub(crate) plane: Option<Arc<DataPlane>>,
 }
 
 /// An OpenCL memory object (`clCreateBuffer`).
@@ -129,7 +137,17 @@ pub struct Buffer {
 }
 
 impl Buffer {
+    /// A bare buffer outside any runtime (no data plane): unit tests only.
+    #[cfg(test)]
     pub(crate) fn new(ctx_id: u64, byte_len: usize) -> ClResult<Buffer> {
+        Buffer::new_on_plane(ctx_id, byte_len, None)
+    }
+
+    pub(crate) fn new_on_plane(
+        ctx_id: u64,
+        byte_len: usize,
+        plane: Option<Arc<DataPlane>>,
+    ) -> ClResult<Buffer> {
         if byte_len == 0 {
             return Err(ClError::InvalidValue("buffer size must be nonzero".into()));
         }
@@ -139,8 +157,39 @@ impl Buffer {
                 ctx_id,
                 store: Mutex::new(DataStore::zeroed(byte_len)),
                 residency: Mutex::new(Residency::fresh()),
+                hazard: Mutex::new(BufHazard::default()),
+                plane,
             }),
         })
+    }
+
+    /// Join every outstanding data-plane task that writes this buffer, so a
+    /// subsequent read of the store observes final contents.
+    pub(crate) fn sync_for_read(&self) {
+        let Some(plane) = &self.inner.plane else { return };
+        let ids: Vec<TaskId> = {
+            let h = self.inner.hazard.lock();
+            h.last_writer.into_iter().collect()
+        };
+        plane.join(&ids);
+    }
+
+    /// Join every outstanding task touching this buffer (writers *and*
+    /// readers), so a host-side mutation cannot race an in-flight reader.
+    pub(crate) fn sync_for_write(&self) {
+        let Some(plane) = &self.inner.plane else { return };
+        let ids: Vec<TaskId> = {
+            let h = self.inner.hazard.lock();
+            h.last_writer.into_iter().chain(h.readers.iter().copied()).collect()
+        };
+        plane.join(&ids);
+    }
+
+    /// Number of data-plane writes this buffer has received (kernel
+    /// launches writing it, `enqueue_write`s, copies into it, host fills).
+    /// A cheap coherence probe for tests and diagnostics.
+    pub fn data_version(&self) -> u64 {
+        self.inner.hazard.lock().version
     }
 
     /// Buffer length in bytes.
@@ -179,6 +228,7 @@ impl Buffer {
     /// experiments; this accessor is for test assertions and host-side
     /// initialization.
     pub fn host_snapshot<T: Element>(&self) -> Vec<T> {
+        self.sync_for_read();
         self.inner.store.lock().as_slice::<T>().to_vec()
     }
 
@@ -186,6 +236,7 @@ impl Buffer {
     /// invalidating all device copies. For initialization and tests; use
     /// [`crate::CommandQueue::enqueue_write`] inside timed experiments.
     pub fn host_fill<T: Element>(&self, data: &[T]) -> ClResult<()> {
+        self.sync_for_write();
         let mut store = self.inner.store.lock();
         let slice = store.as_mut_slice::<T>();
         if slice.len() != data.len() {
@@ -196,6 +247,8 @@ impl Buffer {
             )));
         }
         slice.copy_from_slice(data);
+        drop(store);
+        self.inner.hazard.lock().version += 1;
         let mut res = self.inner.residency.lock();
         res.devices.clear();
         res.host = true;
@@ -221,9 +274,11 @@ impl Buffer {
     /// Mutate the host-side storage in place (initialization/tests only),
     /// invalidating device copies.
     pub fn host_with_mut<T: Element, R>(&self, f: impl FnOnce(&mut [T]) -> R) -> R {
+        self.sync_for_write();
         let mut store = self.inner.store.lock();
         let r = f(store.as_mut_slice::<T>());
         drop(store);
+        self.inner.hazard.lock().version += 1;
         let mut res = self.inner.residency.lock();
         res.devices.clear();
         res.host = true;

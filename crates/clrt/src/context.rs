@@ -74,7 +74,7 @@ impl Context {
                 "buffer of {byte_len} bytes exceeds the largest device memory ({max_cap} bytes)"
             )));
         }
-        Buffer::new(self.id, byte_len)
+        Buffer::new_on_plane(self.id, byte_len, Some(Arc::clone(&self.rt.plane)))
     }
 
     /// Typed convenience over [`Self::create_buffer`].

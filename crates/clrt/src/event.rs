@@ -6,20 +6,48 @@ use hwsim::SimDuration;
 use std::sync::Arc;
 
 /// A `cl_event`: handle to one submitted command's completion.
-#[derive(Clone)]
+///
+/// When the runtime was built with
+/// [`crate::platform::RuntimeConfig::retire_events`], live `Event` handles
+/// pin their engine stamps: clone/drop maintain a refcount so completed
+/// events retire only once no handle can query them.
 pub struct Event {
     pub(crate) rt: Arc<RuntimeInner>,
     pub(crate) id: EventId,
 }
 
+impl Clone for Event {
+    fn clone(&self) -> Event {
+        if self.rt.retire_events {
+            self.rt.engine.lock().pin_event(self.id);
+        }
+        Event { rt: Arc::clone(&self.rt), id: self.id }
+    }
+}
+
+impl Drop for Event {
+    fn drop(&mut self) {
+        if self.rt.retire_events {
+            self.rt.engine.lock().unpin_event(self.id);
+        }
+    }
+}
+
 impl Event {
     pub(crate) fn new(rt: Arc<RuntimeInner>, id: EventId) -> Event {
+        if rt.retire_events {
+            rt.engine.lock().pin_event(id);
+        }
         Event { rt, id }
     }
 
-    /// Block the host until the command completes (`clWaitForEvents`).
+    /// Block the host until the command completes (`clWaitForEvents`), in
+    /// both planes: the virtual clock advances past the command's end, and
+    /// the data-plane task backing the command (with everything it
+    /// transitively depends on) has executed.
     pub fn wait(&self) {
         self.rt.engine.lock().wait(self.id);
+        self.rt.plane.join_event(self.id.0);
     }
 
     /// Profiling timestamps (`clGetEventProfilingInfo`).
@@ -71,7 +99,7 @@ mod tests {
                 device: DeviceId(0),
                 kind: CommandKind::Kernel { name: StdArc::from("k") },
                 duration: SimDuration::from_millis(ms),
-                waits: vec![],
+                waits: hwsim::WaitList::new(),
                 queue: 0,
             })
         });

@@ -1,0 +1,764 @@
+//! The data-plane executor: a hazard-tracked host task pool.
+//!
+//! clrt separates two planes. The **time plane** (the hwsim engine) assigns
+//! virtual timestamps to every command, eagerly, under the engine lock —
+//! nothing in this module touches it. The **data plane** is the real Rust
+//! computation against host-backed buffer stores: kernel bodies, buffer
+//! writes, and copies. Historically the data plane ran synchronously on the
+//! enqueueing thread; this module turns each data-plane action into a *task*
+//! executed by a pool of worker threads, so independent commands overlap in
+//! wall-clock time while producing bit-identical buffer contents.
+//!
+//! ## Hazard rules
+//!
+//! Each task declares the buffers it reads and writes. Dependencies are
+//! derived per buffer from the classic hazards, captured atomically (under
+//! the executor lock) in enqueue order:
+//!
+//! * **RAW** — a reader depends on the buffer's last writer.
+//! * **WAR** — a writer depends on every reader since the last write.
+//! * **WAW** — a writer depends on the last writer.
+//!
+//! On top of the hazard edges, tasks carry the orderings the program already
+//! expressed: the in-order-queue chain and explicit event wait lists. The
+//! hazard DAG therefore contains every content-affecting ordering of the
+//! sequential execution, which is what makes worker count invisible to
+//! results (property-tested in `tests/dataplane.rs`).
+//!
+//! Reader tasks of one buffer may run concurrently; they lock buffer stores
+//! in canonical (buffer-id) order, so concurrent multi-buffer readers cannot
+//! deadlock. Writer/writer and writer/reader pairs are ordered by the DAG
+//! and never run concurrently.
+//!
+//! ## Blocking points
+//!
+//! `finish`, blocking reads, and `Event::wait` join only the tasks they
+//! transitively depend on (the DAG already encodes transitivity: joining a
+//! task implicitly joins its ancestors, because a task only completes after
+//! its dependencies). `workers == 1` degenerates to the historical
+//! synchronous path: tasks run inline on the enqueueing thread with no
+//! queueing, allocation, or cloning added.
+
+use crate::buffer::Buffer;
+use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar};
+use std::thread::JoinHandle;
+
+use hwsim::sync::Mutex;
+
+/// Monotonic identifier of a data-plane task. Never reused; an id absent
+/// from the live-task table has completed.
+pub type TaskId = u64;
+
+/// One buffer access of a task (read or write), used to derive hazards.
+pub(crate) struct Access<'a> {
+    pub(crate) buf: &'a Buffer,
+    pub(crate) write: bool,
+}
+
+impl<'a> Access<'a> {
+    pub(crate) fn read(buf: &'a Buffer) -> Access<'a> {
+        Access { buf, write: false }
+    }
+
+    pub(crate) fn write(buf: &'a Buffer) -> Access<'a> {
+        Access { buf, write: true }
+    }
+}
+
+/// Per-buffer hazard state (lives in `BufferInner`). `version` counts
+/// data-plane writes to the buffer — a cheap coherence probe for tests and
+/// diagnostics.
+#[derive(Debug, Default)]
+pub(crate) struct BufHazard {
+    pub(crate) last_writer: Option<TaskId>,
+    pub(crate) readers: Vec<TaskId>,
+    pub(crate) version: u64,
+}
+
+/// Counters describing executor load (sampled by telemetry).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DataPlaneStats {
+    /// Worker threads the pool may use (1 = inline/synchronous mode).
+    pub workers: usize,
+    /// Tasks submitted to the asynchronous pool.
+    pub submitted: u64,
+    /// Tasks executed inline on the enqueueing thread (workers == 1).
+    pub inline_tasks: u64,
+    /// Asynchronous tasks completed.
+    pub executed: u64,
+    /// Live (incomplete) tasks right now.
+    pub queue_depth: usize,
+    /// Maximum live tasks observed.
+    pub peak_queue_depth: usize,
+    /// Workers executing a task right now.
+    pub busy_workers: usize,
+    /// Maximum concurrently-busy workers observed.
+    pub peak_busy_workers: usize,
+    /// Blocking joins performed (finish / blocking read / event wait).
+    pub joins: u64,
+}
+
+struct Node {
+    /// The task body; taken by the executing worker. `None` for *manual*
+    /// tasks (blocking reads run their body on the caller thread).
+    work: Option<Box<dyn FnOnce() + Send>>,
+    manual: bool,
+    unmet: usize,
+    dependents: Vec<TaskId>,
+    /// Engine event id this task backs, for `Event::wait` joins.
+    event: Option<usize>,
+}
+
+#[derive(Default)]
+struct State {
+    next: TaskId,
+    tasks: HashMap<TaskId, Node>,
+    ready: VecDeque<TaskId>,
+    /// Engine event id → live task backing it.
+    events: HashMap<usize, TaskId>,
+    threads: Vec<JoinHandle<()>>,
+    spawned: usize,
+    busy: usize,
+    shutdown: bool,
+    panic_msg: Option<String>,
+    submitted: u64,
+    inline_tasks: u64,
+    executed: u64,
+    peak_live: usize,
+    peak_busy: usize,
+    joins: u64,
+}
+
+/// The hazard-tracked task executor (see module docs). One per
+/// [`crate::Platform`]; shared by every queue and buffer of the runtime.
+pub struct DataPlane {
+    workers: usize,
+    state: Mutex<State>,
+    /// Wakes workers when tasks become ready (or on shutdown).
+    work_cv: Condvar,
+    /// Wakes joiners when tasks complete (or become ready, for manual tasks).
+    done_cv: Condvar,
+}
+
+impl DataPlane {
+    /// A pool of `workers` threads; `0` means available parallelism and `1`
+    /// means fully inline (today's synchronous path). Threads spawn lazily,
+    /// only when submissions outpace idle workers.
+    pub(crate) fn new(workers: usize) -> DataPlane {
+        let workers = if workers == 0 {
+            std::thread::available_parallelism().map(usize::from).unwrap_or(1)
+        } else {
+            workers
+        };
+        DataPlane {
+            workers,
+            state: Mutex::new(State::default()),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+        }
+    }
+
+    /// Worker threads the pool may use.
+    pub(crate) fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// True when tasks run inline on the enqueueing thread.
+    pub(crate) fn is_inline(&self) -> bool {
+        self.workers <= 1
+    }
+
+    /// Record an inline execution: bump write versions and counters. The
+    /// caller runs the body itself (avoiding clones the async path needs).
+    pub(crate) fn note_inline(&self, accesses: &[Access<'_>]) {
+        for a in accesses {
+            if a.write {
+                a.buf.inner.hazard.lock().version += 1;
+            }
+        }
+        self.state.lock().inline_tasks += 1;
+    }
+
+    /// Submit a task. Dependencies are derived from `accesses` (hazards),
+    /// `task_deps` (queue chaining, barriers), and `wait_events` (explicit
+    /// event wait lists, resolved to the live tasks backing them). In inline
+    /// mode the body runs immediately and `None` is returned.
+    pub(crate) fn submit(
+        self: &Arc<Self>,
+        accesses: &[Access<'_>],
+        task_deps: &[TaskId],
+        wait_events: &[usize],
+        event: Option<usize>,
+        work: Box<dyn FnOnce() + Send>,
+    ) -> Option<TaskId> {
+        if self.is_inline() {
+            self.note_inline(accesses);
+            work();
+            return None;
+        }
+        let mut st = self.state.lock();
+        let id = st.next;
+        st.next += 1;
+        let mut deps: Vec<TaskId> = Vec::with_capacity(accesses.len() + task_deps.len() + 1);
+        self.capture_hazards(&mut st, id, accesses, &mut deps);
+        deps.extend_from_slice(task_deps);
+        for e in wait_events {
+            if let Some(&t) = st.events.get(e) {
+                deps.push(t);
+            }
+        }
+        deps.sort_unstable();
+        deps.dedup();
+        let mut unmet = 0;
+        for d in &deps {
+            if let Some(n) = st.tasks.get_mut(d) {
+                n.dependents.push(id);
+                unmet += 1;
+            }
+        }
+        st.tasks.insert(
+            id,
+            Node { work: Some(work), manual: false, unmet, dependents: Vec::new(), event },
+        );
+        if let Some(e) = event {
+            st.events.insert(e, id);
+        }
+        st.submitted += 1;
+        st.peak_live = st.peak_live.max(st.tasks.len());
+        if unmet == 0 {
+            st.ready.push_back(id);
+        }
+        self.ensure_worker(self, &mut st);
+        drop(st);
+        self.work_cv.notify_one();
+        Some(id)
+    }
+
+    /// Register a *manual* task: it participates in hazard tracking like any
+    /// other task, but its body runs on the caller thread between
+    /// [`ManualTask::wait_ready`] and completion (drop). Used by blocking
+    /// reads so later writers order after the host copy-out. Returns `None`
+    /// in inline mode.
+    pub(crate) fn begin_manual(
+        self: &Arc<Self>,
+        accesses: &[Access<'_>],
+        task_deps: &[TaskId],
+    ) -> Option<ManualTask> {
+        if self.is_inline() {
+            self.note_inline(accesses);
+            return None;
+        }
+        let mut st = self.state.lock();
+        let id = st.next;
+        st.next += 1;
+        let mut deps: Vec<TaskId> = Vec::with_capacity(accesses.len() + task_deps.len());
+        self.capture_hazards(&mut st, id, accesses, &mut deps);
+        deps.extend_from_slice(task_deps);
+        deps.sort_unstable();
+        deps.dedup();
+        let mut unmet = 0;
+        for d in &deps {
+            if let Some(n) = st.tasks.get_mut(d) {
+                n.dependents.push(id);
+                unmet += 1;
+            }
+        }
+        st.tasks.insert(
+            id,
+            Node { work: None, manual: true, unmet, dependents: Vec::new(), event: None },
+        );
+        st.submitted += 1;
+        st.peak_live = st.peak_live.max(st.tasks.len());
+        drop(st);
+        Some(ManualTask { plane: Arc::clone(self), id, done: false })
+    }
+
+    /// Derive hazard edges for `id` from `accesses` into `deps`, updating
+    /// the per-buffer hazard state. Caller holds the executor lock, which
+    /// makes capture atomic across concurrent submitters; the per-buffer
+    /// locks are leaves (never held across another lock acquisition).
+    fn capture_hazards(
+        &self,
+        st: &mut State,
+        id: TaskId,
+        accesses: &[Access<'_>],
+        deps: &mut Vec<TaskId>,
+    ) {
+        for a in accesses {
+            let mut h = a.buf.inner.hazard.lock();
+            if a.write {
+                if let Some(w) = h.last_writer {
+                    deps.push(w); // WAW
+                }
+                deps.append(&mut h.readers); // WAR (drains readers)
+                h.last_writer = Some(id);
+                h.version += 1;
+            } else {
+                if let Some(w) = h.last_writer {
+                    deps.push(w); // RAW
+                }
+                // Prune completed readers so read-heavy buffers stay small.
+                h.readers.retain(|t| st.tasks.contains_key(t));
+                h.readers.push(id);
+            }
+        }
+    }
+
+    /// Spawn a worker if there are more ready tasks than idle workers and
+    /// the pool has room. (Comparing against *idle* rather than *busy*
+    /// workers matters: a just-notified worker that has not yet claimed its
+    /// task still counts as idle, and the next submission must not assume it
+    /// will absorb both tasks.)
+    fn ensure_worker(&self, arc: &Arc<Self>, st: &mut State) {
+        if st.spawned < self.workers && st.ready.len() > st.spawned - st.busy {
+            st.spawned += 1;
+            let plane = Arc::clone(arc);
+            st.threads.push(
+                std::thread::Builder::new()
+                    .name(format!("clrt-dp-{}", st.spawned))
+                    .spawn(move || plane.worker_loop())
+                    .expect("spawn data-plane worker"),
+            );
+        }
+    }
+
+    fn worker_loop(self: Arc<Self>) {
+        let mut st = self.state.lock();
+        loop {
+            while st.ready.is_empty() && !st.shutdown {
+                st = self.work_cv.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+            let Some(id) = st.ready.pop_front() else {
+                if st.shutdown {
+                    return;
+                }
+                continue;
+            };
+            let work = st.tasks.get_mut(&id).and_then(|n| n.work.take());
+            st.busy += 1;
+            st.peak_busy = st.peak_busy.max(st.busy);
+            drop(st);
+            let panicked = work
+                .and_then(|f| catch_unwind(AssertUnwindSafe(f)).err().map(|e| payload_msg(&*e)));
+            st = self.state.lock();
+            st.busy -= 1;
+            if let Some(msg) = panicked {
+                st.panic_msg.get_or_insert(msg);
+            }
+            Self::complete_locked(&mut st, id);
+            self.ensure_worker(&self, &mut st);
+            // Dependents may now be ready; completions unblock joiners.
+            self.work_cv.notify_all();
+            self.done_cv.notify_all();
+        }
+    }
+
+    /// Remove a completed task, releasing its dependents.
+    fn complete_locked(st: &mut State, id: TaskId) {
+        let Some(node) = st.tasks.remove(&id) else { return };
+        st.executed += 1;
+        if let Some(e) = node.event {
+            st.events.remove(&e);
+        }
+        for d in node.dependents {
+            if let Some(n) = st.tasks.get_mut(&d) {
+                n.unmet -= 1;
+                if n.unmet == 0 && !n.manual {
+                    st.ready.push_back(d);
+                }
+                // Manual tasks are claimed by their owner via wait_ready.
+            }
+        }
+    }
+
+    /// Block until every task in `ids` (and, transitively, everything they
+    /// depend on) has completed. Ids of already-completed tasks are skipped.
+    pub(crate) fn join(&self, ids: &[TaskId]) {
+        if self.is_inline() || ids.is_empty() {
+            return;
+        }
+        let mut st = self.state.lock();
+        st.joins += 1;
+        for id in ids {
+            while st.tasks.contains_key(id) {
+                st = self.done_cv.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+        }
+        let msg = st.panic_msg.clone();
+        drop(st);
+        if let Some(m) = msg {
+            panic!("data-plane task panicked: {m}");
+        }
+    }
+
+    /// Join the task backing engine event `ev`, if one is still live.
+    pub(crate) fn join_event(&self, ev: usize) {
+        if self.is_inline() {
+            return;
+        }
+        let mut st = self.state.lock();
+        st.joins += 1;
+        while let Some(&t) = st.events.get(&ev) {
+            let _ = t;
+            st = self.done_cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        let msg = st.panic_msg.clone();
+        drop(st);
+        if let Some(m) = msg {
+            panic!("data-plane task panicked: {m}");
+        }
+    }
+
+    /// Drop completed ids from `ids` (bounds per-queue bookkeeping).
+    pub(crate) fn retain_live(&self, ids: &mut Vec<TaskId>) {
+        if self.is_inline() {
+            ids.clear();
+            return;
+        }
+        let st = self.state.lock();
+        ids.retain(|t| st.tasks.contains_key(t));
+    }
+
+    /// Block until the executor is fully idle (no live tasks).
+    pub(crate) fn quiesce(&self) {
+        if self.is_inline() {
+            return;
+        }
+        let mut st = self.state.lock();
+        while !st.tasks.is_empty() {
+            st = self.done_cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        let msg = st.panic_msg.clone();
+        drop(st);
+        if let Some(m) = msg {
+            panic!("data-plane task panicked: {m}");
+        }
+    }
+
+    /// Snapshot of the executor counters.
+    pub(crate) fn stats(&self) -> DataPlaneStats {
+        let st = self.state.lock();
+        DataPlaneStats {
+            workers: self.workers,
+            submitted: st.submitted,
+            inline_tasks: st.inline_tasks,
+            executed: st.executed,
+            queue_depth: st.tasks.len(),
+            peak_queue_depth: st.peak_live,
+            busy_workers: st.busy,
+            peak_busy_workers: st.peak_busy,
+            joins: st.joins,
+        }
+    }
+
+    /// Drain remaining work, stop the workers, and join their threads.
+    /// Called from the owning runtime's drop (via [`PlaneHandle`]).
+    pub(crate) fn shutdown(&self) {
+        let mut st = self.state.lock();
+        // Let in-flight DAGs drain: workers keep pulling ready tasks after
+        // shutdown is set, and completions cascade until nothing is live.
+        st.shutdown = true;
+        let threads = std::mem::take(&mut st.threads);
+        drop(st);
+        self.work_cv.notify_all();
+        for t in threads {
+            let _ = t.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for DataPlane {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.stats();
+        write!(
+            f,
+            "DataPlane(workers={}, live={}, executed={})",
+            s.workers, s.queue_depth, s.executed
+        )
+    }
+}
+
+/// Owns the executor on behalf of the runtime: signals shutdown and joins
+/// the worker threads when the runtime is dropped. (Workers hold `Arc`s to
+/// the plane, so a `Drop` on `DataPlane` itself would never run while they
+/// are alive.)
+pub(crate) struct PlaneHandle(pub(crate) Arc<DataPlane>);
+
+impl Drop for PlaneHandle {
+    fn drop(&mut self) {
+        self.0.shutdown();
+    }
+}
+
+/// A registered-but-caller-executed task (blocking reads). Dropping it
+/// completes the task, releasing dependents — including on panic paths.
+pub(crate) struct ManualTask {
+    plane: Arc<DataPlane>,
+    id: TaskId,
+    done: bool,
+}
+
+impl ManualTask {
+    /// Block until every dependency has completed; afterwards the caller
+    /// may touch the accessed buffers (the hazard DAG orders all later
+    /// conflicting tasks after this one until it is dropped).
+    pub(crate) fn wait_ready(&self) {
+        let mut st = self.plane.state.lock();
+        loop {
+            match st.tasks.get(&self.id) {
+                Some(n) if n.unmet > 0 => {
+                    st = self.plane.done_cv.wait(st).unwrap_or_else(|e| e.into_inner());
+                }
+                _ => break,
+            }
+        }
+        let msg = st.panic_msg.clone();
+        drop(st);
+        if let Some(m) = msg {
+            panic!("data-plane task panicked: {m}");
+        }
+    }
+}
+
+impl Drop for ManualTask {
+    fn drop(&mut self) {
+        if !self.done {
+            self.done = true;
+            let mut st = self.plane.state.lock();
+            DataPlane::complete_locked(&mut st, self.id);
+            // Releasing dependents may require a worker (none may exist yet
+            // if every prior task was manual).
+            self.plane.ensure_worker(&self.plane, &mut st);
+            drop(st);
+            self.plane.work_cv.notify_all();
+            self.plane.done_cv.notify_all();
+        }
+    }
+}
+
+fn payload_msg(e: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = e.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = e.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn plane(workers: usize) -> Arc<DataPlane> {
+        Arc::new(DataPlane::new(workers))
+    }
+
+    fn buf(bytes: usize) -> Buffer {
+        Buffer::new(1, bytes).unwrap()
+    }
+
+    #[test]
+    fn inline_mode_runs_on_caller_and_returns_no_id() {
+        let p = plane(1);
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = Arc::clone(&hits);
+        let b = buf(8);
+        let t = p.submit(
+            &[Access::write(&b)],
+            &[],
+            &[],
+            None,
+            Box::new(move || {
+                h.fetch_add(1, Ordering::SeqCst);
+            }),
+        );
+        assert!(t.is_none());
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+        let s = p.stats();
+        assert_eq!(s.inline_tasks, 1);
+        assert_eq!(s.submitted, 0);
+        assert_eq!(b.data_version(), 1);
+        p.shutdown();
+    }
+
+    #[test]
+    fn hazards_order_write_then_reads_then_write() {
+        // With 4 workers: w1 → (r1, r2) → w2; the second write must observe
+        // both reads complete. Encode order via an atomic log.
+        let p = plane(4);
+        let b = buf(8);
+        let log = Arc::new(Mutex::new(Vec::<&'static str>::new()));
+        let mk = |log: &Arc<Mutex<Vec<&'static str>>>, name: &'static str, slow: bool| {
+            let log = Arc::clone(log);
+            Box::new(move || {
+                if slow {
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                }
+                log.lock().push(name);
+            }) as Box<dyn FnOnce() + Send>
+        };
+        let w1 = p.submit(&[Access::write(&b)], &[], &[], None, mk(&log, "w1", true)).unwrap();
+        let _r1 = p.submit(&[Access::read(&b)], &[], &[], None, mk(&log, "r1", true)).unwrap();
+        let _r2 = p.submit(&[Access::read(&b)], &[], &[], None, mk(&log, "r2", false)).unwrap();
+        let w2 = p.submit(&[Access::write(&b)], &[], &[], None, mk(&log, "w2", false)).unwrap();
+        p.join(&[w2, w1]);
+        let order = log.lock().clone();
+        assert_eq!(order[0], "w1");
+        assert_eq!(order[3], "w2");
+        assert_eq!(b.data_version(), 2);
+        p.shutdown();
+    }
+
+    #[test]
+    fn independent_tasks_overlap_across_workers() {
+        let p = plane(4);
+        let a = buf(8);
+        let b = buf(8);
+        let peak = Arc::new(AtomicUsize::new(0));
+        let cur = Arc::new(AtomicUsize::new(0));
+        let mut ids = Vec::new();
+        for target in [&a, &b] {
+            let peak = Arc::clone(&peak);
+            let cur = Arc::clone(&cur);
+            ids.push(
+                p.submit(
+                    &[Access::write(target)],
+                    &[],
+                    &[],
+                    None,
+                    Box::new(move || {
+                        let c = cur.fetch_add(1, Ordering::SeqCst) + 1;
+                        peak.fetch_max(c, Ordering::SeqCst);
+                        std::thread::sleep(std::time::Duration::from_millis(30));
+                        cur.fetch_sub(1, Ordering::SeqCst);
+                    }),
+                )
+                .unwrap(),
+            );
+        }
+        p.join(&ids);
+        assert_eq!(peak.load(Ordering::SeqCst), 2, "independent writes should overlap");
+        p.shutdown();
+    }
+
+    #[test]
+    fn task_deps_and_event_mapping_are_honored() {
+        let p = plane(2);
+        let b = buf(8);
+        let c = buf(8);
+        let log = Arc::new(Mutex::new(Vec::<u32>::new()));
+        let l1 = Arc::clone(&log);
+        let t1 = p
+            .submit(
+                &[Access::write(&b)],
+                &[],
+                &[],
+                Some(77),
+                Box::new(move || {
+                    std::thread::sleep(std::time::Duration::from_millis(15));
+                    l1.lock().push(1);
+                }),
+            )
+            .unwrap();
+        // No hazard overlap (different buffer), ordered only via the event.
+        let l2 = Arc::clone(&log);
+        let _t2 = p
+            .submit(&[Access::write(&c)], &[], &[77], None, Box::new(move || l2.lock().push(2)))
+            .unwrap();
+        // And one ordered via an explicit task dep.
+        let l3 = Arc::clone(&log);
+        let t3 = p.submit(&[], &[t1], &[], None, Box::new(move || l3.lock().push(3))).unwrap();
+        p.join_event(77);
+        p.join(&[t3]);
+        p.quiesce();
+        let order = log.lock().clone();
+        assert_eq!(order[0], 1);
+        assert!(order.contains(&2) && order.contains(&3));
+        p.shutdown();
+    }
+
+    #[test]
+    fn manual_task_orders_later_writers_after_reader() {
+        let p = plane(2);
+        let b = buf(8);
+        b.host_fill::<u64>(&[42]).unwrap();
+        let m = p.begin_manual(&[Access::read(&b)], &[]).unwrap();
+        m.wait_ready();
+        // While the manual task is live, submit a writer; it must not run
+        // until the manual task drops.
+        let b2 = b.clone();
+        let w = p
+            .submit(
+                &[Access::write(&b)],
+                &[],
+                &[],
+                None,
+                Box::new(move || b2.inner.store.lock().as_mut_slice::<u64>()[0] = 7),
+            )
+            .unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(b.inner.store.lock().as_slice::<u64>()[0], 42, "WAR hazard violated");
+        drop(m);
+        p.join(&[w]);
+        assert_eq!(b.inner.store.lock().as_slice::<u64>()[0], 7);
+        p.shutdown();
+    }
+
+    #[test]
+    fn quiesce_waits_for_chains_and_stats_count() {
+        let p = plane(3);
+        let b = buf(8);
+        for _ in 0..16 {
+            let c = b.clone();
+            p.submit(
+                &[Access::write(&b)],
+                &[],
+                &[],
+                None,
+                Box::new(move || {
+                    c.inner.store.lock().as_mut_slice::<u64>()[0] += 1;
+                }),
+            );
+        }
+        p.quiesce();
+        assert_eq!(b.inner.store.lock().as_slice::<u64>()[0], 16);
+        let s = p.stats();
+        assert_eq!(s.submitted, 16);
+        assert_eq!(s.executed, 16);
+        assert_eq!(s.queue_depth, 0);
+        assert!(s.peak_queue_depth >= 1);
+        assert_eq!(b.data_version(), 16);
+        p.shutdown();
+    }
+
+    #[test]
+    fn worker_panic_propagates_at_join_without_deadlock() {
+        let p = plane(2);
+        let b = buf(8);
+        let t = p
+            .submit(&[Access::write(&b)], &[], &[], None, Box::new(|| panic!("kernel body boom")))
+            .unwrap();
+        // A dependent task still completes (the DAG keeps draining).
+        let t2 = p.submit(&[Access::read(&b)], &[], &[], None, Box::new(|| {})).unwrap();
+        let err = catch_unwind(AssertUnwindSafe(|| p.join(&[t, t2]))).unwrap_err();
+        let msg = payload_msg(&*err);
+        assert!(msg.contains("kernel body boom"), "{msg}");
+        p.shutdown();
+    }
+
+    #[test]
+    fn retain_live_prunes_completed_ids() {
+        let p = plane(2);
+        let b = buf(8);
+        let t = p.submit(&[Access::write(&b)], &[], &[], None, Box::new(|| {})).unwrap();
+        p.join(&[t]);
+        let mut ids = vec![t];
+        p.retain_live(&mut ids);
+        assert!(ids.is_empty());
+        p.shutdown();
+    }
+}

@@ -228,22 +228,26 @@ pub struct KernelCtx<'a> {
 impl<'a> KernelCtx<'a> {
     /// Lock the buffers referenced by `args` and build the context.
     /// Duplicate references to the same buffer share one lock.
+    ///
+    /// Locks are acquired in canonical (buffer-id) order, not argument
+    /// order: concurrent data-plane tasks may *read* overlapping buffer
+    /// sets (writers are serialized by the hazard DAG), and a fixed global
+    /// lock order keeps reader/reader store locking deadlock-free.
     pub(crate) fn new(nd: NdRange, device: DeviceId, args: &'a [ArgValue]) -> KernelCtx<'a> {
-        let mut stores: Vec<LockedStore<'a>> = Vec::new();
-        let mut owners: Vec<*const ()> = Vec::new();
+        let mut uniques: Vec<&'a Buffer> = Vec::new();
         let mut ctx_args = Vec::with_capacity(args.len());
         for arg in args {
             match arg {
                 ArgValue::Buffer(b) | ArgValue::BufferMut(b) => {
                     let key = Arc::as_ptr(&b.inner).cast::<()>();
-                    let guard_idx = match owners.iter().position(|&p| p == key) {
+                    let guard_idx = match uniques
+                        .iter()
+                        .position(|u| Arc::as_ptr(&u.inner).cast::<()>() == key)
+                    {
                         Some(i) => i,
                         None => {
-                            owners.push(key);
-                            let mut guard = b.inner.store.lock();
-                            let (ptr, byte_len) = guard.raw_parts();
-                            stores.push(LockedStore { _guard: guard, ptr, byte_len });
-                            stores.len() - 1
+                            uniques.push(b);
+                            uniques.len() - 1
                         }
                     };
                     ctx_args
@@ -252,6 +256,16 @@ impl<'a> KernelCtx<'a> {
                 scalar => ctx_args.push(CtxArg::Scalar(scalar.clone())),
             }
         }
+        let mut order: Vec<usize> = (0..uniques.len()).collect();
+        order.sort_unstable_by_key(|&i| uniques[i].inner.id);
+        let mut slots: Vec<Option<LockedStore<'a>>> = (0..uniques.len()).map(|_| None).collect();
+        for &i in &order {
+            let mut guard = uniques[i].inner.store.lock();
+            let (ptr, byte_len) = guard.raw_parts();
+            slots[i] = Some(LockedStore { _guard: guard, ptr, byte_len });
+        }
+        let stores: Vec<LockedStore<'a>> =
+            slots.into_iter().map(|s| s.expect("every unique buffer was locked")).collect();
         let borrows = vec![Cell::new(Borrow::None); stores.len()];
         KernelCtx { nd, device, args: ctx_args, stores, borrows }
     }

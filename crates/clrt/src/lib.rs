@@ -36,6 +36,7 @@ pub mod buffer;
 pub mod context;
 pub mod error;
 pub mod event;
+pub mod exec;
 pub mod kernel;
 pub mod ndrange;
 pub mod platform;
@@ -46,9 +47,10 @@ pub use buffer::Buffer;
 pub use context::Context;
 pub use error::{ClError, ClResult};
 pub use event::Event;
+pub use exec::DataPlaneStats;
 pub use kernel::{ArgValue, Kernel, KernelBody, KernelCtx};
 pub use ndrange::NdRange;
-pub use platform::{Device, Platform};
+pub use platform::{Device, Platform, RuntimeConfig};
 pub use program::Program;
 pub use queue::CommandQueue;
 

@@ -2,6 +2,7 @@
 //! shared virtual-time engine. Equivalent to SnuCL's single platform over
 //! multiple vendor drivers.
 
+use crate::exec::{DataPlane, DataPlaneStats, PlaneHandle};
 use hwsim::sync::Mutex;
 use hwsim::{DeviceId, DeviceSpec, DeviceType, Engine, NodeConfig, SimTime, Trace};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -15,10 +16,34 @@ pub(crate) fn next_object_id() -> u64 {
     NEXT_OBJECT_ID.fetch_add(1, Ordering::Relaxed)
 }
 
-/// Shared runtime state: the node description plus the discrete-event engine.
+/// Runtime construction options (the `ClRuntime` knobs).
+#[derive(Debug, Clone, Default)]
+pub struct RuntimeConfig {
+    /// Data-plane worker threads executing kernel bodies and transfers.
+    /// `0` (the default) uses the host's available parallelism; `1` runs
+    /// everything synchronously on the enqueueing thread (the historical
+    /// path). The worker count never affects buffer contents or virtual
+    /// time — only wall-clock throughput.
+    pub data_plane_workers: usize,
+    /// Opt-in bounded memory for long runs: retire completed engine events
+    /// that hold no live [`crate::Event`] handles once the host clock has
+    /// passed them.
+    pub retire_events: bool,
+    /// Opt-in bound on retained trace records (oldest evicted first).
+    /// `None` keeps the full trace (required for figure regeneration).
+    pub trace_capacity: Option<usize>,
+}
+
+/// Shared runtime state: the node description plus the discrete-event engine
+/// (time plane) and the task executor (data plane).
 pub(crate) struct RuntimeInner {
     pub node: NodeConfig,
     pub engine: Mutex<Engine>,
+    pub plane: Arc<DataPlane>,
+    /// Keeps the plane's worker threads; joined when the runtime drops.
+    _plane_handle: PlaneHandle,
+    /// Mirror of [`RuntimeConfig::retire_events`] (drives event pinning).
+    pub retire_events: bool,
 }
 
 /// The OpenCL platform (`clGetPlatformIds`): entry point to devices and the
@@ -29,15 +54,37 @@ pub struct Platform {
 }
 
 impl Platform {
-    /// Create a platform over an arbitrary simulated node.
+    /// Create a platform over an arbitrary simulated node with default
+    /// runtime options (data-plane workers = available parallelism).
     pub fn new(node: NodeConfig) -> Platform {
-        let engine = Engine::new(node.device_count());
-        Platform { rt: Arc::new(RuntimeInner { node, engine: Mutex::new(engine) }) }
+        Platform::with_config(node, RuntimeConfig::default())
+    }
+
+    /// Create a platform with explicit runtime options.
+    pub fn with_config(node: NodeConfig, cfg: RuntimeConfig) -> Platform {
+        let mut engine = Engine::new(node.device_count());
+        engine.set_event_retirement(cfg.retire_events);
+        engine.trace_mut().set_capacity(cfg.trace_capacity);
+        let plane = Arc::new(DataPlane::new(cfg.data_plane_workers));
+        Platform {
+            rt: Arc::new(RuntimeInner {
+                node,
+                engine: Mutex::new(engine),
+                plane: Arc::clone(&plane),
+                _plane_handle: PlaneHandle(plane),
+                retire_events: cfg.retire_events,
+            }),
+        }
     }
 
     /// Create a platform over the paper's testbed (1 CPU + 2 GPUs).
     pub fn paper_node() -> Platform {
         Platform::new(NodeConfig::paper_node())
+    }
+
+    /// The paper's testbed with explicit runtime options.
+    pub fn paper_node_with(cfg: RuntimeConfig) -> Platform {
+        Platform::with_config(NodeConfig::paper_node(), cfg)
     }
 
     /// All devices of the node (`clGetDeviceIDs` with `CL_DEVICE_TYPE_ALL`).
@@ -79,6 +126,23 @@ impl Platform {
     /// True if two platform handles refer to the same runtime.
     pub fn same_runtime(&self, other: &Platform) -> bool {
         Arc::ptr_eq(&self.rt, &other.rt)
+    }
+
+    /// Data-plane worker threads of this runtime.
+    pub fn data_plane_workers(&self) -> usize {
+        self.rt.plane.workers()
+    }
+
+    /// Block until the data plane is fully idle: every submitted kernel
+    /// body, write, and copy has executed. Scheduler layers call this
+    /// before wall-clock-sensitive measurements (profiling epochs).
+    pub fn quiesce_data_plane(&self) {
+        self.rt.plane.quiesce();
+    }
+
+    /// Snapshot of the data-plane executor counters.
+    pub fn data_plane_stats(&self) -> DataPlaneStats {
+        self.rt.plane.stats()
     }
 }
 

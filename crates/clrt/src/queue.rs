@@ -20,20 +20,22 @@
 //! 2. inserts the implicit data movement the command needs (buffer
 //!    residency → H2D / D2H / staged D2D), charging virtual time,
 //! 3. submits the command to the hwsim engine (time plane), and
-//! 4. for kernels, executes the body against host-backed storage
-//!    (data plane).
+//! 4. submits the host-side effect (kernel body, store copy) to the
+//!    hazard-tracked data-plane executor ([`crate::exec`]); with one
+//!    worker it runs inline on the enqueueing thread.
 
-use crate::buffer::{Buffer, Element};
+use crate::buffer::{bytes_of, Buffer, Element};
 use crate::context::Context;
 use crate::error::{ClError, ClResult};
 use crate::event::Event;
+use crate::exec::{Access, DataPlane, TaskId};
 use crate::kernel::{ArgValue, Kernel, KernelCtx};
 use crate::ndrange::NdRange;
 use crate::platform::next_object_id;
 use hwsim::engine::{CommandDesc, CommandKind, Engine, EventId};
 use hwsim::sync::Mutex;
 use hwsim::topology::TransferKind;
-use hwsim::{DeviceId, SimDuration};
+use hwsim::{DeviceId, SimDuration, WaitList};
 use std::sync::Arc;
 
 struct QueueInner {
@@ -46,6 +48,12 @@ struct QueueInner {
     /// Commands submitted since the last `finish`/barrier (drives `finish`
     /// and `enqueue_barrier` for out-of-order queues).
     outstanding: Mutex<Vec<EventId>>,
+    /// Data-plane mirror of `last`: the previous command's task, chained by
+    /// in-order queues.
+    last_task: Mutex<Option<TaskId>>,
+    /// Data-plane mirror of `outstanding`: live tasks `finish` must join.
+    /// Snapshot-joined (never drained) so concurrent finishers all block.
+    outstanding_tasks: Mutex<Vec<TaskId>>,
 }
 
 /// A `cl_command_queue` bound (rebindably) to one device; in-order by
@@ -69,6 +77,8 @@ impl CommandQueue {
                 device: Mutex::new(device),
                 last: Mutex::new(None),
                 outstanding: Mutex::new(Vec::new()),
+                last_task: Mutex::new(None),
+                outstanding_tasks: Mutex::new(Vec::new()),
             }),
         }
     }
@@ -107,9 +117,38 @@ impl CommandQueue {
         self.inner.qid
     }
 
+    /// The data-plane executor shared by the runtime.
+    fn plane(&self) -> &Arc<DataPlane> {
+        &self.inner.ctx.rt.plane
+    }
+
+    /// Data-plane dependencies from the queue's ordering mode: in-order
+    /// queues chain each task after the previous one; out-of-order queues
+    /// rely on buffer hazards and explicit event waits alone.
+    fn chain_deps(&self) -> Vec<TaskId> {
+        if self.inner.ooo {
+            Vec::new()
+        } else {
+            self.inner.last_task.lock().into_iter().collect()
+        }
+    }
+
+    /// Record a submitted data-plane task as the queue's chain head and as a
+    /// `finish` obligation, pruning completed ids once the list grows.
+    fn record_task(&self, id: Option<TaskId>) {
+        let Some(id) = id else { return };
+        *self.inner.last_task.lock() = Some(id);
+        let mut live = self.inner.outstanding_tasks.lock();
+        live.push(id);
+        if live.len() >= 128 {
+            self.plane().retain_live(&mut live);
+        }
+    }
+
     /// Submit one command on `device` with `extra_waits`. In-order queues
     /// additionally chain after the queue's previous command; out-of-order
-    /// queues rely on the explicit waits alone.
+    /// queues rely on the explicit waits alone. The wait list stays inline
+    /// (no heap allocation) for the common ≤4-dependency case.
     fn submit(
         &self,
         engine: &mut Engine,
@@ -118,13 +157,13 @@ impl CommandQueue {
         duration: SimDuration,
         extra_waits: &[EventId],
     ) -> EventId {
-        let mut waits: Vec<EventId> = Vec::with_capacity(extra_waits.len() + 1);
+        let mut waits = WaitList::new();
         if !self.inner.ooo {
             if let Some(last) = *self.inner.last.lock() {
                 waits.push(last);
             }
         }
-        waits.extend_from_slice(extra_waits);
+        waits.extend(extra_waits.iter().copied());
         let id =
             engine.submit(CommandDesc { device, kind, duration, waits, queue: self.inner.qid });
         *self.inner.last.lock() = Some(id);
@@ -216,7 +255,28 @@ impl CommandQueue {
                 &[],
             )
         };
-        buf.inner.store.lock().as_mut_slice::<T>().copy_from_slice(data);
+        // Data plane: the store update is a hazard-tracked task. The async
+        // path clones the user's slice (the call may return before a worker
+        // runs the copy, and OpenCL does not retain the host pointer); the
+        // inline path copies directly with no allocation.
+        let plane = Arc::clone(self.plane());
+        if plane.is_inline() {
+            plane.note_inline(&[Access::write(buf)]);
+            buf.inner.store.lock().as_mut_slice::<T>().copy_from_slice(data);
+        } else {
+            let staged: Box<[u8]> = bytes_of(data).into();
+            let dst = buf.clone();
+            let t = plane.submit(
+                &[Access::write(buf)],
+                &self.chain_deps(),
+                &[],
+                Some(ev.0),
+                Box::new(move || {
+                    dst.inner.store.lock().as_mut_slice::<u8>().copy_from_slice(&staged);
+                }),
+            );
+            self.record_task(t);
+        }
         let mut res = buf.inner.residency.lock();
         res.devices.clear();
         res.devices.insert(dev);
@@ -240,6 +300,10 @@ impl CommandQueue {
         let node_devices_len = self.inner.ctx.rt.node.devices.len();
         debug_assert!(dev.index() < node_devices_len);
         let bytes = buf.byte_len() as u64;
+        // Data plane: register the host copy-out as a *manual* task before
+        // blocking, so its RAW edge on the buffer's last writer is captured
+        // in enqueue order and later writers gain a WAR edge on the read.
+        let bracket = self.plane().begin_manual(&[Access::read(buf)], &self.chain_deps());
         let ev = {
             let mut engine = self.inner.ctx.rt.engine.lock();
             let mig = self.migrate_to(&mut engine, buf, dev);
@@ -257,7 +321,11 @@ impl CommandQueue {
             id
         };
         buf.inner.residency.lock().host = true;
+        if let Some(m) = &bracket {
+            m.wait_ready();
+        }
         out.copy_from_slice(buf.inner.store.lock().as_slice::<T>());
+        drop(bracket); // completes the manual task, releasing blocked writers
         Ok(Event::new(Arc::clone(&self.inner.ctx.rt), ev))
     }
 
@@ -289,11 +357,38 @@ impl CommandQueue {
                 &waits,
             )
         };
-        // Data plane: copy the canonical stores.
-        {
-            let src_store = src.inner.store.lock();
-            let mut dst_store = dst.inner.store.lock();
-            dst_store.as_mut_slice::<u8>().copy_from_slice(src_store.as_slice::<u8>());
+        // Data plane: copy the canonical stores (a self-copy is a data-plane
+        // no-op). The task locks both stores in canonical buffer-id order —
+        // the global order every multi-buffer task uses — so concurrent
+        // readers of overlapping buffer sets cannot deadlock.
+        if !src.same_object(dst) {
+            let plane = Arc::clone(self.plane());
+            let copy_stores = |s: &Buffer, d: &Buffer| {
+                if s.inner.id < d.inner.id {
+                    let sg = s.inner.store.lock();
+                    let mut dg = d.inner.store.lock();
+                    dg.as_mut_slice::<u8>().copy_from_slice(sg.as_slice::<u8>());
+                } else {
+                    let mut dg = d.inner.store.lock();
+                    let sg = s.inner.store.lock();
+                    dg.as_mut_slice::<u8>().copy_from_slice(sg.as_slice::<u8>());
+                }
+            };
+            if plane.is_inline() {
+                plane.note_inline(&[Access::read(src), Access::write(dst)]);
+                copy_stores(src, dst);
+            } else {
+                let s = src.clone();
+                let d = dst.clone();
+                let t = plane.submit(
+                    &[Access::read(src), Access::write(dst)],
+                    &self.chain_deps(),
+                    &[],
+                    Some(ev.0),
+                    Box::new(move || copy_stores(&s, &d)),
+                );
+                self.record_task(t);
+            }
         }
         let mut res = dst.inner.residency.lock();
         res.devices.clear();
@@ -375,9 +470,42 @@ impl CommandQueue {
             )
         };
         // Data plane: run the body exactly once, outside the engine lock.
-        {
+        // Hazards come from the deduplicated buffer argument set (a buffer
+        // passed both mutably and immutably counts as a write); explicit
+        // event waits order the task after the tasks backing those events.
+        let mut accesses: Vec<Access<'_>> = Vec::with_capacity(args.len());
+        for a in args {
+            if let Some(b) = a.buffer() {
+                match accesses.iter_mut().find(|u| u.buf.same_object(b)) {
+                    Some(u) => u.write |= a.is_mutable_buffer(),
+                    None => accesses.push(if a.is_mutable_buffer() {
+                        Access::write(b)
+                    } else {
+                        Access::read(b)
+                    }),
+                }
+            }
+        }
+        let plane = Arc::clone(self.plane());
+        if plane.is_inline() {
+            plane.note_inline(&accesses);
             let mut ctx = KernelCtx::new(effective, dev, args);
             kernel.body().execute(&mut ctx);
+        } else {
+            let wait_events: Vec<usize> = waits.iter().map(|e| e.raw().0).collect();
+            let body = Arc::clone(kernel.body());
+            let owned_args: Vec<ArgValue> = args.to_vec();
+            let t = plane.submit(
+                &accesses,
+                &self.chain_deps(),
+                &wait_events,
+                Some(ev.0),
+                Box::new(move || {
+                    let mut ctx = KernelCtx::new(effective, dev, &owned_args);
+                    body.execute(&mut ctx);
+                }),
+            );
+            self.record_task(t);
         }
         // Residency: written buffers are now valid only on this device.
         for a in args {
@@ -403,29 +531,44 @@ impl CommandQueue {
     /// ordered after every previously enqueued command; subsequent commands
     /// on an out-of-order queue are ordered after it.
     pub fn enqueue_barrier(&self) -> Event {
-        let mut engine = self.inner.ctx.rt.engine.lock();
-        let dev = self.device();
-        let waits: Vec<EventId> = std::mem::take(&mut *self.inner.outstanding.lock());
-        let mut all_waits = waits;
-        if let Some(last) = *self.inner.last.lock() {
-            if !all_waits.contains(&last) {
-                all_waits.push(last);
+        let id = {
+            let mut engine = self.inner.ctx.rt.engine.lock();
+            let dev = self.device();
+            let waits: Vec<EventId> = std::mem::take(&mut *self.inner.outstanding.lock());
+            let mut all_waits: WaitList = waits.into();
+            if let Some(last) = *self.inner.last.lock() {
+                if !all_waits.as_slice().contains(&last) {
+                    all_waits.push(last);
+                }
             }
+            let id = engine.submit(CommandDesc {
+                device: dev,
+                kind: CommandKind::Marker,
+                duration: SimDuration::ZERO,
+                waits: all_waits,
+                queue: self.inner.qid,
+            });
+            *self.inner.last.lock() = Some(id);
+            self.inner.outstanding.lock().push(id);
+            id
+        };
+        // Data plane: a no-op task ordered after everything outstanding on
+        // this queue. Subsequent commands chain after it (in-order) or wait
+        // on its event explicitly (out-of-order), mirroring the time plane.
+        let plane = Arc::clone(self.plane());
+        if !plane.is_inline() {
+            let mut deps: Vec<TaskId> = std::mem::take(&mut *self.inner.outstanding_tasks.lock());
+            deps.extend(self.chain_deps());
+            let t = plane.submit(&[], &deps, &[], Some(id.0), Box::new(|| {}));
+            self.record_task(t);
         }
-        let id = engine.submit(CommandDesc {
-            device: dev,
-            kind: CommandKind::Marker,
-            duration: SimDuration::ZERO,
-            waits: all_waits,
-            queue: self.inner.qid,
-        });
-        *self.inner.last.lock() = Some(id);
-        self.inner.outstanding.lock().push(id);
         Event::new(Arc::clone(&self.inner.ctx.rt), id)
     }
 
     /// `clFinish`: block the host until every command enqueued on this queue
-    /// has completed.
+    /// has completed, in both planes: the virtual clock advances past every
+    /// outstanding command, and every data-plane task this queue submitted
+    /// (plus, transitively, everything those tasks depend on) has executed.
     pub fn finish(&self) {
         let outstanding: Vec<EventId> = std::mem::take(&mut *self.inner.outstanding.lock());
         if !outstanding.is_empty() {
@@ -433,6 +576,15 @@ impl CommandQueue {
             for id in outstanding {
                 engine.wait(id);
             }
+            // With retirement enabled, a finish is a natural compaction
+            // point: everything this queue submitted has now completed.
+            engine.retire_completed();
+        }
+        let tasks: Vec<TaskId> = self.inner.outstanding_tasks.lock().clone();
+        if !tasks.is_empty() {
+            self.plane().join(&tasks);
+            let mut live = self.inner.outstanding_tasks.lock();
+            self.plane().retain_live(&mut live);
         }
     }
 

@@ -630,12 +630,15 @@ impl RtInner {
         delta.kernels_issued += pool_issued;
         self.apply_stats(&delta);
         let done = self.platform.now();
+        let dp = self.platform.data_plane_stats();
         self.emit(&SchedEvent::EpochEnd {
             epoch,
             at: done,
             elapsed: done.saturating_since(began),
             profiling,
             kernels_issued: pool_issued,
+            data_queue_depth: dp.queue_depth,
+            data_peak_busy: dp.peak_busy_workers,
         });
     }
 
@@ -956,6 +959,13 @@ impl RtInner {
                 .collect()
         };
         if !missing.is_empty() {
+            // Quiesce the data plane first: profiling reads buffer residency
+            // and is the pass's wall-clock-sensitive section, so in-flight
+            // kernel bodies and transfers from earlier epochs must not be
+            // racing the measurements (virtual time is unaffected either
+            // way — the planes are independent — but residency snapshots
+            // and the mapper-wall numbers are not).
+            self.platform.quiesce_data_plane();
             self.profile_kernels(&missing, devices, minikernel, epoch);
             delta.profiled_epochs += 1;
         }
@@ -1030,7 +1040,7 @@ impl RtInner {
                             device: src,
                             kind: CommandKind::Transfer { kind: TransferKind::DeviceToHost, bytes },
                             duration: d2h,
-                            waits: vec![],
+                            waits: hwsim::WaitList::new(),
                             queue: usize::MAX,
                         });
                         engine.wait(ev);
@@ -1045,7 +1055,7 @@ impl RtInner {
                         device: dev,
                         kind: CommandKind::Transfer { kind: TransferKind::HostToDevice, bytes },
                         duration: h2d,
-                        waits: vec![],
+                        waits: hwsim::WaitList::new(),
                         queue: usize::MAX,
                     });
                     engine.wait(ev);
@@ -1084,7 +1094,7 @@ impl RtInner {
                         device: dev,
                         kind: CommandKind::Kernel { name },
                         duration: charged,
-                        waits: vec![],
+                        waits: hwsim::WaitList::new(),
                         queue: usize::MAX,
                     });
                     engine.wait(ev);

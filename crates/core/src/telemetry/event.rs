@@ -135,6 +135,11 @@ pub enum SchedEvent {
         profiling: SimDuration,
         /// Kernel launches flushed to devices this pass.
         kernels_issued: u64,
+        /// Host data-plane tasks (kernel bodies / transfers) still live
+        /// when the pass finished issuing. Host-side, not virtual time.
+        data_queue_depth: usize,
+        /// Peak concurrently-busy data-plane workers observed so far.
+        data_peak_busy: usize,
     },
     /// A tenant submitted a job to the serving layer.
     JobSubmitted {
@@ -308,13 +313,23 @@ impl SchedEvent {
                 ("bytes", Json::from(*bytes)),
                 ("at_ns", Json::from(at.as_nanos())),
             ]),
-            SchedEvent::EpochEnd { epoch, at, elapsed, profiling, kernels_issued } => Json::obj([
+            SchedEvent::EpochEnd {
+                epoch,
+                at,
+                elapsed,
+                profiling,
+                kernels_issued,
+                data_queue_depth,
+                data_peak_busy,
+            } => Json::obj([
                 ("type", Json::from(self.kind())),
                 ("epoch", Json::from(*epoch)),
                 ("at_ns", Json::from(at.as_nanos())),
                 ("elapsed_ns", Json::from(elapsed.as_nanos())),
                 ("profiling_ns", Json::from(profiling.as_nanos())),
                 ("kernels_issued", Json::from(*kernels_issued)),
+                ("data_queue_depth", Json::from(*data_queue_depth)),
+                ("data_peak_busy", Json::from(*data_peak_busy)),
             ]),
             SchedEvent::JobSubmitted { epoch, tenant, job, at } => Json::obj([
                 ("type", Json::from(self.kind())),
@@ -427,6 +442,12 @@ impl SchedEvent {
                 elapsed: dur("elapsed_ns")?,
                 profiling: dur("profiling_ns")?,
                 kernels_issued: value.get("kernels_issued")?.as_u64()?,
+                // Data-plane counters were added later; default them so
+                // streams recorded by older builds still replay.
+                data_queue_depth: value.get("data_queue_depth").and_then(Json::as_u64).unwrap_or(0)
+                    as usize,
+                data_peak_busy: value.get("data_peak_busy").and_then(Json::as_u64).unwrap_or(0)
+                    as usize,
             },
             "job_submitted" => SchedEvent::JobSubmitted {
                 epoch,
@@ -519,6 +540,8 @@ pub(crate) fn sample_events() -> Vec<SchedEvent> {
             elapsed: ns(800),
             profiling: ns(600),
             kernels_issued: 3,
+            data_queue_depth: 5,
+            data_peak_busy: 2,
         },
         SchedEvent::JobSubmitted {
             epoch: 2,

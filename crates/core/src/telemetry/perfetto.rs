@@ -122,7 +122,7 @@ mod tests {
                 device: DeviceId(i % 2),
                 kind: CommandKind::Marker,
                 duration: SimDuration::from_millis(5),
-                waits: vec![],
+                waits: hwsim::WaitList::new(),
                 queue: i,
             });
         }

@@ -366,6 +366,10 @@ pub struct SchedMetrics {
     /// Mapping decisions where the adaptive node budget tripped and a
     /// heuristic (greedy + local search) answer was used.
     pub mapper_budget_trips: Counter,
+    /// Host data-plane tasks still live at the most recent epoch end.
+    pub data_queue_depth: Gauge,
+    /// Peak concurrently-busy data-plane workers observed so far.
+    pub data_peak_busy: Gauge,
 }
 
 impl Default for SchedMetrics {
@@ -415,6 +419,14 @@ impl Default for SchedMetrics {
                 "multicl_mapper_budget_trips_total",
                 "Mapping decisions where the adaptive node budget tripped",
             ),
+            data_queue_depth: registry.gauge(
+                "multicl_data_queue_depth",
+                "Host data-plane tasks still live at the most recent epoch end",
+            ),
+            data_peak_busy: registry.gauge(
+                "multicl_data_peak_busy_workers",
+                "Peak concurrently-busy data-plane workers observed so far",
+            ),
             registry,
         }
     }
@@ -452,11 +464,20 @@ impl SchedObserver for SchedMetrics {
                 self.queue_migrations.inc();
                 self.migrated_bytes.observe(*bytes);
             }
-            SchedEvent::EpochEnd { elapsed, profiling, kernels_issued, .. } => {
+            SchedEvent::EpochEnd {
+                elapsed,
+                profiling,
+                kernels_issued,
+                data_queue_depth,
+                data_peak_busy,
+                ..
+            } => {
                 self.epochs.inc();
                 self.kernels_issued.add(*kernels_issued);
                 self.epoch_latency.observe(elapsed.as_nanos());
                 self.profiling_overhead.observe(profiling.as_nanos());
+                self.data_queue_depth.set(*data_queue_depth as f64);
+                self.data_peak_busy.set(*data_peak_busy as f64);
             }
             // Job lifecycle events are accounted per tenant by the serving
             // layer's own metrics (the `served` crate); the scheduler-level
@@ -595,6 +616,8 @@ mod tests {
             elapsed: SimDuration::from_nanos(500),
             profiling: SimDuration::from_nanos(200),
             kernels_issued: 6,
+            data_queue_depth: 3,
+            data_peak_busy: 2,
         });
         m.on_event(&SchedEvent::CacheHit { epoch: 2, key: "k".into() });
 
@@ -605,6 +628,8 @@ mod tests {
         assert_eq!(m.queue_migrations.get(), 1);
         assert_eq!(m.kernels_issued.get(), 6);
         assert_eq!(m.pool_size.get(), 4.0);
+        assert_eq!(m.data_queue_depth.get(), 3.0);
+        assert_eq!(m.data_peak_busy.get(), 2.0);
         assert_eq!(m.epoch_latency.count(), 1);
         assert_eq!(m.epoch_latency.sum(), 500);
         assert_eq!(m.profiling_overhead.sum(), 200);

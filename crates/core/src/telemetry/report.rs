@@ -175,6 +175,8 @@ mod tests {
                 elapsed: ns(100),
                 profiling: ns(40),
                 kernels_issued: 2,
+                data_queue_depth: 0,
+                data_peak_busy: 0,
             },
         ];
         let log = decision_log(&events);

@@ -173,6 +173,8 @@ mod tests {
                 elapsed: SimDuration::from_nanos(10),
                 profiling: SimDuration::ZERO,
                 kernels_issued: 1,
+                data_queue_depth: 0,
+                data_peak_busy: 0,
             },
         ];
         let buf = std::sync::Arc::new(Mutex::new(Vec::<u8>::new()));

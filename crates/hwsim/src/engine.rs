@@ -23,6 +23,8 @@
 use crate::device::DeviceId;
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{Trace, TraceRecord};
+use crate::waitlist::WaitList;
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
 /// Index of an event in the engine's event table.
@@ -81,7 +83,7 @@ pub struct CommandDesc {
     /// Precomputed execution duration (from the cost model / topology).
     pub duration: SimDuration,
     /// Events that must complete before this command may start.
-    pub waits: Vec<EventId>,
+    pub waits: WaitList,
     /// Logical command-queue id, recorded in the trace.
     pub queue: usize,
 }
@@ -116,7 +118,16 @@ impl DeviceState {
 pub struct Engine {
     devices: Vec<DeviceState>,
     host_now: SimTime,
-    events: Vec<EventStamp>,
+    /// Live (non-retired) event stamps; event `i` lives at
+    /// `events[i - events_base]`. `events_base` only moves when retirement
+    /// is enabled (see [`Engine::set_event_retirement`]).
+    events: VecDeque<EventStamp>,
+    events_base: usize,
+    /// Pin refcounts (`EventId.0` → live handle count); pinned events are
+    /// never retired so their stamps stay queryable.
+    pins: HashMap<usize, u32>,
+    retire_enabled: bool,
+    retired: u64,
     trace: Trace,
     /// Free-form label attached to subsequently-submitted commands
     /// (e.g. "profiling", "iter:3"); drives overhead accounting.
@@ -131,7 +142,11 @@ impl Engine {
         Engine {
             devices: vec![DeviceState::default(); device_count],
             host_now: SimTime::ZERO,
-            events: Vec::with_capacity(1024),
+            events: VecDeque::with_capacity(1024),
+            events_base: 0,
+            pins: HashMap::new(),
+            retire_enabled: false,
+            retired: 0,
             trace: Trace::default(),
             tag: None,
             enqueue_cost: SimDuration::from_nanos(500),
@@ -174,8 +189,13 @@ impl Engine {
         self.host_now += self.enqueue_cost;
         let queued = self.host_now;
         let mut ready = queued.max(lane.available);
-        for w in &desc.waits {
-            let stamp = self.events.get(w.0).expect("wait event out of range");
+        for w in desc.waits.as_slice() {
+            if w.0 < self.events_base {
+                // Retired ⇒ it ended at or before some earlier host_now, and
+                // `queued >= host_now >= end`, so it cannot move `ready`.
+                continue;
+            }
+            let stamp = self.events.get(w.0 - self.events_base).expect("wait event out of range");
             ready = ready.max(stamp.end);
         }
         let start = ready;
@@ -183,8 +203,8 @@ impl Engine {
         lane.available = end;
         lane.busy += desc.duration;
         let stamp = EventStamp { queued, submit: queued, start, end };
-        let id = EventId(self.events.len());
-        self.events.push(stamp);
+        let id = EventId(self.events_base + self.events.len());
+        self.events.push_back(stamp);
         self.trace.push(TraceRecord {
             device: desc.device,
             queue: desc.queue,
@@ -199,20 +219,29 @@ impl Engine {
     /// occupying any device (used for user events and completed-state queries).
     pub fn marker_now(&mut self) -> EventId {
         let t = self.host_now;
-        let id = EventId(self.events.len());
-        self.events.push(EventStamp { queued: t, submit: t, start: t, end: t });
+        let id = EventId(self.events_base + self.events.len());
+        self.events.push_back(EventStamp { queued: t, submit: t, start: t, end: t });
         id
     }
 
     /// The recorded timestamps of `ev`.
+    ///
+    /// # Panics
+    /// Panics if the event has been retired (only possible in the opt-in
+    /// retirement mode; live `Event` handles pin their stamps).
     #[inline]
     pub fn stamp(&self, ev: EventId) -> EventStamp {
-        self.events[ev.0]
+        assert!(ev.0 >= self.events_base, "event {} has been retired", ev.0);
+        self.events[ev.0 - self.events_base]
     }
 
     /// Block the host until `ev` completes (`clWaitForEvents`).
     pub fn wait(&mut self, ev: EventId) {
-        let end = self.events[ev.0].end;
+        if ev.0 < self.events_base {
+            // Retired events completed at or before the current host time.
+            return;
+        }
+        let end = self.events[ev.0 - self.events_base].end;
         self.host_now = self.host_now.max(end);
     }
 
@@ -255,9 +284,82 @@ impl Engine {
     }
 
     /// Drain the accumulated trace, leaving it empty (used between
-    /// experiment repetitions).
+    /// experiment repetitions). Any configured record capacity is preserved.
     pub fn take_trace(&mut self) -> Trace {
-        std::mem::take(&mut self.trace)
+        self.trace.take()
+    }
+
+    /// Mutable access to the trace (capacity configuration).
+    pub fn trace_mut(&mut self) -> &mut Trace {
+        &mut self.trace
+    }
+
+    // ---- event retirement (opt-in; bounded memory for long serving runs) --
+
+    /// Enable/disable event retirement. When enabled, [`Engine::retire_completed`]
+    /// compacts the front of the event table: an event may be retired once it
+    /// has completed in virtual time (`end <= host_now`) and holds no pins.
+    /// A retired id used in a wait list or `wait` call is a no-op — by the
+    /// retire rule its `end` can no longer affect any timestamp — but
+    /// querying its stamp panics.
+    pub fn set_event_retirement(&mut self, enabled: bool) {
+        self.retire_enabled = enabled;
+    }
+
+    /// Whether event retirement is enabled.
+    pub fn event_retirement(&self) -> bool {
+        self.retire_enabled
+    }
+
+    /// Pin `ev` so it survives retirement (refcounted; one live `Event`
+    /// handle = one pin).
+    pub fn pin_event(&mut self, ev: EventId) {
+        if ev.0 < self.events_base {
+            return;
+        }
+        *self.pins.entry(ev.0).or_insert(0) += 1;
+    }
+
+    /// Drop one pin from `ev`, and opportunistically retire the table front.
+    pub fn unpin_event(&mut self, ev: EventId) {
+        if let Some(n) = self.pins.get_mut(&ev.0) {
+            *n -= 1;
+            if *n == 0 {
+                self.pins.remove(&ev.0);
+            }
+        }
+        if self.retire_enabled {
+            self.retire_completed();
+        }
+    }
+
+    /// Retire completed, unpinned events from the front of the table.
+    /// No-op unless retirement is enabled. Returns how many were retired.
+    pub fn retire_completed(&mut self) -> usize {
+        if !self.retire_enabled {
+            return 0;
+        }
+        let mut n = 0;
+        while let Some(front) = self.events.front() {
+            if front.end > self.host_now || self.pins.contains_key(&self.events_base) {
+                break;
+            }
+            self.events.pop_front();
+            self.events_base += 1;
+            n += 1;
+        }
+        self.retired += n as u64;
+        n
+    }
+
+    /// Number of live (non-retired) entries in the event table.
+    pub fn live_events(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Total events retired so far.
+    pub fn retired_events(&self) -> u64 {
+        self.retired
     }
 }
 
@@ -274,7 +376,7 @@ mod tests {
             device: DeviceId(dev),
             kind: kernel("k"),
             duration: SimDuration::from_millis(ms),
-            waits,
+            waits: waits.into(),
             queue: 0,
         }
     }
@@ -299,7 +401,7 @@ mod tests {
                 bytes: 1024,
             },
             duration: SimDuration::from_millis(10),
-            waits: vec![],
+            waits: WaitList::new(),
             queue: 0,
         });
         // The copy engine does not wait for the compute engine.
@@ -312,7 +414,7 @@ mod tests {
                 bytes: 1024,
             },
             duration: SimDuration::from_millis(1),
-            waits: vec![k],
+            waits: WaitList::one(k),
             queue: 0,
         });
         assert!(e.stamp(t2).start >= e.stamp(k).end);
@@ -399,5 +501,60 @@ mod tests {
     fn submitting_to_unknown_device_panics() {
         let mut e = Engine::new(1);
         e.submit(cmd(5, 1, vec![]));
+    }
+
+    #[test]
+    fn retirement_compacts_completed_events() {
+        let mut e = Engine::new(1);
+        e.set_event_retirement(true);
+        let a = e.submit(cmd(0, 10, vec![]));
+        let b = e.submit(cmd(0, 5, vec![a]));
+        // Nothing has completed in virtual time yet.
+        assert_eq!(e.retire_completed(), 0);
+        e.wait(b);
+        assert_eq!(e.retire_completed(), 2);
+        assert_eq!(e.live_events(), 0);
+        assert_eq!(e.retired_events(), 2);
+        // Waiting on / depending on a retired event is a harmless no-op.
+        let before = e.now();
+        e.wait(a);
+        assert_eq!(e.now(), before);
+        let c = e.submit(cmd(0, 1, vec![a, b]));
+        assert!(e.stamp(c).start >= before);
+    }
+
+    #[test]
+    fn pinned_events_survive_retirement() {
+        let mut e = Engine::new(1);
+        e.set_event_retirement(true);
+        let a = e.submit(cmd(0, 10, vec![]));
+        let b = e.submit(cmd(0, 5, vec![]));
+        e.pin_event(a);
+        e.wait(b);
+        // `a` is pinned, so nothing at or past it can retire.
+        assert_eq!(e.retire_completed(), 0);
+        assert_eq!(e.live_events(), 2);
+        e.unpin_event(a); // also retires opportunistically
+        assert_eq!(e.live_events(), 0);
+    }
+
+    #[test]
+    fn retirement_is_noop_when_disabled() {
+        let mut e = Engine::new(1);
+        let a = e.submit(cmd(0, 1, vec![]));
+        e.wait(a);
+        assert_eq!(e.retire_completed(), 0);
+        assert_eq!(e.live_events(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "has been retired")]
+    fn stamp_of_retired_event_panics() {
+        let mut e = Engine::new(1);
+        e.set_event_retirement(true);
+        let a = e.submit(cmd(0, 1, vec![]));
+        e.wait(a);
+        e.retire_completed();
+        let _ = e.stamp(a);
     }
 }

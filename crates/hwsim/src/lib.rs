@@ -48,6 +48,7 @@ pub mod sync;
 pub mod time;
 pub mod topology;
 pub mod trace;
+pub mod waitlist;
 pub mod xrand;
 
 pub use cost::{KernelCostSpec, KernelTraits, NdRangeShape};
@@ -57,3 +58,4 @@ pub use node::NodeConfig;
 pub use time::{SimDuration, SimTime};
 pub use topology::{LinkSpec, Topology, TransferKind};
 pub use trace::{Trace, TraceRecord};
+pub use waitlist::WaitList;

@@ -93,7 +93,7 @@ pub fn measure_host_bandwidth(
             device: dev,
             kind: CommandKind::Transfer { kind: TransferKind::HostToDevice, bytes },
             duration,
-            waits: vec![],
+            waits: crate::waitlist::WaitList::new(),
             queue: usize::MAX,
         });
         engine.wait(ev);
@@ -118,7 +118,7 @@ pub fn measure_d2d_bandwidth(
             device: dst,
             kind: CommandKind::Transfer { kind: TransferKind::DeviceToDevice, bytes },
             duration,
-            waits: vec![],
+            waits: crate::waitlist::WaitList::new(),
             queue: usize::MAX,
         });
         engine.wait(ev);
@@ -147,7 +147,7 @@ pub fn measure_instruction_throughput(
         device: dev,
         kind: CommandKind::Kernel { name: Arc::from("shoc_maxflops") },
         duration,
-        waits: vec![],
+        waits: crate::waitlist::WaitList::new(),
         queue: usize::MAX,
     });
     engine.wait(ev);

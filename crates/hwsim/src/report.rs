@@ -112,7 +112,7 @@ mod tests {
                 device: DeviceId(i % 2),
                 kind: CommandKind::Marker,
                 duration: SimDuration::from_millis(10),
-                waits: vec![],
+                waits: crate::waitlist::WaitList::new(),
                 queue: 0,
             });
         }
@@ -230,14 +230,14 @@ mod tests {
             device: DeviceId(0),
             kind: CommandKind::Marker,
             duration: SimDuration::from_millis(10),
-            waits: vec![],
+            waits: crate::waitlist::WaitList::new(),
             queue: 0,
         });
         e.submit(CommandDesc {
             device: DeviceId(1),
             kind: CommandKind::Marker,
             duration: SimDuration::from_millis(10),
-            waits: vec![a],
+            waits: crate::waitlist::WaitList::one(a),
             queue: 0,
         });
         let g = ascii_gantt(e.trace(), 20);

@@ -82,16 +82,66 @@ impl TraceRecord {
 }
 
 /// An append-only list of [`TraceRecord`]s with aggregation helpers.
+///
+/// By default the trace grows without bound. Long serving runs can set a
+/// record capacity ([`Trace::set_capacity`]); the *oldest* records are then
+/// evicted in batches and counted in [`Trace::dropped`]. Consumers that walk
+/// the trace incrementally should track positions with the monotonic
+/// [`Trace::total_pushed`] counter and read via [`Trace::records_since`],
+/// which stays correct across evictions.
 #[derive(Debug, Clone, Default)]
 pub struct Trace {
-    /// All records in submission order.
+    /// Retained records in submission order (the newest
+    /// `total_pushed - dropped` pushes).
     pub records: Vec<TraceRecord>,
+    capacity: Option<usize>,
+    total: u64,
+    dropped: u64,
 }
 
 impl Trace {
-    /// Append a record.
+    /// Append a record, evicting the oldest half of the retained records if
+    /// a capacity is set and reached.
     pub fn push(&mut self, r: TraceRecord) {
+        if let Some(cap) = self.capacity {
+            if self.records.len() >= cap.max(2) {
+                let evict = self.records.len() / 2;
+                self.records.drain(..evict);
+                self.dropped += evict as u64;
+            }
+        }
+        self.total += 1;
         self.records.push(r);
+    }
+
+    /// Bound the retained records to roughly `cap` (None = unbounded).
+    pub fn set_capacity(&mut self, cap: Option<usize>) {
+        self.capacity = cap;
+    }
+
+    /// Total records ever pushed (monotonic; includes evicted records).
+    pub fn total_pushed(&self) -> u64 {
+        self.total
+    }
+
+    /// Records evicted due to the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The records pushed at or after monotonic position `since` (as
+    /// reported by [`Trace::total_pushed`]) that are still retained.
+    pub fn records_since(&self, since: u64) -> &[TraceRecord] {
+        let first_retained = self.total - self.records.len() as u64;
+        let start = since.saturating_sub(first_retained).min(self.records.len() as u64);
+        &self.records[start as usize..]
+    }
+
+    /// Drain into a fresh trace, preserving the capacity configuration on
+    /// `self` and resetting the counters.
+    pub fn take(&mut self) -> Trace {
+        let cap = self.capacity;
+        std::mem::replace(self, Trace { records: Vec::new(), capacity: cap, total: 0, dropped: 0 })
     }
 
     /// Number of kernel executions per device (the quantity plotted in
@@ -273,6 +323,60 @@ mod tests {
         let ev = &parsed.as_arr().unwrap()[0];
         assert_eq!(ev.get("name").unwrap().as_str(), Some("bad\nname\t"));
         assert_eq!(ev.get("args").unwrap().get("tag").unwrap().as_str(), Some("tab\there"));
+    }
+
+    #[test]
+    fn capacity_evicts_oldest_and_counts_drops() {
+        let mut t = Trace::default();
+        t.set_capacity(Some(4));
+        for i in 0..10 {
+            t.push(rec(0, kernel(&format!("k{i}")), 1, None));
+        }
+        assert_eq!(t.total_pushed(), 10);
+        assert!(t.records.len() <= 4 + 2, "retained {}", t.records.len());
+        assert_eq!(t.dropped() + t.records.len() as u64, 10);
+        // The newest record is always retained.
+        assert!(matches!(&t.records.last().unwrap().kind,
+            CommandKind::Kernel { name } if &**name == "k9"));
+    }
+
+    #[test]
+    fn records_since_is_stable_across_evictions() {
+        let mut t = Trace::default();
+        t.set_capacity(Some(4));
+        for i in 0..3 {
+            t.push(rec(0, kernel(&format!("a{i}")), 1, None));
+        }
+        let pos = t.total_pushed();
+        for i in 0..5 {
+            t.push(rec(0, kernel(&format!("b{i}")), 1, None));
+        }
+        // Everything since `pos` that survived eviction is some suffix of
+        // the b-records, ending at b4.
+        let since = t.records_since(pos);
+        assert!(!since.is_empty());
+        for r in since {
+            assert!(matches!(&r.kind, CommandKind::Kernel { name } if name.starts_with('b')));
+        }
+        // A position in the future yields an empty slice, not a panic.
+        assert!(t.records_since(t.total_pushed() + 5).is_empty());
+    }
+
+    #[test]
+    fn take_preserves_capacity_and_resets_counters() {
+        let mut t = Trace::default();
+        t.set_capacity(Some(8));
+        t.push(rec(0, kernel("a"), 1, None));
+        let old = t.take();
+        assert_eq!(old.records.len(), 1);
+        assert_eq!(t.total_pushed(), 0);
+        t.push(rec(0, kernel("b"), 1, None));
+        assert_eq!(t.records.len(), 1);
+        // Capacity still applies after take().
+        for i in 0..20 {
+            t.push(rec(0, kernel(&format!("c{i}")), 1, None));
+        }
+        assert!(t.records.len() <= 10);
     }
 
     #[test]

@@ -1,0 +1,215 @@
+//! A small-vector wait list for command dependencies.
+//!
+//! Nearly every command waits on zero, one, or two events (the in-order
+//! chain predecessor plus maybe one explicit wait), so allocating a fresh
+//! `Vec<EventId>` per enqueue is pure churn on the hot path. [`WaitList`]
+//! stores up to [`WaitList::INLINE`] ids inline and only touches the heap
+//! when a wait list genuinely spills (out-of-order queues with long explicit
+//! lists, barriers draining many outstanding events). `clear` keeps any
+//! spilled allocation so a scratch list can be reused across enqueues.
+
+use crate::engine::EventId;
+
+/// Inline-capacity list of [`EventId`]s (see module docs).
+#[derive(Clone)]
+pub struct WaitList(Repr);
+
+#[derive(Clone)]
+enum Repr {
+    Inline { buf: [EventId; WaitList::INLINE], len: u8 },
+    Heap(Vec<EventId>),
+}
+
+impl WaitList {
+    /// Ids stored without a heap allocation.
+    pub const INLINE: usize = 4;
+
+    /// An empty list (no allocation).
+    #[inline]
+    pub const fn new() -> WaitList {
+        WaitList(Repr::Inline { buf: [EventId(0); WaitList::INLINE], len: 0 })
+    }
+
+    /// A single-element list (no allocation).
+    #[inline]
+    pub fn one(ev: EventId) -> WaitList {
+        let mut w = WaitList::new();
+        w.push(ev);
+        w
+    }
+
+    /// Append an id, spilling to the heap past [`Self::INLINE`] elements.
+    pub fn push(&mut self, ev: EventId) {
+        match &mut self.0 {
+            Repr::Inline { buf, len } => {
+                let n = *len as usize;
+                if n < WaitList::INLINE {
+                    buf[n] = ev;
+                    *len += 1;
+                } else {
+                    let mut v = Vec::with_capacity(WaitList::INLINE * 2);
+                    v.extend_from_slice(&buf[..n]);
+                    v.push(ev);
+                    self.0 = Repr::Heap(v);
+                }
+            }
+            Repr::Heap(v) => v.push(ev),
+        }
+    }
+
+    /// The ids as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[EventId] {
+        match &self.0 {
+            Repr::Inline { buf, len } => &buf[..*len as usize],
+            Repr::Heap(v) => v,
+        }
+    }
+
+    /// Number of ids.
+    #[inline]
+    pub fn len(&self) -> usize {
+        match &self.0 {
+            Repr::Inline { len, .. } => *len as usize,
+            Repr::Heap(v) => v.len(),
+        }
+    }
+
+    /// True when no ids are stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Remove all ids. A spilled heap allocation is kept for reuse, so a
+    /// scratch `WaitList` amortizes to zero allocations per enqueue.
+    #[inline]
+    pub fn clear(&mut self) {
+        match &mut self.0 {
+            Repr::Inline { len, .. } => *len = 0,
+            Repr::Heap(v) => v.clear(),
+        }
+    }
+
+    /// Whether the list has spilled to the heap.
+    pub fn spilled(&self) -> bool {
+        matches!(self.0, Repr::Heap(_))
+    }
+}
+
+impl Default for WaitList {
+    fn default() -> WaitList {
+        WaitList::new()
+    }
+}
+
+impl std::fmt::Debug for WaitList {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.as_slice()).finish()
+    }
+}
+
+impl std::ops::Deref for WaitList {
+    type Target = [EventId];
+    #[inline]
+    fn deref(&self) -> &[EventId] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<EventId>> for WaitList {
+    fn from(v: Vec<EventId>) -> WaitList {
+        WaitList(Repr::Heap(v))
+    }
+}
+
+impl From<&[EventId]> for WaitList {
+    fn from(s: &[EventId]) -> WaitList {
+        let mut w = WaitList::new();
+        for &ev in s {
+            w.push(ev);
+        }
+        w
+    }
+}
+
+impl FromIterator<EventId> for WaitList {
+    fn from_iter<T: IntoIterator<Item = EventId>>(iter: T) -> WaitList {
+        let mut w = WaitList::new();
+        for ev in iter {
+            w.push(ev);
+        }
+        w
+    }
+}
+
+impl Extend<EventId> for WaitList {
+    fn extend<T: IntoIterator<Item = EventId>>(&mut self, iter: T) {
+        for ev in iter {
+            self.push(ev);
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a WaitList {
+    type Item = &'a EventId;
+    type IntoIter = std::slice::Iter<'a, EventId>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stays_inline_up_to_capacity() {
+        let mut w = WaitList::new();
+        assert!(w.is_empty());
+        for i in 0..WaitList::INLINE {
+            w.push(EventId(i));
+            assert!(!w.spilled());
+        }
+        assert_eq!(w.len(), WaitList::INLINE);
+        assert_eq!(w.as_slice(), (0..WaitList::INLINE).map(EventId).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn spills_past_capacity_and_preserves_order() {
+        let mut w = WaitList::new();
+        for i in 0..10 {
+            w.push(EventId(i));
+        }
+        assert!(w.spilled());
+        assert_eq!(w.as_slice(), (0..10).map(EventId).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clear_keeps_heap_allocation_for_reuse() {
+        let mut w: WaitList = (0..10).map(EventId).collect();
+        assert!(w.spilled());
+        w.clear();
+        assert!(w.is_empty());
+        // Still heap-backed: subsequent pushes reuse the allocation.
+        assert!(w.spilled());
+        w.push(EventId(7));
+        assert_eq!(w.as_slice(), [EventId(7)]);
+    }
+
+    #[test]
+    fn one_and_from_and_iter() {
+        let w = WaitList::one(EventId(3));
+        assert_eq!(w.as_slice(), [EventId(3)]);
+        let w2 = WaitList::from(vec![EventId(1), EventId(2)]);
+        assert_eq!(w2.iter().copied().collect::<Vec<_>>(), vec![EventId(1), EventId(2)]);
+        let w3 = WaitList::from(&[EventId(9)][..]);
+        assert_eq!(w3.len(), 1);
+    }
+
+    #[test]
+    fn debug_formats_like_a_slice() {
+        let w = WaitList::one(EventId(5));
+        assert_eq!(format!("{w:?}"), "[EventId(5)]");
+    }
+}

@@ -17,7 +17,9 @@
 //! `cargo run -p served --bin loadgen -- --seed 42 --tenants 4 --policy auto_fit`
 //! Flags: `--seed N --tenants N --policy auto_fit|round_robin|off --jobs N`
 //! `--rate HZ --mode open|closed --workers N --capacity N --think-ms N`
-//! `--concurrency N`.
+//! `--concurrency N --data-workers N` (data-plane host threads; 0 = all
+//! cores, 1 = synchronous — changes wall-clock throughput only, never the
+//! virtual timeline or results).
 
 use hwsim::SimDuration;
 use multicl::telemetry::RingBufferSink;
@@ -30,7 +32,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: loadgen [--seed N] [--tenants N] [--policy auto_fit|round_robin|off] \
          [--jobs N] [--rate HZ] [--mode open|closed] [--workers N] [--capacity N] \
-         [--think-ms N] [--concurrency N]"
+         [--think-ms N] [--concurrency N] [--data-workers N]"
     );
     std::process::exit(2);
 }
@@ -52,6 +54,7 @@ fn parse_config() -> LoadgenConfig {
             "--capacity" => cfg.queue_capacity = num(value) as usize,
             "--think-ms" => cfg.think = SimDuration::from_millis(num(value)),
             "--concurrency" => cfg.concurrency = num(value) as usize,
+            "--data-workers" => cfg.runtime.data_plane_workers = num(value) as usize,
             "--rate" => {
                 cfg.rate_hz = value.and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
             }
@@ -88,7 +91,7 @@ fn main() {
     let (served, arrivals) = loadgen::run_with(&cfg, &cache_dir, vec![recorder.clone()])
         .unwrap_or_else(|e| panic!("load generation failed: {e}"));
 
-    let report = loadgen::report_json(&served, &cfg);
+    let report = loadgen::report_json_with_wall(&served, &cfg);
     println!(
         "{} tenants, {} jobs, policy {}, mode {}: {} completed / {} rejected in {:.2} virtual ms",
         cfg.tenants,
@@ -98,6 +101,11 @@ fn main() {
         report.get("jobs_completed").and_then(|v| v.as_u64()).unwrap_or(0),
         report.get("jobs_rejected").and_then(|v| v.as_u64()).unwrap_or(0),
         served.now().as_millis_f64(),
+    );
+    println!(
+        "data plane: {} worker(s), {:.0} wall-clock jobs/s",
+        served.data_plane_workers(),
+        report.get("wall_jobs_per_s").and_then(|v| v.as_f64()).unwrap_or(0.0),
     );
     for i in 0..served.tenant_count() {
         let (p50, p95, p99) = served.metrics().latency_percentiles_ms(i);

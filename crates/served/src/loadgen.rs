@@ -20,7 +20,7 @@ use crate::service::{warmed_options, ServePolicy, Served, ServiceConfig};
 use crate::spec::JobSpec;
 use crate::tenant::TenantConfig;
 use clrt::error::ClResult;
-use clrt::Platform;
+use clrt::{Platform, RuntimeConfig};
 use hwsim::json::Json;
 use hwsim::xrand::XorShift;
 use hwsim::{SimDuration, SimTime};
@@ -77,6 +77,11 @@ pub struct LoadgenConfig {
     pub queue_capacity: usize,
     /// Worker queue pool size.
     pub workers: usize,
+    /// Runtime knobs for the backing platform: data-plane worker threads
+    /// (wall-clock throughput only — virtual time and results are identical
+    /// for any count), event retirement, and trace capacity for
+    /// bounded-memory long runs.
+    pub runtime: RuntimeConfig,
 }
 
 impl Default for LoadgenConfig {
@@ -92,6 +97,7 @@ impl Default for LoadgenConfig {
             concurrency: 2,
             queue_capacity: 8,
             workers: 4,
+            runtime: RuntimeConfig::default(),
         }
     }
 }
@@ -306,7 +312,7 @@ pub fn build_service(
     cache_dir: &Path,
     observers: Vec<std::sync::Arc<dyn multicl::SchedObserver>>,
 ) -> ClResult<Served> {
-    let platform = Platform::paper_node();
+    let platform = Platform::paper_node_with(cfg.runtime.clone());
     let tenants = (0..cfg.tenants.max(1))
         .map(|i| TenantConfig::new(format!("t{i}"), 1, cfg.queue_capacity))
         .collect();
@@ -348,7 +354,9 @@ pub fn run_with(
 }
 
 /// Summarize a finished run as a JSON report: totals plus per-tenant
-/// throughput, rejection counts, and p50/p95/p99 latency.
+/// throughput, rejection counts, and p50/p95/p99 latency. Fully
+/// deterministic for a given seed — wall-clock figures are added
+/// separately by [`report_json_with_wall`].
 pub fn report_json(served: &Served, cfg: &LoadgenConfig) -> Json {
     let elapsed = served.now().saturating_since(served.serving_since());
     let elapsed_s = elapsed.as_secs_f64().max(1e-12);
@@ -393,6 +401,7 @@ pub fn report_json(served: &Served, cfg: &LoadgenConfig) -> Json {
         ("seed", Json::from(cfg.seed)),
         ("tenants", Json::from(cfg.tenants)),
         ("workers", Json::from(cfg.workers)),
+        ("data_plane_workers", Json::from(served.data_plane_workers())),
         ("queue_capacity", Json::from(cfg.queue_capacity)),
         ("offered_rate_hz", Json::from(cfg.rate_hz)),
         ("elapsed_virtual_ms", Json::from(elapsed.as_millis_f64())),
@@ -402,4 +411,22 @@ pub fn report_json(served: &Served, cfg: &LoadgenConfig) -> Json {
         ("achieved_throughput_jobs_per_s", Json::from(total_completed as f64 / elapsed_s)),
         ("per_tenant", Json::Arr(per_tenant)),
     ])
+}
+
+/// [`report_json`] plus host wall-clock figures (non-deterministic):
+/// elapsed seconds since warm-up and wall-clock jobs/second — the number
+/// the data-plane worker count actually moves.
+pub fn report_json_with_wall(served: &Served, cfg: &LoadgenConfig) -> Json {
+    let base = report_json(served, cfg);
+    let wall_s = served.wall_elapsed().map(|d| d.as_secs_f64()).unwrap_or(0.0);
+    let completed = base.get("jobs_completed").and_then(Json::as_u64).unwrap_or(0) as f64;
+    let wall_jobs_per_s = if wall_s > 0.0 { completed / wall_s } else { 0.0 };
+    match base {
+        Json::Obj(mut fields) => {
+            fields.push(("wall_elapsed_s".to_string(), Json::from(wall_s)));
+            fields.push(("wall_jobs_per_s".to_string(), Json::from(wall_jobs_per_s)));
+            Json::Obj(fields)
+        }
+        other => other,
+    }
 }

@@ -117,9 +117,12 @@ pub fn warmed_options(platform: &Platform, dir: impl Into<PathBuf>) -> SchedOpti
 }
 
 /// A kernel body synthesized from a [`JobSpec`] kernel declaration: the
-/// cost plane comes from the spec; the data plane does a token amount of
-/// real work (bumps the first element of its first argument) so buffer
-/// residency and migration behave exactly as for hand-written kernels.
+/// cost plane comes from the spec; the data plane performs real host
+/// computation plus a device-latency wait, both proportional to the
+/// spec's nominal flop count, so buffer residency behaves exactly as for
+/// hand-written kernels *and* the runtime's data-plane worker pool has
+/// genuine work to overlap — the load behind the `dataplane` bench's
+/// wall-clock numbers.
 struct SpecKernel {
     name: String,
     arity: usize,
@@ -140,11 +143,38 @@ impl KernelBody for SpecKernel {
     }
 
     fn execute(&self, ctx: &mut KernelCtx<'_>) {
-        if self.arity > 0 {
-            let data = ctx.slice_mut::<f64>(0);
-            if let Some(first) = data.first_mut() {
-                *first += 1.0;
-            }
+        if self.arity == 0 {
+            return;
+        }
+        let items = ctx.nd().global_items();
+        let data = ctx.slice_mut::<f64>(0);
+        if data.is_empty() {
+            return;
+        }
+        // Host-side prep: a deterministic FMA chain over the pre-launch
+        // contents. Only `data[0]` is written, at the end, so the result
+        // is a pure function of the inputs — identical for any worker
+        // count.
+        let flops = self.cost.flops_per_item.max(1.0) * items as f64;
+        let steps = (flops / 512.0) as u64;
+        let len = data.len();
+        let mut acc = 1.0f64;
+        for i in 0..steps {
+            acc = acc.mul_add(0.999_999_9, data[i as usize % len] * 1e-6);
+        }
+        data[0] += acc;
+        // Device-latency stand-in: occupy this data-plane task for a
+        // duration proportional to the kernel's nominal flop count, the
+        // way a real dispatch occupies its host thread until the device
+        // completes. This wait — not the prep loop — is what the worker
+        // pool overlaps, so the `dataplane` bench shows wall-clock wins
+        // even on single-core hosts. Sleeping never touches buffer data,
+        // so worker-count invariance is unaffected. (Debug builds wait
+        // ~17x less — dev test suites should not pay bench-grade load.)
+        let ns_per_flop = if cfg!(debug_assertions) { 0.015 } else { 0.25 };
+        let wait = std::time::Duration::from_nanos((flops * ns_per_flop) as u64);
+        if !wait.is_zero() {
+            std::thread::sleep(wait);
         }
     }
 }
@@ -188,6 +218,10 @@ pub struct Served {
     /// Virtual time at which the service finished start-up (program
     /// warm-up); throughput should be measured from here.
     serving_since: Mutex<SimTime>,
+    /// Host wall-clock instant matching [`Self::serving_since`] (`None`
+    /// until warm-up finishes). Basis for wall-clock throughput, which —
+    /// unlike everything virtual — depends on the data-plane worker count.
+    wall_serving_since: Mutex<Option<std::time::Instant>>,
     outcomes: Mutex<Vec<JobOutcome>>,
 }
 
@@ -218,6 +252,7 @@ impl Served {
             rr_start: AtomicUsize::new(0),
             programs: Mutex::new(HashMap::new()),
             serving_since: Mutex::new(SimTime::ZERO),
+            wall_serving_since: Mutex::new(None),
             outcomes: Mutex::new(Vec::new()),
         })
     }
@@ -245,6 +280,23 @@ impl Served {
     /// Number of worker queues (dispatch slots per round).
     pub fn worker_count(&self) -> usize {
         self.workers.len()
+    }
+
+    /// Host threads executing kernel bodies and transfers (the runtime's
+    /// data plane). Affects wall-clock throughput only, never virtual time.
+    pub fn data_plane_workers(&self) -> usize {
+        self.platform.data_plane_workers()
+    }
+
+    /// Snapshot of the runtime's data-plane executor counters.
+    pub fn data_plane_stats(&self) -> clrt::DataPlaneStats {
+        self.platform.data_plane_stats()
+    }
+
+    /// Host wall-clock time since start-up finished (`None` before any
+    /// [`Self::warm_programs`] call).
+    pub fn wall_elapsed(&self) -> Option<std::time::Duration> {
+        self.wall_serving_since.lock().map(|t| t.elapsed())
     }
 
     /// Current virtual time.
@@ -378,7 +430,10 @@ impl Served {
         if picks.is_empty() {
             return 0;
         }
-        let trace_offset = self.platform.with_engine(|e| e.trace().records.len());
+        // Position in the trace's monotone push counter, not an index into
+        // `records`: stable even when a trace capacity bound evicts old
+        // records mid-run.
+        let trace_offset = self.platform.with_engine(|e| e.trace().total_pushed());
         let epoch = self.ctx.current_epoch();
         for (slot, (tenant, job)) in picks.iter().enumerate() {
             let worker = &self.workers[slot];
@@ -399,7 +454,7 @@ impl Served {
         // on a worker's queue belongs to the single job dispatched there.
         let mut worker_end: HashMap<usize, SimTime> = HashMap::new();
         self.platform.with_engine(|e| {
-            for r in &e.trace().records[trace_offset..] {
+            for r in e.trace().records_since(trace_offset) {
                 let end = worker_end.entry(r.queue).or_insert(SimTime::ZERO);
                 *end = (*end).max(r.stamp.end);
             }
@@ -453,6 +508,7 @@ impl Served {
         }
         self.ctx.finish_all();
         *self.serving_since.lock() = self.platform.now();
+        *self.wall_serving_since.lock() = Some(std::time::Instant::now());
         Ok(())
     }
 

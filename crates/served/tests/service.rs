@@ -1,7 +1,7 @@
 //! End-to-end tests of the job service: determinism, admission control,
 //! weighted fairness, telemetry coverage, and thread-safe submission.
 
-use clrt::Platform;
+use clrt::{Platform, RuntimeConfig};
 use multicl::telemetry::RingBufferSink;
 use served::loadgen::{self, ArrivalMode, LoadgenConfig};
 use served::service::warmed_options;
@@ -234,4 +234,65 @@ fn concurrent_submitters_are_accounted_exactly() {
     assert_eq!(served.outcomes().len(), 4 * PER_TENANT);
     let ids: std::collections::HashSet<u64> = served.outcomes().iter().map(|o| o.id).collect();
     assert_eq!(ids.len(), 4 * PER_TENANT, "job ids are unique across threads");
+}
+
+#[test]
+fn data_plane_worker_count_never_changes_service_results() {
+    let base = LoadgenConfig {
+        seed: 17,
+        tenants: 2,
+        jobs: 12,
+        rate_hz: 1500.0,
+        workers: 2,
+        ..LoadgenConfig::default()
+    };
+    let seq = LoadgenConfig {
+        runtime: RuntimeConfig { data_plane_workers: 1, ..RuntimeConfig::default() },
+        ..base.clone()
+    };
+    let par = LoadgenConfig {
+        runtime: RuntimeConfig { data_plane_workers: 4, ..RuntimeConfig::default() },
+        ..base
+    };
+    let dir = scratch_dir("dp-workers");
+    let (a, _) = loadgen::run(&seq, &dir).expect("synchronous run");
+    let (b, _) = loadgen::run(&par, &dir).expect("parallel run");
+    assert_eq!(a.data_plane_workers(), 1);
+    assert_eq!(b.data_plane_workers(), 4);
+    assert_eq!(a.outcomes(), b.outcomes(), "outcomes identical for any worker count");
+    assert_eq!(a.now(), b.now(), "virtual clock identical for any worker count");
+    // The parallel run actually routed work through the executor.
+    assert!(b.data_plane_stats().executed > 0, "stats: {:?}", b.data_plane_stats());
+}
+
+#[test]
+fn retirement_and_trace_capacity_bound_memory_without_changing_results() {
+    let bounded_cfg = LoadgenConfig {
+        seed: 33,
+        tenants: 2,
+        jobs: 24,
+        rate_hz: 2000.0,
+        workers: 2,
+        runtime: RuntimeConfig {
+            retire_events: true,
+            trace_capacity: Some(64),
+            ..RuntimeConfig::default()
+        },
+        ..LoadgenConfig::default()
+    };
+    let plain_cfg = LoadgenConfig { runtime: RuntimeConfig::default(), ..bounded_cfg.clone() };
+    let dir = scratch_dir("bounded");
+    let (bounded, _) = loadgen::run(&bounded_cfg, &dir).expect("bounded run");
+    let (plain, _) = loadgen::run(&plain_cfg, &dir).expect("plain run");
+    assert_eq!(bounded.outcomes(), plain.outcomes(), "bounding memory never changes outcomes");
+    let (live, retired, records) = bounded
+        .context()
+        .platform()
+        .with_engine(|e| (e.live_events(), e.retired_events(), e.trace().records.len()));
+    let (plain_live, plain_records) =
+        plain.context().platform().with_engine(|e| (e.live_events(), e.trace().records.len()));
+    assert!(retired > 0, "a long run with no live handles retires events");
+    assert!(live < plain_live, "retention stays below the unbounded run ({live} vs {plain_live})");
+    assert!(records <= 64, "trace respects its capacity bound ({records} records)");
+    assert!(plain_records > 64, "the unbounded run really exceeds the bound");
 }
