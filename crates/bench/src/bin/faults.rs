@@ -1,0 +1,45 @@
+//! Fault-injection sweep: transient transfer-failure rates and permanent
+//! device-loss scenarios over the served workload, checking graceful
+//! degradation (goodput never collapses while >= 1 device is healthy),
+//! telemetry coverage (DeviceDown/Remapped events), and bit-identical
+//! same-seed reproduction. Exits non-zero on any violation.
+//!
+//! Writes `results/BENCH_faults.json`.
+//!
+//! Usage: `cargo run --release -p multicl-bench --bin faults [--smoke] [SEED] [JOBS]`
+
+use multicl_bench::experiments::faults;
+use multicl_bench::{print_table, write_report};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let nums: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let seed: u64 = nums.first().and_then(|s| s.parse().ok()).unwrap_or(42);
+    let jobs: usize =
+        nums.get(1).and_then(|s| s.parse().ok()).unwrap_or(if smoke { 24 } else { 48 });
+
+    let points = faults::run(seed, jobs, smoke);
+    print_table(&faults::table(&points));
+
+    if let Some(path) =
+        write_report("BENCH_faults.json", &faults::to_json(&points, seed, jobs).dump())
+    {
+        println!("wrote {}", path.display());
+    }
+
+    let violations = faults::violations(&points);
+    if violations.is_empty() {
+        println!(
+            "graceful degradation holds over {} scenario(s) (seed {seed}, {jobs} jobs/scenario, \
+             every point bit-identical across two same-seed runs)",
+            points.len()
+        );
+    } else {
+        eprintln!("error: graceful-degradation violations:");
+        for v in &violations {
+            eprintln!("  - {v}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,282 @@
+//! Fault-injection sweep over the served workload: transient
+//! transfer-failure rates and permanent device-loss scenarios, measuring
+//! how goodput degrades as the node gets less healthy.
+//!
+//! The claim under test is *graceful degradation*: with retries, epoch
+//! remapping, and admission shedding in place, goodput falls roughly with
+//! the lost capacity but never collapses to zero while at least one device
+//! stays healthy — and the whole run stays deterministic (bit-identical
+//! reports for a fixed seed) and panic-free, faults included.
+
+use crate::harness::Table;
+use clrt::RuntimeConfig;
+use hwsim::json::Json;
+use hwsim::{DeviceId, FaultPlan, SimTime};
+use multicl::telemetry::RingBufferSink;
+use served::loadgen::{self, LoadgenConfig};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// One fault scenario of the sweep.
+#[derive(Debug, Clone)]
+pub struct FaultScenario {
+    /// Stable label (table rows, JSON keys).
+    pub label: String,
+    /// Per-transfer failure probability.
+    pub rate: f64,
+    /// Devices permanently lost, with their virtual loss instants.
+    pub lose: Vec<(DeviceId, SimTime)>,
+}
+
+/// One measured point: the scenario plus service-level outcomes.
+#[derive(Debug, Clone)]
+pub struct FaultPoint {
+    /// The scenario that produced this point.
+    pub scenario: FaultScenario,
+    /// Jobs that executed cleanly.
+    pub completed: u64,
+    /// Jobs abandoned (deadline/retries/dead node).
+    pub failed: u64,
+    /// Fault-failed dispatches that were re-queued.
+    pub retried: u64,
+    /// Submissions bounced by admission control (including shed load).
+    pub rejected: u64,
+    /// Goodput: completions per virtual second of serving time.
+    pub goodput_hz: u64,
+    /// `DeviceDown` events observed in telemetry.
+    pub devices_down: u64,
+    /// `Remapped` (fault-evacuation) events observed in telemetry.
+    pub queues_remapped: u64,
+    /// The full deterministic JSON report (determinism fingerprint).
+    pub report: String,
+}
+
+/// The scenario grid. `smoke` keeps CI runs short; the full sweep adds
+/// intermediate failure rates and a two-device loss.
+pub fn scenarios(smoke: bool) -> Vec<FaultScenario> {
+    let rates: &[f64] = if smoke { &[0.0, 0.2] } else { &[0.0, 0.01, 0.05, 0.2] };
+    let mut out: Vec<FaultScenario> = rates
+        .iter()
+        .map(|&rate| FaultScenario { label: format!("transfer_{rate}"), rate, lose: Vec::new() })
+        .collect();
+    // Lose one GPU mid-run: the scheduler must blacklist it, evacuate its
+    // queues, and keep serving on the remaining devices.
+    out.push(FaultScenario {
+        label: "lose_gpu1_mid_run".into(),
+        rate: 0.0,
+        lose: vec![(DeviceId(1), SimTime::from_nanos(30_000_000))],
+    });
+    if !smoke {
+        // Lose both GPUs, staggered: only the CPU survives. Goodput must
+        // still be non-zero.
+        out.push(FaultScenario {
+            label: "lose_both_gpus".into(),
+            rate: 0.0,
+            lose: vec![
+                (DeviceId(1), SimTime::from_nanos(25_000_000)),
+                (DeviceId(2), SimTime::from_nanos(45_000_000)),
+            ],
+        });
+        // Compound stress: flaky transfers *and* a mid-run device loss.
+        out.push(FaultScenario {
+            label: "transfer_0.05+lose_gpu2".into(),
+            rate: 0.05,
+            lose: vec![(DeviceId(2), SimTime::from_nanos(30_000_000))],
+        });
+    }
+    out
+}
+
+/// The shared per-process profile-cache directory (same idea as
+/// [`crate::harness::fresh_context`]: measure the device profile once).
+fn cache_dir() -> PathBuf {
+    std::env::temp_dir().join(format!("multicl-bench-faults-cache-{}", std::process::id()))
+}
+
+/// Run one scenario once and collect its point.
+pub fn run_point(scenario: &FaultScenario, seed: u64, jobs: usize) -> FaultPoint {
+    let mut plan = FaultPlan::new(seed ^ 0xfa17).with_transfer_failure_rate(scenario.rate);
+    for &(device, at) in &scenario.lose {
+        plan = plan.lose_device(device, at);
+    }
+    let cfg = LoadgenConfig {
+        seed,
+        jobs,
+        tenants: 4,
+        workers: 4,
+        queue_capacity: 8,
+        rate_hz: 800.0,
+        runtime: RuntimeConfig { fault_plan: Some(plan), ..RuntimeConfig::default() },
+        ..LoadgenConfig::default()
+    };
+    let recorder = Arc::new(RingBufferSink::new(1 << 16));
+    let (served, _) =
+        loadgen::run_with(&cfg, &cache_dir(), vec![recorder.clone()]).expect("faulty load run");
+    let elapsed_s = served.now().saturating_since(served.serving_since()).as_secs_f64().max(1e-12);
+    let (mut completed, mut failed, mut retried, mut rejected) = (0u64, 0u64, 0u64, 0u64);
+    for i in 0..served.tenant_count() {
+        let m = served.metrics().tenant(i);
+        completed += m.completed.get();
+        failed += m.failed.get();
+        retried += m.retried.get();
+        rejected += m.rejected.get();
+    }
+    let events = recorder.snapshot();
+    let count = |kind: &str| events.iter().filter(|e| e.kind() == kind).count() as u64;
+    FaultPoint {
+        scenario: scenario.clone(),
+        completed,
+        failed,
+        retried,
+        rejected,
+        goodput_hz: (completed as f64 / elapsed_s) as u64,
+        devices_down: count("device_down"),
+        queues_remapped: count("remapped"),
+        report: loadgen::report_json(&served, &cfg).dump(),
+    }
+}
+
+/// Run the sweep. Every scenario runs **twice** with the same seed and the
+/// two reports must match byte-for-byte — fault injection is part of the
+/// deterministic timeline, not noise on top of it.
+pub fn run(seed: u64, jobs: usize, smoke: bool) -> Vec<FaultPoint> {
+    scenarios(smoke)
+        .iter()
+        .map(|s| {
+            let first = run_point(s, seed, jobs);
+            let second = run_point(s, seed, jobs);
+            assert_eq!(
+                first.report, second.report,
+                "scenario `{}` is not bit-identical across same-seed runs",
+                s.label
+            );
+            first
+        })
+        .collect()
+}
+
+/// Check the graceful-degradation properties; returns the violations
+/// (empty = pass).
+pub fn violations(points: &[FaultPoint]) -> Vec<String> {
+    let mut out = Vec::new();
+    for p in points {
+        let label = &p.scenario.label;
+        // Every scenario here leaves >= 1 device healthy, so goodput must
+        // never collapse to zero.
+        if p.completed == 0 || p.goodput_hz == 0 {
+            out.push(format!("`{label}`: goodput collapsed to zero"));
+        }
+        if !p.scenario.lose.is_empty() {
+            if p.devices_down < p.scenario.lose.len() as u64 {
+                out.push(format!(
+                    "`{label}`: expected {} device_down event(s), saw {}",
+                    p.scenario.lose.len(),
+                    p.devices_down
+                ));
+            }
+            if p.queues_remapped == 0 {
+                out.push(format!("`{label}`: device loss produced no queue evacuation"));
+            }
+        }
+        if p.scenario.rate > 0.0 && p.retried == 0 {
+            out.push(format!("`{label}`: transfer faults injected but nothing was retried"));
+        }
+    }
+    // Goodput should not *increase* as the node loses devices: the healthy
+    // baseline must be at least as good as every loss scenario.
+    if let Some(base) = points.iter().find(|p| p.scenario.rate == 0.0 && p.scenario.lose.is_empty())
+    {
+        for p in points.iter().filter(|p| !p.scenario.lose.is_empty()) {
+            if p.completed > base.completed {
+                out.push(format!(
+                    "`{}`: completed more jobs ({}) than the healthy baseline ({})",
+                    p.scenario.label, p.completed, base.completed
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Render the sweep as a table (one row per scenario).
+pub fn table(points: &[FaultPoint]) -> Table {
+    let mut t = Table::new(
+        "Fault sweep: goodput under transfer failures and device loss",
+        &[
+            "scenario",
+            "rate",
+            "lost",
+            "completed",
+            "failed",
+            "retried",
+            "rejected",
+            "goodput/s",
+            "down",
+            "remapped",
+        ],
+    );
+    for p in points {
+        t.row(vec![
+            p.scenario.label.clone(),
+            format!("{:.2}", p.scenario.rate),
+            format!("{}", p.scenario.lose.len()),
+            format!("{}", p.completed),
+            format!("{}", p.failed),
+            format!("{}", p.retried),
+            format!("{}", p.rejected),
+            format!("{}", p.goodput_hz),
+            format!("{}", p.devices_down),
+            format!("{}", p.queues_remapped),
+        ]);
+    }
+    t
+}
+
+/// Serialize the sweep as the `BENCH_faults.json` artifact.
+pub fn to_json(points: &[FaultPoint], seed: u64, jobs: usize) -> Json {
+    let rows: Vec<Json> = points
+        .iter()
+        .map(|p| {
+            Json::obj([
+                ("scenario", Json::from(p.scenario.label.as_str())),
+                ("transfer_failure_rate", Json::from(p.scenario.rate)),
+                ("devices_lost", Json::from(p.scenario.lose.len())),
+                ("completed", Json::from(p.completed)),
+                ("failed", Json::from(p.failed)),
+                ("retried", Json::from(p.retried)),
+                ("rejected", Json::from(p.rejected)),
+                ("goodput_jobs_per_s", Json::from(p.goodput_hz)),
+                ("device_down_events", Json::from(p.devices_down)),
+                ("remapped_events", Json::from(p.queues_remapped)),
+            ])
+        })
+        .collect();
+    Json::obj([
+        ("experiment", Json::from("faults")),
+        ("seed", Json::from(seed)),
+        ("jobs", Json::from(jobs)),
+        ("points", Json::Arr(rows)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_sweep_degrades_gracefully_and_reproduces() {
+        // `run` itself asserts bit-identical same-seed reports per point.
+        let points = run(42, 24, true);
+        assert_eq!(points.len(), scenarios(true).len());
+        let violations = violations(&points);
+        assert!(violations.is_empty(), "graceful-degradation violations: {violations:?}");
+    }
+
+    #[test]
+    fn scenario_grid_covers_rates_and_losses() {
+        let full = scenarios(false);
+        assert!(full.iter().any(|s| s.rate >= 0.2));
+        assert!(full.iter().any(|s| s.lose.len() > 1));
+        assert!(scenarios(true).len() < full.len());
+    }
+}

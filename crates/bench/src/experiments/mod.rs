@@ -4,6 +4,7 @@ pub mod ablation;
 pub mod capacity;
 pub mod common;
 pub mod dataplane;
+pub mod faults;
 pub mod fig10;
 pub mod fig3;
 pub mod fig4;

@@ -32,6 +32,12 @@ pub enum ClError {
     InvalidOperation(String),
     /// `CL_INVALID_EVENT_WAIT_LIST`: a wait-list event is invalid.
     InvalidEventWaitList(String),
+    /// `CL_DEVICE_NOT_AVAILABLE`: the device is permanently lost (injected
+    /// device failure); commands bound to it complete with this status.
+    DeviceNotAvailable(String),
+    /// `CL_OUT_OF_RESOURCES`: a command failed transiently (e.g. an injected
+    /// DMA transfer failure); a retry may succeed.
+    OutOfResources(String),
 }
 
 impl ClError {
@@ -48,6 +54,22 @@ impl ClError {
             ClError::InvalidContext(_) => "CL_INVALID_CONTEXT",
             ClError::InvalidOperation(_) => "CL_INVALID_OPERATION",
             ClError::InvalidEventWaitList(_) => "CL_INVALID_EVENT_WAIT_LIST",
+            ClError::DeviceNotAvailable(_) => "CL_DEVICE_NOT_AVAILABLE",
+            ClError::OutOfResources(_) => "CL_OUT_OF_RESOURCES",
+        }
+    }
+
+    /// True when a retry of the failed operation may succeed (transient
+    /// resource failures, but not device loss or argument errors).
+    pub fn is_transient(&self) -> bool {
+        matches!(self, ClError::OutOfResources(_))
+    }
+
+    /// The error for a command that completed with the given fault.
+    pub fn from_fault(kind: hwsim::FaultKind, context: &str) -> ClError {
+        match kind {
+            hwsim::FaultKind::DeviceLost => ClError::DeviceNotAvailable(context.to_string()),
+            hwsim::FaultKind::TransientTransfer => ClError::OutOfResources(context.to_string()),
         }
     }
 
@@ -62,7 +84,9 @@ impl ClError {
             | ClError::InvalidMemObject(m)
             | ClError::InvalidContext(m)
             | ClError::InvalidOperation(m)
-            | ClError::InvalidEventWaitList(m) => m,
+            | ClError::InvalidEventWaitList(m)
+            | ClError::DeviceNotAvailable(m)
+            | ClError::OutOfResources(m) => m,
         }
     }
 }
@@ -101,8 +125,21 @@ mod tests {
             ClError::InvalidContext(String::new()).code_name(),
             ClError::InvalidOperation(String::new()).code_name(),
             ClError::InvalidEventWaitList(String::new()).code_name(),
+            ClError::DeviceNotAvailable(String::new()).code_name(),
+            ClError::OutOfResources(String::new()).code_name(),
         ];
         let set: HashSet<_> = all.iter().collect();
         assert_eq!(set.len(), all.len());
+    }
+
+    #[test]
+    fn fault_kinds_map_to_typed_errors() {
+        let lost = ClError::from_fault(hwsim::FaultKind::DeviceLost, "kernel k on dev 1");
+        assert_eq!(lost.code_name(), "CL_DEVICE_NOT_AVAILABLE");
+        assert!(!lost.is_transient());
+        let xfer = ClError::from_fault(hwsim::FaultKind::TransientTransfer, "write 4KiB");
+        assert_eq!(xfer.code_name(), "CL_OUT_OF_RESOURCES");
+        assert!(xfer.is_transient());
+        assert!(xfer.to_string().contains("write 4KiB"));
     }
 }

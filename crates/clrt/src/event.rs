@@ -1,8 +1,9 @@
 //! Events: completion handles with OpenCL-style profiling timestamps.
 
+use crate::error::{ClError, ClResult};
 use crate::platform::RuntimeInner;
 use hwsim::engine::{EventId, EventStamp};
-use hwsim::SimDuration;
+use hwsim::{CommandStatus, SimDuration};
 use std::sync::Arc;
 
 /// A `cl_event`: handle to one submitted command's completion.
@@ -65,6 +66,36 @@ impl Event {
     pub fn is_complete(&self) -> bool {
         let engine = self.rt.engine.lock();
         engine.stamp(self.id).end <= engine.now()
+    }
+
+    /// OpenCL-style execution status: `0` (`CL_COMPLETE`) for commands that
+    /// completed successfully, a negative error code for commands that
+    /// completed with an injected fault (`CL_DEVICE_NOT_AVAILABLE`,
+    /// `CL_OUT_OF_RESOURCES`). Unlike real OpenCL there is no "still
+    /// running" state: the engine resolves completion eagerly.
+    pub fn execution_status(&self) -> i32 {
+        self.rt.engine.lock().event_status(self.id).code()
+    }
+
+    /// The fault this command completed with, as a typed error (`None` for
+    /// successful completion).
+    pub fn error(&self) -> Option<ClError> {
+        match self.rt.engine.lock().event_status(self.id) {
+            CommandStatus::Complete => None,
+            CommandStatus::Failed(kind) => {
+                Some(ClError::from_fault(kind, &format!("event {}", self.id.0)))
+            }
+        }
+    }
+
+    /// [`Event::wait`], then surface the command's terminal status: `Ok(())`
+    /// for success, the typed fault error otherwise.
+    pub fn wait_checked(&self) -> ClResult<()> {
+        self.wait();
+        match self.error() {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
     }
 
     pub(crate) fn raw(&self) -> EventId {

@@ -98,6 +98,9 @@ pub struct DataPlaneStats {
     pub peak_busy_workers: usize,
     /// Blocking joins performed (finish / blocking read / event wait).
     pub joins: u64,
+    /// Task bodies that panicked (each isolated and re-raised exactly once
+    /// at the next blocking point).
+    pub panics: u64,
 }
 
 struct Node {
@@ -122,7 +125,11 @@ struct State {
     spawned: usize,
     busy: usize,
     shutdown: bool,
+    /// First unreported task-body panic. *Taken* (not cloned) by the next
+    /// blocking point, so exactly one caller re-raises it; later joins see a
+    /// healthy plane instead of a cascade of stale re-panics.
     panic_msg: Option<String>,
+    panics: u64,
     submitted: u64,
     inline_tasks: u64,
     executed: u64,
@@ -345,6 +352,7 @@ impl DataPlane {
             st = self.state.lock();
             st.busy -= 1;
             if let Some(msg) = panicked {
+                st.panics += 1;
                 st.panic_msg.get_or_insert(msg);
             }
             Self::complete_locked(&mut st, id);
@@ -386,7 +394,7 @@ impl DataPlane {
                 st = self.done_cv.wait(st).unwrap_or_else(|e| e.into_inner());
             }
         }
-        let msg = st.panic_msg.clone();
+        let msg = st.panic_msg.take();
         drop(st);
         if let Some(m) = msg {
             panic!("data-plane task panicked: {m}");
@@ -404,7 +412,7 @@ impl DataPlane {
             let _ = t;
             st = self.done_cv.wait(st).unwrap_or_else(|e| e.into_inner());
         }
-        let msg = st.panic_msg.clone();
+        let msg = st.panic_msg.take();
         drop(st);
         if let Some(m) = msg {
             panic!("data-plane task panicked: {m}");
@@ -430,7 +438,7 @@ impl DataPlane {
         while !st.tasks.is_empty() {
             st = self.done_cv.wait(st).unwrap_or_else(|e| e.into_inner());
         }
-        let msg = st.panic_msg.clone();
+        let msg = st.panic_msg.take();
         drop(st);
         if let Some(m) = msg {
             panic!("data-plane task panicked: {m}");
@@ -450,6 +458,7 @@ impl DataPlane {
             busy_workers: st.busy,
             peak_busy_workers: st.peak_busy,
             joins: st.joins,
+            panics: st.panics,
         }
     }
 
@@ -514,7 +523,7 @@ impl ManualTask {
                 _ => break,
             }
         }
-        let msg = st.panic_msg.clone();
+        let msg = st.panic_msg.take();
         drop(st);
         if let Some(m) = msg {
             panic!("data-plane task panicked: {m}");
@@ -747,6 +756,46 @@ mod tests {
         let err = catch_unwind(AssertUnwindSafe(|| p.join(&[t, t2]))).unwrap_err();
         let msg = payload_msg(&*err);
         assert!(msg.contains("kernel body boom"), "{msg}");
+        p.shutdown();
+    }
+
+    #[test]
+    fn panic_is_reported_once_and_the_plane_stays_usable() {
+        let p = plane(2);
+        let b = buf(8);
+        let t = p
+            .submit(&[Access::write(&b)], &[], &[], None, Box::new(|| panic!("first boom")))
+            .unwrap();
+        let err = catch_unwind(AssertUnwindSafe(|| p.join(&[t]))).unwrap_err();
+        assert!(payload_msg(&*err).contains("first boom"));
+        // The panic was consumed: later joins and quiesces succeed, and new
+        // work runs normally (no PoisonError cascade, no stale re-panic).
+        p.join(&[t]);
+        p.quiesce();
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = Arc::clone(&hits);
+        let t2 = p
+            .submit(
+                &[Access::write(&b)],
+                &[],
+                &[],
+                None,
+                Box::new(move || {
+                    h.fetch_add(1, Ordering::SeqCst);
+                }),
+            )
+            .unwrap();
+        p.join(&[t2]);
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+        assert_eq!(p.stats().panics, 1);
+        // A second, unrelated panic is again reported exactly once.
+        let t3 = p
+            .submit(&[Access::write(&b)], &[], &[], None, Box::new(|| panic!("second boom")))
+            .unwrap();
+        let err = catch_unwind(AssertUnwindSafe(|| p.join(&[t3]))).unwrap_err();
+        assert!(payload_msg(&*err).contains("second boom"));
+        p.quiesce();
+        assert_eq!(p.stats().panics, 2);
         p.shutdown();
     }
 

@@ -4,7 +4,7 @@
 
 use crate::exec::{DataPlane, DataPlaneStats, PlaneHandle};
 use hwsim::sync::Mutex;
-use hwsim::{DeviceId, DeviceSpec, DeviceType, Engine, NodeConfig, SimTime, Trace};
+use hwsim::{DeviceId, DeviceSpec, DeviceType, Engine, FaultPlan, NodeConfig, SimTime, Trace};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -32,6 +32,10 @@ pub struct RuntimeConfig {
     /// Opt-in bound on retained trace records (oldest evicted first).
     /// `None` keeps the full trace (required for figure regeneration).
     pub trace_capacity: Option<usize>,
+    /// Opt-in deterministic fault injection (see [`hwsim::fault`]): transfer
+    /// failures, device degradation, and device loss, all from a fixed seed.
+    /// `None` (the default) injects nothing.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 /// Shared runtime state: the node description plus the discrete-event engine
@@ -65,6 +69,9 @@ impl Platform {
         let mut engine = Engine::new(node.device_count());
         engine.set_event_retirement(cfg.retire_events);
         engine.trace_mut().set_capacity(cfg.trace_capacity);
+        if let Some(plan) = cfg.fault_plan.clone() {
+            engine.set_fault_plan(plan);
+        }
         let plane = Arc::new(DataPlane::new(cfg.data_plane_workers));
         Platform {
             rt: Arc::new(RuntimeInner {

@@ -195,6 +195,67 @@ fn wide_pools_match_too() {
     assert_eq!(a_trace, b_trace);
 }
 
+/// A kernel body that always panics, for the isolation regression test.
+struct Explode;
+impl KernelBody for Explode {
+    fn name(&self) -> &str {
+        "explode"
+    }
+    fn arity(&self) -> usize {
+        1
+    }
+    fn cost(&self) -> KernelCostSpec {
+        KernelCostSpec::memory_bound(8.0)
+    }
+    fn execute(&self, _ctx: &mut KernelCtx<'_>) {
+        panic!("injected kernel-body panic");
+    }
+}
+
+/// Regression: a panicking kernel body reported via `finish` must surface
+/// the *original* panic message exactly once and leave the platform usable —
+/// no `PoisonError` cascade, no stale re-panic on the next blocking call.
+#[test]
+fn panicking_kernel_body_reported_via_finish_leaves_platform_usable() {
+    let p = Platform::paper_node_with(RuntimeConfig {
+        data_plane_workers: 4,
+        ..RuntimeConfig::default()
+    });
+    let ctx = p.create_context_all().unwrap();
+    let prog = ctx
+        .create_program(vec![
+            Arc::new(Explode) as Arc<dyn KernelBody>,
+            Arc::new(Damp) as Arc<dyn KernelBody>,
+        ])
+        .unwrap();
+    prog.build(0).unwrap();
+    let boom = prog.create_kernel("explode").unwrap();
+    let damp = prog.create_kernel("damp").unwrap();
+    let buf = ctx.create_buffer_of::<f64>(N).unwrap();
+    let q = ctx.create_queue(DeviceId(0)).unwrap();
+    q.enqueue_write(&buf, &vec![4.0f64; N]).unwrap();
+
+    boom.set_arg(0, ArgValue::BufferMut(buf.clone())).unwrap();
+    q.enqueue_ndrange(&boom, NdRange::d1(N as u64, 64), &[]).unwrap();
+    let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| q.finish()))
+        .expect_err("finish must re-raise the body panic");
+    let msg = err
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_default();
+    assert!(msg.contains("injected kernel-body panic"), "wrong panic propagated: {msg}");
+
+    // Same queue, same buffer, fresh work: everything still functions.
+    damp.set_arg(0, ArgValue::BufferMut(buf.clone())).unwrap();
+    q.enqueue_ndrange(&damp, NdRange::d1(N as u64, 64), &[]).unwrap();
+    q.finish(); // must not re-panic
+    let out = buf.host_snapshot::<f64>();
+    assert!(out.iter().all(|v| v.is_finite()));
+    assert_eq!(p.data_plane_stats().panics, 1);
+    p.quiesce_data_plane(); // and the plane is drained + healthy
+}
+
 /// `finish` called concurrently from many threads over shared buffers and
 /// queues: snapshot-joining the outstanding task set means every finisher
 /// blocks until the work it saw is done, and nobody deadlocks.

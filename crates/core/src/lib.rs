@@ -55,8 +55,8 @@ pub use clrt::error;
 pub use flags::{ContextSchedPolicy, QueueSchedFlags};
 pub use profile::{DeviceProfile, ProfileCache, StaticHint, PROFILE_DIR_ENV};
 pub use scheduler::{
-    MapperKind, MulticlContext, SchedOptions, SchedQueue, SchedStats, DEFAULT_ADAPTIVE_NODE_BUDGET,
-    ITER_FREQ_ENV, PROFILING_TAG,
+    DeviceHealth, MapperKind, MulticlContext, SchedOptions, SchedQueue, SchedStats,
+    DEFAULT_ADAPTIVE_NODE_BUDGET, ITER_FREQ_ENV, PROFILING_TAG,
 };
 pub use telemetry::{QueueDecision, SchedEvent, SchedObserver};
 

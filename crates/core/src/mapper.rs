@@ -38,6 +38,45 @@ use hwsim::{DeviceId, SimDuration};
 /// cost).
 pub type CostMatrix = Vec<Vec<SimDuration>>;
 
+/// Sentinel cost (one virtual year) written over a blacklisted device's
+/// column. Every strategy — greedy, local search, branch-and-bound, round
+/// robin — minimizes cost, so a column at this level is chosen only when
+/// *no* healthy device exists. Keeping the column (instead of shrinking the
+/// matrix) preserves global device indexing across epochs, which explain
+/// records, warm starts, and migration bookkeeping all rely on.
+pub const UNAVAILABLE_COST: SimDuration = SimDuration::from_nanos(31_536_000_000_000_000);
+
+/// Why a mapping request could not be served. Returned by the `try_*` entry
+/// points; the unchecked ones panic on the first two and ignore the third.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MapperError {
+    /// The cost matrix has zero device columns: nothing to map onto.
+    NoDevices,
+    /// Rows disagree on the device count.
+    Ragged {
+        /// First offending row (queue index).
+        row: usize,
+    },
+    /// Every device column is at or above [`UNAVAILABLE_COST`]: all
+    /// candidate devices have been blacklisted. Any assignment would bind
+    /// work to a dead device, so the caller should fail the work instead.
+    NoHealthyDevices,
+}
+
+impl std::fmt::Display for MapperError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MapperError::NoDevices => write!(f, "cost matrix has no device columns"),
+            MapperError::Ragged { row } => write!(f, "ragged cost matrix at queue {row}"),
+            MapperError::NoHealthyDevices => {
+                write!(f, "every candidate device is marked unavailable")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MapperError {}
+
 /// A queue→device assignment plus its predicted objective.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Mapping {
@@ -108,10 +147,58 @@ pub fn makespan(
 }
 
 fn validate(costs: &CostMatrix) -> usize {
+    match try_validate(costs) {
+        Ok(devices) => devices,
+        Err(MapperError::NoDevices) => panic!("cost matrix must have at least one device column"),
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Shape-check a non-empty cost matrix: every row must have the same,
+/// nonzero device count. Returns that count.
+pub fn try_validate(costs: &CostMatrix) -> Result<usize, MapperError> {
     let devices = costs[0].len();
-    assert!(devices > 0, "cost matrix must have at least one device column");
-    assert!(costs.iter().all(|row| row.len() == devices), "ragged cost matrix");
-    devices
+    if devices == 0 {
+        return Err(MapperError::NoDevices);
+    }
+    if let Some(row) = costs.iter().position(|row| row.len() != devices) {
+        return Err(MapperError::Ragged { row });
+    }
+    Ok(devices)
+}
+
+/// True when at least one device column is below [`UNAVAILABLE_COST`] for
+/// the given queue row — i.e. some healthy device can run it.
+fn row_has_healthy(row: &[SimDuration]) -> bool {
+    row.iter().any(|&c| c < UNAVAILABLE_COST)
+}
+
+/// Checked [`optimal_with`]: typed errors instead of panics on a malformed
+/// matrix, and [`MapperError::NoHealthyDevices`] when every device column
+/// is blacklisted (any mapping would target a dead device).
+pub fn try_optimal_with(
+    costs: &CostMatrix,
+    warm: Option<&[DeviceId]>,
+    scratch: &mut MapperScratch,
+) -> Result<SearchOutcome, MapperError> {
+    try_adaptive(costs, warm, u64::MAX, scratch)
+}
+
+/// Checked [`adaptive`]: see [`try_optimal_with`].
+pub fn try_adaptive(
+    costs: &CostMatrix,
+    warm: Option<&[DeviceId]>,
+    node_budget: u64,
+    scratch: &mut MapperScratch,
+) -> Result<SearchOutcome, MapperError> {
+    if costs.is_empty() {
+        return Ok(empty_outcome());
+    }
+    try_validate(costs)?;
+    if !costs.iter().any(|row| row_has_healthy(row)) {
+        return Err(MapperError::NoHealthyDevices);
+    }
+    Ok(search(costs, warm, node_budget.max(1), scratch))
 }
 
 /// Exact optimal mapping by warm-started, symmetry-pruned branch-and-bound.
@@ -898,5 +985,98 @@ mod tests {
         assert_eq!(s1, optimal(&small));
         // And again, to catch stale-buffer bugs.
         assert_eq!(optimal_with(&big, None, &mut scratch).mapping, b1);
+    }
+
+    /// Blacklist device `d` by overwriting its column with the sentinel —
+    /// exactly what the scheduler does at an epoch boundary.
+    fn blacklist(costs: &mut CostMatrix, d: usize) {
+        for row in costs.iter_mut() {
+            row[d] = UNAVAILABLE_COST;
+        }
+    }
+
+    #[test]
+    fn blacklisted_device_is_avoided_by_every_strategy() {
+        let mut costs: CostMatrix = vec![
+            vec![ms(1), ms(4), ms(6)],
+            vec![ms(1), ms(5), ms(7)],
+            vec![ms(1), ms(3), ms(8)],
+            vec![ms(1), ms(6), ms(9)],
+        ];
+        // Device 0 is everyone's favourite — then it dies.
+        blacklist(&mut costs, 0);
+        let mut scratch = MapperScratch::new();
+        let mut load = vec![SimDuration::ZERO; 3];
+
+        let m = optimal_with(&costs, None, &mut scratch).mapping;
+        assert!(m.assignment.iter().all(|d| d.index() != 0), "{:?}", m.assignment);
+        assert!(m.makespan < UNAVAILABLE_COST);
+
+        let mut g = vec![DeviceId(0); costs.len()];
+        greedy_assign(&costs, &mut g, &mut load);
+        assert!(g.iter().all(|d| d.index() != 0), "greedy chose the dead device: {g:?}");
+
+        let a = adaptive(&costs, None, 1, &mut scratch).mapping;
+        assert!(a.assignment.iter().all(|d| d.index() != 0), "{:?}", a.assignment);
+    }
+
+    #[test]
+    fn warm_start_bound_to_a_blacklisted_device_is_recovered_from() {
+        let mut costs: CostMatrix =
+            vec![vec![ms(2), ms(4), ms(5)], vec![ms(2), ms(4), ms(5)], vec![ms(2), ms(4), ms(5)]];
+        // Previous epoch mapped everything onto device 0; it then died. The
+        // warm start is still index-valid (the column remains), so it is
+        // refined — and the refinement must walk every queue off the
+        // sentinel column.
+        blacklist(&mut costs, 0);
+        let warm = vec![DeviceId(0), DeviceId(0), DeviceId(0)];
+        let mut scratch = MapperScratch::new();
+        let out = optimal_with(&costs, Some(&warm), &mut scratch);
+        assert!(
+            out.mapping.assignment.iter().all(|d| d.index() != 0),
+            "warm start pinned work to the dead device: {:?}",
+            out.mapping.assignment
+        );
+        assert_eq!(out.mapping.makespan, ms(8), "two queues share one healthy device");
+    }
+
+    #[test]
+    fn zero_healthy_devices_is_a_typed_error_not_a_panic() {
+        let mut costs: CostMatrix = vec![vec![ms(1), ms(2)], vec![ms(3), ms(4)]];
+        blacklist(&mut costs, 0);
+        blacklist(&mut costs, 1);
+        let mut scratch = MapperScratch::new();
+        assert_eq!(
+            try_optimal_with(&costs, None, &mut scratch).unwrap_err(),
+            MapperError::NoHealthyDevices
+        );
+        assert_eq!(
+            try_adaptive(&costs, None, 64, &mut scratch).unwrap_err(),
+            MapperError::NoHealthyDevices
+        );
+        // Shape errors are typed too.
+        let empty_cols: CostMatrix = vec![vec![]];
+        assert_eq!(
+            try_optimal_with(&empty_cols, None, &mut scratch).unwrap_err(),
+            MapperError::NoDevices
+        );
+        let ragged: CostMatrix = vec![vec![ms(1), ms(2)], vec![ms(3)]];
+        assert_eq!(
+            try_optimal_with(&ragged, None, &mut scratch).unwrap_err(),
+            MapperError::Ragged { row: 1 }
+        );
+        // The empty pool stays a clean no-op.
+        let none: CostMatrix = vec![];
+        assert!(try_optimal_with(&none, None, &mut scratch).unwrap().mapping.assignment.is_empty());
+    }
+
+    #[test]
+    fn checked_and_unchecked_agree_on_healthy_input() {
+        let costs: CostMatrix =
+            vec![vec![ms(9), ms(3), ms(3)], vec![ms(2), ms(8), ms(8)], vec![ms(5), ms(4), ms(4)]];
+        let mut scratch = MapperScratch::new();
+        let checked = try_optimal_with(&costs, None, &mut scratch).unwrap();
+        let unchecked = optimal_with(&costs, None, &mut scratch);
+        assert_eq!(checked, unchecked);
     }
 }

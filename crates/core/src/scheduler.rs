@@ -167,6 +167,24 @@ pub struct SchedStats {
     pub cache_hits: u64,
     /// Kernel launches flushed to devices.
     pub kernels_issued: u64,
+    /// Devices detected as permanently lost and blacklisted.
+    pub devices_lost: u64,
+    /// Queues evacuated off lost devices (fault-driven rebinds).
+    pub queues_remapped: u64,
+}
+
+/// Health of one context device, as the engine's fault plan and the virtual
+/// clock currently see it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeviceHealth {
+    /// Fully operational.
+    Healthy,
+    /// Operational but running slower than its specification (an active
+    /// throughput-degradation fault).
+    Degraded,
+    /// Permanently lost: the scheduler has blacklisted it and commands
+    /// bound to it complete with `CL_DEVICE_NOT_AVAILABLE`.
+    Down,
 }
 
 /// One buffered kernel launch.
@@ -225,6 +243,9 @@ struct RtInner {
     /// Next stable queue id (all queues, auto or not).
     queue_ids: AtomicUsize,
     stats: Mutex<SchedStats>,
+    /// Devices whose loss has already been announced with a
+    /// [`SchedEvent::DeviceDown`] (each device is announced once).
+    down_announced: Mutex<Vec<DeviceId>>,
     /// Scheduling epochs completed (the `epoch` field of every event).
     sched_epoch: AtomicU64,
     observers: Mutex<Vec<Arc<dyn SchedObserver>>>,
@@ -305,6 +326,7 @@ impl MulticlContext {
                 created: AtomicUsize::new(0),
                 queue_ids: AtomicUsize::new(0),
                 stats: Mutex::new(SchedStats::default()),
+                down_announced: Mutex::new(Vec::new()),
                 sched_epoch: AtomicU64::new(0),
                 observers: Mutex::new(observers),
                 pass_lock: Mutex::new(()),
@@ -349,6 +371,29 @@ impl MulticlContext {
     /// `epoch` value layered subsystems stamp onto the events they emit.
     pub fn current_epoch(&self) -> u64 {
         self.rt.sched_epoch.load(Ordering::Relaxed)
+    }
+
+    /// Health of one context device right now (fault plan + virtual clock).
+    pub fn device_health(&self, device: DeviceId) -> DeviceHealth {
+        self.rt.platform.with_engine(|e| {
+            if e.device_lost(device) {
+                DeviceHealth::Down
+            } else if e.device_degradation(device) > 1.0 {
+                DeviceHealth::Degraded
+            } else {
+                DeviceHealth::Healthy
+            }
+        })
+    }
+
+    /// Context devices currently usable — everything not permanently lost
+    /// (degraded devices still count; they are slow, not gone). The serving
+    /// layer scales its admission capacity by this.
+    pub fn healthy_devices(&self) -> Vec<DeviceId> {
+        let devices = self.rt.cl.devices().to_vec();
+        self.rt
+            .platform
+            .with_engine(|e| devices.into_iter().filter(|&d| !e.device_lost(d)).collect())
     }
 
     /// Broadcast an event to every observer attached to this context. Lets
@@ -511,6 +556,29 @@ impl RtInner {
             policy: self.policy.to_string(),
         });
         let devices = self.cl.devices().to_vec();
+        // Per-device health for this pass: a device is lost once the fault
+        // plan's loss instant has passed on the virtual clock. Epoch
+        // boundaries are the recovery points — the pass blacklists lost
+        // devices below and evacuates their queues through the normal
+        // mapping machinery, so recovery cost is charged like any other
+        // migration.
+        let lost: Vec<bool> =
+            self.platform.with_engine(|e| devices.iter().map(|&d| e.device_lost(d)).collect());
+        let any_healthy = lost.iter().any(|&l| !l);
+        {
+            let mut announced = self.down_announced.lock();
+            for (&dev, &is_lost) in devices.iter().zip(&lost) {
+                if is_lost && !announced.contains(&dev) {
+                    announced.push(dev);
+                    delta.devices_lost += 1;
+                    self.emit(&SchedEvent::DeviceDown {
+                        epoch,
+                        device: dev,
+                        at: self.platform.now(),
+                    });
+                }
+            }
+        }
         // Virtual time the pass spends obtaining cost vectors (dynamic
         // profiling and its staging transfers are the only clock-advancing
         // work before the flush).
@@ -524,11 +592,25 @@ impl RtInner {
                 // data between devices).
                 pool.iter()
                     .map(|q| {
-                        if q.rr_bound.swap(true, Ordering::Relaxed) {
-                            q.cl.device()
-                        } else {
-                            let i = self.rr_next.fetch_add(1, Ordering::Relaxed);
-                            devices[i % devices.len()]
+                        let bound = q.rr_bound.swap(true, Ordering::Relaxed);
+                        let current = q.cl.device();
+                        let current_lost =
+                            devices.iter().position(|&d| d == current).is_some_and(|i| lost[i]);
+                        if bound && !current_lost {
+                            return current;
+                        }
+                        if !any_healthy {
+                            // Nothing to recover onto; keep the binding and
+                            // let the commands fail with a typed status.
+                            return current;
+                        }
+                        // First binding, or a re-bind off a lost device:
+                        // rotate to the next *healthy* device.
+                        loop {
+                            let i = self.rr_next.fetch_add(1, Ordering::Relaxed) % devices.len();
+                            if !lost[i] {
+                                return devices[i];
+                            }
                         }
                     })
                     .collect()
@@ -543,6 +625,22 @@ impl RtInner {
                 state.costs.resize_with(breakdowns.len(), Vec::new);
                 for (row, b) in state.costs.iter_mut().zip(&breakdowns) {
                     b.totals_into(row);
+                }
+                // Blacklist lost devices by overwriting their columns with
+                // the sentinel: every mapper variant then avoids them while
+                // the matrix keeps its global device indexing (explain
+                // records, warm starts). With zero healthy devices the
+                // matrix is left untouched — the assignment is moot, the
+                // commands all fail with a typed status, and an all-sentinel
+                // matrix would only distort the explain records.
+                if any_healthy && lost.iter().any(|&l| l) {
+                    for row in state.costs.iter_mut() {
+                        for (c, &l) in row.iter_mut().zip(&lost) {
+                            if l {
+                                *c = mapper::UNAVAILABLE_COST;
+                            }
+                        }
+                    }
                 }
                 // Warm start: each queue's current binding — exactly the
                 // previous epoch's assignment for queues that stayed in the
@@ -615,14 +713,31 @@ impl RtInner {
                     let pending = q.pending.lock();
                     self.pending_nonresident_bytes(&pending, *dev)
                 };
-                self.emit(&SchedEvent::QueueMigrated {
-                    epoch,
-                    queue: q.id,
-                    from: previous,
-                    to: *dev,
-                    bytes,
-                    at: self.platform.now(),
-                });
+                let from_lost =
+                    devices.iter().position(|&d| d == previous).is_some_and(|i| lost[i]);
+                if from_lost {
+                    // Fault-driven evacuation, not a cost-driven migration —
+                    // telemetry keeps the two apart (recovery latency is
+                    // measured DeviceDown → Remapped).
+                    delta.queues_remapped += 1;
+                    self.emit(&SchedEvent::Remapped {
+                        epoch,
+                        queue: q.id,
+                        from: previous,
+                        to: *dev,
+                        bytes,
+                        at: self.platform.now(),
+                    });
+                } else {
+                    self.emit(&SchedEvent::QueueMigrated {
+                        epoch,
+                        queue: q.id,
+                        from: previous,
+                        to: *dev,
+                        bytes,
+                        at: self.platform.now(),
+                    });
+                }
             }
             q.cl.rebind(*dev).expect("mapper chose a context device");
             pool_issued += self.flush_queue(q);
@@ -650,6 +765,8 @@ impl RtInner {
         stats.profiled_epochs += delta.profiled_epochs;
         stats.cache_hits += delta.cache_hits;
         stats.kernels_issued += delta.kernels_issued;
+        stats.devices_lost += delta.devices_lost;
+        stats.queues_remapped += delta.queues_remapped;
     }
 
     /// Cost breakdowns for the whole pool. Warm epochs — every queue's
@@ -1013,6 +1130,12 @@ impl RtInner {
             engine.set_tag(Some(PROFILING_TAG));
             let mut kernel_rows: HashMap<String, Vec<SimDuration>> = HashMap::new();
             for (di, &dev) in devices.iter().enumerate() {
+                // Don't stage data to (or probe) a lost device: its row
+                // stays zero, which the epoch blacklist overwrites with the
+                // sentinel before any mapping decision sees it.
+                if engine.device_lost(dev) {
+                    continue;
+                }
                 // Stage the inputs onto `dev` (§V-C3). With data caching
                 // off, this is the paper's brute force: every destination
                 // performs a full staged D2D (D2H from the source device,

@@ -204,6 +204,48 @@ pub enum SchedEvent {
         /// Virtual completion time.
         at: SimTime,
     },
+    /// The scheduler detected a permanently lost device and blacklisted it.
+    /// Emitted once per device, at the first epoch boundary after the loss.
+    DeviceDown {
+        /// Scheduling epoch that detected the loss.
+        epoch: u64,
+        /// The lost device.
+        device: DeviceId,
+        /// Virtual time of detection (the loss itself may be earlier).
+        at: SimTime,
+    },
+    /// A queue was evacuated off a failed device onto a healthy one —
+    /// fault-driven recovery, as opposed to a cost-driven `QueueMigrated`.
+    Remapped {
+        /// Scheduling epoch of the recovery.
+        epoch: u64,
+        /// Stable queue id.
+        queue: usize,
+        /// The failed device the queue was bound to.
+        from: DeviceId,
+        /// The healthy device it was moved to.
+        to: DeviceId,
+        /// Buffer bytes the evacuation migrates (charged to the makespan
+        /// through the normal migration-cost model).
+        bytes: u64,
+        /// Virtual time of the rebind.
+        at: SimTime,
+    },
+    /// The serving layer gave up retrying a failed job.
+    RetryExhausted {
+        /// Scheduling epoch current at the final failure.
+        epoch: u64,
+        /// Tenant name.
+        tenant: String,
+        /// Service-wide job id.
+        job: u64,
+        /// Attempts made (initial dispatch + retries).
+        attempts: u64,
+        /// Terminal failure reason (e.g. `CL_DEVICE_NOT_AVAILABLE`).
+        reason: String,
+        /// Virtual time the job was abandoned.
+        at: SimTime,
+    },
 }
 
 impl SchedEvent {
@@ -221,7 +263,10 @@ impl SchedEvent {
             | SchedEvent::JobAdmitted { epoch, .. }
             | SchedEvent::JobRejected { epoch, .. }
             | SchedEvent::JobDispatched { epoch, .. }
-            | SchedEvent::JobCompleted { epoch, .. } => epoch,
+            | SchedEvent::JobCompleted { epoch, .. }
+            | SchedEvent::DeviceDown { epoch, .. }
+            | SchedEvent::Remapped { epoch, .. }
+            | SchedEvent::RetryExhausted { epoch, .. } => epoch,
         }
     }
 
@@ -240,6 +285,9 @@ impl SchedEvent {
             SchedEvent::JobRejected { .. } => "job_rejected",
             SchedEvent::JobDispatched { .. } => "job_dispatched",
             SchedEvent::JobCompleted { .. } => "job_completed",
+            SchedEvent::DeviceDown { .. } => "device_down",
+            SchedEvent::Remapped { .. } => "remapped",
+            SchedEvent::RetryExhausted { .. } => "retry_exhausted",
         }
     }
 
@@ -370,6 +418,30 @@ impl SchedEvent {
                 ("latency_ns", Json::from(latency.as_nanos())),
                 ("at_ns", Json::from(at.as_nanos())),
             ]),
+            SchedEvent::DeviceDown { epoch, device, at } => Json::obj([
+                ("type", Json::from(self.kind())),
+                ("epoch", Json::from(*epoch)),
+                ("device", Json::from(device.index())),
+                ("at_ns", Json::from(at.as_nanos())),
+            ]),
+            SchedEvent::Remapped { epoch, queue, from, to, bytes, at } => Json::obj([
+                ("type", Json::from(self.kind())),
+                ("epoch", Json::from(*epoch)),
+                ("queue", Json::from(*queue)),
+                ("from", Json::from(from.index())),
+                ("to", Json::from(to.index())),
+                ("bytes", Json::from(*bytes)),
+                ("at_ns", Json::from(at.as_nanos())),
+            ]),
+            SchedEvent::RetryExhausted { epoch, tenant, job, attempts, reason, at } => Json::obj([
+                ("type", Json::from(self.kind())),
+                ("epoch", Json::from(*epoch)),
+                ("tenant", Json::from(tenant.as_str())),
+                ("job", Json::from(*job)),
+                ("attempts", Json::from(*attempts)),
+                ("reason", Json::from(reason.as_str())),
+                ("at_ns", Json::from(at.as_nanos())),
+            ]),
         }
     }
 
@@ -483,6 +555,27 @@ impl SchedEvent {
                 latency: dur("latency_ns")?,
                 at: time("at_ns")?,
             },
+            "device_down" => SchedEvent::DeviceDown {
+                epoch,
+                device: DeviceId(value.get("device")?.as_u64()? as usize),
+                at: time("at_ns")?,
+            },
+            "remapped" => SchedEvent::Remapped {
+                epoch,
+                queue: value.get("queue")?.as_u64()? as usize,
+                from: DeviceId(value.get("from")?.as_u64()? as usize),
+                to: DeviceId(value.get("to")?.as_u64()? as usize),
+                bytes: value.get("bytes")?.as_u64()?,
+                at: time("at_ns")?,
+            },
+            "retry_exhausted" => SchedEvent::RetryExhausted {
+                epoch,
+                tenant: value.get("tenant")?.as_str()?.to_string(),
+                job: value.get("job")?.as_u64()?,
+                attempts: value.get("attempts")?.as_u64()?,
+                reason: value.get("reason")?.as_str()?.to_string(),
+                at: time("at_ns")?,
+            },
             _ => return None,
         })
     }
@@ -577,12 +670,29 @@ pub(crate) fn sample_events() -> Vec<SchedEvent> {
             latency: ns(12_345),
             at: SimTime::from_nanos(13_345),
         },
+        SchedEvent::DeviceDown { epoch: 4, device: DeviceId(1), at: SimTime::from_nanos(20_000) },
+        SchedEvent::Remapped {
+            epoch: 4,
+            queue: 5,
+            from: DeviceId(1),
+            to: DeviceId(2),
+            bytes: 8192,
+            at: SimTime::from_nanos(20_001),
+        },
+        SchedEvent::RetryExhausted {
+            epoch: 5,
+            tenant: "t1 \"quoted\"".into(),
+            job: 8,
+            attempts: 3,
+            reason: "CL_DEVICE_NOT_AVAILABLE: device 1 lost\n".into(),
+            at: SimTime::from_nanos(30_000),
+        },
     ];
     // Exhaustiveness guard: a sample for every variant's kind string.
     let mut kinds: Vec<&str> = events.iter().map(|e| e.kind()).collect();
     kinds.sort_unstable();
     kinds.dedup();
-    assert_eq!(kinds.len(), 12, "sample_events must cover every SchedEvent variant; got {kinds:?}");
+    assert_eq!(kinds.len(), 15, "sample_events must cover every SchedEvent variant; got {kinds:?}");
     events
 }
 

@@ -370,6 +370,19 @@ pub struct SchedMetrics {
     pub data_queue_depth: Gauge,
     /// Peak concurrently-busy data-plane workers observed so far.
     pub data_peak_busy: Gauge,
+    /// Devices blacklisted after a permanent loss.
+    pub devices_down: Counter,
+    /// Queues evacuated off failed devices (fault-driven rebinds, distinct
+    /// from cost-driven `queue_migrations`).
+    pub queues_remapped: Counter,
+    /// Jobs abandoned after the retry budget was exhausted.
+    pub retries_exhausted: Counter,
+    /// Virtual time from a device-loss detection to each queue evacuated
+    /// off it (ns) — the recovery latency the epoch-boundary policy pays.
+    pub recovery_latency: Histogram,
+    /// Detection time (ns) of each downed device, so `Remapped` events can
+    /// be turned into recovery latencies.
+    down_since: Mutex<std::collections::HashMap<usize, u64>>,
 }
 
 impl Default for SchedMetrics {
@@ -427,6 +440,21 @@ impl Default for SchedMetrics {
                 "multicl_data_peak_busy_workers",
                 "Peak concurrently-busy data-plane workers observed so far",
             ),
+            devices_down: registry.counter(
+                "multicl_devices_down_total",
+                "Devices blacklisted after a permanent loss",
+            ),
+            queues_remapped: registry
+                .counter("multicl_queues_remapped_total", "Queues evacuated off failed devices"),
+            retries_exhausted: registry.counter(
+                "multicl_retries_exhausted_total",
+                "Jobs abandoned after the retry budget was exhausted",
+            ),
+            recovery_latency: registry.histogram(
+                "multicl_recovery_latency_ns",
+                "Virtual time from device-loss detection to queue evacuation, in nanoseconds",
+            ),
+            down_since: Mutex::new(std::collections::HashMap::new()),
             registry,
         }
     }
@@ -479,6 +507,18 @@ impl SchedObserver for SchedMetrics {
                 self.data_queue_depth.set(*data_queue_depth as f64);
                 self.data_peak_busy.set(*data_peak_busy as f64);
             }
+            SchedEvent::DeviceDown { device, at, .. } => {
+                self.devices_down.inc();
+                self.down_since.lock().insert(device.index(), at.as_nanos());
+            }
+            SchedEvent::Remapped { from, bytes, at, .. } => {
+                self.queues_remapped.inc();
+                self.migrated_bytes.observe(*bytes);
+                if let Some(down) = self.down_since.lock().get(&from.index()).copied() {
+                    self.recovery_latency.observe(at.as_nanos().saturating_sub(down));
+                }
+            }
+            SchedEvent::RetryExhausted { .. } => self.retries_exhausted.inc(),
             // Job lifecycle events are accounted per tenant by the serving
             // layer's own metrics (the `served` crate); the scheduler-level
             // metric set ignores them.
@@ -635,6 +675,51 @@ mod tests {
         assert_eq!(m.profiling_overhead.sum(), 200);
         assert_eq!(m.migrated_bytes.sum(), 2048);
         // And the whole set exports cleanly.
+        assert!(parse_prometheus(&m.registry().to_prometheus()).is_some());
+    }
+
+    #[test]
+    fn sched_metrics_track_fault_recovery() {
+        let m = SchedMetrics::new();
+        m.on_event(&SchedEvent::DeviceDown {
+            epoch: 2,
+            device: hwsim::DeviceId(1),
+            at: SimTime::from_nanos(1_000),
+        });
+        // Two queues evacuated off the lost device at different times.
+        m.on_event(&SchedEvent::Remapped {
+            epoch: 2,
+            queue: 0,
+            from: hwsim::DeviceId(1),
+            to: hwsim::DeviceId(0),
+            bytes: 4096,
+            at: SimTime::from_nanos(1_400),
+        });
+        m.on_event(&SchedEvent::Remapped {
+            epoch: 2,
+            queue: 3,
+            from: hwsim::DeviceId(1),
+            to: hwsim::DeviceId(2),
+            bytes: 0,
+            at: SimTime::from_nanos(1_900),
+        });
+        m.on_event(&SchedEvent::RetryExhausted {
+            epoch: 3,
+            tenant: "t0".into(),
+            job: 11,
+            attempts: 3,
+            reason: "CL_DEVICE_NOT_AVAILABLE".into(),
+            at: SimTime::from_nanos(2_500),
+        });
+
+        assert_eq!(m.devices_down.get(), 1);
+        assert_eq!(m.queues_remapped.get(), 2);
+        assert_eq!(m.retries_exhausted.get(), 1);
+        assert_eq!(m.recovery_latency.count(), 2);
+        assert_eq!(m.recovery_latency.sum(), 400 + 900);
+        assert_eq!(m.migrated_bytes.sum(), 4096);
+        // Fault-driven rebinds are not counted as cost-driven migrations.
+        assert_eq!(m.queue_migrations.get(), 0);
         assert!(parse_prometheus(&m.registry().to_prometheus()).is_some());
     }
 }

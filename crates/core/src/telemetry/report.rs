@@ -75,6 +75,15 @@ pub fn one_line(event: &SchedEvent) -> String {
         SchedEvent::JobCompleted { tenant, job, latency, .. } => {
             format!("job #{job} (`{tenant}`) completed, latency {}", ms(*latency))
         }
+        SchedEvent::DeviceDown { device, at, .. } => {
+            format!("device {device} DOWN at {at}; blacklisted")
+        }
+        SchedEvent::Remapped { queue, from, to, bytes, .. } => {
+            format!("queue Q{queue} evacuated {from}→{to} after failure ({bytes}B to move)")
+        }
+        SchedEvent::RetryExhausted { tenant, job, attempts, reason, .. } => {
+            format!("job #{job} (`{tenant}`) ABANDONED after {attempts} attempt(s): {reason}")
+        }
     }
 }
 
@@ -249,5 +258,32 @@ mod tests {
         assert!(one_line(&cases[2]).contains("queue_full"));
         assert!(one_line(&cases[3]).contains("Q4"));
         assert!(one_line(&cases[4]).contains("1.000ms"));
+    }
+
+    #[test]
+    fn one_line_describes_fault_recovery_events() {
+        let at = SimTime::from_nanos(5);
+        let down = SchedEvent::DeviceDown { epoch: 2, device: DeviceId(1), at };
+        let remap = SchedEvent::Remapped {
+            epoch: 2,
+            queue: 3,
+            from: DeviceId(1),
+            to: DeviceId(0),
+            bytes: 64,
+            at,
+        };
+        let exhausted = SchedEvent::RetryExhausted {
+            epoch: 3,
+            tenant: "t0".into(),
+            job: 9,
+            attempts: 3,
+            reason: "CL_OUT_OF_RESOURCES".into(),
+            at,
+        };
+        assert!(one_line(&down).contains("D1") && one_line(&down).contains("DOWN"));
+        let line = one_line(&remap);
+        assert!(line.contains("Q3") && line.contains("D1→D0") && line.contains("64B"), "{line}");
+        let line = one_line(&exhausted);
+        assert!(line.contains("3 attempt(s)") && line.contains("CL_OUT_OF_RESOURCES"), "{line}");
     }
 }

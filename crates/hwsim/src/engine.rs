@@ -21,6 +21,7 @@
 //! asynchronously at a fixed small cost, exactly like a real runtime.
 
 use crate::device::DeviceId;
+use crate::fault::{CommandStatus, FailureRecord, FaultKind, FaultPlan, FaultState};
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{Trace, TraceRecord};
 use crate::waitlist::WaitList;
@@ -134,6 +135,13 @@ pub struct Engine {
     tag: Option<Arc<str>>,
     /// Host-side cost charged per enqueue (driver call overhead).
     enqueue_cost: SimDuration,
+    /// Installed fault-injection state (plan + seeded coin stream), if any.
+    fault: Option<FaultState>,
+    /// Fault kind per failed event, keyed by raw event id. Sparse and never
+    /// compacted: status queries stay valid after the stamp retires.
+    statuses: HashMap<usize, FaultKind>,
+    /// Failed commands in submission order (see [`FailureRecord`]).
+    failures: Vec<FailureRecord>,
 }
 
 impl Engine {
@@ -150,6 +158,9 @@ impl Engine {
             trace: Trace::default(),
             tag: None,
             enqueue_cost: SimDuration::from_nanos(500),
+            fault: None,
+            statuses: HashMap::new(),
+            failures: Vec::new(),
         }
     }
 
@@ -199,12 +210,48 @@ impl Engine {
             ready = ready.max(stamp.end);
         }
         let start = ready;
-        let end = start + desc.duration;
+        // Fault injection (see [`crate::fault`]): degradation stretches the
+        // duration, a seeded coin fails transfers, device loss truncates.
+        let mut duration = desc.duration;
+        let mut fault = None;
+        if let Some(fs) = self.fault.as_mut() {
+            let factor = fs.plan.degradation_at(desc.device, start);
+            if factor > 1.0 {
+                duration = SimDuration::from_secs_f64(duration.as_secs_f64() * factor);
+            }
+            // The coin is flipped for every transfer (before the loss check)
+            // so the stream's position depends only on the transfer count.
+            if matches!(desc.kind, CommandKind::Transfer { .. }) && fs.transfer_fails() {
+                fault = Some(FaultKind::TransientTransfer);
+            }
+            if let Some(lost) = fs.plan.loss_at(desc.device) {
+                if start >= lost {
+                    // Dead device: the command fails instantly, no lane time.
+                    duration = SimDuration::ZERO;
+                    fault = Some(FaultKind::DeviceLost);
+                } else if start + duration > lost {
+                    // Straddles the loss: truncated at the instant of death.
+                    duration = lost.saturating_since(start);
+                    fault = Some(FaultKind::DeviceLost);
+                }
+            }
+        }
+        let end = start + duration;
         lane.available = end;
-        lane.busy += desc.duration;
+        lane.busy += duration;
         let stamp = EventStamp { queued, submit: queued, start, end };
         let id = EventId(self.events_base + self.events.len());
         self.events.push_back(stamp);
+        if let Some(kind) = fault {
+            self.statuses.insert(id.0, kind);
+            self.failures.push(FailureRecord {
+                event: id,
+                device: desc.device,
+                queue: desc.queue,
+                kind,
+                at: end,
+            });
+        }
         self.trace.push(TraceRecord {
             device: desc.device,
             queue: desc.queue,
@@ -360,6 +407,54 @@ impl Engine {
     /// Total events retired so far.
     pub fn retired_events(&self) -> u64 {
         self.retired
+    }
+
+    // ---- fault injection (opt-in; see `crate::fault`) ---------------------
+
+    /// Install a fault plan. Replaces any existing plan; the transfer coin
+    /// stream restarts from the new plan's seed.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault = Some(FaultState::new(plan));
+    }
+
+    /// The installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault.as_ref().map(|f| &f.plan)
+    }
+
+    /// Terminal status of `ev`. Unlike [`Engine::stamp`] this stays valid
+    /// after the event retires (failure marks are never compacted).
+    pub fn event_status(&self, ev: EventId) -> CommandStatus {
+        match self.statuses.get(&ev.0) {
+            Some(&k) => CommandStatus::Failed(k),
+            None => CommandStatus::Complete,
+        }
+    }
+
+    /// True when `dev` has died at or before the current host time.
+    pub fn device_lost(&self, dev: DeviceId) -> bool {
+        self.device_lost_at(dev).is_some_and(|t| t <= self.host_now)
+    }
+
+    /// The virtual instant the plan loses `dev`, if it ever does.
+    pub fn device_lost_at(&self, dev: DeviceId) -> Option<SimTime> {
+        self.fault.as_ref().and_then(|f| f.plan.loss_at(dev))
+    }
+
+    /// The duration multiplier active on `dev` right now (1.0 = healthy).
+    pub fn device_degradation(&self, dev: DeviceId) -> f64 {
+        self.fault.as_ref().map_or(1.0, |f| f.plan.degradation_at(dev, self.host_now))
+    }
+
+    /// The failure log, in submission order. Incremental consumers remember
+    /// the length they last saw and read the suffix.
+    pub fn failures(&self) -> &[FailureRecord] {
+        &self.failures
+    }
+
+    /// Total failed commands so far (monotonic).
+    pub fn failure_count(&self) -> usize {
+        self.failures.len()
     }
 }
 
@@ -545,6 +640,118 @@ mod tests {
         e.wait(a);
         assert_eq!(e.retire_completed(), 0);
         assert_eq!(e.live_events(), 1);
+    }
+
+    #[test]
+    fn device_loss_truncates_and_then_fails_instantly() {
+        let mut e = Engine::new(2);
+        e.set_fault_plan(
+            FaultPlan::new(1).lose_device(DeviceId(0), SimTime::from_nanos(15_000_000)),
+        );
+        // Straddles the loss instant: truncated, failed, lane time charged
+        // only up to the death.
+        let a = e.submit(cmd(0, 10, vec![]));
+        let b = e.submit(cmd(0, 10, vec![]));
+        assert!(e.event_status(a).is_ok());
+        assert_eq!(e.event_status(b), CommandStatus::Failed(FaultKind::DeviceLost));
+        assert_eq!(e.stamp(b).end, SimTime::from_nanos(15_000_000));
+        assert!(e.device_busy(DeviceId(0)) < SimDuration::from_millis(20));
+        // After the death every command on the device fails instantly.
+        let c = e.submit(cmd(0, 10, vec![]));
+        assert_eq!(e.event_status(c), CommandStatus::Failed(FaultKind::DeviceLost));
+        assert_eq!(e.stamp(c).duration(), SimDuration::ZERO);
+        // The other device is untouched.
+        let d = e.submit(cmd(1, 10, vec![]));
+        assert!(e.event_status(d).is_ok());
+        // The failure log attributes both failures to device 0.
+        assert_eq!(e.failure_count(), 2);
+        assert!(e.failures().iter().all(|f| f.device == DeviceId(0)));
+        // Loss queries flip once virtual time passes the instant.
+        assert_eq!(e.device_lost_at(DeviceId(0)), Some(SimTime::from_nanos(15_000_000)));
+        e.wait(b);
+        assert!(e.device_lost(DeviceId(0)));
+        assert!(!e.device_lost(DeviceId(1)));
+    }
+
+    #[test]
+    fn transfer_failures_are_seed_deterministic_and_charge_time() {
+        let run = |seed: u64| {
+            let mut e = Engine::new(1);
+            e.set_fault_plan(FaultPlan::new(seed).with_transfer_failure_rate(0.5));
+            let mut failed = Vec::new();
+            for i in 0..32 {
+                let ev = e.submit(CommandDesc {
+                    device: DeviceId(0),
+                    kind: CommandKind::Transfer {
+                        kind: crate::topology::TransferKind::HostToDevice,
+                        bytes: 64,
+                    },
+                    duration: SimDuration::from_micros(10),
+                    waits: WaitList::new(),
+                    queue: 0,
+                });
+                if !e.event_status(ev).is_ok() {
+                    failed.push(i);
+                }
+            }
+            (failed, e.device_busy(DeviceId(0)))
+        };
+        let (f1, busy1) = run(42);
+        let (f2, _) = run(42);
+        assert_eq!(f1, f2, "same seed must fail the same transfers");
+        assert!(!f1.is_empty() && f1.len() < 32, "rate 0.5 fails some but not all");
+        // Failed transfers still occupy the copy engine for the full time.
+        assert_eq!(busy1, SimDuration::from_micros(320));
+        let (f3, _) = run(43);
+        assert_ne!(f1, f3, "a different seed draws a different stream");
+        // Kernels never consume the transfer coin stream.
+        let mut e = Engine::new(1);
+        e.set_fault_plan(FaultPlan::new(42).with_transfer_failure_rate(0.5));
+        for _ in 0..8 {
+            let ev = e.submit(cmd(0, 1, vec![]));
+            assert!(e.event_status(ev).is_ok());
+        }
+    }
+
+    #[test]
+    fn degraded_device_runs_slower_from_its_start_instant() {
+        let mut e = Engine::new(1);
+        e.set_fault_plan(FaultPlan::new(1).degrade_device(
+            DeviceId(0),
+            2.0,
+            SimTime::from_nanos(10_000_000),
+        ));
+        let a = e.submit(cmd(0, 5, vec![])); // starts near t=0: full speed
+        assert_eq!(e.stamp(a).duration(), SimDuration::from_millis(5));
+        e.host_busy(SimDuration::from_millis(20));
+        let b = e.submit(cmd(0, 5, vec![])); // starts past t=10ms: half speed
+        assert_eq!(e.stamp(b).duration(), SimDuration::from_millis(10));
+        assert!(e.event_status(b).is_ok(), "degradation is not a failure");
+        assert_eq!(e.device_degradation(DeviceId(0)), 2.0);
+        assert_eq!(e.failure_count(), 0);
+    }
+
+    #[test]
+    fn fault_statuses_survive_event_retirement() {
+        let mut e = Engine::new(1);
+        e.set_event_retirement(true);
+        e.set_fault_plan(FaultPlan::new(1).lose_device(DeviceId(0), SimTime::ZERO));
+        let a = e.submit(cmd(0, 10, vec![]));
+        e.wait(a);
+        assert!(e.retire_completed() >= 1);
+        // The stamp is gone but the status is still queryable.
+        assert_eq!(e.event_status(a), CommandStatus::Failed(FaultKind::DeviceLost));
+    }
+
+    #[test]
+    fn no_fault_plan_changes_nothing() {
+        let mut e = Engine::new(1);
+        assert!(e.fault_plan().is_none());
+        let a = e.submit(cmd(0, 10, vec![]));
+        assert!(e.event_status(a).is_ok());
+        assert!(!e.device_lost(DeviceId(0)));
+        assert_eq!(e.device_degradation(DeviceId(0)), 1.0);
+        assert_eq!(e.failure_count(), 0);
     }
 
     #[test]

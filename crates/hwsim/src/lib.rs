@@ -39,6 +39,7 @@
 pub mod cost;
 pub mod device;
 pub mod engine;
+pub mod fault;
 pub mod json;
 pub mod microbench;
 pub mod node;
@@ -53,7 +54,8 @@ pub mod xrand;
 
 pub use cost::{KernelCostSpec, KernelTraits, NdRangeShape};
 pub use device::{DeviceId, DeviceSpec, DeviceType};
-pub use engine::{CommandDesc, CommandKind, Engine, EventStamp};
+pub use engine::{CommandDesc, CommandKind, Engine, EventId, EventStamp};
+pub use fault::{CommandStatus, FailureRecord, FaultKind, FaultPlan};
 pub use node::NodeConfig;
 pub use time::{SimDuration, SimTime};
 pub use topology::{LinkSpec, Topology, TransferKind};

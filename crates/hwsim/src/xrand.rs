@@ -6,6 +6,7 @@
 //! and experiments reproduce exactly.
 
 /// xorshift64* state.
+#[derive(Debug)]
 pub struct XorShift(u64);
 
 impl XorShift {

@@ -89,7 +89,10 @@ fn main() {
     let cache_dir = std::env::temp_dir().join("served-profile-cache");
     let recorder = Arc::new(RingBufferSink::new(1 << 16));
     let (served, arrivals) = loadgen::run_with(&cfg, &cache_dir, vec![recorder.clone()])
-        .unwrap_or_else(|e| panic!("load generation failed: {e}"));
+        .unwrap_or_else(|e| {
+            eprintln!("error: load generation failed: {e}");
+            std::process::exit(1);
+        });
 
     let report = loadgen::report_json_with_wall(&served, &cfg);
     println!(

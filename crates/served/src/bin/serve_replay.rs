@@ -47,18 +47,28 @@ fn main() {
         i += 2;
     }
 
-    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
-    let arrivals = loadgen::parse_trace(&text)
-        .unwrap_or_else(|| panic!("{path} is not a serve trace (JSONL of arrivals)"));
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("error: cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    let arrivals = loadgen::parse_trace(&text).unwrap_or_else(|| {
+        eprintln!("error: {path} is not a serve trace (JSONL of arrivals)");
+        std::process::exit(1);
+    });
     // The service needs one tenant slot per index the trace references.
     let max_tenant = arrivals.iter().map(|a| a.tenant).max().unwrap_or(0);
     cfg.tenants = cfg.tenants.max(max_tenant + 1);
 
     let cache_dir = std::env::temp_dir().join("served-profile-cache");
-    let served = loadgen::build_service(&cfg, &cache_dir, Vec::new())
-        .unwrap_or_else(|e| panic!("service creation failed: {e}"));
+    let served = loadgen::build_service(&cfg, &cache_dir, Vec::new()).unwrap_or_else(|e| {
+        eprintln!("error: service creation failed: {e}");
+        std::process::exit(1);
+    });
     let specs: Vec<_> = arrivals.iter().map(|a| a.spec.clone()).collect();
-    served.warm_programs(&specs).unwrap_or_else(|e| panic!("program warm-up failed: {e}"));
+    served.warm_programs(&specs).unwrap_or_else(|e| {
+        eprintln!("error: program warm-up failed: {e}");
+        std::process::exit(1);
+    });
     loadgen::drive_open(&served, &arrivals);
 
     let report = loadgen::report_json(&served, &cfg);

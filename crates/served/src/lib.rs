@@ -31,6 +31,8 @@ pub mod spec;
 pub mod tenant;
 
 pub use loadgen::{ArrivalMode, LoadgenConfig};
-pub use service::{JobOutcome, ServePolicy, Served, ServiceConfig};
+pub use service::{
+    FailReason, JobOutcome, JobResult, RetryPolicy, ServePolicy, Served, ServiceConfig,
+};
 pub use spec::{JobSpec, SpecError};
 pub use tenant::{RejectReason, TenantConfig};

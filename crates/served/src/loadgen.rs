@@ -16,7 +16,7 @@
 //! ([`trace_lines`] / [`parse_trace`]), which is what the `serve_replay`
 //! binary does.
 
-use crate::service::{warmed_options, ServePolicy, Served, ServiceConfig};
+use crate::service::{warmed_options, RetryPolicy, ServePolicy, Served, ServiceConfig};
 use crate::spec::JobSpec;
 use crate::tenant::TenantConfig;
 use clrt::error::ClResult;
@@ -242,7 +242,19 @@ pub fn drive_open(served: &Served, arrivals: &[Arrival]) {
             next += 1;
         }
         if served.backlog() > 0 {
-            served.dispatch_round();
+            if served.dispatch_round() == 0 {
+                // The whole backlog sits inside retry backoff windows: jump
+                // to whichever comes first, the next arrival or the earliest
+                // retry, so the loop always makes progress.
+                let mut target = served.next_ready_at();
+                if next < arrivals.len() {
+                    let arrival = base + arrivals[next].at.saturating_since(SimTime::ZERO);
+                    target = Some(target.map_or(arrival, |t| t.min(arrival)));
+                }
+                if let Some(t) = target {
+                    served.advance_to(t);
+                }
+            }
         } else if next < arrivals.len() {
             served.advance_to(base + arrivals[next].at.saturating_since(SimTime::ZERO));
         }
@@ -320,7 +332,13 @@ pub fn build_service(
     options.observers = observers;
     Served::new(
         &platform,
-        ServiceConfig { policy: cfg.policy, workers: cfg.workers, tenants, options },
+        ServiceConfig {
+            policy: cfg.policy,
+            workers: cfg.workers,
+            tenants,
+            options,
+            retry: RetryPolicy::default(),
+        },
     )
 }
 
@@ -363,6 +381,8 @@ pub fn report_json(served: &Served, cfg: &LoadgenConfig) -> Json {
     let mut total_submitted = 0u64;
     let mut total_completed = 0u64;
     let mut total_rejected = 0u64;
+    let mut total_failed = 0u64;
+    let mut total_retried = 0u64;
     let mut per_tenant = Vec::new();
     for i in 0..served.tenant_count() {
         let m = served.metrics().tenant(i);
@@ -376,12 +396,16 @@ pub fn report_json(served: &Served, cfg: &LoadgenConfig) -> Json {
         total_submitted += m.submitted.get();
         total_completed += m.completed.get();
         total_rejected += m.rejected.get();
+        total_failed += m.failed.get();
+        total_retried += m.retried.get();
         per_tenant.push(Json::obj([
             ("name", Json::from(served.tenant_name(i))),
             ("submitted", Json::from(m.submitted.get())),
             ("admitted", Json::from(m.admitted.get())),
             ("rejected", Json::from(m.rejected.get())),
             ("completed", Json::from(m.completed.get())),
+            ("failed", Json::from(m.failed.get())),
+            ("retried", Json::from(m.retried.get())),
             ("starved_rounds", Json::from(served.starvation_rounds(i))),
             ("throughput_jobs_per_s", Json::from(m.completed.get() as f64 / elapsed_s)),
             (
@@ -408,6 +432,8 @@ pub fn report_json(served: &Served, cfg: &LoadgenConfig) -> Json {
         ("jobs_submitted", Json::from(total_submitted)),
         ("jobs_completed", Json::from(total_completed)),
         ("jobs_rejected", Json::from(total_rejected)),
+        ("jobs_failed", Json::from(total_failed)),
+        ("jobs_retried", Json::from(total_retried)),
         ("achieved_throughput_jobs_per_s", Json::from(total_completed as f64 / elapsed_s)),
         ("per_tenant", Json::Arr(per_tenant)),
     ])

@@ -25,6 +25,11 @@ pub struct TenantMetrics {
     pub dispatched: Counter,
     /// Jobs fully executed.
     pub completed: Counter,
+    /// Jobs abandoned (deadline missed, retries exhausted, or no healthy
+    /// device).
+    pub failed: Counter,
+    /// Fault-failed dispatches re-queued for another attempt.
+    pub retried: Counter,
     /// Current admitted-but-undispatched queue depth.
     pub depth: Gauge,
     /// Rounds where the tenant had backlog but got no dispatch slot.
@@ -71,6 +76,14 @@ impl ServiceMetrics {
                         .counter(&format!("{p}_jobs_dispatched_total"), "jobs dispatched"),
                     completed: registry
                         .counter(&format!("{p}_jobs_completed_total"), "jobs completed"),
+                    failed: registry.counter(
+                        &format!("{p}_jobs_failed_total"),
+                        "jobs abandoned (deadline, retries, or dead node)",
+                    ),
+                    retried: registry.counter(
+                        &format!("{p}_jobs_retried_total"),
+                        "fault-failed dispatch retries",
+                    ),
                     depth: registry.gauge(&format!("{p}_queue_depth"), "tenant queue depth"),
                     starved_rounds: registry.counter(
                         &format!("{p}_starved_rounds_total"),
@@ -110,7 +123,10 @@ impl ServiceMetrics {
 
     /// `(p50, p95, p99)` job latency of tenant `i`, virtual ms.
     pub fn latency_percentiles_ms(&self, i: usize) -> (f64, f64, f64) {
-        stats::latency_percentiles(&self.latencies_ms[i].lock())
+        // Snapshot under the lock, compute outside it: the percentile scan
+        // sorts O(n log n), which must not serialize concurrent recorders.
+        let samples = self.latencies_ms[i].lock().clone();
+        stats::latency_percentiles(&samples)
     }
 }
 

@@ -68,6 +68,44 @@ impl std::fmt::Display for ServePolicy {
     }
 }
 
+/// Retry policy for jobs whose dispatch ends in a device failure:
+/// capped exponential backoff, bounded attempts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total dispatches allowed per job (first try included). A job whose
+    /// `max_attempts`-th dispatch fails is abandoned with
+    /// [`FailReason::RetryExhausted`].
+    pub max_attempts: u32,
+    /// Backoff before retry 1 (doubles each further retry).
+    pub backoff_base: SimDuration,
+    /// Upper bound on any single backoff.
+    pub backoff_cap: SimDuration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 3,
+            backoff_base: SimDuration::from_millis(1),
+            backoff_cap: SimDuration::from_millis(100),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff after the `attempts`-th failed dispatch:
+    /// `base * 2^(attempts-1)`, capped.
+    pub fn backoff_after(&self, attempts: u32) -> SimDuration {
+        let shift = attempts.saturating_sub(1).min(20);
+        let backoff = self.backoff_base * (1u64 << shift);
+        if backoff > self.backoff_cap {
+            self.backoff_cap
+        } else {
+            backoff
+        }
+    }
+}
+
 /// Configuration of a [`Served`] instance.
 pub struct ServiceConfig {
     /// Backend scheduling policy.
@@ -79,6 +117,8 @@ pub struct ServiceConfig {
     /// Scheduler options for the underlying context (profile cache,
     /// observers, ...).
     pub options: SchedOptions,
+    /// Retry policy for fault-failed dispatches.
+    pub retry: RetryPolicy,
 }
 
 impl ServiceConfig {
@@ -88,7 +128,7 @@ impl ServiceConfig {
     pub fn new(policy: ServePolicy, workers: usize, tenants: Vec<TenantConfig>) -> ServiceConfig {
         let options =
             SchedOptions { mapper: multicl::MapperKind::Adaptive, ..SchedOptions::default() };
-        ServiceConfig { policy, workers, tenants, options }
+        ServiceConfig { policy, workers, tenants, options, retry: RetryPolicy::default() }
     }
 }
 
@@ -179,6 +219,43 @@ impl KernelBody for SpecKernel {
     }
 }
 
+/// Why a dispatched job terminally failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FailReason {
+    /// The deadline passed before the job could finish.
+    DeadlineExceeded,
+    /// Every allowed dispatch ended in a device failure.
+    RetryExhausted {
+        /// Dispatches attempted (== the policy's `max_attempts`).
+        attempts: u32,
+        /// The fault kind of the last failed dispatch.
+        last_error: String,
+    },
+    /// No healthy device remained to run the job on.
+    NoHealthyDevices,
+}
+
+impl std::fmt::Display for FailReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FailReason::DeadlineExceeded => f.write_str("deadline_exceeded"),
+            FailReason::RetryExhausted { attempts, last_error } => {
+                write!(f, "retry_exhausted after {attempts} attempt(s): {last_error}")
+            }
+            FailReason::NoHealthyDevices => f.write_str("no_healthy_devices"),
+        }
+    }
+}
+
+/// Terminal state of a job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobResult {
+    /// The job's command stream executed cleanly.
+    Completed,
+    /// The job was abandoned.
+    Failed(FailReason),
+}
+
 /// The record of one finished job.
 #[derive(Debug, Clone, PartialEq)]
 pub struct JobOutcome {
@@ -192,6 +269,8 @@ pub struct JobOutcome {
     pub completed_at: SimTime,
     /// Submission-to-completion latency.
     pub latency: SimDuration,
+    /// How the job ended.
+    pub result: JobResult,
 }
 
 /// The multi-tenant job service. See the module docs for the data flow.
@@ -206,6 +285,7 @@ pub struct Served {
     workers: Vec<SchedQueue>,
     tenants: Vec<TenantState>,
     metrics: ServiceMetrics,
+    retry: RetryPolicy,
     next_job: AtomicU64,
     /// Rotates which tenant a round's weighted sweep starts at, so equal
     /// weights get equal long-run shares.
@@ -228,7 +308,7 @@ pub struct Served {
 impl Served {
     /// Build the service: one shared context, `workers` scheduler queues.
     pub fn new(platform: &Platform, config: ServiceConfig) -> ClResult<Served> {
-        let ServiceConfig { policy, workers, tenants, options } = config;
+        let ServiceConfig { policy, workers, tenants, options, retry } = config;
         let ctx_policy = match policy {
             ServePolicy::AutoFit => ContextSchedPolicy::AutoFit,
             _ => ContextSchedPolicy::RoundRobin,
@@ -248,6 +328,7 @@ impl Served {
             workers,
             tenants: tenants.into_iter().map(TenantState::new).collect(),
             metrics: ServiceMetrics::new(&names),
+            retry,
             next_job: AtomicU64::new(1),
             rr_start: AtomicUsize::new(0),
             programs: Mutex::new(HashMap::new()),
@@ -280,6 +361,19 @@ impl Served {
     /// Number of worker queues (dispatch slots per round).
     pub fn worker_count(&self) -> usize {
         self.workers.len()
+    }
+
+    /// Current device binding of each worker queue (updated by the
+    /// scheduler at epoch boundaries — including fault evacuations).
+    pub fn worker_devices(&self) -> Vec<hwsim::DeviceId> {
+        self.workers.iter().map(SchedQueue::device).collect()
+    }
+
+    /// Earliest virtual time at which any tenant's front job becomes
+    /// dispatchable (`None` when every queue is empty). Past this instant
+    /// at least one job escapes its retry backoff window.
+    pub fn next_ready_at(&self) -> Option<SimTime> {
+        self.tenants.iter().filter_map(|t| t.queue.lock().front().map(|j| j.not_before)).min()
     }
 
     /// Host threads executing kernel bodies and transfers (the runtime's
@@ -334,6 +428,18 @@ impl Served {
     /// admission control against the tenant's bounded queue. Returns the
     /// job id, or the rejection reason (spec error or backpressure).
     pub fn submit(&self, tenant: usize, spec: JobSpec) -> Result<u64, RejectReason> {
+        self.submit_with_deadline(tenant, spec, None)
+    }
+
+    /// [`Self::submit`] with a completion deadline: past it the job is
+    /// abandoned ([`FailReason::DeadlineExceeded`]) instead of being
+    /// (re)dispatched.
+    pub fn submit_with_deadline(
+        &self,
+        tenant: usize,
+        spec: JobSpec,
+        deadline: Option<SimTime>,
+    ) -> Result<u64, RejectReason> {
         let state = &self.tenants[tenant];
         let job = self.next_job.fetch_add(1, Ordering::Relaxed);
         let now = self.platform.now();
@@ -351,16 +457,23 @@ impl Served {
             self.reject(tenant, &name, job, &reason, now);
             return Err(reason);
         }
+        let capacity = self.shed_capacity(state.config.capacity);
         let depth = {
             let mut queue = state.queue.lock();
-            if queue.len() >= state.config.capacity {
-                let reason =
-                    RejectReason::QueueFull { depth: queue.len(), capacity: state.config.capacity };
+            if queue.len() >= capacity {
+                let reason = RejectReason::QueueFull { depth: queue.len(), capacity };
                 drop(queue);
                 self.reject(tenant, &name, job, &reason, now);
                 return Err(reason);
             }
-            queue.push_back(PendingJob { id: job, spec, submitted_at: now });
+            queue.push_back(PendingJob {
+                id: job,
+                spec,
+                submitted_at: now,
+                deadline,
+                attempts: 0,
+                not_before: now,
+            });
             queue.len()
         };
         self.metrics.tenant(tenant).admitted.inc();
@@ -380,16 +493,59 @@ impl Served {
         });
     }
 
+    /// Graceful degradation: when devices are down, admission capacity
+    /// shrinks proportionally to the healthy fraction, shedding offered
+    /// load through the existing backpressure path instead of queueing
+    /// work the shrunken node cannot absorb. With every device down the
+    /// effective capacity is zero and everything is rejected.
+    fn shed_capacity(&self, configured: usize) -> usize {
+        let total = self.ctx.cl().devices().len().max(1);
+        let healthy = self.ctx.healthy_devices().len();
+        if healthy == total {
+            configured
+        } else {
+            (configured * healthy).div_ceil(total)
+        }
+    }
+
+    /// Record a terminal failure for `job`: counters, a
+    /// [`SchedEvent::RetryExhausted`] telemetry event (`reason` strings
+    /// distinguish deadline misses, abandoned retries, and dead nodes),
+    /// and a [`JobOutcome`] with the typed [`FailReason`].
+    fn fail_job(&self, tenant: usize, job: &PendingJob, reason: FailReason, now: SimTime) {
+        self.metrics.tenant(tenant).failed.inc();
+        self.metrics.tenant(tenant).depth.set(self.tenants[tenant].depth() as f64);
+        self.ctx.emit_event(&SchedEvent::RetryExhausted {
+            epoch: self.ctx.current_epoch(),
+            tenant: self.tenants[tenant].config.name.clone(),
+            job: job.id,
+            attempts: u64::from(job.attempts),
+            reason: reason.to_string(),
+            at: now,
+        });
+        self.outcomes.lock().push(JobOutcome {
+            id: job.id,
+            tenant,
+            submitted_at: job.submitted_at,
+            completed_at: now,
+            latency: now.saturating_since(job.submitted_at),
+            result: JobResult::Failed(reason),
+        });
+    }
+
     /// Weighted-round-robin selection of up to `worker_count` jobs: sweep
     /// the tenants (rotating the starting tenant each round), each sweep
     /// granting a tenant up to `weight` jobs, until the slots are full or
-    /// every queue is empty. Deterministic given queue contents.
-    fn select_round(&self) -> Vec<(usize, PendingJob)> {
+    /// every queue is empty. Jobs still inside their retry backoff window
+    /// (`not_before > now`) block their tenant's FIFO for the round rather
+    /// than being overtaken. Deterministic given queue contents and clock.
+    fn select_round(&self, now: SimTime) -> Vec<(usize, PendingJob)> {
         let n = self.tenants.len();
         if n == 0 {
             return Vec::new();
         }
-        let backlogged: Vec<bool> = self.tenants.iter().map(|t| t.depth() > 0).collect();
+        let ready = |t: &TenantState| t.queue.lock().front().is_some_and(|j| j.not_before <= now);
+        let backlogged: Vec<bool> = self.tenants.iter().map(ready).collect();
         let start = self.rr_start.fetch_add(1, Ordering::Relaxed) % n;
         let mut slots = self.workers.len();
         let mut picks: Vec<(usize, PendingJob)> = Vec::new();
@@ -401,9 +557,11 @@ impl Served {
                 let state = &self.tenants[t];
                 let share = state.config.weight as usize;
                 let mut queue = state.queue.lock();
-                let take = share.min(slots).min(queue.len());
-                for _ in 0..take {
-                    picks.push((t, queue.pop_front().expect("len checked")));
+                for _ in 0..share.min(slots) {
+                    if queue.front().is_none_or(|j| j.not_before > now) {
+                        break;
+                    }
+                    picks.push((t, queue.pop_front().expect("front checked")));
                     slots -= 1;
                     progressed = true;
                 }
@@ -423,19 +581,44 @@ impl Served {
 
     /// Drain one dispatch round: select jobs (weighted round-robin), issue
     /// each onto its own worker queue, synchronize the context (one
-    /// scheduling epoch), and account completions. Returns the number of
-    /// jobs completed this round (0 = nothing queued).
+    /// scheduling epoch), and account completions. Dispatches that end in
+    /// an injected device failure are retried with capped exponential
+    /// backoff (re-queued at the tenant's front) until the retry budget or
+    /// the job's deadline runs out. Returns the number of jobs that reached
+    /// a terminal outcome — completed or failed — this round (0 = nothing
+    /// dispatchable).
     pub fn dispatch_round(&self) -> usize {
-        let picks = self.select_round();
+        let now = self.platform.now();
+        let picks = self.select_round(now);
         if picks.is_empty() {
             return 0;
+        }
+        // Jobs that must not be dispatched at all: the node has no healthy
+        // device left, or the deadline already passed while queued.
+        let healthy = self.ctx.healthy_devices().len();
+        let mut terminal = 0usize;
+        let mut live: Vec<(usize, PendingJob)> = Vec::with_capacity(picks.len());
+        for (tenant, job) in picks {
+            if healthy == 0 {
+                self.fail_job(tenant, &job, FailReason::NoHealthyDevices, now);
+                terminal += 1;
+            } else if job.deadline.is_some_and(|d| d < now) {
+                self.fail_job(tenant, &job, FailReason::DeadlineExceeded, now);
+                terminal += 1;
+            } else {
+                live.push((tenant, job));
+            }
+        }
+        if live.is_empty() {
+            return terminal;
         }
         // Position in the trace's monotone push counter, not an index into
         // `records`: stable even when a trace capacity bound evicts old
         // records mid-run.
         let trace_offset = self.platform.with_engine(|e| e.trace().total_pushed());
+        let failure_offset = self.platform.with_engine(|e| e.failure_count());
         let epoch = self.ctx.current_epoch();
-        for (slot, (tenant, job)) in picks.iter().enumerate() {
+        for (slot, (tenant, job)) in live.iter().enumerate() {
             let worker = &self.workers[slot];
             self.metrics.tenant(*tenant).depth.set(self.tenants[*tenant].depth() as f64);
             self.metrics.tenant(*tenant).dispatched.inc();
@@ -452,6 +635,8 @@ impl Served {
         self.ctx.finish_all();
         // Attribute completion times: every trace record issued this round
         // on a worker's queue belongs to the single job dispatched there.
+        // Injected failures are attributed the same way, via the engine's
+        // failure ledger (`FailureRecord.queue` is the clrt trace id).
         let mut worker_end: HashMap<usize, SimTime> = HashMap::new();
         self.platform.with_engine(|e| {
             for r in e.trace().records_since(trace_offset) {
@@ -459,35 +644,92 @@ impl Served {
                 *end = (*end).max(r.stamp.end);
             }
         });
+        let failed_queues: HashMap<usize, hwsim::FaultKind> = self.platform.with_engine(|e| {
+            e.failures()[failure_offset..].iter().map(|f| (f.queue, f.kind)).collect()
+        });
         let now = self.platform.now();
         let completed_epoch = self.ctx.current_epoch();
-        for (slot, (tenant, job)) in picks.iter().enumerate() {
+        for (slot, (tenant, job)) in live.into_iter().enumerate() {
+            if let Some(kind) = failed_queues.get(&self.workers[slot].trace_id()) {
+                let attempts = job.attempts + 1;
+                if job.deadline.is_some_and(|d| d < now) {
+                    self.fail_job(
+                        tenant,
+                        &PendingJob { attempts, ..job },
+                        FailReason::DeadlineExceeded,
+                        now,
+                    );
+                    terminal += 1;
+                } else if attempts >= self.retry.max_attempts {
+                    let reason =
+                        FailReason::RetryExhausted { attempts, last_error: kind.to_string() };
+                    self.fail_job(tenant, &PendingJob { attempts, ..job }, reason, now);
+                    terminal += 1;
+                } else {
+                    // Transient faults back off before the retry; a lost
+                    // device needs no delay — the scheduler blacklists it
+                    // and evacuates its queues at the next epoch boundary,
+                    // so an immediate retry lands on a healthy device.
+                    let delay = if kind.is_transient() {
+                        self.retry.backoff_after(attempts)
+                    } else {
+                        SimDuration::ZERO
+                    };
+                    self.metrics.tenant(tenant).retried.inc();
+                    let state = &self.tenants[tenant];
+                    state.queue.lock().push_front(PendingJob {
+                        attempts,
+                        not_before: now + delay,
+                        ..job
+                    });
+                    self.metrics.tenant(tenant).depth.set(state.depth() as f64);
+                }
+                continue;
+            }
             let completed_at =
                 worker_end.get(&self.workers[slot].trace_id()).copied().unwrap_or(now);
             let latency = completed_at.saturating_since(job.submitted_at);
-            self.metrics.tenant(*tenant).completed.inc();
-            self.metrics.record_latency(*tenant, latency);
+            self.metrics.tenant(tenant).completed.inc();
+            self.metrics.record_latency(tenant, latency);
             self.ctx.emit_event(&SchedEvent::JobCompleted {
                 epoch: completed_epoch,
-                tenant: self.tenants[*tenant].config.name.clone(),
+                tenant: self.tenants[tenant].config.name.clone(),
                 job: job.id,
                 latency,
                 at: completed_at,
             });
             self.outcomes.lock().push(JobOutcome {
                 id: job.id,
-                tenant: *tenant,
+                tenant,
                 submitted_at: job.submitted_at,
                 completed_at,
                 latency,
+                result: JobResult::Completed,
             });
+            terminal += 1;
         }
-        picks.len()
+        terminal
     }
 
-    /// Run dispatch rounds until every tenant queue is empty.
+    /// Run dispatch rounds until every tenant queue is empty, advancing
+    /// the virtual clock past retry backoff windows when nothing is
+    /// dispatchable right now. Terminates because retries are bounded by
+    /// the policy's `max_attempts`.
     pub fn run_until_drained(&self) {
-        while self.dispatch_round() > 0 {}
+        loop {
+            self.dispatch_round();
+            if self.backlog() == 0 {
+                return;
+            }
+            // A round that only produced retries leaves backlog behind a
+            // backoff window; jump the idle clock to the earliest ready
+            // front so the next round can dispatch.
+            if let Some(t) = self.next_ready_at() {
+                if t > self.platform.now() {
+                    self.advance_to(t);
+                }
+            }
+        }
     }
 
     /// Compile the programs of a template library and run one throwaway

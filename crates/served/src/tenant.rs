@@ -67,6 +67,13 @@ pub(crate) struct PendingJob {
     pub spec: JobSpec,
     /// Virtual time of admission.
     pub submitted_at: SimTime,
+    /// Virtual completion deadline; past it the job fails instead of
+    /// (re)dispatching.
+    pub deadline: Option<SimTime>,
+    /// Dispatches that already ended in a device failure.
+    pub attempts: u32,
+    /// Earliest virtual time the job may be (re)dispatched — retry backoff.
+    pub not_before: SimTime,
 }
 
 /// Runtime state of one tenant.

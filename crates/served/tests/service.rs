@@ -2,10 +2,13 @@
 //! weighted fairness, telemetry coverage, and thread-safe submission.
 
 use clrt::{Platform, RuntimeConfig};
+use hwsim::{FaultPlan, SimDuration};
 use multicl::telemetry::RingBufferSink;
 use served::loadgen::{self, ArrivalMode, LoadgenConfig};
 use served::service::warmed_options;
-use served::{RejectReason, ServePolicy, Served, ServiceConfig, TenantConfig};
+use served::{
+    FailReason, JobResult, RejectReason, ServePolicy, Served, ServiceConfig, TenantConfig,
+};
 use std::path::PathBuf;
 use std::sync::Arc;
 
@@ -20,7 +23,13 @@ fn small_service(tag: &str, workers: usize, tenants: Vec<TenantConfig>) -> Serve
     let options = warmed_options(&platform, scratch_dir(tag));
     Served::new(
         &platform,
-        ServiceConfig { policy: ServePolicy::AutoFit, workers, tenants, options },
+        ServiceConfig {
+            policy: ServePolicy::AutoFit,
+            workers,
+            tenants,
+            options,
+            retry: served::RetryPolicy::default(),
+        },
     )
     .expect("service builds")
 }
@@ -263,6 +272,133 @@ fn data_plane_worker_count_never_changes_service_results() {
     assert_eq!(a.now(), b.now(), "virtual clock identical for any worker count");
     // The parallel run actually routed work through the executor.
     assert!(b.data_plane_stats().executed > 0, "stats: {:?}", b.data_plane_stats());
+}
+
+#[test]
+fn device_loss_mid_run_recovers_without_panics() {
+    let recorder = Arc::new(RingBufferSink::new(8192));
+    let platform = Platform::paper_node();
+    let mut options = warmed_options(&platform, scratch_dir("loss"));
+    options.observers = vec![recorder.clone()];
+    let served = Served::new(
+        &platform,
+        ServiceConfig {
+            policy: ServePolicy::AutoFit,
+            workers: 3,
+            tenants: vec![TenantConfig::new("a", 1, 64)],
+            options,
+            retry: served::RetryPolicy::default(),
+        },
+    )
+    .expect("service builds");
+    served.warm_programs(&loadgen::templates()).expect("warm-up");
+    let spec = loadgen::templates()[2].clone();
+    // Healthy rounds first, so worker queues are mapped across devices.
+    for _ in 0..6 {
+        served.submit(0, spec.clone()).expect("admit");
+    }
+    served.run_until_drained();
+    assert_eq!(served.metrics().tenant(0).completed.get(), 6);
+    // Kill a device the service is actively using, mid-run.
+    let victim = served.worker_devices()[0];
+    let now = served.now();
+    platform.with_engine(|e| e.set_fault_plan(FaultPlan::new(3).lose_device(victim, now)));
+    for _ in 0..9 {
+        served.submit(0, spec.clone()).expect("admit");
+    }
+    served.run_until_drained();
+    let m = served.metrics().tenant(0);
+    assert_eq!(m.completed.get() + m.failed.get(), 15, "every job reached a terminal outcome");
+    assert!(m.completed.get() > 6, "goodput continued after the loss");
+    // The scheduler blacklisted the device and evacuated its queues, and
+    // said so in telemetry.
+    let kinds: std::collections::HashSet<&'static str> =
+        recorder.snapshot().iter().map(|e| e.kind()).collect();
+    assert!(kinds.contains("device_down"), "missing device_down in {kinds:?}");
+    assert!(kinds.contains("remapped"), "missing remapped in {kinds:?}");
+    let stats = served.context().stats();
+    assert_eq!(stats.devices_lost, 1);
+    assert!(stats.queues_remapped > 0, "stats: {stats:?}");
+    assert_eq!(served.context().device_health(victim), multicl::DeviceHealth::Down);
+    assert!(!served.context().healthy_devices().contains(&victim));
+    assert!(!served.worker_devices().contains(&victim), "no worker still bound to the dead device");
+}
+
+#[test]
+fn past_deadline_jobs_fail_with_typed_reason() {
+    let served = small_service("deadline", 1, vec![TenantConfig::new("a", 1, 4)]);
+    let spec = loadgen::templates()[0].clone();
+    let deadline = served.now();
+    served.submit_with_deadline(0, spec, Some(deadline)).expect("admitted");
+    served.advance_to(deadline + SimDuration::from_millis(1));
+    assert_eq!(served.dispatch_round(), 1, "the doomed job is a terminal outcome");
+    let outcomes = served.outcomes();
+    assert_eq!(outcomes.len(), 1);
+    assert_eq!(outcomes[0].result, JobResult::Failed(FailReason::DeadlineExceeded));
+    let m = served.metrics().tenant(0);
+    assert_eq!((m.failed.get(), m.completed.get(), m.dispatched.get()), (1, 0, 0));
+}
+
+#[test]
+fn dead_node_sheds_load_and_fails_typed() {
+    let served = small_service("dead-node", 2, vec![TenantConfig::new("a", 1, 8)]);
+    let spec = loadgen::templates()[0].clone();
+    served.submit(0, spec.clone()).expect("admit 1");
+    served.submit(0, spec.clone()).expect("admit 2");
+    // Every device dies before the backlog dispatches.
+    let now = served.now();
+    let devices = served.context().cl().devices().to_vec();
+    served.context().platform().with_engine(|e| {
+        let mut plan = FaultPlan::new(7);
+        for &d in &devices {
+            plan = plan.lose_device(d, now);
+        }
+        e.set_fault_plan(plan);
+    });
+    assert!(served.context().healthy_devices().is_empty());
+    // Admission sheds everything: the effective capacity is zero.
+    match served.submit(0, spec) {
+        Err(RejectReason::QueueFull { capacity, .. }) => assert_eq!(capacity, 0),
+        other => panic!("expected shed rejection, got {other:?}"),
+    }
+    // Already-admitted jobs fail with the typed reason — no panic, no hang.
+    assert_eq!(served.dispatch_round(), 2);
+    served.run_until_drained();
+    let outcomes = served.outcomes();
+    assert_eq!(outcomes.len(), 2);
+    for o in &outcomes {
+        assert_eq!(o.result, JobResult::Failed(FailReason::NoHealthyDevices));
+    }
+    assert_eq!(served.metrics().tenant(0).failed.get(), 2);
+}
+
+#[test]
+fn transient_faults_retry_with_backoff_and_stay_deterministic() {
+    let cfg = LoadgenConfig {
+        seed: 13,
+        tenants: 2,
+        jobs: 16,
+        rate_hz: 2000.0,
+        workers: 2,
+        queue_capacity: 16,
+        runtime: RuntimeConfig {
+            fault_plan: Some(FaultPlan::new(99).with_transfer_failure_rate(0.4)),
+            ..RuntimeConfig::default()
+        },
+        ..LoadgenConfig::default()
+    };
+    let dir = scratch_dir("faulty");
+    let (a, _) = loadgen::run(&cfg, &dir).expect("first faulty run");
+    let (b, _) = loadgen::run(&cfg, &dir).expect("second faulty run");
+    assert_eq!(a.outcomes(), b.outcomes(), "fault injection is seed-deterministic");
+    let sum = |get: fn(&served::metrics::TenantMetrics) -> u64| -> u64 {
+        (0..2).map(|i| get(a.metrics().tenant(i))).sum()
+    };
+    let (admitted, completed, failed) =
+        (sum(|m| m.admitted.get()), sum(|m| m.completed.get()), sum(|m| m.failed.get()));
+    assert!(sum(|m| m.retried.get()) > 0, "a 40% transfer-failure rate must trigger retries");
+    assert!(completed > 0, "goodput stays above zero under transient faults");
+    assert_eq!(admitted, completed + failed, "every admitted job reached a terminal outcome");
 }
 
 #[test]
