@@ -29,9 +29,14 @@ fn main() {
         let path = args.get(1).expect("--replay needs a JSONL path");
         let text =
             std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
-        let events = sink::parse_jsonl(&text)
-            .unwrap_or_else(|| panic!("{path} is not a telemetry JSONL stream"));
-        println!("replaying {} event(s) from {path}\n", events.len());
+        // Lenient decode: a stream written by a newer build (unknown event
+        // types) still replays — skipped lines are counted, not fatal.
+        let (events, events_skipped) = sink::parse_jsonl_lenient(&text);
+        println!("replaying {} event(s) from {path}", events.len());
+        if events_skipped > 0 {
+            println!("(events_skipped: {events_skipped} unknown/malformed line(s))");
+        }
+        println!();
         print!("{}", report::decision_log(&events));
         return;
     }

@@ -15,3 +15,4 @@ pub mod fig8;
 pub mod fig9;
 pub mod mapper_scaling;
 pub mod tables;
+pub mod tracing;

@@ -254,6 +254,56 @@ mod tests {
     }
 
     #[test]
+    fn makespan_attribution_is_emitted_for_both_policies() {
+        use crate::telemetry::RingBufferSink;
+
+        for (policy, tag) in [
+            (ContextSchedPolicy::AutoFit, "attr-autofit"),
+            (ContextSchedPolicy::RoundRobin, "attr-rr"),
+        ] {
+            let platform = Platform::paper_node();
+            let recorder = Arc::new(RingBufferSink::new(256));
+            let mut options = scratch_options(tag);
+            options.observers = vec![recorder.clone()];
+            let ctx = MulticlContext::with_options(&platform, policy, options).unwrap();
+            let prog =
+                ctx.create_program(vec![Arc::new(CpuFriendly) as Arc<dyn KernelBody>]).unwrap();
+            let k = prog.create_kernel("cpu_friendly").unwrap();
+            let b = ctx.create_buffer_of::<f64>(1 << 14).unwrap();
+            k.set_arg(0, ArgValue::BufferMut(b)).unwrap();
+            let q = ctx.create_queue(QueueSchedFlags::SCHED_AUTO_DYNAMIC).unwrap();
+            q.enqueue_ndrange(&k, clrt::NdRange::d1(1 << 14, 64)).unwrap();
+            ctx.finish_all();
+
+            let events = recorder.snapshot();
+            let attr = events
+                .iter()
+                .find_map(|e| match e {
+                    SchedEvent::MakespanAttribution { policy, predicted, actual, .. } => {
+                        Some((policy.clone(), *predicted, *actual))
+                    }
+                    _ => None,
+                })
+                .unwrap_or_else(|| panic!("{tag}: expected attribution in {events:?}"));
+            assert_eq!(attr.0, policy.to_string(), "{tag}");
+            assert!(!attr.1.is_zero(), "{tag}: predicted must be a real objective");
+            assert!(!attr.2.is_zero(), "{tag}: executed critical path must be nonzero");
+            // AUTO_FIT's prediction is exactly the mapper objective it
+            // announced in the same epoch's decision record.
+            if policy == ContextSchedPolicy::AutoFit {
+                let makespan = events
+                    .iter()
+                    .find_map(|e| match e {
+                        SchedEvent::MappingDecision { makespan, .. } => Some(*makespan),
+                        _ => None,
+                    })
+                    .expect("AUTO_FIT emits a decision");
+                assert_eq!(attr.1, makespan);
+            }
+        }
+    }
+
+    #[test]
     fn queue_migration_events_carry_flow_payload() {
         use crate::telemetry::{perfetto, RingBufferSink};
 

@@ -583,6 +583,9 @@ impl RtInner {
         // profiling and its staging transfers are the only clock-advancing
         // work before the flush).
         let mut profiling = SimDuration::ZERO;
+        // The scheduler's own objective for this epoch, for the
+        // predicted-vs-actual attribution emitted after the flush.
+        let mut predicted: Option<SimDuration> = None;
         let assignment: Vec<DeviceId> = match self.policy {
             ContextSchedPolicy::RoundRobin => {
                 // "Schedules the command queue to the next available device
@@ -702,9 +705,41 @@ impl RtInner {
                     mapper_wall,
                     queues: decisions,
                 });
+                predicted = Some(mapping.makespan);
                 mapping.assignment.iter().map(|d| devices[d.index()]).collect()
             }
         };
+        if predicted.is_none() {
+            // ROUND_ROBIN publishes no objective, but the attribution still
+            // wants a prediction to hold it accountable to. Use the warm
+            // profile caches when they cover a queue and fall back to the
+            // §V-B static model otherwise — pure reads either way, so the
+            // prediction never perturbs the virtual clock or event stream.
+            let mut per_device = vec![SimDuration::ZERO; devices.len()];
+            for (q, dev) in pool.iter().zip(&assignment) {
+                let plan = self.classify(q);
+                let b =
+                    if matches!(plan, CostPlan::Hit(_) | CostPlan::Compose(_) | CostPlan::Static) {
+                        self.cached_breakdown(q, &plan, &devices)
+                    } else {
+                        let pending = q.pending.lock();
+                        CostBreakdown {
+                            exec: self.static_costs(q, &pending, &devices),
+                            migration: self.migration_vec(q, &pending, &devices),
+                        }
+                    };
+                if let Some(i) = devices.iter().position(|d| d == dev) {
+                    per_device[i] += b.exec[i] + b.migration[i];
+                }
+            }
+            predicted = per_device.into_iter().max();
+        }
+        // Engine trace records carry their final stamps at submit time, so
+        // the executed critical path of this epoch's flush is known as soon
+        // as the issue loop returns: everything pushed past this watermark
+        // belongs to the pool flush (migration transfers included).
+        let flush_start = self.platform.now();
+        let trace_offset = self.platform.with_engine(|e| e.trace().total_pushed());
         let mut pool_issued = 0;
         for (q, dev) in pool.iter().zip(&assignment) {
             let previous = q.cl.device();
@@ -744,6 +779,20 @@ impl RtInner {
         }
         delta.kernels_issued += pool_issued;
         self.apply_stats(&delta);
+        // Predicted-vs-actual makespan attribution: the mapper's objective
+        // against the executed critical path of the commands it just issued.
+        let executed_end = self.platform.with_engine(|e| {
+            e.trace().records_since(trace_offset).iter().map(|r| r.stamp.end).max()
+        });
+        if let (Some(predicted), Some(end)) = (predicted, executed_end) {
+            self.emit(&SchedEvent::MakespanAttribution {
+                epoch,
+                at: self.platform.now(),
+                policy: self.policy.to_string(),
+                predicted,
+                actual: end.saturating_since(flush_start),
+            });
+        }
         let done = self.platform.now();
         let dp = self.platform.data_plane_stats();
         self.emit(&SchedEvent::EpochEnd {
@@ -1238,7 +1287,12 @@ impl RtInner {
                 kp.insert(name.clone(), row.clone());
             }
         }
-        for (name, row) in kernel_rows {
+        // Announce in name order: the map's iteration order is not
+        // deterministic, and the event stream must be bit-identical across
+        // same-seed runs.
+        let mut announced: Vec<_> = kernel_rows.into_iter().collect();
+        announced.sort_by(|a, b| a.0.cmp(&b.0));
+        for (name, row) in announced {
             self.emit(&SchedEvent::KernelProfiled { epoch, kernel: name, minikernel, costs: row });
         }
     }

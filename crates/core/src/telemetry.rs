@@ -29,16 +29,25 @@
 //!   of [`Trace::to_chrome_json`](hwsim::trace::Trace::to_chrome_json).
 //! * [`report`] — terminal rendering of the decision log (the
 //!   `schedule_explain` binary in `multicl-bench` drives it).
+//! * [`tracing`] — causal job spans and exact critical-path latency
+//!   attribution: [`tracing::TraceContext`] follows a job from admission
+//!   to its terminal outcome, decomposing end-to-end latency into
+//!   admission-wait / backoff / profiling / dispatch-wait / transfer /
+//!   compute / remap segments that sum to the observed latency exactly.
+//!   [`SchedEvent::JobTrace`], [`SchedEvent::MakespanAttribution`], and
+//!   [`SchedEvent::SloBurn`] carry the results on the event stream.
 
 pub mod event;
 pub mod perfetto;
 pub mod registry;
 pub mod report;
 pub mod sink;
+pub mod tracing;
 
 pub use event::{QueueDecision, SchedEvent};
 pub use registry::{Counter, Gauge, Histogram, MetricsRegistry, SchedMetrics};
 pub use sink::{JsonlSink, RingBufferSink, StderrSink};
+pub use tracing::{AttemptTrace, SegmentKind, SegmentSet, SpanId, SpanSlice, TraceContext};
 
 /// Receiver for scheduler telemetry events.
 ///

@@ -1,5 +1,6 @@
 //! The typed scheduler event stream and its JSON codec.
 
+use super::tracing::AttemptTrace;
 use hwsim::json::Json;
 use hwsim::{DeviceId, SimDuration, SimTime};
 
@@ -246,6 +247,66 @@ pub enum SchedEvent {
         /// Virtual time the job was abandoned.
         at: SimTime,
     },
+    /// A job reached its terminal outcome; the full causal span record.
+    /// Emitted by the serving layer alongside `JobCompleted` /
+    /// `RetryExhausted`, carrying the exact latency decomposition: the
+    /// attempts' segments sum to `completed_at − submitted_at`.
+    JobTrace {
+        /// Scheduling epoch current at the terminal outcome.
+        epoch: u64,
+        /// Tenant name.
+        tenant: String,
+        /// Service-wide job id.
+        job: u64,
+        /// Virtual admission time (span start).
+        submitted_at: SimTime,
+        /// Virtual time of the terminal outcome (span end).
+        completed_at: SimTime,
+        /// Terminal outcome: `completed`, `deadline_exceeded`,
+        /// `retry_exhausted`, or `no_healthy_devices`.
+        outcome: String,
+        /// One record per dispatch attempt, in order.
+        attempts: Vec<AttemptTrace>,
+    },
+    /// Predicted vs. executed makespan of one scheduling epoch: the
+    /// mapper's objective against the critical path the simulator actually
+    /// ran. Emitted when a prediction exists (always for AUTO_FIT; for
+    /// ROUND_ROBIN once the profile caches cover the pool).
+    MakespanAttribution {
+        /// Scheduling epoch.
+        epoch: u64,
+        /// Virtual time the epoch finished executing.
+        at: SimTime,
+        /// The context's global policy (`AUTO_FIT` / `ROUND_ROBIN`).
+        policy: String,
+        /// The cost model's predicted concurrent completion time.
+        predicted: SimDuration,
+        /// Executed critical path: latest command end minus flush start.
+        actual: SimDuration,
+    },
+    /// A tenant's SLO burn rate crossed (or recovered from) an alert
+    /// threshold on one multi-window rule. Emitted on transitions only.
+    SloBurn {
+        /// Scheduling epoch current at evaluation.
+        epoch: u64,
+        /// Tenant name.
+        tenant: String,
+        /// Virtual evaluation time.
+        at: SimTime,
+        /// The long (sustained-burn) window.
+        long_window: SimDuration,
+        /// The short (still-burning guard) window.
+        short_window: SimDuration,
+        /// Error-budget burn rate over the long window (1.0 = budget
+        /// consumed exactly at the sustainable rate).
+        long_burn: f64,
+        /// Burn rate over the short window.
+        short_burn: f64,
+        /// The rule's burn-rate threshold.
+        threshold: f64,
+        /// True when the alert fired, false when it cleared.
+        fired: bool,
+    },
 }
 
 impl SchedEvent {
@@ -266,7 +327,10 @@ impl SchedEvent {
             | SchedEvent::JobCompleted { epoch, .. }
             | SchedEvent::DeviceDown { epoch, .. }
             | SchedEvent::Remapped { epoch, .. }
-            | SchedEvent::RetryExhausted { epoch, .. } => epoch,
+            | SchedEvent::RetryExhausted { epoch, .. }
+            | SchedEvent::JobTrace { epoch, .. }
+            | SchedEvent::MakespanAttribution { epoch, .. }
+            | SchedEvent::SloBurn { epoch, .. } => epoch,
         }
     }
 
@@ -288,6 +352,9 @@ impl SchedEvent {
             SchedEvent::DeviceDown { .. } => "device_down",
             SchedEvent::Remapped { .. } => "remapped",
             SchedEvent::RetryExhausted { .. } => "retry_exhausted",
+            SchedEvent::JobTrace { .. } => "job_trace",
+            SchedEvent::MakespanAttribution { .. } => "makespan_attribution",
+            SchedEvent::SloBurn { .. } => "slo_burn",
         }
     }
 
@@ -442,6 +509,56 @@ impl SchedEvent {
                 ("reason", Json::from(reason.as_str())),
                 ("at_ns", Json::from(at.as_nanos())),
             ]),
+            SchedEvent::JobTrace {
+                epoch,
+                tenant,
+                job,
+                submitted_at,
+                completed_at,
+                outcome,
+                attempts,
+            } => Json::obj([
+                ("type", Json::from(self.kind())),
+                ("epoch", Json::from(*epoch)),
+                ("tenant", Json::from(tenant.as_str())),
+                ("job", Json::from(*job)),
+                ("submitted_at_ns", Json::from(submitted_at.as_nanos())),
+                ("completed_at_ns", Json::from(completed_at.as_nanos())),
+                ("outcome", Json::from(outcome.as_str())),
+                ("attempts", Json::Arr(attempts.iter().map(AttemptTrace::to_json).collect())),
+            ]),
+            SchedEvent::MakespanAttribution { epoch, at, policy, predicted, actual } => {
+                Json::obj([
+                    ("type", Json::from(self.kind())),
+                    ("epoch", Json::from(*epoch)),
+                    ("at_ns", Json::from(at.as_nanos())),
+                    ("policy", Json::from(policy.as_str())),
+                    ("predicted_ns", Json::from(predicted.as_nanos())),
+                    ("actual_ns", Json::from(actual.as_nanos())),
+                ])
+            }
+            SchedEvent::SloBurn {
+                epoch,
+                tenant,
+                at,
+                long_window,
+                short_window,
+                long_burn,
+                short_burn,
+                threshold,
+                fired,
+            } => Json::obj([
+                ("type", Json::from(self.kind())),
+                ("epoch", Json::from(*epoch)),
+                ("tenant", Json::from(tenant.as_str())),
+                ("at_ns", Json::from(at.as_nanos())),
+                ("long_window_ns", Json::from(long_window.as_nanos())),
+                ("short_window_ns", Json::from(short_window.as_nanos())),
+                ("long_burn", Json::from(*long_burn)),
+                ("short_burn", Json::from(*short_burn)),
+                ("threshold", Json::from(*threshold)),
+                ("fired", Json::Bool(*fired)),
+            ]),
         }
     }
 
@@ -576,6 +693,43 @@ impl SchedEvent {
                 reason: value.get("reason")?.as_str()?.to_string(),
                 at: time("at_ns")?,
             },
+            "job_trace" => SchedEvent::JobTrace {
+                epoch,
+                tenant: value.get("tenant")?.as_str()?.to_string(),
+                job: value.get("job")?.as_u64()?,
+                submitted_at: time("submitted_at_ns")?,
+                completed_at: time("completed_at_ns")?,
+                // Outcome and attempts default so trimmed/older streams
+                // still replay.
+                outcome: value
+                    .get("outcome")
+                    .and_then(Json::as_str)
+                    .unwrap_or("unknown")
+                    .to_string(),
+                attempts: value
+                    .get("attempts")
+                    .and_then(Json::as_arr)
+                    .map(|items| items.iter().filter_map(AttemptTrace::from_json).collect())
+                    .unwrap_or_default(),
+            },
+            "makespan_attribution" => SchedEvent::MakespanAttribution {
+                epoch,
+                at: time("at_ns")?,
+                policy: value.get("policy").and_then(Json::as_str).unwrap_or("").to_string(),
+                predicted: dur("predicted_ns")?,
+                actual: dur("actual_ns")?,
+            },
+            "slo_burn" => SchedEvent::SloBurn {
+                epoch,
+                tenant: value.get("tenant")?.as_str()?.to_string(),
+                at: time("at_ns")?,
+                long_window: dur("long_window_ns").unwrap_or(SimDuration::ZERO),
+                short_window: dur("short_window_ns").unwrap_or(SimDuration::ZERO),
+                long_burn: value.get("long_burn").and_then(Json::as_f64).unwrap_or(0.0),
+                short_burn: value.get("short_burn").and_then(Json::as_f64).unwrap_or(0.0),
+                threshold: value.get("threshold").and_then(Json::as_f64).unwrap_or(0.0),
+                fired: value.get("fired").and_then(Json::as_bool).unwrap_or(false),
+            },
             _ => return None,
         })
     }
@@ -687,12 +841,67 @@ pub(crate) fn sample_events() -> Vec<SchedEvent> {
             reason: "CL_DEVICE_NOT_AVAILABLE: device 1 lost\n".into(),
             at: SimTime::from_nanos(30_000),
         },
+        SchedEvent::JobTrace {
+            epoch: 5,
+            tenant: "t \"traced\"\n".into(),
+            job: 7,
+            submitted_at: SimTime::from_nanos(1_000),
+            completed_at: SimTime::from_nanos(13_345),
+            outcome: "completed".into(),
+            attempts: vec![
+                {
+                    use crate::telemetry::tracing::{SegmentKind, SegmentSet, SpanId};
+                    let mut segments = SegmentSet::zero();
+                    segments.add(SegmentKind::AdmissionWait, ns(500));
+                    segments.add(SegmentKind::Compute, ns(11_845));
+                    AttemptTrace {
+                        span: SpanId { job: 7, attempt: 0 },
+                        queue: Some(5),
+                        device: Some(1),
+                        epoch: 3,
+                        dispatched_at: SimTime::from_nanos(1_500),
+                        ended_at: SimTime::from_nanos(13_345),
+                        segments,
+                    }
+                },
+                {
+                    use crate::telemetry::tracing::SpanId;
+                    AttemptTrace {
+                        span: SpanId { job: 7, attempt: 1 },
+                        queue: None,
+                        device: None,
+                        epoch: 4,
+                        dispatched_at: SimTime::from_nanos(13_345),
+                        ended_at: SimTime::from_nanos(13_345),
+                        segments: Default::default(),
+                    }
+                },
+            ],
+        },
+        SchedEvent::MakespanAttribution {
+            epoch: 3,
+            at: SimTime::from_nanos(14_000),
+            policy: "AUTO_FIT".into(),
+            predicted: ns(10_000),
+            actual: ns(11_500),
+        },
+        SchedEvent::SloBurn {
+            epoch: 5,
+            tenant: "t \"slo\"\n".into(),
+            at: SimTime::from_nanos(31_000),
+            long_window: SimDuration::from_millis(50),
+            short_window: SimDuration::from_millis(5),
+            long_burn: 14.5,
+            short_burn: 20.25,
+            threshold: 14.0,
+            fired: true,
+        },
     ];
     // Exhaustiveness guard: a sample for every variant's kind string.
     let mut kinds: Vec<&str> = events.iter().map(|e| e.kind()).collect();
     kinds.sort_unstable();
     kinds.dedup();
-    assert_eq!(kinds.len(), 15, "sample_events must cover every SchedEvent variant; got {kinds:?}");
+    assert_eq!(kinds.len(), 18, "sample_events must cover every SchedEvent variant; got {kinds:?}");
     events
 }
 
@@ -752,5 +961,53 @@ mod tests {
     fn unknown_type_is_rejected() {
         let v = Json::parse(r#"{"type":"warp_drive","epoch":1}"#).unwrap();
         assert_eq!(SchedEvent::from_json(&v), None);
+    }
+
+    #[test]
+    fn job_trace_without_optional_fields_decodes_with_defaults() {
+        // A trimmed stream (no outcome, no attempts) still replays.
+        let v = Json::parse(
+            r#"{"type":"job_trace","epoch":2,"tenant":"t0","job":4,
+                "submitted_at_ns":10,"completed_at_ns":90}"#,
+        )
+        .unwrap();
+        match SchedEvent::from_json(&v).expect("trimmed job_trace decodes") {
+            SchedEvent::JobTrace { outcome, attempts, .. } => {
+                assert_eq!(outcome, "unknown");
+                assert!(attempts.is_empty());
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn slo_burn_without_optional_fields_decodes_with_defaults() {
+        let v = Json::parse(r#"{"type":"slo_burn","epoch":1,"tenant":"t0","at_ns":5}"#).unwrap();
+        match SchedEvent::from_json(&v).expect("trimmed slo_burn decodes") {
+            SchedEvent::SloBurn { long_burn, short_burn, threshold, fired, .. } => {
+                assert_eq!(long_burn, 0.0);
+                assert_eq!(short_burn, 0.0);
+                assert_eq!(threshold, 0.0);
+                assert!(!fired);
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn makespan_attribution_without_policy_decodes_with_default() {
+        let v = Json::parse(
+            r#"{"type":"makespan_attribution","epoch":1,"at_ns":5,
+                "predicted_ns":10,"actual_ns":12}"#,
+        )
+        .unwrap();
+        match SchedEvent::from_json(&v).expect("trimmed makespan_attribution decodes") {
+            SchedEvent::MakespanAttribution { policy, predicted, actual, .. } => {
+                assert_eq!(policy, "");
+                assert_eq!(predicted, ns(10));
+                assert_eq!(actual, ns(12));
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
     }
 }

@@ -8,15 +8,24 @@
 //!   destination device rows of every [`SchedEvent::QueueMigrated`], so
 //!   queue rebinds show up as arrows in the Perfetto UI;
 //! * **counter tracks** (`"ph":"C"`) with the number of concurrently
-//!   executing commands per device — a per-device utilization curve.
+//!   executing commands per device — a per-device utilization curve;
+//! * **job tracks** (`"ph":"X"` under a dedicated `jobs` process) from
+//!   every [`SchedEvent::JobTrace`]: one row per job, the end-to-end span
+//!   tiled with its critical-path segments, and a flow arrow from each
+//!   dispatch to the device row that executed it.
 //!
 //! Times follow the trace convention: virtual nanoseconds emitted as the
 //! viewer's microsecond `ts` field.
 
 use super::event::SchedEvent;
+use super::tracing::SegmentKind;
 use hwsim::json::Json;
 use hwsim::trace::Trace;
 use hwsim::DeviceId;
+
+/// The `pid` of the synthetic process that holds one row per job. Device
+/// rows live under pid 0 (the engine trace convention).
+pub const JOBS_PID: u64 = 1;
 
 /// One flow-event pair (start on the source device row, finish on the
 /// destination row) per queue migration in `events`. Returned as JSON
@@ -53,6 +62,116 @@ pub fn migration_flow_events(events: &[SchedEvent]) -> Vec<Json> {
             // The finish must be strictly after the start for the viewer
             // to draw the arrow.
             out.push(common("f", *to, ts + 1));
+        }
+    }
+    out
+}
+
+/// Job track events from the [`SchedEvent::JobTrace`] stream: one row
+/// (`tid` = job id) per job under the `jobs` process, holding
+///
+/// * a whole-span slice from admission to terminal outcome,
+/// * one child slice per non-empty critical-path segment of every
+///   attempt, tiled in canonical [`SegmentKind::ALL`] order across the
+///   attempt's window (segment slices sum exactly to the job latency), and
+/// * a flow arrow (`"s"` → `"f"`) from each dispatched attempt to the
+///   device row that executed it, with the attempt's
+///   [`flow_id`](super::tracing::SpanId::flow_id) so arrows stay stable
+///   across exports.
+pub fn job_span_events(events: &[SchedEvent]) -> Vec<Json> {
+    let mut out = Vec::new();
+    let mut named = false;
+    for ev in events {
+        let SchedEvent::JobTrace {
+            epoch,
+            tenant,
+            job,
+            submitted_at,
+            completed_at,
+            outcome,
+            attempts,
+        } = ev
+        else {
+            continue;
+        };
+        if !named {
+            named = true;
+            out.push(Json::obj([
+                ("name", Json::from("process_name")),
+                ("ph", Json::from("M")),
+                ("pid", Json::from(JOBS_PID)),
+                ("args", Json::obj([("name", Json::from("jobs"))])),
+            ]));
+        }
+        let slice = |name: String, cat: &str, ts: u64, dur: u64, args: Json| {
+            Json::obj([
+                ("name", Json::from(name.as_str())),
+                ("cat", Json::from(cat)),
+                ("ph", Json::from("X")),
+                ("ts", Json::from(ts)),
+                ("dur", Json::from(dur)),
+                ("pid", Json::from(JOBS_PID)),
+                ("tid", Json::from(*job)),
+                ("args", args),
+            ])
+        };
+        out.push(slice(
+            format!("{tenant}#{job}"),
+            "job",
+            submitted_at.as_nanos(),
+            completed_at.saturating_since(*submitted_at).as_nanos(),
+            Json::obj([
+                ("outcome", Json::from(outcome.as_str())),
+                ("epoch", Json::from(*epoch)),
+                ("attempts", Json::from(attempts.len())),
+            ]),
+        ));
+        for a in attempts {
+            // Tile the attempt's window with its segments, canonical order.
+            // The segments sum to the window by construction, so the tiles
+            // abut exactly and nest inside the whole-span slice.
+            let mut cursor = a.ended_at.as_nanos() - a.segments.total().as_nanos();
+            for kind in SegmentKind::ALL {
+                let d = a.segments.get(kind).as_nanos();
+                if d == 0 {
+                    continue;
+                }
+                out.push(slice(
+                    kind.label().to_string(),
+                    "segment",
+                    cursor,
+                    d,
+                    Json::obj([("attempt", Json::from(u64::from(a.span.attempt)))]),
+                ));
+                cursor += d;
+            }
+            let (Some(queue), Some(device)) = (a.queue, a.device) else {
+                continue;
+            };
+            let flow = |ph: &str, pid: u64, tid: u64, ts: u64| {
+                let mut obj = vec![
+                    ("name".to_string(), Json::from("dispatch")),
+                    ("cat".to_string(), Json::from("dispatch")),
+                    ("ph".to_string(), Json::from(ph)),
+                    ("id".to_string(), Json::from(a.span.flow_id())),
+                    ("ts".to_string(), Json::from(ts)),
+                    ("pid".to_string(), Json::from(pid)),
+                    ("tid".to_string(), Json::from(tid)),
+                ];
+                if ph == "f" {
+                    obj.push(("bp".to_string(), Json::from("e")));
+                }
+                obj.push((
+                    "args".to_string(),
+                    Json::obj([("queue", Json::from(queue)), ("epoch", Json::from(a.epoch))]),
+                ));
+                Json::Obj(obj)
+            };
+            let ts = a.dispatched_at.as_nanos();
+            out.push(flow("s", JOBS_PID, *job, ts));
+            // Land on the executing device row, strictly later so the
+            // viewer draws the arrow.
+            out.push(flow("f", 0, device, ts + 1));
         }
     }
     out
@@ -100,12 +219,14 @@ pub fn utilization_counter_events(trace: &Trace) -> Vec<Json> {
 
 /// The full export: every trace record (via
 /// [`TraceRecord::chrome_event_json`](hwsim::trace::TraceRecord::chrome_event_json)),
-/// plus migration flow events and per-device utilization counters from the
-/// telemetry stream. The result is one Chrome-tracing JSON array.
+/// plus migration flow events, per-device utilization counters, and job
+/// span tracks from the telemetry stream. The result is one Chrome-tracing
+/// JSON array.
 pub fn chrome_trace_with_telemetry(trace: &Trace, events: &[SchedEvent]) -> String {
     let mut parts: Vec<String> = trace.records.iter().map(|r| r.chrome_event_json()).collect();
     parts.extend(migration_flow_events(events).iter().map(Json::dump));
     parts.extend(utilization_counter_events(trace).iter().map(Json::dump));
+    parts.extend(job_span_events(events).iter().map(Json::dump));
     format!("[{}]", parts.join(","))
 }
 
@@ -176,6 +297,71 @@ mod tests {
             .rfind(|c| c.get("name").unwrap().as_str() == Some("active/D0"))
             .unwrap();
         assert_eq!(last_d0.get("args").unwrap().get("active").unwrap().as_u64(), Some(0));
+    }
+
+    fn job_trace(job: u64) -> SchedEvent {
+        use crate::telemetry::tracing::{AttemptTrace, SegmentKind, SegmentSet, SpanId};
+        let mut segments = SegmentSet::zero();
+        segments.add(SegmentKind::AdmissionWait, SimDuration::from_nanos(100));
+        segments.add(SegmentKind::H2d, SimDuration::from_nanos(300));
+        segments.add(SegmentKind::Compute, SimDuration::from_nanos(600));
+        SchedEvent::JobTrace {
+            epoch: 3,
+            tenant: "t0".into(),
+            job,
+            submitted_at: SimTime::from_nanos(1_000),
+            completed_at: SimTime::from_nanos(2_000),
+            outcome: "completed".into(),
+            attempts: vec![AttemptTrace {
+                span: SpanId { job, attempt: 0 },
+                queue: Some(2),
+                device: Some(1),
+                epoch: 3,
+                dispatched_at: SimTime::from_nanos(1_100),
+                ended_at: SimTime::from_nanos(2_000),
+                segments,
+            }],
+        }
+    }
+
+    #[test]
+    fn job_spans_tile_segments_and_point_at_the_device_row() {
+        let spans = job_span_events(&[job_trace(7)]);
+        // Metadata + whole-span + 3 segment tiles + flow pair.
+        let ph = |p: &str| -> Vec<&Json> {
+            spans.iter().filter(|o| o.get("ph").and_then(Json::as_str) == Some(p)).collect()
+        };
+        assert_eq!(ph("M").len(), 1);
+        let slices = ph("X");
+        assert_eq!(slices.len(), 4);
+        // Whole span sits on the job row of the jobs process.
+        let whole = slices[0];
+        assert_eq!(whole.get("pid").unwrap().as_u64(), Some(JOBS_PID));
+        assert_eq!(whole.get("tid").unwrap().as_u64(), Some(7));
+        assert_eq!(whole.get("dur").unwrap().as_u64(), Some(1_000));
+        // Segment tiles abut and sum to the attempt window.
+        let tiles = &slices[1..];
+        let mut cursor = 1_000u64; // 2_000 − total(1_000)
+        let mut total = 0;
+        for t in tiles {
+            assert_eq!(t.get("ts").unwrap().as_u64(), Some(cursor));
+            let d = t.get("dur").unwrap().as_u64().unwrap();
+            cursor += d;
+            total += d;
+        }
+        assert_eq!(total, 1_000);
+        assert_eq!(
+            tiles.iter().map(|t| t.get("name").unwrap().as_str().unwrap()).collect::<Vec<_>>(),
+            vec!["admission_wait", "h2d", "compute"],
+            "canonical tiling order"
+        );
+        // The flow arrow starts on the job row and lands on device 1.
+        let (s, f) = (&ph("s")[0], &ph("f")[0]);
+        assert_eq!(s.get("id").unwrap().as_u64(), f.get("id").unwrap().as_u64());
+        assert_eq!(s.get("pid").unwrap().as_u64(), Some(JOBS_PID));
+        assert_eq!(f.get("pid").unwrap().as_u64(), Some(0));
+        assert_eq!(f.get("tid").unwrap().as_u64(), Some(1));
+        assert!(f.get("ts").unwrap().as_u64() > s.get("ts").unwrap().as_u64());
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! itself only takes a lock on registration and export.
 
 use super::event::SchedEvent;
+use super::tracing::{SegmentKind, SegmentSet};
 use super::SchedObserver;
 use hwsim::json::Json;
 use hwsim::sync::Mutex;
@@ -156,7 +157,40 @@ enum MetricKind {
 struct Metric {
     name: String,
     help: String,
+    /// Constant label pairs baked in at registration (e.g. `tenant`,
+    /// `segment`). Values are stored raw; escaping happens at exposition.
+    labels: Vec<(String, String)>,
     kind: MetricKind,
+}
+
+/// Escape a label value for the Prometheus text exposition format:
+/// backslash, double-quote, and line feed must be backslash-escaped.
+pub fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render `name{k="v",...}`, appending `extra` (used for histogram `le`)
+/// after the constant labels. Values are escaped per the exposition format.
+fn render_series(name: &str, labels: &[(String, String)], extra: Option<(&str, &str)>) -> String {
+    let mut pairs: Vec<String> =
+        labels.iter().map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v))).collect();
+    if let Some((k, v)) = extra {
+        pairs.push(format!("{k}=\"{}\"", escape_label_value(v)));
+    }
+    if pairs.is_empty() {
+        name.to_string()
+    } else {
+        format!("{name}{{{}}}", pairs.join(","))
+    }
 }
 
 /// A named collection of metrics with text exposition.
@@ -177,27 +211,47 @@ impl MetricsRegistry {
 
     /// Register and return a counter.
     pub fn counter(&self, name: &str, help: &str) -> Counter {
+        self.counter_with(name, help, &[])
+    }
+
+    /// Register and return a counter with constant labels.
+    pub fn counter_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Counter {
         let c = Counter::new();
-        self.push(name, help, MetricKind::Counter(c.clone()));
+        self.push(name, help, labels, MetricKind::Counter(c.clone()));
         c
     }
 
     /// Register and return a gauge.
     pub fn gauge(&self, name: &str, help: &str) -> Gauge {
+        self.gauge_with(name, help, &[])
+    }
+
+    /// Register and return a gauge with constant labels.
+    pub fn gauge_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Gauge {
         let g = Gauge::new();
-        self.push(name, help, MetricKind::Gauge(g.clone()));
+        self.push(name, help, labels, MetricKind::Gauge(g.clone()));
         g
     }
 
     /// Register and return a histogram.
     pub fn histogram(&self, name: &str, help: &str) -> Histogram {
+        self.histogram_with(name, help, &[])
+    }
+
+    /// Register and return a histogram with constant labels.
+    pub fn histogram_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Histogram {
         let h = Histogram::new();
-        self.push(name, help, MetricKind::Histogram(h.clone()));
+        self.push(name, help, labels, MetricKind::Histogram(h.clone()));
         h
     }
 
-    fn push(&self, name: &str, help: &str, kind: MetricKind) {
-        self.metrics.lock().push(Metric { name: name.to_string(), help: help.to_string(), kind });
+    fn push(&self, name: &str, help: &str, labels: &[(&str, &str)], kind: MetricKind) {
+        self.metrics.lock().push(Metric {
+            name: name.to_string(),
+            help: help.to_string(),
+            labels: labels.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect(),
+            kind,
+        });
     }
 
     /// Render the registry in the Prometheus text exposition format
@@ -206,20 +260,26 @@ impl MetricsRegistry {
     pub fn to_prometheus(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
+        // Labeled series sharing a name share one HELP/TYPE header.
+        let mut seen: std::collections::HashSet<String> = std::collections::HashSet::new();
         for m in self.metrics.lock().iter() {
             let kind = match m.kind {
                 MetricKind::Counter(_) => "counter",
                 MetricKind::Gauge(_) => "gauge",
                 MetricKind::Histogram(_) => "histogram",
             };
-            let _ = writeln!(out, "# HELP {} {}", m.name, m.help);
-            let _ = writeln!(out, "# TYPE {} {}", m.name, kind);
+            if seen.insert(m.name.clone()) {
+                let _ = writeln!(out, "# HELP {} {}", m.name, m.help);
+                let _ = writeln!(out, "# TYPE {} {}", m.name, kind);
+            }
             match &m.kind {
                 MetricKind::Counter(c) => {
-                    let _ = writeln!(out, "{} {}", m.name, c.get());
+                    let _ =
+                        writeln!(out, "{} {}", render_series(&m.name, &m.labels, None), c.get());
                 }
                 MetricKind::Gauge(g) => {
-                    let _ = writeln!(out, "{} {}", m.name, g.get());
+                    let _ =
+                        writeln!(out, "{} {}", render_series(&m.name, &m.labels, None), g.get());
                 }
                 MetricKind::Histogram(h) => {
                     // Elide the flat tail: stop after the last bucket where
@@ -233,21 +293,30 @@ impl MetricsRegistry {
                         .find(|&(i, &(_, c))| i == 0 || c != cum[i - 1].1)
                         .map(|(i, _)| i)
                         .unwrap_or(0);
+                    let bucket = format!("{}_bucket", m.name);
                     for &(le, c) in &cum[..=last_rise] {
-                        let _ = writeln!(out, "{}_bucket{{le=\"{}\"}} {}", m.name, le, c);
+                        let series =
+                            render_series(&bucket, &m.labels, Some(("le", &le.to_string())));
+                        let _ = writeln!(out, "{series} {c}");
                     }
-                    let _ = writeln!(out, "{}_bucket{{le=\"+Inf\"}} {}", m.name, count);
-                    let _ = writeln!(out, "{}_sum {}", m.name, h.sum());
-                    let _ = writeln!(out, "{}_count {}", m.name, count);
+                    let series = render_series(&bucket, &m.labels, Some(("le", "+Inf")));
+                    let _ = writeln!(out, "{series} {count}");
+                    let sum_name = format!("{}_sum", m.name);
+                    let _ =
+                        writeln!(out, "{} {}", render_series(&sum_name, &m.labels, None), h.sum());
+                    let count_name = format!("{}_count", m.name);
+                    let _ =
+                        writeln!(out, "{} {}", render_series(&count_name, &m.labels, None), count);
                 }
             }
         }
         out
     }
 
-    /// Export the registry as a JSON object keyed by metric name.
-    /// Histograms become `{"buckets": [{"le": .., "count": ..}, ...],
-    /// "sum": .., "count": ..}` with cumulative bucket counts.
+    /// Export the registry as a JSON object keyed by metric name (with the
+    /// rendered label set appended for labeled series, so tenants don't
+    /// collide). Histograms become `{"buckets": [{"le": .., "count": ..},
+    /// ...], "sum": .., "count": ..}` with cumulative bucket counts.
     pub fn to_json(&self) -> Json {
         let members: Vec<(String, Json)> = self
             .metrics
@@ -276,7 +345,7 @@ impl MetricsRegistry {
                         ("count", Json::from(h.count())),
                     ]),
                 };
-                (m.name.clone(), value)
+                (render_series(&m.name, &m.labels, None), value)
             })
             .collect();
         Json::Obj(members)
@@ -301,8 +370,10 @@ pub struct PromSample {
 }
 
 /// Parse Prometheus text exposition back into samples. Comment (`#`) and
-/// blank lines are skipped. Returns `None` on the first malformed sample
-/// line. This is the counterpart used by the round-trip tests.
+/// blank lines are skipped. Label values are unescaped (the scanner is
+/// escape-aware, so values may contain `\\`, `\"`, `\n`, commas, braces,
+/// and spaces). Returns `None` on the first malformed sample line. This is
+/// the counterpart used by the round-trip tests.
 pub fn parse_prometheus(text: &str) -> Option<Vec<PromSample>> {
     let mut out = Vec::new();
     for line in text.lines() {
@@ -310,24 +381,75 @@ pub fn parse_prometheus(text: &str) -> Option<Vec<PromSample>> {
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let (series, value) = line.rsplit_once(' ')?;
-        let value: f64 = value.parse().ok()?;
-        let (name, labels) = match series.split_once('{') {
-            None => (series.to_string(), Vec::new()),
-            Some((name, rest)) => {
-                let body = rest.strip_suffix('}')?;
-                let mut labels = Vec::new();
-                for pair in body.split(',').filter(|p| !p.is_empty()) {
-                    let (k, v) = pair.split_once('=')?;
-                    let v = v.strip_prefix('"')?.strip_suffix('"')?;
-                    labels.push((k.to_string(), v.to_string()));
-                }
-                (name.to_string(), labels)
+        let (name, labels, rest) = match line.find('{') {
+            None => {
+                let (name, value) = line.rsplit_once(' ')?;
+                (name.to_string(), Vec::new(), value)
+            }
+            Some(brace) => {
+                let (labels, consumed) = parse_label_body(&line[brace + 1..])?;
+                (line[..brace].to_string(), labels, line[brace + 1 + consumed..].trim_start())
             }
         };
+        let value: f64 = rest.trim().parse().ok()?;
         out.push(PromSample { name, labels, value });
     }
     Some(out)
+}
+
+/// Scan a label body (the text after `{`), handling escaped quotes,
+/// backslashes, and `\n` inside values. Returns the label pairs and the
+/// number of bytes consumed, including the closing `}`.
+fn parse_label_body(body: &str) -> Option<(Vec<(String, String)>, usize)> {
+    let bytes = body.as_bytes();
+    let mut i = 0usize;
+    let mut labels = Vec::new();
+    loop {
+        if bytes.get(i)? == &b'}' {
+            return Some((labels, i + 1));
+        }
+        let eq = body[i..].find('=')? + i;
+        let key = body[i..eq].trim().to_string();
+        i = eq + 1;
+        if bytes.get(i)? != &b'"' {
+            return None;
+        }
+        i += 1;
+        let mut value = String::new();
+        loop {
+            match *bytes.get(i)? {
+                b'"' => {
+                    i += 1;
+                    break;
+                }
+                b'\\' => {
+                    i += 1;
+                    match *bytes.get(i)? {
+                        b'\\' => value.push('\\'),
+                        b'"' => value.push('"'),
+                        b'n' => value.push('\n'),
+                        other => {
+                            // Unknown escape: keep it verbatim.
+                            value.push('\\');
+                            value.push(other as char);
+                        }
+                    }
+                    i += 1;
+                }
+                _ => {
+                    let c = body[i..].chars().next()?;
+                    value.push(c);
+                    i += c.len_utf8();
+                }
+            }
+        }
+        labels.push((key, value));
+        match bytes.get(i)? {
+            b',' => i += 1,
+            b'}' => return Some((labels, i + 1)),
+            _ => return None,
+        }
+    }
 }
 
 /// The standard scheduler metric set, bound to the event stream.
@@ -380,6 +502,19 @@ pub struct SchedMetrics {
     /// Virtual time from a device-loss detection to each queue evacuated
     /// off it (ns) — the recovery latency the epoch-boundary policy pays.
     pub recovery_latency: Histogram,
+    /// Absolute predicted-vs-executed makespan error per epoch (ns), from
+    /// `MakespanAttribution` events — mapping-quality regressions show up
+    /// here.
+    pub makespan_error: Histogram,
+    /// Relative makespan error (|predicted − actual| / actual) of the most
+    /// recent attributed epoch.
+    pub makespan_rel_error: Gauge,
+    /// Per-job attributed latency per segment (ns), one labeled series per
+    /// [`SegmentKind`] (`multicl_job_segment_ns{segment="..."}`), indexed
+    /// in [`SegmentKind::ALL`] order.
+    pub job_segments: Vec<Histogram>,
+    /// SLO burn-rate alerts fired (transitions to firing only).
+    pub slo_alerts: Counter,
     /// Detection time (ns) of each downed device, so `Remapped` events can
     /// be turned into recovery latencies.
     down_since: Mutex<std::collections::HashMap<usize, u64>>,
@@ -454,6 +589,25 @@ impl Default for SchedMetrics {
                 "multicl_recovery_latency_ns",
                 "Virtual time from device-loss detection to queue evacuation, in nanoseconds",
             ),
+            makespan_error: registry.histogram(
+                "multicl_makespan_error_ns",
+                "Absolute predicted-vs-executed makespan error per epoch, in nanoseconds",
+            ),
+            makespan_rel_error: registry.gauge(
+                "multicl_makespan_rel_error",
+                "Relative makespan error of the most recent attributed epoch",
+            ),
+            job_segments: SegmentKind::ALL
+                .iter()
+                .map(|k| {
+                    registry.histogram_with(
+                        "multicl_job_segment_ns",
+                        "Per-job attributed latency per critical-path segment, in nanoseconds",
+                        &[("segment", k.label())],
+                    )
+                })
+                .collect(),
+            slo_alerts: registry.counter("multicl_slo_alerts_total", "SLO burn-rate alerts fired"),
             down_since: Mutex::new(std::collections::HashMap::new()),
             registry,
         }
@@ -519,6 +673,30 @@ impl SchedObserver for SchedMetrics {
                 }
             }
             SchedEvent::RetryExhausted { .. } => self.retries_exhausted.inc(),
+            SchedEvent::JobTrace { attempts, .. } => {
+                let mut totals = SegmentSet::zero();
+                for a in attempts {
+                    totals.merge(&a.segments);
+                }
+                for (i, kind) in SegmentKind::ALL.iter().enumerate() {
+                    let d = totals.get(*kind);
+                    if !d.is_zero() {
+                        self.job_segments[i].observe(d.as_nanos());
+                    }
+                }
+            }
+            SchedEvent::MakespanAttribution { predicted, actual, .. } => {
+                let (p, a) = (*predicted, *actual);
+                let err = p.max(a) - p.min(a);
+                self.makespan_error.observe(err.as_nanos());
+                self.makespan_rel_error
+                    .set(err.as_nanos() as f64 / actual.as_nanos().max(1) as f64);
+            }
+            SchedEvent::SloBurn { fired, .. } => {
+                if *fired {
+                    self.slo_alerts.inc();
+                }
+            }
             // Job lifecycle events are accounted per tenant by the serving
             // layer's own metrics (the `served` crate); the scheduler-level
             // metric set ignores them.
@@ -721,5 +899,128 @@ mod tests {
         // Fault-driven rebinds are not counted as cost-driven migrations.
         assert_eq!(m.queue_migrations.get(), 0);
         assert!(parse_prometheus(&m.registry().to_prometheus()).is_some());
+    }
+
+    #[test]
+    fn hostile_label_values_are_escaped_and_roundtrip() {
+        // A tenant name with every character the exposition format must
+        // escape: backslash, double-quote, and newline — plus a comma and
+        // a brace to stress the scanner.
+        let hostile = "t\\en\"a,nt}\nzero";
+        let reg = MetricsRegistry::new();
+        let c = reg.counter_with("served_jobs_total", "jobs", &[("tenant", hostile)]);
+        let h = reg.histogram_with("served_latency_ns", "latency", &[("tenant", hostile)]);
+        c.add(2);
+        h.observe(5);
+        let text = reg.to_prometheus();
+        // No raw newline may survive inside a sample line.
+        for line in text.lines().filter(|l| !l.starts_with('#') && !l.is_empty()) {
+            assert!(line.contains(' '), "unsplittable sample line: {line:?}");
+        }
+        assert!(text.contains("\\\\"), "{text}");
+        assert!(text.contains("\\\""), "{text}");
+        assert!(text.contains("\\n"), "{text}");
+
+        let samples = parse_prometheus(&text).expect("escaped exposition parses");
+        let jobs = samples.iter().find(|s| s.name == "served_jobs_total").unwrap();
+        assert_eq!(jobs.labels, vec![("tenant".to_string(), hostile.to_string())]);
+        assert_eq!(jobs.value, 2.0);
+        // Histogram buckets carry the tenant label plus `le`.
+        let inf = samples
+            .iter()
+            .find(|s| {
+                s.name == "served_latency_ns_bucket"
+                    && s.labels.contains(&("le".to_string(), "+Inf".to_string()))
+            })
+            .unwrap();
+        assert!(inf.labels.contains(&("tenant".to_string(), hostile.to_string())));
+        assert_eq!(inf.value, 1.0);
+        // JSON export keys the two series distinctly.
+        let json = reg.to_json();
+        assert!(json
+            .get(&render_series(
+                "served_jobs_total",
+                &[("tenant".to_string(), hostile.to_string())],
+                None
+            ))
+            .is_some());
+    }
+
+    #[test]
+    fn labeled_series_share_one_help_and_type_header() {
+        let reg = MetricsRegistry::new();
+        reg.counter_with("served_jobs_total", "jobs", &[("tenant", "a")]);
+        reg.counter_with("served_jobs_total", "jobs", &[("tenant", "b")]);
+        let text = reg.to_prometheus();
+        assert_eq!(text.matches("# HELP served_jobs_total").count(), 1, "{text}");
+        assert_eq!(text.matches("# TYPE served_jobs_total").count(), 1, "{text}");
+        let samples = parse_prometheus(&text).unwrap();
+        assert_eq!(samples.iter().filter(|s| s.name == "served_jobs_total").count(), 2);
+    }
+
+    #[test]
+    fn sched_metrics_track_tracing_events() {
+        use crate::telemetry::tracing::{AttemptTrace, SpanId};
+        let m = SchedMetrics::new();
+        let mut segments = SegmentSet::zero();
+        segments.add(SegmentKind::Compute, SimDuration::from_nanos(700));
+        segments.add(SegmentKind::AdmissionWait, SimDuration::from_nanos(300));
+        m.on_event(&SchedEvent::JobTrace {
+            epoch: 1,
+            tenant: "t0".into(),
+            job: 1,
+            submitted_at: SimTime::ZERO,
+            completed_at: SimTime::from_nanos(1_000),
+            outcome: "completed".into(),
+            attempts: vec![AttemptTrace {
+                span: SpanId::root(1),
+                queue: Some(0),
+                device: Some(0),
+                epoch: 1,
+                dispatched_at: SimTime::from_nanos(300),
+                ended_at: SimTime::from_nanos(1_000),
+                segments,
+            }],
+        });
+        m.on_event(&SchedEvent::MakespanAttribution {
+            epoch: 1,
+            at: SimTime::from_nanos(1_000),
+            policy: "AUTO_FIT".into(),
+            predicted: SimDuration::from_nanos(800),
+            actual: SimDuration::from_nanos(1_000),
+        });
+        m.on_event(&SchedEvent::SloBurn {
+            epoch: 1,
+            tenant: "t0".into(),
+            at: SimTime::from_nanos(1_000),
+            long_window: SimDuration::from_millis(50),
+            short_window: SimDuration::from_millis(5),
+            long_burn: 15.0,
+            short_burn: 16.0,
+            threshold: 14.0,
+            fired: true,
+        });
+        m.on_event(&SchedEvent::SloBurn {
+            epoch: 2,
+            tenant: "t0".into(),
+            at: SimTime::from_nanos(2_000),
+            long_window: SimDuration::from_millis(50),
+            short_window: SimDuration::from_millis(5),
+            long_burn: 1.0,
+            short_burn: 0.5,
+            threshold: 14.0,
+            fired: false,
+        });
+
+        let compute_idx = SegmentKind::ALL.iter().position(|&k| k == SegmentKind::Compute).unwrap();
+        assert_eq!(m.job_segments[compute_idx].sum(), 700);
+        assert_eq!(m.job_segments[compute_idx].count(), 1);
+        assert_eq!(m.makespan_error.sum(), 200);
+        assert!((m.makespan_rel_error.get() - 0.2).abs() < 1e-12);
+        // Only the firing transition counts.
+        assert_eq!(m.slo_alerts.get(), 1);
+        let text = m.registry().to_prometheus();
+        assert!(text.contains("multicl_job_segment_ns_bucket{segment=\"compute\""), "{text}");
+        assert!(parse_prometheus(&text).is_some());
     }
 }

@@ -84,6 +84,29 @@ pub fn one_line(event: &SchedEvent) -> String {
         SchedEvent::RetryExhausted { tenant, job, attempts, reason, .. } => {
             format!("job #{job} (`{tenant}`) ABANDONED after {attempts} attempt(s): {reason}")
         }
+        SchedEvent::JobTrace {
+            tenant, job, submitted_at, completed_at, outcome, attempts, ..
+        } => {
+            format!(
+                "job #{job} (`{tenant}`) traced: {outcome} in {} over {} attempt(s)",
+                ms(completed_at.saturating_since(*submitted_at)),
+                attempts.len()
+            )
+        }
+        SchedEvent::MakespanAttribution { policy, predicted, actual, .. } => {
+            format!(
+                "makespan attribution ({policy}): predicted {} vs actual {}",
+                ms(*predicted),
+                ms(*actual)
+            )
+        }
+        SchedEvent::SloBurn { tenant, long_burn, short_burn, threshold, fired, .. } => {
+            let state = if *fired { "FIRING" } else { "cleared" };
+            format!(
+                "slo burn {state} for `{tenant}`: long {long_burn:.2}x / short {short_burn:.2}x \
+                 (threshold {threshold:.2}x)"
+            )
+        }
     }
 }
 
@@ -285,5 +308,42 @@ mod tests {
         assert!(line.contains("Q3") && line.contains("D1→D0") && line.contains("64B"), "{line}");
         let line = one_line(&exhausted);
         assert!(line.contains("3 attempt(s)") && line.contains("CL_OUT_OF_RESOURCES"), "{line}");
+    }
+
+    #[test]
+    fn one_line_describes_tracing_events() {
+        let trace = SchedEvent::JobTrace {
+            epoch: 3,
+            tenant: "t0".into(),
+            job: 9,
+            submitted_at: SimTime::from_nanos(0),
+            completed_at: SimTime::from_nanos(2_000_000),
+            outcome: "completed".into(),
+            attempts: vec![],
+        };
+        let line = one_line(&trace);
+        assert!(line.contains("#9") && line.contains("completed in 2.000ms"), "{line}");
+        let attr = SchedEvent::MakespanAttribution {
+            epoch: 3,
+            at: SimTime::from_nanos(10),
+            policy: "AUTO_FIT".into(),
+            predicted: ns(1_000_000),
+            actual: ns(1_500_000),
+        };
+        let line = one_line(&attr);
+        assert!(line.contains("predicted 1.000ms") && line.contains("actual 1.500ms"), "{line}");
+        let burn = SchedEvent::SloBurn {
+            epoch: 4,
+            tenant: "t1".into(),
+            at: SimTime::from_nanos(10),
+            long_window: ns(1_000),
+            short_window: ns(100),
+            long_burn: 15.0,
+            short_burn: 21.0,
+            threshold: 14.0,
+            fired: true,
+        };
+        let line = one_line(&burn);
+        assert!(line.contains("FIRING") && line.contains("15.00x"), "{line}");
     }
 }

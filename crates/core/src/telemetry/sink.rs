@@ -121,6 +121,22 @@ pub fn parse_jsonl(text: &str) -> Option<Vec<SchedEvent>> {
         .collect()
 }
 
+/// Forward-compatible JSONL parse: lines that are malformed or carry an
+/// event type this build does not know are *skipped and counted* instead
+/// of aborting the whole stream, so an old binary can still replay a trace
+/// recorded by a newer one. Returns `(events, events_skipped)`.
+pub fn parse_jsonl_lenient(text: &str) -> (Vec<SchedEvent>, usize) {
+    let mut events = Vec::new();
+    let mut skipped = 0usize;
+    for line in text.lines().map(str::trim).filter(|l| !l.is_empty()) {
+        match Json::parse(line).as_ref().and_then(SchedEvent::from_json) {
+            Some(event) => events.push(event),
+            None => skipped += 1,
+        }
+    }
+    (events, skipped)
+}
+
 /// Prints one human-readable line per event to stderr — the observer
 /// behind `MULTICL_DEBUG`-style tracing.
 #[derive(Debug, Default)]
@@ -233,5 +249,16 @@ mod tests {
         assert_eq!(parse_jsonl(&format!("{good}\n\n")), Some(vec![ev(1)]));
         assert_eq!(parse_jsonl("not json"), None);
         assert_eq!(parse_jsonl(r#"{"type":"nope","epoch":1}"#), None);
+    }
+
+    #[test]
+    fn lenient_parse_skips_and_counts_unknown_or_malformed_lines() {
+        let good = ev(1).to_json().dump();
+        let text =
+            format!("{good}\n{{\"type\":\"from_the_future\",\"epoch\":9}}\nnot json\n\n{good}\n");
+        let (events, skipped) = parse_jsonl_lenient(&text);
+        assert_eq!(events, vec![ev(1), ev(1)]);
+        assert_eq!(skipped, 2);
+        assert_eq!(parse_jsonl_lenient(""), (vec![], 0));
     }
 }

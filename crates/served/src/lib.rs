@@ -14,7 +14,10 @@
 //!   round-robin dispatch rounds onto a pool of scheduler queues, one
 //!   MultiCL sync epoch per round, job-lifecycle telemetry events.
 //! - [`metrics`] — per-tenant throughput/queue-depth/latency metrics in
-//!   the shared registry, plus exact p50/p95/p99 latency samples.
+//!   the shared registry (tenant identity as an escaped Prometheus label),
+//!   plus exact p50/p95/p99 latency samples.
+//! - [`slo`] — per-tenant latency SLOs with multi-window burn-rate
+//!   alerting; transitions surface as `SloBurn` telemetry events.
 //! - [`loadgen`] — seeded open-loop (Poisson) and closed-loop arrival
 //!   processes in virtual time; same seed, same results, plus a JSONL
 //!   trace format for replay.
@@ -27,6 +30,7 @@
 pub mod loadgen;
 pub mod metrics;
 pub mod service;
+pub mod slo;
 pub mod spec;
 pub mod tenant;
 
@@ -34,5 +38,6 @@ pub use loadgen::{ArrivalMode, LoadgenConfig};
 pub use service::{
     FailReason, JobOutcome, JobResult, RetryPolicy, ServePolicy, Served, ServiceConfig,
 };
+pub use slo::{BurnWindow, SloConfig};
 pub use spec::{JobSpec, SpecError};
 pub use tenant::{RejectReason, TenantConfig};

@@ -17,6 +17,7 @@
 //! binary does.
 
 use crate::service::{warmed_options, RetryPolicy, ServePolicy, Served, ServiceConfig};
+use crate::slo::SloConfig;
 use crate::spec::JobSpec;
 use crate::tenant::TenantConfig;
 use clrt::error::ClResult;
@@ -82,6 +83,9 @@ pub struct LoadgenConfig {
     /// for any count), event retirement, and trace capacity for
     /// bounded-memory long runs.
     pub runtime: RuntimeConfig,
+    /// Latency SLO applied to every tenant (`None` disables burn-rate
+    /// tracking and `SloBurn` events).
+    pub slo: Option<SloConfig>,
 }
 
 impl Default for LoadgenConfig {
@@ -98,6 +102,7 @@ impl Default for LoadgenConfig {
             queue_capacity: 8,
             workers: 4,
             runtime: RuntimeConfig::default(),
+            slo: Some(SloConfig::default()),
         }
     }
 }
@@ -338,6 +343,7 @@ pub fn build_service(
             tenants,
             options,
             retry: RetryPolicy::default(),
+            slo: cfg.slo.clone(),
         },
     )
 }

@@ -2,11 +2,12 @@
 //! [`MetricsRegistry`] so one Prometheus/JSON export covers both the
 //! scheduler and the serving layer.
 //!
-//! The registry has no label support (it is the workspace's offline
-//! Prometheus stand-in), so tenant metrics embed a sanitized tenant name:
-//! `served_t0_jobs_completed_total`. Exact job latencies are additionally
-//! kept per tenant so reports can quote precise p50/p95/p99 (the registry
-//! histograms are log-bucketed).
+//! Tenant identity is carried as a real Prometheus label
+//! (`served_jobs_completed_total{tenant="team a/b"}`): the registry
+//! escapes label values on exposition, so hostile tenant names (quotes,
+//! backslashes, newlines) cannot corrupt the text format. Exact job
+//! latencies are additionally kept per tenant so reports can quote precise
+//! p50/p95/p99 (the registry histograms are log-bucketed).
 
 use hwsim::stats;
 use hwsim::sync::Mutex;
@@ -36,6 +37,8 @@ pub struct TenantMetrics {
     pub starved_rounds: Counter,
     /// Submission-to-completion latency (virtual nanoseconds, log buckets).
     pub latency_ns: Histogram,
+    /// SLO burn-rate alerts fired (transitions into the firing state).
+    pub slo_alerts: Counter,
 }
 
 /// Metrics for the whole service: a shared registry plus per-tenant handles
@@ -47,51 +50,66 @@ pub struct ServiceMetrics {
     latencies_ms: Vec<Mutex<Vec<f64>>>,
 }
 
-/// Make a tenant name safe for Prometheus metric names.
-fn sanitize(name: &str) -> String {
-    let mut out: String =
-        name.chars().map(|c| if c.is_ascii_alphanumeric() { c } else { '_' }).collect();
-    if out.chars().next().is_none_or(|c| c.is_ascii_digit()) {
-        out.insert(0, 't');
-    }
-    out
-}
-
 impl ServiceMetrics {
-    /// Create the metric set for the given tenant names.
+    /// Create the metric set for the given tenant names. Each tenant's
+    /// series share the metric name and differ in the `tenant` label.
     pub fn new(tenant_names: &[String]) -> ServiceMetrics {
         let registry = MetricsRegistry::new();
         let tenants = tenant_names
             .iter()
             .map(|name| {
-                let p = format!("served_{}", sanitize(name));
+                let labels: &[(&str, &str)] = &[("tenant", name.as_str())];
                 TenantMetrics {
-                    submitted: registry
-                        .counter(&format!("{p}_jobs_submitted_total"), "jobs submitted"),
-                    admitted: registry
-                        .counter(&format!("{p}_jobs_admitted_total"), "jobs admitted"),
-                    rejected: registry
-                        .counter(&format!("{p}_jobs_rejected_total"), "jobs rejected"),
-                    dispatched: registry
-                        .counter(&format!("{p}_jobs_dispatched_total"), "jobs dispatched"),
-                    completed: registry
-                        .counter(&format!("{p}_jobs_completed_total"), "jobs completed"),
-                    failed: registry.counter(
-                        &format!("{p}_jobs_failed_total"),
+                    submitted: registry.counter_with(
+                        "served_jobs_submitted_total",
+                        "jobs submitted",
+                        labels,
+                    ),
+                    admitted: registry.counter_with(
+                        "served_jobs_admitted_total",
+                        "jobs admitted",
+                        labels,
+                    ),
+                    rejected: registry.counter_with(
+                        "served_jobs_rejected_total",
+                        "jobs rejected",
+                        labels,
+                    ),
+                    dispatched: registry.counter_with(
+                        "served_jobs_dispatched_total",
+                        "jobs dispatched",
+                        labels,
+                    ),
+                    completed: registry.counter_with(
+                        "served_jobs_completed_total",
+                        "jobs completed",
+                        labels,
+                    ),
+                    failed: registry.counter_with(
+                        "served_jobs_failed_total",
                         "jobs abandoned (deadline, retries, or dead node)",
+                        labels,
                     ),
-                    retried: registry.counter(
-                        &format!("{p}_jobs_retried_total"),
+                    retried: registry.counter_with(
+                        "served_jobs_retried_total",
                         "fault-failed dispatch retries",
+                        labels,
                     ),
-                    depth: registry.gauge(&format!("{p}_queue_depth"), "tenant queue depth"),
-                    starved_rounds: registry.counter(
-                        &format!("{p}_starved_rounds_total"),
+                    depth: registry.gauge_with("served_queue_depth", "tenant queue depth", labels),
+                    starved_rounds: registry.counter_with(
+                        "served_starved_rounds_total",
                         "rounds with backlog but no dispatch slot",
+                        labels,
                     ),
-                    latency_ns: registry.histogram(
-                        &format!("{p}_job_latency_ns"),
+                    latency_ns: registry.histogram_with(
+                        "served_job_latency_ns",
                         "submission-to-completion virtual latency",
+                        labels,
+                    ),
+                    slo_alerts: registry.counter_with(
+                        "served_slo_alerts_total",
+                        "SLO burn-rate alerts fired",
+                        labels,
                     ),
                 }
             })
@@ -135,26 +153,37 @@ mod tests {
     use super::*;
 
     #[test]
-    fn sanitize_produces_prometheus_safe_names() {
-        assert_eq!(sanitize("t0"), "t0");
-        assert_eq!(sanitize("team a/b"), "team_a_b");
-        assert_eq!(sanitize("0day"), "t0day");
-        assert_eq!(sanitize(""), "t");
-    }
-
-    #[test]
-    fn per_tenant_metrics_appear_in_the_export() {
+    fn per_tenant_metrics_appear_as_labeled_series() {
         let m = ServiceMetrics::new(&["t0".into(), "t1".into()]);
         m.tenant(0).submitted.inc();
         m.tenant(0).admitted.inc();
         m.record_latency(0, SimDuration::from_millis(4));
         m.record_latency(0, SimDuration::from_millis(8));
         let prom = m.registry().to_prometheus();
-        assert!(prom.contains("served_t0_jobs_submitted_total 1"), "{prom}");
-        assert!(prom.contains("served_t1_jobs_submitted_total 0"), "{prom}");
-        assert!(prom.contains("served_t0_job_latency_ns"), "{prom}");
+        assert!(prom.contains(r#"served_jobs_submitted_total{tenant="t0"} 1"#), "{prom}");
+        assert!(prom.contains(r#"served_jobs_submitted_total{tenant="t1"} 0"#), "{prom}");
+        assert!(prom.contains(r#"served_job_latency_ns_count{tenant="t0"}"#), "{prom}");
         let (p50, p95, p99) = m.latency_percentiles_ms(0);
         assert!(p50 >= 4.0 && p99 <= 8.0 && p50 <= p95 && p95 <= p99);
         assert_eq!(m.latencies_ms(1), Vec::<f64>::new());
+    }
+
+    #[test]
+    fn hostile_tenant_names_survive_exposition_and_reparse() {
+        let hostile = "team \"a\"\\b\nc".to_string();
+        let m = ServiceMetrics::new(std::slice::from_ref(&hostile));
+        m.tenant(0).submitted.inc();
+        let prom = m.registry().to_prometheus();
+        // No raw newline inside a sample line, and the text re-parses.
+        for line in prom.lines() {
+            assert!(!line.is_empty() || line.trim().is_empty());
+        }
+        let samples = multicl::telemetry::registry::parse_prometheus(&prom).expect("parseable");
+        let s = samples
+            .iter()
+            .find(|s| s.name == "served_jobs_submitted_total")
+            .expect("series present");
+        assert_eq!(s.labels, vec![("tenant".to_string(), hostile)]);
+        assert_eq!(s.value, 1.0);
     }
 }

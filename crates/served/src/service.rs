@@ -15,14 +15,15 @@
 //! epoch events, so one JSONL sink captures the full picture.
 
 use crate::metrics::ServiceMetrics;
+use crate::slo::{SloConfig, SloTracker};
 use crate::spec::{JobSpec, StepOp};
 use crate::tenant::{PendingJob, RejectReason, TenantConfig, TenantState};
 use clrt::error::ClResult;
 use clrt::{ArgValue, KernelBody, KernelCtx, NdRange, Platform};
 use hwsim::sync::Mutex;
-use hwsim::{KernelCostSpec, SimDuration, SimTime};
+use hwsim::{CommandKind, KernelCostSpec, SimDuration, SimTime, TransferKind};
 use multicl::profile::{DeviceProfile, ProfileCache};
-use multicl::telemetry::SchedEvent;
+use multicl::telemetry::{SchedEvent, SchedObserver, SegmentKind, SpanSlice, TraceContext};
 use multicl::{ContextSchedPolicy, MulticlContext, QueueSchedFlags, SchedOptions, SchedQueue};
 use std::collections::HashMap;
 use std::path::PathBuf;
@@ -119,16 +120,63 @@ pub struct ServiceConfig {
     pub options: SchedOptions,
     /// Retry policy for fault-failed dispatches.
     pub retry: RetryPolicy,
+    /// Per-tenant latency SLO with burn-rate alerting; `None` disables SLO
+    /// monitoring entirely.
+    pub slo: Option<SloConfig>,
 }
 
 impl ServiceConfig {
     /// A config with serving-default scheduler options: the adaptive mapper,
     /// so a mapping decision over a large worker pool stays within the node
-    /// budget instead of searching a `D^Q` space exactly.
+    /// budget instead of searching a `D^Q` space exactly. SLO monitoring is
+    /// on by default with the paired fast/slow burn alerts.
     pub fn new(policy: ServePolicy, workers: usize, tenants: Vec<TenantConfig>) -> ServiceConfig {
         let options =
             SchedOptions { mapper: multicl::MapperKind::Adaptive, ..SchedOptions::default() };
-        ServiceConfig { policy, workers, tenants, options, retry: RetryPolicy::default() }
+        ServiceConfig {
+            policy,
+            workers,
+            tenants,
+            options,
+            retry: RetryPolicy::default(),
+            slo: Some(SloConfig::default()),
+        }
+    }
+}
+
+/// Internal observer capturing the scheduler's per-epoch profiling windows
+/// on the virtual timeline — the trace attribution needs them to split
+/// dispatch-window gaps into profiling time vs. plain queueing.
+#[derive(Default)]
+struct EpochTap {
+    begin: Mutex<Option<SimTime>>,
+    windows: Mutex<Vec<(SimTime, SimTime)>>,
+}
+
+impl EpochTap {
+    fn window_count(&self) -> usize {
+        self.windows.lock().len()
+    }
+
+    fn windows_since(&self, mark: usize) -> Vec<(SimTime, SimTime)> {
+        let windows = self.windows.lock();
+        windows[mark.min(windows.len())..].to_vec()
+    }
+}
+
+impl SchedObserver for EpochTap {
+    fn on_event(&self, event: &SchedEvent) {
+        match event {
+            SchedEvent::EpochBegin { at, .. } => *self.begin.lock() = Some(*at),
+            SchedEvent::EpochEnd { profiling, .. } => {
+                if let Some(begin) = self.begin.lock().take() {
+                    if !profiling.is_zero() {
+                        self.windows.lock().push((begin, begin + *profiling));
+                    }
+                }
+            }
+            _ => {}
+        }
     }
 }
 
@@ -286,6 +334,10 @@ pub struct Served {
     tenants: Vec<TenantState>,
     metrics: ServiceMetrics,
     retry: RetryPolicy,
+    /// Profiling-window recorder attached to the context's observer list.
+    tap: Arc<EpochTap>,
+    /// SLO burn-rate state (`None` when monitoring is disabled).
+    slo: Option<Mutex<SloTracker>>,
     next_job: AtomicU64,
     /// Rotates which tenant a round's weighted sweep starts at, so equal
     /// weights get equal long-run shares.
@@ -308,11 +360,14 @@ pub struct Served {
 impl Served {
     /// Build the service: one shared context, `workers` scheduler queues.
     pub fn new(platform: &Platform, config: ServiceConfig) -> ClResult<Served> {
-        let ServiceConfig { policy, workers, tenants, options, retry } = config;
+        let ServiceConfig { policy, workers, tenants, mut options, retry, slo } = config;
         let ctx_policy = match policy {
             ServePolicy::AutoFit => ContextSchedPolicy::AutoFit,
             _ => ContextSchedPolicy::RoundRobin,
         };
+        let tap = Arc::new(EpochTap::default());
+        options.observers.push(tap.clone());
+        let slo = slo.map(|c| Mutex::new(SloTracker::new(c, tenants.len())));
         let ctx = MulticlContext::with_options(platform, ctx_policy, options)?;
         let devices = ctx.cl().devices().to_vec();
         let workers = (0..workers.max(1))
@@ -329,6 +384,8 @@ impl Served {
             tenants: tenants.into_iter().map(TenantState::new).collect(),
             metrics: ServiceMetrics::new(&names),
             retry,
+            tap,
+            slo,
             next_job: AtomicU64::new(1),
             rr_start: AtomicUsize::new(0),
             programs: Mutex::new(HashMap::new()),
@@ -473,6 +530,7 @@ impl Served {
                 deadline,
                 attempts: 0,
                 not_before: now,
+                trace: TraceContext::new(job, now),
             });
             queue.len()
         };
@@ -515,14 +573,33 @@ impl Served {
     fn fail_job(&self, tenant: usize, job: &PendingJob, reason: FailReason, now: SimTime) {
         self.metrics.tenant(tenant).failed.inc();
         self.metrics.tenant(tenant).depth.set(self.tenants[tenant].depth() as f64);
+        let epoch = self.ctx.current_epoch();
+        let name = self.tenants[tenant].config.name.clone();
         self.ctx.emit_event(&SchedEvent::RetryExhausted {
-            epoch: self.ctx.current_epoch(),
-            tenant: self.tenants[tenant].config.name.clone(),
+            epoch,
+            tenant: name.clone(),
             job: job.id,
             attempts: u64::from(job.attempts),
             reason: reason.to_string(),
             at: now,
         });
+        let outcome = match &reason {
+            FailReason::DeadlineExceeded => "deadline_exceeded",
+            FailReason::RetryExhausted { .. } => "retry_exhausted",
+            FailReason::NoHealthyDevices => "no_healthy_devices",
+        };
+        // Callers record the terminal (pseudo-)attempt on the trace before
+        // failing the job, so the span store covers [submitted_at, now].
+        self.ctx.emit_event(&SchedEvent::JobTrace {
+            epoch,
+            tenant: name,
+            job: job.id,
+            submitted_at: job.submitted_at,
+            completed_at: job.trace.last_end(),
+            outcome: outcome.into(),
+            attempts: job.trace.attempts.clone(),
+        });
+        self.note_outcome(tenant, now, true);
         self.outcomes.lock().push(JobOutcome {
             id: job.id,
             tenant,
@@ -531,6 +608,25 @@ impl Served {
             latency: now.saturating_since(job.submitted_at),
             result: JobResult::Failed(reason),
         });
+    }
+
+    /// Feed one terminal outcome into the SLO tracker and emit any alert
+    /// transitions it causes. `bad` counts against the tenant's error
+    /// budget (failures, and completions slower than the latency target).
+    fn note_outcome(&self, tenant: usize, at: SimTime, bad: bool) {
+        let Some(slo) = &self.slo else { return };
+        let transitions = {
+            let mut tracker = slo.lock();
+            tracker.record(tenant, at, bad);
+            tracker.evaluate(tenant, at)
+        };
+        let epoch = self.ctx.current_epoch();
+        for t in transitions {
+            if t.fired {
+                self.metrics.tenant(tenant).slo_alerts.inc();
+            }
+            self.ctx.emit_event(&t.to_event(epoch, self.tenants[tenant].config.name.clone(), at));
+        }
     }
 
     /// Weighted-round-robin selection of up to `worker_count` jobs: sweep
@@ -598,11 +694,13 @@ impl Served {
         let healthy = self.ctx.healthy_devices().len();
         let mut terminal = 0usize;
         let mut live: Vec<(usize, PendingJob)> = Vec::with_capacity(picks.len());
-        for (tenant, job) in picks {
+        for (tenant, mut job) in picks {
             if healthy == 0 {
+                job.trace.record_undispatched(self.ctx.current_epoch(), job.not_before, now);
                 self.fail_job(tenant, &job, FailReason::NoHealthyDevices, now);
                 terminal += 1;
             } else if job.deadline.is_some_and(|d| d < now) {
+                job.trace.record_undispatched(self.ctx.current_epoch(), job.not_before, now);
                 self.fail_job(tenant, &job, FailReason::DeadlineExceeded, now);
                 terminal += 1;
             } else {
@@ -617,41 +715,87 @@ impl Served {
         // records mid-run.
         let trace_offset = self.platform.with_engine(|e| e.trace().total_pushed());
         let failure_offset = self.platform.with_engine(|e| e.failure_count());
+        let window_mark = self.tap.window_count();
         let epoch = self.ctx.current_epoch();
+        let mut dispatch_times: Vec<SimTime> = Vec::with_capacity(live.len());
         for (slot, (tenant, job)) in live.iter().enumerate() {
             let worker = &self.workers[slot];
             self.metrics.tenant(*tenant).depth.set(self.tenants[*tenant].depth() as f64);
             self.metrics.tenant(*tenant).dispatched.inc();
+            let dispatched_at = self.platform.now();
+            dispatch_times.push(dispatched_at);
             self.ctx.emit_event(&SchedEvent::JobDispatched {
                 epoch,
                 tenant: self.tenants[*tenant].config.name.clone(),
                 job: job.id,
                 queue: worker.id(),
-                at: self.platform.now(),
+                at: dispatched_at,
             });
             self.issue_job(worker, &job.spec, job.id).expect("validated spec issues cleanly");
         }
         // One synchronization epoch: the scheduler maps the combined pool.
         self.ctx.finish_all();
-        // Attribute completion times: every trace record issued this round
-        // on a worker's queue belongs to the single job dispatched there.
-        // Injected failures are attributed the same way, via the engine's
-        // failure ledger (`FailureRecord.queue` is the clrt trace id).
+        // Attribute completion times and span slices: every trace record
+        // issued this round on a worker's queue belongs to the single job
+        // dispatched there. Kernel records become compute slices, H2D/D2H
+        // payload transfers their own kinds, and staged device-to-device
+        // traffic — which only exists because the mapper moved the queue —
+        // is the remap segment. Injected failures are attributed the same
+        // way, via the engine's failure ledger (`FailureRecord.queue` is
+        // the clrt trace id).
         let mut worker_end: HashMap<usize, SimTime> = HashMap::new();
+        let mut worker_slices: HashMap<usize, Vec<SpanSlice>> = HashMap::new();
         self.platform.with_engine(|e| {
             for r in e.trace().records_since(trace_offset) {
                 let end = worker_end.entry(r.queue).or_insert(SimTime::ZERO);
                 *end = (*end).max(r.stamp.end);
+                let kind = match &r.kind {
+                    CommandKind::Kernel { .. } => SegmentKind::Compute,
+                    CommandKind::Transfer { kind: TransferKind::HostToDevice, .. } => {
+                        SegmentKind::H2d
+                    }
+                    CommandKind::Transfer { kind: TransferKind::DeviceToHost, .. } => {
+                        SegmentKind::D2h
+                    }
+                    CommandKind::Transfer { kind: TransferKind::DeviceToDevice, .. } => {
+                        SegmentKind::Remap
+                    }
+                    CommandKind::Marker => continue,
+                };
+                worker_slices.entry(r.queue).or_default().push(SpanSlice {
+                    kind,
+                    start: r.stamp.start,
+                    end: r.stamp.end,
+                });
             }
         });
+        for slices in worker_slices.values_mut() {
+            slices.sort_by_key(|s| (s.start, s.end));
+        }
+        let profiling = self.tap.windows_since(window_mark);
         let failed_queues: HashMap<usize, hwsim::FaultKind> = self.platform.with_engine(|e| {
             e.failures()[failure_offset..].iter().map(|f| (f.queue, f.kind)).collect()
         });
         let now = self.platform.now();
         let completed_epoch = self.ctx.current_epoch();
-        for (slot, (tenant, job)) in live.into_iter().enumerate() {
-            if let Some(kind) = failed_queues.get(&self.workers[slot].trace_id()) {
+        let no_slices: Vec<SpanSlice> = Vec::new();
+        for (slot, (tenant, mut job)) in live.into_iter().enumerate() {
+            let worker = &self.workers[slot];
+            let slices = worker_slices.get(&worker.trace_id()).unwrap_or(&no_slices);
+            let device = Some(worker.device().index() as u64);
+            if let Some(kind) = failed_queues.get(&worker.trace_id()) {
                 let attempts = job.attempts + 1;
+                // The faulted attempt's window runs to the round's end.
+                job.trace.record_attempt(
+                    worker.id() as u64,
+                    device,
+                    completed_epoch,
+                    job.not_before,
+                    dispatch_times[slot],
+                    now,
+                    slices,
+                    &profiling,
+                );
                 if job.deadline.is_some_and(|d| d < now) {
                     self.fail_job(
                         tenant,
@@ -686,18 +830,43 @@ impl Served {
                 }
                 continue;
             }
-            let completed_at =
-                worker_end.get(&self.workers[slot].trace_id()).copied().unwrap_or(now);
+            let completed_at = worker_end.get(&worker.trace_id()).copied().unwrap_or(now);
+            job.trace.record_attempt(
+                worker.id() as u64,
+                device,
+                completed_epoch,
+                job.not_before,
+                dispatch_times[slot],
+                completed_at,
+                slices,
+                &profiling,
+            );
+            // The trace clamps against non-monotone inputs; read the
+            // completion instant back so latency and segments agree exactly.
+            let completed_at = job.trace.last_end();
             let latency = completed_at.saturating_since(job.submitted_at);
             self.metrics.tenant(tenant).completed.inc();
             self.metrics.record_latency(tenant, latency);
+            let name = self.tenants[tenant].config.name.clone();
             self.ctx.emit_event(&SchedEvent::JobCompleted {
                 epoch: completed_epoch,
-                tenant: self.tenants[tenant].config.name.clone(),
+                tenant: name.clone(),
                 job: job.id,
                 latency,
                 at: completed_at,
             });
+            self.ctx.emit_event(&SchedEvent::JobTrace {
+                epoch: completed_epoch,
+                tenant: name,
+                job: job.id,
+                submitted_at: job.submitted_at,
+                completed_at,
+                outcome: "completed".into(),
+                attempts: job.trace.attempts.clone(),
+            });
+            let over_target =
+                self.slo.as_ref().is_some_and(|slo| slo.lock().is_bad_latency(latency));
+            self.note_outcome(tenant, now, over_target);
             self.outcomes.lock().push(JobOutcome {
                 id: job.id,
                 tenant,

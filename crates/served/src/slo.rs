@@ -1,0 +1,284 @@
+//! Per-tenant latency SLOs with multi-window burn-rate alerting.
+//!
+//! A tenant's SLO says: at least `objective` of its jobs should finish —
+//! successfully — within `latency_target`. Every terminal outcome is a
+//! good or bad event; the *burn rate* over a trailing window is the
+//! observed bad fraction divided by the error budget `1 − objective`
+//! (burn 1.0 = exactly consuming budget at the sustainable rate).
+//!
+//! Alerting follows the standard multi-window pattern: an alert fires only
+//! when **both** a long window and a short window exceed the threshold —
+//! the long window gives significance, the short one proves the burn is
+//! still happening (so alerts clear promptly once the problem stops).
+//! State *transitions* are emitted as [`SchedEvent::SloBurn`] events
+//! (`fired` marks the direction), so a JSONL trace carries the alert
+//! timeline without per-round spam.
+//!
+//! Everything is virtual-time arithmetic over recorded outcomes — same
+//! seed, bit-identical alert timeline.
+
+use multicl::telemetry::SchedEvent;
+use std::collections::VecDeque;
+
+use hwsim::{SimDuration, SimTime};
+
+/// One alerting rule: a long significance window, a short recency window,
+/// and the burn-rate threshold both must exceed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BurnWindow {
+    /// Long (significance) window.
+    pub long: SimDuration,
+    /// Short (recency) window.
+    pub short: SimDuration,
+    /// Burn-rate threshold (1.0 = budget consumed exactly on schedule).
+    pub threshold: f64,
+}
+
+/// A tenant latency SLO plus its alerting rules.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloConfig {
+    /// A job is *good* iff it completes successfully within this latency.
+    pub latency_target: SimDuration,
+    /// Target good fraction (e.g. `0.95`); the error budget is
+    /// `1 − objective`.
+    pub objective: f64,
+    /// Alerting rules, evaluated independently per tenant.
+    pub windows: Vec<BurnWindow>,
+}
+
+impl Default for SloConfig {
+    /// A serving-scale default: 95% of jobs within 50 virtual ms, with a
+    /// fast-burn rule (short windows, high threshold) and a slow-burn rule
+    /// (long windows, low threshold) — the classic paired-alert setup.
+    fn default() -> SloConfig {
+        SloConfig {
+            latency_target: SimDuration::from_millis(50),
+            objective: 0.95,
+            windows: vec![
+                BurnWindow {
+                    long: SimDuration::from_millis(500),
+                    short: SimDuration::from_millis(50),
+                    threshold: 10.0,
+                },
+                BurnWindow {
+                    long: SimDuration::from_millis(2_000),
+                    short: SimDuration::from_millis(250),
+                    threshold: 2.0,
+                },
+            ],
+        }
+    }
+}
+
+impl SloConfig {
+    /// Error budget `1 − objective`, floored away from zero so the burn
+    /// ratio stays finite for degenerate objectives.
+    fn budget(&self) -> f64 {
+        (1.0 - self.objective).max(1e-9)
+    }
+}
+
+/// A fired/cleared transition produced by [`SloTracker::evaluate`], ready
+/// to be wrapped in a [`SchedEvent::SloBurn`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct BurnTransition {
+    /// Tenant index the transition belongs to.
+    pub tenant: usize,
+    /// The rule that transitioned.
+    pub window: BurnWindow,
+    /// Burn rate over the long window at evaluation time.
+    pub long_burn: f64,
+    /// Burn rate over the short window at evaluation time.
+    pub short_burn: f64,
+    /// New state: `true` = alert now firing, `false` = cleared.
+    pub fired: bool,
+}
+
+impl BurnTransition {
+    /// The telemetry event for this transition.
+    pub fn to_event(&self, epoch: u64, tenant: String, at: SimTime) -> SchedEvent {
+        SchedEvent::SloBurn {
+            epoch,
+            tenant,
+            at,
+            long_window: self.window.long,
+            short_window: self.window.short,
+            long_burn: self.long_burn,
+            short_burn: self.short_burn,
+            threshold: self.window.threshold,
+            fired: self.fired,
+        }
+    }
+}
+
+/// Per-tenant outcome history and alert state.
+pub struct SloTracker {
+    config: SloConfig,
+    /// `(at, bad)` terminal outcomes per tenant, oldest first, pruned past
+    /// the longest configured window.
+    history: Vec<VecDeque<(SimTime, bool)>>,
+    /// Current firing state per `(tenant, rule)`.
+    fired: Vec<Vec<bool>>,
+}
+
+impl SloTracker {
+    /// A tracker for `tenants` tenants under `config`.
+    pub fn new(config: SloConfig, tenants: usize) -> SloTracker {
+        let rules = config.windows.len();
+        SloTracker {
+            config,
+            history: (0..tenants).map(|_| VecDeque::new()).collect(),
+            fired: (0..tenants).map(|_| vec![false; rules]).collect(),
+        }
+    }
+
+    /// The configured SLO.
+    pub fn config(&self) -> &SloConfig {
+        &self.config
+    }
+
+    /// Whether a completed job with `latency` counts against the budget.
+    pub fn is_bad_latency(&self, latency: SimDuration) -> bool {
+        latency > self.config.latency_target
+    }
+
+    /// Record one terminal outcome (`bad` = failed, or completed over
+    /// target) for `tenant` at virtual time `at`.
+    pub fn record(&mut self, tenant: usize, at: SimTime, bad: bool) {
+        let history = &mut self.history[tenant];
+        history.push_back((at, bad));
+        let horizon = self
+            .config
+            .windows
+            .iter()
+            .map(|w| w.long.max(w.short))
+            .max()
+            .unwrap_or(SimDuration::ZERO);
+        let cutoff = at.as_nanos().saturating_sub(horizon.as_nanos());
+        while history.front().is_some_and(|&(t, _)| t.as_nanos() < cutoff) {
+            history.pop_front();
+        }
+    }
+
+    /// Burn rate of `tenant` over the trailing `window` ending at `now`:
+    /// bad fraction over the error budget; `0.0` with no samples.
+    pub fn burn_rate(&self, tenant: usize, now: SimTime, window: SimDuration) -> f64 {
+        let from = now.as_nanos().saturating_sub(window.as_nanos());
+        let mut total = 0u64;
+        let mut bad = 0u64;
+        for &(t, is_bad) in &self.history[tenant] {
+            if t.as_nanos() >= from {
+                total += 1;
+                bad += u64::from(is_bad);
+            }
+        }
+        if total == 0 {
+            return 0.0;
+        }
+        (bad as f64 / total as f64) / self.config.budget()
+    }
+
+    /// Re-evaluate every rule for `tenant` at `now`; returns the state
+    /// transitions (empty when nothing changed).
+    pub fn evaluate(&mut self, tenant: usize, now: SimTime) -> Vec<BurnTransition> {
+        let mut transitions = Vec::new();
+        for (i, &window) in self.config.windows.clone().iter().enumerate() {
+            let long_burn = self.burn_rate(tenant, now, window.long);
+            let short_burn = self.burn_rate(tenant, now, window.short);
+            let firing = long_burn >= window.threshold && short_burn >= window.threshold;
+            if firing != self.fired[tenant][i] {
+                self.fired[tenant][i] = firing;
+                transitions.push(BurnTransition {
+                    tenant,
+                    window,
+                    long_burn,
+                    short_burn,
+                    fired: firing,
+                });
+            }
+        }
+        transitions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> SimDuration {
+        SimDuration::from_millis(v)
+    }
+
+    fn at(v: u64) -> SimTime {
+        SimTime::from_nanos(v * 1_000_000)
+    }
+
+    fn config() -> SloConfig {
+        SloConfig {
+            latency_target: ms(10),
+            objective: 0.9, // budget 0.1
+            windows: vec![BurnWindow { long: ms(100), short: ms(20), threshold: 2.0 }],
+        }
+    }
+
+    #[test]
+    fn burn_rate_is_bad_fraction_over_budget() {
+        let mut t = SloTracker::new(config(), 1);
+        t.record(0, at(1), false);
+        t.record(0, at(2), false);
+        t.record(0, at(3), true);
+        t.record(0, at(4), true);
+        // 2 bad of 4 → 0.5 / 0.1 budget = 5x.
+        assert!((t.burn_rate(0, at(4), ms(100)) - 5.0).abs() < 1e-12);
+        // Zero-width window sees only t=4 (bad): 1.0 / 0.1 budget = 10x.
+        assert!((t.burn_rate(0, at(4), SimDuration::ZERO) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn alert_fires_only_when_both_windows_burn_and_clears_after() {
+        let mut t = SloTracker::new(config(), 1);
+        // Old burst of bad outcomes: long window sees them, short not.
+        for i in 1..=4 {
+            t.record(0, at(i), true);
+        }
+        // 30ms later the short window is clean — no alert.
+        for i in 0..4 {
+            t.record(0, at(34 + i), false);
+        }
+        assert!(t.evaluate(0, at(37)).is_empty());
+        // A fresh burst lights up both windows → one fired transition.
+        for i in 0..3 {
+            t.record(0, at(40 + i), true);
+        }
+        let fired = t.evaluate(0, at(42));
+        assert_eq!(fired.len(), 1);
+        assert!(fired[0].fired);
+        assert!(fired[0].long_burn >= 2.0 && fired[0].short_burn >= 2.0);
+        // Re-evaluating without change emits nothing (transitions only).
+        assert!(t.evaluate(0, at(42)).is_empty());
+        // Much later the windows drain and the alert clears.
+        t.record(0, at(400), false);
+        let cleared = t.evaluate(0, at(400));
+        assert_eq!(cleared.len(), 1);
+        assert!(!cleared[0].fired);
+    }
+
+    #[test]
+    fn history_is_pruned_past_the_longest_window() {
+        let mut t = SloTracker::new(config(), 1);
+        for i in 0..50 {
+            t.record(0, at(i * 10), i % 2 == 0);
+        }
+        assert!(t.history[0].len() < 50, "pruned to the 100ms horizon");
+        // Burn over the long window only sees retained samples.
+        assert!(t.burn_rate(0, at(490), ms(100)) > 0.0);
+    }
+
+    #[test]
+    fn default_config_is_a_paired_alert() {
+        let c = SloConfig::default();
+        assert_eq!(c.windows.len(), 2);
+        assert!(c.windows[0].threshold > c.windows[1].threshold);
+        assert!(c.objective > 0.0 && c.objective < 1.0);
+    }
+}

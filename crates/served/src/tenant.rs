@@ -9,6 +9,7 @@
 use crate::spec::{JobSpec, SpecError};
 use hwsim::sync::Mutex;
 use hwsim::SimTime;
+use multicl::telemetry::TraceContext;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -74,6 +75,9 @@ pub(crate) struct PendingJob {
     pub attempts: u32,
     /// Earliest virtual time the job may be (re)dispatched — retry backoff.
     pub not_before: SimTime,
+    /// Causal span store minted at admission; every dispatch attempt adds
+    /// its critical-path segment decomposition here.
+    pub trace: TraceContext,
 }
 
 /// Runtime state of one tenant.

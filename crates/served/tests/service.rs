@@ -29,6 +29,7 @@ fn small_service(tag: &str, workers: usize, tenants: Vec<TenantConfig>) -> Serve
             tenants,
             options,
             retry: served::RetryPolicy::default(),
+            slo: Some(served::SloConfig::default()),
         },
     )
     .expect("service builds")
@@ -288,6 +289,7 @@ fn device_loss_mid_run_recovers_without_panics() {
             tenants: vec![TenantConfig::new("a", 1, 64)],
             options,
             retry: served::RetryPolicy::default(),
+            slo: Some(served::SloConfig::default()),
         },
     )
     .expect("service builds");
@@ -399,6 +401,63 @@ fn transient_faults_retry_with_backoff_and_stay_deterministic() {
     assert!(sum(|m| m.retried.get()) > 0, "a 40% transfer-failure rate must trigger retries");
     assert!(completed > 0, "goodput stays above zero under transient faults");
     assert_eq!(admitted, completed + failed, "every admitted job reached a terminal outcome");
+}
+
+#[test]
+fn segment_sums_equal_latency_exactly_across_random_runs() {
+    use multicl::telemetry::{RingBufferSink, SchedEvent};
+
+    // Property: for every terminal job of every run — random seed, worker
+    // count, offered rate, and fault plan — the critical-path segments of
+    // its attempts sum *exactly* (nanosecond-equal) to the observed
+    // end-to-end latency, and every terminal job has a JobTrace.
+    let mut rng = hwsim::xrand::XorShift::new(0xD15C0);
+    for trial in 0..6u64 {
+        let seed = rng.next_u64();
+        let workers = 1 + rng.index(4);
+        let rate_hz = rng.range_f64(500.0, 8_000.0);
+        let fault_rate = if trial % 2 == 1 { 0.3 } else { 0.0 };
+        let cfg = LoadgenConfig {
+            seed,
+            tenants: 3,
+            jobs: 14,
+            rate_hz,
+            workers,
+            queue_capacity: 6,
+            runtime: RuntimeConfig {
+                fault_plan: (fault_rate > 0.0)
+                    .then(|| FaultPlan::new(seed ^ 0xbad).with_transfer_failure_rate(fault_rate)),
+                ..RuntimeConfig::default()
+            },
+            ..LoadgenConfig::default()
+        };
+        let recorder = Arc::new(RingBufferSink::new(1 << 15));
+        let (served, _) =
+            loadgen::run_with(&cfg, &scratch_dir("prop"), vec![recorder.clone()]).expect("run");
+        let mut traced = 0u64;
+        for e in recorder.snapshot().iter() {
+            let SchedEvent::JobTrace { job, submitted_at, completed_at, attempts, .. } = e else {
+                continue;
+            };
+            traced += 1;
+            let latency = completed_at.saturating_since(*submitted_at);
+            let sum: SimDuration = attempts.iter().map(|a| a.segments.total()).sum();
+            assert_eq!(
+                sum, latency,
+                "trial {trial} (seed {seed}, {workers} workers, fault {fault_rate}): job {job} \
+                 segments {sum} != latency {latency}"
+            );
+            assert!(!attempts.is_empty(), "trial {trial}: job {job} has no attempts");
+        }
+        let terminal: u64 = (0..3)
+            .map(|i| {
+                let m = served.metrics().tenant(i);
+                m.completed.get() + m.failed.get()
+            })
+            .sum();
+        assert_eq!(traced, terminal, "trial {trial}: every terminal job carries a JobTrace");
+        assert!(traced > 0, "trial {trial}: nothing reached a terminal outcome");
+    }
 }
 
 #[test]
