@@ -27,11 +27,10 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("--replay") {
         let path = args.get(1).expect("--replay needs a JSONL path");
-        let text =
-            std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
         // Lenient decode: a stream written by a newer build (unknown event
         // types) still replays — skipped lines are counted, not fatal.
-        let (events, events_skipped) = sink::parse_jsonl_lenient(&text);
+        let (events, events_skipped) =
+            sink::read_jsonl_lenient(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
         println!("replaying {} event(s) from {path}", events.len());
         if events_skipped > 0 {
             println!("(events_skipped: {events_skipped} unknown/malformed line(s))");

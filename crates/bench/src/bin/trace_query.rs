@@ -25,8 +25,8 @@ fn main() {
     let top_k = flag(&args, "--top").unwrap_or(10) as usize;
     let width = flag(&args, "--width").unwrap_or(60) as usize;
 
-    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
-    let (events, events_skipped) = sink::parse_jsonl_lenient(&text);
+    let (events, events_skipped) =
+        sink::read_jsonl_lenient(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
     println!("{path}: {} event(s), events_skipped: {events_skipped}", events.len());
 
     println!("\n=== job waterfalls ===");

@@ -2,6 +2,7 @@
 
 pub mod ablation;
 pub mod capacity;
+pub mod cluster;
 pub mod common;
 pub mod dataplane;
 pub mod faults;

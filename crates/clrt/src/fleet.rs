@@ -1,0 +1,142 @@
+//! The simulated fleet: one [`Platform`] (devices + engine + data plane)
+//! per node of a [`ClusterConfig`], joined by the cluster's interconnect.
+//!
+//! Each node keeps its *own* discrete-event engine and virtual clock —
+//! exactly the shape a sharded serving tier needs: node-local schedulers
+//! make node-local decisions against node-local time, and only explicit
+//! cross-node actions (tenant migrations, state transfers) touch the
+//! network. The fleet prices those actions in virtual time via
+//! [`Fleet::charge_transfer`], charging both endpoints' clocks the
+//! interconnect cost, so cross-node movement is never free the way a
+//! naive multi-platform setup would make it.
+
+use crate::platform::{Platform, RuntimeConfig};
+use hwsim::{ClusterConfig, InterconnectSpec, SimDuration, SimTime};
+
+/// A fleet of independent platforms built from one [`ClusterConfig`].
+pub struct Fleet {
+    config: ClusterConfig,
+    nodes: Vec<Platform>,
+}
+
+impl Fleet {
+    /// Build the fleet with default runtime options on every node.
+    pub fn new(config: ClusterConfig) -> Fleet {
+        let n = config.node_count();
+        Fleet::with_configs(config, vec![RuntimeConfig::default(); n])
+    }
+
+    /// Build the fleet with per-node runtime options (fault plans, worker
+    /// counts, trace bounds). `runtime_configs` must have one entry per
+    /// node; missing entries fall back to defaults.
+    pub fn with_configs(config: ClusterConfig, mut runtime_configs: Vec<RuntimeConfig>) -> Fleet {
+        runtime_configs.resize(config.node_count(), RuntimeConfig::default());
+        let nodes = config
+            .nodes
+            .iter()
+            .zip(runtime_configs)
+            .map(|(node, rt)| Platform::with_config(node.clone(), rt))
+            .collect();
+        Fleet { config, nodes }
+    }
+
+    /// The fleet description.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// The inter-node network model.
+    pub fn interconnect(&self) -> &InterconnectSpec {
+        &self.config.interconnect
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The platform of node `i`.
+    pub fn node(&self, i: usize) -> &Platform {
+        &self.nodes[i]
+    }
+
+    /// All node platforms, node order.
+    pub fn nodes(&self) -> &[Platform] {
+        &self.nodes
+    }
+
+    /// The fleet time frontier: the latest virtual clock across nodes.
+    /// Node clocks advance independently; fleet-level reports use the
+    /// frontier as "cluster now".
+    pub fn max_now(&self) -> SimTime {
+        self.nodes.iter().map(Platform::now).max().unwrap_or(SimTime::ZERO)
+    }
+
+    /// Price a `bytes`-sized transfer from node `src` to node `dst` and
+    /// charge it to *both* endpoints' virtual clocks (send side and
+    /// receive side are each busy for the transfer). Same-node transfers
+    /// are free at this layer — intra-node movement is the engines'
+    /// business. Returns the charged duration.
+    pub fn charge_transfer(&self, src: usize, dst: usize, bytes: u64) -> SimDuration {
+        if src == dst {
+            return SimDuration::ZERO;
+        }
+        let cost = self.config.interconnect.transfer_time(bytes);
+        for node in [src, dst] {
+            self.nodes[node].with_engine(|e| e.host_busy(cost));
+        }
+        cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hwsim::NodeConfig;
+
+    #[test]
+    fn fleet_builds_one_platform_per_node() {
+        let fleet = Fleet::new(ClusterConfig::paper_cluster(3));
+        assert_eq!(fleet.node_count(), 3);
+        for node in fleet.nodes() {
+            assert_eq!(node.devices().len(), 3);
+        }
+        // Nodes are independent runtimes, not clones of one.
+        assert!(!fleet.node(0).same_runtime(fleet.node(1)));
+        assert_eq!(fleet.max_now(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn charge_transfer_advances_both_endpoint_clocks() {
+        let fleet = Fleet::new(ClusterConfig::paper_cluster(3));
+        let bytes = 8 << 20;
+        let cost = fleet.charge_transfer(0, 2, bytes);
+        assert_eq!(cost, fleet.interconnect().transfer_time(bytes));
+        assert_eq!(fleet.node(0).now(), SimTime::ZERO + cost);
+        assert_eq!(fleet.node(2).now(), SimTime::ZERO + cost);
+        // The bystander node is untouched.
+        assert_eq!(fleet.node(1).now(), SimTime::ZERO);
+        assert_eq!(fleet.max_now(), SimTime::ZERO + cost);
+    }
+
+    #[test]
+    fn same_node_transfer_is_free_here() {
+        let fleet = Fleet::new(ClusterConfig::paper_cluster(2));
+        assert_eq!(fleet.charge_transfer(1, 1, 1 << 30), SimDuration::ZERO);
+        assert_eq!(fleet.node(1).now(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn with_configs_pads_missing_runtime_entries() {
+        let fleet = Fleet::with_configs(
+            ClusterConfig::uniform(
+                NodeConfig::paper_node(),
+                2,
+                hwsim::InterconnectSpec::ethernet_10g(),
+            ),
+            vec![RuntimeConfig { data_plane_workers: 1, ..RuntimeConfig::default() }],
+        );
+        assert_eq!(fleet.node_count(), 2);
+        assert_eq!(fleet.node(0).data_plane_workers(), 1);
+    }
+}

@@ -1177,7 +1177,16 @@ impl RtInner {
         let kernel_rows = self.platform.with_engine(|engine| {
             let prev_tag = engine.tag().map(str::to_owned);
             engine.set_tag(Some(PROFILING_TAG));
+            // Seed an all-zero row per kernel up front so every profiled
+            // name has an entry even if *no* device is probe-able (all
+            // lost): zero rows are the established "unmeasured" sentinel
+            // the epoch blacklist overwrites before mapping sees them.
             let mut kernel_rows: HashMap<String, Vec<SimDuration>> = HashMap::new();
+            for p in pending {
+                kernel_rows
+                    .entry(p.kernel.name())
+                    .or_insert_with(|| vec![SimDuration::ZERO; devices.len()]);
+            }
             for (di, &dev) in devices.iter().enumerate() {
                 // Don't stage data to (or probe) a lost device: its row
                 // stays zero, which the epoch blacklist overwrites with the

@@ -36,6 +36,12 @@
 //!   compute / remap segments that sum to the observed latency exactly.
 //!   [`SchedEvent::JobTrace`], [`SchedEvent::MakespanAttribution`], and
 //!   [`SchedEvent::SloBurn`] carry the results on the event stream.
+//!
+//! The cluster layer (`served::cluster`) reuses the same stream:
+//! [`SchedEvent::ShardDegraded`] and [`SchedEvent::TenantMigrated`] record
+//! routing-ring changes and cross-shard tenant moves, and
+//! [`perfetto::chrome_trace_cluster`] composes every shard's export into
+//! one fleet timeline with a process group per node.
 
 pub mod event;
 pub mod perfetto;

@@ -284,6 +284,44 @@ pub enum SchedEvent {
         /// Executed critical path: latest command end minus flush start.
         actual: SimDuration,
     },
+    /// A serving shard's node fell below the healthy-device threshold and
+    /// the routing tier took it out of the consistent-hash ring. Emitted
+    /// once per degradation by the cluster layer, through the degraded
+    /// shard's own context; `at` is that shard's local virtual time.
+    ShardDegraded {
+        /// Scheduling epoch of the degraded shard's context at detection.
+        epoch: u64,
+        /// Fleet-wide shard (= node) index.
+        shard: usize,
+        /// Healthy devices remaining on the shard's node.
+        healthy: usize,
+        /// Total devices of the shard's node.
+        total: usize,
+        /// Shard-local virtual time of the detection.
+        at: SimTime,
+    },
+    /// The routing tier moved a tenant off a degraded shard: future
+    /// submissions re-route to the destination, the tenant's evicted
+    /// backlog is re-admitted there, and the tenant's state transfer is
+    /// charged to both endpoints at interconnect cost.
+    TenantMigrated {
+        /// Scheduling epoch of the *destination* shard's context.
+        epoch: u64,
+        /// Tenant name.
+        tenant: String,
+        /// The degraded shard the tenant left.
+        from_shard: usize,
+        /// The healthy shard now owning the tenant.
+        to_shard: usize,
+        /// Backlog jobs evicted from the source and re-submitted.
+        jobs: u64,
+        /// Tenant state bytes moved across the interconnect.
+        bytes: u64,
+        /// Virtual time the interconnect charged for the move.
+        transfer: SimDuration,
+        /// Destination-shard virtual time of the migration.
+        at: SimTime,
+    },
     /// A tenant's SLO burn rate crossed (or recovered from) an alert
     /// threshold on one multi-window rule. Emitted on transitions only.
     SloBurn {
@@ -330,6 +368,8 @@ impl SchedEvent {
             | SchedEvent::RetryExhausted { epoch, .. }
             | SchedEvent::JobTrace { epoch, .. }
             | SchedEvent::MakespanAttribution { epoch, .. }
+            | SchedEvent::ShardDegraded { epoch, .. }
+            | SchedEvent::TenantMigrated { epoch, .. }
             | SchedEvent::SloBurn { epoch, .. } => epoch,
         }
     }
@@ -354,6 +394,8 @@ impl SchedEvent {
             SchedEvent::RetryExhausted { .. } => "retry_exhausted",
             SchedEvent::JobTrace { .. } => "job_trace",
             SchedEvent::MakespanAttribution { .. } => "makespan_attribution",
+            SchedEvent::ShardDegraded { .. } => "shard_degraded",
+            SchedEvent::TenantMigrated { .. } => "tenant_migrated",
             SchedEvent::SloBurn { .. } => "slo_burn",
         }
     }
@@ -537,6 +579,34 @@ impl SchedEvent {
                     ("actual_ns", Json::from(actual.as_nanos())),
                 ])
             }
+            SchedEvent::ShardDegraded { epoch, shard, healthy, total, at } => Json::obj([
+                ("type", Json::from(self.kind())),
+                ("epoch", Json::from(*epoch)),
+                ("shard", Json::from(*shard)),
+                ("healthy", Json::from(*healthy)),
+                ("total", Json::from(*total)),
+                ("at_ns", Json::from(at.as_nanos())),
+            ]),
+            SchedEvent::TenantMigrated {
+                epoch,
+                tenant,
+                from_shard,
+                to_shard,
+                jobs,
+                bytes,
+                transfer,
+                at,
+            } => Json::obj([
+                ("type", Json::from(self.kind())),
+                ("epoch", Json::from(*epoch)),
+                ("tenant", Json::from(tenant.as_str())),
+                ("from_shard", Json::from(*from_shard)),
+                ("to_shard", Json::from(*to_shard)),
+                ("jobs", Json::from(*jobs)),
+                ("bytes", Json::from(*bytes)),
+                ("transfer_ns", Json::from(transfer.as_nanos())),
+                ("at_ns", Json::from(at.as_nanos())),
+            ]),
             SchedEvent::SloBurn {
                 epoch,
                 tenant,
@@ -719,6 +789,23 @@ impl SchedEvent {
                 predicted: dur("predicted_ns")?,
                 actual: dur("actual_ns")?,
             },
+            "shard_degraded" => SchedEvent::ShardDegraded {
+                epoch,
+                shard: value.get("shard")?.as_u64()? as usize,
+                healthy: value.get("healthy")?.as_u64()? as usize,
+                total: value.get("total")?.as_u64()? as usize,
+                at: time("at_ns")?,
+            },
+            "tenant_migrated" => SchedEvent::TenantMigrated {
+                epoch,
+                tenant: value.get("tenant")?.as_str()?.to_string(),
+                from_shard: value.get("from_shard")?.as_u64()? as usize,
+                to_shard: value.get("to_shard")?.as_u64()? as usize,
+                jobs: value.get("jobs").and_then(Json::as_u64).unwrap_or(0),
+                bytes: value.get("bytes").and_then(Json::as_u64).unwrap_or(0),
+                transfer: dur("transfer_ns").unwrap_or(SimDuration::ZERO),
+                at: time("at_ns")?,
+            },
             "slo_burn" => SchedEvent::SloBurn {
                 epoch,
                 tenant: value.get("tenant")?.as_str()?.to_string(),
@@ -885,6 +972,23 @@ pub(crate) fn sample_events() -> Vec<SchedEvent> {
             predicted: ns(10_000),
             actual: ns(11_500),
         },
+        SchedEvent::ShardDegraded {
+            epoch: 6,
+            shard: 2,
+            healthy: 1,
+            total: 3,
+            at: SimTime::from_nanos(40_000),
+        },
+        SchedEvent::TenantMigrated {
+            epoch: 7,
+            tenant: "t \"migrant\"\n".into(),
+            from_shard: 2,
+            to_shard: 0,
+            jobs: 4,
+            bytes: 64 << 20,
+            transfer: SimDuration::from_micros(21_000),
+            at: SimTime::from_nanos(40_500),
+        },
         SchedEvent::SloBurn {
             epoch: 5,
             tenant: "t \"slo\"\n".into(),
@@ -901,7 +1005,7 @@ pub(crate) fn sample_events() -> Vec<SchedEvent> {
     let mut kinds: Vec<&str> = events.iter().map(|e| e.kind()).collect();
     kinds.sort_unstable();
     kinds.dedup();
-    assert_eq!(kinds.len(), 18, "sample_events must cover every SchedEvent variant; got {kinds:?}");
+    assert_eq!(kinds.len(), 20, "sample_events must cover every SchedEvent variant; got {kinds:?}");
     events
 }
 
@@ -989,6 +1093,24 @@ mod tests {
                 assert_eq!(short_burn, 0.0);
                 assert_eq!(threshold, 0.0);
                 assert!(!fired);
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tenant_migrated_without_optional_fields_decodes_with_defaults() {
+        // A stream trimmed down to the routing decision (no backlog or
+        // transfer accounting) still replays.
+        let v = Json::parse(
+            r#"{"type":"tenant_migrated","epoch":9,"tenant":"t0",
+                "from_shard":2,"to_shard":0,"at_ns":5}"#,
+        )
+        .unwrap();
+        match SchedEvent::from_json(&v).expect("trimmed tenant_migrated decodes") {
+            SchedEvent::TenantMigrated { jobs, bytes, transfer, from_shard, to_shard, .. } => {
+                assert_eq!((jobs, bytes, transfer), (0, 0, SimDuration::ZERO));
+                assert_eq!((from_shard, to_shard), (2, 0));
             }
             other => panic!("wrong variant: {other:?}"),
         }

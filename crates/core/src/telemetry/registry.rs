@@ -515,6 +515,12 @@ pub struct SchedMetrics {
     pub job_segments: Vec<Histogram>,
     /// SLO burn-rate alerts fired (transitions to firing only).
     pub slo_alerts: Counter,
+    /// Serving shards pulled from the routing ring after degradation.
+    pub shards_degraded: Counter,
+    /// Tenants migrated off degraded shards by the routing tier.
+    pub tenants_migrated: Counter,
+    /// Tenant state bytes moved across the interconnect per migration.
+    pub migration_bytes: Histogram,
     /// Detection time (ns) of each downed device, so `Remapped` events can
     /// be turned into recovery latencies.
     down_since: Mutex<std::collections::HashMap<usize, u64>>,
@@ -608,6 +614,16 @@ impl Default for SchedMetrics {
                 })
                 .collect(),
             slo_alerts: registry.counter("multicl_slo_alerts_total", "SLO burn-rate alerts fired"),
+            shards_degraded: registry.counter(
+                "multicl_shards_degraded_total",
+                "Serving shards pulled from the routing ring after degradation",
+            ),
+            tenants_migrated: registry
+                .counter("multicl_tenants_migrated_total", "Tenants migrated off degraded shards"),
+            migration_bytes: registry.histogram(
+                "multicl_migration_bytes",
+                "Tenant state bytes moved across the interconnect per migration",
+            ),
             down_since: Mutex::new(std::collections::HashMap::new()),
             registry,
         }
@@ -696,6 +712,11 @@ impl SchedObserver for SchedMetrics {
                 if *fired {
                     self.slo_alerts.inc();
                 }
+            }
+            SchedEvent::ShardDegraded { .. } => self.shards_degraded.inc(),
+            SchedEvent::TenantMigrated { bytes, .. } => {
+                self.tenants_migrated.inc();
+                self.migration_bytes.observe(*bytes);
             }
             // Job lifecycle events are accounted per tenant by the serving
             // layer's own metrics (the `served` crate); the scheduler-level

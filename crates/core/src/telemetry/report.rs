@@ -100,6 +100,18 @@ pub fn one_line(event: &SchedEvent) -> String {
                 ms(*actual)
             )
         }
+        SchedEvent::ShardDegraded { shard, healthy, total, at, .. } => {
+            format!("shard {shard} DEGRADED at {at}: {healthy}/{total} device(s) healthy")
+        }
+        SchedEvent::TenantMigrated {
+            tenant, from_shard, to_shard, jobs, bytes, transfer, ..
+        } => {
+            format!(
+                "tenant `{tenant}` migrated shard {from_shard}→{to_shard}: \
+                 {jobs} job(s), {bytes}B state, {} transfer",
+                ms(*transfer)
+            )
+        }
         SchedEvent::SloBurn { tenant, long_burn, short_burn, threshold, fired, .. } => {
             let state = if *fired { "FIRING" } else { "cleared" };
             format!(

@@ -137,6 +137,15 @@ pub fn parse_jsonl_lenient(text: &str) -> (Vec<SchedEvent>, usize) {
     (events, skipped)
 }
 
+/// Read a JSONL event stream from a file, leniently: the file-level
+/// counterpart of [`parse_jsonl_lenient`], shared by every tool that
+/// replays recorded telemetry (`trace_query`, `schedule_explain
+/// --replay`, the cluster rollups). Returns `(events, events_skipped)`;
+/// the only error is failing to read the file itself.
+pub fn read_jsonl_lenient(path: impl AsRef<Path>) -> std::io::Result<(Vec<SchedEvent>, usize)> {
+    Ok(parse_jsonl_lenient(&std::fs::read_to_string(path)?))
+}
+
 /// Prints one human-readable line per event to stderr — the observer
 /// behind `MULTICL_DEBUG`-style tracing.
 #[derive(Debug, Default)]
@@ -249,6 +258,20 @@ mod tests {
         assert_eq!(parse_jsonl(&format!("{good}\n\n")), Some(vec![ev(1)]));
         assert_eq!(parse_jsonl("not json"), None);
         assert_eq!(parse_jsonl(r#"{"type":"nope","epoch":1}"#), None);
+    }
+
+    #[test]
+    fn read_jsonl_lenient_reads_files_and_reports_io_errors() {
+        let dir = std::env::temp_dir().join(format!("multicl_sink_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("events.jsonl");
+        let good = ev(3).to_json().dump();
+        std::fs::write(&path, format!("{good}\nnot json\n")).unwrap();
+        let (events, skipped) = read_jsonl_lenient(&path).unwrap();
+        assert_eq!(events, vec![ev(3)]);
+        assert_eq!(skipped, 1);
+        assert!(read_jsonl_lenient(dir.join("missing.jsonl")).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

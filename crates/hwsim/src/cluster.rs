@@ -1,0 +1,186 @@
+//! Multi-node fleet configurations: N simulated nodes joined by an
+//! inter-node interconnect.
+//!
+//! The paper's substrate, SnuCL, was built for *clusters*: one host
+//! process schedules command queues across the OpenCL devices of many
+//! nodes, and every cross-node data movement pays the network. This module
+//! describes such a fleet — each node is a full [`NodeConfig`] (its own
+//! sockets, GPUs, and PCIe topology) and the nodes are connected by an
+//! [`InterconnectSpec`] with calibrated latency and bandwidth, so
+//! cross-node transfers can be priced in virtual time exactly like the
+//! intra-node PCIe links in [`crate::topology`].
+//!
+//! A fleet config is pure description: the runtime layer (`clrt::Fleet`)
+//! instantiates one engine per node from it.
+
+use crate::node::NodeConfig;
+use crate::time::SimDuration;
+use crate::topology::LinkSpec;
+
+/// The inter-node network: a point-to-point link model applied to every
+/// node pair (full-bisection assumption — the fat-tree networks SnuCL-class
+/// clusters run on are provisioned for it).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InterconnectSpec {
+    /// The per-pair link (fixed latency + bandwidth-proportional term).
+    pub link: LinkSpec,
+    /// Per-message software overhead on each end (MPI/verbs stack, charged
+    /// once per transfer on top of the wire time).
+    pub host_overhead: SimDuration,
+}
+
+impl InterconnectSpec {
+    /// QDR InfiniBand, the network of the CLUSTER'15 era testbeds SnuCL
+    /// targeted: ~3.2 GB/s effective per direction, ~2 µs port-to-port
+    /// latency, ~3 µs verbs/MPI overhead per message end-to-end.
+    pub fn infiniband_qdr() -> InterconnectSpec {
+        InterconnectSpec { link: LinkSpec::new(2, 3.2), host_overhead: SimDuration::from_micros(3) }
+    }
+
+    /// 10-gigabit Ethernet: ~1.1 GB/s effective, tens of microseconds of
+    /// latency once the kernel network stack is involved.
+    pub fn ethernet_10g() -> InterconnectSpec {
+        InterconnectSpec {
+            link: LinkSpec::new(30, 1.1),
+            host_overhead: SimDuration::from_micros(20),
+        }
+    }
+
+    /// Time to move `bytes` between two distinct nodes: software overhead
+    /// plus the link's latency + wire time.
+    pub fn transfer_time(&self, bytes: u64) -> SimDuration {
+        self.host_overhead + self.link.transfer_time(bytes)
+    }
+
+    /// Effective bandwidth (GB/s) achieved for a transfer of `bytes` —
+    /// overhead-bound for small messages, approaching the link's asymptotic
+    /// bandwidth for large ones.
+    pub fn effective_bandwidth_gbs(&self, bytes: u64) -> f64 {
+        let t = self.transfer_time(bytes).as_secs_f64();
+        if t <= 0.0 {
+            self.link.bandwidth_gbs
+        } else {
+            bytes as f64 / t / 1e9
+        }
+    }
+}
+
+/// A complete fleet: the node list plus the interconnect joining them.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Human-readable fleet name (keys aggregated telemetry and caches).
+    pub name: String,
+    /// The nodes, indexed by node id (= shard id one layer up).
+    pub nodes: Vec<NodeConfig>,
+    /// The inter-node network.
+    pub interconnect: InterconnectSpec,
+}
+
+impl ClusterConfig {
+    /// A homogeneous fleet: `n` copies of `node` joined by `interconnect`.
+    pub fn uniform(node: NodeConfig, n: usize, interconnect: InterconnectSpec) -> ClusterConfig {
+        let n = n.max(1);
+        ClusterConfig { name: format!("{}x{}", n, node.name), nodes: vec![node; n], interconnect }
+    }
+
+    /// The paper's testbed scaled out: `n` CLUSTER'15 nodes (1 CPU + 2
+    /// GPUs each) on QDR InfiniBand — the SnuCL cluster configuration our
+    /// single-node reproduction has been standing in for.
+    pub fn paper_cluster(n: usize) -> ClusterConfig {
+        ClusterConfig::uniform(NodeConfig::paper_node(), n, InterconnectSpec::infiniband_qdr())
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Total OpenCL devices across the fleet.
+    pub fn device_count(&self) -> usize {
+        self.nodes.iter().map(NodeConfig::device_count).sum()
+    }
+
+    /// A configuration fingerprint covering every node and the network;
+    /// any change invalidates fleet-level caches (same contract as
+    /// [`NodeConfig::fingerprint`]).
+    pub fn fingerprint(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::with_capacity(64 * (1 + self.nodes.len()));
+        let _ = write!(
+            s,
+            "{}|net:{}ns/{:.2}gbs+{}ns|",
+            self.name,
+            self.interconnect.link.latency.as_nanos(),
+            self.interconnect.link.bandwidth_gbs,
+            self.interconnect.host_overhead.as_nanos()
+        );
+        for node in &self.nodes {
+            s.push_str(&node.fingerprint());
+            s.push('/');
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_cluster_scales_the_paper_node() {
+        let fleet = ClusterConfig::paper_cluster(4);
+        assert_eq!(fleet.node_count(), 4);
+        assert_eq!(fleet.device_count(), 12);
+        for node in &fleet.nodes {
+            assert_eq!(node.device_count(), 3);
+        }
+    }
+
+    #[test]
+    fn uniform_floors_at_one_node() {
+        let fleet =
+            ClusterConfig::uniform(NodeConfig::paper_node(), 0, InterconnectSpec::infiniband_qdr());
+        assert_eq!(fleet.node_count(), 1);
+    }
+
+    #[test]
+    fn interconnect_is_slower_than_pcie_but_not_absurd() {
+        let node = NodeConfig::paper_node();
+        let ib = InterconnectSpec::infiniband_qdr();
+        let bytes = 64 << 20;
+        let cross_node = ib.transfer_time(bytes);
+        let pcie = node.topology.host_transfer_time(crate::DeviceId(1), bytes, &node.devices);
+        assert!(cross_node > pcie, "network {cross_node} should cost more than PCIe {pcie}");
+        // ...but the same order of magnitude: QDR IB is ~half PCIe gen2.
+        assert!(cross_node < pcie * 8, "network {cross_node} vs PCIe {pcie}");
+    }
+
+    #[test]
+    fn small_messages_are_overhead_bound() {
+        let ib = InterconnectSpec::infiniband_qdr();
+        assert!(ib.effective_bandwidth_gbs(1024) < 0.5);
+        assert!(ib.effective_bandwidth_gbs(1 << 30) > 2.5);
+        assert!(ib.transfer_time(0) >= ib.host_overhead);
+    }
+
+    #[test]
+    fn ethernet_is_slower_than_infiniband() {
+        let bytes = 16 << 20;
+        let ib = InterconnectSpec::infiniband_qdr().transfer_time(bytes);
+        let eth = InterconnectSpec::ethernet_10g().transfer_time(bytes);
+        assert!(eth > ib, "eth {eth} vs ib {ib}");
+    }
+
+    #[test]
+    fn fingerprint_covers_nodes_and_network() {
+        let a = ClusterConfig::paper_cluster(2);
+        let mut b = ClusterConfig::paper_cluster(2);
+        b.interconnect = InterconnectSpec::ethernet_10g();
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        let c = ClusterConfig::paper_cluster(3);
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        let mut d = ClusterConfig::paper_cluster(2);
+        d.nodes[1].devices.pop();
+        assert_ne!(a.fingerprint(), d.fingerprint());
+    }
+}

@@ -32,9 +32,42 @@ fn usage() -> ! {
     eprintln!(
         "usage: loadgen [--seed N] [--tenants N] [--policy auto_fit|round_robin|off] \
          [--jobs N] [--rate HZ] [--mode open|closed] [--workers N] [--capacity N] \
-         [--think-ms N] [--concurrency N] [--data-workers N]"
+         [--think-ms N] [--concurrency N] [--data-workers N]\n\
+         run `loadgen --help` for flag documentation"
     );
     std::process::exit(2);
+}
+
+fn help() -> ! {
+    println!(
+        "loadgen — seeded load generator for the served job service (virtual time)\n\
+         \n\
+         usage: loadgen [flags]\n\
+         \n\
+         flags:\n\
+         \x20 --seed N          arrival-process seed (default 42); same seed, same results\n\
+         \x20 --tenants N       number of tenants (default 4)\n\
+         \x20 --policy P        backend policy: auto_fit | round_robin | off (default auto_fit)\n\
+         \x20 --jobs N          total jobs to submit (default 48)\n\
+         \x20 --rate HZ         open-loop offered arrival rate, virtual jobs/s (default 400)\n\
+         \x20 --mode M          arrival process: open (Poisson) | closed (default open)\n\
+         \x20 --workers N       scheduler dispatch queues (default 4)\n\
+         \x20 --capacity N      per-tenant admission queue bound (default 8)\n\
+         \x20 --think-ms N      closed-loop think time per client, virtual ms (default 2)\n\
+         \x20 --concurrency N   closed-loop clients per tenant (default 2)\n\
+         \x20 --data-workers N  data-plane host threads executing kernel bodies and\n\
+         \x20                   transfers: 0 = one per core (default), 1 = synchronous.\n\
+         \x20                   Changes wall-clock throughput only — the virtual timeline,\n\
+         \x20                   reports, and event stream are identical for any value\n\
+         \n\
+         outputs (under results/):\n\
+         \x20 serve_loadgen_<policy>_seed<seed>.json   per-tenant report\n\
+         \x20 serve_loadgen_<policy>_seed<seed>.prom   Prometheus metrics\n\
+         \x20 serve_events_<policy>_seed<seed>.jsonl   job-lifecycle + scheduler events\n\
+         \x20 serve_trace_seed<seed>.jsonl             arrival trace (open loop only);\n\
+         \x20                                          feed it back with serve_replay"
+    );
+    std::process::exit(0);
 }
 
 fn parse_config() -> LoadgenConfig {
@@ -47,6 +80,7 @@ fn parse_config() -> LoadgenConfig {
             v.and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
         };
         match args[i].as_str() {
+            "--help" | "-h" => help(),
             "--seed" => cfg.seed = num(value),
             "--tenants" => cfg.tenants = num(value) as usize,
             "--jobs" => cfg.jobs = num(value) as usize,

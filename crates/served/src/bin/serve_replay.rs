@@ -8,7 +8,8 @@
 //!
 //! Usage:
 //! `cargo run -p served --bin serve_replay -- results/serve_trace_seed42.jsonl \
-//!   [--policy auto_fit|round_robin|off] [--tenants N] [--workers N] [--capacity N]`
+//!   [--policy auto_fit|round_robin|off] [--tenants N] [--workers N] [--capacity N] \
+//!   [--data-workers N]`
 
 use served::loadgen::{self, ArrivalMode, LoadgenConfig};
 use served::ServePolicy;
@@ -17,14 +18,47 @@ use std::path::PathBuf;
 fn usage() -> ! {
     eprintln!(
         "usage: serve_replay <trace.jsonl> [--policy auto_fit|round_robin|off] \
-         [--tenants N] [--workers N] [--capacity N]"
+         [--tenants N] [--workers N] [--capacity N] [--data-workers N]\n\
+         run `serve_replay --help` for flag documentation"
     );
     std::process::exit(2);
+}
+
+fn help() -> ! {
+    println!(
+        "serve_replay — re-run a recorded arrival trace against the job service\n\
+         \n\
+         usage: serve_replay <trace.jsonl> [flags]\n\
+         \n\
+         input:\n\
+         \x20 <trace.jsonl>     an arrival trace written by the loadgen binary in open\n\
+         \x20                   loop (results/serve_trace_seed<seed>.jsonl): one JSON\n\
+         \x20                   object per line with the virtual arrival time, tenant\n\
+         \x20                   index, and full job spec. The same trace replayed under\n\
+         \x20                   different --policy values A/Bs the scheduler over one\n\
+         \x20                   fixed workload\n\
+         \n\
+         flags:\n\
+         \x20 --policy P        backend policy: auto_fit | round_robin | off (default auto_fit)\n\
+         \x20 --tenants N       tenant slots (raised automatically to the trace's max index)\n\
+         \x20 --workers N       scheduler dispatch queues (default 4)\n\
+         \x20 --capacity N      per-tenant admission queue bound (default 8)\n\
+         \x20 --data-workers N  data-plane host threads executing kernel bodies and\n\
+         \x20                   transfers: 0 = one per core (default), 1 = synchronous.\n\
+         \x20                   Changes wall-clock throughput only, never the virtual\n\
+         \x20                   timeline or the report\n\
+         \n\
+         output: results/serve_replay_<policy>.json"
+    );
+    std::process::exit(0);
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let path = args.first().unwrap_or_else(|| usage());
+    if path == "--help" || path == "-h" {
+        help();
+    }
     if path.starts_with("--") {
         usage();
     }
@@ -39,9 +73,11 @@ fn main() {
             "--policy" => {
                 cfg.policy = value.and_then(|s| ServePolicy::parse(s)).unwrap_or_else(|| usage());
             }
+            "--help" | "-h" => help(),
             "--tenants" => cfg.tenants = num(value),
             "--workers" => cfg.workers = num(value),
             "--capacity" => cfg.queue_capacity = num(value),
+            "--data-workers" => cfg.runtime.data_plane_workers = num(value),
             _ => usage(),
         }
         i += 2;

@@ -21,12 +21,17 @@
 //! - [`loadgen`] — seeded open-loop (Poisson) and closed-loop arrival
 //!   processes in virtual time; same seed, same results, plus a JSONL
 //!   trace format for replay.
+//! - [`cluster`] — the multi-node tier: one [`Served`](service::Served)
+//!   shard per fleet node, consistent-hash tenant routing
+//!   ([`cluster::HashRing`]), and cross-shard rebalancing that migrates
+//!   tenants off degraded shards over the simulated interconnect.
 //!
 //! Binaries: `loadgen` (generate load, write `results/serve_*.{json,prom}`
 //! reports) and `serve_replay` (re-run a recorded trace).
 
 #![warn(missing_docs)]
 
+pub mod cluster;
 pub mod loadgen;
 pub mod metrics;
 pub mod service;
@@ -34,6 +39,7 @@ pub mod slo;
 pub mod spec;
 pub mod tenant;
 
+pub use cluster::{ClusterService, ClusterServiceConfig, HashRing, Migration};
 pub use loadgen::{ArrivalMode, LoadgenConfig};
 pub use service::{
     FailReason, JobOutcome, JobResult, RetryPolicy, ServePolicy, Served, ServiceConfig,

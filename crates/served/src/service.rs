@@ -481,6 +481,17 @@ impl Served {
         self.outcomes.lock().clone()
     }
 
+    /// Remove and return every admitted-but-undispatched job of `tenant`
+    /// as `(spec, deadline)` pairs ready for re-submission elsewhere. The
+    /// cluster rebalancer drains a degraded shard's backlog through this
+    /// before re-routing the tenant to a healthy shard.
+    pub(crate) fn drain_tenant_backlog(&self, tenant: usize) -> Vec<(JobSpec, Option<SimTime>)> {
+        let state = &self.tenants[tenant];
+        let jobs: Vec<_> = state.queue.lock().drain(..).map(|j| (j.spec, j.deadline)).collect();
+        self.metrics.tenant(tenant).depth.set(0.0);
+        jobs
+    }
+
     /// Submit a job for `tenant`. Validates the spec, then applies
     /// admission control against the tenant's bounded queue. Returns the
     /// job id, or the rejection reason (spec error or backpressure).

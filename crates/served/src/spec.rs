@@ -393,6 +393,12 @@ impl JobSpec {
         self.topo_order().map(|_| ())
     }
 
+    /// Total bytes of the job's buffers (`f64` elements) — the state a
+    /// cross-shard migration must move for one in-flight job.
+    pub fn buffer_bytes(&self) -> u64 {
+        self.buffers.iter().map(|b| (b.elements as u64) * 8).sum()
+    }
+
     /// Argument count per kernel, derived from launch steps (kernels never
     /// launched get arity 0).
     pub fn kernel_arities(&self) -> HashMap<String, usize> {
