@@ -1,0 +1,54 @@
+//! Cold-start benchmark: feature-based cost prediction vs. the profiling
+//! epoch a cold `AUTO_FIT` context pays for unseen kernels. Checks the
+//! PR-8 claims — first-epoch latency ≥5× better with a persisted warm
+//! predictor, steady-state makespan within 1.1× of fully-profiled, zero
+//! profiling epochs for in-family kernels, honest fallback for an
+//! out-of-family kernel — and bit-identical same-seed reproduction.
+//! Exits non-zero on any violation.
+//!
+//! Writes `results/BENCH_coldstart.json`.
+//!
+//! Usage: `cargo run --release -p multicl-bench --bin coldstart [--smoke] [SEED]`
+
+use multicl_bench::experiments::coldstart;
+use multicl_bench::{print_table, write_report};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let seed: u64 =
+        args.iter().find(|a| !a.starts_with("--")).and_then(|s| s.parse().ok()).unwrap_or(42);
+
+    let cfg = coldstart::ColdConfig::new(seed, smoke);
+    let points = coldstart::run(&cfg);
+    print_table(&coldstart::table(&points));
+
+    if let Some(path) =
+        write_report("BENCH_coldstart.json", &coldstart::to_json(&points, &cfg).dump())
+    {
+        println!("wrote {}", path.display());
+    }
+
+    let violations = coldstart::violations(&points);
+    if violations.is_empty() {
+        let (base, warm) = (
+            points.iter().find(|p| p.label == "profiling_baseline").expect("baseline arm"),
+            points.iter().find(|p| p.label == "predictor_warm").expect("warm arm"),
+        );
+        let speedup =
+            base.first_epoch.as_nanos() as f64 / warm.first_epoch.as_nanos().max(1) as f64;
+        println!(
+            "cold-start claims hold (seed {seed}): first-epoch {speedup:.1}x faster, \
+             steady-state {:.3}x, {} kernels predicted with 0 profiling epochs, \
+             every arm bit-identical across two same-seed runs",
+            warm.steady.as_nanos() as f64 / base.steady.as_nanos().max(1) as f64,
+            warm.kernels_predicted
+        );
+    } else {
+        eprintln!("error: cold-start violations:");
+        for v in &violations {
+            eprintln!("  - {v}");
+        }
+        std::process::exit(1);
+    }
+}

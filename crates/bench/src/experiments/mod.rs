@@ -3,6 +3,7 @@
 pub mod ablation;
 pub mod capacity;
 pub mod cluster;
+pub mod coldstart;
 pub mod common;
 pub mod dataplane;
 pub mod faults;

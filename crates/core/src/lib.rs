@@ -47,12 +47,17 @@
 pub mod flags;
 pub mod mapper;
 pub mod metrics;
+pub mod predictor;
 pub mod profile;
 pub mod scheduler;
 pub mod telemetry;
 
 pub use clrt::error;
 pub use flags::{ContextSchedPolicy, QueueSchedFlags};
+pub use predictor::{
+    CostPredictor, KernelFeatures, Prediction, DEFAULT_PREDICTOR_CONFIDENCE, FEATURE_DIM,
+    MIN_TRAINING_SAMPLES,
+};
 pub use profile::{DeviceProfile, ProfileCache, StaticHint, PROFILE_DIR_ENV};
 pub use scheduler::{
     DeviceHealth, MapperKind, MulticlContext, SchedOptions, SchedQueue, SchedStats,
@@ -195,10 +200,19 @@ mod tests {
         ctx.finish_all();
 
         let events = recorder.snapshot();
-        // The stream is well-formed: begins with EpochBegin, ends with
-        // EpochEnd, and the cold cache missed before profiling.
+        // The stream is well-formed: it opens with the device-profile
+        // cache announcement (a scratch cache dir is always a miss), the
+        // first epoch's EpochBegin follows, it ends with EpochEnd, and the
+        // cold kernel cache missed before profiling.
         assert!(
-            matches!(events.first(), Some(SchedEvent::EpochBegin { pool: 2, .. })),
+            matches!(
+                events.first(),
+                Some(SchedEvent::CacheMiss { epoch: 0, key }) if key == "device_profile"
+            ),
+            "{events:?}"
+        );
+        assert!(
+            matches!(events.get(1), Some(SchedEvent::EpochBegin { pool: 2, .. })),
             "{events:?}"
         );
         assert!(matches!(events.last(), Some(SchedEvent::EpochEnd { .. })));
@@ -625,5 +639,221 @@ mod tests {
         let k = prog.create_kernel("gpu_friendly").unwrap();
         set_kernel_work_group_info(&k, DeviceId(0), clrt::NdRange::d1(128, 1)).unwrap();
         assert!(k.has_work_group_info(DeviceId(0)));
+    }
+
+    /// A parametric compute-dominated kernel used by the predictor tests:
+    /// the family varies flops/item, bytes/item, traits, and launch size
+    /// smoothly, so the log-linear cost model is learnable from executions.
+    struct SynthKernel {
+        name: String,
+        cost: KernelCostSpec,
+    }
+
+    impl KernelBody for SynthKernel {
+        fn name(&self) -> &str {
+            &self.name
+        }
+        fn arity(&self) -> usize {
+            1
+        }
+        fn cost(&self) -> KernelCostSpec {
+            self.cost
+        }
+        fn execute(&self, ctx: &mut KernelCtx<'_>) {
+            for v in ctx.slice_mut::<f64>(0) {
+                *v += 1.0;
+            }
+        }
+    }
+
+    fn synth_kernel(rng: &mut hwsim::xrand::XorShift, name: String) -> SynthKernel {
+        let traits = KernelTraits {
+            coalescing: rng.range_f64(0.7, 1.0),
+            branch_divergence: rng.range_f64(0.0, 0.3),
+            vector_friendliness: rng.range_f64(0.8, 1.0),
+            double_precision: false,
+        };
+        SynthKernel {
+            name,
+            cost: KernelCostSpec {
+                flops_per_item: rng.range_f64(2_000.0, 8_000.0),
+                bytes_per_item: rng.range_f64(4.0, 16.0),
+                traits,
+            },
+        }
+    }
+
+    /// Predictor-enabled options over a scratch cache dir.
+    fn predictor_options(tag: &str, persist: bool) -> SchedOptions {
+        SchedOptions {
+            predictor_confidence: predictor::DEFAULT_PREDICTOR_CONFIDENCE,
+            predictor_persist: persist,
+            ..scratch_options(tag)
+        }
+    }
+
+    /// Train the shared-directory predictor by *executing* a diverse kernel
+    /// family across every device: a ROUND_ROBIN context ignores kernel
+    /// preferences, so each device sees varied features. One scheduling
+    /// epoch per generation; the model persists to `tag`'s cache dir.
+    fn train_predictor(tag: &str, seed: u64, generations: usize) {
+        let platform = Platform::paper_node();
+        let ctx = MulticlContext::with_options(
+            &platform,
+            ContextSchedPolicy::RoundRobin,
+            predictor_options(tag, true),
+        )
+        .unwrap();
+        let mut rng = hwsim::xrand::XorShift::new(seed);
+        let queues: Vec<SchedQueue> = (0..6)
+            .map(|_| ctx.create_queue(QueueSchedFlags::SCHED_AUTO_DYNAMIC).unwrap())
+            .collect();
+        for g in 0..generations {
+            let kernels: Vec<SynthKernel> = (0..queues.len())
+                .map(|i| synth_kernel(&mut rng, format!("train_{tag}_{g}_{i}")))
+                .collect();
+            let bodies: Vec<Arc<dyn KernelBody>> =
+                kernels.into_iter().map(|k| Arc::new(k) as Arc<dyn KernelBody>).collect();
+            let names: Vec<String> = bodies.iter().map(|b| b.name().to_string()).collect();
+            let prog = ctx.create_program(bodies).unwrap();
+            for (q, name) in queues.iter().zip(&names) {
+                let k = prog.create_kernel(name).unwrap();
+                let b = ctx.create_buffer_of::<f64>(1 << 10).unwrap();
+                k.set_arg(0, ArgValue::BufferMut(b)).unwrap();
+                let local = 64;
+                let global = local * rng.range_u64(64, 512);
+                q.enqueue_ndrange(&k, clrt::NdRange::d1(global, local)).unwrap();
+            }
+            ctx.finish_all();
+        }
+    }
+
+    #[test]
+    fn cold_predictor_falls_back_to_profiling_then_refines_online() {
+        use crate::telemetry::RingBufferSink;
+
+        let platform = Platform::paper_node();
+        let recorder = Arc::new(RingBufferSink::new(1024));
+        let mut options = predictor_options("pred-cold", false);
+        options.observers = vec![recorder.clone()];
+        let ctx =
+            MulticlContext::with_options(&platform, ContextSchedPolicy::AutoFit, options).unwrap();
+        let mut rng = hwsim::xrand::XorShift::new(41);
+        let kernels: Vec<SynthKernel> =
+            (0..2).map(|i| synth_kernel(&mut rng, format!("cold_{i}"))).collect();
+        let bodies: Vec<Arc<dyn KernelBody>> =
+            kernels.into_iter().map(|k| Arc::new(k) as Arc<dyn KernelBody>).collect();
+        let prog = ctx.create_program(bodies).unwrap();
+        let queues: Vec<SchedQueue> = (0..2)
+            .map(|_| ctx.create_queue(QueueSchedFlags::SCHED_AUTO_DYNAMIC).unwrap())
+            .collect();
+        let ks: Vec<Kernel> = (0..2)
+            .map(|i| {
+                let k = prog.create_kernel(&format!("cold_{i}")).unwrap();
+                let b = ctx.create_buffer_of::<f64>(1 << 10).unwrap();
+                k.set_arg(0, ArgValue::BufferMut(b)).unwrap();
+                k
+            })
+            .collect();
+        for _ in 0..12 {
+            for (q, k) in queues.iter().zip(&ks) {
+                q.enqueue_ndrange(k, clrt::NdRange::d1(1 << 14, 64)).unwrap();
+            }
+            ctx.finish_all();
+        }
+
+        let stats = ctx.stats();
+        // The untrained model must not fake confidence: both cold kernels
+        // fell back to real profiling, provably (the events say so).
+        assert_eq!(stats.predictor_fallbacks, 2, "one fallback per cold kernel");
+        assert_eq!(stats.kernels_predicted, 0, "nothing predictable on a cold model");
+        // One profiling pass per cold queue (each queue's cost vector is
+        // obtained separately) — exactly the predictor-off behaviour.
+        assert_eq!(stats.profiled_epochs, 2, "profiling ran exactly as without the predictor");
+        let events = recorder.snapshot();
+        assert_eq!(
+            events
+                .iter()
+                .filter(|e| matches!(
+                    e,
+                    SchedEvent::PredictorFallback { reason, .. } if reason == "untrained"
+                ))
+                .count(),
+            2,
+            "{events:?}"
+        );
+        // Online refinement kicked in once the executing devices
+        // accumulated enough completions to predict.
+        assert!(
+            events.iter().any(|e| matches!(e, SchedEvent::PredictorRefined { .. })),
+            "expected refinement events after 12 epochs: {events:?}"
+        );
+        let trained: u64 =
+            (0..platform.node().device_count()).map(|d| ctx.predictor_samples(d)).sum();
+        assert!(trained > 0, "completions must train the model");
+    }
+
+    #[test]
+    fn persisted_predictor_serves_unseen_kernels_without_profiling() {
+        use crate::telemetry::RingBufferSink;
+
+        let tag = "pred-warm";
+        train_predictor(tag, 4242, 12);
+
+        // A *fresh* context (simulated restart) sharing the cache dir:
+        // unseen kernels from the same family must be mapped with zero
+        // profiling epochs, served entirely by the persisted model.
+        let platform = Platform::paper_node();
+        let recorder = Arc::new(RingBufferSink::new(1024));
+        let mut options = predictor_options(tag, true);
+        options.observers = vec![recorder.clone()];
+        let ctx =
+            MulticlContext::with_options(&platform, ContextSchedPolicy::AutoFit, options).unwrap();
+        for d in 0..platform.node().device_count() {
+            assert!(
+                ctx.predictor_samples(d) >= MIN_TRAINING_SAMPLES,
+                "device {d} must start warm from the persisted model"
+            );
+        }
+        let mut rng = hwsim::xrand::XorShift::new(777);
+        let kernels: Vec<SynthKernel> =
+            (0..4).map(|i| synth_kernel(&mut rng, format!("unseen_{i}"))).collect();
+        let bodies: Vec<Arc<dyn KernelBody>> =
+            kernels.into_iter().map(|k| Arc::new(k) as Arc<dyn KernelBody>).collect();
+        let prog = ctx.create_program(bodies).unwrap();
+        let queues: Vec<SchedQueue> = (0..4)
+            .map(|_| ctx.create_queue(QueueSchedFlags::SCHED_AUTO_DYNAMIC).unwrap())
+            .collect();
+        for (i, q) in queues.iter().enumerate() {
+            let k = prog.create_kernel(&format!("unseen_{i}")).unwrap();
+            let b = ctx.create_buffer_of::<f64>(1 << 10).unwrap();
+            k.set_arg(0, ArgValue::BufferMut(b)).unwrap();
+            q.enqueue_ndrange(&k, clrt::NdRange::d1(1 << 14, 64)).unwrap();
+        }
+        ctx.finish_all();
+
+        let stats = ctx.stats();
+        assert_eq!(stats.profiled_epochs, 0, "the cold start is gone: no profiling epoch");
+        assert_eq!(stats.kernels_predicted, 4, "every unseen kernel was served by the model");
+        assert_eq!(stats.predictor_fallbacks, 0);
+        let events = recorder.snapshot();
+        assert!(
+            !events.iter().any(|e| matches!(e, SchedEvent::KernelProfiled { .. })),
+            "no kernel may be profiled: {events:?}"
+        );
+        assert_eq!(
+            events.iter().filter(|e| matches!(e, SchedEvent::CostPredicted { .. })).count(),
+            4,
+            "{events:?}"
+        );
+        // The mapping decision still happened over real (predicted) costs.
+        assert!(events.iter().any(|e| matches!(e, SchedEvent::MappingDecision { .. })));
+        // The public gate agrees with what the scheduler just did.
+        let probe = synth_kernel(&mut rng, "probe".into());
+        assert!(ctx.predictor_confident(
+            &probe.cost,
+            hwsim::cost::NdRangeShape::new(1 << 14, 64),
+            8 << 10
+        ));
     }
 }

@@ -46,6 +46,25 @@ pub type CostMatrix = Vec<Vec<SimDuration>>;
 /// records, warm starts, and migration bookkeeping all rely on.
 pub const UNAVAILABLE_COST: SimDuration = SimDuration::from_nanos(31_536_000_000_000_000);
 
+/// Inflate a predicted cost row by its relative uncertainty margin, in
+/// place: every measured entry is scaled by `1 + rel_margin` (capped at
+/// [`UNAVAILABLE_COST`]). Zero entries — the "unmeasured" sentinel for lost
+/// devices — and already-blacklisted entries are left untouched. The
+/// scheduler applies this to rows served by the cost *predictor* rather
+/// than the profiler, so a queue only wins a device when its advantage
+/// exceeds the model's own error bar (uncertainty-aware mapping).
+pub fn inflate_uncertain(row: &mut [SimDuration], rel_margin: f64) {
+    if rel_margin.is_nan() || rel_margin <= 0.0 {
+        return;
+    }
+    for c in row.iter_mut() {
+        if c.is_zero() || *c >= UNAVAILABLE_COST {
+            continue;
+        }
+        *c = (*c * (1.0 + rel_margin)).min(UNAVAILABLE_COST);
+    }
+}
+
 /// Why a mapping request could not be served. Returned by the `try_*` entry
 /// points; the unchecked ones panic on the first two and ignore the third.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -189,6 +189,12 @@ impl ProfileCache {
         self.dir.join(format!("devprofile-{hash:016x}.json"))
     }
 
+    /// Whether a cached profile for `fingerprint` exists on disk (and
+    /// actually matches — a hash-colliding or stale file does not count).
+    pub fn contains(&self, fingerprint: &str) -> bool {
+        self.load(fingerprint).is_some()
+    }
+
     /// Load the cached profile for `fingerprint`, if present and matching.
     pub fn load(&self, fingerprint: &str) -> Option<DeviceProfile> {
         let path = self.file_for(fingerprint);
@@ -209,15 +215,24 @@ impl ProfileCache {
     /// cache it. This is the device-profiler entry point invoked at platform
     /// initialization.
     pub fn load_or_measure(&self, platform: &Platform) -> DeviceProfile {
+        self.load_or_measure_traced(platform).0
+    }
+
+    /// [`Self::load_or_measure`] that also reports *how* the profile was
+    /// obtained: `true` means it was served from the on-disk cache, `false`
+    /// means it was measured this run (charging virtual time). Callers with
+    /// a telemetry stream turn the flag into a cache-hit/miss event, so the
+    /// cost of the static profiling pass is attributable.
+    pub fn load_or_measure_traced(&self, platform: &Platform) -> (DeviceProfile, bool) {
         let fingerprint = platform.node().fingerprint();
         if let Some(p) = self.load(&fingerprint) {
-            return p;
+            return (p, true);
         }
         let profile = DeviceProfile::measure(platform);
         // Best effort: an unwritable cache directory only means the next run
         // re-measures.
         let _ = self.store(&profile);
-        profile
+        (profile, false)
     }
 }
 

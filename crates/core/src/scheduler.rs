@@ -26,6 +26,7 @@
 
 use crate::flags::{ContextSchedPolicy, QueueSchedFlags};
 use crate::mapper;
+use crate::predictor::{CostPredictor, KernelFeatures};
 use crate::profile::{DeviceProfile, ProfileCache, StaticHint};
 use crate::telemetry::event::{QueueDecision, SchedEvent};
 use crate::telemetry::{SchedObserver, StderrSink};
@@ -33,11 +34,12 @@ use clrt::error::{ClError, ClResult};
 use clrt::{
     ArgValue, Buffer, CommandQueue, Context, Kernel, KernelBody, NdRange, Platform, Program,
 };
+use hwsim::cost::{KernelCostSpec, NdRangeShape};
 use hwsim::engine::CommandKind;
 use hwsim::sync::Mutex;
 use hwsim::topology::TransferKind;
 use hwsim::{DeviceId, SimDuration};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Weak};
 
@@ -92,6 +94,22 @@ pub struct SchedOptions {
     pub profile_cache: ProfileCache,
     /// Mapping algorithm for the AUTO_FIT policy.
     pub mapper: MapperKind,
+    /// Confidence gate for the feature-based cost predictor (the cold-start
+    /// optimization): an unseen kernel's per-device cost row is served by
+    /// the online regression model — *skipping the profiling epoch* — when
+    /// the model's predictive relative-error bound is at or below this
+    /// threshold on every healthy device. Kernels failing the gate fall
+    /// back to dynamic profiling (a [`SchedEvent::PredictorFallback`] is
+    /// emitted per kernel). `0.0` disables prediction entirely — the
+    /// default, so profiling behaves exactly as in the paper.
+    pub predictor_confidence: f64,
+    /// Persist the predictor model under [`SchedOptions::profile_cache`]'s
+    /// directory (alongside the device profile) so a restarted process
+    /// starts warm. Off by default: a persisted model makes a second
+    /// same-seed run start *trained*, which breaks the byte-identical
+    /// replay property the bench harness asserts. Long-lived serving
+    /// deployments opt in.
+    pub predictor_persist: bool,
     /// Explored-node budget for [`MapperKind::Adaptive`]: exact search
     /// gives up and keeps the refined-greedy incumbent after this many
     /// branch-and-bound nodes. The default (100k nodes, well under a
@@ -125,6 +143,8 @@ impl Default for SchedOptions {
             per_kernel_trigger: false,
             profile_cache: ProfileCache::default_location(),
             mapper: MapperKind::Optimal,
+            predictor_confidence: 0.0,
+            predictor_persist: false,
             adaptive_node_budget: DEFAULT_ADAPTIVE_NODE_BUDGET,
             cost_threads: std::thread::available_parallelism().map_or(1, |n| n.get()).min(4),
             observers: Vec::new(),
@@ -149,6 +169,8 @@ impl std::fmt::Debug for SchedOptions {
             .field("per_kernel_trigger", &self.per_kernel_trigger)
             .field("profile_cache", &self.profile_cache)
             .field("mapper", &self.mapper)
+            .field("predictor_confidence", &self.predictor_confidence)
+            .field("predictor_persist", &self.predictor_persist)
             .field("adaptive_node_budget", &self.adaptive_node_budget)
             .field("cost_threads", &self.cost_threads)
             .field("observers", &self.observers.len())
@@ -165,6 +187,12 @@ pub struct SchedStats {
     pub profiled_epochs: u64,
     /// Epochs served entirely from the profile caches.
     pub cache_hits: u64,
+    /// Kernel cost rows served by the predictor instead of profiling
+    /// (one per distinct kernel name that passed the confidence gate).
+    pub kernels_predicted: u64,
+    /// Kernels the predictor declined — untrained model or low-confidence
+    /// prediction — falling back to dynamic profiling.
+    pub predictor_fallbacks: u64,
     /// Kernel launches flushed to devices.
     pub kernels_issued: u64,
     /// Devices detected as permanently lost and blacklisted.
@@ -235,6 +263,12 @@ struct RtInner {
     device_profile: DeviceProfile,
     /// Kernel-name → estimated full execution time per device (§V-C1).
     kernel_profiles: Mutex<HashMap<String, Vec<SimDuration>>>,
+    /// Online per-device regression over kernel descriptor features,
+    /// trained from completion telemetry. When
+    /// [`SchedOptions::predictor_confidence`] is positive, confident
+    /// predictions serve cost rows for unseen kernels without a profiling
+    /// epoch (the cold-start optimization).
+    predictor: Mutex<CostPredictor>,
     /// Epoch-key → aggregate execution time per device (§V-C1).
     epoch_profiles: Mutex<HashMap<String, Vec<SimDuration>>>,
     queues: Mutex<Vec<Weak<QueueState>>>,
@@ -307,12 +341,24 @@ impl MulticlContext {
         options: SchedOptions,
     ) -> ClResult<MulticlContext> {
         let cl = platform.create_context_all()?;
-        let device_profile = options.profile_cache.load_or_measure(platform);
+        let (device_profile, profile_cached) =
+            options.profile_cache.load_or_measure_traced(platform);
+        let fingerprint = platform.node().fingerprint();
+        // A persisted predictor (opt-in) makes a restarted process start
+        // warm: confident predictions flow from the first epoch instead of
+        // waiting out a fresh training period.
+        let predictor = options
+            .predictor_persist
+            .then(|| {
+                CostPredictor::load(options.profile_cache.dir(), &fingerprint, cl.devices().len())
+            })
+            .flatten()
+            .unwrap_or_else(|| CostPredictor::new(cl.devices().len(), fingerprint));
         let mut observers = options.observers.clone();
         if env_flag_enabled(std::env::var_os("MULTICL_DEBUG").as_deref()) {
             observers.push(Arc::new(StderrSink));
         }
-        Ok(MulticlContext {
+        let ctx = MulticlContext {
             rt: Arc::new(RtInner {
                 cl,
                 platform: platform.clone(),
@@ -320,6 +366,7 @@ impl MulticlContext {
                 options,
                 device_profile,
                 kernel_profiles: Mutex::new(HashMap::new()),
+                predictor: Mutex::new(predictor),
                 epoch_profiles: Mutex::new(HashMap::new()),
                 queues: Mutex::new(Vec::new()),
                 rr_next: AtomicUsize::new(0),
@@ -332,7 +379,17 @@ impl MulticlContext {
                 pass_lock: Mutex::new(()),
                 mapper_state: Mutex::new(MapperState::default()),
             }),
-        })
+        };
+        // Announce how the static device profile was obtained (a disk cache
+        // hit vs a fresh measurement charging virtual time), now that the
+        // observer list exists to hear it.
+        let key = "device_profile".to_string();
+        ctx.rt.emit(&if profile_cached {
+            SchedEvent::CacheHit { epoch: 0, key }
+        } else {
+            SchedEvent::CacheMiss { epoch: 0, key }
+        });
+        Ok(ctx)
     }
 
     /// Attach a telemetry observer; it receives every [`SchedEvent`] from
@@ -417,6 +474,39 @@ impl MulticlContext {
         let mut names: Vec<String> = self.rt.kernel_profiles.lock().keys().cloned().collect();
         names.sort_unstable();
         names
+    }
+
+    /// Whether the cost predictor would serve a kernel with the given cost
+    /// descriptor, launch shape, and total argument-buffer footprint on
+    /// *every* device without falling back to profiling — i.e. the model is
+    /// trained and its relative-error bound clears
+    /// [`SchedOptions::predictor_confidence`] everywhere. Always `false`
+    /// when prediction is disabled. Uses the requested shape on all devices
+    /// (per-device shape clamping is a second-order effect at gate time).
+    ///
+    /// The serving layer uses this to skip warm-up work for job specs the
+    /// model already covers; the scheduler itself applies the same gate
+    /// per-device with exact effective shapes.
+    pub fn predictor_confident(
+        &self,
+        cost: &KernelCostSpec,
+        shape: NdRangeShape,
+        arg_bytes: u64,
+    ) -> bool {
+        let threshold = self.rt.options.predictor_confidence;
+        if threshold <= 0.0 {
+            return false;
+        }
+        let f = KernelFeatures::describe(cost, shape, arg_bytes);
+        let predictor = self.rt.predictor.lock();
+        (0..predictor.device_count())
+            .all(|di| predictor.predict(di, &f).is_some_and(|p| p.uncertainty <= threshold))
+    }
+
+    /// Training samples the cost predictor has folded in for one device
+    /// (device order). Exposes model maturity for tests and dashboards.
+    pub fn predictor_samples(&self, device_index: usize) -> u64 {
+        self.rt.predictor.lock().samples(device_index)
     }
 
     /// `clCreateBuffer` passthrough.
@@ -734,6 +824,24 @@ impl RtInner {
             }
             predicted = per_device.into_iter().max();
         }
+        // Snapshot what the predictor needs to learn from this flush: each
+        // distinct kernel's descriptor and first-seen launch geometry (the
+        // same approximation as the name-keyed profile cache), captured
+        // before the flush drains the pending lists.
+        let refine_index: HashMap<String, (Kernel, NdRange, u64)> =
+            if self.options.predictor_confidence > 0.0 {
+                let mut index = HashMap::new();
+                for q in &pool {
+                    for p in q.pending.lock().iter() {
+                        index
+                            .entry(p.kernel.name())
+                            .or_insert_with(|| (p.kernel.clone(), p.nd, pending_arg_bytes(p)));
+                    }
+                }
+                index
+            } else {
+                HashMap::new()
+            };
         // Engine trace records carry their final stamps at submit time, so
         // the executed critical path of this epoch's flush is known as soon
         // as the issue loop returns: everything pushed past this watermark
@@ -793,6 +901,12 @@ impl RtInner {
                 actual: end.saturating_since(flush_start),
             });
         }
+        // Online refinement: fold the executed completions back into the
+        // predictor before the epoch closes, so the decision log can
+        // summarize predicted-vs-actual error per epoch.
+        if !refine_index.is_empty() {
+            self.refine_predictor(&refine_index, &devices, trace_offset, epoch);
+        }
         let done = self.platform.now();
         let dp = self.platform.data_plane_stats();
         self.emit(&SchedEvent::EpochEnd {
@@ -813,6 +927,8 @@ impl RtInner {
         stats.sched_invocations += delta.sched_invocations;
         stats.profiled_epochs += delta.profiled_epochs;
         stats.cache_hits += delta.cache_hits;
+        stats.kernels_predicted += delta.kernels_predicted;
+        stats.predictor_fallbacks += delta.predictor_fallbacks;
         stats.kernels_issued += delta.kernels_issued;
         stats.devices_lost += delta.devices_lost;
         stats.queues_remapped += delta.queues_remapped;
@@ -1124,6 +1240,14 @@ impl RtInner {
                 })
                 .collect()
         };
+        // Cold-start interception: before paying a profiling epoch, offer
+        // each cold kernel to the cost predictor. Kernels whose per-device
+        // predictions all clear the confidence gate get their rows served
+        // from the model; the rest stay on the profiling path below.
+        // Forced iterative re-profiles always measure — that is their
+        // §V-C1 contract.
+        let missing =
+            if force { missing } else { self.predict_missing(missing, devices, epoch, delta) };
         if !missing.is_empty() {
             // Quiesce the data plane first: profiling reads buffer residency
             // and is the pass's wall-clock-sensitive section, so in-flight
@@ -1147,6 +1271,174 @@ impl RtInner {
         drop(kp);
         self.epoch_profiles.lock().insert(key, totals.clone());
         totals
+    }
+
+    /// Offer cold kernels to the cost predictor (the profiling bypass).
+    /// For each kernel whose per-device predictions *all* clear the
+    /// confidence gate, the predicted row — inflated by the model's own
+    /// uncertainty, so the mapper only acts on advantages larger than the
+    /// error bar — is cached exactly as a profiled row would be, and a
+    /// [`SchedEvent::CostPredicted`] is emitted. Gate failures emit
+    /// [`SchedEvent::PredictorFallback`] and are returned, in their
+    /// original order, for dynamic profiling.
+    fn predict_missing<'a>(
+        &self,
+        missing: Vec<&'a PendingKernel>,
+        devices: &[DeviceId],
+        epoch: u64,
+        delta: &mut SchedStats,
+    ) -> Vec<&'a PendingKernel> {
+        let threshold = self.options.predictor_confidence;
+        if threshold <= 0.0 || missing.is_empty() {
+            return missing;
+        }
+        let lost: Vec<bool> =
+            self.platform.with_engine(|e| devices.iter().map(|&d| e.device_lost(d)).collect());
+        if lost.iter().all(|&l| l) {
+            // Nothing healthy to predict for; the profiling path hands out
+            // its all-zero sentinel rows in this state.
+            return missing;
+        }
+        let mut still_missing = Vec::new();
+        let mut events: Vec<SchedEvent> = Vec::new();
+        let mut rows: Vec<(String, Vec<SimDuration>)> = Vec::new();
+        {
+            let predictor = self.predictor.lock();
+            for p in missing {
+                let name = p.kernel.name();
+                let cost = p.kernel.cost();
+                let arg_bytes = pending_arg_bytes(p);
+                let mut row = vec![SimDuration::ZERO; devices.len()];
+                let mut max_uncertainty: f64 = 0.0;
+                let mut min_samples = u64::MAX;
+                let mut untrained = false;
+                let mut confident = true;
+                for (di, &dev) in devices.iter().enumerate() {
+                    if lost[di] {
+                        // Zero entries are the established "unmeasured"
+                        // sentinel; the epoch blacklist overwrites them
+                        // before any mapping decision sees the row.
+                        continue;
+                    }
+                    let shape = p.kernel.effective_nd(dev, p.nd).shape();
+                    let f = KernelFeatures::describe(&cost, shape, arg_bytes);
+                    match predictor.predict(di, &f) {
+                        Some(pred) if pred.uncertainty <= threshold => {
+                            row[di] = pred.time;
+                            max_uncertainty = max_uncertainty.max(pred.uncertainty);
+                            min_samples = min_samples.min(pred.samples);
+                        }
+                        Some(pred) => {
+                            confident = false;
+                            max_uncertainty = max_uncertainty.max(pred.uncertainty);
+                        }
+                        None => {
+                            confident = false;
+                            untrained = true;
+                        }
+                    }
+                }
+                if confident {
+                    delta.kernels_predicted += 1;
+                    events.push(SchedEvent::CostPredicted {
+                        epoch,
+                        kernel: name.clone(),
+                        costs: row.clone(),
+                        uncertainty: max_uncertainty,
+                        samples: if min_samples == u64::MAX { 0 } else { min_samples },
+                    });
+                    mapper::inflate_uncertain(&mut row, max_uncertainty);
+                    rows.push((name, row));
+                } else {
+                    delta.predictor_fallbacks += 1;
+                    events.push(SchedEvent::PredictorFallback {
+                        epoch,
+                        kernel: name,
+                        reason: if untrained { "untrained" } else { "low_confidence" }.to_string(),
+                        uncertainty: max_uncertainty,
+                    });
+                    still_missing.push(p);
+                }
+            }
+        }
+        if !rows.is_empty() {
+            let mut kp = self.kernel_profiles.lock();
+            for (name, row) in rows {
+                kp.insert(name, row);
+            }
+        }
+        // Events go out after the locks drop (observers may re-enter the
+        // runtime), in pending order — deterministic across same-seed runs.
+        for ev in &events {
+            self.emit(ev);
+        }
+        still_missing
+    }
+
+    /// Fold this epoch's executed kernel completions back into the cost
+    /// predictor (online refinement). Per (kernel, device) pair, the mean
+    /// executed duration becomes one training observation; when the model
+    /// already had a prediction for that point, a
+    /// [`SchedEvent::PredictorRefined`] reports the predicted-vs-actual
+    /// relative error. Aggregation iterates in `BTreeMap` order so the
+    /// event stream stays bit-identical across same-seed runs.
+    fn refine_predictor(
+        &self,
+        refine_index: &HashMap<String, (Kernel, NdRange, u64)>,
+        devices: &[DeviceId],
+        trace_offset: u64,
+        epoch: u64,
+    ) {
+        let mut agg: BTreeMap<(String, usize), (SimDuration, u64)> = BTreeMap::new();
+        self.platform.with_engine(|e| {
+            for r in e.trace().records_since(trace_offset) {
+                let CommandKind::Kernel { name } = &r.kind else { continue };
+                if !refine_index.contains_key(name.as_ref()) {
+                    continue;
+                }
+                let Some(di) = devices.iter().position(|&d| d == r.device) else { continue };
+                let entry = agg.entry((name.to_string(), di)).or_insert((SimDuration::ZERO, 0));
+                entry.0 += r.stamp.end.saturating_since(r.stamp.start);
+                entry.1 += 1;
+            }
+        });
+        if agg.is_empty() {
+            return;
+        }
+        let mut events: Vec<SchedEvent> = Vec::new();
+        {
+            let mut predictor = self.predictor.lock();
+            for ((name, di), (sum, count)) in &agg {
+                let (kernel, nd, arg_bytes) = &refine_index[name];
+                let dev = devices[*di];
+                let shape = kernel.effective_nd(dev, *nd).shape();
+                let f = KernelFeatures::describe(&kernel.cost(), shape, *arg_bytes);
+                let actual = *sum / *count;
+                let prior = predictor.predict(*di, &f);
+                predictor.observe(*di, &f, actual);
+                if let Some(p) = prior {
+                    let a = actual.as_nanos().max(1) as f64;
+                    let rel_error = (p.time.as_nanos() as f64 - a).abs() / a;
+                    events.push(SchedEvent::PredictorRefined {
+                        epoch,
+                        kernel: name.clone(),
+                        device: dev,
+                        predicted: p.time,
+                        actual,
+                        rel_error,
+                        samples: predictor.samples(*di),
+                    });
+                }
+            }
+            if self.options.predictor_persist {
+                // Best effort, like the device-profile cache: an unwritable
+                // directory only costs the next process a cold start.
+                let _ = predictor.store(self.options.profile_cache.dir());
+            }
+        }
+        for ev in &events {
+            self.emit(ev);
+        }
     }
 
     /// Run the given kernels once per device (full or minikernel),
@@ -1385,6 +1677,22 @@ enum CostPlan {
     /// Dynamic profiling required (cold kernels, or a forced iterative
     /// re-profile) — virtual-clock and residency side effects.
     Profile,
+}
+
+/// Total bytes of the distinct buffers a pending launch binds — the
+/// predictor's transfer-footprint feature.
+fn pending_arg_bytes(p: &PendingKernel) -> u64 {
+    let mut total = 0;
+    let mut seen: Vec<u64> = Vec::new();
+    for a in &p.args {
+        let Some(b) = a.buffer() else { continue };
+        if seen.contains(&b.id()) {
+            continue;
+        }
+        seen.push(b.id());
+        total += b.byte_len() as u64;
+    }
+    total
 }
 
 /// Build the epoch cache key: the multiset of kernel names (§V-C1, "the key

@@ -345,6 +345,55 @@ pub enum SchedEvent {
         /// True when the alert fired, false when it cleared.
         fired: bool,
     },
+    /// The predictive cost model served a cold kernel's per-device cost row
+    /// from its regression, bypassing the §V-C profiling pass entirely.
+    CostPredicted {
+        /// Scheduling epoch of the prediction.
+        epoch: u64,
+        /// Kernel name (the key the row is cached under).
+        kernel: String,
+        /// Predicted full-execution time per device (device order), before
+        /// the mapper-facing uncertainty margin is applied.
+        costs: Vec<SimDuration>,
+        /// Worst per-device predictive relative-error bound (standard
+        /// deviation of the log-space residual) that passed the gate.
+        uncertainty: f64,
+        /// Fewest training samples backing any device's prediction.
+        samples: u64,
+    },
+    /// An executed kernel's measured duration was folded back into the
+    /// predictor; reports the model's error on that kernel *before* the
+    /// update, so the event stream carries a predicted-vs-actual series.
+    PredictorRefined {
+        /// Scheduling epoch whose flush produced the observation.
+        epoch: u64,
+        /// Kernel name.
+        kernel: String,
+        /// Device the kernel actually executed on.
+        device: DeviceId,
+        /// What the model would have predicted before this observation.
+        predicted: SimDuration,
+        /// Measured execution time (mean over the epoch's launches).
+        actual: SimDuration,
+        /// `|predicted − actual| / actual`.
+        rel_error: f64,
+        /// Training samples for this device's model after the update.
+        samples: u64,
+    },
+    /// The predictor declined a cold kernel (untrained, or over the
+    /// confidence gate) and the scheduler fell back to minikernel
+    /// profiling — the provable-fallback half of the confidence gate.
+    PredictorFallback {
+        /// Scheduling epoch of the declined prediction.
+        epoch: u64,
+        /// Kernel name.
+        kernel: String,
+        /// Why the prediction was declined: `"untrained"` or
+        /// `"low_confidence"`.
+        reason: String,
+        /// The gate-failing uncertainty (0 when untrained).
+        uncertainty: f64,
+    },
 }
 
 impl SchedEvent {
@@ -370,7 +419,10 @@ impl SchedEvent {
             | SchedEvent::MakespanAttribution { epoch, .. }
             | SchedEvent::ShardDegraded { epoch, .. }
             | SchedEvent::TenantMigrated { epoch, .. }
-            | SchedEvent::SloBurn { epoch, .. } => epoch,
+            | SchedEvent::SloBurn { epoch, .. }
+            | SchedEvent::CostPredicted { epoch, .. }
+            | SchedEvent::PredictorRefined { epoch, .. }
+            | SchedEvent::PredictorFallback { epoch, .. } => epoch,
         }
     }
 
@@ -397,6 +449,9 @@ impl SchedEvent {
             SchedEvent::ShardDegraded { .. } => "shard_degraded",
             SchedEvent::TenantMigrated { .. } => "tenant_migrated",
             SchedEvent::SloBurn { .. } => "slo_burn",
+            SchedEvent::CostPredicted { .. } => "cost_predicted",
+            SchedEvent::PredictorRefined { .. } => "predictor_refined",
+            SchedEvent::PredictorFallback { .. } => "predictor_fallback",
         }
     }
 
@@ -629,6 +684,41 @@ impl SchedEvent {
                 ("threshold", Json::from(*threshold)),
                 ("fired", Json::Bool(*fired)),
             ]),
+            SchedEvent::CostPredicted { epoch, kernel, costs, uncertainty, samples } => {
+                Json::obj([
+                    ("type", Json::from(self.kind())),
+                    ("epoch", Json::from(*epoch)),
+                    ("kernel", Json::from(kernel.as_str())),
+                    ("costs_ns", durs(costs)),
+                    ("uncertainty", Json::from(*uncertainty)),
+                    ("samples", Json::from(*samples)),
+                ])
+            }
+            SchedEvent::PredictorRefined {
+                epoch,
+                kernel,
+                device,
+                predicted,
+                actual,
+                rel_error,
+                samples,
+            } => Json::obj([
+                ("type", Json::from(self.kind())),
+                ("epoch", Json::from(*epoch)),
+                ("kernel", Json::from(kernel.as_str())),
+                ("device", Json::from(device.index())),
+                ("predicted_ns", Json::from(predicted.as_nanos())),
+                ("actual_ns", Json::from(actual.as_nanos())),
+                ("rel_error", Json::from(*rel_error)),
+                ("samples", Json::from(*samples)),
+            ]),
+            SchedEvent::PredictorFallback { epoch, kernel, reason, uncertainty } => Json::obj([
+                ("type", Json::from(self.kind())),
+                ("epoch", Json::from(*epoch)),
+                ("kernel", Json::from(kernel.as_str())),
+                ("reason", Json::from(reason.as_str())),
+                ("uncertainty", Json::from(*uncertainty)),
+            ]),
         }
     }
 
@@ -817,6 +907,35 @@ impl SchedEvent {
                 threshold: value.get("threshold").and_then(Json::as_f64).unwrap_or(0.0),
                 fired: value.get("fired").and_then(Json::as_bool).unwrap_or(false),
             },
+            // Predictor events default every non-identifying field, so a
+            // stream trimmed or written by a differently-versioned build
+            // still replays (same convention as the other late additions).
+            "cost_predicted" => SchedEvent::CostPredicted {
+                epoch,
+                kernel: value.get("kernel")?.as_str()?.to_string(),
+                costs: value.get("costs_ns").and_then(durs).unwrap_or_default(),
+                uncertainty: value.get("uncertainty").and_then(Json::as_f64).unwrap_or(0.0),
+                samples: value.get("samples").and_then(Json::as_u64).unwrap_or(0),
+            },
+            "predictor_refined" => SchedEvent::PredictorRefined {
+                epoch,
+                kernel: value.get("kernel")?.as_str()?.to_string(),
+                device: DeviceId(value.get("device").and_then(Json::as_u64).unwrap_or(0) as usize),
+                predicted: dur("predicted_ns").unwrap_or(SimDuration::ZERO),
+                actual: dur("actual_ns").unwrap_or(SimDuration::ZERO),
+                rel_error: value.get("rel_error").and_then(Json::as_f64).unwrap_or(0.0),
+                samples: value.get("samples").and_then(Json::as_u64).unwrap_or(0),
+            },
+            "predictor_fallback" => SchedEvent::PredictorFallback {
+                epoch,
+                kernel: value.get("kernel")?.as_str()?.to_string(),
+                reason: value
+                    .get("reason")
+                    .and_then(Json::as_str)
+                    .unwrap_or("untrained")
+                    .to_string(),
+                uncertainty: value.get("uncertainty").and_then(Json::as_f64).unwrap_or(0.0),
+            },
             _ => return None,
         })
     }
@@ -1000,12 +1119,34 @@ pub(crate) fn sample_events() -> Vec<SchedEvent> {
             threshold: 14.0,
             fired: true,
         },
+        SchedEvent::CostPredicted {
+            epoch: 8,
+            kernel: "k \"cold\"\n".into(),
+            costs: vec![ns(1_200), ns(3_400), ns(5_600)],
+            uncertainty: 0.07,
+            samples: 24,
+        },
+        SchedEvent::PredictorRefined {
+            epoch: 8,
+            kernel: "k \"cold\"\n".into(),
+            device: DeviceId(1),
+            predicted: ns(3_400),
+            actual: ns(3_100),
+            rel_error: 0.0968,
+            samples: 25,
+        },
+        SchedEvent::PredictorFallback {
+            epoch: 9,
+            kernel: "k \"odd\"\n".into(),
+            reason: "low_confidence".into(),
+            uncertainty: 0.83,
+        },
     ];
     // Exhaustiveness guard: a sample for every variant's kind string.
     let mut kinds: Vec<&str> = events.iter().map(|e| e.kind()).collect();
     kinds.sort_unstable();
     kinds.dedup();
-    assert_eq!(kinds.len(), 20, "sample_events must cover every SchedEvent variant; got {kinds:?}");
+    assert_eq!(kinds.len(), 23, "sample_events must cover every SchedEvent variant; got {kinds:?}");
     events
 }
 
@@ -1065,6 +1206,40 @@ mod tests {
     fn unknown_type_is_rejected() {
         let v = Json::parse(r#"{"type":"warp_drive","epoch":1}"#).unwrap();
         assert_eq!(SchedEvent::from_json(&v), None);
+    }
+
+    #[test]
+    fn predictor_events_without_optional_fields_decode_with_defaults() {
+        // Trimmed predictor records (only the kernel name is required)
+        // still replay, so hand-edited or truncated streams don't break
+        // `schedule_explain --replay`.
+        let v = Json::parse(r#"{"type":"cost_predicted","epoch":3,"kernel":"k"}"#).unwrap();
+        match SchedEvent::from_json(&v).expect("trimmed cost_predicted decodes") {
+            SchedEvent::CostPredicted { costs, uncertainty, samples, .. } => {
+                assert!(costs.is_empty());
+                assert_eq!(uncertainty, 0.0);
+                assert_eq!(samples, 0);
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+        let v = Json::parse(r#"{"type":"predictor_refined","epoch":3,"kernel":"k"}"#).unwrap();
+        match SchedEvent::from_json(&v).expect("trimmed predictor_refined decodes") {
+            SchedEvent::PredictorRefined { device, predicted, actual, rel_error, .. } => {
+                assert_eq!(device, DeviceId(0));
+                assert_eq!(predicted, SimDuration::ZERO);
+                assert_eq!(actual, SimDuration::ZERO);
+                assert_eq!(rel_error, 0.0);
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+        let v = Json::parse(r#"{"type":"predictor_fallback","epoch":3,"kernel":"k"}"#).unwrap();
+        match SchedEvent::from_json(&v).expect("trimmed predictor_fallback decodes") {
+            SchedEvent::PredictorFallback { reason, uncertainty, .. } => {
+                assert_eq!(reason, "untrained");
+                assert_eq!(uncertainty, 0.0);
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
     }
 
     #[test]

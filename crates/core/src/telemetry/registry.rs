@@ -521,9 +521,26 @@ pub struct SchedMetrics {
     pub tenants_migrated: Counter,
     /// Tenant state bytes moved across the interconnect per migration.
     pub migration_bytes: Histogram,
+    /// Cold kernel cost rows served by the predictive model (profiling
+    /// passes avoided).
+    pub predictor_predictions: Counter,
+    /// Cold kernels the predictor declined (untrained / low confidence),
+    /// falling back to minikernel profiling.
+    pub predictor_fallbacks: Counter,
+    /// Executed-kernel observations folded back into the predictor.
+    pub predictor_refinements: Counter,
+    /// Absolute predicted-vs-executed kernel time error per refinement (ns)
+    /// — the predictor's quality stream.
+    pub predictor_error: Histogram,
+    /// Relative prediction error of the most recent refinement.
+    pub predictor_rel_error: Gauge,
     /// Detection time (ns) of each downed device, so `Remapped` events can
     /// be turned into recovery latencies.
     down_since: Mutex<std::collections::HashMap<usize, u64>>,
+    /// Per-device predictor model age: the labeled gauge plus the epoch of
+    /// the device's most recent refinement. Updated on `PredictorRefined`
+    /// (age resets to 0) and on every `EpochBegin` (ages advance).
+    predictor_age: Mutex<std::collections::HashMap<usize, (Gauge, u64)>>,
 }
 
 impl Default for SchedMetrics {
@@ -624,7 +641,28 @@ impl Default for SchedMetrics {
                 "multicl_migration_bytes",
                 "Tenant state bytes moved across the interconnect per migration",
             ),
+            predictor_predictions: registry.counter(
+                "multicl_predictor_predictions_total",
+                "Cold kernel cost rows served by the predictive model",
+            ),
+            predictor_fallbacks: registry.counter(
+                "multicl_predictor_fallbacks_total",
+                "Cold kernels the predictor declined, falling back to profiling",
+            ),
+            predictor_refinements: registry.counter(
+                "multicl_predictor_refinements_total",
+                "Executed-kernel observations folded back into the predictor",
+            ),
+            predictor_error: registry.histogram(
+                "multicl_predictor_error_ns",
+                "Absolute predicted-vs-executed kernel time error per refinement, in nanoseconds",
+            ),
+            predictor_rel_error: registry.gauge(
+                "multicl_predictor_rel_error",
+                "Relative prediction error of the most recent refinement",
+            ),
             down_since: Mutex::new(std::collections::HashMap::new()),
+            predictor_age: Mutex::new(std::collections::HashMap::new()),
             registry,
         }
     }
@@ -645,8 +683,13 @@ impl SchedMetrics {
 impl SchedObserver for SchedMetrics {
     fn on_event(&self, event: &SchedEvent) {
         match event {
-            SchedEvent::EpochBegin { pool, .. } => {
+            SchedEvent::EpochBegin { epoch, pool, .. } => {
                 self.pool_size.set(*pool as f64);
+                // Advance every known device's predictor model age: epochs
+                // since its last refinement.
+                for (gauge, refined) in self.predictor_age.lock().values() {
+                    gauge.set(epoch.saturating_sub(*refined) as f64);
+                }
             }
             SchedEvent::KernelProfiled { .. } => self.kernels_profiled.inc(),
             SchedEvent::CacheHit { .. } => self.cache_hits.inc(),
@@ -717,6 +760,27 @@ impl SchedObserver for SchedMetrics {
             SchedEvent::TenantMigrated { bytes, .. } => {
                 self.tenants_migrated.inc();
                 self.migration_bytes.observe(*bytes);
+            }
+            SchedEvent::CostPredicted { .. } => self.predictor_predictions.inc(),
+            SchedEvent::PredictorFallback { .. } => self.predictor_fallbacks.inc(),
+            SchedEvent::PredictorRefined {
+                epoch, device, predicted, actual, rel_error, ..
+            } => {
+                self.predictor_refinements.inc();
+                let (p, a) = (*predicted, *actual);
+                self.predictor_error.observe((p.max(a) - p.min(a)).as_nanos());
+                self.predictor_rel_error.set(*rel_error);
+                let mut ages = self.predictor_age.lock();
+                let entry = ages.entry(device.index()).or_insert_with(|| {
+                    let gauge = self.registry.gauge_with(
+                        "multicl_predictor_model_age_epochs",
+                        "Epochs since this device's predictor model was last refined",
+                        &[("device", &device.to_string())],
+                    );
+                    (gauge, *epoch)
+                });
+                entry.1 = *epoch;
+                entry.0.set(0.0);
             }
             // Job lifecycle events are accounted per tenant by the serving
             // layer's own metrics (the `served` crate); the scheduler-level

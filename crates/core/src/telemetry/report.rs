@@ -119,6 +119,30 @@ pub fn one_line(event: &SchedEvent) -> String {
                  (threshold {threshold:.2}x)"
             )
         }
+        SchedEvent::CostPredicted { kernel, costs, uncertainty, samples, .. } => {
+            let costs = costs.iter().map(|c| ms(*c)).collect::<Vec<_>>().join(" ");
+            format!(
+                "predicted `{kernel}` without profiling: [{costs}] \
+                 (±{:.1}%, {samples} sample(s))",
+                uncertainty * 100.0
+            )
+        }
+        SchedEvent::PredictorRefined { kernel, device, predicted, actual, rel_error, .. } => {
+            format!(
+                "refined `{kernel}` on {device}: predicted {} vs actual {} \
+                 ({:.1}% off)",
+                ms(*predicted),
+                ms(*actual),
+                rel_error * 100.0
+            )
+        }
+        SchedEvent::PredictorFallback { kernel, reason, uncertainty, .. } => {
+            format!(
+                "predictor FELL BACK to profiling for `{kernel}`: {reason} \
+                 (uncertainty {:.1}%)",
+                uncertainty * 100.0
+            )
+        }
     }
 }
 
@@ -141,13 +165,45 @@ fn decision_rows(out: &mut String, d: &QueueDecision) {
     }
 }
 
+/// Per-epoch predictor tallies accumulated while walking the stream, for
+/// the summary line printed at each epoch end.
+#[derive(Default)]
+struct PredictorEpoch {
+    predicted: usize,
+    fallbacks: usize,
+    refined: usize,
+    rel_error_sum: f64,
+}
+
+impl PredictorEpoch {
+    fn active(&self) -> bool {
+        self.predicted + self.fallbacks + self.refined > 0
+    }
+
+    fn summary(&self) -> String {
+        let mut parts =
+            vec![format!("{} predicted, {} fallback(s)", self.predicted, self.fallbacks)];
+        if self.refined > 0 {
+            parts.push(format!(
+                "mean |rel err| {:.1}% over {} refinement(s)",
+                100.0 * self.rel_error_sum / self.refined as f64,
+                self.refined
+            ));
+        }
+        format!("  predictor: {}", parts.join(", "))
+    }
+}
+
 /// Render the full decision log for an event stream. Events are grouped
-/// by epoch; mapping decisions expand into per-queue cost tables.
+/// by epoch; mapping decisions expand into per-queue cost tables, and
+/// epochs with predictor activity get a predicted-vs-actual summary line.
 pub fn decision_log(events: &[SchedEvent]) -> String {
     let mut out = String::new();
+    let mut predictor = PredictorEpoch::default();
     for ev in events {
         match ev {
             SchedEvent::EpochBegin { .. } => {
+                predictor = PredictorEpoch::default();
                 let _ = writeln!(out, "=== epoch {}: {}", ev.epoch(), one_line(ev));
             }
             SchedEvent::MappingDecision { queues, .. } => {
@@ -161,6 +217,26 @@ pub fn decision_log(events: &[SchedEvent]) -> String {
                     let _ = writeln!(out, "  Q{} → {}{moved}:", d.queue, d.chosen);
                     decision_rows(&mut out, d);
                 }
+            }
+            SchedEvent::CostPredicted { .. } => {
+                predictor.predicted += 1;
+                let _ = writeln!(out, "  {}", one_line(ev));
+            }
+            SchedEvent::PredictorFallback { .. } => {
+                predictor.fallbacks += 1;
+                let _ = writeln!(out, "  {}", one_line(ev));
+            }
+            SchedEvent::PredictorRefined { rel_error, .. } => {
+                predictor.refined += 1;
+                predictor.rel_error_sum += rel_error;
+                let _ = writeln!(out, "  {}", one_line(ev));
+            }
+            SchedEvent::EpochEnd { .. } => {
+                if predictor.active() {
+                    let _ = writeln!(out, "{}", predictor.summary());
+                    predictor = PredictorEpoch::default();
+                }
+                let _ = writeln!(out, "  {}", one_line(ev));
             }
             _ => {
                 let _ = writeln!(out, "  {}", one_line(ev));

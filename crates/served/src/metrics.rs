@@ -39,6 +39,12 @@ pub struct TenantMetrics {
     pub latency_ns: Histogram,
     /// SLO burn-rate alerts fired (transitions into the firing state).
     pub slo_alerts: Counter,
+    /// Latency of the tenant's *first* completed job (virtual
+    /// nanoseconds). The cold-start indicator: under a profiling-based
+    /// scheduler this row absorbs the one-time profiling epochs; with the
+    /// cost predictor warm it should match steady-state latency. Set once,
+    /// `0` until the first completion.
+    pub first_job_latency_ns: Gauge,
 }
 
 /// Metrics for the whole service: a shared registry plus per-tenant handles
@@ -48,6 +54,10 @@ pub struct ServiceMetrics {
     tenants: Vec<TenantMetrics>,
     /// Exact per-tenant job latencies in virtual milliseconds.
     latencies_ms: Vec<Mutex<Vec<f64>>>,
+    /// Start-up warm-up instances skipped because the cost predictor was
+    /// already confident about every launch in the template (service-wide,
+    /// not per tenant — warm-up runs before tenants submit anything).
+    pub warmups_skipped: Counter,
 }
 
 impl ServiceMetrics {
@@ -111,11 +121,20 @@ impl ServiceMetrics {
                         "SLO burn-rate alerts fired",
                         labels,
                     ),
+                    first_job_latency_ns: registry.gauge_with(
+                        "served_first_job_latency_ns",
+                        "latency of the tenant's first completed job (cold start)",
+                        labels,
+                    ),
                 }
             })
             .collect();
         let latencies_ms = tenant_names.iter().map(|_| Mutex::new(Vec::new())).collect();
-        ServiceMetrics { registry, tenants, latencies_ms }
+        let warmups_skipped = registry.counter(
+            "served_warmups_skipped_total",
+            "start-up warm-up instances skipped (predictor confident)",
+        );
+        ServiceMetrics { registry, tenants, latencies_ms, warmups_skipped }
     }
 
     /// The shared registry (exportable as Prometheus text or JSON).
@@ -128,10 +147,16 @@ impl ServiceMetrics {
         &self.tenants[i]
     }
 
-    /// Record one completed-job latency for tenant `i`.
+    /// Record one completed-job latency for tenant `i`. The first sample
+    /// also pins [`TenantMetrics::first_job_latency_ns`], the tenant's
+    /// cold-start latency.
     pub fn record_latency(&self, i: usize, latency: SimDuration) {
         self.tenants[i].latency_ns.observe(latency.as_nanos());
-        self.latencies_ms[i].lock().push(latency.as_millis_f64());
+        let mut samples = self.latencies_ms[i].lock();
+        if samples.is_empty() {
+            self.tenants[i].first_job_latency_ns.set(latency.as_nanos() as f64);
+        }
+        samples.push(latency.as_millis_f64());
     }
 
     /// Exact latency samples (virtual ms) of tenant `i`, submission order.
@@ -163,6 +188,10 @@ mod tests {
         assert!(prom.contains(r#"served_jobs_submitted_total{tenant="t0"} 1"#), "{prom}");
         assert!(prom.contains(r#"served_jobs_submitted_total{tenant="t1"} 0"#), "{prom}");
         assert!(prom.contains(r#"served_job_latency_ns_count{tenant="t0"}"#), "{prom}");
+        // First-job latency is pinned by the first sample and never moves.
+        let first = SimDuration::from_millis(4).as_nanos() as f64;
+        assert!(prom.contains(&format!(r#"served_first_job_latency_ns{{tenant="t0"}} {first}"#)));
+        assert!(prom.contains(r#"served_first_job_latency_ns{tenant="t1"} 0"#), "{prom}");
         let (p50, p95, p99) = m.latency_percentiles_ms(0);
         assert!(p50 >= 4.0 && p99 <= 8.0 && p50 <= p95 && p95 <= p99);
         assert_eq!(m.latencies_ms(1), Vec::<f64>::new());

@@ -200,6 +200,13 @@ pub fn warmed_options(platform: &Platform, dir: impl Into<PathBuf>) -> SchedOpti
     SchedOptions {
         profile_cache: cache,
         mapper: multicl::MapperKind::Adaptive,
+        // Serving opts into feature-based cost prediction so templates the
+        // model is confident about never pay a profiling epoch — the
+        // cold-start path `warm_programs` would otherwise hide behind
+        // throwaway jobs. `predictor_persist` stays `false`: the load
+        // generator compares same-seed runs byte-for-byte, and a model
+        // persisted by run 1 would make run 2 start trained.
+        predictor_confidence: multicl::DEFAULT_PREDICTOR_CONFIDENCE,
         ..SchedOptions::default()
     }
 }
@@ -921,11 +928,23 @@ impl Served {
     /// end of start-up: [`Self::serving_since`] is set to the clock after
     /// the warm-up drains. Warm-up instances never touch tenant queues,
     /// metrics, or outcomes.
+    ///
+    /// When the scheduler's cost predictor is already confident about
+    /// every launch in a template (a persisted model from a previous
+    /// service run, loaded via `predictor_persist`), the throwaway
+    /// instance buys nothing — the first real job is mapped from
+    /// predictions, not a profiling epoch — so it is skipped and counted
+    /// in `served_warmups_skipped_total`. Programs still compile for every
+    /// template either way.
     pub fn warm_programs(&self, specs: &[JobSpec]) -> ClResult<()> {
         for spec in specs {
             self.program_for(spec)?;
         }
         for (i, spec) in specs.iter().enumerate() {
+            if self.spec_predictor_confident(spec) {
+                self.metrics.warmups_skipped.inc();
+                continue;
+            }
             self.issue_job(&self.workers[i % self.workers.len()], spec, u64::MAX)?;
         }
         self.ctx.finish_all();
@@ -937,6 +956,42 @@ impl Served {
     /// Virtual time at which start-up finished (`ZERO` if no warm-up ran).
     pub fn serving_since(&self) -> SimTime {
         *self.serving_since.lock()
+    }
+
+    /// True when the scheduler's cost predictor is confident — on every
+    /// healthy device — about every `Launch` step in `spec`, i.e. a
+    /// warm-up instance would not save the first real job any profiling.
+    /// Argument bytes mirror [`Self::issue_job`]: one `f64` buffer per
+    /// distinct arg name, counted once however many positions bind it.
+    fn spec_predictor_confident(&self, spec: &JobSpec) -> bool {
+        let costs: HashMap<&str, KernelCostSpec> =
+            spec.kernels.iter().map(|k| (k.name.as_str(), k.cost)).collect();
+        let elements: HashMap<&str, usize> =
+            spec.buffers.iter().map(|b| (b.name.as_str(), b.elements)).collect();
+        let mut any_launch = false;
+        for step in &spec.steps {
+            let StepOp::Launch { kernel, global, local, args } = &step.op else {
+                continue;
+            };
+            any_launch = true;
+            let Some(cost) = costs.get(kernel.as_str()) else {
+                return false;
+            };
+            let mut seen: Vec<&str> = Vec::new();
+            let mut arg_bytes = 0u64;
+            for arg in args {
+                if !seen.contains(&arg.as_str()) {
+                    seen.push(arg.as_str());
+                    let elems = elements.get(arg.as_str()).copied().unwrap_or(0);
+                    arg_bytes += (elems * std::mem::size_of::<f64>()) as u64;
+                }
+            }
+            let shape = NdRange::d1(*global, *local).shape();
+            if !self.ctx.predictor_confident(cost, shape, arg_bytes) {
+                return false;
+            }
+        }
+        any_launch
     }
 
     /// Get or build the program for `spec`'s kernel set. Keyed by the full

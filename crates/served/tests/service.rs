@@ -491,3 +491,115 @@ fn retirement_and_trace_capacity_bound_memory_without_changing_results() {
     assert!(records <= 64, "trace respects its capacity bound ({records} records)");
     assert!(plain_records > 64, "the unbounded run really exceeds the bound");
 }
+
+/// A single-launch compute-dominated template from the kernel family the
+/// scheduler's cost predictor learns cleanly (mirrors the training family
+/// in the `multicl` predictor tests).
+fn synth_template(rng: &mut hwsim::xrand::XorShift, name: &str) -> served::JobSpec {
+    let flops = rng.range_f64(2_000.0, 8_000.0);
+    let bytes = rng.range_f64(4.0, 16.0);
+    let coalescing = rng.range_f64(0.7, 1.0);
+    let divergence = rng.range_f64(0.0, 0.3);
+    let vector = rng.range_f64(0.8, 1.0);
+    let global = 64 * rng.range_u64(64, 512);
+    served::JobSpec::parse_str(&format!(
+        r#"{{
+          "name": "{name}",
+          "buffers": [{{"name": "a", "elements": 1024}}],
+          "kernels": [{{"name": "{name}_k", "flops_per_item": {flops},
+                       "bytes_per_item": {bytes}, "coalescing": {coalescing},
+                       "branch_divergence": {divergence},
+                       "vector_friendliness": {vector}}}],
+          "steps": [
+            {{"id": "in", "op": "write", "buffer": "a"}},
+            {{"op": "launch", "kernel": "{name}_k", "global": {global},
+             "local": 64, "args": ["a"], "after": ["in"]}}
+          ]
+        }}"#
+    ))
+    .expect("synthetic template parses")
+}
+
+#[test]
+fn persisted_predictor_lets_warm_up_skip_confident_templates() {
+    let dir = scratch_dir("warmskip");
+    let _ = std::fs::remove_dir_all(&dir);
+    let platform = Platform::paper_node();
+
+    // Phase 1: train the predictor through real service traffic under
+    // ROUND_ROBIN (spreads the diverse kernels across every device), with
+    // persistence on so the model survives the restart below.
+    let mut options = warmed_options(&platform, &dir);
+    options.predictor_persist = true;
+    let trainer = Served::new(
+        &platform,
+        ServiceConfig {
+            policy: ServePolicy::RoundRobin,
+            workers: 6,
+            tenants: vec![TenantConfig::new("train", 1, 64)],
+            options,
+            retry: served::RetryPolicy::default(),
+            slo: None,
+        },
+    )
+    .expect("trainer builds");
+    let mut rng = hwsim::xrand::XorShift::new(4242);
+    for g in 0..12 {
+        for i in 0..6 {
+            let spec = synth_template(&mut rng, &format!("train_{g}_{i}"));
+            trainer.submit(0, spec).expect("admit training job");
+        }
+        trainer.run_until_drained();
+    }
+
+    // Phase 2: a restarted service loads the persisted model. Warm-up
+    // still compiles every program but skips the throwaway instance for
+    // the in-family template; an out-of-family one (double precision —
+    // never seen in training) still pays the warm-up.
+    let mut options = warmed_options(&platform, &dir);
+    options.predictor_persist = true;
+    let restarted = Served::new(
+        &platform,
+        ServiceConfig {
+            policy: ServePolicy::AutoFit,
+            workers: 3,
+            tenants: vec![TenantConfig::new("t", 1, 16)],
+            options,
+            retry: served::RetryPolicy::default(),
+            slo: None,
+        },
+    )
+    .expect("restarted service builds");
+    let confident = synth_template(&mut rng, "warm_confident");
+    let unfamiliar = served::JobSpec::parse_str(
+        r#"{
+          "name": "warm_unfamiliar",
+          "buffers": [{"name": "a", "elements": 1024}],
+          "kernels": [{"name": "warm_unfamiliar_k", "flops_per_item": 3000.0,
+                       "bytes_per_item": 8.0, "double_precision": true}],
+          "steps": [
+            {"id": "in", "op": "write", "buffer": "a"},
+            {"op": "launch", "kernel": "warm_unfamiliar_k", "global": 16384,
+             "local": 64, "args": ["a"], "after": ["in"]}
+          ]
+        }"#,
+    )
+    .expect("unfamiliar template parses");
+    restarted.warm_programs(&[confident.clone(), unfamiliar]).expect("warm-up runs");
+    assert_eq!(
+        restarted.metrics().warmups_skipped.get(),
+        1,
+        "exactly the confident template skips its warm-up instance"
+    );
+
+    // The first real job of the skipped template completes without any
+    // profiling-epoch warm-up having run for it, and pins the tenant's
+    // cold-start latency gauge.
+    restarted.submit(0, confident).expect("admit first job");
+    restarted.run_until_drained();
+    assert_eq!(restarted.metrics().tenant(0).completed.get(), 1);
+    let prom = restarted.metrics().registry().to_prometheus();
+    assert!(prom.contains("served_warmups_skipped_total 1"), "{prom}");
+    let first = restarted.metrics().tenant(0).first_job_latency_ns.get();
+    assert!(first > 0.0, "first-job latency gauge pinned ({first})");
+}
