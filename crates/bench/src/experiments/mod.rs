@@ -16,5 +16,6 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod mapper_scaling;
+pub mod overlap;
 pub mod tables;
 pub mod tracing;

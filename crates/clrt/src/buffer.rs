@@ -11,6 +11,7 @@
 use crate::error::{ClError, ClResult};
 use crate::exec::{BufHazard, DataPlane, TaskId};
 use crate::platform::next_object_id;
+use hwsim::engine::EventId;
 use hwsim::sync::Mutex;
 use hwsim::DeviceId;
 use std::collections::BTreeSet;
@@ -113,6 +114,23 @@ impl Residency {
     }
 }
 
+/// Time-plane hazard state of a buffer: the engine event of the last timed
+/// command that *wrote* its contents, and the events of the reads since.
+///
+/// Every queue records its timed commands here; only out-of-order queues
+/// *consult* it, deriving their event wait lists (readers wait on the
+/// writer; writers wait on the writer and all readers) in place of the
+/// implicit in-order chain. In-order queues get the same ordering from
+/// their chain, so recording alone never changes any timestamp.
+#[derive(Debug, Default)]
+pub(crate) struct StampHazard {
+    /// Completion event of the last command that wrote the contents.
+    pub(crate) writer: Option<EventId>,
+    /// Completion events of commands that read the contents since the last
+    /// write (pruned opportunistically once completed in virtual time).
+    pub(crate) readers: Vec<EventId>,
+}
+
 pub(crate) struct BufferInner {
     pub(crate) id: u64,
     pub(crate) ctx_id: u64,
@@ -121,6 +139,8 @@ pub(crate) struct BufferInner {
     /// Data-plane hazard state: last writer task, readers since, and the
     /// write version counter.
     pub(crate) hazard: Mutex<BufHazard>,
+    /// Time-plane hazard state (virtual-time RAW/WAR/WAW edges).
+    pub(crate) stamp_hazard: Mutex<StampHazard>,
     /// The executor of the owning runtime; `None` for bare buffers created
     /// outside a context (unit tests). Host accessors join through it so
     /// snapshots always observe completed data-plane writes.
@@ -158,6 +178,7 @@ impl Buffer {
                 store: Mutex::new(DataStore::zeroed(byte_len)),
                 residency: Mutex::new(Residency::fresh()),
                 hazard: Mutex::new(BufHazard::default()),
+                stamp_hazard: Mutex::new(StampHazard::default()),
                 plane,
             }),
         })

@@ -171,26 +171,67 @@ impl CommandQueue {
         id
     }
 
+    /// Record a timed command's completion event in `buf`'s time-plane
+    /// hazard state (see [`crate::buffer::StampHazard`]). Every queue
+    /// records; the reader list is pruned of virtually-completed events
+    /// once it grows.
+    fn stamp_record(engine: &Engine, buf: &Buffer, ev: EventId, write: bool) {
+        let mut h = buf.inner.stamp_hazard.lock();
+        if write {
+            h.writer = Some(ev);
+            h.readers.clear();
+        } else {
+            h.readers.push(ev);
+            if h.readers.len() >= 64 {
+                h.readers.retain(|&e| !engine.event_completed(e));
+            }
+        }
+    }
+
+    /// Collect the virtual-time hazard predecessors a command touching
+    /// `buf` must wait on — only consulted by out-of-order queues (in-order
+    /// queues get the same ordering from their implicit chain). Readers
+    /// wait on the last writer (RAW); writers additionally wait on every
+    /// reader since (WAR) and the writer itself (WAW).
+    fn stamp_consult(buf: &Buffer, write: bool, out: &mut Vec<EventId>) {
+        let h = buf.inner.stamp_hazard.lock();
+        if let Some(w) = h.writer {
+            out.push(w);
+        }
+        if write {
+            out.extend(h.readers.iter().copied());
+        }
+    }
+
     /// Insert the transfers needed to make `buf` valid on `dev`, updating
     /// residency. Returns the final transfer event, if any movement happened.
+    ///
+    /// A migration is a *read* of the buffer's contents: on out-of-order
+    /// queues the first transfer waits on the buffer's time-plane writer
+    /// (the contents must be final before they move), and the final event
+    /// is recorded as a reader so later writers order after it.
     fn migrate_to(&self, engine: &mut Engine, buf: &Buffer, dev: DeviceId) -> Option<EventId> {
         let node = &self.inner.ctx.rt.node;
         let mut res = buf.inner.residency.lock();
         if res.valid_on(dev) {
             return None;
         }
+        let mut raw: Vec<EventId> = Vec::new();
+        if self.inner.ooo {
+            Self::stamp_consult(buf, false, &mut raw);
+        }
         let bytes = buf.byte_len() as u64;
-        if res.host {
+        let ev = if res.host {
             let d = node.topology.host_transfer_time(dev, bytes, &node.devices);
             let ev = self.submit(
                 engine,
                 dev,
                 CommandKind::Transfer { kind: TransferKind::HostToDevice, bytes },
                 d,
-                &[],
+                &raw,
             );
             res.devices.insert(dev);
-            Some(ev)
+            ev
         } else {
             // Valid only on some other device: stage through the host
             // (cross-vendor D2D is unavailable, paper §V-C3).
@@ -202,7 +243,7 @@ impl CommandQueue {
                 owner,
                 CommandKind::Transfer { kind: TransferKind::DeviceToHost, bytes },
                 d2h,
-                &[],
+                &raw,
             );
             let h2d = node.topology.host_transfer_time(dev, bytes, &node.devices);
             let ev2 = self.submit(
@@ -214,8 +255,10 @@ impl CommandQueue {
             );
             res.host = true;
             res.devices.insert(dev);
-            Some(ev2)
-        }
+            ev2
+        };
+        Self::stamp_record(engine, buf, ev, false);
+        Some(ev)
     }
 
     fn check_buffer(&self, buf: &Buffer) -> ClResult<()> {
@@ -247,13 +290,22 @@ impl CommandQueue {
         let duration = node.topology.host_transfer_time(dev, bytes, &node.devices);
         let ev = {
             let mut engine = self.inner.ctx.rt.engine.lock();
-            self.submit(
+            // WAW/WAR in virtual time: the upload overwrites the contents,
+            // so on out-of-order queues it orders after the last writer and
+            // every outstanding reader of this buffer (and nothing else).
+            let mut hazards: Vec<EventId> = Vec::new();
+            if self.inner.ooo {
+                Self::stamp_consult(buf, true, &mut hazards);
+            }
+            let id = self.submit(
                 &mut engine,
                 dev,
                 CommandKind::Transfer { kind: TransferKind::HostToDevice, bytes },
                 duration,
-                &[],
-            )
+                &hazards,
+            );
+            Self::stamp_record(&engine, buf, id, true);
+            id
         };
         // Data plane: the store update is a hazard-tracked task. The async
         // path clones the user's slice (the call may return before a worker
@@ -309,7 +361,12 @@ impl CommandQueue {
             let mig = self.migrate_to(&mut engine, buf, dev);
             let node = &self.inner.ctx.rt.node;
             let duration = node.topology.host_transfer_time(dev, bytes, &node.devices);
-            let waits: Vec<EventId> = mig.into_iter().collect();
+            let mut waits: Vec<EventId> = mig.into_iter().collect();
+            // RAW in virtual time: with no migration to chain behind, an
+            // out-of-order D2H must still wait for the producing command.
+            if self.inner.ooo && waits.is_empty() {
+                Self::stamp_consult(buf, false, &mut waits);
+            }
             let id = self.submit(
                 &mut engine,
                 dev,
@@ -317,6 +374,7 @@ impl CommandQueue {
                 duration,
                 &waits,
             );
+            Self::stamp_record(&engine, buf, id, false);
             engine.wait(id);
             id
         };
@@ -348,14 +406,25 @@ impl CommandQueue {
             let mig = self.migrate_to(&mut engine, src, dev);
             let node = &self.inner.ctx.rt.node;
             let duration = node.topology.device_transfer_time(dev, dev, bytes, &node.devices);
-            let waits: Vec<EventId> = mig.into_iter().collect();
-            self.submit(
+            let mut waits: Vec<EventId> = mig.into_iter().collect();
+            // Virtual-time hazards: the copy reads `src` (RAW, unless the
+            // migration already chained it) and writes `dst` (WAW + WAR).
+            if self.inner.ooo {
+                if waits.is_empty() {
+                    Self::stamp_consult(src, false, &mut waits);
+                }
+                Self::stamp_consult(dst, true, &mut waits);
+            }
+            let id = self.submit(
                 &mut engine,
                 dev,
                 CommandKind::Transfer { kind: TransferKind::DeviceToDevice, bytes },
                 duration,
                 &waits,
-            )
+            );
+            Self::stamp_record(&engine, src, id, false);
+            Self::stamp_record(&engine, dst, id, true);
+            id
         };
         // Data plane: copy the canonical stores (a self-copy is a data-plane
         // no-op). The task locks both stores in canonical buffer-id order —
@@ -451,28 +520,9 @@ impl CommandQueue {
         }
         let cost = kernel.cost();
         let duration = cost.kernel_time(spec, effective.shape());
-        let ev = {
-            let mut engine = self.inner.ctx.rt.engine.lock();
-            let mut chain: Vec<EventId> = waits.iter().map(Event::raw).collect();
-            for a in args {
-                if let Some(b) = a.buffer() {
-                    if let Some(t) = self.migrate_to(&mut engine, b, dev) {
-                        chain.push(t);
-                    }
-                }
-            }
-            self.submit(
-                &mut engine,
-                dev,
-                CommandKind::Kernel { name: Arc::from(kernel.name().as_str()) },
-                duration,
-                &chain,
-            )
-        };
-        // Data plane: run the body exactly once, outside the engine lock.
-        // Hazards come from the deduplicated buffer argument set (a buffer
-        // passed both mutably and immutably counts as a write); explicit
-        // event waits order the task after the tasks backing those events.
+        // Deduplicated buffer accesses (a buffer passed both mutably and
+        // immutably counts as a write): shared by the time-plane hazard
+        // tracker and the data-plane executor below.
         let mut accesses: Vec<Access<'_>> = Vec::with_capacity(args.len());
         for a in args {
             if let Some(b) = a.buffer() {
@@ -486,6 +536,38 @@ impl CommandQueue {
                 }
             }
         }
+        let ev = {
+            let mut engine = self.inner.ctx.rt.engine.lock();
+            let mut chain: Vec<EventId> = waits.iter().map(Event::raw).collect();
+            for a in args {
+                if let Some(b) = a.buffer() {
+                    if let Some(t) = self.migrate_to(&mut engine, b, dev) {
+                        chain.push(t);
+                    }
+                }
+            }
+            // Virtual-time hazards (out-of-order queues only): wait on each
+            // argument's RAW/WAR/WAW predecessors instead of the chain.
+            if self.inner.ooo {
+                for u in &accesses {
+                    Self::stamp_consult(u.buf, u.write, &mut chain);
+                }
+            }
+            let id = self.submit(
+                &mut engine,
+                dev,
+                CommandKind::Kernel { name: Arc::from(kernel.name().as_str()) },
+                duration,
+                &chain,
+            );
+            for u in &accesses {
+                Self::stamp_record(&engine, u.buf, id, u.write);
+            }
+            id
+        };
+        // Data plane: run the body exactly once, outside the engine lock.
+        // Hazards come from the deduplicated buffer argument set; explicit
+        // event waits order the task after the tasks backing those events.
         let plane = Arc::clone(self.plane());
         if plane.is_inline() {
             plane.note_inline(&accesses);
@@ -881,6 +963,59 @@ mod tests {
             kernel_ev.stamp().end
         );
         q.finish();
+    }
+
+    #[test]
+    fn ooo_queue_orders_raw_hazards_without_explicit_waits() {
+        // The time-plane hazard tracker supplies the RAW edge: a kernel
+        // consuming a just-uploaded buffer must start after the upload even
+        // with an empty wait list on an out-of-order queue.
+        let p = Platform::paper_node();
+        let ctx = p.create_context_all().unwrap();
+        let prog = ctx.create_program(vec![Arc::new(Scale(2.0)) as Arc<dyn KernelBody>]).unwrap();
+        prog.build(0).unwrap();
+        let q = ctx.create_queue_ooo(DeviceId(1)).unwrap();
+        let b = ctx.create_buffer_of::<f64>(1 << 16).unwrap();
+        let w = q.enqueue_write(&b, &vec![3.0f64; 1 << 16]).unwrap();
+        let k = prog.create_kernel("scale").unwrap();
+        k.set_arg(0, ArgValue::BufferMut(b.clone())).unwrap();
+        let e = q.enqueue_ndrange(&k, NdRange::d1(1 << 16, 128), &[]).unwrap();
+        assert!(
+            e.stamp().start >= w.stamp().end,
+            "kernel {} must start after its input upload ends {}",
+            e.stamp().start,
+            w.stamp().end
+        );
+        let mut out = vec![0.0f64; 1 << 16];
+        let r = q.enqueue_read(&b, &mut out).unwrap();
+        assert!(r.stamp().start >= e.stamp().end, "D2H must wait the producing kernel");
+        assert!(out.iter().all(|&v| v == 6.0));
+    }
+
+    #[test]
+    fn ooo_queue_orders_waw_and_war_hazards() {
+        let p = Platform::paper_node();
+        let ctx = p.create_context_all().unwrap();
+        let prog = ctx.create_program(vec![Arc::new(Scale(2.0)) as Arc<dyn KernelBody>]).unwrap();
+        prog.build(0).unwrap();
+        let q = ctx.create_queue_ooo(DeviceId(1)).unwrap();
+        let b = ctx.create_buffer_of::<f64>(1 << 16).unwrap();
+        q.enqueue_write(&b, &vec![1.0f64; 1 << 16]).unwrap();
+        let k = prog.create_kernel("scale").unwrap();
+        k.set_arg(0, ArgValue::BufferMut(b.clone())).unwrap();
+        let e = q.enqueue_ndrange(&k, NdRange::d1(1 << 16, 128), &[]).unwrap();
+        // WAW/WAR: a second upload of the same buffer orders after the
+        // kernel writing it — without any explicit event wait.
+        let w2 = q.enqueue_write(&b, &vec![9.0f64; 1 << 16]).unwrap();
+        assert!(
+            w2.stamp().start >= e.stamp().end,
+            "overwrite {} must wait for the kernel to end {}",
+            w2.stamp().start,
+            e.stamp().end
+        );
+        let mut out = vec![0.0f64; 1 << 16];
+        q.enqueue_read(&b, &mut out).unwrap();
+        assert!(out.iter().all(|&v| v == 9.0));
     }
 
     #[test]

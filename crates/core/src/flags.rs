@@ -57,6 +57,12 @@ impl QueueSchedFlags {
     pub const SCHED_IO_BOUND: QueueSchedFlags = QueueSchedFlags(1 << 7);
     /// Hint: memory-bandwidth-bound workload (static-mode criterion).
     pub const SCHED_MEM_BOUND: QueueSchedFlags = QueueSchedFlags(1 << 8);
+    /// Flush epochs through an out-of-order clrt queue: commands wait only
+    /// on their hazard-edge predecessors (RAW/WAR/WAW buffer sets), and the
+    /// epoch flush batch-reorders the command DAG so transfers overlap
+    /// kernels on the device's copy lane (Lázaro-Muñoz et al.). Off by
+    /// default: without the flag the in-order chain is preserved exactly.
+    pub const SCHED_OUT_OF_ORDER: QueueSchedFlags = QueueSchedFlags(1 << 9);
 
     /// The empty flag set (defaults to automatic dynamic scheduling at
     /// kernel-epoch granularity when passed to queue creation).
@@ -119,7 +125,7 @@ impl QueueSchedFlags {
 
     /// Iterate the names of the set flags (for Display/diagnostics).
     fn names(self) -> Vec<&'static str> {
-        const TABLE: [(u32, &str); 9] = [
+        const TABLE: [(u32, &str); 10] = [
             (1 << 0, "SCHED_OFF"),
             (1 << 1, "SCHED_AUTO_STATIC"),
             (1 << 2, "SCHED_AUTO_DYNAMIC"),
@@ -129,6 +135,7 @@ impl QueueSchedFlags {
             (1 << 6, "SCHED_COMPUTE_BOUND"),
             (1 << 7, "SCHED_IO_BOUND"),
             (1 << 8, "SCHED_MEM_BOUND"),
+            (1 << 9, "SCHED_OUT_OF_ORDER"),
         ];
         TABLE.iter().filter(|(bit, _)| self.0 & bit != 0).map(|&(_, name)| name).collect()
     }

@@ -28,6 +28,12 @@
 //!   for compute-bound queues, data caching for I/O-heavy profiling.
 //! * **Device mapper** ([`mapper`]): exact makespan minimization over the
 //!   queue pool (plus greedy and round-robin strategies).
+//! * **Epoch batch reorderer** ([`ooo`]): for queues flagged
+//!   `SCHED_OUT_OF_ORDER`, the flush builds the command DAG from buffer
+//!   hazard sets and emits it in Johnson's-rule order through an
+//!   out-of-order `clrt` queue, so staging transfers overlap kernels on
+//!   the device's copy lane (Lázaro-Muñoz et al.). Unflagged queues keep
+//!   the strict in-order chain.
 //!
 //! ## Quickstart
 //!
@@ -47,6 +53,7 @@
 pub mod flags;
 pub mod mapper;
 pub mod metrics;
+pub mod ooo;
 pub mod predictor;
 pub mod profile;
 pub mod scheduler;

@@ -26,6 +26,7 @@
 
 use crate::flags::{ContextSchedPolicy, QueueSchedFlags};
 use crate::mapper;
+use crate::ooo;
 use crate::predictor::{CostPredictor, KernelFeatures};
 use crate::profile::{DeviceProfile, ProfileCache, StaticHint};
 use crate::telemetry::event::{QueueDecision, SchedEvent};
@@ -195,6 +196,9 @@ pub struct SchedStats {
     pub predictor_fallbacks: u64,
     /// Kernel launches flushed to devices.
     pub kernels_issued: u64,
+    /// Launches the out-of-order epoch flush emitted at a different batch
+    /// position than program order (Johnson's-rule reordering).
+    pub commands_reordered: u64,
     /// Devices detected as permanently lost and blacklisted.
     pub devices_lost: u64,
     /// Queues evacuated off lost devices (fault-driven rebinds).
@@ -564,7 +568,14 @@ impl MulticlContext {
     }
 
     fn make_queue(&self, flags: QueueSchedFlags, device: DeviceId) -> ClResult<SchedQueue> {
-        let cl = self.rt.cl.create_queue(device)?;
+        // OUT_OF_ORDER queues flush through an out-of-order clrt queue:
+        // commands wait only on their buffer-hazard predecessors (tracked by
+        // the clrt time-plane hazard sets), not the previous command.
+        let cl = if flags.contains(QueueSchedFlags::SCHED_OUT_OF_ORDER) {
+            self.rt.cl.create_queue_ooo(device)?
+        } else {
+            self.rt.cl.create_queue(device)?
+        };
         let state = Arc::new(QueueState {
             id: self.rt.queue_ids.fetch_add(1, Ordering::Relaxed),
             cl,
@@ -781,6 +792,7 @@ impl RtInner {
                         queue: q.id,
                         exec_estimates: b.exec.clone(),
                         migration_costs: b.migration.clone(),
+                        overlap_estimates: b.overlap.clone().unwrap_or_default(),
                         chosen: devices[dev.index()],
                         previous: q.cl.device(),
                     })
@@ -816,10 +828,11 @@ impl RtInner {
                         CostBreakdown {
                             exec: self.static_costs(q, &pending, &devices),
                             migration: self.migration_vec(q, &pending, &devices),
+                            overlap: None,
                         }
                     };
                 if let Some(i) = devices.iter().position(|d| d == dev) {
-                    per_device[i] += b.exec[i] + b.migration[i];
+                    per_device[i] += b.total(i);
                 }
             }
             predicted = per_device.into_iter().max();
@@ -849,7 +862,11 @@ impl RtInner {
         let flush_start = self.platform.now();
         let trace_offset = self.platform.with_engine(|e| e.trace().total_pushed());
         let mut pool_issued = 0;
-        for (q, dev) in pool.iter().zip(&assignment) {
+        // Out-of-order queues are flushed as one cross-queue batch after the
+        // in-order queues, so the reorderer sees every OOO command of the
+        // epoch; rebinds and migration events still happen per queue below.
+        let mut ooo_group: Vec<usize> = Vec::new();
+        for (i, (q, dev)) in pool.iter().zip(&assignment).enumerate() {
             let previous = q.cl.device();
             if previous != *dev {
                 let bytes = {
@@ -883,9 +900,20 @@ impl RtInner {
                 }
             }
             q.cl.rebind(*dev).expect("mapper chose a context device");
-            pool_issued += self.flush_queue(q);
+            if q.flags.contains(QueueSchedFlags::SCHED_OUT_OF_ORDER) {
+                ooo_group.push(i);
+            } else {
+                pool_issued += self.flush_queue(q);
+            }
+        }
+        let mut commands_reordered = 0;
+        if !ooo_group.is_empty() {
+            let (issued, reordered) = self.flush_ooo_group(&pool, &assignment, &ooo_group);
+            pool_issued += issued;
+            commands_reordered = reordered;
         }
         delta.kernels_issued += pool_issued;
+        delta.commands_reordered += commands_reordered;
         self.apply_stats(&delta);
         // Predicted-vs-actual makespan attribution: the mapper's objective
         // against the executed critical path of the commands it just issued.
@@ -909,6 +937,12 @@ impl RtInner {
         }
         let done = self.platform.now();
         let dp = self.platform.data_plane_stats();
+        // Measured copy/compute lane overlap of this epoch's flush window,
+        // per device (0.0 where a device saw one lane or none).
+        let lane_overlap: Vec<f64> = self.platform.with_engine(|e| {
+            let lanes = hwsim::report::lane_utilization_of(e.trace().records_since(trace_offset));
+            devices.iter().map(|d| lanes.get(d).map_or(0.0, |l| l.overlap_fraction())).collect()
+        });
         self.emit(&SchedEvent::EpochEnd {
             epoch,
             at: done,
@@ -917,6 +951,8 @@ impl RtInner {
             kernels_issued: pool_issued,
             data_queue_depth: dp.queue_depth,
             data_peak_busy: dp.peak_busy_workers,
+            commands_reordered,
+            lane_overlap,
         });
     }
 
@@ -930,6 +966,7 @@ impl RtInner {
         stats.kernels_predicted += delta.kernels_predicted;
         stats.predictor_fallbacks += delta.predictor_fallbacks;
         stats.kernels_issued += delta.kernels_issued;
+        stats.commands_reordered += delta.commands_reordered;
         stats.devices_lost += delta.devices_lost;
         stats.queues_remapped += delta.queues_remapped;
     }
@@ -1059,6 +1096,7 @@ impl RtInner {
             CostPlan::Static => CostBreakdown {
                 exec: self.static_costs(q, &pending, devices),
                 migration: vec![SimDuration::ZERO; devices.len()],
+                overlap: None,
             },
             CostPlan::Hit(key) => {
                 let exec = self
@@ -1067,7 +1105,11 @@ impl RtInner {
                     .get(key)
                     .cloned()
                     .expect("classified as hit under pass_lock");
-                CostBreakdown { exec, migration: self.migration_vec(q, &pending, devices) }
+                CostBreakdown {
+                    overlap: self.overlap_estimate(q, &pending, devices),
+                    migration: self.migration_vec(q, &pending, devices),
+                    exec,
+                }
             }
             CostPlan::Compose(_) => {
                 let kp = self.kernel_profiles.lock();
@@ -1078,7 +1120,11 @@ impl RtInner {
                     }
                 }
                 drop(kp);
-                CostBreakdown { exec, migration: self.migration_vec(q, &pending, devices) }
+                CostBreakdown {
+                    overlap: self.overlap_estimate(q, &pending, devices),
+                    migration: self.migration_vec(q, &pending, devices),
+                    exec,
+                }
             }
             CostPlan::Profile => unreachable!("profile plans take the sequential path"),
         }
@@ -1135,6 +1181,7 @@ impl RtInner {
             return CostBreakdown {
                 exec: self.static_costs(q, &pending, devices),
                 migration: vec![SimDuration::ZERO; devices.len()],
+                overlap: None,
             };
         }
         let exec = self.dynamic_costs(q, &pending, devices, epoch, delta);
@@ -1150,7 +1197,8 @@ impl RtInner {
         // against every-epoch kernel costs would bias the mapper toward
         // wherever the data happens to start.
         let migration = self.migration_vec(q, &pending, devices);
-        CostBreakdown { exec, migration }
+        let overlap = self.overlap_estimate(q, &pending, devices);
+        CostBreakdown { exec, migration, overlap }
     }
 
     /// §V-B: static selection from device profiles + queue hints only.
@@ -1645,6 +1693,170 @@ impl RtInner {
         }
         total
     }
+
+    /// Lane-aware per-device makespan estimate for an out-of-order queue's
+    /// pending epoch: Johnson's-rule list schedule over the hazard DAG,
+    /// simulated on the device's copy and compute lanes
+    /// ([`ooo::overlap_makespan`]). `None` unless the queue carries
+    /// `SCHED_OUT_OF_ORDER` *and* every pending kernel already has a cached
+    /// per-device profile row — without per-launch kernel times there is
+    /// nothing lane-aware to schedule, and the serial sum stands.
+    fn overlap_estimate(
+        &self,
+        q: &QueueState,
+        pending: &[PendingKernel],
+        devices: &[DeviceId],
+    ) -> Option<Vec<SimDuration>> {
+        if !q.flags.contains(QueueSchedFlags::SCHED_OUT_OF_ORDER) || pending.is_empty() {
+            return None;
+        }
+        let rows: Vec<Vec<SimDuration>> = {
+            let kp = self.kernel_profiles.lock();
+            pending.iter().map(|p| kp.get(&p.kernel.name()).cloned()).collect::<Option<_>>()?
+        };
+        // Explicit-region queues amortize migrations over the rest of the
+        // program (see `migration_vec`), so their copy lane is free here.
+        let explicit = q.flags.contains(QueueSchedFlags::SCHED_EXPLICIT_REGION);
+        Some(
+            devices
+                .iter()
+                .enumerate()
+                .map(|(di, &dev)| {
+                    let mut staged: Vec<u64> = Vec::new();
+                    let cmds: Vec<ooo::BatchCmd> = pending
+                        .iter()
+                        .zip(&rows)
+                        .map(|(p, row)| {
+                            let (reads, writes) = pending_access_sets(p);
+                            let transfer = if explicit {
+                                SimDuration::ZERO
+                            } else {
+                                self.first_touch_transfer(p, dev, &mut staged)
+                            };
+                            ooo::BatchCmd { reads, writes, transfer, kernel: row[di] }
+                        })
+                        .collect();
+                    ooo::overlap_makespan(&cmds)
+                })
+                .collect(),
+        )
+    }
+
+    /// Copy-lane estimate of one pending launch on `dev`: the predicted
+    /// transfer time of the distinct buffers it binds that are neither
+    /// resident on `dev` nor already attributed to an earlier launch of
+    /// this epoch (`staged` carries the first-touch bookkeeping across the
+    /// batch, in emission-estimate order).
+    fn first_touch_transfer(
+        &self,
+        p: &PendingKernel,
+        dev: DeviceId,
+        staged: &mut Vec<u64>,
+    ) -> SimDuration {
+        let mut total = SimDuration::ZERO;
+        for a in &p.args {
+            let Some(b) = a.buffer() else { continue };
+            let id = b.id();
+            if staged.contains(&id) {
+                continue;
+            }
+            staged.push(id);
+            let res = b.residency();
+            if res.valid_on(dev) {
+                continue;
+            }
+            let bytes = b.byte_len() as u64;
+            if res.host {
+                total += self.device_profile.host_transfer_time(dev, bytes);
+            } else if let Some(&owner) = res.devices.iter().next() {
+                total += self.device_profile.d2d_transfer_time(owner, dev, bytes);
+            }
+        }
+        total
+    }
+
+    /// Batch-flush the epoch's out-of-order queues: drain their pending
+    /// launches (pool order) into one command list, build the hazard DAG
+    /// over the launches' buffer read/write sets, and emit in Johnson's-rule
+    /// list-schedule order so staging transfers of later commands overlap
+    /// earlier kernels on each device's copy lane. Correctness does not
+    /// depend on the order — the out-of-order clrt queues derive event wait
+    /// lists from the same per-buffer hazards at submit time — the reorder
+    /// only decides how the lanes interleave in virtual time.
+    ///
+    /// Returns `(launches issued, launches displaced from program order)`.
+    fn flush_ooo_group(
+        &self,
+        pool: &[Arc<QueueState>],
+        assignment: &[DeviceId],
+        group: &[usize],
+    ) -> (u64, u64) {
+        let mut owners: Vec<usize> = Vec::new();
+        let mut cmds: Vec<PendingKernel> = Vec::new();
+        for &i in group {
+            let pending: Vec<PendingKernel> = std::mem::take(&mut *pool[i].pending.lock());
+            if pending.is_empty() {
+                continue;
+            }
+            pool[i].epochs.fetch_add(1, Ordering::Relaxed);
+            for p in pending {
+                owners.push(i);
+                cmds.push(p);
+            }
+        }
+        if cmds.is_empty() {
+            return (0, 0);
+        }
+        let node = self.platform.node().clone();
+        // First-touch transfer bookkeeping per destination device.
+        let mut staged: HashMap<usize, Vec<u64>> = HashMap::new();
+        let batch: Vec<ooo::BatchCmd> = owners
+            .iter()
+            .zip(&cmds)
+            .map(|(&i, p)| {
+                let dev = assignment[i];
+                let (reads, writes) = pending_access_sets(p);
+                let kernel = p
+                    .kernel
+                    .cost()
+                    .kernel_time(node.spec(dev), p.kernel.effective_nd(dev, p.nd).shape());
+                let transfer =
+                    self.first_touch_transfer(p, dev, staged.entry(dev.index()).or_default());
+                ooo::BatchCmd { reads, writes, transfer, kernel }
+            })
+            .collect();
+        let edges = ooo::hazard_edges(&batch);
+        let order = ooo::johnson_order(&batch, &edges);
+        let reordered = ooo::count_displaced(&order);
+        for &ci in &order {
+            let q = &pool[owners[ci]];
+            let p = &cmds[ci];
+            q.cl.enqueue_ndrange_with_args(&p.kernel, p.nd, &p.args, &[])
+                .expect("buffered launch was validated at enqueue time");
+        }
+        (cmds.len() as u64, reordered)
+    }
+}
+
+/// Distinct buffer ids a pending launch reads and writes (write bindings
+/// win: a buffer bound both ways counts as written). The hazard sets the
+/// batch reorderer builds its DAG from.
+fn pending_access_sets(p: &PendingKernel) -> (Vec<u64>, Vec<u64>) {
+    let mut reads: Vec<u64> = Vec::new();
+    let mut writes: Vec<u64> = Vec::new();
+    for a in &p.args {
+        let Some(b) = a.buffer() else { continue };
+        let id = b.id();
+        if a.is_mutable_buffer() {
+            if !writes.contains(&id) {
+                writes.push(id);
+            }
+        } else if !reads.contains(&id) {
+            reads.push(id);
+        }
+    }
+    reads.retain(|id| !writes.contains(id));
+    (reads, writes)
 }
 
 /// Per-device cost terms for one queue's pending epoch, as the mapper sees
@@ -1653,14 +1865,33 @@ impl RtInner {
 struct CostBreakdown {
     exec: Vec<SimDuration>,
     migration: Vec<SimDuration>,
+    /// Overlap-aware per-device makespan for out-of-order queues: the
+    /// Johnson two-lane list-schedule estimate ([`ooo::overlap_makespan`])
+    /// of the same pending commands, which the mapper prefers over the
+    /// serial `exec + migration` sum when present. `None` for in-order
+    /// queues and whenever per-kernel profile rows are not yet available.
+    overlap: Option<Vec<SimDuration>>,
 }
 
 impl CostBreakdown {
     /// The combined per-device cost column handed to the mapper, written
-    /// into a reused row buffer.
+    /// into a reused row buffer. Prefers the lane-aware overlap estimate
+    /// when one exists — that is how `AUTO_FIT` sees the benefit of
+    /// transfer/compute overlap on out-of-order queues.
     fn totals_into(&self, row: &mut Vec<SimDuration>) {
         row.clear();
-        row.extend(self.exec.iter().zip(&self.migration).map(|(e, m)| *e + *m));
+        match &self.overlap {
+            Some(ov) => row.extend(ov.iter().copied()),
+            None => row.extend(self.exec.iter().zip(&self.migration).map(|(e, m)| *e + *m)),
+        }
+    }
+
+    /// The mapper-visible total for one device column.
+    fn total(&self, i: usize) -> SimDuration {
+        match &self.overlap {
+            Some(ov) => ov[i],
+            None => self.exec[i] + self.migration[i],
+        }
     }
 }
 

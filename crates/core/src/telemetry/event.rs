@@ -16,6 +16,11 @@ pub struct QueueDecision {
     /// Predicted data-migration cost of *choosing* each device (zero for
     /// explicit-region queues, whose one-time migration is amortized).
     pub migration_costs: Vec<SimDuration>,
+    /// For `SCHED_OUT_OF_ORDER` queues with warm kernel profiles: the
+    /// lane-aware per-device makespan estimate (Johnson two-lane list
+    /// schedule) the mapper used *instead of* `exec + migration`. Empty
+    /// for in-order queues and cold epochs.
+    pub overlap_estimates: Vec<SimDuration>,
     /// The device the mapper assigned.
     pub chosen: DeviceId,
     /// The device the queue was bound to before this decision.
@@ -23,9 +28,13 @@ pub struct QueueDecision {
 }
 
 impl QueueDecision {
-    /// Total cost the mapper saw for `device`: execution + migration.
+    /// Total cost the mapper saw for `device`: the lane-aware overlap
+    /// estimate when one was recorded, else execution + migration.
     pub fn total(&self, device: DeviceId) -> SimDuration {
-        self.exec_estimates[device.index()] + self.migration_costs[device.index()]
+        match self.overlap_estimates.get(device.index()) {
+            Some(&ov) => ov,
+            None => self.exec_estimates[device.index()] + self.migration_costs[device.index()],
+        }
     }
 
     /// The device with the minimum total cost for this queue alone. The
@@ -141,6 +150,14 @@ pub enum SchedEvent {
         data_queue_depth: usize,
         /// Peak concurrently-busy data-plane workers observed so far.
         data_peak_busy: usize,
+        /// Launches the out-of-order batch flush emitted at a different
+        /// position than program order (0 when no queue is OOO-flagged).
+        commands_reordered: u64,
+        /// Measured copy/compute lane overlap fraction per device (device
+        /// order) over this epoch's flush window — overlapped busy time
+        /// over the shorter lane's busy time; 0.0 where a device used at
+        /// most one lane.
+        lane_overlap: Vec<f64>,
     },
     /// A tenant submitted a job to the serving layer.
     JobSubmitted {
@@ -508,6 +525,7 @@ impl SchedEvent {
                                     ("queue", Json::from(q.queue)),
                                     ("exec_ns", durs(&q.exec_estimates)),
                                     ("migration_ns", durs(&q.migration_costs)),
+                                    ("overlap_ns", durs(&q.overlap_estimates)),
                                     ("chosen", Json::from(q.chosen.index())),
                                     ("previous", Json::from(q.previous.index())),
                                 ])
@@ -533,6 +551,8 @@ impl SchedEvent {
                 kernels_issued,
                 data_queue_depth,
                 data_peak_busy,
+                commands_reordered,
+                lane_overlap,
             } => Json::obj([
                 ("type", Json::from(self.kind())),
                 ("epoch", Json::from(*epoch)),
@@ -542,6 +562,8 @@ impl SchedEvent {
                 ("kernels_issued", Json::from(*kernels_issued)),
                 ("data_queue_depth", Json::from(*data_queue_depth)),
                 ("data_peak_busy", Json::from(*data_peak_busy)),
+                ("commands_reordered", Json::from(*commands_reordered)),
+                ("lane_overlap", Json::num_arr(lane_overlap.iter().copied())),
             ]),
             SchedEvent::JobSubmitted { epoch, tenant, job, at } => Json::obj([
                 ("type", Json::from(self.kind())),
@@ -771,6 +793,12 @@ impl SchedEvent {
                             queue: q.get("queue")?.as_u64()? as usize,
                             exec_estimates: durs(q.get("exec_ns")?)?,
                             migration_costs: durs(q.get("migration_ns")?)?,
+                            // Added with the out-of-order flush; absent in
+                            // older streams.
+                            overlap_estimates: q
+                                .get("overlap_ns")
+                                .and_then(durs)
+                                .unwrap_or_default(),
                             chosen: DeviceId(q.get("chosen")?.as_u64()? as usize),
                             previous: DeviceId(q.get("previous")?.as_u64()? as usize),
                         })
@@ -797,6 +825,17 @@ impl SchedEvent {
                     as usize,
                 data_peak_busy: value.get("data_peak_busy").and_then(Json::as_u64).unwrap_or(0)
                     as usize,
+                // Out-of-order flush counters were added later still;
+                // default them the same way.
+                commands_reordered: value
+                    .get("commands_reordered")
+                    .and_then(Json::as_u64)
+                    .unwrap_or(0),
+                lane_overlap: value
+                    .get("lane_overlap")
+                    .and_then(Json::as_arr)
+                    .map(|a| a.iter().filter_map(Json::as_f64).collect())
+                    .unwrap_or_default(),
             },
             "job_submitted" => SchedEvent::JobSubmitted {
                 epoch,
@@ -974,6 +1013,7 @@ pub(crate) fn sample_events() -> Vec<SchedEvent> {
                 queue: 0,
                 exec_estimates: vec![ns(5), ns(9)],
                 migration_costs: vec![ns(1), ns(0)],
+                overlap_estimates: vec![ns(4), ns(7)],
                 chosen: DeviceId(0),
                 previous: DeviceId(1),
             }],
@@ -995,6 +1035,8 @@ pub(crate) fn sample_events() -> Vec<SchedEvent> {
             kernels_issued: 3,
             data_queue_depth: 5,
             data_peak_busy: 2,
+            commands_reordered: 2,
+            lane_overlap: vec![0.5, 0.0],
         },
         SchedEvent::JobSubmitted {
             epoch: 2,
@@ -1174,6 +1216,7 @@ mod tests {
             queue: 3,
             exec_estimates: vec![ns(100), ns(50), ns(70)],
             migration_costs: vec![ns(0), ns(60), ns(10)],
+            overlap_estimates: vec![],
             chosen: DeviceId(2),
             previous: DeviceId(0),
         };
@@ -1181,6 +1224,21 @@ mod tests {
         assert_eq!(d.total(DeviceId(1)), ns(110));
         assert_eq!(d.total(DeviceId(2)), ns(80));
         assert_eq!(d.argmin_total(), DeviceId(2));
+    }
+
+    #[test]
+    fn decision_totals_prefer_overlap_estimates_when_present() {
+        let d = QueueDecision {
+            queue: 3,
+            exec_estimates: vec![ns(100), ns(50)],
+            migration_costs: vec![ns(0), ns(60)],
+            overlap_estimates: vec![ns(90), ns(80)],
+            chosen: DeviceId(1),
+            previous: DeviceId(0),
+        };
+        assert_eq!(d.total(DeviceId(0)), ns(90));
+        assert_eq!(d.total(DeviceId(1)), ns(80));
+        assert_eq!(d.argmin_total(), DeviceId(1));
     }
 
     #[test]
@@ -1197,6 +1255,41 @@ mod tests {
                 assert_eq!(nodes_explored, 0);
                 assert!(!budget_tripped);
                 assert_eq!(mapper_wall, SimDuration::ZERO);
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pre_ooo_streams_decode_with_defaults() {
+        // Streams recorded before out-of-order epoch execution existed lack
+        // `commands_reordered` / `lane_overlap` on epoch_end and `overlap_ns`
+        // on mapping_decision queue entries; both must replay with neutral
+        // defaults (no reordering, no overlap estimate).
+        let v = Json::parse(
+            r#"{"type":"epoch_end","epoch":1,"at_ns":900,"elapsed_ns":800,
+                "profiling_ns":600,"kernels_issued":3}"#,
+        )
+        .unwrap();
+        match SchedEvent::from_json(&v).expect("legacy epoch_end decodes") {
+            SchedEvent::EpochEnd { commands_reordered, lane_overlap, .. } => {
+                assert_eq!(commands_reordered, 0);
+                assert!(lane_overlap.is_empty());
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+
+        let v = Json::parse(
+            r#"{"type":"mapping_decision","epoch":4,"at_ns":500,"mapper":"optimal",
+                "makespan_ns":42,"queues":[{"queue":0,"exec_ns":[5,9],
+                "migration_ns":[1,0],"chosen":0,"previous":1}]}"#,
+        )
+        .unwrap();
+        match SchedEvent::from_json(&v).expect("legacy mapping_decision decodes") {
+            SchedEvent::MappingDecision { queues, .. } => {
+                assert!(queues[0].overlap_estimates.is_empty());
+                // With no overlap estimate the totals fall back to exec+migration.
+                assert_eq!(queues[0].total(DeviceId(0)), ns(6));
             }
             other => panic!("wrong variant: {other:?}"),
         }

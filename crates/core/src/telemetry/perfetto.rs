@@ -9,6 +9,9 @@
 //!   queue rebinds show up as arrows in the Perfetto UI;
 //! * **counter tracks** (`"ph":"C"`) with the number of concurrently
 //!   executing commands per device — a per-device utilization curve;
+//! * **engine-lane tracks**: each device's compute and copy engines as
+//!   separate named rows (`D<n>/compute`, `D<n>/copy`), so transfer/compute
+//!   overlap from out-of-order execution is directly visible;
 //! * **job tracks** (`"ph":"X"` under a dedicated `jobs` process) from
 //!   every [`SchedEvent::JobTrace`]: one row per job, the end-to-end span
 //!   tiled with its critical-path segments, and a flow arrow from each
@@ -217,15 +220,74 @@ pub fn utilization_counter_events(trace: &Trace) -> Vec<Json> {
     out
 }
 
+/// The `tid` of a device's compute-lane row (its copy lane sits at the
+/// next tid). Lane rows live under pid 0 next to the per-device rows, far
+/// enough up the tid space that they never collide with real device ids.
+fn lane_tid(device: DeviceId, copy: bool) -> u64 {
+    10_000 + 2 * device.index() as u64 + u64::from(copy)
+}
+
+/// Per-device engine-lane tracks: every trace record re-rendered as an
+/// `"ph":"X"` slice on its device's *compute* or *copy* lane row, so the
+/// two hardware engines show up as separate rows in the viewer and
+/// transfer/compute overlap is visible as vertically stacked slices.
+/// Kernels and markers land on `D<n>/compute`, DMA transfers on
+/// `D<n>/copy`; each row carries `thread_name` metadata.
+pub fn lane_track_events(trace: &Trace) -> Vec<Json> {
+    use hwsim::engine::CommandKind;
+    let mut out = Vec::new();
+    let mut named: std::collections::BTreeSet<DeviceId> = std::collections::BTreeSet::new();
+    for r in &trace.records {
+        let copy = matches!(r.kind, CommandKind::Transfer { .. });
+        if named.insert(r.device) {
+            for lane in [false, true] {
+                out.push(Json::obj([
+                    ("name", Json::from("thread_name")),
+                    ("ph", Json::from("M")),
+                    ("pid", Json::from(0u64)),
+                    ("tid", Json::from(lane_tid(r.device, lane))),
+                    (
+                        "args",
+                        Json::obj([(
+                            "name",
+                            Json::from(
+                                format!("{}/{}", r.device, if lane { "copy" } else { "compute" })
+                                    .as_str(),
+                            ),
+                        )]),
+                    ),
+                ]));
+            }
+        }
+        let name = match &r.kind {
+            CommandKind::Kernel { name } => name.to_string(),
+            CommandKind::Transfer { kind, bytes } => format!("{kind:?} {bytes}B"),
+            CommandKind::Marker => "marker".to_string(),
+        };
+        out.push(Json::obj([
+            ("name", Json::from(name.as_str())),
+            ("cat", Json::from("lane")),
+            ("ph", Json::from("X")),
+            ("ts", Json::from(r.stamp.start.as_nanos())),
+            ("dur", Json::from(r.stamp.duration().as_nanos().max(1))),
+            ("pid", Json::from(0u64)),
+            ("tid", Json::from(lane_tid(r.device, copy))),
+            ("args", Json::obj([("queue", Json::from(r.queue))])),
+        ]));
+    }
+    out
+}
+
 /// The full export: every trace record (via
 /// [`TraceRecord::chrome_event_json`](hwsim::trace::TraceRecord::chrome_event_json)),
-/// plus migration flow events, per-device utilization counters, and job
-/// span tracks from the telemetry stream. The result is one Chrome-tracing
-/// JSON array.
+/// plus migration flow events, per-device utilization counters, engine-lane
+/// tracks, and job span tracks from the telemetry stream. The result is one
+/// Chrome-tracing JSON array.
 pub fn chrome_trace_with_telemetry(trace: &Trace, events: &[SchedEvent]) -> String {
     let mut parts: Vec<String> = trace.records.iter().map(|r| r.chrome_event_json()).collect();
     parts.extend(migration_flow_events(events).iter().map(Json::dump));
     parts.extend(utilization_counter_events(trace).iter().map(Json::dump));
+    parts.extend(lane_track_events(trace).iter().map(Json::dump));
     parts.extend(job_span_events(events).iter().map(Json::dump));
     format!("[{}]", parts.join(","))
 }
@@ -468,17 +530,56 @@ mod tests {
     }
 
     #[test]
+    fn lane_tracks_split_transfers_from_kernels() {
+        use hwsim::topology::TransferKind;
+        let mut e = Engine::new(1);
+        e.submit(CommandDesc {
+            device: DeviceId(0),
+            kind: CommandKind::Kernel { name: std::sync::Arc::from("k") },
+            duration: SimDuration::from_millis(10),
+            waits: hwsim::WaitList::new(),
+            queue: 0,
+        });
+        e.submit(CommandDesc {
+            device: DeviceId(0),
+            kind: CommandKind::Transfer { kind: TransferKind::HostToDevice, bytes: 4096 },
+            duration: SimDuration::from_millis(5),
+            waits: hwsim::WaitList::new(),
+            queue: 1,
+        });
+        e.finish_all();
+        let lanes = lane_track_events(e.trace());
+        // Two thread_name metadata rows plus two slices.
+        let names: Vec<String> = lanes
+            .iter()
+            .filter(|o| o.get("ph").and_then(Json::as_str) == Some("M"))
+            .map(|o| o.get("args").unwrap().get("name").unwrap().as_str().unwrap().to_string())
+            .collect();
+        assert_eq!(names, vec!["D0/compute", "D0/copy"]);
+        let slices: Vec<&Json> =
+            lanes.iter().filter(|o| o.get("ph").and_then(Json::as_str) == Some("X")).collect();
+        assert_eq!(slices.len(), 2);
+        // The kernel sits on the compute row, the transfer on the copy row.
+        assert_eq!(slices[0].get("name").unwrap().as_str(), Some("k"));
+        assert_eq!(slices[0].get("tid").unwrap().as_u64(), Some(lane_tid(DeviceId(0), false)));
+        assert_eq!(slices[1].get("tid").unwrap().as_u64(), Some(lane_tid(DeviceId(0), true)));
+        // Lane rows never collide with real device rows (pid 0, small tids).
+        assert!(lane_tid(DeviceId(0), false) >= 10_000);
+    }
+
+    #[test]
     fn full_export_roundtrips_through_the_json_parser() {
         let e = traced_engine();
         let events = [migration(0, 2_000_000)];
         let text = chrome_trace_with_telemetry(e.trace(), &events);
         let parsed = Json::parse(&text).expect("valid JSON");
         let arr = parsed.as_arr().unwrap();
-        // 3 complete events + 2 flow events + counters.
+        // 3 complete events (+ their 3 lane-row mirrors) + 2 flow events
+        // + counters.
         let ph_count = |ph: &str| {
             arr.iter().filter(|o| o.get("ph").and_then(Json::as_str) == Some(ph)).count()
         };
-        assert_eq!(ph_count("X"), 3);
+        assert_eq!(ph_count("X"), 6);
         assert_eq!(ph_count("s"), 1);
         assert_eq!(ph_count("f"), 1);
         assert!(ph_count("C") >= 4, "{text}");

@@ -534,9 +534,16 @@ pub struct SchedMetrics {
     pub predictor_error: Histogram,
     /// Relative prediction error of the most recent refinement.
     pub predictor_rel_error: Gauge,
+    /// Commands the out-of-order epoch flush emitted away from their
+    /// program position (batch reorderer displacements).
+    pub commands_reordered: Counter,
     /// Detection time (ns) of each downed device, so `Remapped` events can
     /// be turned into recovery latencies.
     down_since: Mutex<std::collections::HashMap<usize, u64>>,
+    /// Per-device copy/compute lane overlap fraction of the most recent
+    /// epoch, as labeled gauges created lazily on first `EpochEnd` that
+    /// reports the device (`multicl_lane_overlap_fraction{device="..."}`).
+    lane_overlap: Mutex<std::collections::HashMap<usize, Gauge>>,
     /// Per-device predictor model age: the labeled gauge plus the epoch of
     /// the device's most recent refinement. Updated on `PredictorRefined`
     /// (age resets to 0) and on every `EpochBegin` (ages advance).
@@ -661,7 +668,12 @@ impl Default for SchedMetrics {
                 "multicl_predictor_rel_error",
                 "Relative prediction error of the most recent refinement",
             ),
+            commands_reordered: registry.counter(
+                "multicl_commands_reordered_total",
+                "Commands emitted out of program order by the epoch batch reorderer",
+            ),
             down_since: Mutex::new(std::collections::HashMap::new()),
+            lane_overlap: Mutex::new(std::collections::HashMap::new()),
             predictor_age: Mutex::new(std::collections::HashMap::new()),
             registry,
         }
@@ -711,6 +723,8 @@ impl SchedObserver for SchedMetrics {
                 kernels_issued,
                 data_queue_depth,
                 data_peak_busy,
+                commands_reordered,
+                lane_overlap,
                 ..
             } => {
                 self.epochs.inc();
@@ -719,6 +733,20 @@ impl SchedObserver for SchedMetrics {
                 self.profiling_overhead.observe(profiling.as_nanos());
                 self.data_queue_depth.set(*data_queue_depth as f64);
                 self.data_peak_busy.set(*data_peak_busy as f64);
+                self.commands_reordered.add(*commands_reordered);
+                let mut lanes = self.lane_overlap.lock();
+                for (device, &fraction) in lane_overlap.iter().enumerate() {
+                    lanes
+                        .entry(device)
+                        .or_insert_with(|| {
+                            self.registry.gauge_with(
+                                "multicl_lane_overlap_fraction",
+                                "Copy/compute lane overlap fraction of the most recent epoch",
+                                &[("device", &device.to_string())],
+                            )
+                        })
+                        .set(fraction);
+                }
             }
             SchedEvent::DeviceDown { device, at, .. } => {
                 self.devices_down.inc();
@@ -921,6 +949,8 @@ mod tests {
             kernels_issued: 6,
             data_queue_depth: 3,
             data_peak_busy: 2,
+            commands_reordered: 4,
+            lane_overlap: vec![0.25, 0.0],
         });
         m.on_event(&SchedEvent::CacheHit { epoch: 2, key: "k".into() });
 
@@ -937,6 +967,12 @@ mod tests {
         assert_eq!(m.epoch_latency.sum(), 500);
         assert_eq!(m.profiling_overhead.sum(), 200);
         assert_eq!(m.migrated_bytes.sum(), 2048);
+        assert_eq!(m.commands_reordered.get(), 4);
+        // The per-device lane-overlap gauges materialised lazily from the
+        // epoch_end fractions.
+        let text = m.registry().to_prometheus();
+        assert!(text.contains(r#"multicl_lane_overlap_fraction{device="0"} 0.25"#), "{text}");
+        assert!(text.contains(r#"multicl_lane_overlap_fraction{device="1"} 0"#), "{text}");
         // And the whole set exports cleanly.
         assert!(parse_prometheus(&m.registry().to_prometheus()).is_some());
     }

@@ -277,6 +277,7 @@ mod tests {
                         queue: 0,
                         exec_estimates: vec![ns(1_000_000), ns(3_000_000)],
                         migration_costs: vec![ns(0), ns(500_000)],
+                        overlap_estimates: vec![],
                         chosen: DeviceId(0),
                         previous: DeviceId(0),
                     },
@@ -284,6 +285,7 @@ mod tests {
                         queue: 1,
                         exec_estimates: vec![ns(1_500_000), ns(2_000_000)],
                         migration_costs: vec![ns(0), ns(0)],
+                        overlap_estimates: vec![],
                         chosen: DeviceId(1),
                         previous: DeviceId(0),
                     },
@@ -297,6 +299,8 @@ mod tests {
                 kernels_issued: 2,
                 data_queue_depth: 0,
                 data_peak_busy: 0,
+                commands_reordered: 0,
+                lane_overlap: vec![],
             },
         ];
         let log = decision_log(&events);

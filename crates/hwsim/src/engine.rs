@@ -319,6 +319,25 @@ impl Engine {
         d.compute.busy + d.copy.busy
     }
 
+    /// Busy time accumulated by `dev`'s two engines separately:
+    /// `(compute_lane, copy_lane)`.
+    pub fn device_lane_busy(&self, dev: DeviceId) -> (SimDuration, SimDuration) {
+        let d = &self.devices[dev.index()];
+        (d.compute.busy, d.copy.busy)
+    }
+
+    /// True once `ev` has completed in virtual time at the current host
+    /// clock. Retired events are complete by the retirement rule.
+    pub fn event_completed(&self, ev: EventId) -> bool {
+        if ev.0 < self.events_base {
+            return true;
+        }
+        match self.events.get(ev.0 - self.events_base) {
+            Some(stamp) => stamp.end <= self.host_now,
+            None => false,
+        }
+    }
+
     /// The instant `dev` becomes fully free (both lanes).
     pub fn device_available(&self, dev: DeviceId) -> SimTime {
         let d = &self.devices[dev.index()];

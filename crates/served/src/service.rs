@@ -338,6 +338,13 @@ pub struct Served {
     platform: Platform,
     ctx: MulticlContext,
     workers: Vec<SchedQueue>,
+    /// Out-of-order twins of `workers`, used for jobs whose spec sets
+    /// `out_of_order`: same scheduling policy plus `SCHED_OUT_OF_ORDER`,
+    /// so their launches flow through the epoch batch reorderer. Empty
+    /// under [`ServePolicy::Off`] (static binding ignores the flag), and
+    /// inert — queues with no pending work never enter the scheduling
+    /// pool — until some job opts in.
+    ooo_workers: Vec<SchedQueue>,
     tenants: Vec<TenantState>,
     metrics: ServiceMetrics,
     retry: RetryPolicy,
@@ -383,11 +390,22 @@ impl Served {
                 _ => ctx.create_queue(QueueSchedFlags::SCHED_AUTO_DYNAMIC),
             })
             .collect::<ClResult<Vec<_>>>()?;
+        let ooo_workers = match policy {
+            ServePolicy::Off => Vec::new(),
+            _ => (0..workers.len())
+                .map(|_| {
+                    ctx.create_queue(
+                        QueueSchedFlags::SCHED_AUTO_DYNAMIC | QueueSchedFlags::SCHED_OUT_OF_ORDER,
+                    )
+                })
+                .collect::<ClResult<Vec<_>>>()?,
+        };
         let names: Vec<String> = tenants.iter().map(|t| t.name.clone()).collect();
         Ok(Served {
             platform: platform.clone(),
             ctx,
             workers,
+            ooo_workers,
             tenants: tenants.into_iter().map(TenantState::new).collect(),
             metrics: ServiceMetrics::new(&names),
             retry,
@@ -425,6 +443,17 @@ impl Served {
     /// Number of worker queues (dispatch slots per round).
     pub fn worker_count(&self) -> usize {
         self.workers.len()
+    }
+
+    /// The worker queue serving dispatch slot `slot` for `spec`: the
+    /// out-of-order twin when the spec opts in (and the policy honors the
+    /// flag), the strict in-order worker otherwise.
+    fn worker_for(&self, slot: usize, spec: &JobSpec) -> &SchedQueue {
+        if spec.out_of_order && !self.ooo_workers.is_empty() {
+            &self.ooo_workers[slot]
+        } else {
+            &self.workers[slot]
+        }
     }
 
     /// Current device binding of each worker queue (updated by the
@@ -737,7 +766,7 @@ impl Served {
         let epoch = self.ctx.current_epoch();
         let mut dispatch_times: Vec<SimTime> = Vec::with_capacity(live.len());
         for (slot, (tenant, job)) in live.iter().enumerate() {
-            let worker = &self.workers[slot];
+            let worker = self.worker_for(slot, &job.spec);
             self.metrics.tenant(*tenant).depth.set(self.tenants[*tenant].depth() as f64);
             self.metrics.tenant(*tenant).dispatched.inc();
             let dispatched_at = self.platform.now();
@@ -798,7 +827,7 @@ impl Served {
         let completed_epoch = self.ctx.current_epoch();
         let no_slices: Vec<SpanSlice> = Vec::new();
         for (slot, (tenant, mut job)) in live.into_iter().enumerate() {
-            let worker = &self.workers[slot];
+            let worker = self.worker_for(slot, &job.spec);
             let slices = worker_slices.get(&worker.trace_id()).unwrap_or(&no_slices);
             let device = Some(worker.device().index() as u64);
             if let Some(kind) = failed_queues.get(&worker.trace_id()) {

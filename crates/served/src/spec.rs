@@ -134,6 +134,12 @@ pub struct JobSpec {
     pub kernels: Vec<KernelSpec>,
     /// Steps in declaration order.
     pub steps: Vec<StepSpec>,
+    /// Opt into out-of-order epoch execution: the job's launches flush
+    /// through a `SCHED_OUT_OF_ORDER` queue, so the epoch reorderer may
+    /// interleave them with other jobs' transfers (hazard edges still
+    /// enforce this job's own data dependencies). Defaults to `false` —
+    /// strict in-order execution, byte-identical with pre-flag streams.
+    pub out_of_order: bool,
 }
 
 impl JobSpec {
@@ -231,14 +237,17 @@ impl JobSpec {
             };
             steps.push(StepSpec { id, op, after: opt_strings(s, "after")? });
         }
-        let spec = JobSpec { name, buffers, kernels, steps };
+        let out_of_order = json.get("out_of_order").and_then(Json::as_bool).unwrap_or(false);
+        let spec = JobSpec { name, buffers, kernels, steps, out_of_order };
         spec.validate()?;
         Ok(spec)
     }
 
     /// Encode as JSON. `JobSpec::from_json(&spec.to_json())` round-trips.
+    /// `out_of_order` is emitted only when set, so specs written before the
+    /// flag existed encode byte-identically.
     pub fn to_json(&self) -> Json {
-        Json::obj([
+        let mut json = Json::obj([
             ("name", Json::from(self.name.as_str())),
             (
                 "buffers",
@@ -314,7 +323,13 @@ impl JobSpec {
                         .collect(),
                 ),
             ),
-        ])
+        ]);
+        if self.out_of_order {
+            if let Json::Obj(fields) = &mut json {
+                fields.push(("out_of_order".into(), Json::Bool(true)));
+            }
+        }
+        json
     }
 
     /// Check internal consistency: unique names, resolvable references,
@@ -495,6 +510,22 @@ mod tests {
         let pos = |id: &str| order.iter().position(|&i| reordered.steps[i].id == id).unwrap();
         assert!(pos("load") < pos("h"));
         assert!(pos("h") < pos("v"));
+    }
+
+    #[test]
+    fn out_of_order_flag_parses_and_roundtrips() {
+        // Absent ⇒ false, and a false flag is not emitted (old specs encode
+        // byte-identically).
+        let spec = sample();
+        assert!(!spec.out_of_order);
+        assert!(spec.to_json().get("out_of_order").is_none());
+
+        let mut flagged = sample();
+        flagged.out_of_order = true;
+        let json = flagged.to_json();
+        assert_eq!(json.get("out_of_order").and_then(Json::as_bool), Some(true));
+        let again = JobSpec::from_json(&json).expect("flagged spec parses");
+        assert_eq!(again, flagged);
     }
 
     #[test]
