@@ -8,7 +8,7 @@
 use super::common::run_on_fresh;
 use crate::harness::Table;
 use hwsim::DeviceId;
-use multicl::{metrics, ContextSchedPolicy};
+use multicl::{metrics, ContextSchedPolicy, QueueSchedFlags};
 use npb::{Class, QueuePlan};
 use std::collections::BTreeMap;
 
@@ -28,17 +28,22 @@ impl Fig5Row {
     }
 }
 
-/// Run AutoFit and collect distributions.
+/// Run AutoFit and collect distributions. The figure reproduces the
+/// paper's whole-launch mapping, so the post-paper `SCHED_SPLITTABLE`
+/// opt-in is stripped: a split launch runs chunks on *every* device and
+/// would dissolve the per-kernel device affinity the figure shows.
 pub fn run(set: &[(&str, Class)], queues: usize) -> Vec<Fig5Row> {
     set.iter()
         .map(|&(name, class)| {
+            let mut flags = npb::info(name).expect("suite row").flags;
+            flags.remove(QueueSchedFlags::SCHED_SPLITTABLE);
             let (r, trace) = run_on_fresh(
                 ContextSchedPolicy::AutoFit,
                 true,
                 name,
                 class,
                 queues,
-                &QueuePlan::Auto,
+                &QueuePlan::AutoWith(flags),
             );
             assert!(r.verified, "{name}.{class} failed verification");
             Fig5Row {

@@ -17,5 +17,6 @@ pub mod fig8;
 pub mod fig9;
 pub mod mapper_scaling;
 pub mod overlap;
+pub mod split;
 pub mod tables;
 pub mod tracing;

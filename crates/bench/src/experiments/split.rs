@@ -1,0 +1,331 @@
+//! Data-parallel kernel splitting: virtual-time makespan of an EP-class
+//! compute-bound kernel with and without `SCHED_SPLITTABLE`.
+//!
+//! The unsplit arm runs each launch whole on the device the dynamic
+//! scheduler picks — the best single device. The split arm partitions the
+//! same launches into contiguous NDRange sub-ranges across every healthy
+//! device (static, chunked or hguided partitioner, with work stealing),
+//! so the compute spreads over the node. The semantic gates are strict:
+//! result buffers must be bit-identical split vs. unsplit, and with the
+//! flag off a same-seed rerun must replay the exact virtual-time trace.
+//!
+//! Writes `results/BENCH_split.json` (and a CSV of the table).
+
+use crate::experiments::common::bench_options;
+use crate::harness::{fresh_platform, Table};
+use clrt::{ArgValue, KernelBody, KernelCtx, NdRange};
+use hwsim::json::Json;
+use hwsim::{KernelCostSpec, KernelTraits, Trace};
+use multicl::telemetry::RingBufferSink;
+use multicl::{
+    ContextSchedPolicy, MulticlContext, QueueSchedFlags, SchedEvent, SplitPartitioner,
+    PROFILING_TAG,
+};
+use std::sync::Arc;
+
+/// Workgroup size of the kernel (items per workgroup).
+pub const LOCAL: u64 = 64;
+
+/// One measured arm.
+#[derive(Debug, Clone)]
+pub struct SplitPoint {
+    /// Partitioner name for the split arm, `"unsplit"` for the baseline.
+    pub arm: String,
+    /// Virtual-time makespan of the batch (profiling commands excluded).
+    pub makespan_ms: f64,
+    /// Launches the scheduler actually split.
+    pub kernels_split: u64,
+    /// Chunks moved off their preferred device by work stealing.
+    pub chunks_stolen: u64,
+    /// Distinct devices that executed kernel commands.
+    pub devices_used: usize,
+    /// Per-device workgroup shares summed over every `KernelSplit` event.
+    pub wgs_per_device: Vec<u64>,
+    /// Order-normalized FNV hash of the non-profiling trace records.
+    pub trace_fingerprint: u64,
+    /// FNV hash over the bit patterns of the output buffer.
+    pub output_digest: u64,
+}
+
+/// An EP-style kernel: embarrassingly parallel, heavily compute-bound
+/// (~5k declared flops per item against 8 bytes of traffic), writing one
+/// deterministic accumulator per item. It honors sub-range launches —
+/// the contract [`clrt::KernelBody::splittable`] requires — so the
+/// scheduler may hand disjoint item spans to different devices.
+struct EpFlops {
+    name: String,
+}
+
+impl KernelBody for EpFlops {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn arity(&self) -> usize {
+        2
+    }
+    fn cost(&self) -> KernelCostSpec {
+        KernelCostSpec {
+            flops_per_item: 16000.0,
+            bytes_per_item: 8.0,
+            traits: KernelTraits {
+                coalescing: 1.0,
+                branch_divergence: 0.2,
+                vector_friendliness: 0.15,
+                double_precision: true,
+            },
+        }
+    }
+    fn splittable(&self) -> bool {
+        true
+    }
+    fn execute(&self, ctx: &mut KernelCtx<'_>) {
+        let base = ctx.global_offset()[0] as usize;
+        let n = ctx.nd().global_items() as usize;
+        let input: Vec<f64> = ctx.slice::<f64>(0)[base..base + n].to_vec();
+        let out = ctx.slice_mut::<f64>(1);
+        for i in 0..n {
+            // A short LCG walk seeded by the *global* item index, so the
+            // result is independent of how the launch was partitioned.
+            let mut s = (base + i) as u64 | 1;
+            for _ in 0..4 {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            }
+            out[base + i] = input[i] + (s >> 11) as f64 / (1u64 << 53) as f64;
+        }
+    }
+}
+
+/// Application records only: dynamic-profiling and static
+/// device-profiling commands are scheduler overhead, not the batch.
+fn is_app(r: &hwsim::TraceRecord) -> bool {
+    !r.has_tag(PROFILING_TAG) && !r.tag_starts_with("device-profiling")
+}
+
+fn fnv(h: &mut u64, v: u64) {
+    for b in v.to_le_bytes() {
+        *h ^= b as u64;
+        *h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+}
+
+/// FNV-1a over non-profiling records with queue ids renumbered by first
+/// appearance and timestamps relative to the batch start, so cold and
+/// warm processes fingerprint identically.
+fn trace_fingerprint(trace: &Trace) -> u64 {
+    let app: Vec<_> = trace.records.iter().filter(|r| is_app(r)).collect();
+    let base = app.iter().map(|r| r.stamp.queued.as_nanos()).min().unwrap_or(0);
+    let mut qmap: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for r in app {
+        let next = qmap.len();
+        let q = *qmap.entry(r.queue).or_insert(next);
+        fnv(&mut h, q as u64);
+        fnv(&mut h, r.device.index() as u64);
+        for b in format!("{:?}", r.kind).bytes() {
+            fnv(&mut h, b as u64);
+        }
+        fnv(&mut h, r.stamp.queued.as_nanos() - base);
+        fnv(&mut h, r.stamp.submit.as_nanos() - base);
+        fnv(&mut h, r.stamp.start.as_nanos() - base);
+        fnv(&mut h, r.stamp.end.as_nanos() - base);
+    }
+    h
+}
+
+/// Run one arm on a fresh platform: `launches` sync epochs of one
+/// `elements`-item EP-class kernel on a single queue. `partitioner:
+/// None` is the unsplit baseline (plain `SCHED_AUTO_DYNAMIC`, which
+/// places each whole launch on the best single device).
+pub fn run_arm(
+    seed: u64,
+    elements: usize,
+    launches: usize,
+    partitioner: Option<SplitPartitioner>,
+) -> SplitPoint {
+    let platform = fresh_platform();
+    let sink = Arc::new(RingBufferSink::new(1 << 14));
+    let mut options = bench_options(true);
+    options.observers.push(sink.clone());
+    if let Some(p) = partitioner {
+        options.split_partitioner = p;
+    }
+    let ctx = MulticlContext::with_options(&platform, ContextSchedPolicy::AutoFit, options)
+        .expect("context");
+    let flags = match partitioner {
+        Some(_) => QueueSchedFlags::SCHED_AUTO_DYNAMIC | QueueSchedFlags::SCHED_SPLITTABLE,
+        None => QueueSchedFlags::SCHED_AUTO_DYNAMIC,
+    };
+    let queue = ctx.create_queue(flags).expect("queue");
+
+    let input = ctx.create_buffer_of::<f64>(elements).expect("input");
+    let output = ctx.create_buffer_of::<f64>(elements).expect("output");
+    // Deterministic pseudo-random inputs from the seed, no RNG dependency.
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+    };
+    let data: Vec<f64> = (0..elements).map(|_| next()).collect();
+    queue.enqueue_write(&input, &data).expect("write");
+
+    // One kernel name for every launch: dynamic profiling runs once per
+    // device, in the first epoch, so later epochs are pure application
+    // work the partitioner feeds from warm profile rows.
+    let bodies: Vec<Arc<dyn KernelBody>> = vec![Arc::new(EpFlops { name: "ep_flops".to_string() })];
+    let program = ctx.create_program(bodies).expect("program");
+    let k = program.create_kernel("ep_flops").expect("kernel");
+    k.set_arg(0, ArgValue::Buffer(input.clone())).unwrap();
+    k.set_arg(1, ArgValue::BufferMut(output.clone())).unwrap();
+    for _ in 0..launches {
+        queue.enqueue_ndrange(&k, NdRange::d1(elements as u64, LOCAL)).expect("enqueue");
+        // One launch per sync epoch.
+        ctx.finish_all();
+    }
+
+    let mut digest: u64 = 0xcbf2_9ce4_8422_2325;
+    for v in output.host_snapshot::<f64>() {
+        fnv(&mut digest, v.to_bits());
+    }
+
+    let stats = ctx.stats();
+    let mut wgs_per_device: Vec<u64> = Vec::new();
+    for ev in sink.drain() {
+        if let SchedEvent::KernelSplit { wgs_per_device: shares, .. } = ev {
+            if wgs_per_device.len() < shares.len() {
+                wgs_per_device.resize(shares.len(), 0);
+            }
+            for (acc, s) in wgs_per_device.iter_mut().zip(&shares) {
+                *acc += s;
+            }
+        }
+    }
+    let trace = platform.take_trace();
+    let app: Vec<_> = trace.records.iter().filter(|r| is_app(r)).cloned().collect();
+    let kernels: Vec<_> = app
+        .iter()
+        .filter(|r| matches!(r.kind, hwsim::engine::CommandKind::Kernel { .. }))
+        .collect();
+    // Measure from the first application kernel start (device profiling,
+    // the staging write and dynamic profiling all precede it) to the last
+    // application command end (the final epoch's gathers included).
+    let base = kernels.iter().map(|r| r.stamp.start.as_nanos()).min().unwrap_or(0);
+    let makespan_ns =
+        app.iter().map(|r| r.stamp.end.as_nanos().saturating_sub(base)).max().unwrap_or(0);
+    let kernel_devices: std::collections::HashSet<usize> =
+        kernels.iter().map(|r| r.device.index()).collect();
+    SplitPoint {
+        arm: partitioner.map_or_else(|| "unsplit".to_string(), |p| p.name().to_string()),
+        makespan_ms: makespan_ns as f64 / 1e6,
+        kernels_split: stats.kernels_split,
+        chunks_stolen: stats.chunks_stolen,
+        devices_used: kernel_devices.len(),
+        wgs_per_device,
+        trace_fingerprint: trace_fingerprint(&trace),
+        output_digest: digest,
+    }
+}
+
+/// Virtual-time speedup of a split arm over the unsplit baseline
+/// (1.5 = the split batch finished in 2/3 the time).
+pub fn speedup(unsplit: &SplitPoint, split: &SplitPoint) -> f64 {
+    if split.makespan_ms <= 0.0 {
+        return 0.0;
+    }
+    unsplit.makespan_ms / split.makespan_ms
+}
+
+/// Render every arm as a table.
+pub fn table(unsplit: &SplitPoint, splits: &[&SplitPoint]) -> Table {
+    let mut t = Table::new(
+        "Data-parallel kernel splitting: virtual-time makespan per partitioner",
+        &["arm", "makespan ms", "speedup", "split", "stolen", "devices", "wgs/device"],
+    );
+    let mut row = |p: &SplitPoint, baseline: bool| {
+        let shares = p
+            .wgs_per_device
+            .iter()
+            .enumerate()
+            .map(|(d, w)| format!("D{d}:{w}"))
+            .collect::<Vec<_>>()
+            .join(" ");
+        t.row(vec![
+            p.arm.clone(),
+            format!("{:.3}", p.makespan_ms),
+            if baseline { "—".into() } else { format!("{:.2}x", speedup(unsplit, p)) },
+            format!("{}", p.kernels_split),
+            format!("{}", p.chunks_stolen),
+            format!("{}", p.devices_used),
+            if shares.is_empty() { "—".into() } else { shares },
+        ]);
+    };
+    row(unsplit, true);
+    for p in splits {
+        row(p, false);
+    }
+    t
+}
+
+/// The `BENCH_split.json` payload.
+pub fn to_json(
+    seed: u64,
+    elements: usize,
+    launches: usize,
+    unsplit: &SplitPoint,
+    splits: &[&SplitPoint],
+) -> Json {
+    let best = splits.iter().map(|p| speedup(unsplit, p)).fold(0.0, f64::max);
+    let bit_identical = splits.iter().all(|p| p.output_digest == unsplit.output_digest);
+    let point = |p: &SplitPoint| {
+        Json::obj([
+            ("arm", Json::from(p.arm.as_str())),
+            ("makespan_ms", Json::from(p.makespan_ms)),
+            ("kernels_split", Json::from(p.kernels_split)),
+            ("chunks_stolen", Json::from(p.chunks_stolen)),
+            ("devices_used", Json::from(p.devices_used)),
+            (
+                "wgs_per_device",
+                Json::Arr(p.wgs_per_device.iter().map(|&w| Json::from(w)).collect()),
+            ),
+            ("trace_fingerprint", Json::from(p.trace_fingerprint)),
+            ("output_digest", Json::from(p.output_digest)),
+        ])
+    };
+    Json::obj([
+        ("experiment", Json::from("split")),
+        ("seed", Json::from(seed)),
+        ("elements", Json::from(elements)),
+        ("launches", Json::from(launches)),
+        ("best_speedup", Json::from(best)),
+        ("bit_identical_outputs", Json::Bool(bit_identical)),
+        (
+            "points",
+            Json::Arr(std::iter::once(unsplit).chain(splits.iter().copied()).map(point).collect()),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_split_is_faster_and_bitwise_identical() {
+        let unsplit = run_arm(42, 1 << 14, 2, None);
+        let split = run_arm(42, 1 << 14, 2, Some(SplitPartitioner::Static));
+        assert_eq!(unsplit.output_digest, split.output_digest, "outputs diverged");
+        assert_eq!(unsplit.kernels_split, 0);
+        assert!(split.kernels_split > 0, "no launch was split: {split:?}");
+        assert!(split.devices_used >= 2, "split arm stayed on one device: {split:?}");
+        assert!(speedup(&unsplit, &split) > 1.0, "no speedup: {unsplit:?} vs {split:?}");
+    }
+
+    #[test]
+    fn flag_off_replays_byte_identically() {
+        let a = run_arm(3, 1 << 12, 2, None);
+        let b = run_arm(3, 1 << 12, 2, None);
+        assert_eq!(a.trace_fingerprint, b.trace_fingerprint);
+        assert_eq!(a.output_digest, b.output_digest);
+    }
+}

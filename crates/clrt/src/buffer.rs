@@ -292,6 +292,16 @@ impl Buffer {
         self.inner.residency.lock().host = true;
     }
 
+    /// Declare the host copy the *only* valid one **without** moving any
+    /// data (scheduler-layer hook): after a split launch gathers each
+    /// device's output sub-range, the reassembled contents exist nowhere
+    /// whole except the host store.
+    pub fn mark_host_only(&self) {
+        let mut res = self.inner.residency.lock();
+        res.devices.clear();
+        res.host = true;
+    }
+
     /// Mutate the host-side storage in place (initialization/tests only),
     /// invalidating device copies.
     pub fn host_with_mut<T: Element, R>(&self, f: impl FnOnce(&mut [T]) -> R) -> R {

@@ -71,6 +71,15 @@ pub trait KernelBody: Send + Sync {
 
     /// Perform the computation.
     fn execute(&self, ctx: &mut KernelCtx<'_>);
+
+    /// True if the body tolerates sub-range launches: `execute` must honor
+    /// [`KernelCtx::global_offset`] and touch only the output region its
+    /// sub-range owns, so disjoint chunks of one logical launch can run on
+    /// different devices and be recombined. Defaults to `false`: bodies that
+    /// ignore the offset are never split.
+    fn splittable(&self) -> bool {
+        false
+    }
 }
 
 struct KernelInner {
@@ -180,6 +189,12 @@ impl Kernel {
     pub fn has_work_group_info(&self, device: DeviceId) -> bool {
         self.inner.per_device_nd.lock().contains_key(&device)
     }
+
+    /// True if the kernel's body declares sub-range launches safe
+    /// ([`KernelBody::splittable`]).
+    pub fn splittable(&self) -> bool {
+        self.inner.body.splittable()
+    }
 }
 
 impl std::fmt::Debug for Kernel {
@@ -220,6 +235,7 @@ struct LockedStore<'a> {
 pub struct KernelCtx<'a> {
     nd: NdRange,
     device: DeviceId,
+    global_offset: [u64; 3],
     args: Vec<CtxArg>,
     stores: Vec<LockedStore<'a>>,
     borrows: Vec<Cell<Borrow>>,
@@ -234,6 +250,19 @@ impl<'a> KernelCtx<'a> {
     /// sets (writers are serialized by the hazard DAG), and a fixed global
     /// lock order keeps reader/reader store locking deadlock-free.
     pub(crate) fn new(nd: NdRange, device: DeviceId, args: &'a [ArgValue]) -> KernelCtx<'a> {
+        KernelCtx::with_offset(nd, device, [0, 0, 0], args)
+    }
+
+    /// As [`KernelCtx::new`], but with a nonzero global work-item offset —
+    /// the sub-range launch form (`clEnqueueNDRangeKernel`'s
+    /// `global_work_offset`). Splittable bodies add the offset to their
+    /// work-item/workgroup indices.
+    pub(crate) fn with_offset(
+        nd: NdRange,
+        device: DeviceId,
+        global_offset: [u64; 3],
+        args: &'a [ArgValue],
+    ) -> KernelCtx<'a> {
         let mut uniques: Vec<&'a Buffer> = Vec::new();
         let mut ctx_args = Vec::with_capacity(args.len());
         for arg in args {
@@ -267,12 +296,20 @@ impl<'a> KernelCtx<'a> {
         let stores: Vec<LockedStore<'a>> =
             slots.into_iter().map(|s| s.expect("every unique buffer was locked")).collect();
         let borrows = vec![Cell::new(Borrow::None); stores.len()];
-        KernelCtx { nd, device, args: ctx_args, stores, borrows }
+        KernelCtx { nd, device, global_offset, args: ctx_args, stores, borrows }
     }
 
-    /// The effective launch geometry of this execution.
+    /// The effective launch geometry of this execution. For a sub-range
+    /// launch this is the chunk's own extent, not the full logical range.
     pub fn nd(&self) -> NdRange {
         self.nd
+    }
+
+    /// The global work-item offset of this execution — `[0, 0, 0]` for a
+    /// whole-kernel launch, the chunk's first work-item per dimension for a
+    /// sub-range launch.
+    pub fn global_offset(&self) -> [u64; 3] {
+        self.global_offset
     }
 
     /// The device the kernel is (virtually) executing on.
@@ -496,5 +533,20 @@ mod tests {
         let ctx = KernelCtx::new(NdRange::d1(1, 1), DeviceId(0), &args);
         assert_eq!(ctx.u64(0), 7);
         assert_eq!(ctx.f64(1), 1.5);
+    }
+
+    #[test]
+    fn global_offset_defaults_to_zero_and_round_trips() {
+        let args = vec![ArgValue::U32(0)];
+        let ctx = KernelCtx::new(NdRange::d1(4, 4), DeviceId(0), &args);
+        assert_eq!(ctx.global_offset(), [0, 0, 0]);
+        let ctx = KernelCtx::with_offset(NdRange::d1(4, 4), DeviceId(0), [64, 0, 2], &args);
+        assert_eq!(ctx.global_offset(), [64, 0, 2]);
+    }
+
+    #[test]
+    fn bodies_default_to_unsplittable() {
+        let k = Kernel::new(1, Arc::new(Saxpy));
+        assert!(!k.splittable());
     }
 }

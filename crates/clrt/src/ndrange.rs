@@ -31,7 +31,9 @@ impl NdRange {
         NdRange { global, local }
     }
 
-    /// Validate the range: every dimension nonzero.
+    /// Validate the range: every dimension nonzero, and the item/workgroup
+    /// products must fit in `u64` — geometry whose products wrap would
+    /// silently corrupt every cost-model shape derived from it.
     pub fn validate(&self) -> ClResult<()> {
         for d in 0..3 {
             if self.global[d] == 0 || self.local[d] == 0 {
@@ -41,6 +43,15 @@ impl NdRange {
                 )));
             }
         }
+        if self.checked_global_items().is_none()
+            || self.checked_local_items().is_none()
+            || self.checked_workgroups().is_none()
+        {
+            return Err(ClError::InvalidWorkGroupSize(format!(
+                "launch geometry overflows u64 (global={:?}, local={:?})",
+                self.global, self.local
+            )));
+        }
         Ok(())
     }
 
@@ -49,9 +60,19 @@ impl NdRange {
         self.global.iter().product()
     }
 
+    /// Total global work-items, or `None` when the product overflows `u64`.
+    pub fn checked_global_items(&self) -> Option<u64> {
+        self.global.iter().try_fold(1u64, |acc, &g| acc.checked_mul(g))
+    }
+
     /// Work-items per workgroup.
     pub fn local_items(&self) -> u64 {
         self.local.iter().product()
+    }
+
+    /// Work-items per workgroup, or `None` when the product overflows `u64`.
+    pub fn checked_local_items(&self) -> Option<u64> {
+        self.local.iter().try_fold(1u64, |acc, &l| acc.checked_mul(l))
     }
 
     /// Total workgroups (per-dimension round-up, then product) — this is the
@@ -59,6 +80,18 @@ impl NdRange {
     /// dimension is not evenly divisible.
     pub fn workgroups(&self) -> u64 {
         (0..3).map(|d| self.global[d].div_ceil(self.local[d])).product()
+    }
+
+    /// Total workgroups, or `None` when the product overflows `u64`. A zero
+    /// local dimension also yields `None` (the division is undefined);
+    /// `validate()` reports that case as a zero-size error first.
+    pub fn checked_workgroups(&self) -> Option<u64> {
+        (0..3).try_fold(1u64, |acc, d| {
+            if self.local[d] == 0 {
+                return None;
+            }
+            acc.checked_mul(self.global[d].div_ceil(self.local[d]))
+        })
     }
 
     /// Flatten to the cost model's 1-D shape. Total items and workgroup size
@@ -98,6 +131,34 @@ mod tests {
         assert!(nd.validate().is_err());
         let ok = NdRange::d2([4, 4], [2, 2]);
         assert!(ok.validate().is_ok());
+    }
+
+    #[test]
+    fn overflowing_geometry_is_invalid() {
+        // global_items product wraps: (2^40)^3 ≫ 2^64.
+        let nd = NdRange::d3([1 << 40, 1 << 40, 1 << 40], [1, 1, 1]);
+        assert_eq!(nd.checked_global_items(), None);
+        assert!(nd.validate().is_err());
+
+        // local_items product wraps even though each dimension fits.
+        let nd = NdRange::d3([1, 1, 1], [1 << 32, 1 << 32, 2]);
+        assert_eq!(nd.checked_local_items(), None);
+        assert!(nd.validate().is_err());
+
+        // workgroup count wraps: u64::MAX items in each of two dims with
+        // local 1 → (2^64-1)^2 workgroups.
+        let nd = NdRange::d3([u64::MAX, u64::MAX, 1], [1, 1, 1]);
+        assert_eq!(nd.checked_workgroups(), None);
+        assert!(nd.validate().is_err());
+    }
+
+    #[test]
+    fn checked_variants_agree_with_unchecked_in_range() {
+        let nd = NdRange::d3([10, 10, 3], [4, 4, 1]);
+        assert_eq!(nd.checked_global_items(), Some(nd.global_items()));
+        assert_eq!(nd.checked_local_items(), Some(nd.local_items()));
+        assert_eq!(nd.checked_workgroups(), Some(nd.workgroups()));
+        assert!(nd.validate().is_ok());
     }
 
     #[test]

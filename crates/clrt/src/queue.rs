@@ -221,6 +221,17 @@ impl CommandQueue {
             Self::stamp_consult(buf, false, &mut raw);
         }
         let bytes = buf.byte_len() as u64;
+        // Never stage from a lost device: its copy engine is gone, and a
+        // D2H issued there would fail instantly (corrupting the staged
+        // timeline) while leaving the stale residency entry in place.
+        // Evacuated copies are purged here; when no healthy owner remains,
+        // the host-backed canonical contents are the fallback source.
+        if !res.host {
+            res.devices.retain(|d| !engine.device_lost(*d));
+            if res.devices.is_empty() {
+                res.host = true;
+            }
+        }
         let ev = if res.host {
             let d = node.topology.host_transfer_time(dev, bytes, &node.devices);
             let ev = self.submit(
@@ -600,6 +611,183 @@ impl CommandQueue {
             }
         }
         Ok(Event::new(Arc::clone(&self.inner.ctx.rt), ev))
+    }
+
+    /// Sub-range launch of a splittable kernel (the split scheduler's
+    /// workhorse): execute the `chunk` extent of the kernel's logical range
+    /// starting at `global_offset`, on this queue's device.
+    ///
+    /// A per-device launch configuration registered via
+    /// [`Kernel::set_work_group_info`] contributes its *workgroup shape*
+    /// (the chunk keeps its own global extent). The kernel body receives
+    /// the offset through [`KernelCtx::global_offset`] and must confine its
+    /// writes to the sub-range it owns ([`crate::KernelBody::splittable`]).
+    ///
+    /// Hazard and residency handling differ from a whole launch, because
+    /// sibling chunks of one logical launch write *disjoint* sub-ranges:
+    /// the chunk records itself only as a time-plane **reader** of every
+    /// buffer argument (so sibling chunks never serialize against each
+    /// other), and written buffers' residency is left untouched. The caller
+    /// finalizes both via [`CommandQueue::enqueue_split_join`] once every
+    /// chunk has been issued.
+    pub fn enqueue_ndrange_chunk(
+        &self,
+        kernel: &Kernel,
+        chunk: NdRange,
+        global_offset: [u64; 3],
+        args: &[ArgValue],
+        waits: &[Event],
+    ) -> ClResult<Event> {
+        if kernel.ctx_id() != self.inner.ctx.id {
+            return Err(ClError::InvalidContext(format!(
+                "kernel `{}` belongs to a different context",
+                kernel.name()
+            )));
+        }
+        chunk.validate()?;
+        let dev = self.device();
+        let effective = if kernel.has_work_group_info(dev) {
+            NdRange::d3(chunk.global, kernel.effective_nd(dev, chunk).local)
+        } else {
+            chunk
+        };
+        effective.validate()?;
+        let spec = self.inner.ctx.rt.node.spec(dev);
+        for (i, a) in args.iter().enumerate() {
+            if let Some(b) = a.buffer() {
+                self.check_buffer(b)?;
+                if b.byte_len() as u64 > spec.mem_capacity {
+                    return Err(ClError::MemObjectAllocationFailure(format!(
+                        "kernel `{}` arg {i}: buffer of {} bytes exceeds device {} memory",
+                        kernel.name(),
+                        b.byte_len(),
+                        dev
+                    )));
+                }
+            }
+        }
+        let duration = kernel.cost().kernel_time(spec, effective.shape());
+        let mut accesses: Vec<Access<'_>> = Vec::with_capacity(args.len());
+        for a in args {
+            if let Some(b) = a.buffer() {
+                match accesses.iter_mut().find(|u| u.buf.same_object(b)) {
+                    Some(u) => u.write |= a.is_mutable_buffer(),
+                    None => accesses.push(if a.is_mutable_buffer() {
+                        Access::write(b)
+                    } else {
+                        Access::read(b)
+                    }),
+                }
+            }
+        }
+        let ev = {
+            let mut engine = self.inner.ctx.rt.engine.lock();
+            let mut chain: Vec<EventId> = waits.iter().map(Event::raw).collect();
+            for a in args {
+                if let Some(b) = a.buffer() {
+                    if let Some(t) = self.migrate_to(&mut engine, b, dev) {
+                        chain.push(t);
+                    }
+                }
+            }
+            if self.inner.ooo {
+                // Reads only: sibling chunks are mutually unordered.
+                for u in &accesses {
+                    Self::stamp_consult(u.buf, false, &mut chain);
+                }
+            }
+            let id = self.submit(
+                &mut engine,
+                dev,
+                CommandKind::Kernel { name: Arc::from(kernel.name().as_str()) },
+                duration,
+                &chain,
+            );
+            for u in &accesses {
+                Self::stamp_record(&engine, u.buf, id, false);
+            }
+            id
+        };
+        // Data plane: sub-range body execution. Written buffers still take a
+        // write hazard (chunks serialize in wall-clock, not virtual time —
+        // they share the buffer's store lock anyway), keeping results exact.
+        let plane = Arc::clone(self.plane());
+        if plane.is_inline() {
+            plane.note_inline(&accesses);
+            let mut ctx = KernelCtx::with_offset(effective, dev, global_offset, args);
+            kernel.body().execute(&mut ctx);
+        } else {
+            let wait_events: Vec<usize> = waits.iter().map(|e| e.raw().0).collect();
+            let body = Arc::clone(kernel.body());
+            let owned_args: Vec<ArgValue> = args.to_vec();
+            let t = plane.submit(
+                &accesses,
+                &self.chain_deps(),
+                &wait_events,
+                Some(ev.0),
+                Box::new(move || {
+                    let mut ctx =
+                        KernelCtx::with_offset(effective, dev, global_offset, &owned_args);
+                    body.execute(&mut ctx);
+                }),
+            );
+            self.record_task(t);
+        }
+        Ok(Event::new(Arc::clone(&self.inner.ctx.rt), ev))
+    }
+
+    /// Charge the partial D2H that pulls one chunk's output sub-range
+    /// (`bytes` of `buf`) back from this queue's device — the gather step
+    /// of a split launch. Residency is not updated; the caller finalizes
+    /// the logical buffer via [`CommandQueue::enqueue_split_join`].
+    pub fn enqueue_gather(&self, buf: &Buffer, bytes: u64, waits: &[Event]) -> ClResult<Event> {
+        self.check_buffer(buf)?;
+        let bytes = bytes.min(buf.byte_len() as u64).max(1);
+        let dev = self.device();
+        let mut engine = self.inner.ctx.rt.engine.lock();
+        let node = &self.inner.ctx.rt.node;
+        let duration = node.topology.host_transfer_time(dev, bytes, &node.devices);
+        let chain: Vec<EventId> = waits.iter().map(Event::raw).collect();
+        let id = self.submit(
+            &mut engine,
+            dev,
+            CommandKind::Transfer { kind: TransferKind::DeviceToHost, bytes },
+            duration,
+            &chain,
+        );
+        Self::stamp_record(&engine, buf, id, false);
+        Ok(Event::new(Arc::clone(&self.inner.ctx.rt), id))
+    }
+
+    /// Rejoin a split launch into this queue's program order: a
+    /// zero-duration marker waiting on `waits` (every chunk's gather).
+    /// Each written buffer's time-plane writer stamp becomes the marker
+    /// (so later out-of-order consumers order after the *whole* split, not
+    /// one chunk) and its contents are declared valid on the host alone —
+    /// the reassembled result of the gathers.
+    pub fn enqueue_split_join(&self, waits: &[Event], written: &[Buffer]) -> Event {
+        let id = {
+            let mut engine = self.inner.ctx.rt.engine.lock();
+            let dev = self.device();
+            let chain: Vec<EventId> = waits.iter().map(Event::raw).collect();
+            let id = self.submit(&mut engine, dev, CommandKind::Marker, SimDuration::ZERO, &chain);
+            for b in written {
+                Self::stamp_record(&engine, b, id, true);
+            }
+            id
+        };
+        for b in written {
+            b.mark_host_only();
+        }
+        // Data plane: a no-op task ordered after every chunk's write hazard,
+        // so the home queue's chain observes the completed split.
+        let plane = Arc::clone(self.plane());
+        if !plane.is_inline() {
+            let accesses: Vec<Access<'_>> = written.iter().map(Access::read).collect();
+            let t = plane.submit(&accesses, &self.chain_deps(), &[], Some(id.0), Box::new(|| {}));
+            self.record_task(t);
+        }
+        Event::new(Arc::clone(&self.inner.ctx.rt), id)
     }
 
     /// `clEnqueueMarker`: a zero-duration command that completes when all

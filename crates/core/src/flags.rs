@@ -63,10 +63,27 @@ impl QueueSchedFlags {
     /// kernels on the device's copy lane (Lázaro-Muñoz et al.). Off by
     /// default: without the flag the in-order chain is preserved exactly.
     pub const SCHED_OUT_OF_ORDER: QueueSchedFlags = QueueSchedFlags(1 << 9);
+    /// Partition splittable kernels into contiguous NDRange sub-ranges and
+    /// execute them across every healthy device (static, chunked, or HGuided
+    /// partitioner plus work stealing — EngineCL/PySchedCL-style). Off by
+    /// default: without the flag every kernel launches whole on one device
+    /// and same-seed replay is byte-identical to a build without splitting.
+    pub const SCHED_SPLITTABLE: QueueSchedFlags = QueueSchedFlags(1 << 10);
 
     /// The empty flag set (defaults to automatic dynamic scheduling at
     /// kernel-epoch granularity when passed to queue creation).
     pub const NONE: QueueSchedFlags = QueueSchedFlags(0);
+
+    /// Every bit the runtime defines; anything outside is rejected by
+    /// [`QueueSchedFlags::validate`].
+    const KNOWN: u32 = (1 << 11) - 1;
+
+    /// Reconstruct a flag set from raw bits (telemetry decode, spec files).
+    /// Unknown bits are preserved so `validate()` can report them.
+    #[inline]
+    pub fn from_bits(bits: u32) -> QueueSchedFlags {
+        QueueSchedFlags(bits)
+    }
 
     /// True if every bit of `other` is set in `self`.
     #[inline]
@@ -104,10 +121,23 @@ impl QueueSchedFlags {
             && (self.contains(Self::SCHED_AUTO_STATIC) || self.contains(Self::SCHED_AUTO_DYNAMIC))
     }
 
-    /// Validate mutually exclusive combinations:
+    /// Validate the flag set:
+    /// * every bit must be one the runtime defines (unknown bits are a
+    ///   typed error, not silently ignored),
     /// * `SCHED_OFF` cannot be combined with `SCHED_AUTO_*`,
-    /// * `SCHED_AUTO_STATIC` and `SCHED_AUTO_DYNAMIC` are exclusive.
+    /// * `SCHED_AUTO_STATIC` and `SCHED_AUTO_DYNAMIC` are exclusive,
+    /// * `SCHED_SPLITTABLE` requires automatic scheduling (it is meaningless
+    ///   under `SCHED_OFF`) and cannot be combined with
+    ///   `SCHED_OUT_OF_ORDER` (a split kernel's chunk fan-out already owns
+    ///   the epoch's emission order).
     pub fn validate(self) -> ClResult<()> {
+        let unknown = self.0 & !Self::KNOWN;
+        if unknown != 0 {
+            return Err(ClError::InvalidValue(format!(
+                "unknown queue scheduling flag bits {unknown:#x} (known mask {:#x})",
+                Self::KNOWN
+            )));
+        }
         if self.contains(Self::SCHED_OFF)
             && (self.contains(Self::SCHED_AUTO_STATIC) || self.contains(Self::SCHED_AUTO_DYNAMIC))
         {
@@ -120,12 +150,22 @@ impl QueueSchedFlags {
                 "SCHED_AUTO_STATIC and SCHED_AUTO_DYNAMIC are mutually exclusive".into(),
             ));
         }
+        if self.contains(Self::SCHED_SPLITTABLE) && self.contains(Self::SCHED_OFF) {
+            return Err(ClError::InvalidValue(
+                "SCHED_SPLITTABLE requires automatic scheduling (SCHED_OFF set)".into(),
+            ));
+        }
+        if self.contains(Self::SCHED_SPLITTABLE) && self.contains(Self::SCHED_OUT_OF_ORDER) {
+            return Err(ClError::InvalidValue(
+                "SCHED_SPLITTABLE and SCHED_OUT_OF_ORDER are mutually exclusive".into(),
+            ));
+        }
         Ok(())
     }
 
     /// Iterate the names of the set flags (for Display/diagnostics).
     fn names(self) -> Vec<&'static str> {
-        const TABLE: [(u32, &str); 10] = [
+        const TABLE: [(u32, &str); 11] = [
             (1 << 0, "SCHED_OFF"),
             (1 << 1, "SCHED_AUTO_STATIC"),
             (1 << 2, "SCHED_AUTO_DYNAMIC"),
@@ -136,6 +176,7 @@ impl QueueSchedFlags {
             (1 << 7, "SCHED_IO_BOUND"),
             (1 << 8, "SCHED_MEM_BOUND"),
             (1 << 9, "SCHED_OUT_OF_ORDER"),
+            (1 << 10, "SCHED_SPLITTABLE"),
         ];
         TABLE.iter().filter(|(bit, _)| self.0 & bit != 0).map(|&(_, name)| name).collect()
     }
@@ -214,6 +255,37 @@ mod tests {
         assert!(f.contains(F::SCHED_ITERATIVE));
         f.remove(F::SCHED_ITERATIVE);
         assert!(f.is_empty());
+    }
+
+    #[test]
+    fn unknown_bits_are_rejected() {
+        for bits in [1u32 << 11, 1 << 17, 0x8000_0000, (1 << 11) | (1 << 2)] {
+            let err = F::from_bits(bits).validate().expect_err("unknown bits must fail");
+            assert!(matches!(err, ClError::InvalidValue(_)), "expected InvalidValue, got {err:?}");
+        }
+        // Every known bit on its own still validates (or fails only for a
+        // documented exclusion, never for being unknown).
+        for bit in 0..11 {
+            if let Err(e) = F::from_bits(1 << bit).validate() {
+                panic!("known bit 1<<{bit} rejected: {e:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn splittable_exclusions() {
+        assert!((F::SCHED_AUTO_DYNAMIC | F::SCHED_SPLITTABLE).validate().is_ok());
+        assert!((F::SCHED_OFF | F::SCHED_SPLITTABLE).validate().is_err());
+        assert!((F::SCHED_AUTO_DYNAMIC | F::SCHED_SPLITTABLE | F::SCHED_OUT_OF_ORDER)
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn from_bits_round_trips() {
+        let f = F::SCHED_AUTO_DYNAMIC | F::SCHED_SPLITTABLE;
+        assert_eq!(F::from_bits(f.bits()), f);
+        assert!(f.to_string().contains("SCHED_SPLITTABLE"));
     }
 
     #[test]

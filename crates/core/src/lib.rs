@@ -57,6 +57,7 @@ pub mod ooo;
 pub mod predictor;
 pub mod profile;
 pub mod scheduler;
+pub mod split;
 pub mod telemetry;
 
 pub use clrt::error;
@@ -70,6 +71,7 @@ pub use scheduler::{
     DeviceHealth, MapperKind, MulticlContext, SchedOptions, SchedQueue, SchedStats,
     DEFAULT_ADAPTIVE_NODE_BUDGET, ITER_FREQ_ENV, PROFILING_TAG,
 };
+pub use split::{Assignment, Chunk, SplitPartitioner, SplitPlan};
 pub use telemetry::{QueueDecision, SchedEvent, SchedObserver};
 
 use clrt::error::ClResult;

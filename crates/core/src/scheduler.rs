@@ -29,11 +29,12 @@ use crate::mapper;
 use crate::ooo;
 use crate::predictor::{CostPredictor, KernelFeatures};
 use crate::profile::{DeviceProfile, ProfileCache, StaticHint};
+use crate::split::{self, SplitPartitioner};
 use crate::telemetry::event::{QueueDecision, SchedEvent};
 use crate::telemetry::{SchedObserver, StderrSink};
 use clrt::error::{ClError, ClResult};
 use clrt::{
-    ArgValue, Buffer, CommandQueue, Context, Kernel, KernelBody, NdRange, Platform, Program,
+    ArgValue, Buffer, CommandQueue, Context, Event, Kernel, KernelBody, NdRange, Platform, Program,
 };
 use hwsim::cost::{KernelCostSpec, NdRangeShape};
 use hwsim::engine::CommandKind;
@@ -124,6 +125,15 @@ pub struct SchedOptions {
     /// buffer residency, which must happen in pool order). Defaults to
     /// `min(4, available_parallelism)`.
     pub cost_threads: usize,
+    /// How `SCHED_SPLITTABLE` queues partition a splittable kernel's
+    /// NDRange over the healthy devices (static cost-proportional, fixed
+    /// chunks, or HGuided shrinking chunks). The work-stealing assigner
+    /// rebalances whatever the partitioner produces.
+    pub split_partitioner: SplitPartitioner,
+    /// Smallest launch (in workgroups along the split axis) worth
+    /// splitting: below this the per-chunk launch and gather overhead
+    /// outweighs the parallelism and the kernel runs whole.
+    pub split_min_wgs: u64,
     /// Telemetry observers attached at context creation; each receives
     /// every [`SchedEvent`] the runtime emits. More can be added later via
     /// [`MulticlContext::add_observer`]. When the `MULTICL_DEBUG`
@@ -148,6 +158,8 @@ impl Default for SchedOptions {
             predictor_persist: false,
             adaptive_node_budget: DEFAULT_ADAPTIVE_NODE_BUDGET,
             cost_threads: std::thread::available_parallelism().map_or(1, |n| n.get()).min(4),
+            split_partitioner: SplitPartitioner::Static,
+            split_min_wgs: 8,
             observers: Vec::new(),
         }
     }
@@ -174,6 +186,8 @@ impl std::fmt::Debug for SchedOptions {
             .field("predictor_persist", &self.predictor_persist)
             .field("adaptive_node_budget", &self.adaptive_node_budget)
             .field("cost_threads", &self.cost_threads)
+            .field("split_partitioner", &self.split_partitioner)
+            .field("split_min_wgs", &self.split_min_wgs)
             .field("observers", &self.observers.len())
             .finish()
     }
@@ -203,6 +217,11 @@ pub struct SchedStats {
     pub devices_lost: u64,
     /// Queues evacuated off lost devices (fault-driven rebinds).
     pub queues_remapped: u64,
+    /// Splittable kernel launches actually partitioned into multi-device
+    /// sub-ranges (launches that fell back to a whole launch don't count).
+    pub kernels_split: u64,
+    /// Chunks the work-stealing assigner moved off their preferred device.
+    pub chunks_stolen: u64,
 }
 
 /// Health of one context device, as the engine's fault plan and the virtual
@@ -296,6 +315,10 @@ struct RtInner {
     /// Passes are serialized by `pass_lock`, so this lock is uncontended —
     /// it exists to keep `RtInner: Sync` without `unsafe`.
     mapper_state: Mutex<MapperState>,
+    /// Per-device in-order lanes the split flush issues chunks on, created
+    /// lazily (device index → queue) and reused across epochs so split
+    /// launches don't churn queue ids in the trace.
+    split_lanes: Mutex<HashMap<usize, CommandQueue>>,
 }
 
 /// Buffers the AUTO_FIT arm reuses across epochs so the steady-state hot
@@ -382,6 +405,7 @@ impl MulticlContext {
                 observers: Mutex::new(observers),
                 pass_lock: Mutex::new(()),
                 mapper_state: Mutex::new(MapperState::default()),
+                split_lanes: Mutex::new(HashMap::new()),
             }),
         };
         // Announce how the static device profile was obtained (a disk cache
@@ -902,6 +926,8 @@ impl RtInner {
             q.cl.rebind(*dev).expect("mapper chose a context device");
             if q.flags.contains(QueueSchedFlags::SCHED_OUT_OF_ORDER) {
                 ooo_group.push(i);
+            } else if q.flags.contains(QueueSchedFlags::SCHED_SPLITTABLE) {
+                pool_issued += self.flush_split_queue(q, &devices, &lost, epoch, &mut delta);
             } else {
                 pool_issued += self.flush_queue(q);
             }
@@ -969,6 +995,8 @@ impl RtInner {
         stats.commands_reordered += delta.commands_reordered;
         stats.devices_lost += delta.devices_lost;
         stats.queues_remapped += delta.queues_remapped;
+        stats.kernels_split += delta.kernels_split;
+        stats.chunks_stolen += delta.chunks_stolen;
     }
 
     /// Cost breakdowns for the whole pool. Warm epochs — every queue's
@@ -1160,6 +1188,193 @@ impl RtInner {
                 .expect("buffered launch was validated at enqueue time");
         }
         issued
+    }
+
+    /// Issue a `SCHED_SPLITTABLE` queue's buffered launches, partitioning
+    /// each splittable kernel into contiguous sub-ranges executed
+    /// concurrently on per-device lanes. Launches that cannot be split —
+    /// kernel opt-out, too little work, fewer than two healthy devices —
+    /// run whole on the queue's bound device, exactly like
+    /// [`RtInner::flush_queue`].
+    fn flush_split_queue(
+        &self,
+        q: &QueueState,
+        devices: &[DeviceId],
+        lost: &[bool],
+        epoch: u64,
+        delta: &mut SchedStats,
+    ) -> u64 {
+        let pending: Vec<PendingKernel> = std::mem::take(&mut *q.pending.lock());
+        if pending.is_empty() {
+            return 0;
+        }
+        let issued = pending.len() as u64;
+        q.epochs.fetch_add(1, Ordering::Relaxed);
+        for p in pending {
+            if !self.try_split_launch(q, &p, devices, lost, epoch, delta) {
+                q.cl.enqueue_ndrange_with_args(&p.kernel, p.nd, &p.args, &[])
+                    .expect("buffered launch was validated at enqueue time");
+            }
+        }
+        issued
+    }
+
+    /// The split axis of a launch: the outermost (highest-index) dimension
+    /// with more than one workgroup, if any. Splitting along the outermost
+    /// dimension keeps each chunk's sub-range contiguous in the flattened
+    /// iteration space.
+    fn split_axis(nd: &NdRange) -> Option<usize> {
+        (0..3).rev().find(|&d| nd.global[d].div_ceil(nd.local[d]) > 1)
+    }
+
+    /// Partition one pending launch over the healthy devices and issue the
+    /// chunks. Returns `false` when the launch must run whole instead.
+    fn try_split_launch(
+        &self,
+        q: &QueueState,
+        p: &PendingKernel,
+        devices: &[DeviceId],
+        lost: &[bool],
+        epoch: u64,
+        delta: &mut SchedStats,
+    ) -> bool {
+        if !p.kernel.splittable() || lost.iter().filter(|&&l| !l).count() < 2 {
+            return false;
+        }
+        let Some(axis) = Self::split_axis(&p.nd) else { return false };
+        let units = p.nd.global[axis].div_ceil(p.nd.local[axis]);
+        if units < 2 || units < self.options.split_min_wgs {
+            return false;
+        }
+        // Per-device cost of one split unit: the kernel's profiled full
+        // execution time when the profiler has a row, else the §V-B
+        // analytic estimate — either divided by the unit count. Lost
+        // devices are unavailable (infinite cost).
+        let node = self.platform.node().clone();
+        let profile_row = self.kernel_profiles.lock().get(&p.kernel.name()).cloned();
+        let per_wg_ns: Vec<f64> = devices
+            .iter()
+            .enumerate()
+            .map(|(di, &dev)| {
+                if lost[di] {
+                    return f64::INFINITY;
+                }
+                let full = profile_row
+                    .as_ref()
+                    .and_then(|row| row.get(di))
+                    .map(|d| d.as_nanos() as f64)
+                    .filter(|&ns| ns > 0.0)
+                    .unwrap_or_else(|| {
+                        p.kernel
+                            .cost()
+                            .kernel_time(node.spec(dev), p.kernel.effective_nd(dev, p.nd).shape())
+                            .as_nanos() as f64
+                    });
+                (full / units as f64).max(1e-9)
+            })
+            .collect();
+        let chunks = self.options.split_partitioner.chunks(units, &per_wg_ns);
+        if chunks.len() < 2 {
+            return false;
+        }
+        // The partitioner planned against the estimates above; the assigner
+        // sees the *current* per-unit cost with active degradation faults
+        // folded in, so a device that has fallen behind its estimate loses
+        // chunks to stealing.
+        let degradation: Vec<f64> = self
+            .platform
+            .with_engine(|e| devices.iter().map(|&d| e.device_degradation(d)).collect());
+        let live_ns: Vec<f64> =
+            per_wg_ns.iter().zip(&degradation).map(|(&ns, &f)| ns * f.max(1.0)).collect();
+        let plan = split::assign_work_stealing(&chunks, &live_ns);
+        if plan.assignments.is_empty() {
+            return false;
+        }
+        self.emit(&SchedEvent::KernelSplit {
+            epoch,
+            queue: q.id,
+            kernel: p.kernel.name(),
+            partitioner: self.options.split_partitioner.name().to_string(),
+            total_wgs: units,
+            chunks: chunks.len() as u64,
+            wgs_per_device: plan.wgs_per_device(&chunks, devices.len()),
+            at: self.platform.now(),
+        });
+        delta.kernels_split += 1;
+        // Written buffers (dedup'd): gathered per chunk, finalized by the
+        // join marker on the home queue.
+        let mut written: Vec<Buffer> = Vec::new();
+        for a in &p.args {
+            if a.is_mutable_buffer() {
+                let b = a.buffer().expect("mutable arg has a buffer");
+                if !written.iter().any(|w| w.same_object(b)) {
+                    written.push(b.clone());
+                }
+            }
+        }
+        // The marker is the tail of the home queue's prior work: every
+        // chunk orders after it, so the split inherits the queue's program
+        // order without serializing against its siblings.
+        let start = [q.cl.enqueue_marker()];
+        let mut gathers: Vec<Event> = Vec::with_capacity(plan.assignments.len() * written.len());
+        for a in &plan.assignments {
+            let c = &chunks[a.chunk];
+            let dev = devices[a.device];
+            let lane = self.split_lane(a.device, dev);
+            let item_offset = c.wg_offset * p.nd.local[axis];
+            let extent = (c.wg_count * p.nd.local[axis]).min(p.nd.global[axis] - item_offset);
+            let mut chunk_nd = p.nd;
+            chunk_nd.global[axis] = extent;
+            let mut offset = [0u64; 3];
+            offset[axis] = item_offset;
+            if a.stolen {
+                self.emit(&SchedEvent::ChunkStolen {
+                    epoch,
+                    kernel: p.kernel.name(),
+                    chunk: a.chunk as u64,
+                    wg_offset: c.wg_offset,
+                    wg_count: c.wg_count,
+                    from: devices[c.preferred],
+                    to: dev,
+                    at: self.platform.now(),
+                });
+                delta.chunks_stolen += 1;
+            }
+            let ev = lane
+                .enqueue_ndrange_chunk(&p.kernel, chunk_nd, offset, &p.args, &start)
+                .expect("chunk geometry derives from a validated launch");
+            if written.is_empty() {
+                gathers.push(ev);
+            } else {
+                let chunk_waits = [ev];
+                for b in &written {
+                    let bytes = (b.byte_len() as u64 * c.wg_count) / units;
+                    gathers.push(
+                        lane.enqueue_gather(b, bytes.max(1), &chunk_waits)
+                            .expect("gather of a validated split output"),
+                    );
+                }
+            }
+        }
+        q.cl.enqueue_split_join(&gathers, &written);
+        true
+    }
+
+    /// The cached per-device in-order lane for split chunks, created on
+    /// first use. Keyed by device *index* (pass device order is stable).
+    fn split_lane(&self, device_index: usize, dev: DeviceId) -> CommandQueue {
+        let mut lanes = self.split_lanes.lock();
+        if let Some(lane) = lanes.get(&device_index) {
+            let lane = lane.clone();
+            drop(lanes);
+            // A lane created before a fault-driven reshuffle may point at a
+            // stale device; rebind is cheap and idempotent.
+            lane.rebind(dev).expect("lane device comes from the context device list");
+            return lane;
+        }
+        let lane = self.cl.create_queue(dev).expect("lane device comes from the context");
+        lanes.insert(device_index, lane.clone());
+        lane
     }
 
     /// Per-device cost terms for one queue's pending epoch, kept separate

@@ -411,6 +411,48 @@ pub enum SchedEvent {
         /// The gate-failing uncertainty (0 when untrained).
         uncertainty: f64,
     },
+    /// A splittable kernel launch (`SCHED_SPLITTABLE`) was partitioned into
+    /// contiguous NDRange sub-ranges executed concurrently across devices.
+    KernelSplit {
+        /// Scheduling epoch of the split.
+        epoch: u64,
+        /// Stable id of the queue whose launch was split.
+        queue: usize,
+        /// Kernel function name.
+        kernel: String,
+        /// Partitioner that produced the chunks (`static` / `chunked` /
+        /// `hguided`).
+        partitioner: String,
+        /// Split units (workgroup slabs along the split axis) in the launch.
+        total_wgs: u64,
+        /// Contiguous chunks produced.
+        chunks: u64,
+        /// Split units executed per device (device order; sums to
+        /// `total_wgs`).
+        wgs_per_device: Vec<u64>,
+        /// Virtual time of the split decision.
+        at: SimTime,
+    },
+    /// The work-stealing chunk assigner moved a chunk off its preferred
+    /// device because that device was running behind its estimate.
+    ChunkStolen {
+        /// Scheduling epoch of the steal.
+        epoch: u64,
+        /// Kernel function name.
+        kernel: String,
+        /// Chunk index within the split launch.
+        chunk: u64,
+        /// First split unit of the stolen chunk.
+        wg_offset: u64,
+        /// Split units in the stolen chunk.
+        wg_count: u64,
+        /// The device the partitioner intended the chunk for.
+        from: DeviceId,
+        /// The device that actually executed it.
+        to: DeviceId,
+        /// Virtual time of the steal.
+        at: SimTime,
+    },
 }
 
 impl SchedEvent {
@@ -439,7 +481,9 @@ impl SchedEvent {
             | SchedEvent::SloBurn { epoch, .. }
             | SchedEvent::CostPredicted { epoch, .. }
             | SchedEvent::PredictorRefined { epoch, .. }
-            | SchedEvent::PredictorFallback { epoch, .. } => epoch,
+            | SchedEvent::PredictorFallback { epoch, .. }
+            | SchedEvent::KernelSplit { epoch, .. }
+            | SchedEvent::ChunkStolen { epoch, .. } => epoch,
         }
     }
 
@@ -469,6 +513,8 @@ impl SchedEvent {
             SchedEvent::CostPredicted { .. } => "cost_predicted",
             SchedEvent::PredictorRefined { .. } => "predictor_refined",
             SchedEvent::PredictorFallback { .. } => "predictor_fallback",
+            SchedEvent::KernelSplit { .. } => "kernel_split",
+            SchedEvent::ChunkStolen { .. } => "chunk_stolen",
         }
     }
 
@@ -741,6 +787,39 @@ impl SchedEvent {
                 ("reason", Json::from(reason.as_str())),
                 ("uncertainty", Json::from(*uncertainty)),
             ]),
+            SchedEvent::KernelSplit {
+                epoch,
+                queue,
+                kernel,
+                partitioner,
+                total_wgs,
+                chunks,
+                wgs_per_device,
+                at,
+            } => Json::obj([
+                ("type", Json::from(self.kind())),
+                ("epoch", Json::from(*epoch)),
+                ("queue", Json::from(*queue)),
+                ("kernel", Json::from(kernel.as_str())),
+                ("partitioner", Json::from(partitioner.as_str())),
+                ("total_wgs", Json::from(*total_wgs)),
+                ("chunks", Json::from(*chunks)),
+                ("wgs_per_device", Json::num_arr(wgs_per_device.iter().map(|&w| w as f64))),
+                ("at_ns", Json::from(at.as_nanos())),
+            ]),
+            SchedEvent::ChunkStolen { epoch, kernel, chunk, wg_offset, wg_count, from, to, at } => {
+                Json::obj([
+                    ("type", Json::from(self.kind())),
+                    ("epoch", Json::from(*epoch)),
+                    ("kernel", Json::from(kernel.as_str())),
+                    ("chunk", Json::from(*chunk)),
+                    ("wg_offset", Json::from(*wg_offset)),
+                    ("wg_count", Json::from(*wg_count)),
+                    ("from", Json::from(from.index())),
+                    ("to", Json::from(to.index())),
+                    ("at_ns", Json::from(at.as_nanos())),
+                ])
+            }
         }
     }
 
@@ -975,6 +1054,36 @@ impl SchedEvent {
                     .to_string(),
                 uncertainty: value.get("uncertainty").and_then(Json::as_f64).unwrap_or(0.0),
             },
+            // Split events follow the same trimmed-stream convention: only
+            // the identifying kernel name is required.
+            "kernel_split" => SchedEvent::KernelSplit {
+                epoch,
+                queue: value.get("queue").and_then(Json::as_u64).unwrap_or(0) as usize,
+                kernel: value.get("kernel")?.as_str()?.to_string(),
+                partitioner: value
+                    .get("partitioner")
+                    .and_then(Json::as_str)
+                    .unwrap_or("static")
+                    .to_string(),
+                total_wgs: value.get("total_wgs").and_then(Json::as_u64).unwrap_or(0),
+                chunks: value.get("chunks").and_then(Json::as_u64).unwrap_or(0),
+                wgs_per_device: value
+                    .get("wgs_per_device")
+                    .and_then(Json::as_arr)
+                    .map(|a| a.iter().filter_map(Json::as_u64).collect())
+                    .unwrap_or_default(),
+                at: time("at_ns").unwrap_or(SimTime::ZERO),
+            },
+            "chunk_stolen" => SchedEvent::ChunkStolen {
+                epoch,
+                kernel: value.get("kernel")?.as_str()?.to_string(),
+                chunk: value.get("chunk").and_then(Json::as_u64).unwrap_or(0),
+                wg_offset: value.get("wg_offset").and_then(Json::as_u64).unwrap_or(0),
+                wg_count: value.get("wg_count").and_then(Json::as_u64).unwrap_or(0),
+                from: DeviceId(value.get("from").and_then(Json::as_u64).unwrap_or(0) as usize),
+                to: DeviceId(value.get("to").and_then(Json::as_u64).unwrap_or(0) as usize),
+                at: time("at_ns").unwrap_or(SimTime::ZERO),
+            },
             _ => return None,
         })
     }
@@ -1183,12 +1292,32 @@ pub(crate) fn sample_events() -> Vec<SchedEvent> {
             reason: "low_confidence".into(),
             uncertainty: 0.83,
         },
+        SchedEvent::KernelSplit {
+            epoch: 10,
+            queue: 2,
+            kernel: "k \"split\"\n".into(),
+            partitioner: "static".into(),
+            total_wgs: 256,
+            chunks: 3,
+            wgs_per_device: vec![96, 160, 0],
+            at: SimTime::from_nanos(50_000),
+        },
+        SchedEvent::ChunkStolen {
+            epoch: 10,
+            kernel: "k \"split\"\n".into(),
+            chunk: 2,
+            wg_offset: 192,
+            wg_count: 64,
+            from: DeviceId(2),
+            to: DeviceId(1),
+            at: SimTime::from_nanos(50_001),
+        },
     ];
     // Exhaustiveness guard: a sample for every variant's kind string.
     let mut kinds: Vec<&str> = events.iter().map(|e| e.kind()).collect();
     kinds.sort_unstable();
     kinds.dedup();
-    assert_eq!(kinds.len(), 23, "sample_events must cover every SchedEvent variant; got {kinds:?}");
+    assert_eq!(kinds.len(), 25, "sample_events must cover every SchedEvent variant; got {kinds:?}");
     events
 }
 
@@ -1330,6 +1459,37 @@ mod tests {
             SchedEvent::PredictorFallback { reason, uncertainty, .. } => {
                 assert_eq!(reason, "untrained");
                 assert_eq!(uncertainty, 0.0);
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn split_events_without_optional_fields_decode_with_defaults() {
+        // Trimmed split records (only the kernel name is required) follow
+        // the same legacy-replay convention as the predictor events.
+        let v = Json::parse(r#"{"type":"kernel_split","epoch":10,"kernel":"k"}"#).unwrap();
+        match SchedEvent::from_json(&v).expect("trimmed kernel_split decodes") {
+            SchedEvent::KernelSplit {
+                queue,
+                partitioner,
+                total_wgs,
+                chunks,
+                wgs_per_device,
+                ..
+            } => {
+                assert_eq!(queue, 0);
+                assert_eq!(partitioner, "static");
+                assert_eq!((total_wgs, chunks), (0, 0));
+                assert!(wgs_per_device.is_empty());
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+        let v = Json::parse(r#"{"type":"chunk_stolen","epoch":10,"kernel":"k"}"#).unwrap();
+        match SchedEvent::from_json(&v).expect("trimmed chunk_stolen decodes") {
+            SchedEvent::ChunkStolen { chunk, wg_offset, wg_count, from, to, .. } => {
+                assert_eq!((chunk, wg_offset, wg_count), (0, 0, 0));
+                assert_eq!((from, to), (DeviceId(0), DeviceId(0)));
             }
             other => panic!("wrong variant: {other:?}"),
         }

@@ -537,6 +537,10 @@ pub struct SchedMetrics {
     /// Commands the out-of-order epoch flush emitted away from their
     /// program position (batch reorderer displacements).
     pub commands_reordered: Counter,
+    /// Splittable kernel launches partitioned into multi-device chunks.
+    pub kernels_split: Counter,
+    /// Chunks the work-stealing assigner moved off their preferred device.
+    pub chunks_stolen: Counter,
     /// Detection time (ns) of each downed device, so `Remapped` events can
     /// be turned into recovery latencies.
     down_since: Mutex<std::collections::HashMap<usize, u64>>,
@@ -672,6 +676,14 @@ impl Default for SchedMetrics {
                 "multicl_commands_reordered_total",
                 "Commands emitted out of program order by the epoch batch reorderer",
             ),
+            kernels_split: registry.counter(
+                "multicl_kernels_split_total",
+                "Splittable kernel launches partitioned into multi-device chunks",
+            ),
+            chunks_stolen: registry.counter(
+                "multicl_chunks_stolen_total",
+                "Chunks moved off their preferred device by the work-stealing assigner",
+            ),
             down_since: Mutex::new(std::collections::HashMap::new()),
             lane_overlap: Mutex::new(std::collections::HashMap::new()),
             predictor_age: Mutex::new(std::collections::HashMap::new()),
@@ -791,6 +803,8 @@ impl SchedObserver for SchedMetrics {
             }
             SchedEvent::CostPredicted { .. } => self.predictor_predictions.inc(),
             SchedEvent::PredictorFallback { .. } => self.predictor_fallbacks.inc(),
+            SchedEvent::KernelSplit { .. } => self.kernels_split.inc(),
+            SchedEvent::ChunkStolen { .. } => self.chunks_stolen.inc(),
             SchedEvent::PredictorRefined {
                 epoch, device, predicted, actual, rel_error, ..
             } => {

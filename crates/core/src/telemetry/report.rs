@@ -143,6 +143,26 @@ pub fn one_line(event: &SchedEvent) -> String {
                 uncertainty * 100.0
             )
         }
+        SchedEvent::KernelSplit {
+            kernel, partitioner, total_wgs, chunks, wgs_per_device, ..
+        } => {
+            let shares = wgs_per_device
+                .iter()
+                .enumerate()
+                .map(|(d, w)| format!("D{d}:{w}"))
+                .collect::<Vec<_>>()
+                .join(" ");
+            format!(
+                "split `{kernel}` ({partitioner}): {total_wgs} workgroup(s) \
+                 into {chunks} chunk(s) [{shares}]"
+            )
+        }
+        SchedEvent::ChunkStolen { kernel, chunk, wg_offset, wg_count, from, to, .. } => {
+            format!(
+                "chunk #{chunk} of `{kernel}` STOLEN {from}→{to} \
+                 ({wg_count} workgroup(s) at offset {wg_offset})"
+            )
+        }
     }
 }
 

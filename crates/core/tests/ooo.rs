@@ -204,6 +204,103 @@ fn no_command_starts_before_its_hazard_predecessors_end() {
 }
 
 #[test]
+fn ooo_queue_evacuated_at_epoch_boundary_leaves_no_dangling_device_state() {
+    // Regression: an out-of-order queue evacuated off a lost device at an
+    // epoch boundary must not leave per-buffer hazard stamps or residency
+    // entries pointing at the dead device. Before the fix, post-loss
+    // epochs could chain new commands onto a dead device's stamps (or try
+    // to migrate buffers from it), corrupting results or panicking.
+    let seed = 33;
+    let (clean, _) = run_arm(seed, QueueSchedFlags::SCHED_AUTO_STATIC, "evac-clean");
+
+    let cmds = random_dag(seed);
+    let platform = Platform::paper_node();
+    let ctx = MulticlContext::with_options(
+        &platform,
+        ContextSchedPolicy::AutoFit,
+        scratch_options("evac-fault"),
+    )
+    .expect("context");
+    let queue = ctx
+        .create_queue(QueueSchedFlags::SCHED_AUTO_STATIC | QueueSchedFlags::SCHED_OUT_OF_ORDER)
+        .expect("queue");
+    let mut init = XorShift::new(seed ^ 0xDEC0DE);
+    let buffers: Vec<clrt::Buffer> = (0..BUFFERS)
+        .map(|_| {
+            let buf = ctx.create_buffer_of::<f64>(ELEMENTS).expect("buffer");
+            let data: Vec<f64> = (0..ELEMENTS).map(|_| init.range_f64(-1.0, 1.0)).collect();
+            queue.enqueue_write(&buf, &data).expect("write");
+            buf
+        })
+        .collect();
+    let bodies: Vec<Arc<dyn KernelBody>> = cmds
+        .iter()
+        .enumerate()
+        .map(|(i, _)| {
+            Arc::new(Mix { name: format!("k{i}"), scale: 0.25 + (i as f64) * 0.03 })
+                as Arc<dyn KernelBody>
+        })
+        .collect();
+    let program = ctx.create_program(bodies).expect("program");
+    let kernels: Vec<clrt::Kernel> = cmds
+        .iter()
+        .enumerate()
+        .map(|(i, c)| {
+            let k = program.create_kernel(&format!("k{i}")).expect("kernel");
+            k.set_arg(0, ArgValue::Buffer(buffers[c.a].clone())).unwrap();
+            k.set_arg(1, ArgValue::Buffer(buffers[c.b].clone())).unwrap();
+            k.set_arg(2, ArgValue::BufferMut(buffers[c.out].clone())).unwrap();
+            k
+        })
+        .collect();
+
+    // First epoch: half the DAG, then synchronize. The queue is now bound
+    // to some device with hazard stamps and residency on it.
+    let half = cmds.len() / 2;
+    for (k, _) in kernels.iter().zip(&cmds).take(half) {
+        queue.enqueue_ndrange(k, NdRange::d1(ELEMENTS as u64, 64)).expect("enqueue");
+    }
+    ctx.finish_all();
+
+    // Lose exactly the device the queue ended up on, as of *now* — the
+    // next epoch boundary must detect the loss and evacuate.
+    let victim = queue.device();
+    let loss_at = platform.now();
+    platform.with_engine(|e| {
+        e.set_fault_plan(hwsim::FaultPlan::new(seed).lose_device(victim, loss_at))
+    });
+
+    // Second epoch: the rest of the DAG across the evacuation.
+    for (k, _) in kernels.iter().zip(&cmds).skip(half) {
+        queue.enqueue_ndrange(k, NdRange::d1(ELEMENTS as u64, 64)).expect("enqueue");
+    }
+    ctx.finish_all();
+
+    // The evacuation must be visible in the stats ...
+    let stats = ctx.stats();
+    assert!(stats.devices_lost >= 1, "loss was never detected: {stats:?}");
+    assert!(stats.queues_remapped >= 1, "queue was never evacuated: {stats:?}");
+    // ... no post-loss command may run on the dead device ...
+    let trace = platform.take_trace();
+    for r in &trace.records {
+        if matches!(r.kind, hwsim::engine::CommandKind::Kernel { .. }) && r.stamp.start >= loss_at {
+            assert_ne!(
+                r.device, victim,
+                "kernel issued onto dead device {victim} after loss at {loss_at}"
+            );
+        }
+    }
+    // ... and the results must be bit-identical to the fault-free run:
+    // every buffered command was evacuated, none was dropped or replayed
+    // against stale residency.
+    let snapshots: Vec<Vec<u64>> = buffers
+        .iter()
+        .map(|b| b.host_snapshot::<f64>().iter().map(|v| v.to_bits()).collect())
+        .collect();
+    assert_eq!(snapshots, clean, "evacuated OOO run diverged from the fault-free run");
+}
+
+#[test]
 fn unflagged_queues_replay_byte_identically() {
     // The flag off ⇒ the in-order chain is preserved exactly: two same-seed
     // runs produce identical traces (same kernels, same virtual windows).

@@ -104,16 +104,26 @@ impl KernelBody for Embar {
             },
         }
     }
+    fn splittable(&self) -> bool {
+        true
+    }
     fn execute(&self, ctx: &mut KernelCtx<'_>) {
         let first_pair = ctx.u64(1);
         let items = ctx.u64(2);
-        let wgs = items.div_ceil(LOCAL) as usize;
+        // Honor sub-range launches: a split chunk owns the workgroups
+        // starting at `global_offset[0] / LOCAL` and covers at most its own
+        // NDRange extent, clamped to the items that actually remain.
+        let item_base = ctx.global_offset()[0];
+        let span = ctx.nd().global_items();
+        let wg_base = (item_base / LOCAL) as usize;
+        let wgs = span.min(items.saturating_sub(item_base)).div_ceil(LOCAL) as usize;
         let out = ctx.slice_mut::<f64>(0);
         // One parallel task per workgroup; each reduces its items locally
         // (mirroring the OpenCL kernel's local-memory reduction).
-        let covered = (wgs * REC).min(out.len());
-        crate::par::par_chunks_mut(&mut out[..covered], REC, |wg, rec| {
-            let first_item = wg as u64 * LOCAL;
+        let start = (wg_base * REC).min(out.len());
+        let covered = (wgs * REC).min(out.len() - start);
+        crate::par::par_chunks_mut(&mut out[start..start + covered], REC, |wg, rec| {
+            let first_item = (wg_base + wg) as u64 * LOCAL;
             let wg_items = LOCAL.min(items.saturating_sub(first_item));
             let (mut sx, mut sy, mut bins) = (0.0f64, 0.0f64, [0u64; 10]);
             for it in 0..wg_items {

@@ -33,4 +33,4 @@ pub mod sp;
 pub mod suite;
 
 pub use class::Class;
-pub use suite::{run_benchmark, suite, BenchmarkInfo, QueuePlan, QueueRule, RunResult};
+pub use suite::{info, run_benchmark, suite, BenchmarkInfo, QueuePlan, QueueRule, RunResult};

@@ -51,7 +51,26 @@ fn idx(i: usize, j: usize, k: usize, n: usize) -> usize {
 /// `out[p] = rhs[p] - Σ w(class)·u[neighbor]` when `rhs` is given, or
 /// `out[p] += Σ w·u[neighbor]` otherwise (smoother form).
 fn stencil27(u: &[f64], rhs: Option<&[f64]>, out: &mut [f64], n: usize, w: [f64; 4], add: bool) {
-    crate::par::par_chunks_mut(out, n * n, |k, plane| {
+    stencil27_planes(u, rhs, out, n, w, add, 0..n);
+}
+
+/// [`stencil27`] restricted to the k-planes in `planes`. `u`, `rhs` and
+/// `out` are still the full grid — neighbor reads wrap over all of it —
+/// but only the selected planes of `out` are written, which is what lets a
+/// split launch hand disjoint plane spans to different devices.
+fn stencil27_planes(
+    u: &[f64],
+    rhs: Option<&[f64]>,
+    out: &mut [f64],
+    n: usize,
+    w: [f64; 4],
+    add: bool,
+    planes: std::ops::Range<usize>,
+) {
+    let k0 = planes.start.min(n);
+    let end = planes.end.min(n);
+    crate::par::par_chunks_mut(&mut out[k0 * n * n..end * n * n], n * n, |kk, plane| {
+        let k = k0 + kk;
         for j in 0..n {
             for i in 0..n {
                 let mut acc = 0.0;
@@ -179,12 +198,17 @@ impl KernelBody for MgResid {
             traits: stencil_traits(),
         }
     }
+    fn splittable(&self) -> bool {
+        true
+    }
     fn execute(&self, ctx: &mut KernelCtx<'_>) {
         let n = ctx.u64(3) as usize;
+        let k0 = ctx.global_offset()[2] as usize;
+        let kspan = ctx.nd().global[2] as usize;
         let u = ctx.slice::<f64>(0);
         let v = ctx.slice::<f64>(1);
         let r = ctx.slice_mut::<f64>(2);
-        stencil27(u, Some(v), r, n, A_W, false);
+        stencil27_planes(u, Some(v), r, n, A_W, false, k0..k0 + kspan);
     }
 }
 
@@ -204,11 +228,16 @@ impl KernelBody for MgPsinv {
             traits: stencil_traits(),
         }
     }
+    fn splittable(&self) -> bool {
+        true
+    }
     fn execute(&self, ctx: &mut KernelCtx<'_>) {
         let n = ctx.u64(2) as usize;
+        let k0 = ctx.global_offset()[2] as usize;
+        let kspan = ctx.nd().global[2] as usize;
         let r = ctx.slice::<f64>(0);
         let u = ctx.slice_mut::<f64>(1);
-        stencil27(r, None, u, n, C_W, true);
+        stencil27_planes(r, None, u, n, C_W, true, k0..k0 + kspan);
     }
 }
 

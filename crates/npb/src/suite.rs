@@ -99,10 +99,11 @@ pub fn suite() -> Vec<BenchmarkInfo> {
             classes: &[S, W, A, B, C, D],
             queue_rule: QueueRule::Any,
             queue_examples: &[1, 2, 4],
-            scheduler_options: &["SCHED_KERNEL_EPOCH", "SCHED_COMPUTE_BOUND"],
+            scheduler_options: &["SCHED_KERNEL_EPOCH", "SCHED_COMPUTE_BOUND", "SCHED_SPLITTABLE"],
             flags: QueueSchedFlags::SCHED_AUTO_DYNAMIC
                 .bitor(QueueSchedFlags::SCHED_KERNEL_EPOCH)
-                .bitor(QueueSchedFlags::SCHED_COMPUTE_BOUND),
+                .bitor(QueueSchedFlags::SCHED_COMPUTE_BOUND)
+                .bitor(QueueSchedFlags::SCHED_SPLITTABLE),
             uses_work_group_info: false,
         },
         BenchmarkInfo {
@@ -119,8 +120,8 @@ pub fn suite() -> Vec<BenchmarkInfo> {
             classes: &[S, W, A, B],
             queue_rule: QueueRule::PowerOfTwo,
             queue_examples: &[1, 2, 4],
-            scheduler_options: &["SCHED_EXPLICIT_REGION"],
-            flags: dyn_region,
+            scheduler_options: &["SCHED_EXPLICIT_REGION", "SCHED_SPLITTABLE"],
+            flags: dyn_region.bitor(QueueSchedFlags::SCHED_SPLITTABLE),
             uses_work_group_info: false,
         },
         BenchmarkInfo {

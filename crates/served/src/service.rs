@@ -345,6 +345,11 @@ pub struct Served {
     /// inert — queues with no pending work never enter the scheduling
     /// pool — until some job opts in.
     ooo_workers: Vec<SchedQueue>,
+    /// Splittable twins of `workers`, used for jobs whose spec sets
+    /// `splittable`: same scheduling policy plus `SCHED_SPLITTABLE`, so
+    /// split-capable kernels may be partitioned across devices. Empty under
+    /// [`ServePolicy::Off`], inert until some job opts in.
+    split_workers: Vec<SchedQueue>,
     tenants: Vec<TenantState>,
     metrics: ServiceMetrics,
     retry: RetryPolicy,
@@ -400,12 +405,23 @@ impl Served {
                 })
                 .collect::<ClResult<Vec<_>>>()?,
         };
+        let split_workers = match policy {
+            ServePolicy::Off => Vec::new(),
+            _ => (0..workers.len())
+                .map(|_| {
+                    ctx.create_queue(
+                        QueueSchedFlags::SCHED_AUTO_DYNAMIC | QueueSchedFlags::SCHED_SPLITTABLE,
+                    )
+                })
+                .collect::<ClResult<Vec<_>>>()?,
+        };
         let names: Vec<String> = tenants.iter().map(|t| t.name.clone()).collect();
         Ok(Served {
             platform: platform.clone(),
             ctx,
             workers,
             ooo_workers,
+            split_workers,
             tenants: tenants.into_iter().map(TenantState::new).collect(),
             metrics: ServiceMetrics::new(&names),
             retry,
@@ -447,10 +463,13 @@ impl Served {
 
     /// The worker queue serving dispatch slot `slot` for `spec`: the
     /// out-of-order twin when the spec opts in (and the policy honors the
-    /// flag), the strict in-order worker otherwise.
+    /// flag), the splittable twin for `splittable` specs, the strict
+    /// in-order worker otherwise.
     fn worker_for(&self, slot: usize, spec: &JobSpec) -> &SchedQueue {
         if spec.out_of_order && !self.ooo_workers.is_empty() {
             &self.ooo_workers[slot]
+        } else if spec.splittable && !self.split_workers.is_empty() {
+            &self.split_workers[slot]
         } else {
             &self.workers[slot]
         }

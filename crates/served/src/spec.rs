@@ -140,6 +140,11 @@ pub struct JobSpec {
     /// enforce this job's own data dependencies). Defaults to `false` —
     /// strict in-order execution, byte-identical with pre-flag streams.
     pub out_of_order: bool,
+    /// Opt into data-parallel kernel splitting: the job's launches flush
+    /// through a `SCHED_SPLITTABLE` queue, so split-capable kernels may be
+    /// partitioned into sub-ranges across devices. Mutually exclusive with
+    /// `out_of_order` (the queue flags themselves are). Defaults to `false`.
+    pub splittable: bool,
 }
 
 impl JobSpec {
@@ -238,7 +243,8 @@ impl JobSpec {
             steps.push(StepSpec { id, op, after: opt_strings(s, "after")? });
         }
         let out_of_order = json.get("out_of_order").and_then(Json::as_bool).unwrap_or(false);
-        let spec = JobSpec { name, buffers, kernels, steps, out_of_order };
+        let splittable = json.get("splittable").and_then(Json::as_bool).unwrap_or(false);
+        let spec = JobSpec { name, buffers, kernels, steps, out_of_order, splittable };
         spec.validate()?;
         Ok(spec)
     }
@@ -329,12 +335,22 @@ impl JobSpec {
                 fields.push(("out_of_order".into(), Json::Bool(true)));
             }
         }
+        if self.splittable {
+            if let Json::Obj(fields) = &mut json {
+                fields.push(("splittable".into(), Json::Bool(true)));
+            }
+        }
         json
     }
 
     /// Check internal consistency: unique names, resolvable references,
     /// consistent kernel arities, positive sizes, acyclic dependencies.
     pub fn validate(&self) -> Result<(), SpecError> {
+        if self.out_of_order && self.splittable {
+            return Err(SpecError::Invalid(
+                "`out_of_order` and `splittable` are mutually exclusive".to_string(),
+            ));
+        }
         let mut buffer_names = std::collections::HashSet::new();
         for b in &self.buffers {
             if !buffer_names.insert(b.name.as_str()) {
@@ -526,6 +542,30 @@ mod tests {
         assert_eq!(json.get("out_of_order").and_then(Json::as_bool), Some(true));
         let again = JobSpec::from_json(&json).expect("flagged spec parses");
         assert_eq!(again, flagged);
+    }
+
+    #[test]
+    fn splittable_flag_parses_roundtrips_and_excludes_out_of_order() {
+        // Absent ⇒ false, and a false flag is not emitted (old specs encode
+        // byte-identically).
+        let spec = sample();
+        assert!(!spec.splittable);
+        assert!(spec.to_json().get("splittable").is_none());
+
+        let mut flagged = sample();
+        flagged.splittable = true;
+        let json = flagged.to_json();
+        assert_eq!(json.get("splittable").and_then(Json::as_bool), Some(true));
+        let again = JobSpec::from_json(&json).expect("flagged spec parses");
+        assert_eq!(again, flagged);
+
+        // The two queue-flag opt-ins are mutually exclusive, like the
+        // underlying `SCHED_SPLITTABLE` × `SCHED_OUT_OF_ORDER` flags.
+        let mut both = sample();
+        both.splittable = true;
+        both.out_of_order = true;
+        assert!(matches!(both.validate(), Err(SpecError::Invalid(_))));
+        assert!(JobSpec::from_json(&both.to_json()).is_err());
     }
 
     #[test]
